@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the in-process collectives: ring all-reduce vs
+//! all-gather as the worker count grows — the data-plane analogue of the
+//! scalability argument (per-worker ring traffic is flat; gather traffic
+//! grows with `p`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_cluster::SimCluster;
+use std::hint::black_box;
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let n = 1 << 18; // 256k f32 = 1 MB
+    let mut group = c.benchmark_group("ring_all_reduce_1mb");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let outs = SimCluster::run(p, |w| {
+                    let mut buf = vec![w.rank() as f32; n];
+                    w.all_reduce_sum(&mut buf).expect("all-reduce");
+                    buf[0]
+                });
+                black_box(outs);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_gather(c: &mut Criterion) {
+    let bytes = 1 << 20; // 1 MB per worker
+    let mut group = c.benchmark_group("all_gather_1mb");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let outs = SimCluster::run(p, |w| {
+                    let blob = vec![w.rank() as u8; bytes];
+                    w.all_gather_bytes(&blob).expect("all-gather").len()
+                });
+                black_box(outs);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_all_gather);
+criterion_main!(benches);

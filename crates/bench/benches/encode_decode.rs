@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the real encode/decode kernels — the
+//! living version of the paper's Table 2, on host CPU.
+//!
+//! The gradient is a ResNet-style conv stack scaled down (~2.4 M
+//! parameters) so a full Criterion run stays fast; `table2` (the binary)
+//! measures the full 25.6 M-parameter ResNet-50.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_compress::driver::round_trip;
+use gcs_compress::registry::MethodConfig;
+use gcs_tensor::Tensor;
+use std::hint::black_box;
+
+/// A reduced conv-net gradient set (~2.4 M params across realistic
+/// shapes).
+fn gradients() -> Vec<Tensor> {
+    let shapes: Vec<Vec<usize>> = vec![
+        vec![64, 64, 3, 3],
+        vec![128, 64, 3, 3],
+        vec![128, 128, 3, 3],
+        vec![256, 128, 3, 3],
+        vec![256, 256, 3, 3],
+        vec![512, 256, 1, 1],
+        vec![1000, 512],
+        vec![512],
+        vec![1000],
+    ];
+    shapes
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| Tensor::randn(s, i as u64))
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let grads = gradients();
+    let methods = [
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::PowerSgd { rank: 4 },
+        MethodConfig::PowerSgd { rank: 16 },
+        MethodConfig::TopK { ratio: 0.01 },
+        MethodConfig::SignSgd,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.01 },
+        MethodConfig::OneBit,
+        MethodConfig::Sketch { block: 16 },
+        MethodConfig::Dgc { ratio: 0.01 },
+        MethodConfig::Variance { kappa: 1.5 },
+        MethodConfig::Natural,
+    ];
+    let mut group = c.benchmark_group("encode_decode");
+    group.sample_size(10);
+    for method in &methods {
+        let name = method
+            .build()
+            .expect("method builds")
+            .properties()
+            .name;
+        group.bench_with_input(BenchmarkId::from_parameter(name), method, |b, m| {
+            let mut compressor = m.build().expect("method builds");
+            b.iter(|| {
+                for (layer, g) in grads.iter().enumerate() {
+                    let out = round_trip(&mut compressor, layer, g).expect("round trip");
+                    black_box(out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// ATOMO separately: its SVD is orders of magnitude slower, so it gets a
+/// smaller input to keep the suite quick.
+fn bench_atomo(c: &mut Criterion) {
+    let grads = [Tensor::randn([128, 128, 3, 3], 0)];
+    let mut group = c.benchmark_group("encode_decode_svd");
+    group.sample_size(10);
+    group.bench_function("ATOMO (rank 4)", |b| {
+        let mut compressor = MethodConfig::Atomo { rank: 4 }
+            .build()
+            .expect("method builds");
+        b.iter(|| {
+            for (layer, g) in grads.iter().enumerate() {
+                let out = round_trip(&mut compressor, layer, g).expect("round trip");
+                black_box(out);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_atomo);
+criterion_main!(benches);

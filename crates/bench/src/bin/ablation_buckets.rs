@@ -1,0 +1,32 @@
+//! Ablation: DDP bucket-size sweep. Too-small buckets expose per-collective
+//! latency; too-large buckets destroy overlap (§2.2's motivation for the
+//! 25 MB default).
+
+use gcs_bench::{ms, print_table};
+use gcs_ddp::sim::{simulate_iteration, SimConfig};
+use gcs_models::presets;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for model in [presets::resnet50(), presets::bert_base()] {
+        let batch = if model.name.starts_with("BERT") { 8 } else { 32 };
+        for mb in [1usize, 5, 10, 25, 50, 100, 500] {
+            let cfg = SimConfig::new(model.clone(), 64)
+                .batch_per_worker(batch)
+                .bucket_bytes(mb << 20);
+            let t = simulate_iteration(&cfg).total_s;
+            rows.push(vec![model.name.clone(), format!("{mb} MB"), ms(t)]);
+            json.push(serde_json::json!({
+                "model": model.name, "bucket_mb": mb, "total_s": t,
+            }));
+        }
+    }
+    print_table(
+        "Ablation: bucket-size sweep (64 GPUs, 10 Gbps)",
+        &["Model", "Bucket size", "Iteration (ms)"],
+        &rows,
+    );
+    println!("\nExpected shape: a sweet spot near DDP's 25 MB default — latency-bound below, overlap-starved above.");
+    gcs_bench::write_json("ablation_buckets", &serde_json::Value::Array(json));
+}

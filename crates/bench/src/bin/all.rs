@@ -1,0 +1,34 @@
+//! Runs every table/figure binary in sequence (the full evaluation).
+//!
+//! Equivalent to invoking each `table*`/`fig*`/`convergence`/`ablation_*`
+//! binary; results land in `results/*.json` and stdout.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+        "fig09", "fig10", "fig11", "fig12", "fig13", "convergence",
+        "ablation_allreduce", "ablation_buckets", "ablation_hierarchy", "ablation_ps",
+        "ext_local_sgd", "ext_time_to_accuracy", "ext_large_models", "ext_strong_scaling",
+        "summary", // must run last: it validates the other binaries' results
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Extension: local SGD (periodic averaging) — the communication
+//! *frequency* lever the paper contrasts with compression (§2). Reports
+//! both the per-step time (simulator) and the convergence cost (real
+//! training), i.e. the full tradeoff compression papers usually skip.
+
+use gcs_bench::{ms, print_table};
+use gcs_compress::registry::MethodConfig;
+use gcs_ddp::sim::{simulate_iteration, simulate_local_sgd, SimConfig};
+use gcs_models::presets;
+use gcs_train::local_sgd::{train_local_sgd, LocalSgdConfig};
+use gcs_train::task::LinearRegression;
+
+fn main() {
+    // Timing: per-step cost vs period for the comm-heavy model.
+    let model = presets::bert_base();
+    let cfg = SimConfig::new(model.clone(), 96).batch_per_worker(12);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for period in [1usize, 2, 4, 8, 16, 32] {
+        let t = simulate_local_sgd(&cfg, period).total_s;
+        rows.push(vec![period.to_string(), ms(t)]);
+        json.push(serde_json::json!({
+            "model": model.name, "workers": 96, "period": period, "per_step_s": t,
+        }));
+    }
+    let psgd = simulate_iteration(&cfg.clone().method(MethodConfig::PowerSgd { rank: 4 })).total_s;
+    print_table(
+        &format!("Local SGD per-step time — {} @ 96 GPUs (batch 12)", model.name),
+        &["Sync period H", "Per-step time (ms)"],
+        &rows,
+    );
+    println!(
+        "Reference: PowerSGD rank 4 at the same scale: {:.1} ms/step.\n\
+         Expected shape: period 4-8 already beats the best compression scheme,\n\
+         with zero encode cost — frequency is the cheaper lever.",
+        psgd * 1e3
+    );
+
+    // Convergence: what the longer periods cost in loss.
+    let task = LinearRegression::new(16, 256, 0.01, 7);
+    let mut conv_rows = Vec::new();
+    for period in [1usize, 2, 4, 8, 16] {
+        let rep = train_local_sgd(
+            &task,
+            &MethodConfig::SyncSgd,
+            &LocalSgdConfig::new().period(period).steps(240).lr(0.05).seed(9),
+        )
+        .expect("training runs");
+        conv_rows.push(vec![
+            period.to_string(),
+            format!("{:.5}", rep.final_loss()),
+        ]);
+        json.push(serde_json::json!({
+            "task": rep.task, "period": period, "final_loss": rep.final_loss(),
+        }));
+    }
+    print_table(
+        "Local SGD convergence cost (linear regression, 4 workers, 240 steps)",
+        &["Sync period H", "Final loss"],
+        &conv_rows,
+    );
+    println!("\nExpected shape: mild degradation as H grows — the accuracy price of fewer syncs.");
+    gcs_bench::write_json("ext_local_sgd", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,45 @@
+//! Extension: strong scaling. The paper evaluates weak scaling (constant
+//! per-worker batch); under strong scaling a *fixed global batch* is split
+//! across workers, so adding GPUs shrinks T_comp and starves syncSGD's
+//! overlap — compression becomes useful at realistic bandwidths after all.
+
+use gcs_bench::{ms, print_table};
+use gcs_compress::registry::MethodConfig;
+use gcs_ddp::sim::{simulate_strong_scaling, SimConfig};
+use gcs_models::presets;
+
+fn main() {
+    let model = presets::resnet101();
+    let global = 1024usize;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for p in [8usize, 16, 32, 64, 128] {
+        let sync = simulate_strong_scaling(&SimConfig::new(model.clone(), p), global);
+        let psgd = simulate_strong_scaling(
+            &SimConfig::new(model.clone(), p).method(MethodConfig::PowerSgd { rank: 4 }),
+            global,
+        );
+        rows.push(vec![
+            p.to_string(),
+            (global / p).max(1).to_string(),
+            ms(sync.total_s),
+            ms(psgd.total_s),
+            format!("{:.2}x", sync.total_s / psgd.total_s),
+        ]);
+        json.push(serde_json::json!({
+            "model": model.name, "workers": p, "global_batch": global,
+            "sync_s": sync.total_s, "powersgd4_s": psgd.total_s,
+        }));
+    }
+    print_table(
+        &format!("Strong scaling — {model} @ global batch {global}, 10 Gbps", model = model.name),
+        &["GPUs", "Batch/GPU", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the PowerSGD speedup column *grows* with GPUs — the\n\
+         opposite of the paper's weak-scaling result, because strong scaling\n\
+         shrinks the backward pass syncSGD hides communication behind."
+    );
+    gcs_bench::write_json("ext_strong_scaling", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,18 @@
+//! Figure 4: scalability of PowerSGD (ranks 4/8/16) vs syncSGD on
+//! ResNet-50, ResNet-101 and BERT_BASE.
+//!
+//! Expected shape: PowerSGD is *slower* for the ResNets at batch 64, and
+//! faster than syncSGD only for BERT at large scale (paper: ~23% for
+//! rank 4 at 96 GPUs), with rank 16 losing even there.
+
+use gcs_bench::{paper_ranks, scaling_figure};
+use gcs_compress::registry::MethodConfig;
+
+fn main() {
+    let methods: Vec<MethodConfig> = paper_ranks()
+        .into_iter()
+        .map(|rank| MethodConfig::PowerSgd { rank })
+        .collect();
+    let json = scaling_figure("Figure 4: PowerSGD scalability", &methods, None);
+    gcs_bench::write_json("fig04", &json);
+}

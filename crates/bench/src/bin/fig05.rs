@@ -1,0 +1,18 @@
+//! Figure 5: scalability of Top-K (1%, 10%, 20%) vs syncSGD.
+//!
+//! Expected shape: Top-K loses to syncSGD everywhere — enormous encode
+//! time (Table 2) plus all-gather traffic that grows linearly with the
+//! worker count. BERT runs are capped at 32 GPUs as in the paper (gather
+//! buffers exhaust memory).
+
+use gcs_bench::{paper_topk_ratios, scaling_figure};
+use gcs_compress::registry::MethodConfig;
+
+fn main() {
+    let methods: Vec<MethodConfig> = paper_topk_ratios()
+        .into_iter()
+        .map(|ratio| MethodConfig::TopK { ratio })
+        .collect();
+    let json = scaling_figure("Figure 5: Top-K scalability", &methods, Some(32));
+    gcs_bench::write_json("fig05", &json);
+}

@@ -1,0 +1,51 @@
+//! Figure 9: how much compression is actually needed for near-linear
+//! scaling (64 GPUs, 10 Gbps), by model and batch size.
+//!
+//! Expected shape: at most ~7x even for small batches; BERT at realistic
+//! batch needs < 2x. Over-compressing beyond these ratios buys nothing.
+
+use gcs_bench::{paper_models, print_table};
+use gcs_cluster::cost::NetworkModel;
+use gcs_core::ideal::{required_compression, RequiredCompression};
+use gcs_models::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let net = NetworkModel::datacenter_10gbps();
+    let workers = 64;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for model in paper_models() {
+        let batches: &[usize] = if model.name.starts_with("BERT") {
+            &[4, 8, 12, 16]
+        } else {
+            &[8, 16, 32, 64]
+        };
+        for &batch in batches {
+            let cell = match required_compression(&model, &device, &net, workers, batch) {
+                RequiredCompression::Achievable { ratio, bytes } => {
+                    json.push(serde_json::json!({
+                        "model": model.name, "batch": batch,
+                        "required_ratio": ratio, "compressed_bytes": bytes,
+                    }));
+                    format!("{ratio:.2}x")
+                }
+                RequiredCompression::LatencyBound => {
+                    json.push(serde_json::json!({
+                        "model": model.name, "batch": batch,
+                        "required_ratio": null,
+                    }));
+                    "latency-bound".to_owned()
+                }
+            };
+            rows.push(vec![model.name.clone(), batch.to_string(), cell]);
+        }
+    }
+    print_table(
+        "Figure 9: compression required for near-linear scaling (64 GPUs, 10 Gbps)",
+        &["Model", "Batch/GPU", "Required compression"],
+        &rows,
+    );
+    println!("\nExpected shape: ≤ ~7x everywhere; shrinking with batch size; BERT < 2x at batch ≥ 12.");
+    gcs_bench::write_json("fig09", &serde_json::Value::Array(json));
+}

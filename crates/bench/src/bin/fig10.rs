@@ -1,0 +1,35 @@
+//! Figure 10: the gap between optimized syncSGD and perfect weak scaling
+//! — the entire time budget available to any compression scheme.
+
+use gcs_bench::{ms, paper_models, print_table};
+use gcs_cluster::cost::NetworkModel;
+use gcs_core::ideal::ideal_gap;
+use gcs_models::DeviceSpec;
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let net = NetworkModel::datacenter_10gbps();
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for model in paper_models() {
+        let batch = if model.name.starts_with("BERT") { 16 } else { 64 };
+        for p in [8usize, 16, 32, 64, 96, 128, 150] {
+            let gap = ideal_gap(&model, &device, &net, p, batch);
+            rows.push(vec![model.name.clone(), p.to_string(), ms(gap)]);
+            json.push(serde_json::json!({
+                "model": model.name, "workers": p, "batch": batch, "gap_s": gap,
+            }));
+        }
+    }
+    print_table(
+        "Figure 10: syncSGD distance from ideal scaling (10 Gbps)",
+        &["Model", "Workers", "Gap to ideal (ms)"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: grows with model size and worker count, but stays small\n\
+         (≈50 ms ResNet-50, ≈100 ms ResNet-101, ≈200 ms BERT at 150 workers) —\n\
+         a compression scheme must fit its entire encode+decode+comm in this budget."
+    );
+    gcs_bench::write_json("fig10", &serde_json::Value::Array(json));
+}

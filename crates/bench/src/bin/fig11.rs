@@ -1,0 +1,55 @@
+//! Figure 11: what-if on network bandwidth (1–30 Gbps), syncSGD vs
+//! PowerSGD rank 4.
+//!
+//! Expected shape: PowerSGD dominates at 1–3 Gbps; syncSGD catches up as
+//! bandwidth grows (crossover ≈9 Gbps for ResNet-50, ≈15 Gbps for BERT)
+//! because only syncSGD has enough traffic left to benefit.
+
+use gcs_bench::{ms, paper_batch, paper_models, print_table};
+use gcs_compress::registry::MethodConfig;
+use gcs_core::whatif::bandwidth_sweep;
+use gcs_models::DeviceSpec;
+
+fn main() {
+    let gbps: Vec<f64> = vec![1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 10.0, 12.0, 15.0, 20.0, 25.0, 30.0];
+    let mut json = Vec::new();
+    for model in paper_models() {
+        let pts = bandwidth_sweep(
+            &model,
+            &DeviceSpec::v100(),
+            64,
+            paper_batch(&model),
+            &MethodConfig::PowerSgd { rank: 4 },
+            &gbps,
+            15e-6,
+        );
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.0}", p.x),
+                    ms(p.sync_s),
+                    ms(p.method_s),
+                    format!("{:.2}x", p.speedup()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 11: bandwidth sweep — {} (64 GPUs)", model.name),
+            &["Gbps", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+            &rows,
+        );
+        let crossover = pts.iter().find(|p| p.speedup() < 1.0).map(|p| p.x);
+        match crossover {
+            Some(x) => println!("Crossover (syncSGD wins) at ≈ {x:.0} Gbps"),
+            None => println!("PowerSGD wins across the whole sweep"),
+        }
+        for p in &pts {
+            json.push(serde_json::json!({
+                "model": model.name, "gbps": p.x,
+                "sync_s": p.sync_s, "powersgd4_s": p.method_s,
+            }));
+        }
+    }
+    gcs_bench::write_json("fig11", &serde_json::Value::Array(json));
+}

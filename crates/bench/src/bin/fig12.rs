@@ -1,0 +1,51 @@
+//! Figure 12: what-if on compute speedup (1–4x) with bandwidth pinned at
+//! 10 Gbps, syncSGD vs PowerSGD rank 4.
+//!
+//! Expected shape: faster compute shrinks both the backward pass and the
+//! encode/decode time, so PowerSGD's relative advantage *grows* while
+//! syncSGD saturates at its communication floor (paper: ~1.75x PowerSGD
+//! speedup at 3.5x compute for ResNet-50).
+
+use gcs_bench::{ms, paper_batch, paper_models, print_table};
+use gcs_cluster::cost::NetworkModel;
+use gcs_compress::registry::MethodConfig;
+use gcs_core::whatif::compute_sweep;
+
+fn main() {
+    let speedups: Vec<f64> = vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+    let mut json = Vec::new();
+    for model in paper_models() {
+        let pts = compute_sweep(
+            &model,
+            &NetworkModel::datacenter_10gbps(),
+            64,
+            paper_batch(&model),
+            &MethodConfig::PowerSgd { rank: 4 },
+            &speedups,
+        );
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}x", p.x),
+                    ms(p.sync_s),
+                    ms(p.method_s),
+                    format!("{:.2}x", p.speedup()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 12: compute-speedup sweep — {} (64 GPUs, 10 Gbps)", model.name),
+            &["Compute", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+            &rows,
+        );
+        for p in &pts {
+            json.push(serde_json::json!({
+                "model": model.name, "compute_speedup": p.x,
+                "sync_s": p.sync_s, "powersgd4_s": p.method_s,
+            }));
+        }
+    }
+    println!("\nExpected shape: PowerSGD speedup column increases monotonically with compute.");
+    gcs_bench::write_json("fig12", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,55 @@
+//! Figure 13: the encode-time vs compression-ratio tradeoff. A
+//! hypothetical PowerSGD-rank-4 variant whose encode/decode runs k× faster
+//! at the price of l·k× more communicated bytes.
+//!
+//! Expected shape: at datacenter bandwidth, *any* encode-time reduction
+//! wins, even when it multiplies the wire bytes — encode time, not
+//! compression ratio, is the binding constraint.
+
+use gcs_bench::{ms, paper_batch, paper_models, print_table};
+use gcs_cluster::cost::NetworkModel;
+use gcs_compress::registry::MethodConfig;
+use gcs_core::whatif::tradeoff_sweep;
+use gcs_models::DeviceSpec;
+
+fn main() {
+    let ks = [1.0, 2.0, 3.0, 4.0];
+    let ls = [1.0, 2.0, 3.0];
+    let mut json = Vec::new();
+    for model in paper_models() {
+        let grid = tradeoff_sweep(
+            &model,
+            &DeviceSpec::v100(),
+            &NetworkModel::datacenter_10gbps(),
+            64,
+            paper_batch(&model),
+            &MethodConfig::PowerSgd { rank: 4 },
+            &ks,
+            &ls,
+        );
+        let rows: Vec<Vec<String>> = grid
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.0}", p.k),
+                    format!("{:.0}", p.l),
+                    ms(p.total_s),
+                    format!("{:+.1}%", (p.total_s / p.baseline_s - 1.0) * 100.0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 13: encode-time/compression tradeoff — {} (64 GPUs)", model.name),
+            &["k (encode ÷)", "l", "Iteration (ms)", "vs baseline"],
+            &rows,
+        );
+        for p in &grid {
+            json.push(serde_json::json!({
+                "model": model.name, "k": p.k, "l": p.l,
+                "total_s": p.total_s, "baseline_s": p.baseline_s,
+            }));
+        }
+    }
+    println!("\nExpected shape: every k > 1 row is faster than baseline, for every l.");
+    gcs_bench::write_json("fig13", &serde_json::Value::Array(json));
+}

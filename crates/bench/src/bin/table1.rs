@@ -1,0 +1,38 @@
+//! Table 1: classification of compression methods by all-reduce
+//! compatibility and layer-wise support — generated from the actual trait
+//! properties of every implementation.
+
+use gcs_bench::print_table;
+use gcs_compress::registry::table1_methods;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1_methods()
+        .iter()
+        .map(|cfg| {
+            let p = cfg.build().expect("catalogue entry builds").properties();
+            vec![
+                p.name,
+                if p.all_reducible { "yes" } else { "no" }.to_owned(),
+                if p.layerwise { "yes" } else { "no" }.to_owned(),
+                p.rounds.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: all-reduce compatibility and layer-wise compression",
+        &["Method", "All-reduce", "Layer-wise", "Comm rounds"],
+        &rows,
+    );
+    let json: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "method": r[0],
+                "all_reduce": r[1] == "yes",
+                "layerwise": r[2] == "yes",
+                "rounds": r[3].parse::<usize>().expect("round count"),
+            })
+        })
+        .collect();
+    gcs_bench::write_json("table1", &serde_json::Value::Array(json));
+}

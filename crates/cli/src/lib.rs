@@ -1,0 +1,493 @@
+//! The `gradcomp` command-line what-if analyzer.
+//!
+//! This is the tool §7 of the paper envisions for data scientists: given
+//! a model, a cluster and a network, decide whether (and which) gradient
+//! compression will give a real end-to-end speedup.
+//!
+//! ```text
+//! gradcomp predict  --model resnet50  --gpus 64 --batch 32 --gbps 10 --method powersgd:4
+//! gradcomp compare  --model bert-base --gpus 96 --batch 12 --methods syncsgd,powersgd:4,signsgd
+//! gradcomp required --model resnet101 --gpus 64 --batch 16 --gbps 10
+//! gradcomp gap      --model bert-base --gpus 96 --batch 16 --gbps 10
+//! gradcomp sweep    --model resnet50  --gpus 64 --batch 64 --method powersgd:4 --from 1 --to 30
+//! gradcomp models | gradcomp methods
+//! ```
+//!
+//! All logic lives in [`run`], which returns the rendered output so tests
+//! can assert on it.
+
+use gcs_cluster::cost::NetworkModel;
+use gcs_compress::registry::MethodConfig;
+use gcs_core::ideal::{ideal_gap, required_compression, RequiredCompression};
+use gcs_core::perf::predict_iteration;
+use gcs_core::whatif::bandwidth_sweep;
+use gcs_ddp::sim::SimConfig;
+use gcs_models::{presets, DeviceSpec, ModelSpec};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A CLI error: bad usage or unknown values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+gradcomp — gradient-compression what-if analyzer (MLSys'22 reproduction)
+
+USAGE:
+  gradcomp <command> [--key value]...
+
+COMMANDS:
+  predict    predict iteration time for one method
+  compare    rank several methods (--methods a,b,c)
+  required   compression ratio needed for near-linear scaling
+  gap        distance of syncSGD from ideal scaling
+  sweep      bandwidth sweep for one method vs syncSGD (--from/--to Gbps)
+  trace      ASCII two-stream timeline of one iteration (Figure-2 style)
+  models     list available model specs
+  methods    list available compression methods
+  help       show this text
+
+COMMON FLAGS (with defaults):
+  --model resnet50        resnet50|resnet101|bert-base|bert-large|vgg16
+  --gpus 64               worker count
+  --batch 32              per-worker batch size
+  --gbps 10               network bandwidth
+  --alpha-us 15           per-hop latency in microseconds
+  --speedup 1.0           compute speedup vs V100
+  --method syncsgd        e.g. powersgd:4, topk:0.01, qsgd:15, variance:1.5
+";
+
+/// Looks up a model spec by CLI name.
+pub fn parse_model(name: &str) -> Result<ModelSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet50" | "resnet-50" => Ok(presets::resnet50()),
+        "resnet101" | "resnet-101" => Ok(presets::resnet101()),
+        "bert-base" | "bert_base" | "bert" => Ok(presets::bert_base()),
+        "bert-large" | "bert_large" => Ok(presets::bert_large()),
+        "vgg16" | "vgg-16" => Ok(presets::vgg16()),
+        other => Err(CliError(format!(
+            "unknown model '{other}' (try `gradcomp models`)"
+        ))),
+    }
+}
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+struct Flags {
+    model: ModelSpec,
+    gpus: usize,
+    batch: usize,
+    gbps: f64,
+    alpha: f64,
+    speedup: f64,
+    method: MethodConfig,
+    methods: Vec<MethodConfig>,
+    from: f64,
+    to: f64,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags> {
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError(format!("expected --flag, got '{}'", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+        map.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    let get_f64 = |key: &str, default: f64| -> Result<f64> {
+        match map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError(format!("bad --{key} '{v}': {e}"))),
+        }
+    };
+    let get_usize = |key: &str, default: usize| -> Result<usize> {
+        match map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError(format!("bad --{key} '{v}': {e}"))),
+        }
+    };
+    let model = parse_model(map.get("model").map_or("resnet50", String::as_str))?;
+    let method = MethodConfig::parse(map.get("method").map_or("syncsgd", String::as_str))
+        .map_err(|e| CliError(e.to_string()))?;
+    let methods = match map.get("methods") {
+        None => vec![
+            MethodConfig::SyncSgd,
+            MethodConfig::Fp16,
+            MethodConfig::PowerSgd { rank: 4 },
+            MethodConfig::TopK { ratio: 0.01 },
+            MethodConfig::SignSgd,
+        ],
+        Some(list) => list
+            .split(',')
+            .map(|s| MethodConfig::parse(s.trim()).map_err(|e| CliError(e.to_string())))
+            .collect::<Result<_>>()?,
+    };
+    let gpus = get_usize("gpus", 64)?;
+    if gpus == 0 {
+        return Err(CliError("--gpus must be at least 1".into()));
+    }
+    let batch = get_usize("batch", 32)?;
+    if batch == 0 {
+        return Err(CliError("--batch must be at least 1".into()));
+    }
+    let gbps = get_f64("gbps", 10.0)?;
+    if gbps <= 0.0 {
+        return Err(CliError("--gbps must be positive".into()));
+    }
+    Ok(Flags {
+        model,
+        gpus,
+        batch,
+        gbps,
+        alpha: get_f64("alpha-us", 15.0)? * 1e-6,
+        speedup: get_f64("speedup", 1.0)?,
+        method,
+        methods,
+        from: get_f64("from", 1.0)?,
+        to: get_f64("to", 30.0)?,
+    })
+}
+
+fn sim_config(f: &Flags, method: MethodConfig) -> SimConfig {
+    SimConfig::new(f.model.clone(), f.gpus)
+        .batch_per_worker(f.batch)
+        .network(NetworkModel::from_gbps(f.alpha, f.gbps))
+        .device(DeviceSpec::v100().with_speedup(f.speedup))
+        .method(method)
+}
+
+fn method_name(m: &MethodConfig) -> String {
+    m.build()
+        .map(|c| c.properties().name)
+        .unwrap_or_else(|_| format!("{m:?}"))
+}
+
+/// Runs one CLI invocation (`args` excludes the program name) and returns
+/// the rendered output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, flags or values.
+pub fn run(args: &[String]) -> Result<String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let mut out = String::new();
+    match command.as_str() {
+        "help" | "--help" | "-h" => out.push_str(USAGE),
+        "models" => {
+            for m in [
+                presets::resnet50(),
+                presets::resnet101(),
+                presets::bert_base(),
+                presets::bert_large(),
+                presets::vgg16(),
+            ] {
+                writeln!(
+                    out,
+                    "{:<12} {:>7.1} MB  {:>9} params  {:>4} tensors",
+                    m.name.to_lowercase().replace(' ', "-"),
+                    m.size_mb(),
+                    m.total_params(),
+                    m.num_layers()
+                )
+                .expect("write to string");
+            }
+        }
+        "methods" => {
+            out.push_str(
+                "syncsgd | fp16 | powersgd:<rank> | topk:<ratio> | signsgd | efsignsgd\n\
+                 qsgd:<levels> | terngrad | randomk:<ratio> | atomo:<rank> | onebit\n\
+                 sketch:<block> | dgc:<ratio> | variance:<kappa> | natural\n",
+            );
+        }
+        "predict" => {
+            let f = parse_flags(rest)?;
+            let cfg = sim_config(&f, f.method.clone());
+            let p = predict_iteration(&cfg);
+            writeln!(
+                out,
+                "{} | {} GPUs | batch {} | {:.0} Gbps | {}",
+                f.model.name,
+                f.gpus,
+                f.batch,
+                f.gbps,
+                method_name(&f.method)
+            )
+            .expect("write to string");
+            writeln!(out, "  backward      : {:>8.1} ms", p.t_comp_s * 1e3).expect("write");
+            writeln!(out, "  encode/decode : {:>8.1} ms", p.t_encdec_s * 1e3).expect("write");
+            writeln!(out, "  communication : {:>8.1} ms", p.t_comm_s * 1e3).expect("write");
+            writeln!(out, "  iteration     : {:>8.1} ms", p.total_s * 1e3).expect("write");
+        }
+        "compare" => {
+            let f = parse_flags(rest)?;
+            let mut rows: Vec<(String, f64)> = f
+                .methods
+                .iter()
+                .map(|m| {
+                    let t = predict_iteration(&sim_config(&f, m.clone())).total_s;
+                    (method_name(m), t)
+                })
+                .collect();
+            rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            let baseline = rows
+                .iter()
+                .find(|(n, _)| n == "syncSGD")
+                .map(|&(_, t)| t);
+            writeln!(
+                out,
+                "{} | {} GPUs | batch {} | {:.0} Gbps",
+                f.model.name, f.gpus, f.batch, f.gbps
+            )
+            .expect("write");
+            for (i, (name, t)) in rows.iter().enumerate() {
+                let vs = baseline
+                    .map(|b| format!("  ({:+.1}% vs syncSGD)", (t / b - 1.0) * 100.0))
+                    .unwrap_or_default();
+                writeln!(out, "  {}. {:<24} {:>8.1} ms{vs}", i + 1, name, t * 1e3)
+                    .expect("write");
+            }
+        }
+        "required" => {
+            let f = parse_flags(rest)?;
+            if f.gpus < 2 {
+                return Err(CliError("required needs --gpus >= 2".into()));
+            }
+            let device = DeviceSpec::v100().with_speedup(f.speedup);
+            let net = NetworkModel::from_gbps(f.alpha, f.gbps);
+            match required_compression(&f.model, &device, &net, f.gpus, f.batch) {
+                RequiredCompression::Achievable { ratio, bytes } => {
+                    writeln!(
+                        out,
+                        "{}: {:.2}x compression (to {:.1} MB) hides all communication \
+                         under the backward pass at {} GPUs / {:.0} Gbps / batch {}.",
+                        f.model.name,
+                        ratio,
+                        bytes / 1e6,
+                        f.gpus,
+                        f.gbps,
+                        f.batch
+                    )
+                    .expect("write");
+                    if ratio < 2.5 {
+                        out.push_str("Half-precision (FP16) alone would nearly suffice.\n");
+                    }
+                }
+                RequiredCompression::LatencyBound => {
+                    out.push_str(
+                        "Latency-bound: even zero-byte gradients cannot reach ideal scaling.\n",
+                    );
+                }
+            }
+        }
+        "gap" => {
+            let f = parse_flags(rest)?;
+            let device = DeviceSpec::v100().with_speedup(f.speedup);
+            let net = NetworkModel::from_gbps(f.alpha, f.gbps);
+            let gap = ideal_gap(&f.model, &device, &net, f.gpus, f.batch);
+            writeln!(
+                out,
+                "{}: syncSGD is {:.1} ms per iteration from perfect scaling at {} GPUs.\n\
+                 Any compression scheme must fit encode + decode + its own communication\n\
+                 inside this budget to be a net win.",
+                f.model.name,
+                gap * 1e3,
+                f.gpus
+            )
+            .expect("write");
+        }
+        "trace" => {
+            let f = parse_flags(rest)?;
+            let cfg = sim_config(&f, f.method.clone());
+            let events = gcs_ddp::trace::trace_iteration(&cfg);
+            writeln!(
+                out,
+                "{} | {} GPUs | batch {} | {:.0} Gbps | {}",
+                f.model.name,
+                f.gpus,
+                f.batch,
+                f.gbps,
+                method_name(&f.method)
+            )
+            .expect("write");
+            out.push_str(&gcs_ddp::trace::render_ascii(&events, 72));
+            for e in &events {
+                writeln!(
+                    out,
+                    "  {:>7.1} – {:>7.1} ms  {:<7}  {}",
+                    e.start_s * 1e3,
+                    e.end_s * 1e3,
+                    format!("{:?}", e.stream),
+                    e.label
+                )
+                .expect("write");
+            }
+        }
+        "sweep" => {
+            let f = parse_flags(rest)?;
+            if f.from <= 0.0 || f.to < f.from {
+                return Err(CliError("--from/--to must satisfy 0 < from <= to".into()));
+            }
+            let steps = 10usize;
+            let gbps: Vec<f64> = (0..=steps)
+                .map(|i| f.from + (f.to - f.from) * i as f64 / steps as f64)
+                .collect();
+            let pts = bandwidth_sweep(
+                &f.model,
+                &DeviceSpec::v100().with_speedup(f.speedup),
+                f.gpus,
+                f.batch,
+                &f.method,
+                &gbps,
+                f.alpha,
+            );
+            writeln!(
+                out,
+                "{} | {} vs syncSGD | {} GPUs | batch {}",
+                f.model.name,
+                method_name(&f.method),
+                f.gpus,
+                f.batch
+            )
+            .expect("write");
+            for p in &pts {
+                writeln!(
+                    out,
+                    "  {:>5.1} Gbps: syncSGD {:>8.1} ms | method {:>8.1} ms | speedup {:.2}x",
+                    p.x,
+                    p.sync_s * 1e3,
+                    p.method_s * 1e3,
+                    p.speedup()
+                )
+                .expect("write");
+            }
+            if let Some(p) = pts.iter().find(|p| p.speedup() < 1.0) {
+                writeln!(out, "syncSGD catches up at ≈ {:.1} Gbps.", p.x).expect("write");
+            } else {
+                out.push_str("Compression wins across the whole sweep.\n");
+            }
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown command '{other}' (try `gradcomp help`)"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&args("help")).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn models_lists_all_five() {
+        let out = run(&args("models")).unwrap();
+        for m in ["resnet-50", "resnet-101", "bert-base", "bert-large", "vgg-16"] {
+            assert!(out.contains(m), "missing {m} in {out}");
+        }
+    }
+
+    #[test]
+    fn predict_prints_breakdown() {
+        let out = run(&args(
+            "predict --model resnet50 --gpus 64 --batch 64 --method powersgd:4",
+        ))
+        .unwrap();
+        assert!(out.contains("backward"));
+        assert!(out.contains("PowerSGD (rank 4)"));
+    }
+
+    #[test]
+    fn compare_ranks_methods_and_shows_baseline_delta() {
+        let out = run(&args(
+            "compare --model bert-base --gpus 96 --batch 12 --methods syncsgd,powersgd:4,signsgd",
+        ))
+        .unwrap();
+        assert!(out.contains("1. "));
+        assert!(out.contains("vs syncSGD"));
+        // At 96 GPUs on BERT, PowerSGD should rank first.
+        let first_line = out.lines().nth(1).unwrap();
+        assert!(first_line.contains("PowerSGD"), "{out}");
+    }
+
+    #[test]
+    fn required_reports_ratio() {
+        let out = run(&args("required --model resnet101 --gpus 64 --batch 16")).unwrap();
+        assert!(out.contains("x compression"), "{out}");
+    }
+
+    #[test]
+    fn gap_reports_budget() {
+        let out = run(&args("gap --model bert-base --gpus 96 --batch 16")).unwrap();
+        assert!(out.contains("from perfect scaling"));
+    }
+
+    #[test]
+    fn sweep_reports_crossover_for_resnet50() {
+        let out = run(&args(
+            "sweep --model resnet50 --gpus 64 --batch 64 --method powersgd:4 --from 1 --to 30",
+        ))
+        .unwrap();
+        assert!(out.contains("catches up"), "{out}");
+    }
+
+    #[test]
+    fn trace_renders_timeline() {
+        let out = run(&args("trace --model resnet50 --gpus 16 --batch 64")).unwrap();
+        assert!(out.contains("compute |"));
+        assert!(out.contains("all-reduce"));
+        let out = run(&args("trace --method powersgd:4")).unwrap();
+        assert!(out.contains("encode/decode"));
+    }
+
+    #[test]
+    fn bad_inputs_are_clean_errors() {
+        assert!(run(&args("frobnicate")).is_err());
+        assert!(run(&args("predict --model nope")).is_err());
+        assert!(run(&args("predict --gpus 0")).is_err());
+        assert!(run(&args("predict --gpus")).is_err());
+        assert!(run(&args("predict notaflag 3")).is_err());
+        assert!(run(&args("predict --method bogus:1")).is_err());
+        assert!(run(&args("sweep --from 5 --to 1")).is_err());
+        assert!(run(&args("required --gpus 1")).is_err());
+    }
+
+    #[test]
+    fn variance_method_is_reachable_from_cli() {
+        let out = run(&args("predict --method variance:1.5")).unwrap();
+        assert!(out.contains("Variance-based"));
+    }
+}

@@ -1,0 +1,13 @@
+//! `gradcomp` binary entry point. All logic and tests live in the
+//! library's [`gcs_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gcs_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

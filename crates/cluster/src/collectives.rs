@@ -1,0 +1,368 @@
+//! Collective operations with real data movement.
+//!
+//! The ring all-reduce here is the textbook reduce-scatter + all-gather
+//! ring (what NCCL runs with `NCCL_TREE_THRESHOLD=0`, the configuration
+//! the paper forces for its model validation). All collectives move actual
+//! bytes through the channel mesh so that non-associative aggregations can
+//! only be expressed the way real systems express them: via all-gather.
+
+use crate::transport::WorkerHandle;
+use crate::{ClusterError, Result};
+
+/// Splits `len` elements into `p` contiguous chunks whose sizes differ by
+/// at most one. Returns the `(start, end)` of chunk `i`.
+fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = len / p;
+    let rem = len % p;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    (start, start + size)
+}
+
+fn f32s_to_bytes(xs: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 4);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(ClusterError::Mismatch(format!(
+            "frame of {} bytes is not a whole number of f32s",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+impl WorkerHandle {
+    /// Ring all-reduce (sum): after the call every rank's `buf` holds the
+    /// elementwise sum over all ranks.
+    ///
+    /// All ranks must call this with buffers of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Mismatch`] if peers send differently-sized
+    /// chunks and [`ClusterError::Disconnected`] if a peer hangs up.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) -> Result<()> {
+        let p = self.world();
+        if p == 1 {
+            return Ok(());
+        }
+        let rank = self.rank();
+        let len = buf.len();
+        let next = self.ring_next();
+        let prev = self.ring_prev();
+
+        // Phase 1: reduce-scatter. After step s, the chunk we just received
+        // accumulates one more contribution; after p-1 steps chunk
+        // (rank+1) % p holds the full sum.
+        for s in 0..p - 1 {
+            let send_idx = (rank + p - s) % p;
+            let recv_idx = (rank + 2 * p - s - 1) % p;
+            let (ss, se) = chunk_range(len, p, send_idx);
+            self.send(next, f32s_to_bytes(&buf[ss..se]))?;
+            let incoming = bytes_to_f32s(&self.recv(prev)?)?;
+            let (rs, re) = chunk_range(len, p, recv_idx);
+            if incoming.len() != re - rs {
+                return Err(ClusterError::Mismatch(format!(
+                    "reduce-scatter chunk size {} != expected {}",
+                    incoming.len(),
+                    re - rs
+                )));
+            }
+            for (x, y) in buf[rs..re].iter_mut().zip(&incoming) {
+                *x += y;
+            }
+        }
+
+        // Phase 2: all-gather of the reduced chunks.
+        for s in 0..p - 1 {
+            let send_idx = (rank + 1 + p - s) % p;
+            let recv_idx = (rank + p - s) % p;
+            let (ss, se) = chunk_range(len, p, send_idx);
+            self.send(next, f32s_to_bytes(&buf[ss..se]))?;
+            let incoming = bytes_to_f32s(&self.recv(prev)?)?;
+            let (rs, re) = chunk_range(len, p, recv_idx);
+            if incoming.len() != re - rs {
+                return Err(ClusterError::Mismatch(format!(
+                    "all-gather chunk size {} != expected {}",
+                    incoming.len(),
+                    re - rs
+                )));
+            }
+            buf[rs..re].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// Ring all-reduce followed by division by the world size: the mean.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkerHandle::all_reduce_sum`].
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) -> Result<()> {
+        self.all_reduce_sum(buf)?;
+        let inv = 1.0 / self.world() as f32;
+        for x in buf {
+            *x *= inv;
+        }
+        Ok(())
+    }
+
+    /// Ring all-gather: every rank contributes one byte blob and receives
+    /// everyone's, ordered by rank. This is the collective
+    /// non-all-reducible compressors are forced into; each worker receives
+    /// `(p−1)` foreign blobs, so traffic grows linearly in `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a peer hangs up.
+    pub fn all_gather_bytes(&self, own: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let p = self.world();
+        let rank = self.rank();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        out[rank] = own.to_vec();
+        if p == 1 {
+            return Ok(out);
+        }
+        let next = self.ring_next();
+        let prev = self.ring_prev();
+        let mut current = own.to_vec();
+        for s in 0..p - 1 {
+            self.send(next, current)?;
+            current = self.recv(prev)?;
+            let origin = (rank + 2 * p - s - 1) % p;
+            out[origin] = current.clone();
+        }
+        Ok(out)
+    }
+
+    /// Broadcast from `root`: returns the root's bytes on every rank.
+    /// Implemented as a binomial tree over ranks rotated so `root` is the
+    /// tree root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidArgument`] if `root` is out of range
+    /// or a non-root passes data.
+    pub fn broadcast(&self, root: usize, data: Option<&[u8]>) -> Result<Vec<u8>> {
+        let p = self.world();
+        if root >= p {
+            return Err(ClusterError::InvalidArgument(format!(
+                "broadcast root {root} out of range for world {p}"
+            )));
+        }
+        let is_root = self.rank() == root;
+        if is_root && data.is_none() {
+            return Err(ClusterError::InvalidArgument(
+                "broadcast root must supply data".into(),
+            ));
+        }
+        if !is_root && data.is_some() {
+            return Err(ClusterError::InvalidArgument(
+                "only the broadcast root supplies data".into(),
+            ));
+        }
+        // Virtual rank with root at 0.
+        let vrank = (self.rank() + p - root) % p;
+        let mut have: Option<Vec<u8>> = data.map(<[u8]>::to_vec);
+        // Binomial tree: in round k (mask = 2^k), ranks with vrank < mask
+        // send to vrank + mask.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank < mask {
+                let dst_v = vrank + mask;
+                if dst_v < p {
+                    let dst = (dst_v + root) % p;
+                    let payload = have.clone().expect("sender must hold data");
+                    self.send(dst, payload)?;
+                }
+            } else if vrank < 2 * mask && have.is_none() {
+                let src_v = vrank - mask;
+                let src = (src_v + root) % p;
+                have = Some(self.recv(src)?);
+            }
+            mask <<= 1;
+        }
+        Ok(have.expect("broadcast completed without data"))
+    }
+
+    /// Barrier: returns once every rank has entered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Disconnected`] if a peer hangs up.
+    pub fn barrier(&self) -> Result<()> {
+        let _ = self.all_gather_bytes(&[])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimCluster;
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for len in [0usize, 1, 7, 16, 100] {
+            for p in [1usize, 2, 3, 5, 16] {
+                let mut covered = 0;
+                for i in 0..p {
+                    let (s, e) = chunk_range(len, p, i);
+                    assert_eq!(s, covered, "len={len} p={p} i={i}");
+                    covered = e;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let outs = SimCluster::run(p, |w| {
+                let mut buf: Vec<f32> =
+                    (0..10).map(|i| (w.rank() * 10 + i) as f32).collect();
+                w.all_reduce_sum(&mut buf).unwrap();
+                buf
+            });
+            for out in &outs {
+                for (i, &x) in out.iter().enumerate() {
+                    let expected: f32 = (0..p).map(|r| (r * 10 + i) as f32).sum();
+                    assert_eq!(x, expected, "p={p} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_handles_buffers_smaller_than_world() {
+        // 3 elements across 8 workers: most chunks are empty.
+        let outs = SimCluster::run(8, |w| {
+            let mut buf = vec![1.0f32; 3];
+            w.all_reduce_sum(&mut buf).unwrap();
+            buf
+        });
+        for out in outs {
+            assert_eq!(out, vec![8.0, 8.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_divides() {
+        let outs = SimCluster::run(4, |w| {
+            let mut buf = vec![w.rank() as f32];
+            w.all_reduce_mean(&mut buf).unwrap();
+            buf[0]
+        });
+        assert_eq!(outs, vec![1.5; 4]);
+    }
+
+    #[test]
+    fn all_gather_returns_rank_ordered_blobs() {
+        let outs = SimCluster::run(5, |w| {
+            w.all_gather_bytes(&[w.rank() as u8; 3]).unwrap()
+        });
+        for out in outs {
+            for (r, blob) in out.iter().enumerate() {
+                assert_eq!(blob, &vec![r as u8; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_traffic_grows_linearly() {
+        // Each worker forwards p-1 blobs of size b.
+        let p = 6;
+        let b = 1000;
+        let cluster = SimCluster::new(p);
+        let traffic = cluster.traffic().to_vec();
+        let handles = cluster.into_handles();
+        crossbeam::thread::scope(|s| {
+            for h in handles {
+                s.spawn(move |_| h.all_gather_bytes(&vec![0u8; b]).unwrap());
+            }
+        })
+        .unwrap();
+        for t in traffic {
+            assert_eq!(t.bytes_sent(), ((p - 1) * b) as u64);
+        }
+    }
+
+    #[test]
+    fn all_reduce_traffic_is_scale_free_per_worker() {
+        // Ring all-reduce sends ~2*n*(p-1)/p elements per worker regardless
+        // of p.
+        let n = 1200usize;
+        let mut per_p = Vec::new();
+        for p in [3usize, 6, 12] {
+            let cluster = SimCluster::new(p);
+            let traffic = cluster.traffic().to_vec();
+            let handles = cluster.into_handles();
+            crossbeam::thread::scope(|s| {
+                for h in handles {
+                    s.spawn(move |_| {
+                        let mut buf = vec![1.0f32; n];
+                        h.all_reduce_sum(&mut buf).unwrap();
+                    });
+                }
+            })
+            .unwrap();
+            per_p.push(traffic[0].bytes_sent());
+        }
+        let max = *per_p.iter().max().unwrap() as f64;
+        let min = *per_p.iter().min().unwrap() as f64;
+        assert!(max / min < 1.4, "per-worker ring traffic should be ~flat: {per_p:?}");
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..5 {
+            let outs = SimCluster::run(5, move |w| {
+                let data = if w.rank() == root {
+                    Some(vec![7u8, root as u8])
+                } else {
+                    None
+                };
+                w.broadcast(root, data.as_deref()).unwrap()
+            });
+            for out in outs {
+                assert_eq!(out, vec![7u8, root as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_argument_validation() {
+        let outs = SimCluster::run(2, |w| {
+            if w.rank() == 0 {
+                // Root without data is an error.
+                w.broadcast(0, None).is_err()
+            } else {
+                // Non-root with data is an error.
+                w.broadcast(0, Some(&[1])).is_err()
+            }
+        });
+        assert_eq!(outs, vec![true, true]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let outs = SimCluster::run(4, |w| w.barrier().is_ok());
+        assert_eq!(outs, vec![true; 4]);
+    }
+
+    #[test]
+    fn non_f32_frame_is_rejected() {
+        assert!(bytes_to_f32s(&[1, 2, 3]).is_err());
+        assert_eq!(bytes_to_f32s(&1.0f32.to_le_bytes()).unwrap(), vec![1.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for cluster operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the in-process cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A peer hung up (its thread panicked or exited early).
+    Disconnected {
+        /// Rank whose channel closed.
+        peer: usize,
+    },
+    /// A collective was invoked with inconsistent arguments across ranks
+    /// (e.g. different buffer lengths).
+    Mismatch(String),
+    /// An argument was invalid (e.g. zero workers, root out of range).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Disconnected { peer } => {
+                write!(f, "peer {peer} disconnected during a collective")
+            }
+            ClusterError::Mismatch(msg) => write!(f, "collective argument mismatch: {msg}"),
+            ClusterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ClusterError::Disconnected { peer: 3 }.to_string().is_empty());
+        assert!(!ClusterError::Mismatch("x".into()).to_string().is_empty());
+        assert!(!ClusterError::InvalidArgument("y".into())
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! DoubleSqueeze (Tang et al., 2019 — citation \[59\]): error-compensated
+//! compression in *both* directions of a parameter-server exchange.
+//!
+//! Workers compress their gradients (with worker-side error feedback); the
+//! server decompresses, averages, then compresses the *aggregate* (with
+//! server-side error feedback) before broadcasting it back. This is the
+//! protocol that makes compression viable on parameter-server topologies,
+//! where the downlink is as scarce as the uplink.
+//!
+//! Implemented as a centralized reference driver over any pair of
+//! [`Compressor`]s (worker side and server side), mirroring
+//! [`crate::driver::all_reduce_compressed`].
+
+use crate::{Compressor, Payload, Result};
+use gcs_tensor::Tensor;
+
+/// Runs one DoubleSqueeze round for `layer`: worker gradients are
+/// compressed by `workers[i]`, averaged via the worker compressor's
+/// aggregation semantics, then the mean is re-compressed by `server`
+/// before every worker decodes it. Returns each worker's decoded view.
+///
+/// Error feedback on both sides lives inside the compressors (enable it
+/// when constructing them, e.g. [`crate::topk::TopK::error_feedback`]).
+///
+/// # Errors
+///
+/// Propagates protocol and tensor errors from either compressor.
+///
+/// # Panics
+///
+/// Panics if `workers` and `grads` lengths differ or are empty, or if a
+/// multi-round compressor (PowerSGD) is used — DoubleSqueeze is defined
+/// for single-round quantizers/sparsifiers.
+pub fn double_squeeze_round<W: Compressor, S: Compressor>(
+    workers: &mut [W],
+    server: &mut S,
+    layer: usize,
+    grads: &[Tensor],
+) -> Result<Vec<Tensor>> {
+    assert_eq!(workers.len(), grads.len(), "one gradient per worker");
+    assert!(!workers.is_empty(), "at least one worker required");
+    assert_eq!(
+        workers[0].properties().rounds,
+        1,
+        "DoubleSqueeze needs a single-round worker compressor"
+    );
+    assert_eq!(
+        server.properties().rounds,
+        1,
+        "DoubleSqueeze needs a single-round server compressor"
+    );
+    let shape = grads[0].shape().clone();
+
+    // Uplink: workers compress, the server aggregates their payloads.
+    let mut payloads: Vec<Payload> = Vec::with_capacity(workers.len());
+    for (w, g) in workers.iter_mut().zip(grads) {
+        payloads.push(w.encode(layer, g)?);
+    }
+    let agg = workers[0].aggregate(0, &payloads)?;
+    // Decode the aggregate on the server: run it through worker 0's
+    // absorb/finish on a scratch layer id so worker state is untouched.
+    // Simplest faithful route: a fresh decode via the server-side of the
+    // worker compressor type is not available generically, so we require
+    // the aggregated payload to decode through absorb/finish of a
+    // dedicated scratch instance owned by the caller — here we reuse
+    // worker 0 with a reserved layer key.
+    let scratch_layer = usize::MAX - layer;
+    workers[0].absorb(scratch_layer, 0, agg)?;
+    let mean = workers[0].finish(scratch_layer, &shape)?;
+
+    // Downlink: the server compresses the mean (its own error feedback
+    // accumulates what the downlink compression drops).
+    let down = server.encode(layer, &mean)?;
+    let down_agg = server.aggregate(0, std::slice::from_ref(&down))?;
+
+    // Every worker decodes the downlink payload.
+    let mut outs = Vec::with_capacity(workers.len());
+    for w in workers.iter_mut() {
+        w.absorb(layer, 0, down_agg.clone())?;
+        outs.push(w.finish(layer, &shape)?);
+    }
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::TopK;
+    use gcs_tensor::stats::cosine_similarity;
+
+    #[test]
+    fn double_squeeze_converges_with_bidirectional_error_feedback() {
+        // Fixed per-worker gradients; the running average of applied
+        // updates must converge to the true mean even though BOTH links
+        // drop 75 % of coordinates each round.
+        let grads: Vec<Tensor> = (0..3).map(|s| Tensor::randn([40], 60 + s)).collect();
+        let mut mean = Tensor::zeros([40]);
+        for g in &grads {
+            mean.add_assign(g).unwrap();
+        }
+        mean.scale(1.0 / 3.0);
+
+        let mut workers: Vec<TopK> = (0..3)
+            .map(|_| TopK::new(0.25).unwrap().error_feedback(true))
+            .collect();
+        let mut server = TopK::new(0.25).unwrap().error_feedback(true);
+        let mut applied = Tensor::zeros([40]);
+        let steps = 80;
+        for _ in 0..steps {
+            let outs = double_squeeze_round(&mut workers, &mut server, 0, &grads).unwrap();
+            applied.add_assign(&outs[0]).unwrap();
+        }
+        applied.scale(1.0 / steps as f32);
+        let cos = cosine_similarity(&mean, &applied);
+        assert!(cos > 0.93, "cosine {cos}");
+    }
+
+    #[test]
+    fn without_error_feedback_the_downlink_bias_persists() {
+        // Same setup, EF off everywhere: the applied mean keeps missing
+        // the dropped coordinates, so it tracks the true mean worse than
+        // the EF variant.
+        let grads: Vec<Tensor> = (0..3).map(|s| Tensor::randn([40], 60 + s)).collect();
+        let mut mean = Tensor::zeros([40]);
+        for g in &grads {
+            mean.add_assign(g).unwrap();
+        }
+        mean.scale(1.0 / 3.0);
+        let run = |ef: bool| {
+            let mut workers: Vec<TopK> = (0..3)
+                .map(|_| TopK::new(0.25).unwrap().error_feedback(ef))
+                .collect();
+            let mut server = TopK::new(0.25).unwrap().error_feedback(ef);
+            let mut applied = Tensor::zeros([40]);
+            for _ in 0..80 {
+                let outs =
+                    double_squeeze_round(&mut workers, &mut server, 0, &grads).unwrap();
+                applied.add_assign(&outs[0]).unwrap();
+            }
+            applied.scale(1.0 / 80.0);
+            cosine_similarity(&mean, &applied)
+        };
+        assert!(run(true) > run(false), "EF must strictly help");
+    }
+
+    #[test]
+    fn workers_receive_identical_downlink() {
+        let grads: Vec<Tensor> = (0..4).map(|s| Tensor::randn([16], s)).collect();
+        let mut workers: Vec<TopK> = (0..4)
+            .map(|_| TopK::new(0.5).unwrap().error_feedback(true))
+            .collect();
+        let mut server = TopK::new(0.5).unwrap().error_feedback(true);
+        let outs = double_squeeze_round(&mut workers, &mut server, 0, &grads).unwrap();
+        for w in 1..4 {
+            assert_eq!(outs[0], outs[w]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-round worker compressor")]
+    fn rejects_multi_round_compressors() {
+        let grads = vec![Tensor::zeros([4])];
+        let mut workers = vec![crate::powersgd::PowerSgd::new(2).unwrap()];
+        let mut server = TopK::new(0.5).unwrap();
+        let _ = double_squeeze_round(&mut workers, &mut server, 0, &grads);
+    }
+}

@@ -1,0 +1,110 @@
+//! Centralized reference driver for the compression protocol.
+//!
+//! Runs the full multi-round exchange across a set of in-process workers
+//! with zero concurrency — the executable specification that the real
+//! threaded engine in `gcs-ddp` is validated against.
+
+use crate::{Compressor, Result};
+use gcs_tensor::Tensor;
+
+/// Runs one full compression round-trip for `layer` across `workers`, where
+/// worker `i` contributes `grads[i]`. Returns each worker's decoded view of
+/// the aggregated gradient (identical for every worker for deterministic
+/// schemes).
+///
+/// # Errors
+///
+/// Propagates any protocol or tensor error from the compressors.
+///
+/// # Panics
+///
+/// Panics if `workers` and `grads` have different lengths or are empty.
+pub fn all_reduce_compressed<C: Compressor>(
+    workers: &mut [C],
+    layer: usize,
+    grads: &[Tensor],
+) -> Result<Vec<Tensor>> {
+    assert_eq!(
+        workers.len(),
+        grads.len(),
+        "one gradient per worker required"
+    );
+    assert!(!workers.is_empty(), "at least one worker required");
+    let rounds = workers[0].properties().rounds;
+    let shape = grads[0].shape().clone();
+
+    for round in 0..rounds {
+        let mut payloads = Vec::with_capacity(workers.len());
+        for (w, g) in workers.iter_mut().zip(grads) {
+            let p = if round == 0 {
+                w.encode(layer, g)?
+            } else {
+                w.encode_round(layer, round)?
+            };
+            payloads.push(p);
+        }
+        let agg = workers[0].aggregate(round, &payloads)?;
+        for w in workers.iter_mut() {
+            w.absorb(layer, round, agg.clone())?;
+        }
+    }
+    workers
+        .iter_mut()
+        .map(|w| w.finish(layer, &shape))
+        .collect()
+}
+
+/// Convenience wrapper for single-worker (local) compression: encodes,
+/// "aggregates" the single payload and decodes. Useful for measuring pure
+/// encode/decode cost and for round-trip accuracy tests.
+///
+/// # Errors
+///
+/// Propagates any protocol or tensor error from the compressor.
+pub fn round_trip<C: Compressor>(worker: &mut C, layer: usize, grad: &Tensor) -> Result<Tensor> {
+    let rounds = worker.properties().rounds;
+    for round in 0..rounds {
+        let p = if round == 0 {
+            worker.encode(layer, grad)?
+        } else {
+            worker.encode_round(layer, round)?
+        };
+        let agg = worker.aggregate(round, std::slice::from_ref(&p))?;
+        worker.absorb(layer, round, agg)?;
+    }
+    worker.finish(layer, grad.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::none::NoCompression;
+
+    #[test]
+    fn no_compression_all_reduce_is_exact_mean() {
+        let grads = vec![
+            Tensor::from_vec(vec![1.0, 2.0]),
+            Tensor::from_vec(vec![3.0, 6.0]),
+        ];
+        let mut workers = vec![NoCompression::new(), NoCompression::new()];
+        let out = all_reduce_compressed(&mut workers, 0, &grads).unwrap();
+        assert_eq!(out[0].data(), &[2.0, 4.0]);
+        assert_eq!(out[1].data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn round_trip_identity_for_no_compression() {
+        let g = Tensor::randn([64], 3);
+        let mut c = NoCompression::new();
+        let out = round_trip(&mut c, 0, &g).unwrap();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per worker")]
+    fn mismatched_worker_count_panics() {
+        let grads = vec![Tensor::zeros([2])];
+        let mut workers = vec![NoCompression::new(), NoCompression::new()];
+        let _ = all_reduce_compressed(&mut workers, 0, &grads);
+    }
+}

@@ -1,0 +1,162 @@
+//! The uncompressed baseline (synchronous SGD).
+
+use crate::{CompressError, Compressor, Payload, Properties, Result};
+use gcs_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// No compression: gradients travel as raw `f32` and aggregate by exact
+/// mean. This is the "syncSGD" baseline every experiment in the paper
+/// compares against.
+///
+/// # Example
+///
+/// ```
+/// use gcs_compress::{driver::round_trip, none::NoCompression};
+/// use gcs_tensor::Tensor;
+///
+/// # fn main() -> Result<(), gcs_compress::CompressError> {
+/// let g = Tensor::from_vec(vec![1.0, -2.0]);
+/// let mut c = NoCompression::new();
+/// assert_eq!(round_trip(&mut c, 0, &g)?, g);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NoCompression {
+    pending: HashMap<usize, Vec<f32>>,
+}
+
+impl NoCompression {
+    /// Creates the baseline compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Compressor for NoCompression {
+    fn properties(&self) -> Properties {
+        Properties {
+            name: "syncSGD".to_owned(),
+            all_reducible: true,
+            layerwise: true,
+            rounds: 1,
+        }
+    }
+
+    fn compressed_bytes(&self, shape: &Shape) -> usize {
+        shape.numel() * 4
+    }
+
+    fn encode(&mut self, _layer: usize, grad: &Tensor) -> Result<Payload> {
+        Ok(Payload::Dense(grad.data().to_vec()))
+    }
+
+    fn aggregate(&self, _round: usize, payloads: &[Payload]) -> Result<Payload> {
+        let mut iter = payloads.iter();
+        let first = iter.next().ok_or(CompressError::EmptyAggregate)?;
+        let mut acc = first.clone();
+        for p in iter {
+            acc.add_assign(p)?;
+        }
+        acc.scale(1.0 / payloads.len() as f32)?;
+        Ok(acc)
+    }
+
+    fn absorb(&mut self, layer: usize, round: usize, agg: Payload) -> Result<()> {
+        if round != 0 {
+            return Err(CompressError::Protocol(format!(
+                "syncSGD has a single round, got {round}"
+            )));
+        }
+        match agg {
+            Payload::Dense(v) => {
+                self.pending.insert(layer, v);
+                Ok(())
+            }
+            other => Err(CompressError::PayloadKind {
+                expected: "Dense",
+                actual: other.kind_name(),
+            }),
+        }
+    }
+
+    fn finish(&mut self, layer: usize, shape: &Shape) -> Result<Tensor> {
+        let v = self.pending.remove(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("finish before absorb for layer {layer}"))
+        })?;
+        Tensor::from_shape_vec(shape.clone(), v).map_err(Into::into)
+    }
+
+    fn reset(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_match_table1() {
+        let p = NoCompression::new().properties();
+        assert!(p.all_reducible);
+        assert!(p.layerwise);
+        assert_eq!(p.rounds, 1);
+    }
+
+    #[test]
+    fn compressed_bytes_is_4n() {
+        let c = NoCompression::new();
+        assert_eq!(c.compressed_bytes(&Shape::new(vec![100])), 400);
+    }
+
+    #[test]
+    fn aggregate_is_mean() {
+        let c = NoCompression::new();
+        let agg = c
+            .aggregate(
+                0,
+                &[
+                    Payload::Dense(vec![1.0, 2.0]),
+                    Payload::Dense(vec![3.0, 4.0]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(agg, Payload::Dense(vec![2.0, 3.0]));
+    }
+
+    #[test]
+    fn aggregate_empty_fails() {
+        let c = NoCompression::new();
+        assert!(matches!(
+            c.aggregate(0, &[]),
+            Err(CompressError::EmptyAggregate)
+        ));
+    }
+
+    #[test]
+    fn protocol_errors() {
+        let mut c = NoCompression::new();
+        assert!(c.absorb(0, 1, Payload::Dense(vec![])).is_err());
+        assert!(c
+            .absorb(
+                0,
+                0,
+                Payload::Signs {
+                    words: vec![],
+                    len: 0,
+                    scale: 1.0
+                }
+            )
+            .is_err());
+        assert!(c.finish(0, &Shape::new(vec![1])).is_err());
+    }
+
+    #[test]
+    fn reset_clears_pending() {
+        let mut c = NoCompression::new();
+        c.absorb(3, 0, Payload::Dense(vec![1.0])).unwrap();
+        c.reset();
+        assert!(c.finish(3, &Shape::new(vec![1])).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! 1-bit SGD (Seide et al., 2014) — the earliest scheme the paper cites.
+//!
+//! Each element is bucketed by sign; the positive bucket is reconstructed
+//! by the mean of its members and likewise the negative bucket. Error
+//! feedback is integral to the original algorithm and always on here.
+//! Reconstruction values differ per worker, so aggregation needs
+//! all-gather.
+
+use crate::{CompressError, Compressor, Payload, Properties, Result};
+use gcs_tensor::bits::SignBits;
+use gcs_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// 1-bit SGD compressor (error feedback built in, as in the original).
+#[derive(Debug, Default)]
+pub struct OneBitSgd {
+    residual: HashMap<usize, Tensor>,
+    pending: HashMap<usize, Vec<f32>>,
+}
+
+impl OneBitSgd {
+    /// Creates a 1-bit SGD compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_means(v: &[f32]) -> (f32, f32) {
+        let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+        for &x in v {
+            if x >= 0.0 {
+                pos_sum += x as f64;
+                pos_n += 1;
+            } else {
+                neg_sum += x as f64;
+                neg_n += 1;
+            }
+        }
+        let pos = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
+        let neg = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        (neg, pos)
+    }
+}
+
+impl Compressor for OneBitSgd {
+    fn properties(&self) -> Properties {
+        Properties {
+            name: "1-bit SGD".to_owned(),
+            all_reducible: false,
+            layerwise: true,
+            rounds: 1,
+        }
+    }
+
+    fn compressed_bytes(&self, shape: &Shape) -> usize {
+        shape.numel().div_ceil(32) * 4 + 8
+    }
+
+    fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+        let v = match self.residual.get(&layer) {
+            Some(e) => grad.add(e)?,
+            None => grad.clone(),
+        };
+        let bits = SignBits::pack(v.data());
+        let (neg, pos) = Self::bucket_means(v.data());
+        // Residual: v minus own reconstruction.
+        let recon: Vec<f32> = (0..v.numel())
+            .map(|i| if bits.get(i) { pos } else { neg })
+            .collect();
+        let mut res = v.clone();
+        for (r, c) in res.data_mut().iter_mut().zip(&recon) {
+            *r -= c;
+        }
+        self.residual.insert(layer, res);
+        Ok(Payload::TwoScale {
+            len: bits.len(),
+            words: bits.words().to_vec(),
+            neg,
+            pos,
+        })
+    }
+
+    fn aggregate(&self, _round: usize, payloads: &[Payload]) -> Result<Payload> {
+        if payloads.is_empty() {
+            return Err(CompressError::EmptyAggregate);
+        }
+        let mut acc: Option<Vec<f32>> = None;
+        for p in payloads {
+            match p {
+                Payload::TwoScale {
+                    words,
+                    len,
+                    neg,
+                    pos,
+                } => {
+                    let bits = SignBits::from_words(words.clone(), *len);
+                    let a = acc.get_or_insert_with(|| vec![0.0; *len]);
+                    if a.len() != *len {
+                        return Err(CompressError::Protocol(
+                            "two-scale payloads disagree on length".into(),
+                        ));
+                    }
+                    for (i, x) in a.iter_mut().enumerate() {
+                        *x += if bits.get(i) { *pos } else { *neg };
+                    }
+                }
+                other => {
+                    return Err(CompressError::PayloadKind {
+                        expected: "TwoScale",
+                        actual: other.kind_name(),
+                    });
+                }
+            }
+        }
+        let mut a = acc.expect("non-empty");
+        let inv = 1.0 / payloads.len() as f32;
+        for x in &mut a {
+            *x *= inv;
+        }
+        Ok(Payload::Dense(a))
+    }
+
+    fn absorb(&mut self, layer: usize, round: usize, agg: Payload) -> Result<()> {
+        if round != 0 {
+            return Err(CompressError::Protocol(format!(
+                "1-bit SGD has a single round, got {round}"
+            )));
+        }
+        match agg {
+            Payload::Dense(v) => {
+                self.pending.insert(layer, v);
+                Ok(())
+            }
+            other => Err(CompressError::PayloadKind {
+                expected: "Dense",
+                actual: other.kind_name(),
+            }),
+        }
+    }
+
+    fn finish(&mut self, layer: usize, shape: &Shape) -> Result<Tensor> {
+        let v = self.pending.remove(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("finish before absorb for layer {layer}"))
+        })?;
+        Tensor::from_shape_vec(shape.clone(), v).map_err(Into::into)
+    }
+
+    fn reset(&mut self) {
+        self.residual.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::round_trip;
+
+    #[test]
+    fn reconstruction_preserves_bucket_means() {
+        let g = Tensor::from_vec(vec![1.0, 3.0, -2.0, -4.0]);
+        let mut c = OneBitSgd::new();
+        let out = round_trip(&mut c, 0, &g).unwrap();
+        assert_eq!(out.data(), &[2.0, 2.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn all_positive_gradient() {
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let mut c = OneBitSgd::new();
+        let out = round_trip(&mut c, 0, &g).unwrap();
+        assert_eq!(out.data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn error_feedback_reconstructs_mean_over_time() {
+        let g = Tensor::randn([64], 41);
+        let mut c = OneBitSgd::new();
+        let mut applied = Tensor::zeros([64]);
+        let steps = 50;
+        for _ in 0..steps {
+            let out = round_trip(&mut c, 0, &g).unwrap();
+            applied.add_assign(&out).unwrap();
+        }
+        applied.scale(1.0 / steps as f32);
+        let cos = gcs_tensor::stats::cosine_similarity(&g, &applied);
+        assert!(cos > 0.9, "cosine {cos}");
+    }
+
+    #[test]
+    fn about_32x_compression() {
+        let c = OneBitSgd::new();
+        let n = 32 * 256;
+        let ratio = (n * 4) as f64 / c.compressed_bytes(&Shape::new(vec![n])) as f64;
+        assert!(ratio > 31.0);
+    }
+}

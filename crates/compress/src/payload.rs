@@ -1,0 +1,782 @@
+//! Compressed gradient payloads and their wire format.
+//!
+//! Payloads are what workers actually exchange. [`Payload::wire_bytes`] is
+//! the size the network simulator charges for, and [`Payload::to_bytes`] /
+//! [`Payload::from_bytes`] give a concrete little-endian serialization used
+//! by the in-process cluster transport.
+
+use crate::{CompressError, Result};
+
+/// Which low-rank factor a [`Payload::Factor`] carries (PowerSGD sends `P`
+/// then `Q`, paying the all-reduce latency twice — see §4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Factor {
+    /// The `m x r` left factor.
+    P,
+    /// The `n x r` right factor.
+    Q,
+}
+
+/// A compressed gradient in one of the representations used by the schemes
+/// in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Uncompressed `f32` values (syncSGD, and dense intermediates).
+    Dense(Vec<f32>),
+    /// IEEE binary16 bit patterns (FP16 baseline).
+    Half(Vec<u16>),
+    /// Sparse coordinates: indices + values of a length-`len` vector.
+    Sparse {
+        /// Length of the underlying dense vector.
+        len: usize,
+        /// Flat coordinate indices.
+        indices: Vec<u32>,
+        /// Values at those coordinates.
+        values: Vec<f32>,
+    },
+    /// Values-only sparse payload where the coordinate set is implied by a
+    /// seed all workers share (Random-K) — this is what makes the method
+    /// all-reducible at `k * 4` bytes.
+    SharedSparse {
+        /// Length of the underlying dense vector.
+        len: usize,
+        /// Seed identifying the shared coordinate set.
+        seed: u64,
+        /// Values at the shared coordinates.
+        values: Vec<f32>,
+    },
+    /// One sign bit per element plus a scale (SignSGD).
+    Signs {
+        /// Packed sign words (LSB-first), 1 = non-negative.
+        words: Vec<u32>,
+        /// Number of packed elements.
+        len: usize,
+        /// Magnitude each sign is decoded to.
+        scale: f32,
+    },
+    /// One low-rank factor (`rows x cols` row-major, `cols` = rank).
+    Factor {
+        /// Which factor this is.
+        which: Factor,
+        /// Rows of this factor.
+        rows: usize,
+        /// Columns of this factor (the compression rank).
+        cols: usize,
+        /// Row-major factor data.
+        data: Vec<f32>,
+    },
+    /// Signed integer levels with a scale (QSGD): element ≈ `scale * level`.
+    Quantized {
+        /// Per-tensor scale.
+        scale: f32,
+        /// Quantization levels (`-s..=s`).
+        levels: Vec<i8>,
+    },
+    /// 2-bit packed ternary values in `{-1, 0, +1}` times a scale (TernGrad).
+    Ternary {
+        /// Number of encoded elements.
+        len: usize,
+        /// Per-tensor scale (max |g|).
+        scale: f32,
+        /// 2 bits per element, 4 elements per byte: `00`=0, `01`=+1, `10`=−1.
+        packed: Vec<u8>,
+    },
+    /// A truncated SVD triplet `U · diag(S) · Vᵀ` (ATOMO). Not summable —
+    /// singular bases differ per worker, so aggregation needs all-gather.
+    Svd {
+        /// Rows of the matricized gradient.
+        rows: usize,
+        /// Columns of the matricized gradient.
+        cols: usize,
+        /// Retained rank.
+        rank: usize,
+        /// `rows x rank` left singular vectors, row-major.
+        u: Vec<f32>,
+        /// `rank` singular values.
+        s: Vec<f32>,
+        /// `cols x rank` right singular vectors, row-major.
+        v: Vec<f32>,
+    },
+    /// One bit per element with separate negative/positive reconstruction
+    /// values (1-bit SGD).
+    TwoScale {
+        /// Packed sign words, 1 = positive bucket.
+        words: Vec<u32>,
+        /// Number of packed elements.
+        len: usize,
+        /// Reconstruction value for the 0 bucket (≤ 0 in practice).
+        neg: f32,
+        /// Reconstruction value for the 1 bucket.
+        pos: f32,
+    },
+}
+
+/// Wire-format tags (first byte of a serialized payload).
+const TAG_DENSE: u8 = 1;
+const TAG_HALF: u8 = 2;
+const TAG_SPARSE: u8 = 3;
+const TAG_SHARED_SPARSE: u8 = 4;
+const TAG_SIGNS: u8 = 5;
+const TAG_FACTOR_P: u8 = 6;
+const TAG_FACTOR_Q: u8 = 7;
+const TAG_QUANTIZED: u8 = 8;
+const TAG_TERNARY: u8 = 9;
+const TAG_TWO_SCALE: u8 = 10;
+const TAG_SVD: u8 = 11;
+
+impl Payload {
+    /// The variant name, for diagnostics and
+    /// [`CompressError::PayloadKind`].
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::Dense(_) => "Dense",
+            Payload::Half(_) => "Half",
+            Payload::Sparse { .. } => "Sparse",
+            Payload::SharedSparse { .. } => "SharedSparse",
+            Payload::Signs { .. } => "Signs",
+            Payload::Factor { .. } => "Factor",
+            Payload::Quantized { .. } => "Quantized",
+            Payload::Ternary { .. } => "Ternary",
+            Payload::Svd { .. } => "Svd",
+            Payload::TwoScale { .. } => "TwoScale",
+        }
+    }
+
+    /// Bytes this payload occupies on the wire (payload data + scalar
+    /// metadata; framing excluded). This is what the network cost model
+    /// charges.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Payload::Dense(v) => v.len() * 4,
+            Payload::Half(v) => v.len() * 2,
+            Payload::Sparse {
+                indices, values, ..
+            } => indices.len() * 4 + values.len() * 4,
+            Payload::SharedSparse { values, .. } => values.len() * 4 + 8,
+            Payload::Signs { words, .. } => words.len() * 4 + 4,
+            Payload::Factor { data, .. } => data.len() * 4,
+            Payload::Quantized { levels, .. } => levels.len() + 4,
+            Payload::Ternary { packed, .. } => packed.len() + 4,
+            Payload::Svd { u, s, v, .. } => (u.len() + s.len() + v.len()) * 4,
+            Payload::TwoScale { words, .. } => words.len() * 4 + 8,
+        }
+    }
+
+    /// Whether this payload supports elementwise [`Payload::add_assign`]
+    /// (i.e. can travel through a sum-based all-reduce).
+    pub fn is_summable(&self) -> bool {
+        matches!(
+            self,
+            Payload::Dense(_)
+                | Payload::Half(_)
+                | Payload::Factor { .. }
+                | Payload::SharedSparse { .. }
+        )
+    }
+
+    /// Elementwise accumulation for summable payloads — the reduction the
+    /// ring all-reduce applies. `Half` payloads are summed in `f32` and
+    /// re-rounded, matching NCCL's fp16 all-reduce behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::PayloadKind`] if the variants differ or are
+    /// not summable, and [`CompressError::Protocol`] on length / coordinate
+    /// mismatches.
+    pub fn add_assign(&mut self, other: &Payload) -> Result<()> {
+        match (self, other) {
+            (Payload::Dense(a), Payload::Dense(b)) => {
+                check_len(a.len(), b.len())?;
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                Ok(())
+            }
+            (Payload::Half(a), Payload::Half(b)) => {
+                check_len(a.len(), b.len())?;
+                for (x, y) in a.iter_mut().zip(b) {
+                    let sum = gcs_tensor::f16::f16_bits_to_f32(*x)
+                        + gcs_tensor::f16::f16_bits_to_f32(*y);
+                    *x = gcs_tensor::f16::f32_to_f16_bits(sum);
+                }
+                Ok(())
+            }
+            (
+                Payload::Factor {
+                    which: wa,
+                    rows: ra,
+                    cols: ca,
+                    data: a,
+                },
+                Payload::Factor {
+                    which: wb,
+                    rows: rb,
+                    cols: cb,
+                    data: b,
+                },
+            ) => {
+                if wa != wb || ra != rb || ca != cb {
+                    return Err(CompressError::Protocol(
+                        "factor payload shape mismatch".into(),
+                    ));
+                }
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                Ok(())
+            }
+            (
+                Payload::SharedSparse {
+                    seed: sa,
+                    values: a,
+                    len: la,
+                },
+                Payload::SharedSparse {
+                    seed: sb,
+                    values: b,
+                    len: lb,
+                },
+            ) => {
+                if sa != sb || la != lb {
+                    return Err(CompressError::Protocol(
+                        "shared-sparse payloads disagree on seed or length".into(),
+                    ));
+                }
+                check_len(a.len(), b.len())?;
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                Ok(())
+            }
+            (me, other) => Err(CompressError::PayloadKind {
+                expected: "matching summable payloads",
+                actual: if me.kind_name() == other.kind_name() {
+                    me.kind_name()
+                } else {
+                    "mixed variants"
+                },
+            }),
+        }
+    }
+
+    /// Scales a summable payload in place (used to turn sums into means).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::PayloadKind`] for non-summable variants.
+    pub fn scale(&mut self, s: f32) -> Result<()> {
+        match self {
+            Payload::Dense(v) => {
+                for x in v {
+                    *x *= s;
+                }
+                Ok(())
+            }
+            Payload::Half(v) => {
+                for x in v {
+                    let scaled = gcs_tensor::f16::f16_bits_to_f32(*x) * s;
+                    *x = gcs_tensor::f16::f32_to_f16_bits(scaled);
+                }
+                Ok(())
+            }
+            Payload::Factor { data, .. } => {
+                for x in data {
+                    *x *= s;
+                }
+                Ok(())
+            }
+            Payload::SharedSparse { values, .. } => {
+                for x in values {
+                    *x *= s;
+                }
+                Ok(())
+            }
+            other => Err(CompressError::PayloadKind {
+                expected: "summable payload",
+                actual: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Serializes to a self-describing little-endian byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes() + 32);
+        match self {
+            Payload::Dense(v) => {
+                out.push(TAG_DENSE);
+                push_u64(&mut out, v.len() as u64);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Payload::Half(v) => {
+                out.push(TAG_HALF);
+                push_u64(&mut out, v.len() as u64);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Payload::Sparse {
+                len,
+                indices,
+                values,
+            } => {
+                out.push(TAG_SPARSE);
+                push_u64(&mut out, *len as u64);
+                push_u64(&mut out, indices.len() as u64);
+                for i in indices {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Payload::SharedSparse { len, seed, values } => {
+                out.push(TAG_SHARED_SPARSE);
+                push_u64(&mut out, *len as u64);
+                push_u64(&mut out, *seed);
+                push_u64(&mut out, values.len() as u64);
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Payload::Signs { words, len, scale } => {
+                out.push(TAG_SIGNS);
+                push_u64(&mut out, *len as u64);
+                out.extend_from_slice(&scale.to_le_bytes());
+                for w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Payload::Factor {
+                which,
+                rows,
+                cols,
+                data,
+            } => {
+                out.push(match which {
+                    Factor::P => TAG_FACTOR_P,
+                    Factor::Q => TAG_FACTOR_Q,
+                });
+                push_u64(&mut out, *rows as u64);
+                push_u64(&mut out, *cols as u64);
+                for x in data {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Payload::Quantized { scale, levels } => {
+                out.push(TAG_QUANTIZED);
+                push_u64(&mut out, levels.len() as u64);
+                out.extend_from_slice(&scale.to_le_bytes());
+                out.extend(levels.iter().map(|&l| l as u8));
+            }
+            Payload::Ternary { len, scale, packed } => {
+                out.push(TAG_TERNARY);
+                push_u64(&mut out, *len as u64);
+                out.extend_from_slice(&scale.to_le_bytes());
+                out.extend_from_slice(packed);
+            }
+            Payload::Svd {
+                rows,
+                cols,
+                rank,
+                u,
+                s,
+                v,
+            } => {
+                out.push(TAG_SVD);
+                push_u64(&mut out, *rows as u64);
+                push_u64(&mut out, *cols as u64);
+                push_u64(&mut out, *rank as u64);
+                for x in u.iter().chain(s.iter()).chain(v.iter()) {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Payload::TwoScale {
+                words,
+                len,
+                neg,
+                pos,
+            } => {
+                out.push(TAG_TWO_SCALE);
+                push_u64(&mut out, *len as u64);
+                out.extend_from_slice(&neg.to_le_bytes());
+                out.extend_from_slice(&pos.to_le_bytes());
+                for w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a payload produced by [`Payload::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::Wire`] on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Payload> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let payload = match tag {
+            TAG_DENSE => {
+                let n = r.u64()? as usize;
+                Payload::Dense(r.f32s(n)?)
+            }
+            TAG_HALF => {
+                let n = r.u64()? as usize;
+                Payload::Half(r.u16s(n)?)
+            }
+            TAG_SPARSE => {
+                let len = r.u64()? as usize;
+                let k = r.u64()? as usize;
+                let indices = r.u32s(k)?;
+                let values = r.f32s(k)?;
+                Payload::Sparse {
+                    len,
+                    indices,
+                    values,
+                }
+            }
+            TAG_SHARED_SPARSE => {
+                let len = r.u64()? as usize;
+                let seed = r.u64()?;
+                let k = r.u64()? as usize;
+                Payload::SharedSparse {
+                    len,
+                    seed,
+                    values: r.f32s(k)?,
+                }
+            }
+            TAG_SIGNS => {
+                let len = r.u64()? as usize;
+                let scale = r.f32()?;
+                let words = r.u32s(len.div_ceil(32))?;
+                Payload::Signs { words, len, scale }
+            }
+            TAG_FACTOR_P | TAG_FACTOR_Q => {
+                let rows = r.u64()? as usize;
+                let cols = r.u64()? as usize;
+                let total = rows.checked_mul(cols).ok_or_else(|| {
+                    CompressError::Wire("factor dimensions overflow".into())
+                })?;
+                Payload::Factor {
+                    which: if tag == TAG_FACTOR_P { Factor::P } else { Factor::Q },
+                    rows,
+                    cols,
+                    data: r.f32s(total)?,
+                }
+            }
+            TAG_QUANTIZED => {
+                let n = r.u64()? as usize;
+                let scale = r.f32()?;
+                let raw = r.bytes(n)?;
+                Payload::Quantized {
+                    scale,
+                    levels: raw.iter().map(|&b| b as i8).collect(),
+                }
+            }
+            TAG_TERNARY => {
+                let len = r.u64()? as usize;
+                let scale = r.f32()?;
+                let packed = r.bytes(len.div_ceil(4))?.to_vec();
+                Payload::Ternary { len, scale, packed }
+            }
+            TAG_SVD => {
+                let rows = r.u64()? as usize;
+                let cols = r.u64()? as usize;
+                let rank = r.u64()? as usize;
+                let nu = rows.checked_mul(rank);
+                let nv = cols.checked_mul(rank);
+                let (nu, nv) = match (nu, nv) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(CompressError::Wire("svd dimensions overflow".into())),
+                };
+                Payload::Svd {
+                    rows,
+                    cols,
+                    rank,
+                    u: r.f32s(nu)?,
+                    s: r.f32s(rank)?,
+                    v: r.f32s(nv)?,
+                }
+            }
+            TAG_TWO_SCALE => {
+                let len = r.u64()? as usize;
+                let neg = r.f32()?;
+                let pos = r.f32()?;
+                let words = r.u32s(len.div_ceil(32))?;
+                Payload::TwoScale {
+                    words,
+                    len,
+                    neg,
+                    pos,
+                }
+            }
+            other => {
+                return Err(CompressError::Wire(format!("unknown payload tag {other}")));
+            }
+        };
+        Ok(payload)
+    }
+}
+
+fn check_len(a: usize, b: usize) -> Result<()> {
+    if a != b {
+        return Err(CompressError::Protocol(format!(
+            "payload length mismatch: {a} vs {b}"
+        )));
+    }
+    Ok(())
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Minimal cursor over a byte slice with bounds-checked reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        // checked_add guards against `pos + n` overflowing on adversarial
+        // length fields.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| CompressError::Wire("truncated payload".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
+        let b = self.take(n.checked_mul(4).ok_or_else(|| {
+            CompressError::Wire("length overflow".into())
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
+        let b = self.take(n.checked_mul(4).ok_or_else(|| {
+            CompressError::Wire("length overflow".into())
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn u16s(&mut self, n: usize) -> Result<Vec<u16>> {
+        let b = self.take(n.checked_mul(2).ok_or_else(|| {
+            CompressError::Wire("length overflow".into())
+        })?)?;
+        Ok(b.chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().expect("2 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Payload) {
+        let bytes = p.to_bytes();
+        let q = Payload::from_bytes(&bytes).expect("roundtrip decode");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Payload::Dense(vec![1.0, -2.5, 3.25]));
+        roundtrip(Payload::Half(vec![0x3c00, 0xbc00]));
+        roundtrip(Payload::Sparse {
+            len: 10,
+            indices: vec![1, 5, 9],
+            values: vec![0.5, -0.5, 2.0],
+        });
+        roundtrip(Payload::SharedSparse {
+            len: 10,
+            seed: 42,
+            values: vec![1.0, 2.0],
+        });
+        roundtrip(Payload::Signs {
+            words: vec![0b1011],
+            len: 4,
+            scale: 0.01,
+        });
+        roundtrip(Payload::Factor {
+            which: Factor::P,
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        });
+        roundtrip(Payload::Factor {
+            which: Factor::Q,
+            rows: 3,
+            cols: 1,
+            data: vec![1.0, 2.0, 3.0],
+        });
+        roundtrip(Payload::Quantized {
+            scale: 0.125,
+            levels: vec![-3, 0, 7, -128],
+        });
+        roundtrip(Payload::Ternary {
+            len: 5,
+            scale: 2.0,
+            packed: vec![0b01_10_00_01, 0b10],
+        });
+        roundtrip(Payload::Svd {
+            rows: 2,
+            cols: 3,
+            rank: 1,
+            u: vec![0.5, -0.5],
+            s: vec![3.0],
+            v: vec![1.0, 0.0, 0.0],
+        });
+        roundtrip(Payload::TwoScale {
+            words: vec![0b101],
+            len: 3,
+            neg: -0.5,
+            pos: 0.75,
+        });
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Payload::from_bytes(&[]).is_err());
+        assert!(Payload::from_bytes(&[99]).is_err());
+        // Dense claiming more elements than bytes present.
+        let mut b = vec![1u8];
+        b.extend_from_slice(&100u64.to_le_bytes());
+        b.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(Payload::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_lengths() {
+        let mut b = vec![1u8]; // Dense
+        b.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Payload::from_bytes(&b).is_err());
+        let mut b = vec![6u8]; // Factor P
+        b.extend_from_slice(&u64::MAX.to_le_bytes());
+        b.extend_from_slice(&2u64.to_le_bytes());
+        assert!(Payload::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_reflect_compression() {
+        let n = 1024;
+        let dense = Payload::Dense(vec![0.0; n]);
+        let signs = Payload::Signs {
+            words: vec![0; n / 32],
+            len: n,
+            scale: 1.0,
+        };
+        let ternary = Payload::Ternary {
+            len: n,
+            scale: 1.0,
+            packed: vec![0; n / 4],
+        };
+        assert_eq!(dense.wire_bytes(), 4096);
+        assert_eq!(signs.wire_bytes(), n / 8 + 4);
+        assert_eq!(ternary.wire_bytes(), n / 4 + 4);
+        assert!(signs.wire_bytes() * 30 < dense.wire_bytes() * 2);
+    }
+
+    #[test]
+    fn dense_add_and_scale() {
+        let mut a = Payload::Dense(vec![1.0, 2.0]);
+        a.add_assign(&Payload::Dense(vec![3.0, 4.0])).unwrap();
+        a.scale(0.5).unwrap();
+        assert_eq!(a, Payload::Dense(vec![2.0, 3.0]));
+    }
+
+    #[test]
+    fn half_add_goes_through_f32() {
+        use gcs_tensor::f16::f32_to_f16_bits;
+        let mut a = Payload::Half(vec![f32_to_f16_bits(1.5)]);
+        a.add_assign(&Payload::Half(vec![f32_to_f16_bits(2.25)]))
+            .unwrap();
+        assert_eq!(a, Payload::Half(vec![f32_to_f16_bits(3.75)]));
+    }
+
+    #[test]
+    fn shared_sparse_add_checks_seed() {
+        let mut a = Payload::SharedSparse {
+            len: 4,
+            seed: 1,
+            values: vec![1.0],
+        };
+        let b = Payload::SharedSparse {
+            len: 4,
+            seed: 2,
+            values: vec![1.0],
+        };
+        assert!(a.add_assign(&b).is_err());
+    }
+
+    #[test]
+    fn non_summable_add_rejected() {
+        let mut a = Payload::Signs {
+            words: vec![0],
+            len: 1,
+            scale: 1.0,
+        };
+        let b = a.clone();
+        assert!(!a.is_summable());
+        assert!(a.add_assign(&b).is_err());
+        assert!(a.scale(2.0).is_err());
+    }
+
+    #[test]
+    fn mixed_variant_add_rejected() {
+        let mut a = Payload::Dense(vec![1.0]);
+        assert!(a.add_assign(&Payload::Half(vec![0])).is_err());
+    }
+
+    #[test]
+    fn factor_add_checks_shape() {
+        let mut a = Payload::Factor {
+            which: Factor::P,
+            rows: 2,
+            cols: 1,
+            data: vec![1.0, 2.0],
+        };
+        let b = Payload::Factor {
+            which: Factor::Q,
+            rows: 2,
+            cols: 1,
+            data: vec![1.0, 2.0],
+        };
+        assert!(a.add_assign(&b).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! PowerSGD low-rank compression (Vogels et al., 2019).
+//!
+//! Per layer, the gradient is matricized to `M ∈ R^{m x n}` and compressed
+//! to rank-`r` factors with one warm-started power iteration:
+//!
+//! ```text
+//! P = M · Q_prev          (round 0: all-reduce mean of P)
+//! P̂ = orthonormalize(P̄)
+//! Q = Mᵀ · P̂              (round 1: all-reduce mean of Q)
+//! Ĝ = P̂ · Q̄ᵀ              error feedback: E ← M − Ĝ
+//! ```
+//!
+//! Both all-reduces operate on linear images of the gradients, so the
+//! aggregation is associative — PowerSGD is the all-reduce-compatible
+//! method in the paper (Table 1) and the only one that ever beats syncSGD
+//! in its experiments (BERT at 96 GPUs, Figure 4). The cost is the
+//! per-layer encode/decode time (Table 2) and twice the latency term
+//! (§4.2).
+
+use crate::{CompressError, Compressor, Factor, Payload, Properties, Result};
+use gcs_tensor::matrix::{a_mul_bt, at_mul_b, matmul, orthonormalize_columns, MatrixRef};
+use gcs_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// Per-layer PowerSGD state.
+#[derive(Debug)]
+struct LayerState {
+    /// `n x r` right factor, warm-started across iterations.
+    q: Vec<f32>,
+    /// Error-feedback memory, `m * n` (matricized layout).
+    error: Vec<f32>,
+    /// The matricized gradient + error of the in-flight iteration.
+    m_work: Vec<f32>,
+    /// Orthonormalized aggregated `P`, absorbed after round 0.
+    p_hat: Option<Vec<f32>>,
+    /// Aggregated `Q`, absorbed after round 1.
+    q_agg: Option<Vec<f32>>,
+    rows: usize,
+    cols: usize,
+    rank: usize,
+}
+
+/// PowerSGD compressor.
+///
+/// # Example
+///
+/// ```
+/// use gcs_compress::powersgd::PowerSgd;
+/// use gcs_compress::{driver::round_trip, Compressor};
+/// use gcs_tensor::Tensor;
+///
+/// # fn main() -> Result<(), gcs_compress::CompressError> {
+/// let mut c = PowerSgd::new(4)?;
+/// let g = Tensor::randn([32, 64], 0);
+/// let approx = round_trip(&mut c, 0, &g)?;
+/// assert_eq!(approx.shape(), g.shape());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PowerSgd {
+    rank: usize,
+    error_feedback: bool,
+    warm_start: bool,
+    layers: HashMap<usize, LayerState>,
+    seed: u64,
+}
+
+impl PowerSgd {
+    /// Creates PowerSGD with the given target rank (the paper evaluates
+    /// ranks 4, 8 and 16), error feedback and warm start enabled — the
+    /// configuration of the reference implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] if `rank == 0`.
+    pub fn new(rank: usize) -> Result<Self> {
+        if rank == 0 {
+            return Err(CompressError::InvalidConfig(
+                "PowerSGD rank must be positive".into(),
+            ));
+        }
+        Ok(PowerSgd {
+            rank,
+            error_feedback: true,
+            warm_start: true,
+            layers: HashMap::new(),
+            seed: 0x9e37_79b9,
+        })
+    }
+
+    /// Disables error feedback (ablation; hurts accuracy, not speed).
+    pub fn error_feedback(mut self, on: bool) -> Self {
+        self.error_feedback = on;
+        self
+    }
+
+    /// Disables warm start: `Q` is re-initialized randomly every iteration
+    /// (ablation; one power iteration from scratch approximates the
+    /// gradient much less well).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// The configured rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Effective rank for a layer of matricized shape `(m, n)`.
+    fn effective_rank(&self, m: usize, n: usize) -> usize {
+        self.rank.min(m).min(n).max(1)
+    }
+
+    fn init_q(&self, layer: usize, n: usize, r: usize) -> Vec<f32> {
+        let mut q = Tensor::randn([n, r], self.seed ^ (layer as u64).wrapping_mul(0x1000_0001))
+            .into_vec();
+        // Orthonormal start makes the first iteration a proper projection.
+        let _ = orthonormalize_columns(&mut q, n, r);
+        q
+    }
+}
+
+impl Compressor for PowerSgd {
+    fn properties(&self) -> Properties {
+        Properties {
+            name: format!("PowerSGD (rank {})", self.rank),
+            all_reducible: true,
+            layerwise: true,
+            rounds: 2,
+        }
+    }
+
+    fn compressed_bytes(&self, shape: &Shape) -> usize {
+        let (m, n) = shape.matricized();
+        let r = self.effective_rank(m, n);
+        (m * r + n * r) * 4
+    }
+
+    fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+        let (m, n) = grad.shape().matricized();
+        let r = self.effective_rank(m, n);
+        let numel = m * n;
+        if grad.numel() != numel {
+            return Err(CompressError::Protocol(format!(
+                "gradient numel {} does not match matricized {m}x{n}",
+                grad.numel()
+            )));
+        }
+
+        // Fetch or create state; rebuild if the layer changed shape.
+        let needs_init = !matches!(
+            self.layers.get(&layer),
+            Some(s) if s.rows == m && s.cols == n && s.rank == r
+        );
+        if needs_init {
+            let q = self.init_q(layer, n, r);
+            self.layers.insert(
+                layer,
+                LayerState {
+                    q,
+                    error: vec![0.0; numel],
+                    m_work: vec![0.0; numel],
+                    p_hat: None,
+                    q_agg: None,
+                    rows: m,
+                    cols: n,
+                    rank: r,
+                },
+            );
+        }
+        let warm = self.warm_start;
+        let ef = self.error_feedback;
+        let fresh_q = if warm { None } else { Some(self.init_q(layer, n, r)) };
+        let state = self.layers.get_mut(&layer).expect("state just ensured");
+        if let Some(q) = fresh_q {
+            state.q = q;
+        }
+
+        // M = grad (+ error feedback)
+        state.m_work.copy_from_slice(grad.data());
+        if ef {
+            for (w, e) in state.m_work.iter_mut().zip(&state.error) {
+                *w += e;
+            }
+        }
+
+        // P = M · Q
+        let mut p = vec![0.0f32; m * r];
+        matmul(
+            MatrixRef::new(&state.m_work, m, n)?,
+            MatrixRef::new(&state.q, n, r)?,
+            &mut p,
+        )?;
+        Ok(Payload::Factor {
+            which: Factor::P,
+            rows: m,
+            cols: r,
+            data: p,
+        })
+    }
+
+    fn encode_round(&mut self, layer: usize, round: usize) -> Result<Payload> {
+        if round != 1 {
+            return Err(CompressError::Protocol(format!(
+                "PowerSGD has rounds 0 and 1, got {round}"
+            )));
+        }
+        let state = self.layers.get_mut(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("encode_round before encode for layer {layer}"))
+        })?;
+        let p_hat = state.p_hat.as_ref().ok_or_else(|| {
+            CompressError::Protocol("round 1 before absorbing round 0".into())
+        })?;
+        // Q = Mᵀ · P̂
+        let (m, n, r) = (state.rows, state.cols, state.rank);
+        let mut q = vec![0.0f32; n * r];
+        at_mul_b(
+            MatrixRef::new(&state.m_work, m, n)?,
+            MatrixRef::new(p_hat, m, r)?,
+            &mut q,
+        )?;
+        Ok(Payload::Factor {
+            which: Factor::Q,
+            rows: n,
+            cols: r,
+            data: q,
+        })
+    }
+
+    fn aggregate(&self, _round: usize, payloads: &[Payload]) -> Result<Payload> {
+        let mut iter = payloads.iter();
+        let first = iter.next().ok_or(CompressError::EmptyAggregate)?;
+        let mut acc = first.clone();
+        for p in iter {
+            acc.add_assign(p)?;
+        }
+        acc.scale(1.0 / payloads.len() as f32)?;
+        Ok(acc)
+    }
+
+    fn absorb(&mut self, layer: usize, round: usize, agg: Payload) -> Result<()> {
+        let state = self.layers.get_mut(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("absorb before encode for layer {layer}"))
+        })?;
+        match (round, agg) {
+            (
+                0,
+                Payload::Factor {
+                    which: Factor::P,
+                    mut data,
+                    rows,
+                    cols,
+                },
+            ) => {
+                if rows != state.rows || cols != state.rank {
+                    return Err(CompressError::Protocol(
+                        "aggregated P has wrong dimensions".into(),
+                    ));
+                }
+                orthonormalize_columns(&mut data, rows, cols)?;
+                state.p_hat = Some(data);
+                Ok(())
+            }
+            (
+                1,
+                Payload::Factor {
+                    which: Factor::Q,
+                    data,
+                    rows,
+                    cols,
+                },
+            ) => {
+                if rows != state.cols || cols != state.rank {
+                    return Err(CompressError::Protocol(
+                        "aggregated Q has wrong dimensions".into(),
+                    ));
+                }
+                state.q_agg = Some(data);
+                Ok(())
+            }
+            (r, p) => Err(CompressError::Protocol(format!(
+                "unexpected round {r} payload {}",
+                p.kind_name()
+            ))),
+        }
+    }
+
+    fn finish(&mut self, layer: usize, shape: &Shape) -> Result<Tensor> {
+        let ef = self.error_feedback;
+        let warm = self.warm_start;
+        let state = self.layers.get_mut(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("finish before encode for layer {layer}"))
+        })?;
+        let p_hat = state.p_hat.take().ok_or_else(|| {
+            CompressError::Protocol("finish before absorbing round 0".into())
+        })?;
+        let q_agg = state.q_agg.take().ok_or_else(|| {
+            CompressError::Protocol("finish before absorbing round 1".into())
+        })?;
+        let (m, n, r) = (state.rows, state.cols, state.rank);
+        // Ĝ = P̂ · Q̄ᵀ
+        let mut g_hat = vec![0.0f32; m * n];
+        a_mul_bt(
+            MatrixRef::new(&p_hat, m, r)?,
+            MatrixRef::new(&q_agg, n, r)?,
+            &mut g_hat,
+        )?;
+        if ef {
+            // E ← M − Ĝ
+            for ((e, w), g) in state.error.iter_mut().zip(&state.m_work).zip(&g_hat) {
+                *e = w - g;
+            }
+        }
+        if warm {
+            state.q = q_agg;
+        }
+        Tensor::from_shape_vec(shape.clone(), g_hat).map_err(Into::into)
+    }
+
+    fn reset(&mut self) {
+        self.layers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{all_reduce_compressed, round_trip};
+    use gcs_tensor::stats::relative_l2_error;
+
+    #[test]
+    fn rejects_rank_zero() {
+        assert!(PowerSgd::new(0).is_err());
+    }
+
+    #[test]
+    fn properties_match_table1() {
+        let p = PowerSgd::new(4).unwrap().properties();
+        assert!(p.all_reducible);
+        assert!(p.layerwise);
+        assert_eq!(p.rounds, 2);
+    }
+
+    #[test]
+    fn recovers_exactly_low_rank_gradients() {
+        // Rank-2 gradient compressed at rank 4: repeated warm-started power
+        // iterations must converge to (near-)exact recovery.
+        let u = Tensor::randn([24, 2], 1).into_vec();
+        let v = Tensor::randn([2, 36], 2).into_vec();
+        let mut g = vec![0.0f32; 24 * 36];
+        matmul(
+            MatrixRef::new(&u, 24, 2).unwrap(),
+            MatrixRef::new(&v, 2, 36).unwrap(),
+            &mut g,
+        )
+        .unwrap();
+        let g = Tensor::from_shape_vec([24, 36], g).unwrap();
+        let mut c = PowerSgd::new(4).unwrap();
+        let mut err = f32::MAX;
+        for _ in 0..5 {
+            let out = round_trip(&mut c, 0, &g).unwrap();
+            err = relative_l2_error(&g, &out);
+        }
+        assert!(err < 1e-3, "relative error after warm-up {err}");
+    }
+
+    #[test]
+    fn compressed_bytes_match_formula() {
+        let c = PowerSgd::new(4).unwrap();
+        let shape = Shape::new(vec![512, 512, 3, 3]); // m=512, n=4608
+        assert_eq!(c.compressed_bytes(&shape), (512 * 4 + 4608 * 4) * 4);
+        // Compression ratio ~ mn / (r(m+n)) = 512*4608 / (4*5120) ≈ 115x.
+        let ratio = (shape.numel() * 4) as f64 / c.compressed_bytes(&shape) as f64;
+        assert!(ratio > 100.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rank_clamped_for_small_layers() {
+        let c = PowerSgd::new(16).unwrap();
+        // Bias vector: 1 x 64 matricization -> rank 1.
+        assert_eq!(c.compressed_bytes(&Shape::new(vec![64])), (1 + 64) * 4);
+    }
+
+    #[test]
+    fn error_feedback_preserves_total_gradient_mass() {
+        // decoded + error must equal input (+ previous error) each step.
+        let g = Tensor::randn([16, 16], 5);
+        let mut c = PowerSgd::new(2).unwrap();
+        let out = round_trip(&mut c, 0, &g).unwrap();
+        let err_mem = Tensor::from_shape_vec(
+            [16, 16],
+            c.layers.get(&0).unwrap().error.clone(),
+        )
+        .unwrap();
+        let sum = out.add(&err_mem).unwrap();
+        assert!(relative_l2_error(&g, &sum) < 1e-4);
+    }
+
+    #[test]
+    fn multi_worker_aggregation_is_consistent_across_workers() {
+        let grads: Vec<Tensor> = (0..3)
+            .map(|s| Tensor::randn([8, 12], 100 + s))
+            .collect();
+        let mut workers: Vec<PowerSgd> = (0..3).map(|_| PowerSgd::new(4).unwrap()).collect();
+        let outs = all_reduce_compressed(&mut workers, 7, &grads).unwrap();
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn multi_worker_converges_to_mean_under_warm_start() {
+        // With a *fixed* set of per-worker gradients, repeated compression
+        // with error feedback must converge to the true mean.
+        let grads: Vec<Tensor> = (0..2).map(|s| Tensor::randn([10, 10], 50 + s)).collect();
+        let mut mean = Tensor::zeros([10, 10]);
+        for g in &grads {
+            mean.add_assign(g).unwrap();
+        }
+        mean.scale(0.5);
+        let mut workers: Vec<PowerSgd> = (0..2).map(|_| PowerSgd::new(3).unwrap()).collect();
+        // Accumulate what the optimizer would apply over many steps; EF
+        // guarantees the *running total* tracks the true mean even though
+        // each step is low rank.
+        let mut applied = Tensor::zeros([10, 10]);
+        let steps = 100;
+        for _ in 0..steps {
+            let outs = all_reduce_compressed(&mut workers, 0, &grads).unwrap();
+            applied.add_assign(&outs[0]).unwrap();
+        }
+        applied.scale(1.0 / steps as f32);
+        let err = relative_l2_error(&mean, &applied);
+        assert!(err < 0.05, "running mean error {err}");
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let mut c = PowerSgd::new(2).unwrap();
+        let g = Tensor::randn([4, 4], 0);
+        assert!(c.encode_round(0, 1).is_err()); // before encode
+        let p = c.encode(0, &g).unwrap();
+        assert!(c.encode_round(0, 1).is_err()); // before absorb round 0
+        assert!(c.finish(0, g.shape()).is_err());
+        let agg = c.aggregate(0, std::slice::from_ref(&p)).unwrap();
+        c.absorb(0, 0, agg).unwrap();
+        let q = c.encode_round(0, 1).unwrap();
+        let qagg = c.aggregate(1, std::slice::from_ref(&q)).unwrap();
+        c.absorb(0, 1, qagg).unwrap();
+        assert!(c.finish(0, g.shape()).is_ok());
+        // Second finish without new rounds fails.
+        assert!(c.finish(0, g.shape()).is_err());
+    }
+
+    #[test]
+    fn shape_change_reinitializes_layer_state() {
+        let mut c = PowerSgd::new(2).unwrap();
+        let g1 = Tensor::randn([4, 4], 1);
+        let _ = round_trip(&mut c, 0, &g1).unwrap();
+        let g2 = Tensor::randn([8, 8], 2);
+        let out = round_trip(&mut c, 0, &g2).unwrap();
+        assert_eq!(out.shape(), g2.shape());
+    }
+
+    #[test]
+    fn no_warm_start_still_roundtrips() {
+        let g = Tensor::randn([12, 12], 3);
+        let mut c = PowerSgd::new(4).unwrap().warm_start(false);
+        let out = round_trip(&mut c, 0, &g).unwrap();
+        assert_eq!(out.shape(), g.shape());
+        assert!(out.l2_norm() > 0.0);
+    }
+}

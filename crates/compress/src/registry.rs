@@ -1,0 +1,272 @@
+//! Construction of compressors by name/config, and the catalogue used to
+//! regenerate the paper's Table 1.
+
+use crate::atomo::Atomo;
+use crate::dgc::Dgc;
+use crate::fp16::Fp16;
+use crate::natural::NaturalCompression;
+use crate::none::NoCompression;
+use crate::onebit::OneBitSgd;
+use crate::powersgd::PowerSgd;
+use crate::qsgd::Qsgd;
+use crate::randomk::RandomK;
+use crate::signsgd::SignSgd;
+use crate::sketch::LinearSketch;
+use crate::terngrad::TernGrad;
+use crate::topk::TopK;
+use crate::variance::VarianceSparsifier;
+use crate::{CompressError, Compressor, Result};
+
+/// Configuration of a compression method — a serializable recipe for
+/// constructing a [`Compressor`]. Used by the benchmark harness to sweep
+/// methods and by `gcs-ddp` to hand every worker an identical instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodConfig {
+    /// Uncompressed baseline.
+    SyncSgd,
+    /// Half-precision communication.
+    Fp16,
+    /// PowerSGD with the given rank.
+    PowerSgd {
+        /// Low-rank factor rank (paper uses 4, 8, 16).
+        rank: usize,
+    },
+    /// Top-K with the given keep-fraction.
+    TopK {
+        /// Fraction of coordinates kept (paper uses 0.01, 0.10, 0.20).
+        ratio: f64,
+    },
+    /// SignSGD with majority vote.
+    SignSgd,
+    /// EF-SignSGD (mean-abs scale + error feedback).
+    EfSignSgd,
+    /// QSGD with the given level count.
+    Qsgd {
+        /// Quantization levels (≤ 127).
+        levels: u8,
+    },
+    /// TernGrad.
+    TernGrad,
+    /// Random-K with the given keep-fraction.
+    RandomK {
+        /// Fraction of coordinates kept.
+        ratio: f64,
+    },
+    /// ATOMO (SVD) with the given rank.
+    Atomo {
+        /// Retained rank.
+        rank: usize,
+    },
+    /// 1-bit SGD.
+    OneBit,
+    /// GradiVeq-style linear sketch with the given block size.
+    Sketch {
+        /// Compression factor.
+        block: usize,
+    },
+    /// Deep Gradient Compression with the given keep-fraction.
+    Dgc {
+        /// Target surviving fraction.
+        ratio: f64,
+    },
+    /// Variance-based sparsification (Tsuzuku et al.) with confidence
+    /// multiplier κ.
+    Variance {
+        /// Transmit when `|g| >= kappa * sigma`.
+        kappa: f64,
+    },
+    /// Natural (stochastic power-of-two) compression.
+    Natural,
+}
+
+impl MethodConfig {
+    /// Builds a boxed compressor from this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] for out-of-range
+    /// parameters.
+    pub fn build(&self) -> Result<Box<dyn Compressor>> {
+        Ok(match self {
+            MethodConfig::SyncSgd => Box::new(NoCompression::new()),
+            MethodConfig::Fp16 => Box::new(Fp16::new()),
+            MethodConfig::PowerSgd { rank } => Box::new(PowerSgd::new(*rank)?),
+            MethodConfig::TopK { ratio } => Box::new(TopK::new(*ratio)?),
+            MethodConfig::SignSgd => Box::new(SignSgd::new()),
+            MethodConfig::EfSignSgd => Box::new(SignSgd::with_error_feedback()),
+            MethodConfig::Qsgd { levels } => Box::new(Qsgd::new(*levels)?),
+            MethodConfig::TernGrad => Box::new(TernGrad::new()),
+            MethodConfig::RandomK { ratio } => Box::new(RandomK::new(*ratio)?),
+            MethodConfig::Atomo { rank } => Box::new(Atomo::new(*rank)?),
+            MethodConfig::OneBit => Box::new(OneBitSgd::new()),
+            MethodConfig::Sketch { block } => Box::new(LinearSketch::new(*block)?),
+            MethodConfig::Dgc { ratio } => Box::new(Dgc::new(*ratio)?),
+            MethodConfig::Variance { kappa } => Box::new(VarianceSparsifier::new(*kappa)?),
+            MethodConfig::Natural => Box::new(NaturalCompression::new()),
+        })
+    }
+
+    /// Parses a method from a compact string such as `"powersgd:4"`,
+    /// `"topk:0.01"`, `"signsgd"`, `"qsgd:15"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] for unknown names or
+    /// unparsable parameters.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let (name, arg) = match spec.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (spec, None),
+        };
+        let need_f64 = |what: &str| -> Result<f64> {
+            arg.ok_or_else(|| {
+                CompressError::InvalidConfig(format!("{name} requires a {what} argument"))
+            })?
+            .parse()
+            .map_err(|e| CompressError::InvalidConfig(format!("bad {what} for {name}: {e}")))
+        };
+        let need_usize = |what: &str| -> Result<usize> {
+            arg.ok_or_else(|| {
+                CompressError::InvalidConfig(format!("{name} requires a {what} argument"))
+            })?
+            .parse()
+            .map_err(|e| CompressError::InvalidConfig(format!("bad {what} for {name}: {e}")))
+        };
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "syncsgd" | "none" => MethodConfig::SyncSgd,
+            "fp16" | "half" => MethodConfig::Fp16,
+            "powersgd" => MethodConfig::PowerSgd {
+                rank: need_usize("rank")?,
+            },
+            "topk" => MethodConfig::TopK {
+                ratio: need_f64("ratio")?,
+            },
+            "signsgd" => MethodConfig::SignSgd,
+            "efsignsgd" => MethodConfig::EfSignSgd,
+            "qsgd" => MethodConfig::Qsgd {
+                levels: need_usize("levels")? as u8,
+            },
+            "terngrad" => MethodConfig::TernGrad,
+            "randomk" => MethodConfig::RandomK {
+                ratio: need_f64("ratio")?,
+            },
+            "atomo" => MethodConfig::Atomo {
+                rank: need_usize("rank")?,
+            },
+            "onebit" | "1bit" => MethodConfig::OneBit,
+            "sketch" | "gradiveq" => MethodConfig::Sketch {
+                block: need_usize("block")?,
+            },
+            "dgc" => MethodConfig::Dgc {
+                ratio: need_f64("ratio")?,
+            },
+            "variance" => MethodConfig::Variance {
+                kappa: need_f64("kappa")?,
+            },
+            "natural" => MethodConfig::Natural,
+            other => {
+                return Err(CompressError::InvalidConfig(format!(
+                    "unknown compression method '{other}'"
+                )));
+            }
+        })
+    }
+}
+
+/// The method catalogue in the order of the paper's Table 1, with
+/// representative parameters.
+pub fn table1_methods() -> Vec<MethodConfig> {
+    vec![
+        MethodConfig::SyncSgd,
+        MethodConfig::Sketch { block: 16 }, // GradiVeq-style
+        MethodConfig::PowerSgd { rank: 4 },
+        MethodConfig::RandomK { ratio: 0.01 },
+        MethodConfig::Atomo { rank: 4 },
+        MethodConfig::SignSgd,
+        MethodConfig::TernGrad,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::Dgc { ratio: 0.001 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogue_entry_builds() {
+        for cfg in table1_methods() {
+            let c = cfg.build().expect("catalogue entries must build");
+            assert!(!c.properties().name.is_empty());
+        }
+    }
+
+    #[test]
+    fn table1_classification_matches_paper() {
+        // (all_reducible, layerwise) per catalogue row, as in Table 1.
+        let expected = [
+            (true, true),   // syncSGD
+            (true, true),   // GradiVeq
+            (true, true),   // PowerSGD
+            (true, false),  // Random-K
+            (false, true),  // ATOMO
+            (false, true),  // SignSGD
+            (false, true),  // TernGrad
+            (false, true),  // QSGD
+            (false, true),  // DGC
+        ];
+        for (cfg, (ar, lw)) in table1_methods().iter().zip(expected) {
+            let p = cfg.build().unwrap().properties();
+            assert_eq!(p.all_reducible, ar, "{} all-reduce", p.name);
+            assert_eq!(p.layerwise, lw, "{} layer-wise", p.name);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_common_specs() {
+        assert_eq!(MethodConfig::parse("syncsgd").unwrap(), MethodConfig::SyncSgd);
+        assert_eq!(
+            MethodConfig::parse("powersgd:8").unwrap(),
+            MethodConfig::PowerSgd { rank: 8 }
+        );
+        assert_eq!(
+            MethodConfig::parse("topk:0.01").unwrap(),
+            MethodConfig::TopK { ratio: 0.01 }
+        );
+        assert_eq!(
+            MethodConfig::parse("qsgd:15").unwrap(),
+            MethodConfig::Qsgd { levels: 15 }
+        );
+        assert_eq!(MethodConfig::parse("TERNGRAD").unwrap(), MethodConfig::TernGrad);
+    }
+
+    #[test]
+    fn natural_method_builds_and_parses() {
+        assert_eq!(MethodConfig::parse("natural").unwrap(), MethodConfig::Natural);
+        assert!(MethodConfig::Natural.build().is_ok());
+    }
+
+    #[test]
+    fn variance_method_builds_and_parses() {
+        assert_eq!(
+            MethodConfig::parse("variance:1.5").unwrap(),
+            MethodConfig::Variance { kappa: 1.5 }
+        );
+        assert!(MethodConfig::Variance { kappa: 1.5 }.build().is_ok());
+        assert!(MethodConfig::Variance { kappa: -1.0 }.build().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(MethodConfig::parse("nope").is_err());
+        assert!(MethodConfig::parse("powersgd").is_err());
+        assert!(MethodConfig::parse("topk:abc").is_err());
+    }
+
+    #[test]
+    fn build_propagates_invalid_parameters() {
+        assert!(MethodConfig::PowerSgd { rank: 0 }.build().is_err());
+        assert!(MethodConfig::TopK { ratio: 2.0 }.build().is_err());
+        assert!(MethodConfig::Qsgd { levels: 200 }.build().is_err());
+    }
+}

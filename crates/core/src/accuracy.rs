@@ -1,0 +1,181 @@
+//! Accuracy-aware performance analysis — the future-work direction §7
+//! calls out ("developing methods that can reason about accuracy along
+//! with performance is an avenue for future work").
+//!
+//! The paper's timing analysis is *generous* to compression: it compares
+//! per-iteration times only. A lossy scheme that needs more iterations to
+//! reach the same loss can lose end-to-end even where it wins
+//! per-iteration. This module combines:
+//!
+//! * the *real* convergence trajectory of a method on a task (from
+//!   `gcs-train`, using the actual compression kernels), and
+//! * the per-iteration wall-clock predicted by the §4 performance model,
+//!
+//! into a **time-to-target-loss** comparison.
+
+use crate::perf::predict_iteration;
+use gcs_compress::registry::MethodConfig;
+use gcs_compress::Result;
+use gcs_ddp::sim::SimConfig;
+use gcs_train::harness::{train_distributed, TrainConfig};
+use gcs_train::task::Task;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a time-to-loss analysis for one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeToLoss {
+    /// Method name.
+    pub method: String,
+    /// Steps needed to first reach the target loss (`None` if the budget
+    /// ran out before reaching it).
+    pub steps_to_target: Option<usize>,
+    /// Modelled per-iteration wall-clock time, seconds.
+    pub per_step_s: f64,
+    /// Wall-clock seconds to the target (`None` if never reached).
+    pub seconds_to_target: Option<f64>,
+    /// Loss at the end of the step budget.
+    pub final_loss: f64,
+}
+
+impl TimeToLoss {
+    /// Whether the target was reached within the budget.
+    pub fn reached(&self) -> bool {
+        self.steps_to_target.is_some()
+    }
+}
+
+/// Trains `task` through `method`'s real compression and combines the
+/// steps-to-`target_loss` with the per-iteration time predicted for
+/// `sim_cfg` (which carries the model/cluster the analysis is *about* —
+/// the synthetic task only supplies the optimization dynamics).
+///
+/// # Errors
+///
+/// Propagates compression-protocol errors from training.
+pub fn time_to_loss<T: Task>(
+    task: &T,
+    method: &MethodConfig,
+    train_cfg: &TrainConfig,
+    target_loss: f64,
+    sim_cfg: &SimConfig,
+) -> Result<TimeToLoss> {
+    let mut cfg = train_cfg.clone();
+    cfg.eval_every = cfg.eval_every.clamp(1, 10);
+    let report = train_distributed(task, method, &cfg)?;
+    let steps = report
+        .losses
+        .iter()
+        .find(|&&(_, l)| l <= target_loss)
+        .map(|&(s, _)| s);
+    let per_step = predict_iteration(&sim_cfg.clone().method(method.clone())).total_s;
+    let final_loss = report.final_loss();
+    Ok(TimeToLoss {
+        method: report.method,
+        steps_to_target: steps,
+        per_step_s: per_step,
+        seconds_to_target: steps.map(|s| s as f64 * per_step),
+        final_loss,
+    })
+}
+
+/// Runs [`time_to_loss`] for several methods and returns them sorted by
+/// wall-clock-to-target (unreached methods last, by final loss).
+///
+/// # Errors
+///
+/// Propagates compression-protocol errors from training.
+pub fn rank_methods_by_time_to_loss<T: Task>(
+    task: &T,
+    methods: &[MethodConfig],
+    train_cfg: &TrainConfig,
+    target_loss: f64,
+    sim_cfg: &SimConfig,
+) -> Result<Vec<TimeToLoss>> {
+    let mut out = Vec::with_capacity(methods.len());
+    for m in methods {
+        out.push(time_to_loss(task, m, train_cfg, target_loss, sim_cfg)?);
+    }
+    out.sort_by(|a, b| match (a.seconds_to_target, b.seconds_to_target) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite"),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a
+            .final_loss
+            .partial_cmp(&b.final_loss)
+            .expect("finite losses"),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_models::presets;
+    use gcs_train::task::LinearRegression;
+
+    fn setup() -> (LinearRegression, TrainConfig, SimConfig) {
+        let task = LinearRegression::new(8, 128, 0.01, 31);
+        let train_cfg = TrainConfig::new().workers(4).steps(200).lr(0.05).seed(3);
+        let sim_cfg = SimConfig::new(presets::resnet101(), 64).batch_per_worker(32);
+        (task, train_cfg, sim_cfg)
+    }
+
+    #[test]
+    fn syncsgd_reaches_target_on_convex_task() {
+        let (task, tc, sc) = setup();
+        let init = task.full_loss(&task.init_params(tc.seed));
+        let t = time_to_loss(&task, &MethodConfig::SyncSgd, &tc, init * 0.05, &sc).unwrap();
+        assert!(t.reached(), "{t:?}");
+        assert!(t.seconds_to_target.expect("reached") > 0.0);
+    }
+
+    #[test]
+    fn unreachable_target_reports_none() {
+        let (task, tc, sc) = setup();
+        let t = time_to_loss(&task, &MethodConfig::SyncSgd, &tc, 1e-30, &sc).unwrap();
+        assert!(!t.reached());
+        assert!(t.seconds_to_target.is_none());
+        assert!(t.final_loss.is_finite());
+    }
+
+    #[test]
+    fn lossy_method_can_lose_end_to_end_despite_faster_iterations() {
+        // Plain SignSGD: ~32x less traffic, but on this convex task it
+        // cannot hit a tight target at all — the accuracy-aware ranking
+        // must place it after syncSGD even if its iterations were free.
+        let (task, tc, sc) = setup();
+        let init = task.full_loss(&task.init_params(tc.seed));
+        let ranked = rank_methods_by_time_to_loss(
+            &task,
+            &[MethodConfig::SignSgd, MethodConfig::SyncSgd],
+            &tc,
+            init * 0.01,
+            &sc,
+        )
+        .unwrap();
+        assert_eq!(ranked[0].method, "syncSGD");
+    }
+
+    #[test]
+    fn ranking_orders_reached_before_unreached() {
+        let (task, tc, sc) = setup();
+        let init = task.full_loss(&task.init_params(tc.seed));
+        let ranked = rank_methods_by_time_to_loss(
+            &task,
+            &[
+                MethodConfig::SyncSgd,
+                MethodConfig::PowerSgd { rank: 2 },
+                MethodConfig::SignSgd,
+            ],
+            &tc,
+            init * 0.02,
+            &sc,
+        )
+        .unwrap();
+        // All reached entries precede unreached ones.
+        let first_unreached = ranked.iter().position(|t| !t.reached());
+        if let Some(i) = first_unreached {
+            assert!(ranked[i..].iter().all(|t| !t.reached()));
+        }
+    }
+}

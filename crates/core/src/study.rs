@@ -1,0 +1,159 @@
+//! Scalability-study orchestration: the data behind Figures 4–8.
+
+use crate::perf::predict_iteration;
+use gcs_compress::registry::MethodConfig;
+use gcs_ddp::sim::{measured_mean_std, SimConfig};
+use gcs_models::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// One measured/modelled point of a scalability study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyRow {
+    /// Model name.
+    pub model: String,
+    /// Method name (human readable).
+    pub method: String,
+    /// Worker (GPU) count.
+    pub workers: usize,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Mean simulated ("measured") iteration time, seconds.
+    pub measured_s: f64,
+    /// Standard deviation of the simulated samples.
+    pub std_s: f64,
+    /// Analytic model prediction, seconds.
+    pub predicted_s: f64,
+}
+
+impl StudyRow {
+    /// |predicted − measured| / measured.
+    pub fn model_error(&self) -> f64 {
+        ((self.predicted_s - self.measured_s) / self.measured_s).abs()
+    }
+}
+
+/// Configuration of a scalability study over worker counts × methods.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Model under test.
+    pub model: ModelSpec,
+    /// Per-worker batch size.
+    pub batch: usize,
+    /// Worker counts to sweep (the paper uses 8–96 in steps of 8 GPUs /
+    /// 2 instances).
+    pub worker_counts: Vec<usize>,
+    /// Methods to compare (syncSGD is usually the first entry).
+    pub methods: Vec<MethodConfig>,
+    /// Iterations sampled per point (paper: 100 after 10 warm-up).
+    pub iterations: usize,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Study {
+    /// A study with the paper's defaults: 100 sampled iterations, worker
+    /// counts {8, 16, 24, 32, 48, 64, 96}.
+    pub fn new(model: ModelSpec, batch: usize) -> Self {
+        Study {
+            model,
+            batch,
+            worker_counts: vec![8, 16, 24, 32, 48, 64, 96],
+            methods: vec![MethodConfig::SyncSgd],
+            iterations: 100,
+            seed: 0x0005_70d7,
+        }
+    }
+
+    /// Replaces the method list.
+    pub fn methods(mut self, methods: Vec<MethodConfig>) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Replaces the worker counts.
+    pub fn worker_counts(mut self, counts: Vec<usize>) -> Self {
+        self.worker_counts = counts;
+        self
+    }
+
+    /// Runs the study: one row per (method, worker count).
+    pub fn run(&self) -> Vec<StudyRow> {
+        let mut rows = Vec::new();
+        for method in &self.methods {
+            let method_name = method
+                .build()
+                .map(|c| c.properties().name)
+                .unwrap_or_else(|_| format!("{method:?}"));
+            for (i, &workers) in self.worker_counts.iter().enumerate() {
+                let cfg = SimConfig::new(self.model.clone(), workers)
+                    .batch_per_worker(self.batch)
+                    .method(method.clone());
+                let (mean, std) = measured_mean_std(
+                    &cfg,
+                    self.iterations,
+                    self.seed.wrapping_add(i as u64 * 131),
+                );
+                let predicted = predict_iteration(&cfg).total_s;
+                rows.push(StudyRow {
+                    model: self.model.name.clone(),
+                    method: method_name.clone(),
+                    workers,
+                    batch: self.batch,
+                    measured_s: mean,
+                    std_s: std,
+                    predicted_s: predicted,
+                });
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_models::presets;
+
+    #[test]
+    fn study_produces_methods_times_counts_rows() {
+        let rows = Study::new(presets::resnet50(), 64)
+            .methods(vec![MethodConfig::SyncSgd, MethodConfig::SignSgd])
+            .worker_counts(vec![8, 16])
+            .run();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.measured_s > 0.0 && r.std_s >= 0.0));
+    }
+
+    #[test]
+    fn model_error_is_small_for_syncsgd() {
+        // Figure 8a: median error 1.8%. Our jittered simulator should stay
+        // within a few percent of the analytic model on average.
+        let rows = Study::new(presets::resnet50(), 64)
+            .worker_counts(vec![8, 32, 96])
+            .run();
+        let errors: Vec<f64> = rows.iter().map(StudyRow::model_error).collect();
+        let median = gcs_tensor::stats::median(&errors);
+        assert!(median < 0.10, "median error {median}");
+    }
+
+    #[test]
+    fn figure4_shape_bert_powersgd_wins_resnet_loses() {
+        let psgd = MethodConfig::PowerSgd { rank: 4 };
+        let bert_rows = Study::new(presets::bert_base(), 12)
+            .methods(vec![MethodConfig::SyncSgd, psgd.clone()])
+            .worker_counts(vec![96])
+            .run();
+        assert!(
+            bert_rows[1].measured_s < bert_rows[0].measured_s,
+            "PowerSGD should win on BERT at 96 GPUs"
+        );
+        let r50_rows = Study::new(presets::resnet50(), 64)
+            .methods(vec![MethodConfig::SyncSgd, psgd])
+            .worker_counts(vec![96])
+            .run();
+        assert!(
+            r50_rows[1].measured_s > r50_rows[0].measured_s,
+            "PowerSGD should lose on ResNet-50 at batch 64"
+        );
+    }
+}

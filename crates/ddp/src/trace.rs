@@ -1,0 +1,287 @@
+//! Iteration timelines — the reproduction of Figure 2's Nsight trace.
+//!
+//! The paper illustrates comm/compute overlap with a profiler screenshot:
+//! backward kernels on one CUDA stream, bucket all-reduces on another,
+//! only the last bucket's communication exposed. [`trace_iteration`]
+//! produces the same two-stream timeline from the event simulator, and
+//! [`render_ascii`] draws it as a Gantt chart.
+
+use crate::sim::SimConfig;
+use gcs_compress::registry::MethodConfig;
+use gcs_models::buckets::{bucket_ready_fractions, partition};
+use gcs_models::encode_cost::encode_cost;
+use serde::{Deserialize, Serialize};
+
+/// Which execution stream an event runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stream {
+    /// The GPU compute stream (backward pass, encode/decode kernels).
+    Compute,
+    /// The communication stream (NCCL collectives).
+    Comm,
+}
+
+/// One span on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Stream the span occupies.
+    pub stream: Stream,
+    /// Human-readable label (e.g. `"bucket 2 all-reduce"`).
+    pub label: String,
+    /// Start time, seconds from iteration start.
+    pub start_s: f64,
+    /// End time, seconds.
+    pub end_s: f64,
+}
+
+impl TraceEvent {
+    fn new(stream: Stream, label: impl Into<String>, start_s: f64, end_s: f64) -> Self {
+        TraceEvent {
+            stream,
+            label: label.into(),
+            start_s,
+            end_s,
+        }
+    }
+
+    /// Span duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Produces the two-stream timeline of one iteration for `cfg`. The event
+/// end times agree with [`crate::sim::simulate_iteration`].
+pub fn trace_iteration(cfg: &SimConfig) -> Vec<TraceEvent> {
+    let t_comp = cfg.device.backward_seconds(&cfg.model, cfg.batch);
+    let mut events = Vec::new();
+    if cfg.workers == 1 {
+        events.push(TraceEvent::new(Stream::Compute, "backward", 0.0, t_comp));
+        return events;
+    }
+    match &cfg.method {
+        MethodConfig::SyncSgd | MethodConfig::Fp16 => {
+            let (byte_scale, cast_s) = if matches!(cfg.method, MethodConfig::Fp16) {
+                let enc = encode_cost(&MethodConfig::Fp16, &cfg.model);
+                (
+                    0.5,
+                    cfg.device
+                        .scale_encode_seconds(enc.total_with_integration(cfg.workers)),
+                )
+            } else {
+                (1.0, 0.0)
+            };
+            let backward_end = cfg.device.gamma * t_comp + cast_s;
+            events.push(TraceEvent::new(
+                Stream::Compute,
+                if cast_s > 0.0 {
+                    "backward + fp16 cast (γ overlap slowdown)"
+                } else {
+                    "backward (γ overlap slowdown)"
+                },
+                0.0,
+                backward_end,
+            ));
+            let buckets = partition(&cfg.model, cfg.bucket_bytes);
+            let ready = bucket_ready_fractions(&cfg.model, &buckets);
+            let mut comm_free = 0.0f64;
+            for (i, (bucket, frac)) in buckets.iter().zip(&ready).enumerate() {
+                let start = (backward_end * frac).max(comm_free);
+                let bytes = (bucket.bytes as f64 * byte_scale) as usize;
+                let dur = match cfg.allreduce {
+                    crate::sim::AllReduceAlgo::Ring => {
+                        cfg.network.ring_all_reduce(bytes, cfg.workers)
+                    }
+                    crate::sim::AllReduceAlgo::DoubleTree => {
+                        cfg.network.tree_all_reduce(bytes, cfg.workers)
+                    }
+                };
+                events.push(TraceEvent::new(
+                    Stream::Comm,
+                    format!("bucket {i} all-reduce ({:.1} MB)", bucket.bytes as f64 / 1e6),
+                    start,
+                    start + dur,
+                ));
+                comm_free = start + dur;
+            }
+        }
+        method => {
+            let enc = encode_cost(method, &cfg.model);
+            let t_encdec = cfg
+                .device
+                .scale_encode_seconds(enc.total_with_integration(cfg.workers));
+            let plan = crate::wire::wire_plan(method, &cfg.model);
+            let (backward_span, encode_span) = if cfg.overlap_compression {
+                let end = cfg.device.compression_contention * (t_comp + t_encdec);
+                // Contended: both kernels share the stream for the window.
+                ((0.0, end), (0.0, end))
+            } else {
+                ((0.0, t_comp), (t_comp, t_comp + t_encdec))
+            };
+            events.push(TraceEvent::new(
+                Stream::Compute,
+                "backward",
+                backward_span.0,
+                backward_span.1,
+            ));
+            events.push(TraceEvent::new(
+                Stream::Compute,
+                "encode/decode",
+                encode_span.0,
+                encode_span.1,
+            ));
+            let mut t = encode_span.1;
+            for (i, round) in plan.rounds.iter().enumerate() {
+                let dur = match round.collective {
+                    crate::wire::Collective::AllReduce => match cfg.allreduce {
+                        crate::sim::AllReduceAlgo::Ring => {
+                            cfg.network.ring_all_reduce(round.bytes, cfg.workers)
+                        }
+                        crate::sim::AllReduceAlgo::DoubleTree => {
+                            cfg.network.tree_all_reduce(round.bytes, cfg.workers)
+                        }
+                    },
+                    crate::wire::Collective::AllGather => {
+                        cfg.network.all_gather(round.bytes, cfg.workers)
+                    }
+                };
+                let kind = match round.collective {
+                    crate::wire::Collective::AllReduce => "all-reduce",
+                    crate::wire::Collective::AllGather => "all-gather",
+                };
+                events.push(TraceEvent::new(
+                    Stream::Comm,
+                    format!("round {i} {kind} ({:.1} MB)", round.bytes as f64 / 1e6),
+                    t,
+                    t + dur,
+                ));
+                t += dur;
+            }
+        }
+    }
+    events
+}
+
+/// Renders a trace as a two-row ASCII Gantt chart of `width` columns.
+///
+/// # Panics
+///
+/// Panics if `width < 10`.
+pub fn render_ascii(events: &[TraceEvent], width: usize) -> String {
+    assert!(width >= 10, "chart needs at least 10 columns");
+    let end = events.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
+    if end <= 0.0 {
+        return String::new();
+    }
+    let col = |t: f64| ((t / end) * (width as f64 - 1.0)).round() as usize;
+    let mut rows = [vec![' '; width], vec![' '; width]];
+    for e in events {
+        let row = match e.stream {
+            Stream::Compute => 0,
+            Stream::Comm => 1,
+        };
+        let (a, b) = (col(e.start_s), col(e.end_s).max(col(e.start_s)));
+        let fill = if row == 0 { '█' } else { '▒' };
+        for c in &mut rows[row][a..=b.min(width - 1)] {
+            *c = fill;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "compute |{}|\ncomm    |{}|\n         0 ms{}{:>8.1} ms\n",
+        rows[0].iter().collect::<String>(),
+        rows[1].iter().collect::<String>(),
+        " ".repeat(width.saturating_sub(16)),
+        end * 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_iteration;
+    use gcs_models::presets;
+
+    #[test]
+    fn trace_end_matches_simulator_total() {
+        for method in [
+            MethodConfig::SyncSgd,
+            MethodConfig::Fp16,
+            MethodConfig::PowerSgd { rank: 4 },
+            MethodConfig::SignSgd,
+        ] {
+            let cfg = SimConfig::new(presets::resnet50(), 16).method(method.clone());
+            let trace = trace_iteration(&cfg);
+            let trace_end = trace.iter().map(|e| e.end_s).fold(0.0f64, f64::max);
+            let sim_total = simulate_iteration(&cfg).total_s;
+            assert!(
+                (trace_end - sim_total).abs() < 1e-9,
+                "{method:?}: trace {trace_end} vs sim {sim_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn syncsgd_comm_overlaps_compute() {
+        // Figure 2's visual: bucket all-reduces start well before the
+        // backward pass ends.
+        let cfg = SimConfig::new(presets::resnet50(), 16);
+        let trace = trace_iteration(&cfg);
+        let backward_end = trace
+            .iter()
+            .find(|e| e.stream == Stream::Compute)
+            .expect("compute span")
+            .end_s;
+        let first_comm = trace
+            .iter()
+            .filter(|e| e.stream == Stream::Comm)
+            .map(|e| e.start_s)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            first_comm < 0.2 * backward_end,
+            "first bucket must start early: {first_comm} vs backward end {backward_end}"
+        );
+    }
+
+    #[test]
+    fn compressed_trace_is_sequential() {
+        let cfg =
+            SimConfig::new(presets::resnet50(), 16).method(MethodConfig::PowerSgd { rank: 4 });
+        let trace = trace_iteration(&cfg);
+        // encode starts when backward ends; comm starts when encode ends.
+        let backward = &trace[0];
+        let encode = &trace[1];
+        assert!((encode.start_s - backward.end_s).abs() < 1e-12);
+        let comm_start = trace
+            .iter()
+            .filter(|e| e.stream == Stream::Comm)
+            .map(|e| e.start_s)
+            .fold(f64::MAX, f64::min);
+        assert!((comm_start - encode.end_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_worker_trace_is_backward_only() {
+        let cfg = SimConfig::new(presets::resnet50(), 1);
+        let trace = trace_iteration(&cfg);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].stream, Stream::Compute);
+    }
+
+    #[test]
+    fn ascii_render_has_two_streams_and_fills() {
+        let cfg = SimConfig::new(presets::resnet50(), 16);
+        let chart = render_ascii(&trace_iteration(&cfg), 60);
+        assert!(chart.contains("compute |"));
+        assert!(chart.contains("comm    |"));
+        assert!(chart.contains('█'));
+        assert!(chart.contains('▒'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 columns")]
+    fn tiny_chart_panics() {
+        let _ = render_ascii(&[], 3);
+    }
+}

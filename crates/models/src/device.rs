@@ -1,0 +1,160 @@
+//! The device compute model: `T_comp` and the overlap factors.
+
+use crate::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// An accelerator's effective compute characteristics, calibrated to the
+/// paper's V100 measurements.
+///
+/// `effective_tflops` is an *achieved* training throughput, not a peak
+/// figure: it is fitted so that the modelled ResNet-50 batch-64 backward
+/// pass lands on the ~122 ms the paper reports (Table 2's `T_comp`).
+///
+/// The two overlap factors correspond to the paper's findings:
+///
+/// * `gamma` (γ ≥ 1) — slowdown of the backward pass when gradient
+///   *communication* overlaps it (§4.1's γ; communication kernels are
+///   cheap, so γ is small);
+/// * `compression_contention` — slowdown when gradient *compression*
+///   overlaps the backward pass (§3.1 / Figure 3: both are compute-heavy,
+///   so contention is large enough that overlapping loses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name, e.g. `"V100"`.
+    pub name: String,
+    /// Achieved training TFLOP/s used to convert model FLOPs to time.
+    pub effective_tflops: f64,
+    /// Compute speedup multiplier relative to the calibration device
+    /// (Figure 12 sweeps this from 1x to 4x).
+    pub speedup: f64,
+    /// Backward-pass slowdown from overlapped communication (γ ≥ 1).
+    pub gamma: f64,
+    /// Backward-pass slowdown from overlapped *compression* (> γ).
+    pub compression_contention: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's V100 calibration.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100".to_owned(),
+            // Fitted: 2 * 4.1 GFLOP/sample * 64 samples / 122 ms ≈ 4.3.
+            effective_tflops: 4.3,
+            speedup: 1.0,
+            gamma: 1.06,
+            compression_contention: 1.4,
+        }
+    }
+
+    /// An A100-class device: ≈2.5× the V100's achieved training
+    /// throughput (the "what if compute gets faster" point that had
+    /// arrived by the time the paper was published — Figure 12 predicts
+    /// PowerSGD becomes attractive right around here).
+    pub fn a100() -> Self {
+        let mut d = Self::v100().with_speedup(2.5);
+        d.name = "A100".to_owned();
+        d
+    }
+
+    /// Returns a copy `k`× faster (both backward pass and encode/decode
+    /// scale by `k`, as the paper assumes in Figure 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive and finite.
+    pub fn with_speedup(mut self, k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "speedup must be positive");
+        self.speedup = k;
+        self.name = format!("{} ({k:.2}x)", self.name);
+        self
+    }
+
+    /// Backward-pass time `T_comp` for one iteration at the given
+    /// per-worker batch size (backward FLOPs modelled as 2× forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn backward_seconds(&self, model: &ModelSpec, batch: usize) -> f64 {
+        assert!(batch > 0, "batch size must be positive");
+        let gflops = 2.0 * model.fwd_gflops_per_sample * batch as f64;
+        gflops / (self.effective_tflops * 1e3 * self.speedup)
+    }
+
+    /// Forward + backward time for one iteration (forward = half of
+    /// backward under the 2x convention).
+    pub fn iteration_compute_seconds(&self, model: &ModelSpec, batch: usize) -> f64 {
+        1.5 * self.backward_seconds(model, batch)
+    }
+
+    /// Scales a (V100-calibrated) encode/decode time to this device.
+    pub fn scale_encode_seconds(&self, v100_seconds: f64) -> f64 {
+        v100_seconds / self.speedup
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn resnet50_batch64_backward_matches_paper() {
+        let t = DeviceSpec::v100().backward_seconds(&presets::resnet50(), 64);
+        assert!((t - 0.122).abs() < 0.01, "T_comp = {t}");
+    }
+
+    #[test]
+    fn backward_scales_linearly_with_batch() {
+        let d = DeviceSpec::v100();
+        let m = presets::resnet50();
+        let t16 = d.backward_seconds(&m, 16);
+        let t64 = d.backward_seconds(&m, 64);
+        assert!((t64 / t16 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_divides_times() {
+        let m = presets::resnet101();
+        let base = DeviceSpec::v100();
+        let fast = DeviceSpec::v100().with_speedup(2.0);
+        assert!(
+            (base.backward_seconds(&m, 32) / fast.backward_seconds(&m, 32) - 2.0).abs() < 1e-9
+        );
+        assert!((fast.scale_encode_seconds(0.045) - 0.0225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a100_is_faster_than_v100() {
+        let m = presets::resnet50();
+        let v = DeviceSpec::v100().backward_seconds(&m, 64);
+        let a = DeviceSpec::a100().backward_seconds(&m, 64);
+        assert!((v / a - 2.5).abs() < 1e-9);
+        assert_eq!(DeviceSpec::a100().name, "A100");
+    }
+
+    #[test]
+    fn contention_exceeds_gamma() {
+        let d = DeviceSpec::v100();
+        assert!(d.compression_contention > d.gamma);
+        assert!(d.gamma >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = DeviceSpec::v100().backward_seconds(&presets::resnet50(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn bad_speedup_rejected() {
+        let _ = DeviceSpec::v100().with_speedup(0.0);
+    }
+}

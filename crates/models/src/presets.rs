@@ -1,0 +1,337 @@
+//! Model generators for the architectures the paper evaluates.
+//!
+//! Layer lists are generated from the actual architectures (bottleneck
+//! ResNets, transformer encoders, VGG), and tests assert the parameter
+//! totals match the published sizes the paper quotes: ResNet-50 ≈ 97 MB,
+//! ResNet-101 ≈ 170 MB, BERT_BASE ≈ 418 MB.
+
+use crate::{LayerSpec, ModelSpec};
+
+/// Appends a conv layer plus its batch-norm weight/bias pair. `hw` is the
+/// output feature-map spatial size (one side); the conv's backward cost is
+/// FLOPs-proportional, i.e. `params x hw^2`.
+fn conv_bn(layers: &mut Vec<LayerSpec>, name: &str, out_c: usize, in_c: usize, k: usize, hw: usize) {
+    let weight = LayerSpec::new(format!("{name}.weight"), [out_c, in_c, k, k]);
+    let flops = weight.params() as f64 * (hw * hw) as f64;
+    layers.push(weight.with_cost_weight(flops));
+    layers.push(LayerSpec::new(format!("{name}.bn.weight"), [out_c]));
+    layers.push(LayerSpec::new(format!("{name}.bn.bias"), [out_c]));
+}
+
+/// Builds a bottleneck ResNet (depths `[3,4,6,3]` → ResNet-50,
+/// `[3,4,23,3]` → ResNet-101).
+fn resnet_bottleneck(name: &str, block_counts: [usize; 4], fwd_gflops: f64) -> ModelSpec {
+    let mut layers = Vec::new();
+    conv_bn(&mut layers, "conv1", 64, 3, 7, 112);
+
+    let mids = [64usize, 128, 256, 512];
+    let hws = [56usize, 28, 14, 7];
+    let mut in_c = 64usize;
+    for (stage, (&mid, &blocks)) in mids.iter().zip(block_counts.iter()).enumerate() {
+        let out_c = mid * 4;
+        let hw = hws[stage];
+        for b in 0..blocks {
+            let prefix = format!("layer{}.{}", stage + 1, b);
+            conv_bn(&mut layers, &format!("{prefix}.conv1"), mid, in_c, 1, hw);
+            conv_bn(&mut layers, &format!("{prefix}.conv2"), mid, mid, 3, hw);
+            conv_bn(&mut layers, &format!("{prefix}.conv3"), out_c, mid, 1, hw);
+            if b == 0 {
+                // Projection shortcut on the first block of each stage.
+                conv_bn(&mut layers, &format!("{prefix}.downsample"), out_c, in_c, 1, hw);
+            }
+            in_c = out_c;
+        }
+    }
+    layers.push(LayerSpec::new("fc.weight", [1000, 2048]));
+    layers.push(LayerSpec::new("fc.bias", [1000]));
+    ModelSpec::new(name, layers, fwd_gflops)
+}
+
+/// ResNet-50 (≈25.6 M parameters, ≈97 MB gradients, ~4.1 GFLOPs/sample).
+pub fn resnet50() -> ModelSpec {
+    resnet_bottleneck("ResNet-50", [3, 4, 6, 3], 4.1)
+}
+
+/// ResNet-101 (≈44.5 M parameters, ≈170 MB gradients, ~7.85
+/// GFLOPs/sample).
+pub fn resnet101() -> ModelSpec {
+    resnet_bottleneck("ResNet-101", [3, 4, 23, 3], 7.85)
+}
+
+/// Builds a BERT-style transformer encoder.
+#[allow(clippy::vec_init_then_push)] // uniform push style mirrors the layer listing
+fn bert(
+    name: &str,
+    hidden: usize,
+    layers_n: usize,
+    ff: usize,
+    fwd_gflops: f64,
+) -> ModelSpec {
+    let vocab = 30_522usize;
+    let max_pos = 512usize;
+    let mut layers = Vec::new();
+    layers.push(LayerSpec::new("embeddings.word", [vocab, hidden]));
+    layers.push(LayerSpec::new("embeddings.position", [max_pos, hidden]));
+    layers.push(LayerSpec::new("embeddings.token_type", [2, hidden]));
+    layers.push(LayerSpec::new("embeddings.ln.weight", [hidden]));
+    layers.push(LayerSpec::new("embeddings.ln.bias", [hidden]));
+    for l in 0..layers_n {
+        let p = format!("encoder.{l}");
+        for mat in ["query", "key", "value", "attn_out"] {
+            layers.push(LayerSpec::new(format!("{p}.{mat}.weight"), [hidden, hidden]));
+            layers.push(LayerSpec::new(format!("{p}.{mat}.bias"), [hidden]));
+        }
+        layers.push(LayerSpec::new(format!("{p}.attn.ln.weight"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.attn.ln.bias"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.ff1.weight"), [ff, hidden]));
+        layers.push(LayerSpec::new(format!("{p}.ff1.bias"), [ff]));
+        layers.push(LayerSpec::new(format!("{p}.ff2.weight"), [hidden, ff]));
+        layers.push(LayerSpec::new(format!("{p}.ff2.bias"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.out.ln.weight"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.out.ln.bias"), [hidden]));
+    }
+    layers.push(LayerSpec::new("pooler.weight", [hidden, hidden]));
+    layers.push(LayerSpec::new("pooler.bias", [hidden]));
+    ModelSpec::new(name, layers, fwd_gflops)
+}
+
+/// BERT base (12 layers, hidden 768; ≈110 M parameters ≈ 418 MB). FLOPs
+/// are per long sequence (~512 tokens — Sogou News articles, the paper's
+/// fine-tuning workload): ≈ 2 x 85 M encoder params x 512 tokens / 1e9 ≈
+/// 72 GFLOPs forward, consistent with the iteration times and batch sizes
+/// (10–12) the paper reports for BERT.
+pub fn bert_base() -> ModelSpec {
+    bert("BERT-base", 768, 12, 3072, 72.0)
+}
+
+/// BERT large (24 layers, hidden 1024; ≈335 M parameters ≈ 1.3 GB),
+/// sequence length ~512.
+pub fn bert_large() -> ModelSpec {
+    bert("BERT-large", 1024, 24, 4096, 250.0)
+}
+
+/// Builds a decoder-only transformer LM (GPT-style): token + position
+/// embeddings and `layers_n` blocks of attention (4 d² matrices) + MLP
+/// (2 d·ff matrices) with layer norms.
+fn transformer_lm(
+    name: &str,
+    hidden: usize,
+    layers_n: usize,
+    ff: usize,
+    vocab: usize,
+    ctx: usize,
+    fwd_gflops: f64,
+) -> ModelSpec {
+    let mut layers = vec![
+        LayerSpec::new("wte", [vocab, hidden]),
+        LayerSpec::new("wpe", [ctx, hidden]),
+    ];
+    for l in 0..layers_n {
+        let p = format!("h.{l}");
+        for mat in ["attn.q", "attn.k", "attn.v", "attn.proj"] {
+            layers.push(LayerSpec::new(format!("{p}.{mat}.weight"), [hidden, hidden]));
+            layers.push(LayerSpec::new(format!("{p}.{mat}.bias"), [hidden]));
+        }
+        layers.push(LayerSpec::new(format!("{p}.ln1.weight"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.ln1.bias"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.mlp.fc.weight"), [ff, hidden]));
+        layers.push(LayerSpec::new(format!("{p}.mlp.fc.bias"), [ff]));
+        layers.push(LayerSpec::new(format!("{p}.mlp.proj.weight"), [hidden, ff]));
+        layers.push(LayerSpec::new(format!("{p}.mlp.proj.bias"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.ln2.weight"), [hidden]));
+        layers.push(LayerSpec::new(format!("{p}.ln2.bias"), [hidden]));
+    }
+    layers.push(LayerSpec::new("ln_f.weight", [hidden]));
+    layers.push(LayerSpec::new("ln_f.bias", [hidden]));
+    ModelSpec::new(name, layers, fwd_gflops)
+}
+
+/// GPT-2 XL (48 layers, hidden 1600; ≈1.56 B parameters ≈ 6 GB of
+/// gradients). FLOPs per 1024-token sequence.
+pub fn gpt2_xl() -> ModelSpec {
+    transformer_lm("GPT-2 XL", 1600, 48, 6400, 50_257, 1024, 3200.0)
+}
+
+/// A DALL-E-scale model (64 layers, hidden 3968; ≈12 B parameters ≈ 45 GB
+/// of gradients) — the model §7 of the paper points to as the case where
+/// engineers *did* profit from PowerSGD after "significant engineering
+/// effort". FLOPs per 1280-token sequence.
+pub fn dalle_12b() -> ModelSpec {
+    transformer_lm("DALL-E 12B", 3968, 64, 15_872, 32_768, 1280, 31_000.0)
+}
+
+/// VGG-16 (≈138 M parameters; the classic communication-heavy CNN,
+/// ~15.5 GFLOPs/sample).
+pub fn vgg16() -> ModelSpec {
+    let mut layers = Vec::new();
+    let cfg: [&[usize]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
+    let hws = [224usize, 112, 56, 28, 14];
+    let mut in_c = 3usize;
+    for (stage, block) in cfg.iter().enumerate() {
+        let hw = hws[stage];
+        for (i, &out_c) in block.iter().enumerate() {
+            let name = format!("features.{stage}.{i}");
+            let w = LayerSpec::new(format!("{name}.weight"), [out_c, in_c, 3, 3]);
+            let flops = w.params() as f64 * (hw * hw) as f64;
+            layers.push(w.with_cost_weight(flops));
+            layers.push(LayerSpec::new(format!("{name}.bias"), [out_c]));
+            in_c = out_c;
+        }
+    }
+    layers.push(LayerSpec::new("classifier.0.weight", [4096, 512 * 7 * 7]));
+    layers.push(LayerSpec::new("classifier.0.bias", [4096]));
+    layers.push(LayerSpec::new("classifier.3.weight", [4096, 4096]));
+    layers.push(LayerSpec::new("classifier.3.bias", [4096]));
+    layers.push(LayerSpec::new("classifier.6.weight", [1000, 4096]));
+    layers.push(LayerSpec::new("classifier.6.bias", [1000]));
+    ModelSpec::new("VGG-16", layers, 15.5)
+}
+
+/// A tiny three-layer MLP used by unit tests and the convergence
+/// experiments (fast to compress for real).
+pub fn tiny_mlp(input: usize, hidden: usize, output: usize) -> ModelSpec {
+    ModelSpec::new(
+        "tiny-MLP",
+        vec![
+            LayerSpec::new("fc1.weight", [hidden, input]),
+            LayerSpec::new("fc1.bias", [hidden]),
+            LayerSpec::new("fc2.weight", [hidden, hidden]),
+            LayerSpec::new("fc2.bias", [hidden]),
+            LayerSpec::new("fc3.weight", [output, hidden]),
+            LayerSpec::new("fc3.bias", [output]),
+        ],
+        0.001,
+    )
+}
+
+/// All headline models of the paper, in the order its figures present
+/// them.
+pub fn paper_models() -> Vec<ModelSpec> {
+    vec![resnet50(), resnet101(), bert_base()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_matches_published_size() {
+        let m = resnet50();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 25.56e6).abs() / 25.56e6 < 0.03,
+            "ResNet-50 params {params}"
+        );
+        assert!((m.size_mb() - 97.0).abs() < 6.0, "size {} MB", m.size_mb());
+    }
+
+    #[test]
+    fn resnet101_matches_published_size() {
+        let m = resnet101();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 44.55e6).abs() / 44.55e6 < 0.03,
+            "ResNet-101 params {params}"
+        );
+        assert!((m.size_mb() - 170.0).abs() < 10.0, "size {} MB", m.size_mb());
+    }
+
+    #[test]
+    fn bert_base_matches_published_size() {
+        let m = bert_base();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 109.5e6).abs() / 109.5e6 < 0.03,
+            "BERT-base params {params}"
+        );
+        assert!((m.size_mb() - 418.0).abs() < 25.0, "size {} MB", m.size_mb());
+    }
+
+    #[test]
+    fn bert_large_is_about_335m_params() {
+        let m = bert_large();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 335.0e6).abs() / 335.0e6 < 0.03,
+            "BERT-large params {params}"
+        );
+    }
+
+    #[test]
+    fn vgg16_is_about_138m_params() {
+        let m = vgg16();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 138.36e6).abs() / 138.36e6 < 0.02,
+            "VGG-16 params {params}"
+        );
+    }
+
+    #[test]
+    fn model_ordering_matches_paper_size_ordering() {
+        // ResNet-50 < ResNet-101 < BERT_BASE in gradient size.
+        let sizes: Vec<f64> = paper_models().iter().map(ModelSpec::size_mb).collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        for m in paper_models() {
+            let mut names: Vec<&str> = m.layers.iter().map(|l| l.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "{} has duplicate layer names", m.name);
+        }
+    }
+
+    #[test]
+    fn resnet_last_stage_gradients_arrive_early() {
+        // Late ResNet stages hold most parameters but tiny feature maps:
+        // their gradients must be ready in the first few percent of the
+        // backward pass (this is what makes DDP overlap so effective).
+        let m = resnet50();
+        let ready = crate::buckets::ready_fractions(&m);
+        let fc_idx = m.layers.len() - 2; // fc.weight
+        assert!(
+            ready[fc_idx] < 0.05,
+            "fc gradient ready at {} of backward",
+            ready[fc_idx]
+        );
+    }
+
+    #[test]
+    fn gpt2_xl_is_about_1_5b_params() {
+        let m = gpt2_xl();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 1.56e9).abs() / 1.56e9 < 0.05,
+            "GPT-2 XL params {params}"
+        );
+    }
+
+    #[test]
+    fn dalle_scale_is_about_12b_params() {
+        let m = dalle_12b();
+        let params = m.total_params() as f64;
+        assert!(
+            (params - 12.0e9).abs() / 12.0e9 < 0.10,
+            "DALL-E-scale params {params}"
+        );
+        // ~45 GB of fp32 gradients: the §7 regime where compression wins.
+        assert!(m.size_mb() > 40_000.0);
+    }
+
+    #[test]
+    fn tiny_mlp_shape() {
+        let m = tiny_mlp(4, 8, 2);
+        assert_eq!(m.num_layers(), 6);
+        assert_eq!(m.total_params(), 8 * 4 + 8 + 64 + 8 + 16 + 2);
+    }
+}

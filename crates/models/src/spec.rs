@@ -1,0 +1,184 @@
+//! Model and layer specifications.
+
+use gcs_tensor::Shape;
+use serde::{Deserialize, Serialize};
+
+/// One parameter tensor of a model (a "layer" from the gradient
+/// communication perspective: a unit whose gradient becomes available
+/// atomically during the backward pass).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human-readable name, e.g. `"layer3.5.conv2.weight"`.
+    pub name: String,
+    /// Parameter tensor shape.
+    pub shape: Shape,
+    /// Relative backward-pass cost weight. For convolutions this is
+    /// `params x output spatial size` (FLOPs-proportional); defaults to
+    /// the parameter count for dense layers. Drives the gradient
+    /// ready-time model: late ResNet stages hold most parameters but tiny
+    /// feature maps, so their gradients arrive almost immediately —
+    /// which is why DDP's first bucket starts communicating so early.
+    #[serde(default)]
+    pub cost_weight: f64,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec with cost weight = parameter count.
+    pub fn new(name: impl Into<String>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let params = shape.numel() as f64;
+        LayerSpec {
+            name: name.into(),
+            shape,
+            cost_weight: params,
+        }
+    }
+
+    /// Overrides the backward cost weight (e.g. params x spatial area for
+    /// convolutions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn with_cost_weight(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "cost weight must be positive");
+        self.cost_weight = weight;
+        self
+    }
+
+    /// Number of parameters.
+    pub fn params(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Gradient size in bytes at `f32`.
+    pub fn grad_bytes(&self) -> usize {
+        self.params() * 4
+    }
+}
+
+/// A model: an ordered list of parameter tensors (forward order) plus the
+/// forward FLOP count used by the compute model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name, e.g. `"ResNet-50"`.
+    pub name: String,
+    /// Parameter tensors in forward order. Backward produces gradients in
+    /// *reverse* of this order.
+    pub layers: Vec<LayerSpec>,
+    /// Forward-pass GFLOPs per sample (backward is modelled as 2x).
+    pub fwd_gflops_per_sample: f64,
+}
+
+impl ModelSpec {
+    /// Creates a model spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `fwd_gflops_per_sample` is not
+    /// positive.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<LayerSpec>,
+        fwd_gflops_per_sample: f64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        assert!(
+            fwd_gflops_per_sample > 0.0,
+            "forward FLOPs must be positive"
+        );
+        ModelSpec {
+            name: name.into(),
+            layers,
+            fwd_gflops_per_sample,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(LayerSpec::params).sum()
+    }
+
+    /// Total gradient size in bytes at `f32`.
+    pub fn size_bytes(&self) -> usize {
+        self.total_params() * 4
+    }
+
+    /// Total gradient size in mebibytes (2^20 bytes — the unit behind the
+    /// paper's "97 MB / 170 MB / 418 MB" model sizes).
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Number of parameter tensors.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The largest single layer in parameters (interesting because
+    /// low-rank methods matricize per layer).
+    pub fn largest_layer(&self) -> &LayerSpec {
+        self.layers
+            .iter()
+            .max_by_key(|l| l.params())
+            .expect("non-empty by construction")
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.1} MB, {} params, {} tensors)",
+            self.name,
+            self.size_mb(),
+            self.total_params(),
+            self.num_layers()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes_model() {
+        let m = crate::presets::resnet50();
+        let s = m.to_string();
+        assert!(s.contains("ResNet-50"));
+        assert!(s.contains("tensors"));
+    }
+
+    #[test]
+    fn layer_accessors() {
+        let l = LayerSpec::new("w", [64, 3, 7, 7]);
+        assert_eq!(l.params(), 9408);
+        assert_eq!(l.grad_bytes(), 37632);
+    }
+
+    #[test]
+    fn model_totals() {
+        let m = ModelSpec::new(
+            "toy",
+            vec![LayerSpec::new("a", [12]), LayerSpec::new("b", [4, 2])],
+            1.0,
+        );
+        assert_eq!(m.total_params(), 20);
+        assert_eq!(m.size_bytes(), 80);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.largest_layer().name, "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        let _ = ModelSpec::new("bad", vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FLOPs must be positive")]
+    fn zero_flops_rejected() {
+        let _ = ModelSpec::new("bad", vec![LayerSpec::new("a", [1])], 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! IEEE 754 binary16 conversion, used by the half-precision ("communicate at
+//! half precision") baseline the paper recommends for moderate compression.
+//!
+//! Implemented from the bit layout directly so no external crate is needed.
+//! Round-to-nearest-even on encode; subnormals, infinities and NaN are
+//! handled.
+
+/// Converts an `f32` to its nearest `f16` bit pattern
+/// (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
+        return if mant != 0 { sign | 0x7e00 } else { sign | 0x7c00 };
+    }
+    // Re-bias exponent: f32 bias 127 -> f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal f16. Round mantissa from 23 to 10 bits, nearest-even.
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1fff;
+        let half = 0x1000;
+        let mut out = sign | (((unbiased + 15) as u16) << 10) | (mant16 as u16);
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out = out.wrapping_add(1); // may carry into exponent: correct (rounds up to next binade / inf)
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16.
+        let full_mant = mant | 0x0080_0000; // implicit leading 1
+        let shift = (-14 - unbiased) + 13;
+        let mant16 = full_mant >> shift;
+        let rem_mask = (1u32 << shift) - 1;
+        let rem = full_mant & rem_mask;
+        let half = 1u32 << (shift - 1);
+        let mut out = sign | (mant16 as u16);
+        if rem > half || (rem == half && (mant16 & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts an `f16` bit pattern back to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize.
+            let mut e = -14i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Encodes a slice of `f32` into packed `f16` bit patterns.
+pub fn encode_f16(data: &[f32]) -> Vec<u16> {
+    data.iter().map(|&x| f32_to_f16_bits(x)).collect()
+}
+
+/// Decodes packed `f16` bit patterns back to `f32`.
+pub fn decode_f16(half: &[u16]) -> Vec<f32> {
+    half.iter().map(|&h| f16_bits_to_f32(h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, -65504.0] {
+            let h = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(h), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16_bits(-0.0).to_be_bytes()[0] & 0x80, 0x80);
+        assert!(f16_bits_to_f32(0x8000).is_sign_negative());
+    }
+
+    #[test]
+    fn infinity_and_nan() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn tiny_values_flush_to_zero() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive f16 subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        let h = f32_to_f16_bits(tiny);
+        assert_eq!(f16_bits_to_f32(h), tiny);
+        // A subnormal with multiple mantissa bits.
+        let v = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v);
+    }
+
+    #[test]
+    fn relative_error_is_within_half_ulp() {
+        let vals: Vec<f32> = (1..2000).map(|i| (i as f32) * 0.013 - 13.0).collect();
+        for &v in &vals {
+            let r = f16_bits_to_f32(f32_to_f16_bits(v));
+            // f16 has 11 bits of significand => rel err <= 2^-11.
+            let tol = v.abs().max(2.0f32.powi(-14)) * 2.0f32.powi(-11);
+            assert!((r - v).abs() <= tol, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; must
+        // round to even mantissa (1.0).
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), 1.0);
+        // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+        let v = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn slice_encode_decode() {
+        let data = vec![1.0f32, -2.5, 0.125, 100.0];
+        let enc = encode_f16(&data);
+        assert_eq!(enc.len(), 4);
+        assert_eq!(decode_f16(&enc), data);
+    }
+}

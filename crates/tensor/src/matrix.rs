@@ -1,0 +1,515 @@
+//! Matrix views and the linear-algebra kernels used by low-rank
+//! compressors.
+//!
+//! PowerSGD's encode step is one power iteration:
+//! `P = M Q; orthonormalize(P); Q = Mᵀ P` — so the only kernels needed are
+//! the three matmul variants and a modified Gram–Schmidt. ATOMO additionally
+//! needs a truncated SVD, implemented in [`svd_truncated`] via subspace
+//! iteration on top of the same kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+/// An immutable matrix view over a flat `f32` slice (row-major).
+///
+/// # Example
+///
+/// ```
+/// use gcs_tensor::matrix::MatrixRef;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let m = MatrixRef::new(&data, 2, 3).unwrap();
+/// assert_eq!(m.get(1, 2), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MatrixRef<'a> {
+    /// Wraps `data` as a `rows x cols` row-major matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements", rows * cols),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(MatrixRef { data, rows, cols })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// The underlying row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        self.data
+    }
+}
+
+/// Checks that the output buffer has the expected size.
+fn check_out(out: &[f32], rows: usize, cols: usize) -> Result<()> {
+    if out.len() != rows * cols {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("{} elements", rows * cols),
+            actual: format!("{} elements", out.len()),
+        });
+    }
+    Ok(())
+}
+
+/// `out = A · B` where `A` is `m x k` and `B` is `k x n`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if inner dimensions or the output
+/// buffer size do not line up.
+pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("inner dim {}", a.cols()),
+            actual: format!("inner dim {}", b.rows()),
+        });
+    }
+    check_out(out, a.rows(), b.cols())?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.fill(0.0);
+    // i-k-j loop order: streams through B rows, cache friendly for row-major.
+    for i in 0..m {
+        for l in 0..k {
+            let aik = a.as_slice()[i * k + l];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[l * n..(l + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `out = Aᵀ · B` where `A` is `k x m` and `B` is `k x n` (no explicit
+/// transpose is materialized).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if row counts or the output buffer
+/// size do not line up.
+pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("shared rows {}", a.rows()),
+            actual: format!("shared rows {}", b.rows()),
+        });
+    }
+    check_out(out, a.cols(), b.cols())?;
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    out.fill(0.0);
+    for l in 0..k {
+        let arow = &a.as_slice()[l * m..(l + 1) * m];
+        let brow = &b.as_slice()[l * n..(l + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `out = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if column counts or the output
+/// buffer size do not line up.
+pub fn a_mul_bt(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("shared cols {}", a.cols()),
+            actual: format!("shared cols {}", b.cols()),
+        });
+    }
+    check_out(out, a.rows(), b.rows())?;
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    for i in 0..m {
+        let arow = &a.as_slice()[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b.as_slice()[j * k..(j + 1) * k];
+            out[i * n + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+        }
+    }
+    Ok(())
+}
+
+/// Orthonormalizes the columns of an `rows x cols` row-major matrix in place
+/// using modified Gram–Schmidt — the same `orthogonalize` step PowerSGD
+/// applies to `P` between the two matmuls of a power iteration.
+///
+/// Columns that become numerically zero (norm < 1e-12) are replaced by a
+/// deterministic pseudo-random unit direction re-orthogonalized against the
+/// previous columns, so the result always has orthonormal columns.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `m.len() != rows * cols`.
+pub fn orthonormalize_columns(m: &mut [f32], rows: usize, cols: usize) -> Result<()> {
+    check_out(m, rows, cols)?;
+    for c in 0..cols {
+        let pre_norm = (0..rows)
+            .map(|r| m[r * cols + c] * m[r * cols + c])
+            .sum::<f32>()
+            .sqrt();
+        // Subtract projections on previous columns.
+        for prev in 0..c {
+            let mut dot = 0.0f32;
+            for r in 0..rows {
+                dot += m[r * cols + c] * m[r * cols + prev];
+            }
+            for r in 0..rows {
+                m[r * cols + c] -= dot * m[r * cols + prev];
+            }
+        }
+        let mut norm = (0..rows)
+            .map(|r| m[r * cols + c] * m[r * cols + c])
+            .sum::<f32>()
+            .sqrt();
+        // Degenerate when the residual is swamped by f32 cancellation noise
+        // relative to the column's original magnitude.
+        if norm <= pre_norm * 1e-5 || norm < 1e-30 {
+            // Degenerate column: replace with a deterministic direction and
+            // re-orthogonalize once.
+            for r in 0..rows {
+                // Simple deterministic hash -> [-1, 1).
+                let h = (r.wrapping_mul(2654435761).wrapping_add(c * 97) & 0xffff) as f32;
+                m[r * cols + c] = h / 32768.0 - 1.0;
+            }
+            for prev in 0..c {
+                let mut dot = 0.0f32;
+                for r in 0..rows {
+                    dot += m[r * cols + c] * m[r * cols + prev];
+                }
+                for r in 0..rows {
+                    m[r * cols + c] -= dot * m[r * cols + prev];
+                }
+            }
+            norm = (0..rows)
+                .map(|r| m[r * cols + c] * m[r * cols + c])
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-12);
+        }
+        let inv = 1.0 / norm;
+        for r in 0..rows {
+            m[r * cols + c] *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// Result of a truncated SVD: `M ≈ U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// `rows x rank`, orthonormal columns.
+    pub u: Vec<f32>,
+    /// `rank` singular values, non-increasing.
+    pub s: Vec<f32>,
+    /// `cols x rank`, orthonormal columns (i.e. rows of Vᵀ stored
+    /// column-major by singular vector).
+    pub v: Vec<f32>,
+    /// Number of retained singular triplets.
+    pub rank: usize,
+}
+
+/// Computes a rank-`rank` truncated SVD of an `rows x cols` matrix by
+/// subspace (block power) iteration.
+///
+/// This is the kernel ATOMO-style compressors need. `iters` controls the
+/// number of subspace iterations; 8–15 is plenty for gradient matrices whose
+/// spectra decay quickly.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `m.len() != rows * cols`.
+///
+/// # Panics
+///
+/// Panics if `rank == 0`.
+pub fn svd_truncated(
+    m: &[f32],
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    iters: usize,
+) -> Result<TruncatedSvd> {
+    assert!(rank > 0, "svd rank must be positive");
+    let rank = rank.min(rows).min(cols);
+    let a = MatrixRef::new(m, rows, cols)?;
+    // Q: cols x rank, deterministic init.
+    let mut q = Tensor::randn([cols, rank], 0x5eed_cafe).into_vec();
+    orthonormalize_columns(&mut q, cols, rank)?;
+    let mut p = vec![0.0f32; rows * rank];
+    for _ in 0..iters.max(1) {
+        // P = A Q
+        matmul(a, MatrixRef::new(&q, cols, rank)?, &mut p)?;
+        orthonormalize_columns(&mut p, rows, rank)?;
+        // Q = Aᵀ P
+        at_mul_b(a, MatrixRef::new(&p, rows, rank)?, &mut q)?;
+        orthonormalize_columns(&mut q, cols, rank)?;
+    }
+    // Final sweep: P = A Q gives (non-orthogonal) U * diag(S) estimate.
+    matmul(a, MatrixRef::new(&q, cols, rank)?, &mut p)?;
+    // Column norms of P are the singular value estimates.
+    let mut s = vec![0.0f32; rank];
+    for c in 0..rank {
+        let norm: f32 = (0..rows)
+            .map(|r| p[r * rank + c] * p[r * rank + c])
+            .sum::<f32>()
+            .sqrt();
+        s[c] = norm;
+        let inv = if norm > 1e-12 { 1.0 / norm } else { 0.0 };
+        for r in 0..rows {
+            p[r * rank + c] *= inv;
+        }
+    }
+    // Sort triplets by singular value, descending.
+    let mut order: Vec<usize> = (0..rank).collect();
+    order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut u = vec![0.0f32; rows * rank];
+    let mut v = vec![0.0f32; cols * rank];
+    let mut s_sorted = vec![0.0f32; rank];
+    for (new_c, &old_c) in order.iter().enumerate() {
+        s_sorted[new_c] = s[old_c];
+        for r in 0..rows {
+            u[r * rank + new_c] = p[r * rank + old_c];
+        }
+        for r in 0..cols {
+            v[r * rank + new_c] = q[r * rank + old_c];
+        }
+    }
+    Ok(TruncatedSvd {
+        u,
+        s: s_sorted,
+        v,
+        rank,
+    })
+}
+
+impl TruncatedSvd {
+    /// Reconstructs the rank-`rank` approximation `U · diag(S) · Vᵀ` into a
+    /// `rows x cols` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `out.len() != rows * cols`.
+    pub fn reconstruct(&self, rows: usize, cols: usize, out: &mut [f32]) -> Result<()> {
+        check_out(out, rows, cols)?;
+        // Scale U columns by S, then multiply by Vᵀ.
+        let mut us = self.u.clone();
+        for r in 0..rows {
+            for c in 0..self.rank {
+                us[r * self.rank + c] *= self.s[c];
+            }
+        }
+        a_mul_bt(
+            MatrixRef::new(&us, rows, self.rank)?,
+            MatrixRef::new(&self.v, cols, self.rank)?,
+            out,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul(
+            MatrixRef::new(&a, 2, 2).unwrap(),
+            MatrixRef::new(&b, 2, 2).unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_errors() {
+        let a = [0.0; 6];
+        let b = [0.0; 6];
+        let mut out = [0.0; 4];
+        assert!(matmul(
+            MatrixRef::new(&a, 2, 3).unwrap(),
+            MatrixRef::new(&b, 2, 3).unwrap(),
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Tensor::randn([4, 3], 1).into_vec();
+        let b = Tensor::randn([4, 5], 2).into_vec();
+        // at_mul_b: (3x4)·(4x5) = 3x5
+        let mut out1 = vec![0.0; 15];
+        at_mul_b(
+            MatrixRef::new(&a, 4, 3).unwrap(),
+            MatrixRef::new(&b, 4, 5).unwrap(),
+            &mut out1,
+        )
+        .unwrap();
+        // Explicit transpose then matmul.
+        let mut at = vec![0.0; 12];
+        for r in 0..4 {
+            for c in 0..3 {
+                at[c * 4 + r] = a[r * 3 + c];
+            }
+        }
+        let mut out2 = vec![0.0; 15];
+        matmul(
+            MatrixRef::new(&at, 3, 4).unwrap(),
+            MatrixRef::new(&b, 4, 5).unwrap(),
+            &mut out2,
+        )
+        .unwrap();
+        assert!(approx_eq(&out1, &out2, 1e-4));
+    }
+
+    #[test]
+    fn a_mul_bt_agrees() {
+        let a = Tensor::randn([2, 6], 3).into_vec();
+        let b = Tensor::randn([4, 6], 4).into_vec();
+        let mut out1 = vec![0.0; 8];
+        a_mul_bt(
+            MatrixRef::new(&a, 2, 6).unwrap(),
+            MatrixRef::new(&b, 4, 6).unwrap(),
+            &mut out1,
+        )
+        .unwrap();
+        let mut bt = vec![0.0; 24];
+        for r in 0..4 {
+            for c in 0..6 {
+                bt[c * 4 + r] = b[r * 6 + c];
+            }
+        }
+        let mut out2 = vec![0.0; 8];
+        matmul(
+            MatrixRef::new(&a, 2, 6).unwrap(),
+            MatrixRef::new(&bt, 6, 4).unwrap(),
+            &mut out2,
+        )
+        .unwrap();
+        assert!(approx_eq(&out1, &out2, 1e-4));
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_columns() {
+        let mut m = Tensor::randn([20, 4], 9).into_vec();
+        orthonormalize_columns(&mut m, 20, 4).unwrap();
+        for c1 in 0..4 {
+            for c2 in 0..4 {
+                let dot: f32 = (0..20).map(|r| m[r * 4 + c1] * m[r * 4 + c2]).sum();
+                let expected = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-4, "col {c1}.{c2} dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_handles_dependent_columns() {
+        // Two identical columns: second must be replaced, not NaN.
+        let mut m = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        orthonormalize_columns(&mut m, 3, 2).unwrap();
+        assert!(m.iter().all(|x| x.is_finite()));
+        let dot: f32 = (0..3).map(|r| m[r * 2] * m[r * 2 + 1]).sum();
+        assert!(dot.abs() < 1e-4);
+    }
+
+    #[test]
+    fn svd_recovers_low_rank_matrix_exactly() {
+        // Build an exactly rank-2 matrix M = u1 v1ᵀ * 5 + u2 v2ᵀ * 2.
+        let rows = 16;
+        let cols = 24;
+        let u = Tensor::randn([rows, 2], 11).into_vec();
+        let v = Tensor::randn([cols, 2], 12).into_vec();
+        let mut m = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                m[r * cols + c] =
+                    5.0 * u[r * 2] * v[c * 2] + 2.0 * u[r * 2 + 1] * v[c * 2 + 1];
+            }
+        }
+        let svd = svd_truncated(&m, rows, cols, 2, 20).unwrap();
+        let mut rec = vec![0.0f32; rows * cols];
+        svd.reconstruct(rows, cols, &mut rec).unwrap();
+        let err: f32 = m
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        let norm: f32 = m.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(err / norm < 1e-2, "relative error {}", err / norm);
+    }
+
+    #[test]
+    fn svd_singular_values_descend() {
+        let m = Tensor::randn([30, 20], 13).into_vec();
+        let svd = svd_truncated(&m, 30, 20, 5, 15).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4, "singular values not sorted: {:?}", svd.s);
+        }
+    }
+
+    #[test]
+    fn svd_rank_clamped_to_min_dim() {
+        let m = Tensor::randn([3, 8], 14).into_vec();
+        let svd = svd_truncated(&m, 3, 8, 10, 10).unwrap();
+        assert_eq!(svd.rank, 3);
+    }
+
+    #[test]
+    fn matrixref_validates_len() {
+        let d = [0.0; 5];
+        assert!(MatrixRef::new(&d, 2, 3).is_err());
+        assert!(MatrixRef::new(&d, 1, 5).is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! Top-k / random-k index selection used by sparsification compressors.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A sparse selection: parallel arrays of flat indices and their values.
+///
+/// Indices are `u32` because the paper's Top-K implementation communicates
+/// 32-bit indices alongside 32-bit values (hence the 2x latency/byte
+/// overhead the performance model charges it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSelection {
+    /// Flat element indices, unordered.
+    pub indices: Vec<u32>,
+    /// Values at those indices.
+    pub values: Vec<f32>,
+}
+
+impl SparseSelection {
+    /// Number of selected entries.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the selection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Scatters the selection into a dense buffer of length `n`,
+    /// accumulating into existing content (`out[i] += v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= out.len()`.
+    pub fn scatter_add(&self, out: &mut [f32]) {
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] += v;
+        }
+    }
+}
+
+/// Selects the `k` entries of `data` with the largest absolute value.
+///
+/// Uses an average-O(n) quickselect on a scratch copy, then gathers the
+/// winning indices. Ties are broken arbitrarily (any valid top-k set may be
+/// returned, matching GPU top-k semantics). If `k >= data.len()` all entries
+/// are selected.
+///
+/// # Example
+///
+/// ```
+/// use gcs_tensor::select::top_k_abs;
+///
+/// let sel = top_k_abs(&[0.1, -5.0, 2.0, 0.0], 2);
+/// let mut idx = sel.indices.clone();
+/// idx.sort();
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k_abs(data: &[f32], k: usize) -> SparseSelection {
+    let n = data.len();
+    if k == 0 || n == 0 {
+        return SparseSelection {
+            indices: Vec::new(),
+            values: Vec::new(),
+        };
+    }
+    if k >= n {
+        return SparseSelection {
+            indices: (0..n as u32).collect(),
+            values: data.to_vec(),
+        };
+    }
+    // Quickselect the k-th largest absolute value.
+    let mut mags: Vec<f32> = data.iter().map(|x| x.abs()).collect();
+    let threshold = {
+        let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        *kth
+    };
+    // Gather: first everything strictly above threshold, then fill with
+    // threshold-equal entries until k are collected.
+    let mut indices = Vec::with_capacity(k);
+    let mut values = Vec::with_capacity(k);
+    for (i, &v) in data.iter().enumerate() {
+        if v.abs() > threshold {
+            indices.push(i as u32);
+            values.push(v);
+        }
+    }
+    if indices.len() < k {
+        for (i, &v) in data.iter().enumerate() {
+            if indices.len() == k {
+                break;
+            }
+            if v.abs() == threshold {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(indices.len(), k);
+    SparseSelection { indices, values }
+}
+
+/// Selects `k` uniformly random entries (without replacement) using a seeded
+/// RNG — the Random-K baseline from Table 1 of the paper.
+///
+/// All workers sharing the same `seed` select the same coordinates, which is
+/// what makes Random-K all-reduce compatible.
+pub fn random_k(data: &[f32], k: usize, seed: u64) -> SparseSelection {
+    let n = data.len();
+    let k = k.min(n);
+    if k == 0 {
+        return SparseSelection {
+            indices: Vec::new(),
+            values: Vec::new(),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<u32> = (0..n as u32).collect();
+    // partial_shuffle moves the `k` randomly chosen elements to the *end*
+    // of the slice and returns that shuffled portion first.
+    let (shuffled, _) = all.partial_shuffle(&mut rng, k);
+    let indices: Vec<u32> = shuffled.to_vec();
+    let values = indices.iter().map(|&i| data[i as usize]).collect();
+    SparseSelection { indices, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_picks_largest_magnitudes() {
+        let data = [1.0, -10.0, 3.0, 0.5, -4.0];
+        let sel = top_k_abs(&data, 3);
+        let mut pairs: Vec<(u32, f32)> =
+            sel.indices.iter().copied().zip(sel.values.iter().copied()).collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        assert_eq!(pairs, vec![(1, -10.0), (2, 3.0), (4, -4.0)]);
+    }
+
+    #[test]
+    fn top_k_zero_and_full() {
+        let data = [1.0, 2.0];
+        assert!(top_k_abs(&data, 0).is_empty());
+        let all = top_k_abs(&data, 5);
+        assert_eq!(all.len(), 2);
+        assert!(top_k_abs(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_handles_ties_with_exact_count() {
+        let data = [1.0f32; 100];
+        let sel = top_k_abs(&data, 37);
+        assert_eq!(sel.len(), 37);
+    }
+
+    #[test]
+    fn top_k_values_match_indices() {
+        let data: Vec<f32> = (0..1000).map(|i| ((i * 37 % 101) as f32) - 50.0).collect();
+        let sel = top_k_abs(&data, 100);
+        for (&i, &v) in sel.indices.iter().zip(&sel.values) {
+            assert_eq!(data[i as usize], v);
+        }
+        // Every selected magnitude >= every unselected magnitude.
+        let selected: std::collections::HashSet<u32> = sel.indices.iter().copied().collect();
+        let min_sel = sel.values.iter().map(|v| v.abs()).fold(f32::MAX, f32::min);
+        for (i, &v) in data.iter().enumerate() {
+            if !selected.contains(&(i as u32)) {
+                assert!(v.abs() <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn random_k_is_deterministic_and_distinct() {
+        let data: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let a = random_k(&data, 10, 7);
+        let b = random_k(&data, 10, 7);
+        assert_eq!(a, b);
+        let mut idx = a.indices.clone();
+        idx.sort();
+        idx.dedup();
+        assert_eq!(idx.len(), 10, "indices must be distinct");
+        let c = random_k(&data, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_k_is_not_biased_to_a_prefix() {
+        // Regression test: rand's partial_shuffle shuffles the slice tail,
+        // so naively taking the front returns 0..k almost verbatim.
+        let data = vec![0.0f32; 1000];
+        let sel = random_k(&data, 10, 99);
+        let prefix_hits = sel.indices.iter().filter(|&&i| i < 10).count();
+        assert!(prefix_hits < 5, "selection stuck on prefix: {:?}", sel.indices);
+        // Different seeds give different sets.
+        let other = random_k(&data, 10, 100);
+        assert_ne!(sel.indices, other.indices);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let sel = SparseSelection {
+            indices: vec![0, 2, 2],
+            values: vec![1.0, 2.0, 3.0],
+        };
+        let mut out = vec![10.0, 0.0, 0.0];
+        sel.scatter_add(&mut out);
+        assert_eq!(out, vec![11.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Small statistics helpers used by the experiment harness: error metrics
+//! between gradients, and mean/std summaries for timing series.
+
+use crate::Tensor;
+
+/// Relative L2 error `||a - b|| / ||a||` (returns `0` when `a` is the zero
+/// vector and `a == b`, `inf` when `a` is zero but `b` is not).
+///
+/// # Panics
+///
+/// Panics if the tensors have different element counts.
+pub fn relative_l2_error(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.numel(), b.numel(), "relative error needs equal lengths");
+    let diff: f32 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt();
+    let norm = a.l2_norm();
+    if norm == 0.0 {
+        if diff == 0.0 {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    } else {
+        diff / norm
+    }
+}
+
+/// Cosine similarity between two tensors viewed as flat vectors (0 if either
+/// is the zero vector).
+///
+/// # Panics
+///
+/// Panics if the tensors have different element counts.
+pub fn cosine_similarity(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.numel(), b.numel(), "cosine needs equal lengths");
+    let na = a.l2_norm();
+    let nb = b.l2_norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    a.dot(b).expect("lengths checked") / (na * nb)
+}
+
+/// Mean and sample standard deviation of a series.
+///
+/// Returns `(0, 0)` for an empty series and `(x, 0)` for a single sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Median of a series (average of middle two for even lengths; `0` for an
+/// empty series).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        let a = Tensor::from_vec(vec![3.0, 4.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0]);
+        assert_eq!(relative_l2_error(&a, &b), 0.0);
+        let c = Tensor::from_vec(vec![0.0, 0.0]);
+        assert_eq!(relative_l2_error(&c, &c), 0.0);
+        assert_eq!(relative_l2_error(&c, &a), f32::INFINITY);
+        let d = Tensor::from_vec(vec![6.0, 8.0]);
+        assert!((relative_l2_error(&a, &d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = Tensor::from_vec(vec![1.0, 0.0]);
+        let b = Tensor::from_vec(vec![0.0, 1.0]);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        let neg = a.scaled(-2.0);
+        assert!((cosine_similarity(&a, &neg) + 1.0).abs() < 1e-6);
+        let zero = Tensor::zeros([2]);
+        assert_eq!(cosine_similarity(&a, &zero), 0.0);
+    }
+
+    #[test]
+    fn mean_std_series() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_series() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

@@ -1,0 +1,482 @@
+//! The dense tensor type.
+
+use crate::Shape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and a buffer) had incompatible shapes.
+    ShapeMismatch {
+        /// Shape (or length) expected by the operation.
+        expected: String,
+        /// Shape (or length) actually supplied.
+        actual: String,
+    },
+    /// A reshape asked for a different number of elements.
+    InvalidReshape {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count the requested shape implies.
+        to: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "invalid reshape: {from} elements cannot become {to}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// A contiguous, row-major dense `f32` tensor.
+///
+/// This is the value type gradients are represented with throughout the
+/// study. It is intentionally simple — contiguous storage, eager
+/// elementwise ops — because the compression kernels built on top of it
+/// (power iteration, top-k selection, sign packing) only need flat access
+/// and matrix views.
+///
+/// # Example
+///
+/// ```
+/// use gcs_tensor::Tensor;
+///
+/// let mut g = Tensor::from_vec(vec![1.0, -2.0, 3.0]);
+/// g.scale(0.5);
+/// assert_eq!(g.data(), &[0.5, -1.0, 1.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a 1-D tensor owning `data`.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        let shape = Shape::new(vec![data.len()]);
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor from `data` with an explicit shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// `shape.numel()`.
+    pub fn from_shape_vec(shape: impl Into<Shape>, data: Vec<f32>) -> crate::Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements", shape.numel()),
+                actual: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor with i.i.d. standard-normal entries drawn from a
+    /// seeded RNG (Box–Muller over uniform draws; deterministic per seed).
+    pub fn randn(shape: impl Into<Shape>, seed: u64) -> Self {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box–Muller transform: two uniforms -> two normals.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor with entries uniform in `[lo, hi)` from a seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, seed: u64) -> Self {
+        assert!(lo < hi, "rand_uniform requires lo < hi");
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a copy with a new shape over the same elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if element counts differ.
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> crate::Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::InvalidReshape {
+                from: self.numel(),
+                to: shape.numel(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new tensor.
+    pub fn scaled(&self, s: f32) -> Tensor {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+
+    /// In-place elementwise addition: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> crate::Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place elementwise subtraction: `self -= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) -> crate::Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// In-place fused multiply-add: `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> crate::Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> crate::Result<Tensor> {
+        let mut out = self.clone();
+        out.add_assign(other)?;
+        Ok(out)
+    }
+
+    /// Returns `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> crate::Result<Tensor> {
+        let mut out = self.clone();
+        out.sub_assign(other)?;
+        Ok(out)
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> crate::Result<f32> {
+        if self.numel() != other.numel() {
+            return Err(TensorError::ShapeMismatch {
+                expected: format!("{} elements", self.numel()),
+                actual: format!("{} elements", other.numel()),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values.
+    pub fn l1_norm(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn linf_norm(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Element at flat index `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `i >= numel()`.
+    pub fn get(&self, i: usize) -> crate::Result<f32> {
+        self.data
+            .get(i)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: i,
+                len: self.data.len(),
+            })
+    }
+
+    fn check_same_shape(&self, other: &Tensor) -> crate::Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.to_string(),
+                actual: other.shape.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::from_vec(Vec::new())
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{}(", self.shape)?;
+        let show = self.data.len().min(8);
+        for (i, v) in self.data[..show].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > show {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full([4], 2.5);
+        assert!(f.data().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn from_shape_vec_validates_len() {
+        assert!(Tensor::from_shape_vec([2, 2], vec![1.0; 4]).is_ok());
+        let err = Tensor::from_shape_vec([2, 2], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn([100], 7);
+        let b = Tensor::randn([100], 7);
+        let c = Tensor::randn([100], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_has_roughly_standard_moments() {
+        let t = Tensor::randn([100_000], 1);
+        assert!(t.mean().abs() < 0.02, "mean {}", t.mean());
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32;
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_respects_bounds() {
+        let t = Tensor::rand_uniform([1000], -2.0, 3.0, 5);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![0.5, 0.5, 0.5]);
+        let mut c = a.add(&b).unwrap();
+        c.sub_assign(&b).unwrap();
+        assert_eq!(c, a);
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c.data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(vec![3.0, -4.0]);
+        assert!((t.l2_norm() - 5.0).abs() < 1e-6);
+        assert!((t.l1_norm() - 7.0).abs() < 1e-6);
+        assert!((t.linf_norm() - 4.0).abs() < 1e-6);
+        assert_eq!(Tensor::default().linf_norm(), 0.0);
+        assert_eq!(Tensor::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let t = Tensor::zeros([6]);
+        assert!(t.reshaped([2, 3]).is_ok());
+        assert!(matches!(
+            t.reshaped([4, 2]),
+            Err(TensorError::InvalidReshape { from: 6, to: 8 })
+        ));
+    }
+
+    #[test]
+    fn get_bounds() {
+        let t = Tensor::from_vec(vec![1.0]);
+        assert_eq!(t.get(0).unwrap(), 1.0);
+        assert!(t.get(1).is_err());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros([100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.starts_with("Tensor[100]("));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = TensorError::IndexOutOfBounds { index: 5, len: 2 };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the linear-algebra kernels.
+
+use gcs_tensor::matrix::{
+    a_mul_bt, at_mul_b, matmul, orthonormalize_columns, svd_truncated, MatrixRef,
+};
+use gcs_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Random matrix dims kept small so each case is fast.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+fn frob(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative((m, k, n) in dims(), l in 1usize..8, s1 in 0u64..100) {
+        let a = Tensor::randn([m, k], s1).into_vec();
+        let b = Tensor::randn([k, n], s1 + 1).into_vec();
+        let c = Tensor::randn([n, l], s1 + 2).into_vec();
+        let mut ab = vec![0.0; m * n];
+        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut ab)
+            .unwrap();
+        let mut ab_c = vec![0.0; m * l];
+        matmul(MatrixRef::new(&ab, m, n).unwrap(), MatrixRef::new(&c, n, l).unwrap(), &mut ab_c)
+            .unwrap();
+        let mut bc = vec![0.0; k * l];
+        matmul(MatrixRef::new(&b, k, n).unwrap(), MatrixRef::new(&c, n, l).unwrap(), &mut bc)
+            .unwrap();
+        let mut a_bc = vec![0.0; m * l];
+        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&bc, k, l).unwrap(), &mut a_bc)
+            .unwrap();
+        let diff: f32 = ab_c.iter().zip(&a_bc).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max);
+        let scale = frob(&ab_c).max(1.0);
+        prop_assert!(diff <= 1e-3 * scale, "diff {diff} scale {scale}");
+    }
+
+    /// Aᵀ·B computed directly equals transpose-then-matmul.
+    #[test]
+    fn at_mul_b_matches_explicit_transpose((k, m, n) in dims(), seed in 0u64..100) {
+        let a = Tensor::randn([k, m], seed).into_vec();
+        let b = Tensor::randn([k, n], seed + 7).into_vec();
+        let mut direct = vec![0.0; m * n];
+        at_mul_b(MatrixRef::new(&a, k, m).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut direct)
+            .unwrap();
+        let mut at = vec![0.0; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                at[c * k + r] = a[r * m + c];
+            }
+        }
+        let mut explicit = vec![0.0; m * n];
+        matmul(MatrixRef::new(&at, m, k).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut explicit)
+            .unwrap();
+        for (x, y) in direct.iter().zip(&explicit) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A·Bᵀ equals matmul against the explicit transpose.
+    #[test]
+    fn a_mul_bt_matches_explicit_transpose((m, k, n) in dims(), seed in 0u64..100) {
+        let a = Tensor::randn([m, k], seed).into_vec();
+        let b = Tensor::randn([n, k], seed + 3).into_vec();
+        let mut direct = vec![0.0; m * n];
+        a_mul_bt(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&b, n, k).unwrap(), &mut direct)
+            .unwrap();
+        let mut bt = vec![0.0; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b[r * k + c];
+            }
+        }
+        let mut explicit = vec![0.0; m * n];
+        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&bt, k, n).unwrap(), &mut explicit)
+            .unwrap();
+        for (x, y) in direct.iter().zip(&explicit) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Orthonormalization always produces orthonormal columns, for any
+    /// input (including rank-deficient ones).
+    #[test]
+    fn orthonormalize_always_orthonormal(rows in 2usize..16, cols in 1usize..6, seed in 0u64..50, degenerate in proptest::bool::ANY) {
+        let cols = cols.min(rows);
+        let mut m = Tensor::randn([rows, cols], seed).into_vec();
+        if degenerate && cols >= 2 {
+            // Force column 1 = column 0 to exercise the rescue path.
+            for r in 0..rows {
+                m[r * cols + 1] = m[r * cols];
+            }
+        }
+        orthonormalize_columns(&mut m, rows, cols).unwrap();
+        for c1 in 0..cols {
+            for c2 in 0..cols {
+                let dot: f32 = (0..rows).map(|r| m[r * cols + c1] * m[r * cols + c2]).sum();
+                let expect = if c1 == c2 { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 2e-3, "cols {c1},{c2}: {dot}");
+            }
+        }
+    }
+
+    /// Truncated SVD reconstruction never increases the Frobenius error
+    /// beyond the input norm, and full-rank SVD is near exact.
+    #[test]
+    fn svd_error_is_bounded(rows in 2usize..10, cols in 2usize..10, seed in 0u64..50) {
+        let m = Tensor::randn([rows, cols], seed).into_vec();
+        let full_rank = rows.min(cols);
+        let svd = svd_truncated(&m, rows, cols, full_rank, 25).unwrap();
+        let mut rec = vec![0.0; rows * cols];
+        svd.reconstruct(rows, cols, &mut rec).unwrap();
+        let err: f32 = m.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        prop_assert!(err <= 0.05 * frob(&m).max(1e-3), "err {err} norm {}", frob(&m));
+    }
+
+    /// Rank-1 truncation error is at most the input norm and the
+    /// approximation captures the dominant direction (error strictly less
+    /// than the norm for matrices with any signal).
+    #[test]
+    fn svd_rank1_error_below_input_norm(rows in 2usize..10, cols in 2usize..10, seed in 0u64..50) {
+        let m = Tensor::randn([rows, cols], seed).into_vec();
+        let svd = svd_truncated(&m, rows, cols, 1, 20).unwrap();
+        let mut rec = vec![0.0; rows * cols];
+        svd.reconstruct(rows, cols, &mut rec).unwrap();
+        let err: f32 = m.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let norm = frob(&m);
+        prop_assert!(err <= norm * (1.0 + 1e-3), "err {err} vs norm {norm}");
+    }
+}

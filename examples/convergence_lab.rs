@@ -1,0 +1,64 @@
+//! Convergence lab: train a real (synthetic) problem through real
+//! gradient compression and watch the loss curves — including the classic
+//! "error feedback fixes SignSGD" effect.
+//!
+//! ```sh
+//! cargo run --release --example convergence_lab
+//! ```
+
+use gradcomp::compress::registry::MethodConfig;
+use gradcomp::train::harness::{train_distributed, TrainConfig};
+use gradcomp::train::task::{LinearRegression, MlpClassification, Task};
+
+fn sparkline(losses: &[(usize, f64)]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = losses.iter().map(|&(_, l)| l).fold(f64::MIN, f64::max);
+    let min = losses.iter().map(|&(_, l)| l).fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    losses
+        .iter()
+        .map(|&(_, l)| BARS[(((l - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = LinearRegression::new(16, 256, 0.01, 7);
+    let cfg = TrainConfig::new().workers(4).steps(250).lr(0.05).batch(16).seed(11);
+
+    println!("Linear regression, 4 workers, 250 steps (loss sparklines, high→low):\n");
+    for method in [
+        MethodConfig::SyncSgd,
+        MethodConfig::PowerSgd { rank: 2 },
+        MethodConfig::EfSignSgd,
+        MethodConfig::SignSgd,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::RandomK { ratio: 0.25 },
+    ] {
+        let rep = train_distributed(&task, &method, &cfg)?;
+        println!(
+            "  {:<18} {}  final {:.5}",
+            rep.method,
+            sparkline(&rep.losses),
+            rep.final_loss()
+        );
+    }
+    println!(
+        "\nNote how plain SignSGD (unit magnitude, no error feedback) stalls at a\n\
+         much higher loss than EF-SignSGD — the 'error feedback fixes SignSGD' result."
+    );
+
+    let mlp = MlpClassification::new(8, 24, 4, 512, 3);
+    let mcfg = TrainConfig::new().workers(2).steps(200).lr(0.5).batch(32).seed(5);
+    println!("\nMLP classification (4 Gaussian blobs), 2 workers, 200 steps:\n");
+    println!("  untrained accuracy: {:.1}%", mlp.accuracy(&mlp.init_params(mcfg.seed)) * 100.0);
+    for method in [MethodConfig::SyncSgd, MethodConfig::PowerSgd { rank: 4 }] {
+        let rep = train_distributed(&mlp, &method, &mcfg)?;
+        println!(
+            "  {:<18} CE loss {:.3} -> {:.3}",
+            rep.method,
+            rep.initial_loss(),
+            rep.final_loss()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! What-if analysis: the workflow §7 proposes for data scientists — given
+//! *your* model, batch size, cluster size and network, which (if any)
+//! compression scheme gives a real end-to-end speedup?
+//!
+//! ```sh
+//! cargo run --release --example whatif_analysis
+//! ```
+
+use gradcomp::compress::registry::MethodConfig;
+use gradcomp::core::ideal::{ideal_gap, required_compression, RequiredCompression};
+use gradcomp::core::perf::predict_iteration;
+use gradcomp::core::whatif::{bandwidth_sweep, compute_sweep};
+use gradcomp::cluster::cost::NetworkModel;
+use gradcomp::ddp::sim::SimConfig;
+use gradcomp::models::{presets, DeviceSpec};
+
+fn main() {
+    // Pretend this is the user's setup.
+    let model = presets::resnet101();
+    let workers = 64;
+    let batch = 32;
+    let device = DeviceSpec::v100();
+    let network = NetworkModel::datacenter_10gbps();
+
+    println!("Setup: {} | {workers} GPUs | batch {batch}/GPU | 10 Gbps\n", model.name);
+
+    // 1. How much headroom is there at all?
+    let gap = ideal_gap(&model, &device, &network, workers, batch);
+    println!("Gap between syncSGD and perfect scaling: {:.0} ms", gap * 1e3);
+    match required_compression(&model, &device, &network, workers, batch) {
+        RequiredCompression::Achievable { ratio, .. } => {
+            println!("Compression needed to fully hide communication: {ratio:.1}x");
+        }
+        RequiredCompression::LatencyBound => {
+            println!("Latency-bound: no amount of compression reaches ideal scaling.");
+        }
+    }
+
+    // 2. Rank every catalogue method by predicted iteration time.
+    println!("\nPredicted iteration time by method:");
+    let mut scored: Vec<(String, f64)> = [
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::PowerSgd { rank: 4 },
+        MethodConfig::PowerSgd { rank: 8 },
+        MethodConfig::TopK { ratio: 0.01 },
+        MethodConfig::SignSgd,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.01 },
+        MethodConfig::Sketch { block: 4 },
+    ]
+    .iter()
+    .map(|m| {
+        let cfg = SimConfig::new(model.clone(), workers)
+            .batch_per_worker(batch)
+            .device(device.clone())
+            .network(network)
+            .method(m.clone());
+        let name = m.build().map(|c| c.properties().name).unwrap_or_default();
+        (name, predict_iteration(&cfg).total_s)
+    })
+    .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+    for (i, (name, t)) in scored.iter().enumerate() {
+        println!("  {}. {:<22} {:>7.1} ms", i + 1, name, t * 1e3);
+    }
+    println!("\nRecommendation: {}", scored[0].0);
+
+    // 3. When WOULD compression help? Bandwidth and compute sweeps.
+    println!("\nIf your network were slower (PowerSGD r4 speedup over syncSGD):");
+    for pt in bandwidth_sweep(
+        &model,
+        &device,
+        workers,
+        batch,
+        &MethodConfig::PowerSgd { rank: 4 },
+        &[1.0, 3.0, 5.0, 10.0, 25.0],
+        15e-6,
+    ) {
+        println!("  {:>4.0} Gbps: {:.2}x", pt.x, pt.speedup());
+    }
+    println!("\nIf your GPUs were faster (bandwidth fixed at 10 Gbps):");
+    for pt in compute_sweep(
+        &model,
+        &network,
+        workers,
+        batch,
+        &MethodConfig::PowerSgd { rank: 4 },
+        &[1.0, 2.0, 4.0],
+    ) {
+        println!("  {:>3.0}x compute: {:.2}x", pt.x, pt.speedup());
+    }
+}

@@ -1,0 +1,42 @@
+//! Facade crate for the gradient-compression utility study — a Rust
+//! reproduction of *"On the Utility of Gradient Compression in Distributed
+//! Training Systems"* (MLSys 2022).
+//!
+//! Re-exports every sub-crate under one roof:
+//!
+//! * [`tensor`] — dense `f32` tensors, orthogonalization, top-k, sign
+//!   packing;
+//! * [`compress`] — the 14 gradient-compression schemes (PowerSGD, Top-K,
+//!   SignSGD, QSGD, …) behind one round-based [`compress::Compressor`]
+//!   protocol;
+//! * [`cluster`] — in-process multi-worker collectives + α–β cost model;
+//! * [`models`] — ResNet/BERT/VGG specs, V100-calibrated compute model,
+//!   DDP bucketing;
+//! * [`ddp`] — discrete-event iteration simulator + real-execution
+//!   data-parallel engine;
+//! * [`train`] — convergence validation on synthetic tasks;
+//! * [`core`] — the paper's performance model, ideal-scaling analysis and
+//!   what-if engine.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gradcomp::compress::{driver::round_trip, powersgd::PowerSgd};
+//! use gradcomp::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), gradcomp::compress::CompressError> {
+//! let grad = Tensor::randn([64, 128], 7);
+//! let mut compressor = PowerSgd::new(4)?;
+//! let approx = round_trip(&mut compressor, 0, &grad)?;
+//! assert_eq!(approx.shape(), grad.shape());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gcs_cluster as cluster;
+pub use gcs_compress as compress;
+pub use gcs_core as core;
+pub use gcs_ddp as ddp;
+pub use gcs_models as models;
+pub use gcs_tensor as tensor;
+pub use gcs_train as train;
