@@ -1,48 +1,42 @@
-//! Criterion benchmarks of the in-process collectives: ring all-reduce vs
+//! Microbenchmarks of the in-process collectives: ring all-reduce vs
 //! all-gather as the worker count grows — the data-plane analogue of the
 //! scalability argument (per-worker ring traffic is flat; gather traffic
 //! grows with `p`).
+//!
+//! Plain `main()` harness (`harness = false`): run with
+//! `cargo bench -p gcs-bench --bench collectives`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_bench::timing::{bench, black_box};
 use gcs_cluster::SimCluster;
-use std::hint::black_box;
 
-fn bench_all_reduce(c: &mut Criterion) {
+fn main() {
     let n = 1 << 18; // 256k f32 = 1 MB
-    let mut group = c.benchmark_group("ring_all_reduce_1mb");
-    group.sample_size(10);
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for p in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let outs = SimCluster::run(p, |w| {
-                    let mut buf = vec![w.rank() as f32; n];
-                    w.all_reduce_sum(&mut buf).expect("all-reduce");
-                    buf[0]
-                });
-                black_box(outs);
+        let t = bench(2, 10, || {
+            let outs = SimCluster::run(p, |w| {
+                let mut buf = vec![w.rank() as f32; n];
+                w.all_reduce_sum(&mut buf).expect("all-reduce");
+                buf[0]
             });
+            black_box(outs);
         });
+        rows.push(vec!["ring_all_reduce_1mb".into(), p.to_string(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
     }
-    group.finish();
-}
-
-fn bench_all_gather(c: &mut Criterion) {
     let bytes = 1 << 20; // 1 MB per worker
-    let mut group = c.benchmark_group("all_gather_1mb");
-    group.sample_size(10);
     for p in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                let outs = SimCluster::run(p, |w| {
-                    let blob = vec![w.rank() as u8; bytes];
-                    w.all_gather_bytes(&blob).expect("all-gather").len()
-                });
-                black_box(outs);
+        let t = bench(2, 10, || {
+            let outs = SimCluster::run(p, |w| {
+                let blob = vec![w.rank() as u8; bytes];
+                w.all_gather_bytes(&blob).expect("all-gather").len()
             });
+            black_box(outs);
         });
+        rows.push(vec!["all_gather_1mb".into(), p.to_string(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
     }
-    group.finish();
+    gcs_bench::print_table(
+        "Collective microbenchmarks (1 MB payload)",
+        &["Collective", "Workers", "Time (ms, mean±std)"],
+        &rows,
+    );
 }
-
-criterion_group!(benches, bench_all_reduce, bench_all_gather);
-criterion_main!(benches);

@@ -1,15 +1,17 @@
-//! Criterion microbenchmarks of the real encode/decode kernels — the
-//! living version of the paper's Table 2, on host CPU.
+//! Microbenchmarks of the real encode/decode kernels — the living version
+//! of the paper's Table 2, on host CPU.
 //!
 //! The gradient is a ResNet-style conv stack scaled down (~2.4 M
-//! parameters) so a full Criterion run stays fast; `table2` (the binary)
-//! measures the full 25.6 M-parameter ResNet-50.
+//! parameters) so a full run stays fast; `table2` (the binary) measures
+//! the full 25.6 M-parameter ResNet-50.
+//!
+//! Plain `main()` harness (`harness = false`): run with
+//! `cargo bench -p gcs-bench --bench encode_decode`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcs_bench::timing::{bench, black_box};
 use gcs_compress::driver::round_trip;
 use gcs_compress::registry::MethodConfig;
 use gcs_tensor::Tensor;
-use std::hint::black_box;
 
 /// A reduced conv-net gradient set (~2.4 M params across realistic
 /// shapes).
@@ -32,7 +34,7 @@ fn gradients() -> Vec<Tensor> {
         .collect()
 }
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let grads = gradients();
     let methods = [
         MethodConfig::SyncSgd,
@@ -50,46 +52,34 @@ fn bench_methods(c: &mut Criterion) {
         MethodConfig::Variance { kappa: 1.5 },
         MethodConfig::Natural,
     ];
-    let mut group = c.benchmark_group("encode_decode");
-    group.sample_size(10);
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for method in &methods {
-        let name = method
-            .build()
-            .expect("method builds")
-            .properties()
-            .name;
-        group.bench_with_input(BenchmarkId::from_parameter(name), method, |b, m| {
-            let mut compressor = m.build().expect("method builds");
-            b.iter(|| {
-                for (layer, g) in grads.iter().enumerate() {
-                    let out = round_trip(&mut compressor, layer, g).expect("round trip");
-                    black_box(out);
-                }
-            });
-        });
-    }
-    group.finish();
-}
-
-/// ATOMO separately: its SVD is orders of magnitude slower, so it gets a
-/// smaller input to keep the suite quick.
-fn bench_atomo(c: &mut Criterion) {
-    let grads = [Tensor::randn([128, 128, 3, 3], 0)];
-    let mut group = c.benchmark_group("encode_decode_svd");
-    group.sample_size(10);
-    group.bench_function("ATOMO (rank 4)", |b| {
-        let mut compressor = MethodConfig::Atomo { rank: 4 }
-            .build()
-            .expect("method builds");
-        b.iter(|| {
+        let name = method.build().expect("method builds").properties().name;
+        let mut compressor = method.build().expect("method builds");
+        let t = bench(2, 10, || {
             for (layer, g) in grads.iter().enumerate() {
                 let out = round_trip(&mut compressor, layer, g).expect("round trip");
                 black_box(out);
             }
         });
-    });
-    group.finish();
+        rows.push(vec![name, gcs_bench::ms_pm(t.mean_s, t.std_s)]);
+    }
+    // ATOMO separately: its SVD is orders of magnitude slower, so it gets a
+    // smaller input to keep the suite quick.
+    {
+        let grads = [Tensor::randn([128, 128, 3, 3], 0)];
+        let mut compressor = MethodConfig::Atomo { rank: 4 }.build().expect("method builds");
+        let t = bench(1, 10, || {
+            for (layer, g) in grads.iter().enumerate() {
+                let out = round_trip(&mut compressor, layer, g).expect("round trip");
+                black_box(out);
+            }
+        });
+        rows.push(vec!["ATOMO (rank 4, small input)".into(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
+    }
+    gcs_bench::print_table(
+        "Encode+decode round trip (~2.4 M params)",
+        &["Method", "Time (ms, mean±std)"],
+        &rows,
+    );
 }
-
-criterion_group!(benches, bench_methods, bench_atomo);
-criterion_main!(benches);

@@ -66,7 +66,19 @@ fn main() {
     );
     let json: Vec<serde_json::Value> = ranked
         .iter()
-        .map(|t| serde_json::to_value(t).expect("serializable"))
+        .map(|t| {
+            serde_json::json!({
+                "method": t.method,
+                "steps_to_target": t
+                    .steps_to_target
+                    .map_or(serde_json::Value::Null, serde_json::Value::from),
+                "per_step_s": t.per_step_s,
+                "seconds_to_target": t
+                    .seconds_to_target
+                    .map_or(serde_json::Value::Null, serde_json::Value::from),
+                "final_loss": t.final_loss,
+            })
+        })
         .collect();
     gcs_bench::write_json("ext_time_to_accuracy", &serde_json::Value::Array(json));
 }

@@ -33,7 +33,7 @@ fn main() {
                 RequiredCompression::LatencyBound => {
                     json.push(serde_json::json!({
                         "model": model.name, "batch": batch,
-                        "required_ratio": null,
+                        "required_ratio": serde_json::Value::Null,
                     }));
                     "latency-bound".to_owned()
                 }

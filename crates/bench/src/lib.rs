@@ -15,6 +15,8 @@ use gcs_models::ModelSpec;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod timing;
+
 /// The paper's per-worker batch size for a model (64 for vision, 12 for
 /// BERT).
 pub fn paper_batch(model: &ModelSpec) -> usize {
@@ -162,8 +164,8 @@ pub fn scaling_figure(
                     ms_pm(r.measured_s, r.std_s),
                 ]);
                 all_rows.push(serde_json::json!({
-                    "model": r.model,
-                    "method": r.method,
+                    "model": &r.model,
+                    "method": &r.method,
                     "workers": r.workers,
                     "batch": r.batch,
                     "measured_s": r.measured_s,

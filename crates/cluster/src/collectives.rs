@@ -5,13 +5,23 @@
 //! the paper forces for its model validation). All collectives move actual
 //! bytes through the channel mesh so that non-associative aggregations can
 //! only be expressed the way real systems express them: via all-gather.
+//!
+//! # Data-plane fast path
+//!
+//! The hot loop of [`WorkerHandle::all_reduce_sum`] is allocation-free in
+//! steady state: the wire buffer it sends is reclaimed from the previous
+//! step's received [`Frame`] (frames on a ring have exactly one receiver,
+//! so [`Frame::into_vec`] recovers the allocation without copying), and
+//! f32↔byte conversion runs over `chunks_exact` slices instead of
+//! per-element `Vec` growth. All-gather and broadcast forward frames by
+//! refcount bump.
 
-use crate::transport::WorkerHandle;
+use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
 
 /// Splits `len` elements into `p` contiguous chunks whose sizes differ by
 /// at most one. Returns the `(start, end)` of chunk `i`.
-fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
+pub(crate) fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
     let base = len / p;
     let rem = len % p;
     let start = i * base + i.min(rem);
@@ -19,25 +29,41 @@ fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
     (start, start + size)
 }
 
-fn f32s_to_bytes(xs: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(xs.len() * 4);
-    for x in xs {
-        out.extend_from_slice(&x.to_le_bytes());
+/// Serializes `xs` little-endian into `out`, reusing its allocation.
+pub(crate) fn fill_bytes_from_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    // Plain resize, not clear + resize: a reclaimed ring buffer already has
+    // (nearly) the right length, so steady-state steps skip the zero-fill
+    // memset entirely and go straight to the overwrite below.
+    out.resize(xs.len() * 4, 0);
+    for (b, x) in out.chunks_exact_mut(4).zip(xs) {
+        b.copy_from_slice(&x.to_le_bytes());
     }
-    out
 }
 
-fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
-    if !bytes.len().is_multiple_of(4) {
+/// Checks that `bytes` decodes to exactly `expected` f32s.
+pub(crate) fn check_f32_frame(bytes: &[u8], expected: usize, what: &str) -> Result<()> {
+    if bytes.len() != expected * 4 {
         return Err(ClusterError::Mismatch(format!(
-            "frame of {} bytes is not a whole number of f32s",
-            bytes.len()
+            "{what} frame of {} bytes != expected {} f32s",
+            bytes.len(),
+            expected
         )));
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect())
+    Ok(())
+}
+
+/// Decodes `bytes` into `out[..]` in place (`out.len() * 4 == bytes.len()`).
+pub(crate) fn fill_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
+    for (x, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *x = f32::from_le_bytes(b.try_into().expect("4 bytes"));
+    }
+}
+
+/// Accumulates `bytes` (decoded as f32s) into `out[..]` in place.
+pub(crate) fn add_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
+    for (x, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *x += f32::from_le_bytes(b.try_into().expect("4 bytes"));
+    }
 }
 
 impl WorkerHandle {
@@ -45,6 +71,11 @@ impl WorkerHandle {
     /// elementwise sum over all ranks.
     ///
     /// All ranks must call this with buffers of equal length.
+    ///
+    /// Steady-state allocation-free: across all `2(p−1)` ring steps the
+    /// only buffers in play are one outgoing wire buffer per worker, which
+    /// circulates around the ring (each received frame is uniquely owned,
+    /// so its allocation is reclaimed and refilled for the next send).
     ///
     /// # Errors
     ///
@@ -60,6 +91,10 @@ impl WorkerHandle {
         let next = self.ring_next();
         let prev = self.ring_prev();
 
+        // One scratch buffer seeded here; every subsequent send reuses the
+        // allocation of the frame received in the previous step.
+        let mut wire: Vec<u8> = Vec::with_capacity(len.div_ceil(p) * 4);
+
         // Phase 1: reduce-scatter. After step s, the chunk we just received
         // accumulates one more contribution; after p-1 steps chunk
         // (rank+1) % p holds the full sum.
@@ -67,19 +102,13 @@ impl WorkerHandle {
             let send_idx = (rank + p - s) % p;
             let recv_idx = (rank + 2 * p - s - 1) % p;
             let (ss, se) = chunk_range(len, p, send_idx);
-            self.send(next, f32s_to_bytes(&buf[ss..se]))?;
-            let incoming = bytes_to_f32s(&self.recv(prev)?)?;
+            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+            self.send(next, Frame::from_vec(wire))?;
+            let incoming = self.recv(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
-            if incoming.len() != re - rs {
-                return Err(ClusterError::Mismatch(format!(
-                    "reduce-scatter chunk size {} != expected {}",
-                    incoming.len(),
-                    re - rs
-                )));
-            }
-            for (x, y) in buf[rs..re].iter_mut().zip(&incoming) {
-                *x += y;
-            }
+            check_f32_frame(&incoming, re - rs, "reduce-scatter")?;
+            add_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            wire = incoming.into_vec();
         }
 
         // Phase 2: all-gather of the reduced chunks.
@@ -87,17 +116,13 @@ impl WorkerHandle {
             let send_idx = (rank + 1 + p - s) % p;
             let recv_idx = (rank + p - s) % p;
             let (ss, se) = chunk_range(len, p, send_idx);
-            self.send(next, f32s_to_bytes(&buf[ss..se]))?;
-            let incoming = bytes_to_f32s(&self.recv(prev)?)?;
+            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+            self.send(next, Frame::from_vec(wire))?;
+            let incoming = self.recv(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
-            if incoming.len() != re - rs {
-                return Err(ClusterError::Mismatch(format!(
-                    "all-gather chunk size {} != expected {}",
-                    incoming.len(),
-                    re - rs
-                )));
-            }
-            buf[rs..re].copy_from_slice(&incoming);
+            check_f32_frame(&incoming, re - rs, "all-gather")?;
+            fill_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            wire = incoming.into_vec();
         }
         Ok(())
     }
@@ -121,20 +146,24 @@ impl WorkerHandle {
     /// non-all-reducible compressors are forced into; each worker receives
     /// `(p−1)` foreign blobs, so traffic grows linearly in `p`.
     ///
+    /// Forwarding is zero-copy: each foreign blob is kept and re-sent as
+    /// the same [`Frame`] (refcount bump), so a blob traverses the whole
+    /// ring with exactly one allocation at its origin.
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::Disconnected`] if a peer hangs up.
-    pub fn all_gather_bytes(&self, own: &[u8]) -> Result<Vec<Vec<u8>>> {
+    pub fn all_gather_bytes(&self, own: &[u8]) -> Result<Vec<Frame>> {
         let p = self.world();
         let rank = self.rank();
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
-        out[rank] = own.to_vec();
+        let mut out: Vec<Frame> = vec![Frame::empty(); p];
+        out[rank] = Frame::copy_from_slice(own);
         if p == 1 {
             return Ok(out);
         }
         let next = self.ring_next();
         let prev = self.ring_prev();
-        let mut current = own.to_vec();
+        let mut current = out[rank].clone();
         for s in 0..p - 1 {
             self.send(next, current)?;
             current = self.recv(prev)?;
@@ -146,13 +175,13 @@ impl WorkerHandle {
 
     /// Broadcast from `root`: returns the root's bytes on every rank.
     /// Implemented as a binomial tree over ranks rotated so `root` is the
-    /// tree root.
+    /// tree root; every hop forwards the same [`Frame`] by refcount bump.
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidArgument`] if `root` is out of range
     /// or a non-root passes data.
-    pub fn broadcast(&self, root: usize, data: Option<&[u8]>) -> Result<Vec<u8>> {
+    pub fn broadcast(&self, root: usize, data: Option<&[u8]>) -> Result<Frame> {
         let p = self.world();
         if root >= p {
             return Err(ClusterError::InvalidArgument(format!(
@@ -172,7 +201,7 @@ impl WorkerHandle {
         }
         // Virtual rank with root at 0.
         let vrank = (self.rank() + p - root) % p;
-        let mut have: Option<Vec<u8>> = data.map(<[u8]>::to_vec);
+        let mut have: Option<Frame> = data.map(Frame::copy_from_slice);
         // Binomial tree: in round k (mask = 2^k), ranks with vrank < mask
         // send to vrank + mask.
         let mut mask = 1usize;
@@ -209,6 +238,19 @@ impl WorkerHandle {
 mod tests {
     use super::*;
     use crate::SimCluster;
+
+    /// Decodes a whole frame into a fresh `Vec<f32>`.
+    fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
+        if bytes.len() % 4 != 0 {
+            return Err(ClusterError::Mismatch(format!(
+                "frame of {} bytes is not a whole number of f32s",
+                bytes.len()
+            )));
+        }
+        let mut out = vec![0.0f32; bytes.len() / 4];
+        fill_f32s_from_bytes(&mut out, bytes);
+        Ok(out)
+    }
 
     #[test]
     fn chunk_ranges_partition_exactly() {
@@ -273,7 +315,7 @@ mod tests {
         });
         for out in outs {
             for (r, blob) in out.iter().enumerate() {
-                assert_eq!(blob, &vec![r as u8; 3]);
+                assert_eq!(blob.as_slice(), &[r as u8; 3]);
             }
         }
     }
@@ -285,13 +327,9 @@ mod tests {
         let b = 1000;
         let cluster = SimCluster::new(p);
         let traffic = cluster.traffic().to_vec();
-        let handles = cluster.into_handles();
-        crossbeam::thread::scope(|s| {
-            for h in handles {
-                s.spawn(move |_| h.all_gather_bytes(&vec![0u8; b]).unwrap());
-            }
-        })
-        .unwrap();
+        cluster.run_workers(|h| {
+            h.all_gather_bytes(&vec![0u8; b]).unwrap();
+        });
         for t in traffic {
             assert_eq!(t.bytes_sent(), ((p - 1) * b) as u64);
         }
@@ -306,16 +344,10 @@ mod tests {
         for p in [3usize, 6, 12] {
             let cluster = SimCluster::new(p);
             let traffic = cluster.traffic().to_vec();
-            let handles = cluster.into_handles();
-            crossbeam::thread::scope(|s| {
-                for h in handles {
-                    s.spawn(move |_| {
-                        let mut buf = vec![1.0f32; n];
-                        h.all_reduce_sum(&mut buf).unwrap();
-                    });
-                }
-            })
-            .unwrap();
+            cluster.run_workers(|h| {
+                let mut buf = vec![1.0f32; n];
+                h.all_reduce_sum(&mut buf).unwrap();
+            });
             per_p.push(traffic[0].bytes_sent());
         }
         let max = *per_p.iter().max().unwrap() as f64;
@@ -335,7 +367,7 @@ mod tests {
                 w.broadcast(root, data.as_deref()).unwrap()
             });
             for out in outs {
-                assert_eq!(out, vec![7u8, root as u8]);
+                assert_eq!(out.as_slice(), &[7u8, root as u8]);
             }
         }
     }

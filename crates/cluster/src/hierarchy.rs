@@ -10,8 +10,11 @@
 //! real collective over the channel mesh (used by the
 //! `ablation_hierarchy` bench).
 
+use crate::collectives::{
+    add_f32s_from_bytes, check_f32_frame, fill_bytes_from_f32s, fill_f32s_from_bytes,
+};
 use crate::cost::NetworkModel;
-use crate::transport::WorkerHandle;
+use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
 
 /// A two-level network: a fast intra-node fabric and a slower inter-node
@@ -116,24 +119,18 @@ impl WorkerHandle {
         let node_end = (leader + gpus_per_node).min(p);
         let is_leader = rank == leader;
 
-        // Phase 1: node members send to the leader; the leader reduces.
+        // Phase 1: node members send to the leader; the leader reduces
+        // straight out of each incoming frame's bytes.
         if is_leader {
             for peer in leader + 1..node_end {
                 let incoming = self.recv(peer)?;
-                let values = bytes_to_f32s(&incoming)?;
-                if values.len() != buf.len() {
-                    return Err(ClusterError::Mismatch(format!(
-                        "hierarchical reduce length {} != {}",
-                        values.len(),
-                        buf.len()
-                    )));
-                }
-                for (x, y) in buf.iter_mut().zip(&values) {
-                    *x += y;
-                }
+                check_f32_frame(&incoming, buf.len(), "hierarchical reduce")?;
+                add_f32s_from_bytes(buf, &incoming);
             }
         } else {
-            self.send(leader, f32s_to_bytes(buf))?;
+            let mut wire = Vec::new();
+            fill_bytes_from_f32s(&mut wire, buf);
+            self.send(leader, Frame::from_vec(wire))?;
         }
 
         // Phase 2: leaders all-reduce among themselves over a leader ring.
@@ -144,61 +141,38 @@ impl WorkerHandle {
             let prev_leader = ((my_node + nodes - 1) % nodes) * gpus_per_node;
             // Simple ring accumulation: nodes-1 steps of pass-and-add of
             // the full vector (semantically equivalent to ring all-reduce).
+            // Each step forwards the frame received in the previous step,
+            // so after the first send the ring circulates frames zero-copy.
             let mut accum = buf.to_vec();
-            let mut outgoing = buf.to_vec();
+            let mut wire = Vec::new();
+            fill_bytes_from_f32s(&mut wire, buf);
+            let mut outgoing = Frame::from_vec(wire);
             for _ in 0..nodes - 1 {
-                self.send(next_leader, f32s_to_bytes(&outgoing))?;
-                let incoming = bytes_to_f32s(&self.recv(prev_leader)?)?;
-                if incoming.len() != accum.len() {
-                    return Err(ClusterError::Mismatch(
-                        "leader ring length mismatch".into(),
-                    ));
-                }
-                for (a, y) in accum.iter_mut().zip(&incoming) {
-                    *a += y;
-                }
+                self.send(next_leader, outgoing)?;
+                let incoming = self.recv(prev_leader)?;
+                check_f32_frame(&incoming, accum.len(), "leader ring")?;
+                add_f32s_from_bytes(&mut accum, &incoming);
                 outgoing = incoming;
             }
             buf.copy_from_slice(&accum);
         }
 
-        // Phase 3: leader broadcasts the result within the node.
+        // Phase 3: leader broadcasts the result within the node — one
+        // frame fanned out by refcount bump.
         if is_leader {
+            let mut wire = Vec::new();
+            fill_bytes_from_f32s(&mut wire, buf);
+            let bcast = Frame::from_vec(wire);
             for peer in leader + 1..node_end {
-                self.send(peer, f32s_to_bytes(buf))?;
+                self.send(peer, bcast.clone())?;
             }
         } else {
-            let incoming = bytes_to_f32s(&self.recv(leader)?)?;
-            if incoming.len() != buf.len() {
-                return Err(ClusterError::Mismatch(
-                    "hierarchical broadcast length mismatch".into(),
-                ));
-            }
-            buf.copy_from_slice(&incoming);
+            let incoming = self.recv(leader)?;
+            check_f32_frame(&incoming, buf.len(), "hierarchical broadcast")?;
+            fill_f32s_from_bytes(buf, &incoming);
         }
         Ok(())
     }
-}
-
-fn f32s_to_bytes(xs: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(xs.len() * 4);
-    for x in xs {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-    out
-}
-
-fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
-    if !bytes.len().is_multiple_of(4) {
-        return Err(ClusterError::Mismatch(format!(
-            "frame of {} bytes is not a whole number of f32s",
-            bytes.len()
-        )));
-    }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect())
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub mod rabenseifner;
 pub mod transport;
 
 pub use error::ClusterError;
-pub use transport::{SimCluster, WorkerHandle};
+pub use transport::{Frame, SimCluster, WorkerHandle};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -9,8 +9,11 @@
 //! server is sharded. Both the cost model and a real exchange over the
 //! channel mesh are provided.
 
+use crate::collectives::{
+    add_f32s_from_bytes, check_f32_frame, fill_bytes_from_f32s, fill_f32s_from_bytes,
+};
 use crate::cost::NetworkModel;
-use crate::transport::WorkerHandle;
+use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
 
 impl NetworkModel {
@@ -53,57 +56,29 @@ impl WorkerHandle {
             return Ok(());
         }
         if self.rank() == server {
+            // Accumulate straight out of each incoming frame's bytes; the
+            // reply is one frame fanned out to every peer by refcount bump.
             for peer in (0..p).filter(|&r| r != server) {
                 let incoming = self.recv(peer)?;
-                let values = bytes_to_f32s(&incoming)?;
-                if values.len() != buf.len() {
-                    return Err(ClusterError::Mismatch(format!(
-                        "ps aggregation length {} != {}",
-                        values.len(),
-                        buf.len()
-                    )));
-                }
-                for (x, y) in buf.iter_mut().zip(&values) {
-                    *x += y;
-                }
+                check_f32_frame(&incoming, buf.len(), "ps aggregation")?;
+                add_f32s_from_bytes(buf, &incoming);
             }
-            let out = f32s_to_bytes(buf);
+            let mut out = Vec::new();
+            fill_bytes_from_f32s(&mut out, buf);
+            let reply = Frame::from_vec(out);
             for peer in (0..p).filter(|&r| r != server) {
-                self.send(peer, out.clone())?;
+                self.send(peer, reply.clone())?;
             }
         } else {
-            self.send(server, f32s_to_bytes(buf))?;
-            let incoming = bytes_to_f32s(&self.recv(server)?)?;
-            if incoming.len() != buf.len() {
-                return Err(ClusterError::Mismatch(
-                    "ps broadcast length mismatch".into(),
-                ));
-            }
-            buf.copy_from_slice(&incoming);
+            let mut wire = Vec::new();
+            fill_bytes_from_f32s(&mut wire, buf);
+            self.send(server, Frame::from_vec(wire))?;
+            let incoming = self.recv(server)?;
+            check_f32_frame(&incoming, buf.len(), "ps broadcast")?;
+            fill_f32s_from_bytes(buf, &incoming);
         }
         Ok(())
     }
-}
-
-fn f32s_to_bytes(xs: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(xs.len() * 4);
-    for x in xs {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-    out
-}
-
-fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
-    if !bytes.len().is_multiple_of(4) {
-        return Err(ClusterError::Mismatch(format!(
-            "frame of {} bytes is not a whole number of f32s",
-            bytes.len()
-        )));
-    }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect())
 }
 
 #[cfg(test)]

@@ -6,7 +6,10 @@
 //! (`2n(p−1)/(p·BW)`), but with `2·log₂(p)` latency steps instead of
 //! `2(p−1)` — the best of both at large scale for power-of-two worlds.
 
-use crate::transport::WorkerHandle;
+use crate::collectives::{
+    add_f32s_from_bytes, check_f32_frame, fill_bytes_from_f32s, fill_f32s_from_bytes,
+};
+use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
 
 impl crate::cost::NetworkModel {
@@ -19,27 +22,6 @@ impl crate::cost::NetworkModel {
         2.0 * self.alpha * pf.log2().ceil()
             + 2.0 * bytes as f64 * (pf - 1.0) / (pf * self.bandwidth)
     }
-}
-
-fn f32s_to_bytes(xs: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(xs.len() * 4);
-    for x in xs {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-    out
-}
-
-fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>> {
-    if !bytes.len().is_multiple_of(4) {
-        return Err(ClusterError::Mismatch(format!(
-            "frame of {} bytes is not a whole number of f32s",
-            bytes.len()
-        )));
-    }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect())
 }
 
 impl WorkerHandle {
@@ -74,6 +56,9 @@ impl WorkerHandle {
         // away are remembered so the doubling phase can replay them in
         // reverse — this keeps odd-length splits exact.
         let mut handed_away: Vec<(usize, usize)> = Vec::new();
+        // One wire buffer, recycled from each received frame (frames here
+        // have exactly one receiver, so the reclaim never copies).
+        let mut wire: Vec<u8> = Vec::with_capacity(n.div_ceil(2) * 4);
         while mask >= 1 {
             let partner = rank ^ mask;
             let mid = lo + (hi - lo) / 2;
@@ -84,18 +69,12 @@ impl WorkerHandle {
             } else {
                 ((lo, mid), (mid, hi))
             };
-            self.send(partner, f32s_to_bytes(&buf[send_range.0..send_range.1]))?;
-            let incoming = bytes_to_f32s(&self.recv(partner)?)?;
-            if incoming.len() != keep_range.1 - keep_range.0 {
-                return Err(ClusterError::Mismatch(format!(
-                    "halving step received {} elements, expected {}",
-                    incoming.len(),
-                    keep_range.1 - keep_range.0
-                )));
-            }
-            for (x, y) in buf[keep_range.0..keep_range.1].iter_mut().zip(&incoming) {
-                *x += y;
-            }
+            fill_bytes_from_f32s(&mut wire, &buf[send_range.0..send_range.1]);
+            self.send(partner, Frame::from_vec(wire))?;
+            let incoming = self.recv(partner)?;
+            check_f32_frame(&incoming, keep_range.1 - keep_range.0, "halving step")?;
+            add_f32s_from_bytes(&mut buf[keep_range.0..keep_range.1], &incoming);
+            wire = incoming.into_vec();
             handed_away.push(send_range);
             lo = keep_range.0;
             hi = keep_range.1;
@@ -108,21 +87,18 @@ impl WorkerHandle {
         let mut mask = 1usize;
         while mask < p {
             let partner = rank ^ mask;
-            self.send(partner, f32s_to_bytes(&buf[lo..hi]))?;
-            let incoming = bytes_to_f32s(&self.recv(partner)?)?;
+            fill_bytes_from_f32s(&mut wire, &buf[lo..hi]);
+            self.send(partner, Frame::from_vec(wire))?;
+            let incoming = self.recv(partner)?;
             let (plo, phi) = handed_away.pop().expect("one range per level");
-            if incoming.len() != phi - plo {
-                return Err(ClusterError::Mismatch(format!(
-                    "doubling step received {} elements, expected {}",
-                    incoming.len(),
-                    phi - plo
-                )));
-            }
-            buf[plo..phi].copy_from_slice(&incoming);
+            check_f32_frame(&incoming, phi - plo, "doubling step")?;
+            fill_f32s_from_bytes(&mut buf[plo..phi], &incoming);
+            wire = incoming.into_vec();
             lo = lo.min(plo);
             hi = hi.max(phi);
             mask *= 2;
         }
+        let _ = wire;
         debug_assert_eq!((lo, hi), (0, n));
         Ok(())
     }

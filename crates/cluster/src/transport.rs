@@ -5,14 +5,106 @@
 //! `recv` to any peer plus the collectives in [`crate::collectives`]
 //! (exposed as methods). Traffic is counted per worker so tests and benches
 //! can assert on bytes actually moved.
+//!
+//! Messages travel as [`Frame`]s — reference-counted byte buffers. Cloning
+//! a frame bumps a refcount instead of copying the payload, so collectives
+//! that fan the same bytes out to many peers (all-gather forwarding,
+//! broadcast) move each byte through memory once. A receiver that ends up
+//! holding the only reference can reclaim the allocation with
+//! [`Frame::into_vec`] and reuse it for its next send, which is what makes
+//! the ring all-reduce allocation-free in steady state.
 
 use crate::{ClusterError, Result};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
-/// A message on the wire: raw bytes (payloads serialize themselves).
-type Frame = Vec<u8>;
+/// A message on the wire: immutable, reference-counted bytes.
+///
+/// `Clone` is a refcount bump. Build one from an owned `Vec<u8>` with
+/// [`Frame::from_vec`] (no copy) or from borrowed bytes with
+/// [`Frame::copy_from_slice`] (one copy). Dereferences to `[u8]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame(Arc<Vec<u8>>);
+
+impl Frame {
+    /// Wraps an owned buffer without copying.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Frame(Arc::new(bytes))
+    }
+
+    /// Copies borrowed bytes into a new frame.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Frame(Arc::new(bytes.to_vec()))
+    }
+
+    /// An empty frame.
+    pub fn empty() -> Self {
+        Frame(Arc::new(Vec::new()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Recovers the underlying buffer — without copying when this is the
+    /// only reference (the common case for ring traffic, where every frame
+    /// has exactly one receiver).
+    pub fn into_vec(self) -> Vec<u8> {
+        Arc::try_unwrap(self.0).unwrap_or_else(|arc| arc.as_ref().clone())
+    }
+
+    /// Number of strong references to the payload (for tests asserting
+    /// zero-copy behavior).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::ops::Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(bytes: Vec<u8>) -> Self {
+        Frame::from_vec(bytes)
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(bytes: &[u8]) -> Self {
+        Frame::copy_from_slice(bytes)
+    }
+}
+
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Frame {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
 
 /// Per-worker traffic counters, shared with the cluster for post-run
 /// inspection.
@@ -69,22 +161,25 @@ impl WorkerHandle {
         &self.traffic
     }
 
-    /// Sends `bytes` to `peer`.
+    /// Sends a frame to `peer`. Accepts anything convertible into a
+    /// [`Frame`]; passing a `Frame` forwards by refcount bump, passing a
+    /// `Vec<u8>` wraps it without copying.
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer
     /// and [`ClusterError::Disconnected`] if the peer hung up.
-    pub fn send(&self, peer: usize, bytes: Vec<u8>) -> Result<()> {
+    pub fn send(&self, peer: usize, bytes: impl Into<Frame>) -> Result<()> {
         if peer >= self.world {
             return Err(ClusterError::InvalidArgument(format!(
                 "peer {peer} out of range for world {}",
                 self.world
             )));
         }
-        self.traffic.record(bytes.len());
+        let frame = bytes.into();
+        self.traffic.record(frame.len());
         self.senders[peer]
-            .send(bytes)
+            .send(frame)
             .map_err(|_| ClusterError::Disconnected { peer })
     }
 
@@ -94,7 +189,7 @@ impl WorkerHandle {
     ///
     /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer
     /// and [`ClusterError::Disconnected`] if the peer hung up.
-    pub fn recv(&self, peer: usize) -> Result<Vec<u8>> {
+    pub fn recv(&self, peer: usize) -> Result<Frame> {
         if peer >= self.world {
             return Err(ClusterError::InvalidArgument(format!(
                 "peer {peer} out of range for world {}",
@@ -140,7 +235,7 @@ impl SimCluster {
         for src in 0..world {
             let mut row = Vec::with_capacity(world);
             for dst_receivers in receivers_by_dst.iter_mut() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 row.push(tx);
                 dst_receivers[src] = Some(rx);
             }
@@ -205,17 +300,16 @@ impl SimCluster {
     {
         let handles = self.into_handles();
         let f = &f;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let joins: Vec<_> = handles
                 .into_iter()
-                .map(|h| s.spawn(move |_| f(h)))
+                .map(|h| s.spawn(move || f(h)))
                 .collect();
             joins
                 .into_iter()
                 .map(|j| j.join().expect("worker thread panicked"))
                 .collect()
         })
-        .expect("cluster scope panicked")
     }
 }
 
@@ -228,14 +322,51 @@ mod tests {
         let outs = SimCluster::run(2, |w| {
             if w.rank() == 0 {
                 w.send(1, vec![1, 2, 3]).unwrap();
-                w.recv(1).unwrap()
+                w.recv(1).unwrap().into_vec()
             } else {
                 let got = w.recv(0).unwrap();
                 w.send(0, got.clone()).unwrap();
-                got
+                got.into_vec()
             }
         });
         assert_eq!(outs, vec![vec![1, 2, 3], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn forwarding_a_frame_does_not_copy_bytes() {
+        let outs = SimCluster::run(3, |w| match w.rank() {
+            0 => {
+                w.send(1, vec![42u8; 64]).unwrap();
+                true
+            }
+            1 => {
+                let got = w.recv(0).unwrap();
+                // Forward the same frame twice: both sends share the
+                // original allocation.
+                w.send(2, got.clone()).unwrap();
+                w.send(2, got.clone()).unwrap();
+                got.ref_count() >= 2
+            }
+            _ => {
+                let a = w.recv(1).unwrap();
+                let b = w.recv(1).unwrap();
+                a == b && a.as_slice() == [42u8; 64]
+            }
+        });
+        assert_eq!(outs, vec![true, true, true]);
+    }
+
+    #[test]
+    fn into_vec_reclaims_unique_buffers_in_place() {
+        let frame = Frame::from_vec(vec![7u8; 16]);
+        let ptr = frame.as_slice().as_ptr();
+        let reclaimed = frame.into_vec();
+        assert_eq!(reclaimed.as_ptr(), ptr, "unique frame must not copy");
+
+        let shared = Frame::from_vec(vec![7u8; 16]);
+        let _other = shared.clone();
+        let copied = shared.into_vec();
+        assert_eq!(copied, vec![7u8; 16], "shared frame falls back to a copy");
     }
 
     #[test]
@@ -272,8 +403,8 @@ mod tests {
             if w.rank() == 2 {
                 // Receive explicitly per-peer; ordering across peers is
                 // controlled by us, not arrival order.
-                let a = w.recv(0).unwrap();
-                let b = w.recv(1).unwrap();
+                let a = w.recv(0).unwrap().into_vec();
+                let b = w.recv(1).unwrap().into_vec();
                 (a, b)
             } else {
                 w.send(2, vec![w.rank() as u8; 4]).unwrap();

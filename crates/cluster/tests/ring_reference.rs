@@ -1,0 +1,129 @@
+//! Bit-exactness and traffic-accounting properties of the zero-copy data
+//! plane.
+//!
+//! The Frame refactor and the allocation-free ring must be *semantically
+//! invisible*: every f32 the collective produces must be bit-identical to a
+//! scalar reference that replays the ring's summation order, and the wire
+//! traffic the counters record must equal the seed's accounting exactly.
+
+use gcs_cluster::SimCluster;
+
+/// The collective's chunk partition (mirrors the internal `chunk_range`).
+fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = len / p;
+    let rem = len % p;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    (start, start + size)
+}
+
+/// Deterministic per-(rank, element) value with mixed exponents, so f32
+/// addition order actually matters.
+fn val(rank: usize, e: usize) -> f32 {
+    let h = (rank as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((e as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    let mantissa = ((h >> 40) as f32) / 1000.0 - 8.0;
+    let exp = ((h >> 33) % 7) as i32 - 3;
+    mantissa * (2.0f32).powi(exp)
+}
+
+/// Scalar replay of the ring reduce-scatter order: chunk `c` starts at rank
+/// `c` and accumulates as `x_{c+t} + acc` while travelling the ring, so the
+/// fold order per element is fixed by its chunk, not its rank.
+fn ring_reference(len: usize, p: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; len];
+    for c in 0..p {
+        let (s, e) = chunk_range(len, p, c);
+        for i in s..e {
+            let mut acc = val(c, i);
+            for t in 1..p {
+                acc = val((c + t) % p, i) + acc;
+            }
+            out[i] = acc;
+        }
+    }
+    out
+}
+
+#[test]
+fn all_reduce_bit_identical_to_scalar_ring_order() {
+    for p in 1..=9usize {
+        // Uneven sizes on purpose: shorter than the world (empty chunks),
+        // non-multiples of p, and a couple of larger odd lengths.
+        let lens = [1, 2, 3, 5, 7, 13, 31, p.saturating_sub(1).max(1), p + 1, 2 * p + 3];
+        for len in lens {
+            let expect = ring_reference(len, p);
+            let outs = SimCluster::run(p, move |w| {
+                let mut buf: Vec<f32> = (0..len).map(|i| val(w.rank(), i)).collect();
+                w.all_reduce_sum(&mut buf).unwrap();
+                buf
+            });
+            for (rank, out) in outs.iter().enumerate() {
+                for (i, (&got, &want)) in out.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "p={p} len={len} rank={rank} elem={i}: got {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_gather_traffic_unchanged_by_frame_refactor() {
+    // The ring all-gather forwards each foreign blob once per hop; even
+    // though forwarding is now a refcount bump, the counters must still
+    // record (p-1) sends of b bytes per worker, exactly as the seed's
+    // clone-based version did.
+    for p in [2usize, 5, 8] {
+        let b = 537usize;
+        let cluster = SimCluster::new(p);
+        let traffic = cluster.traffic().to_vec();
+        cluster.run_workers(|h| {
+            h.all_gather_bytes(&vec![0xA5u8; b]).unwrap();
+        });
+        for (rank, t) in traffic.iter().enumerate() {
+            assert_eq!(
+                t.bytes_sent(),
+                ((p - 1) * b) as u64,
+                "p={p} rank={rank} bytes"
+            );
+            assert_eq!(t.messages_sent(), (p - 1) as u64, "p={p} rank={rank} msgs");
+        }
+    }
+}
+
+#[test]
+fn all_reduce_traffic_unchanged_by_buffer_reuse() {
+    // Wire bytes per rank are fully determined by the chunk schedule; the
+    // reclaimed-buffer fast path must not change them.
+    for p in [3usize, 6] {
+        for len in [10usize, 257] {
+            let cluster = SimCluster::new(p);
+            let traffic = cluster.traffic().to_vec();
+            cluster.run_workers(|h| {
+                let mut buf = vec![1.0f32; len];
+                h.all_reduce_sum(&mut buf).unwrap();
+            });
+            for (rank, t) in traffic.iter().enumerate() {
+                let mut expect = 0u64;
+                for s in 0..p - 1 {
+                    let rs_idx = (rank + p - s) % p;
+                    let ag_idx = (rank + 1 + p - s) % p;
+                    for idx in [rs_idx, ag_idx] {
+                        let (cs, ce) = chunk_range(len, p, idx);
+                        expect += ((ce - cs) * 4) as u64;
+                    }
+                }
+                assert_eq!(
+                    t.bytes_sent(),
+                    expect,
+                    "p={p} len={len} rank={rank} ring bytes"
+                );
+            }
+        }
+    }
+}

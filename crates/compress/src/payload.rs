@@ -301,20 +301,27 @@ impl Payload {
     /// Serializes to a self-describing little-endian byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_bytes() + 32);
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Appends the serialization of this payload to `out` (the buffer is
+    /// not cleared, so a caller can reuse one allocation across payloads —
+    /// the DDP executor serializes every layer of every iteration through
+    /// this path). Numeric arrays are written with bulk slice copies rather
+    /// than per-element pushes.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_bytes() + 32);
         match self {
             Payload::Dense(v) => {
                 out.push(TAG_DENSE);
-                push_u64(&mut out, v.len() as u64);
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
+                push_u64(out, v.len() as u64);
+                push_f32s(out, v);
             }
             Payload::Half(v) => {
                 out.push(TAG_HALF);
-                push_u64(&mut out, v.len() as u64);
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
+                push_u64(out, v.len() as u64);
+                push_u16s(out, v);
             }
             Payload::Sparse {
                 len,
@@ -322,31 +329,23 @@ impl Payload {
                 values,
             } => {
                 out.push(TAG_SPARSE);
-                push_u64(&mut out, *len as u64);
-                push_u64(&mut out, indices.len() as u64);
-                for i in indices {
-                    out.extend_from_slice(&i.to_le_bytes());
-                }
-                for v in values {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
+                push_u64(out, *len as u64);
+                push_u64(out, indices.len() as u64);
+                push_u32s(out, indices);
+                push_f32s(out, values);
             }
             Payload::SharedSparse { len, seed, values } => {
                 out.push(TAG_SHARED_SPARSE);
-                push_u64(&mut out, *len as u64);
-                push_u64(&mut out, *seed);
-                push_u64(&mut out, values.len() as u64);
-                for v in values {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
+                push_u64(out, *len as u64);
+                push_u64(out, *seed);
+                push_u64(out, values.len() as u64);
+                push_f32s(out, values);
             }
             Payload::Signs { words, len, scale } => {
                 out.push(TAG_SIGNS);
-                push_u64(&mut out, *len as u64);
+                push_u64(out, *len as u64);
                 out.extend_from_slice(&scale.to_le_bytes());
-                for w in words {
-                    out.extend_from_slice(&w.to_le_bytes());
-                }
+                push_u32s(out, words);
             }
             Payload::Factor {
                 which,
@@ -358,21 +357,19 @@ impl Payload {
                     Factor::P => TAG_FACTOR_P,
                     Factor::Q => TAG_FACTOR_Q,
                 });
-                push_u64(&mut out, *rows as u64);
-                push_u64(&mut out, *cols as u64);
-                for x in data {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
+                push_u64(out, *rows as u64);
+                push_u64(out, *cols as u64);
+                push_f32s(out, data);
             }
             Payload::Quantized { scale, levels } => {
                 out.push(TAG_QUANTIZED);
-                push_u64(&mut out, levels.len() as u64);
+                push_u64(out, levels.len() as u64);
                 out.extend_from_slice(&scale.to_le_bytes());
                 out.extend(levels.iter().map(|&l| l as u8));
             }
             Payload::Ternary { len, scale, packed } => {
                 out.push(TAG_TERNARY);
-                push_u64(&mut out, *len as u64);
+                push_u64(out, *len as u64);
                 out.extend_from_slice(&scale.to_le_bytes());
                 out.extend_from_slice(packed);
             }
@@ -385,12 +382,12 @@ impl Payload {
                 v,
             } => {
                 out.push(TAG_SVD);
-                push_u64(&mut out, *rows as u64);
-                push_u64(&mut out, *cols as u64);
-                push_u64(&mut out, *rank as u64);
-                for x in u.iter().chain(s.iter()).chain(v.iter()) {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
+                push_u64(out, *rows as u64);
+                push_u64(out, *cols as u64);
+                push_u64(out, *rank as u64);
+                push_f32s(out, u);
+                push_f32s(out, s);
+                push_f32s(out, v);
             }
             Payload::TwoScale {
                 words,
@@ -399,15 +396,12 @@ impl Payload {
                 pos,
             } => {
                 out.push(TAG_TWO_SCALE);
-                push_u64(&mut out, *len as u64);
+                push_u64(out, *len as u64);
                 out.extend_from_slice(&neg.to_le_bytes());
                 out.extend_from_slice(&pos.to_le_bytes());
-                for w in words {
-                    out.extend_from_slice(&w.to_le_bytes());
-                }
+                push_u32s(out, words);
             }
         }
-        out
     }
 
     /// Deserializes a payload produced by [`Payload::to_bytes`].
@@ -532,6 +526,32 @@ fn check_len(a: usize, b: usize) -> Result<()> {
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `xs` as little-endian `f32`s with one bulk resize and
+/// fixed-width chunk copies (vectorizes; no per-element Vec growth).
+fn push_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    let start = out.len();
+    out.resize(start + xs.len() * 4, 0);
+    for (chunk, x) in out[start..].chunks_exact_mut(4).zip(xs) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn push_u32s(out: &mut Vec<u8>, xs: &[u32]) {
+    let start = out.len();
+    out.resize(start + xs.len() * 4, 0);
+    for (chunk, x) in out[start..].chunks_exact_mut(4).zip(xs) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn push_u16s(out: &mut Vec<u8>, xs: &[u16]) {
+    let start = out.len();
+    out.resize(start + xs.len() * 2, 0);
+    for (chunk, x) in out[start..].chunks_exact_mut(2).zip(xs) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
 }
 
 /// Minimal cursor over a byte slice with bounds-checked reads.

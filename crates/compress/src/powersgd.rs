@@ -35,6 +35,11 @@ struct LayerState {
     p_hat: Option<Vec<f32>>,
     /// Aggregated `Q`, absorbed after round 1.
     q_agg: Option<Vec<f32>>,
+    /// Recycled `m x r` buffer: the previous iteration's `p_hat` allocation,
+    /// reused as the outgoing `P` of the next encode.
+    p_scratch: Vec<f32>,
+    /// Recycled `n x r` buffer, reused as the outgoing `Q` of round 1.
+    q_scratch: Vec<f32>,
     rows: usize,
     cols: usize,
     rank: usize,
@@ -164,6 +169,8 @@ impl Compressor for PowerSgd {
                     m_work: vec![0.0; numel],
                     p_hat: None,
                     q_agg: None,
+                    p_scratch: Vec::new(),
+                    q_scratch: Vec::new(),
                     rows: m,
                     cols: n,
                     rank: r,
@@ -186,8 +193,11 @@ impl Compressor for PowerSgd {
             }
         }
 
-        // P = M · Q
-        let mut p = vec![0.0f32; m * r];
+        // P = M · Q, into the recycled buffer from the previous round's
+        // finish (steady state: no allocation).
+        let mut p = std::mem::take(&mut state.p_scratch);
+        p.clear();
+        p.resize(m * r, 0.0);
         matmul(
             MatrixRef::new(&state.m_work, m, n)?,
             MatrixRef::new(&state.q, n, r)?,
@@ -213,9 +223,11 @@ impl Compressor for PowerSgd {
         let p_hat = state.p_hat.as_ref().ok_or_else(|| {
             CompressError::Protocol("round 1 before absorbing round 0".into())
         })?;
-        // Q = Mᵀ · P̂
+        // Q = Mᵀ · P̂, into the recycled buffer.
         let (m, n, r) = (state.rows, state.cols, state.rank);
-        let mut q = vec![0.0f32; n * r];
+        let mut q = std::mem::take(&mut state.q_scratch);
+        q.clear();
+        q.resize(n * r, 0.0);
         at_mul_b(
             MatrixRef::new(&state.m_work, m, n)?,
             MatrixRef::new(p_hat, m, r)?,
@@ -314,8 +326,13 @@ impl Compressor for PowerSgd {
             }
         }
         if warm {
-            state.q = q_agg;
+            // The displaced warm-start Q becomes next round's Q scratch.
+            state.q_scratch = std::mem::replace(&mut state.q, q_agg);
+        } else {
+            state.q_scratch = q_agg;
         }
+        // The spent P̂ allocation becomes the next encode's P buffer.
+        state.p_scratch = p_hat;
         Tensor::from_shape_vec(shape.clone(), g_hat).map_err(Into::into)
     }
 

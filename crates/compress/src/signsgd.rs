@@ -49,8 +49,8 @@ pub struct SignSgd {
     residual: HashMap<usize, Tensor>,
     /// Aggregated payload awaiting `finish`.
     pending: HashMap<usize, Payload>,
-    /// Worker's own compressed view, kept to update the residual.
-    own: HashMap<usize, (SignBits, f32)>,
+    /// Scratch for `gradient + residual`, reused across encodes.
+    work: Vec<f32>,
 }
 
 impl SignSgd {
@@ -118,17 +118,43 @@ impl Compressor for SignSgd {
                 scale,
             });
         }
-        let v = match self.residual.get(&layer) {
-            Some(e) => grad.add(e)?,
-            None => grad.clone(),
+        // v = gradient + residual, built in the reusable scratch buffer.
+        let numel = grad.numel();
+        self.work.clear();
+        self.work.extend_from_slice(grad.data());
+        if let Some(e) = self.residual.get(&layer) {
+            if e.numel() != numel {
+                return Err(CompressError::Protocol(format!(
+                    "residual shape mismatch for layer {layer}"
+                )));
+            }
+            for (w, &ev) in self.work.iter_mut().zip(e.data()) {
+                *w += ev;
+            }
+        }
+        let bits = SignBits::pack(&self.work);
+        let scale = match self.scale {
+            SignScale::Unit => 1.0,
+            SignScale::MeanAbs => {
+                if numel == 0 {
+                    0.0
+                } else {
+                    self.work.iter().map(|x| x.abs()).sum::<f32>() / numel as f32
+                }
+            }
         };
-        let bits = SignBits::pack(v.data());
-        let scale = self.scale_for(&v);
-        // residual = v - decode(own)
-        let decoded = Tensor::from_shape_vec(v.shape().clone(), bits.unpack(scale))?;
-        let res = v.sub(&decoded)?;
-        self.residual.insert(layer, res);
-        self.own.insert(layer, (bits.clone(), scale));
+        // residual = v - decode(bits): decode is `+scale` exactly when
+        // `v >= 0` (the pack convention), so it folds into one pass and the
+        // old residual tensor's buffer is recycled in place.
+        let mut res_vec = match self.residual.remove(&layer) {
+            Some(t) if t.numel() == numel => t.into_vec(),
+            _ => vec![0.0; numel],
+        };
+        for (r, &v) in res_vec.iter_mut().zip(&self.work) {
+            *r = v - if v >= 0.0 { scale } else { -scale };
+        }
+        self.residual
+            .insert(layer, Tensor::from_shape_vec(grad.shape().clone(), res_vec)?);
         Ok(Payload::Signs {
             len: bits.len(),
             words: bits.into_words(),
@@ -189,7 +215,6 @@ impl Compressor for SignSgd {
         let agg = self.pending.remove(&layer).ok_or_else(|| {
             CompressError::Protocol(format!("finish before absorb for layer {layer}"))
         })?;
-        self.own.remove(&layer);
         let Payload::Signs { words, len, scale } = agg else {
             unreachable!("absorb validated the variant");
         };
@@ -200,7 +225,6 @@ impl Compressor for SignSgd {
     fn reset(&mut self) {
         self.residual.clear();
         self.pending.clear();
-        self.own.clear();
     }
 }
 

@@ -8,7 +8,7 @@
 //! every scale it measured.
 
 use crate::{CompressError, Compressor, Payload, Properties, Result};
-use gcs_tensor::select::{top_k_abs, SparseSelection};
+use gcs_tensor::select::{top_k_abs_with, SparseSelection};
 use gcs_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 
@@ -20,6 +20,9 @@ pub struct TopK {
     error_feedback: bool,
     residual: HashMap<usize, Tensor>,
     pending: HashMap<usize, Vec<f32>>,
+    /// Magnitude scratch for the quickselect, reused across encodes (the
+    /// selection itself is the dominant cost of Top-K — Table 2).
+    mags: Vec<f32>,
 }
 
 impl TopK {
@@ -40,6 +43,7 @@ impl TopK {
             error_feedback: false,
             residual: HashMap::new(),
             pending: HashMap::new(),
+            mags: Vec::new(),
         })
     }
 
@@ -77,26 +81,31 @@ impl Compressor for TopK {
     }
 
     fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
-        let v = if self.error_feedback {
-            match self.residual.get(&layer) {
-                Some(e) => grad.add(e)?,
-                None => grad.clone(),
-            }
-        } else {
-            grad.clone()
-        };
-        let k = self.k_for(v.numel());
-        let sel = top_k_abs(v.data(), k);
-        if self.error_feedback {
-            // Residual keeps exactly the dropped coordinates.
-            let mut res = v.clone();
-            for &i in &sel.indices {
-                res.data_mut()[i as usize] = 0.0;
-            }
-            self.residual.insert(layer, res);
+        let k = self.k_for(grad.numel());
+        if !self.error_feedback {
+            // Fast path: select straight from the gradient; the only
+            // steady-state allocations are the k-sized output arrays.
+            let sel = top_k_abs_with(grad.data(), k, &mut self.mags);
+            return Ok(Payload::Sparse {
+                len: grad.numel(),
+                indices: sel.indices,
+                values: sel.values,
+            });
         }
+        let v = match self.residual.get(&layer) {
+            Some(e) => grad.add(e)?,
+            None => grad.clone(),
+        };
+        let sel = top_k_abs_with(v.data(), k, &mut self.mags);
+        // Residual keeps exactly the dropped coordinates.
+        let mut res = v;
+        for &i in &sel.indices {
+            res.data_mut()[i as usize] = 0.0;
+        }
+        let len = res.numel();
+        self.residual.insert(layer, res);
         Ok(Payload::Sparse {
-            len: v.numel(),
+            len,
             indices: sel.indices,
             values: sel.values,
         })

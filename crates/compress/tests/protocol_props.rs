@@ -1,10 +1,13 @@
-//! Property-based tests of the compressor protocol across all methods.
+//! Randomized (deterministically seeded) tests of the compressor protocol
+//! across all methods. Formerly proptest-based; rewritten as seeded loops
+//! for the offline build (case counts preserved).
 
 use gcs_compress::driver::{all_reduce_compressed, round_trip};
 use gcs_compress::registry::MethodConfig;
 use gcs_compress::{Compressor, Payload};
 use gcs_tensor::{stats, Shape, Tensor};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// All single-parameter method configurations exercised by the suite.
 fn all_methods() -> Vec<MethodConfig> {
@@ -27,20 +30,18 @@ fn all_methods() -> Vec<MethodConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every method: decoded output of a multi-worker exchange is
-    /// identical on all workers, shaped like the input, and finite.
-    #[test]
-    fn exchanges_are_consistent_and_finite(
-        method_idx in 0usize..15,
-        workers in 2usize..5,
-        rows in 1usize..6,
-        cols in 1usize..8,
-        seed in 0u64..200,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// Every method: decoded output of a multi-worker exchange is identical on
+/// all workers, shaped like the input, and finite.
+#[test]
+fn exchanges_are_consistent_and_finite() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x201);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
+        let workers = rng.gen_range(2usize..5);
+        let rows = rng.gen_range(1usize..6);
+        let cols = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..200);
         let grads: Vec<Tensor> = (0..workers as u64)
             .map(|w| Tensor::randn([rows, cols], seed + w))
             .collect();
@@ -49,56 +50,61 @@ proptest! {
             .collect();
         let outs = all_reduce_compressed(&mut compressors, 0, &grads).expect("protocol");
         for w in 1..workers {
-            prop_assert_eq!(&outs[0], &outs[w], "{:?} diverged", method);
+            assert_eq!(&outs[0], &outs[w], "{method:?} diverged");
         }
-        prop_assert_eq!(outs[0].shape(), grads[0].shape());
-        prop_assert!(outs[0].data().iter().all(|x| x.is_finite()));
+        assert_eq!(outs[0].shape(), grads[0].shape());
+        assert!(outs[0].data().iter().all(|x| x.is_finite()));
     }
+}
 
-    /// Every method: `compressed_bytes` never exceeds the raw gradient size
-    /// plus small constant metadata (a "compressor" that inflates data
-    /// would break every downstream model).
-    #[test]
-    fn compressed_never_larger_than_raw(
-        method_idx in 0usize..15,
-        numel in 64usize..4096,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// Every method: `compressed_bytes` never exceeds the raw gradient size
+/// plus small constant metadata (a "compressor" that inflates data would
+/// break every downstream model).
+#[test]
+fn compressed_never_larger_than_raw() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x202);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
+        let numel = rng.gen_range(64usize..4096);
         let c = method.build().expect("builds");
         let shape = Shape::new(vec![numel]);
         let bytes = c.compressed_bytes(&shape);
-        prop_assert!(
+        assert!(
             bytes <= numel * 4 + 16,
-            "{:?}: {bytes} bytes for {numel} elements",
-            method
+            "{method:?}: {bytes} bytes for {numel} elements"
         );
     }
+}
 
-    /// Every method: the wire payload round-trips through serialization.
-    #[test]
-    fn payload_serialization_roundtrips(
-        method_idx in 0usize..15,
-        numel in 1usize..200,
-        seed in 0u64..100,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// Every method: the wire payload round-trips through serialization.
+#[test]
+fn payload_serialization_roundtrips() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x203);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
+        let numel = rng.gen_range(1usize..200);
+        let seed = rng.gen_range(0u64..100);
         let mut c = method.build().expect("builds");
         let g = Tensor::randn([numel], seed);
         let p = c.encode(0, &g).expect("encode");
         let q = Payload::from_bytes(&p.to_bytes()).expect("decode");
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
     }
+}
 
-    /// `reset` fully clears per-layer state: a fresh encode after reset
-    /// behaves like a brand-new compressor (no stale error feedback or
-    /// warm starts leaking through).
-    #[test]
-    fn reset_restores_fresh_behaviour(
-        method_idx in 0usize..15,
-        numel in 8usize..128,
-        seed in 0u64..100,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// `reset` fully clears per-layer state: a fresh encode after reset
+/// behaves like a brand-new compressor (no stale error feedback or warm
+/// starts leaking through).
+#[test]
+fn reset_restores_fresh_behaviour() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x204);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
+        let numel = rng.gen_range(8usize..128);
+        let seed = rng.gen_range(0u64..100);
         let g1 = Tensor::randn([numel], seed);
         let g2 = Tensor::randn([numel], seed + 1);
         // Path A: fresh compressor encodes g2.
@@ -121,46 +127,49 @@ proptest! {
                 | MethodConfig::Natural
         );
         if deterministic {
-            prop_assert_eq!(fresh_payload, reset_payload, "{:?}", method);
+            assert_eq!(fresh_payload, reset_payload, "{method:?}");
         }
     }
+}
 
-    /// Unbiased single-worker round trips keep decoded norm bounded by a
-    /// small multiple of the input norm (no explosion).
-    #[test]
-    fn decoded_norm_is_bounded(
-        method_idx in 0usize..15,
-        numel in 8usize..256,
-        seed in 0u64..100,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// Unbiased single-worker round trips keep decoded norm bounded by a
+/// small multiple of the input norm (no explosion).
+#[test]
+fn decoded_norm_is_bounded() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x205);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
+        let numel = rng.gen_range(8usize..256);
+        let seed = rng.gen_range(0u64..100);
         let mut c = method.build().expect("builds");
         let g = Tensor::randn([numel], seed);
         let out = round_trip(&mut c, 0, &g).expect("round trip");
         // SignSGD decodes to ±1 per coordinate: norm = sqrt(n), which for a
         // standard normal input is ≈ ||g||. Allow generous headroom.
-        prop_assert!(
+        assert!(
             out.l2_norm() <= 4.0 * g.l2_norm().max(1.0),
-            "{:?}: out {} vs in {}",
-            method,
+            "{method:?}: out {} vs in {}",
             out.l2_norm(),
             g.l2_norm()
         );
     }
+}
 
-    /// All workers feeding the identical gradient through any method get
-    /// (approximately) that gradient's own compressed round-trip back —
-    /// aggregation of identical inputs must not distort beyond one
-    /// worker's quantization error.
-    #[test]
-    fn identical_inputs_aggregate_to_roundtrip(
-        method_idx in 0usize..15,
-        numel in 8usize..128,
-        seed in 0u64..50,
-    ) {
-        let method = all_methods()[method_idx].clone();
+/// All workers feeding the identical gradient through any method get
+/// (approximately) that gradient's own compressed round-trip back —
+/// aggregation of identical inputs must not distort beyond one worker's
+/// quantization error.
+#[test]
+fn identical_inputs_aggregate_to_roundtrip() {
+    let methods = all_methods();
+    let mut rng = StdRng::seed_from_u64(0x206);
+    for case in 0..24 {
+        let method = methods[case % methods.len()].clone();
         // Stochastic methods (QSGD/TernGrad/DGC) share RNG seeds across
         // fresh instances, so their encodings of identical inputs agree.
+        let numel = rng.gen_range(8usize..128);
+        let seed = rng.gen_range(0u64..50);
         let g = Tensor::randn([numel], seed);
         let grads = vec![g.clone(), g.clone(), g.clone()];
         let mut multi: Vec<Box<dyn Compressor>> =
@@ -172,6 +181,6 @@ proptest! {
         // FP16 re-rounds after averaging (sum/3 is not representable), so
         // allow half-precision ULP noise; everything else is f32-exact.
         let tol = if method == MethodConfig::Fp16 { 1e-3 } else { 1e-4 };
-        prop_assert!(err < tol || solo.l2_norm() == 0.0, "{:?}: err {err}", method);
+        assert!(err < tol || solo.l2_norm() == 0.0, "{method:?}: err {err}");
     }
 }

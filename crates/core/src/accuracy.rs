@@ -19,10 +19,9 @@ use gcs_compress::Result;
 use gcs_ddp::sim::SimConfig;
 use gcs_train::harness::{train_distributed, TrainConfig};
 use gcs_train::task::Task;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a time-to-loss analysis for one method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeToLoss {
     /// Method name.
     pub method: String,

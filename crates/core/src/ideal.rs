@@ -14,10 +14,9 @@ use crate::perf::predict_iteration;
 use gcs_cluster::cost::NetworkModel;
 use gcs_ddp::sim::SimConfig;
 use gcs_models::{DeviceSpec, ModelSpec};
-use serde::{Deserialize, Serialize};
 
 /// Result of the required-compression analysis for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RequiredCompression {
     /// Compressing to `bytes` (ratio `ratio`) suffices for ideal scaling.
     Achievable {

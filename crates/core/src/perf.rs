@@ -26,10 +26,9 @@ use gcs_ddp::sim::{AllReduceAlgo, SimConfig};
 use gcs_ddp::wire::{wire_plan, Collective};
 use gcs_models::buckets::partition;
 use gcs_models::encode_cost::encode_cost;
-use serde::{Deserialize, Serialize};
 
 /// Output of the analytic model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
     /// Backward-pass time `T_comp`.
     pub t_comp_s: f64,

@@ -4,10 +4,9 @@ use crate::perf::predict_iteration;
 use gcs_compress::registry::MethodConfig;
 use gcs_ddp::sim::{measured_mean_std, SimConfig};
 use gcs_models::ModelSpec;
-use serde::{Deserialize, Serialize};
 
 /// One measured/modelled point of a scalability study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyRow {
     /// Model name.
     pub model: String,

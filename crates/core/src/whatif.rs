@@ -13,10 +13,9 @@ use gcs_ddp::sim::SimConfig;
 use gcs_ddp::wire::{wire_plan, Collective};
 use gcs_models::encode_cost::encode_cost;
 use gcs_models::{DeviceSpec, ModelSpec};
-use serde::{Deserialize, Serialize};
 
 /// One point of a two-method comparison sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// The swept variable (Gbps, speedup factor, or `k`).
     pub x: f64,
@@ -96,7 +95,7 @@ pub fn compute_sweep(
 }
 
 /// One point of the Figure 13 tradeoff grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TradeoffPoint {
     /// Encode-time reduction factor `k` (encode/decode runs `k`× faster).
     pub k: f64,

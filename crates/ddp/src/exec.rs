@@ -71,6 +71,23 @@ pub fn aggregate_over_cluster<C: Compressor>(
     round: usize,
     payload: Payload,
 ) -> Result<Payload> {
+    aggregate_over_cluster_with(worker, compressor, round, payload, &mut Vec::new())
+}
+
+/// [`aggregate_over_cluster`] with a caller-provided serialization buffer:
+/// the gather path writes the wire image into `wire` (cleared first), so a
+/// driver looping over layers reuses one allocation for every payload.
+///
+/// # Errors
+///
+/// Propagates compression and transport errors.
+pub fn aggregate_over_cluster_with<C: Compressor>(
+    worker: &WorkerHandle,
+    compressor: &C,
+    round: usize,
+    payload: Payload,
+    wire: &mut Vec<u8>,
+) -> Result<Payload> {
     if payload.is_summable() {
         let world = worker.world() as f32;
         match payload {
@@ -125,7 +142,9 @@ pub fn aggregate_over_cluster<C: Compressor>(
     } else {
         // Non-associative aggregation: gather every worker's payload and
         // reduce locally (identically on every worker).
-        let gathered = worker.all_gather_bytes(&payload.to_bytes())?;
+        wire.clear();
+        payload.write_bytes(wire);
+        let gathered = worker.all_gather_bytes(wire)?;
         let payloads: Vec<Payload> = gathered
             .iter()
             .map(|b| Payload::from_bytes(b))
@@ -147,6 +166,7 @@ pub fn exchange_gradients<C: Compressor>(
     grads: &[Tensor],
 ) -> Result<Vec<Tensor>> {
     let rounds = compressor.properties().rounds;
+    let mut wire = Vec::new();
     // Round-major order: all layers do round 0, then all do round 1 —
     // matching how DDP issues one collective per bucket per phase.
     for round in 0..rounds {
@@ -156,7 +176,8 @@ pub fn exchange_gradients<C: Compressor>(
             } else {
                 compressor.encode_round(layer, round)?
             };
-            let agg = aggregate_over_cluster(worker, compressor, round, payload)?;
+            let agg =
+                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
             compressor.absorb(layer, round, agg)?;
         }
     }
@@ -211,6 +232,7 @@ pub fn exchange_gradients_bucketed<C: Compressor>(
 
     let rounds = compressor.properties().rounds;
     let mut flat_out: Vec<Option<Tensor>> = (0..buckets.len()).map(|_| None).collect();
+    let mut wire = Vec::new();
     for round in 0..rounds {
         for (bucket_id, layers) in buckets.iter().enumerate() {
             let payload = if round == 0 {
@@ -224,7 +246,8 @@ pub fn exchange_gradients_bucketed<C: Compressor>(
             } else {
                 compressor.encode_round(bucket_id, round)?
             };
-            let agg = aggregate_over_cluster(worker, compressor, round, payload)?;
+            let agg =
+                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
             compressor.absorb(bucket_id, round, agg)?;
         }
     }

@@ -28,11 +28,10 @@ use gcs_models::encode_cost::encode_cost;
 use gcs_models::{DeviceSpec, ModelSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// All-reduce algorithm selection (the paper forces ring via
 /// `NCCL_TREE_THRESHOLD=0`; tree is provided for the ablation bench).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllReduceAlgo {
     /// Ring reduce-scatter + all-gather (Equation 1).
     #[default]
@@ -146,7 +145,7 @@ impl SimConfig {
 /// Timing breakdown of one simulated iteration (backward + gradient sync;
 /// the forward pass is identical across methods and excluded, as in the
 /// paper's measurements).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationBreakdown {
     /// Pure backward-pass time `T_comp` (no contention factors).
     pub backward_s: f64,

@@ -10,10 +10,9 @@ use crate::sim::SimConfig;
 use gcs_compress::registry::MethodConfig;
 use gcs_models::buckets::{bucket_ready_fractions, partition};
 use gcs_models::encode_cost::encode_cost;
-use serde::{Deserialize, Serialize};
 
 /// Which execution stream an event runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stream {
     /// The GPU compute stream (backward pass, encode/decode kernels).
     Compute,
@@ -22,7 +21,7 @@ pub enum Stream {
 }
 
 /// One span on a stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Stream the span occupies.
     pub stream: Stream,

@@ -3,10 +3,9 @@
 
 use gcs_compress::registry::MethodConfig;
 use gcs_models::ModelSpec;
-use serde::{Deserialize, Serialize};
 
 /// Which collective a communication round uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Collective {
     /// Ring all-reduce (associative aggregation).
     AllReduce,
@@ -15,7 +14,7 @@ pub enum Collective {
 }
 
 /// One communication round of a compression method.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundPlan {
     /// Bytes contributed per worker in this round.
     pub bytes: usize,
@@ -24,7 +23,7 @@ pub struct RoundPlan {
 }
 
 /// The full per-iteration communication plan of a method on a model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WirePlan {
     /// Rounds in order. syncSGD has one all-reduce round (bucketing is
     /// handled separately by the overlap simulator); PowerSGD has two.

@@ -7,13 +7,12 @@
 //! buckets) and `b̂` (last-bucket size) come from this partitioning.
 
 use crate::ModelSpec;
-use serde::{Deserialize, Serialize};
 
 /// The DDP default bucket size (25 MB).
 pub const DEFAULT_BUCKET_BYTES: usize = 25 * 1024 * 1024;
 
 /// One gradient bucket: a contiguous run of layers in backward order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bucket {
     /// Indices into `ModelSpec::layers` (original forward order) of the
     /// layers in this bucket, in backward order (descending).

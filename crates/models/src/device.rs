@@ -1,7 +1,6 @@
 //! The device compute model: `T_comp` and the overlap factors.
 
 use crate::ModelSpec;
-use serde::{Deserialize, Serialize};
 
 /// An accelerator's effective compute characteristics, calibrated to the
 /// paper's V100 measurements.
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// * `compression_contention` — slowdown when gradient *compression*
 ///   overlaps the backward pass (§3.1 / Figure 3: both are compute-heavy,
 ///   so contention is large enough that overlapping loses).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Device name, e.g. `"V100"`.
     pub name: String,

@@ -1,12 +1,11 @@
 //! Model and layer specifications.
 
 use gcs_tensor::Shape;
-use serde::{Deserialize, Serialize};
 
 /// One parameter tensor of a model (a "layer" from the gradient
 /// communication perspective: a unit whose gradient becomes available
 /// atomically during the backward pass).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerSpec {
     /// Human-readable name, e.g. `"layer3.5.conv2.weight"`.
     pub name: String,
@@ -18,7 +17,6 @@ pub struct LayerSpec {
     /// ready-time model: late ResNet stages hold most parameters but tiny
     /// feature maps, so their gradients arrive almost immediately —
     /// which is why DDP's first bucket starts communicating so early.
-    #[serde(default)]
     pub cost_weight: f64,
 }
 
@@ -59,7 +57,7 @@ impl LayerSpec {
 
 /// A model: an ordered list of parameter tensors (forward order) plus the
 /// forward FLOP count used by the compute model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// Model name, e.g. `"ResNet-50"`.
     pub name: String,

@@ -95,22 +95,85 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
     }
     check_out(out, a.rows(), b.cols())?;
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    out.fill(0.0);
-    // i-k-j loop order: streams through B rows, cache friendly for row-major.
-    for i in 0..m {
-        for l in 0..k {
-            let aik = a.as_slice()[i * k + l];
-            if aik == 0.0 {
-                continue;
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    // Register-tiled kernel: a 4 x T accumulator tile lives in registers
+    // across the entire k loop, so each output element is stored exactly
+    // once (the streaming loop re-loads and re-stores `out` on every k
+    // step, which caps it at one FMA per store). Each streamed B vector
+    // feeds four rows, so B loads amortize 4x as well.
+    let mut i = 0;
+    while i + 4 <= m {
+        let c0 = &a_s[i * k..(i + 1) * k];
+        let c1 = &a_s[(i + 1) * k..(i + 2) * k];
+        let c2 = &a_s[(i + 2) * k..(i + 3) * k];
+        let c3 = &a_s[(i + 3) * k..(i + 4) * k];
+        let a_rows = [c0, c1, c2, c3];
+        let mut j = 0;
+        while j + 16 <= n {
+            mm_tile::<16>(a_rows, b_s, k, n, i, j, out);
+            j += 16;
+        }
+        while j + 4 <= n {
+            mm_tile::<4>(a_rows, b_s, k, n, i, j, out);
+            j += 4;
+        }
+        for j in j..n {
+            let mut s = [0.0f32; 4];
+            for l in 0..k {
+                let bv = b_s[l * n + j];
+                for (sr, ar) in s.iter_mut().zip(a_rows) {
+                    *sr += ar[l] * bv;
+                }
             }
-            let brow = &b.as_slice()[l * n..(l + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
+            for (r, sr) in s.into_iter().enumerate() {
+                out[(i + r) * n + j] = sr;
+            }
+        }
+        i += 4;
+    }
+    // Remainder rows (m % 4) with the plain streaming loop.
+    for i in i..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        orow.fill(0.0);
+        for l in 0..k {
+            let aik = a_s[i * k + l];
+            let brow = &b_s[l * n..(l + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += aik * bv;
             }
         }
     }
     Ok(())
+}
+
+/// One 4 x T output tile of `A · B`: accumulates over the full shared
+/// dimension in register-resident arrays, then stores each row once.
+#[inline(always)]
+fn mm_tile<const T: usize>(
+    a_rows: [&[f32]; 4],
+    b_s: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; T]; 4];
+    for l in 0..k {
+        let brow: &[f32; T] = b_s[l * n + j..l * n + j + T]
+            .try_into()
+            .expect("tile width");
+        for (accr, ar) in acc.iter_mut().zip(a_rows) {
+            let c = ar[l];
+            for (av, &bv) in accr.iter_mut().zip(brow) {
+                *av += c * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + T].copy_from_slice(accr);
+    }
 }
 
 /// `out = Aᵀ · B` where `A` is `k x m` and `B` is `k x n` (no explicit
@@ -129,21 +192,84 @@ pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
     }
     check_out(out, a.cols(), b.cols())?;
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    out.fill(0.0);
-    for l in 0..k {
-        let arow = &a.as_slice()[l * m..(l + 1) * m];
-        let brow = &b.as_slice()[l * n..(l + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    // Same register tiling as [`matmul`]: both A and B are streamed
+    // row-major over the shared dimension while a 4 x T accumulator tile
+    // stays in registers, so `out` is stored exactly once per element.
+    let mut i = 0;
+    while i + 4 <= m {
+        let mut j = 0;
+        while j + 16 <= n {
+            atb_tile::<16>(a_s, b_s, (k, m, n), i, j, out);
+            j += 16;
+        }
+        while j + 4 <= n {
+            atb_tile::<4>(a_s, b_s, (k, m, n), i, j, out);
+            j += 4;
+        }
+        for j in j..n {
+            let mut s = [0.0f32; 4];
+            for l in 0..k {
+                let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4]
+                    .try_into()
+                    .expect("row block");
+                let bv = b_s[l * n + j];
+                for (sr, &ar) in s.iter_mut().zip(av) {
+                    *sr += ar * bv;
+                }
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+            for (r, sr) in s.into_iter().enumerate() {
+                out[(i + r) * n + j] = sr;
+            }
+        }
+        i += 4;
+    }
+    // Remainder rows (m % 4) stream l-outer over zeroed output rows.
+    if i < m {
+        out[i * n..].fill(0.0);
+        for l in 0..k {
+            let brow = &b_s[l * n..(l + 1) * n];
+            for r in i..m {
+                let av = a_s[l * m + r];
+                let orow = &mut out[r * n..(r + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
     }
     Ok(())
+}
+
+/// One 4 x T output tile of `Aᵀ · B` (`A` stored `k x m`): accumulates over
+/// the shared dimension in registers, then stores each row once.
+#[inline(always)]
+fn atb_tile<const T: usize>(
+    a_s: &[f32],
+    b_s: &[f32],
+    (k, m, n): (usize, usize, usize),
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; T]; 4];
+    for l in 0..k {
+        let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4]
+            .try_into()
+            .expect("row block");
+        let brow: &[f32; T] = b_s[l * n + j..l * n + j + T]
+            .try_into()
+            .expect("tile width");
+        for (accr, &c) in acc.iter_mut().zip(av) {
+            for (accv, &bv) in accr.iter_mut().zip(brow) {
+                *accv += c * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + T].copy_from_slice(accr);
+    }
 }
 
 /// `out = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
@@ -161,11 +287,36 @@ pub fn a_mul_bt(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
     }
     check_out(out, a.rows(), b.rows())?;
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    // Four independent dot-product accumulators per A row: each loaded A
+    // element multiplies against four B rows at once. The shared dimension
+    // k is the PowerSGD rank (small), so all four B rows stay in cache.
     for i in 0..m {
-        let arow = &a.as_slice()[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b.as_slice()[j * k..(j + 1) * k];
-            out[i * n + j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+        let arow = &a_s[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b_s[j * k..(j + 1) * k];
+            let b1 = &b_s[(j + 1) * k..(j + 2) * k];
+            let b2 = &b_s[(j + 2) * k..(j + 3) * k];
+            let b3 = &b_s[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (l, &av) in arow.iter().enumerate() {
+                s0 += av * b0[l];
+                s1 += av * b1[l];
+                s2 += av * b2[l];
+                s3 += av * b3[l];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        for j in j..n {
+            let brow = &b_s[j * k..(j + 1) * k];
+            orow[j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
         }
     }
     Ok(())

@@ -1,8 +1,7 @@
 //! Top-k / random-k index selection used by sparsification compressors.
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// A sparse selection: parallel arrays of flat indices and their values.
 ///
@@ -59,6 +58,14 @@ impl SparseSelection {
 /// assert_eq!(idx, vec![1, 2]);
 /// ```
 pub fn top_k_abs(data: &[f32], k: usize) -> SparseSelection {
+    top_k_abs_with(data, k, &mut Vec::new())
+}
+
+/// [`top_k_abs`] with a caller-provided magnitude scratch buffer, so
+/// repeated selections (one per layer per iteration in Top-K compression)
+/// reuse one allocation instead of building a fresh `|data|`-sized copy
+/// each call.
+pub fn top_k_abs_with(data: &[f32], k: usize, mags: &mut Vec<f32>) -> SparseSelection {
     let n = data.len();
     if k == 0 || n == 0 {
         return SparseSelection {
@@ -72,8 +79,9 @@ pub fn top_k_abs(data: &[f32], k: usize) -> SparseSelection {
             values: data.to_vec(),
         };
     }
-    // Quickselect the k-th largest absolute value.
-    let mut mags: Vec<f32> = data.iter().map(|x| x.abs()).collect();
+    // Quickselect the k-th largest absolute value on the scratch copy.
+    mags.clear();
+    mags.extend(data.iter().map(|x| x.abs()));
     let threshold = {
         let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
             b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
@@ -110,6 +118,10 @@ pub fn top_k_abs(data: &[f32], k: usize) -> SparseSelection {
 ///
 /// All workers sharing the same `seed` select the same coordinates, which is
 /// what makes Random-K all-reduce compatible.
+///
+/// Uses Floyd's sampling algorithm: O(k) time and memory, independent of
+/// the gradient length — the previous implementation materialized and
+/// partially shuffled all `n` indices per call.
 pub fn random_k(data: &[f32], k: usize, seed: u64) -> SparseSelection {
     let n = data.len();
     let k = k.min(n);
@@ -120,11 +132,20 @@ pub fn random_k(data: &[f32], k: usize, seed: u64) -> SparseSelection {
         };
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut all: Vec<u32> = (0..n as u32).collect();
-    // partial_shuffle moves the `k` randomly chosen elements to the *end*
-    // of the slice and returns that shuffled portion first.
-    let (shuffled, _) = all.partial_shuffle(&mut rng, k);
-    let indices: Vec<u32> = shuffled.to_vec();
+    // Floyd's algorithm: for j = n-k..n, draw t uniform in [0, j]; insert t
+    // unless already chosen, in which case insert j. Every k-subset is
+    // equally likely, and indices come out in insertion order (still
+    // deterministic per seed, which is all workers need to agree on).
+    let mut chosen: std::collections::HashSet<u32> = std::collections::HashSet::with_capacity(k);
+    let mut indices: Vec<u32> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j) as u32;
+        let pick = if chosen.insert(t) { t } else { j as u32 };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        indices.push(pick);
+    }
     let values = indices.iter().map(|&i| data[i as usize]).collect();
     SparseSelection { indices, values }
 }

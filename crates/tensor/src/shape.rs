@@ -1,7 +1,6 @@
 //! Tensor shapes and the 4D→2D matricization rule used by low-rank
 //! compressors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a [`Tensor`](crate::Tensor): an ordered list of dimension
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.numel(), 64 * 3 * 7 * 7);
 /// assert_eq!(s.rank(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }

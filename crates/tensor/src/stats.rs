@@ -62,19 +62,36 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// Median of a series (average of middle two for even lengths; `0` for an
-/// empty series).
+/// empty series). O(n) via quickselect rather than a full sort.
 pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The `p`-th percentile (`p` in `[0, 100]`) with linear interpolation
+/// between the two nearest order statistics (`0` for an empty series).
+///
+/// Average-O(n): one `select_nth_unstable_by` pass positions the lower
+/// order statistic; the upper one is then the minimum of the partition
+/// above it, so no sort is needed.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    let p = p.clamp(0.0, 100.0);
+    let n = xs.len();
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo_idx = rank.floor() as usize;
+    let frac = rank - lo_idx as f64;
+    let mut scratch = xs.to_vec();
+    let (_, lo, above) = scratch.select_nth_unstable_by(lo_idx, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let lo = *lo;
+    if frac == 0.0 || above.is_empty() {
+        return lo;
     }
+    let hi = above.iter().copied().fold(f64::INFINITY, f64::min);
+    lo + frac * (hi - lo)
 }
 
 #[cfg(test)]
@@ -119,5 +136,39 @@ mod tests {
         assert_eq!(median(&[]), 0.0);
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn percentile_series() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        // Interpolated: rank = 0.9 * 4 = 3.6 -> 4 + 0.6 * (5 - 4).
+        assert!((percentile(&xs, 90.0) - 4.6).abs() < 1e-12);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 150.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_matches_sorted_reference() {
+        // Cross-check the quickselect path against sort-then-index.
+        let xs: Vec<f64> = (0..101).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let rank = p / 100.0 * (xs.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let frac = rank - lo as f64;
+            let expect = if lo + 1 < sorted.len() {
+                sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+            } else {
+                sorted[lo]
+            };
+            assert!((percentile(&xs, p) - expect).abs() < 1e-9, "p={p}");
+        }
     }
 }

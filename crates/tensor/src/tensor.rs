@@ -3,7 +3,6 @@
 use crate::Shape;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -68,7 +67,7 @@ impl Error for TensorError {}
 /// g.scale(0.5);
 /// assert_eq!(g.data(), &[0.5, -1.0, 1.5]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,

@@ -6,7 +6,6 @@ use gcs_compress::driver::all_reduce_compressed;
 use gcs_compress::registry::MethodConfig;
 use gcs_compress::{Compressor, Result};
 use gcs_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a distributed training run.
 #[derive(Debug, Clone)]
@@ -92,7 +91,7 @@ impl Default for TrainConfig {
 }
 
 /// The loss trajectory of a training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConvergenceReport {
     /// Method name.
     pub method: String,

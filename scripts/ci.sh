@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, tests, and lints for the whole workspace.
+# No network access is assumed (all dependencies are vendored path crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

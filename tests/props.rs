@@ -1,5 +1,8 @@
-//! Property-based tests over the core data structures and protocol
-//! invariants.
+//! Randomized (deterministically seeded) tests over the core data
+//! structures and protocol invariants. Formerly proptest-based; rewritten
+//! as seeded loops because the build environment is offline and proptest
+//! cannot be vendored cheaply. Every invariant is preserved; case counts
+//! match the old `ProptestConfig::with_cases` settings.
 
 use gradcomp::compress::driver::{all_reduce_compressed, round_trip};
 use gradcomp::compress::registry::MethodConfig;
@@ -8,100 +11,120 @@ use gradcomp::tensor::bits::SignBits;
 use gradcomp::tensor::f16::{f16_bits_to_f32, f32_to_f16_bits};
 use gradcomp::tensor::select::top_k_abs;
 use gradcomp::tensor::{stats, Tensor};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-1e3f32..1e3, 1..max_len)
+fn finite_vec(rng: &mut StdRng, max_len: usize) -> Vec<f32> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(-1e3f32..1e3)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Payload serialization round-trips for every variant reachable from
-    /// a compressor encode.
-    #[test]
-    fn payload_wire_roundtrip(data in finite_vec(200), method_idx in 0usize..7) {
-        let methods = [
-            MethodConfig::SyncSgd,
-            MethodConfig::Fp16,
-            MethodConfig::SignSgd,
-            MethodConfig::TopK { ratio: 0.3 },
-            MethodConfig::Qsgd { levels: 15 },
-            MethodConfig::TernGrad,
-            MethodConfig::RandomK { ratio: 0.3 },
-        ];
-        let mut c = methods[method_idx].build().expect("builds");
+/// Payload serialization round-trips for every variant reachable from a
+/// compressor encode.
+#[test]
+fn payload_wire_roundtrip() {
+    let methods = [
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::SignSgd,
+        MethodConfig::TopK { ratio: 0.3 },
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.3 },
+    ];
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..64 {
+        let data = finite_vec(&mut rng, 200);
+        let method = &methods[case % methods.len()];
+        let mut c = method.build().expect("builds");
         let g = Tensor::from_vec(data);
         let p = c.encode(0, &g).expect("encode");
         let bytes = p.to_bytes();
         let q = Payload::from_bytes(&bytes).expect("decode");
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q, "case {case} {method:?}");
     }
+}
 
-    /// Sign packing is a bijection on the sign pattern.
-    #[test]
-    fn sign_pack_unpack_is_identity(data in finite_vec(500)) {
+/// Sign packing is a bijection on the sign pattern.
+#[test]
+fn sign_pack_unpack_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x516);
+    for _ in 0..64 {
+        let data = finite_vec(&mut rng, 500);
         let bits = SignBits::pack(&data);
         let unpacked = bits.unpack(1.0);
         for (x, s) in data.iter().zip(&unpacked) {
-            prop_assert_eq!(*s, if *x >= 0.0 { 1.0 } else { -1.0 });
+            assert_eq!(*s, if *x >= 0.0 { 1.0 } else { -1.0 });
         }
     }
+}
 
-    /// f16 conversion round-trips exactly for values already representable
-    /// and is within half-ULP otherwise.
-    #[test]
-    fn f16_roundtrip_error_bounded(x in -60000.0f32..60000.0) {
+/// f16 conversion round-trips exactly for values already representable
+/// and is within half-ULP otherwise.
+#[test]
+fn f16_roundtrip_error_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF16);
+    for _ in 0..256 {
+        let x = rng.gen_range(-60000.0f32..60000.0);
         let r = f16_bits_to_f32(f32_to_f16_bits(x));
         let tol = x.abs().max(2.0f32.powi(-14)) * 2.0f32.powi(-11);
-        prop_assert!((r - x).abs() <= tol, "x={x} r={r}");
+        assert!((r - x).abs() <= tol, "x={x} r={r}");
     }
+}
 
-    /// top_k_abs returns exactly k entries whose magnitudes dominate all
-    /// excluded ones.
-    #[test]
-    fn top_k_dominance(data in finite_vec(300), k in 1usize..50) {
-        let k = k.min(data.len());
+/// top_k_abs returns exactly k entries whose magnitudes dominate all
+/// excluded ones.
+#[test]
+fn top_k_dominance() {
+    let mut rng = StdRng::seed_from_u64(0x709);
+    for _ in 0..64 {
+        let data = finite_vec(&mut rng, 300);
+        let k = rng.gen_range(1usize..50).min(data.len());
         let sel = top_k_abs(&data, k);
-        prop_assert_eq!(sel.len(), k);
+        assert_eq!(sel.len(), k);
         let kept: std::collections::HashSet<u32> = sel.indices.iter().copied().collect();
-        prop_assert_eq!(kept.len(), k, "indices must be distinct");
+        assert_eq!(kept.len(), k, "indices must be distinct");
         let min_kept = sel.values.iter().map(|v| v.abs()).fold(f32::MAX, f32::min);
         for (i, v) in data.iter().enumerate() {
             if !kept.contains(&(i as u32)) {
-                prop_assert!(v.abs() <= min_kept + 1e-6);
+                assert!(v.abs() <= min_kept + 1e-6);
             }
         }
     }
+}
 
-    /// syncSGD all-reduce over any worker count equals the sequential mean.
-    #[test]
-    fn syncsgd_allreduce_is_mean(
-        seeds in prop::collection::vec(0u64..1000, 2..6),
-        len in 1usize..64,
-    ) {
+/// syncSGD all-reduce over any worker count equals the sequential mean.
+#[test]
+fn syncsgd_allreduce_is_mean() {
+    let mut rng = StdRng::seed_from_u64(0x3A7);
+    for _ in 0..64 {
+        let workers = rng.gen_range(2usize..6);
+        let len = rng.gen_range(1usize..64);
+        let seeds: Vec<u64> = (0..workers).map(|_| rng.gen_range(0u64..1000)).collect();
         let grads: Vec<Tensor> = seeds.iter().map(|&s| Tensor::randn([len], s)).collect();
-        let mut workers: Vec<_> = (0..grads.len())
+        let mut comps: Vec<_> = (0..grads.len())
             .map(|_| MethodConfig::SyncSgd.build().expect("builds"))
             .collect();
-        let outs = all_reduce_compressed(&mut workers, 0, &grads).expect("protocol");
+        let outs = all_reduce_compressed(&mut comps, 0, &grads).expect("protocol");
         let mut mean = Tensor::zeros([len]);
         for g in &grads {
             mean.add_assign(g).expect("same shape");
         }
         mean.scale(1.0 / grads.len() as f32);
-        prop_assert!(stats::relative_l2_error(&mean, &outs[0]) < 1e-5);
+        assert!(stats::relative_l2_error(&mean, &outs[0]) < 1e-5);
     }
+}
 
-    /// Error-feedback invariant: for EF methods, decoded + residual
-    /// reconstructs the (EF-adjusted) input on the first iteration.
-    #[test]
-    fn unbiased_quantizers_preserve_sign_of_large_entries(data in finite_vec(100)) {
-        // TernGrad zeroes small entries but may never flip the sign of the
-        // largest-magnitude entry (p(keep) = 1 there).
+/// TernGrad zeroes small entries but may never flip the sign of the
+/// largest-magnitude entry (p(keep) = 1 there).
+#[test]
+fn unbiased_quantizers_preserve_sign_of_large_entries() {
+    let mut rng = StdRng::seed_from_u64(0x7E9);
+    for _ in 0..64 {
+        let data = finite_vec(&mut rng, 100);
         let g = Tensor::from_vec(data.clone());
         if g.linf_norm() == 0.0 {
-            return Ok(());
+            continue;
         }
         let mut c = MethodConfig::TernGrad.build().expect("builds");
         let out = round_trip(&mut c, 0, &g).expect("round trip");
@@ -111,43 +134,46 @@ proptest! {
             .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
             .expect("non-empty");
         let o = out.data()[argmax];
-        prop_assert!(o != 0.0, "max-magnitude coordinate must be kept");
-        prop_assert_eq!(o.signum(), maxv.signum());
-    }
-
-    /// The decoded output of every single-round method has the input's
-    /// shape and only finite values.
-    #[test]
-    fn decoded_gradients_are_finite(data in finite_vec(128), method_idx in 0usize..9) {
-        let methods = [
-            MethodConfig::SyncSgd,
-            MethodConfig::Fp16,
-            MethodConfig::SignSgd,
-            MethodConfig::EfSignSgd,
-            MethodConfig::TopK { ratio: 0.25 },
-            MethodConfig::Qsgd { levels: 15 },
-            MethodConfig::TernGrad,
-            MethodConfig::RandomK { ratio: 0.25 },
-            MethodConfig::OneBit,
-        ];
-        let mut c = methods[method_idx].build().expect("builds");
-        let g = Tensor::from_vec(data);
-        let out = round_trip(&mut c, 0, &g).expect("round trip");
-        prop_assert_eq!(out.shape(), g.shape());
-        prop_assert!(out.data().iter().all(|x| x.is_finite()));
+        assert!(o != 0.0, "max-magnitude coordinate must be kept");
+        assert_eq!(o.signum(), maxv.signum());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// The decoded output of every single-round method has the input's shape
+/// and only finite values.
+#[test]
+fn decoded_gradients_are_finite() {
+    let methods = [
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::SignSgd,
+        MethodConfig::EfSignSgd,
+        MethodConfig::TopK { ratio: 0.25 },
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.25 },
+        MethodConfig::OneBit,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xD1F);
+    for case in 0..64 {
+        let data = finite_vec(&mut rng, 128);
+        let method = &methods[case % methods.len()];
+        let mut c = method.build().expect("builds");
+        let g = Tensor::from_vec(data);
+        let out = round_trip(&mut c, 0, &g).expect("round trip");
+        assert_eq!(out.shape(), g.shape());
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+}
 
-    /// Ring all-reduce over the real threaded cluster equals the
-    /// sequential sum for arbitrary buffer lengths and worker counts.
-    #[test]
-    fn threaded_ring_allreduce_matches_sequential_sum(
-        p in 1usize..6,
-        len in 0usize..40,
-    ) {
+/// Ring all-reduce over the real threaded cluster equals the sequential
+/// sum for arbitrary buffer lengths and worker counts.
+#[test]
+fn threaded_ring_allreduce_matches_sequential_sum() {
+    let mut rng = StdRng::seed_from_u64(0x417);
+    for _ in 0..16 {
+        let p = rng.gen_range(1usize..6);
+        let len = rng.gen_range(0usize..40);
         let outs = gradcomp::cluster::SimCluster::run(p, |w| {
             let mut buf: Vec<f32> = (0..len).map(|i| (w.rank() * 100 + i) as f32).collect();
             w.all_reduce_sum(&mut buf).expect("all-reduce");
@@ -156,20 +182,22 @@ proptest! {
         for out in &outs {
             for (i, &x) in out.iter().enumerate() {
                 let expected: f32 = (0..p).map(|r| (r * 100 + i) as f32).sum();
-                prop_assert_eq!(x, expected);
+                assert_eq!(x, expected);
             }
         }
     }
+}
 
-    /// PowerSGD's two-round protocol leaves every worker with identical
-    /// decoded gradients, for arbitrary worker counts and shapes.
-    #[test]
-    fn powersgd_workers_always_agree(
-        p in 2usize..5,
-        rows in 2usize..10,
-        cols in 2usize..10,
-        rank in 1usize..4,
-    ) {
+/// PowerSGD's two-round protocol leaves every worker with identical
+/// decoded gradients, for arbitrary worker counts and shapes.
+#[test]
+fn powersgd_workers_always_agree() {
+    let mut rng = StdRng::seed_from_u64(0x969);
+    for _ in 0..16 {
+        let p = rng.gen_range(2usize..5);
+        let rows = rng.gen_range(2usize..10);
+        let cols = rng.gen_range(2usize..10);
+        let rank = rng.gen_range(1usize..4);
         let grads: Vec<Tensor> = (0..p as u64)
             .map(|s| Tensor::randn([rows, cols], s))
             .collect();
@@ -178,7 +206,7 @@ proptest! {
             .collect();
         let outs = all_reduce_compressed(&mut workers, 0, &grads).expect("protocol");
         for w in 1..p {
-            prop_assert_eq!(&outs[0], &outs[w]);
+            assert_eq!(&outs[0], &outs[w]);
         }
     }
 }

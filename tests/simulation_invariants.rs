@@ -1,78 +1,83 @@
-//! Property-based invariants of the timing simulator and performance
-//! model — the guarantees every figure in the paper's evaluation rests on.
+//! Randomized (deterministically seeded) invariants of the timing
+//! simulator and performance model — the guarantees every figure in the
+//! paper's evaluation rests on. Formerly proptest-based; rewritten as
+//! seeded loops for the offline build (case counts preserved).
 
 use gradcomp::cluster::cost::NetworkModel;
 use gradcomp::compress::registry::MethodConfig;
 use gradcomp::core::perf::predict_iteration;
 use gradcomp::ddp::sim::{simulate_iteration, simulate_local_sgd, SimConfig};
 use gradcomp::models::{presets, DeviceSpec, ModelSpec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn any_model() -> impl Strategy<Value = ModelSpec> {
-    (0usize..3).prop_map(|i| match i {
+fn any_model(rng: &mut StdRng) -> ModelSpec {
+    match rng.gen_range(0usize..3) {
         0 => presets::resnet50(),
         1 => presets::resnet101(),
         _ => presets::bert_base(),
-    })
+    }
 }
 
-fn any_method() -> impl Strategy<Value = MethodConfig> {
-    (0usize..6).prop_map(|i| match i {
+fn any_method(rng: &mut StdRng) -> MethodConfig {
+    match rng.gen_range(0usize..6) {
         0 => MethodConfig::SyncSgd,
         1 => MethodConfig::Fp16,
         2 => MethodConfig::PowerSgd { rank: 4 },
         3 => MethodConfig::TopK { ratio: 0.01 },
         4 => MethodConfig::SignSgd,
         _ => MethodConfig::Qsgd { levels: 15 },
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The iteration can never be faster than the backward pass, and the
-    /// breakdown's parts never exceed the total.
-    #[test]
-    fn total_dominates_parts(
-        model in any_model(),
-        method in any_method(),
-        workers in 1usize..128,
-        batch in 1usize..96,
-    ) {
+/// The iteration can never be faster than the backward pass, and the
+/// breakdown's parts never exceed the total.
+#[test]
+fn total_dominates_parts() {
+    let mut rng = StdRng::seed_from_u64(0x101);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
+        let workers = rng.gen_range(1usize..128);
+        let batch = rng.gen_range(1usize..96);
         let cfg = SimConfig::new(model, workers)
             .batch_per_worker(batch)
             .method(method);
         let b = simulate_iteration(&cfg);
-        prop_assert!(b.total_s >= b.backward_s - 1e-12);
-        prop_assert!(b.total_s + 1e-12 >= b.encode_decode_s);
-        prop_assert!(b.exposed_comm_s <= b.comm_s + 1e-12);
-        prop_assert!(b.total_s.is_finite() && b.total_s > 0.0);
+        assert!(b.total_s >= b.backward_s - 1e-12);
+        assert!(b.total_s + 1e-12 >= b.encode_decode_s);
+        assert!(b.exposed_comm_s <= b.comm_s + 1e-12);
+        assert!(b.total_s.is_finite() && b.total_s > 0.0);
     }
+}
 
-    /// Weak-scaling iteration time is non-decreasing in worker count for
-    /// every method (more workers never makes a single iteration faster).
-    #[test]
-    fn monotone_in_workers(
-        model in any_model(),
-        method in any_method(),
-        p in 2usize..64,
-    ) {
+/// Weak-scaling iteration time is non-decreasing in worker count for
+/// every method (more workers never makes a single iteration faster).
+#[test]
+fn monotone_in_workers() {
+    let mut rng = StdRng::seed_from_u64(0x102);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
+        let p = rng.gen_range(2usize..64);
         let t = |workers: usize| {
             simulate_iteration(
                 &SimConfig::new(model.clone(), workers).method(method.clone()),
             )
             .total_s
         };
-        prop_assert!(t(p + 8) + 1e-12 >= t(p), "method {method:?} p {p}");
+        assert!(t(p + 8) + 1e-12 >= t(p), "method {method:?} p {p}");
     }
+}
 
-    /// More bandwidth never hurts.
-    #[test]
-    fn monotone_in_bandwidth(
-        model in any_model(),
-        method in any_method(),
-        gbps in 1.0f64..40.0,
-    ) {
+/// More bandwidth never hurts.
+#[test]
+fn monotone_in_bandwidth() {
+    let mut rng = StdRng::seed_from_u64(0x103);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
+        let gbps = rng.gen_range(1.0f64..40.0);
         let t = |g: f64| {
             simulate_iteration(
                 &SimConfig::new(model.clone(), 32)
@@ -81,16 +86,18 @@ proptest! {
             )
             .total_s
         };
-        prop_assert!(t(gbps * 2.0) <= t(gbps) + 1e-12);
+        assert!(t(gbps * 2.0) <= t(gbps) + 1e-12);
     }
+}
 
-    /// Faster compute never hurts (encode/decode scales along).
-    #[test]
-    fn monotone_in_compute(
-        model in any_model(),
-        method in any_method(),
-        speedup in 1.0f64..4.0,
-    ) {
+/// Faster compute never hurts (encode/decode scales along).
+#[test]
+fn monotone_in_compute() {
+    let mut rng = StdRng::seed_from_u64(0x104);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
+        let speedup = rng.gen_range(1.0f64..4.0);
         let t = |k: f64| {
             simulate_iteration(
                 &SimConfig::new(model.clone(), 32)
@@ -99,51 +106,57 @@ proptest! {
             )
             .total_s
         };
-        prop_assert!(t(speedup * 1.5) <= t(speedup) + 1e-12);
+        assert!(t(speedup * 1.5) <= t(speedup) + 1e-12);
     }
+}
 
-    /// The analytic model and the event simulator always agree on sign
-    /// and never diverge by more than 25 % on the paper's grid.
-    #[test]
-    fn model_tracks_simulator(
-        model in any_model(),
-        method in any_method(),
-        workers in 2usize..100,
-        batch in 4usize..80,
-    ) {
+/// The analytic model and the event simulator always agree on sign and
+/// never diverge by more than 25 % on the paper's grid.
+#[test]
+fn model_tracks_simulator() {
+    let mut rng = StdRng::seed_from_u64(0x105);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
+        let workers = rng.gen_range(2usize..100);
+        let batch = rng.gen_range(4usize..80);
         let cfg = SimConfig::new(model, workers)
             .batch_per_worker(batch)
             .method(method.clone());
         let predicted = predict_iteration(&cfg).total_s;
         let simulated = simulate_iteration(&cfg).total_s;
         let rel = (predicted - simulated).abs() / simulated;
-        prop_assert!(rel < 0.25, "{method:?}: {predicted} vs {simulated} ({rel:.3})");
+        assert!(rel < 0.25, "{method:?}: {predicted} vs {simulated} ({rel:.3})");
     }
+}
 
-    /// Longer local-SGD periods never increase the per-step time, and the
-    /// per-step time never drops below pure compute.
-    #[test]
-    fn local_sgd_monotone_in_period(
-        model in any_model(),
-        period in 1usize..32,
-    ) {
+/// Longer local-SGD periods never increase the per-step time, and the
+/// per-step time never drops below pure compute.
+#[test]
+fn local_sgd_monotone_in_period() {
+    let mut rng = StdRng::seed_from_u64(0x106);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let period = rng.gen_range(1usize..32);
         let cfg = SimConfig::new(model.clone(), 32).batch_per_worker(16);
         let a = simulate_local_sgd(&cfg, period).total_s;
         let b = simulate_local_sgd(&cfg, period * 2).total_s;
-        prop_assert!(b <= a + 1e-12);
+        assert!(b <= a + 1e-12);
         let t_comp = cfg.device.backward_seconds(&model, 16);
-        prop_assert!(b + 1e-12 >= t_comp);
+        assert!(b + 1e-12 >= t_comp);
     }
+}
 
-    /// Wire bytes reported by the simulator match the method's plan and
-    /// never exceed the raw gradient size (plus metadata).
-    #[test]
-    fn wire_bytes_bounded_by_raw(
-        model in any_model(),
-        method in any_method(),
-    ) {
+/// Wire bytes reported by the simulator match the method's plan and never
+/// exceed the raw gradient size (plus metadata).
+#[test]
+fn wire_bytes_bounded_by_raw() {
+    let mut rng = StdRng::seed_from_u64(0x107);
+    for _ in 0..48 {
+        let model = any_model(&mut rng);
+        let method = any_method(&mut rng);
         let cfg = SimConfig::new(model.clone(), 16).method(method);
         let b = simulate_iteration(&cfg);
-        prop_assert!(b.wire_bytes <= model.size_bytes() + 1024 * model.num_layers());
+        assert!(b.wire_bytes <= model.size_bytes() + 1024 * model.num_layers());
     }
 }
