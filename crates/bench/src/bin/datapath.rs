@@ -2,17 +2,23 @@
 //! the seed's naive implementations and writes `BENCH_datapath.json` at the
 //! repo root.
 //!
-//! Four kernels are tracked:
+//! Five kernels are tracked:
 //!
 //! 1. Ring all-reduce on a 25 MiB gradient for p ∈ {4, 8, 16}, against a
 //!    faithful reconstruction of the seed's clone-based ring (fresh wire
 //!    buffer plus per-element f32↔byte conversion every step).
-//! 2. Register-blocked GEMM against the seed's scalar i-k-j loop, on a
+//! 2. All-reduce algorithms head-to-head on the same buffer: ring vs.
+//!    Rabenseifner recursive halving-doubling (power-of-two worlds) vs.
+//!    hierarchical two-level reduce.
+//! 3. Register-blocked GEMM against the seed's scalar i-k-j loop, on a
 //!    PowerSGD-shaped skinny product and a square product.
-//! 3. PowerSGD rank-4 round trip over ResNet-50-style layer shapes.
-//! 4. Top-k 1% selection and sign pack/unpack on the same 25 MiB buffer.
+//! 4. PowerSGD rank-4 round trip over ResNet-50-style layer shapes.
+//! 5. Top-k 1% selection and sign pack/unpack on the same 25 MiB buffer.
 //!
-//! Run with `cargo run -p gcs-bench --bin datapath --release`.
+//! Run with `cargo run -p gcs-bench --bin datapath --release`. Set
+//! `GCS_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny sizes, one
+//! iteration — timings meaningless, only the plumbing is exercised; the
+//! tracked JSON is not rewritten).
 
 use gcs_bench::timing::{bench, black_box, Timing};
 use gcs_cluster::{Frame, SimCluster, WorkerHandle};
@@ -24,11 +30,39 @@ use gcs_tensor::select::top_k_abs_with;
 use gcs_tensor::Tensor;
 use serde_json::{json, Value};
 
-/// 25 MiB of f32 gradient — the paper's ResNet-50 bucket scale.
-const RING_ELEMS: usize = 25 * 1024 * 1024 / 4;
+/// Benchmark sizes; `full` is the tracked configuration, smoke mode
+/// shrinks everything to exercise the plumbing in seconds.
+#[derive(Clone, Copy)]
+struct Params {
+    /// Gradient elements for the collective benches (full: 25 MiB of f32,
+    /// the paper's ResNet-50 bucket scale).
+    ring_elems: usize,
+    ring_iters: usize,
+    gemm_iters: usize,
+}
+
+impl Params {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Params {
+                ring_elems: 64 * 1024,
+                ring_iters: 1,
+                gemm_iters: 1,
+            }
+        } else {
+            Params {
+                ring_elems: 25 * 1024 * 1024 / 4,
+                ring_iters: 7,
+                gemm_iters: 10,
+            }
+        }
+    }
+}
+
 const RING_WORLDS: [usize; 3] = [4, 8, 16];
-const RING_ITERS: usize = 7;
-const GEMM_ITERS: usize = 10;
+/// GPUs per node of the paper's p3.8xlarge testbed, used to group ranks
+/// in the hierarchical all-reduce.
+const GPUS_PER_NODE: usize = 4;
 
 /// Best-of-N speedup: on a single shared core the mean is dominated by
 /// scheduler noise, so ratios use the minimum observed time per variant.
@@ -127,12 +161,12 @@ fn seed_matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
 /// Times one ring variant at world size `p`: each worker loops the
 /// collective over a persistent 25 MiB buffer; rank 0's timing is reported
 /// (the ring synchronizes every rank to the same cadence).
-fn time_ring(p: usize, use_seed: bool) -> Timing {
+fn time_ring(pr: Params, p: usize, use_seed: bool) -> Timing {
     let mut outs = SimCluster::run(p, move |w| {
-        let mut buf: Vec<f32> = (0..RING_ELEMS)
+        let mut buf: Vec<f32> = (0..pr.ring_elems)
             .map(|i| (i % 97) as f32 * 1e-3 + w.rank() as f32)
             .collect();
-        bench(1, RING_ITERS, || {
+        bench(1, pr.ring_iters, || {
             if use_seed {
                 seed_all_reduce_sum(&w, &mut buf);
             } else {
@@ -144,21 +178,21 @@ fn time_ring(p: usize, use_seed: bool) -> Timing {
     outs.swap_remove(0)
 }
 
-fn ring_section() -> Vec<Value> {
+fn ring_section(pr: Params) -> Vec<Value> {
     let mut rows = Vec::new();
     for &p in &RING_WORLDS {
-        let fast = time_ring(p, false);
-        let seed = time_ring(p, true);
+        let fast = time_ring(pr, p, false);
+        let seed = time_ring(pr, p, true);
         let sp = speedup(&seed, &fast);
         println!(
-            "ring all-reduce 25MiB p={p:<2}  fast {}  seed {}  speedup {sp:.2}x",
+            "ring all-reduce p={p:<2}  fast {}  seed {}  speedup {sp:.2}x",
             fast.ms(),
             seed.ms()
         );
         rows.push(json!({
             "kernel": "ring_all_reduce",
             "p": p,
-            "mbytes": (RING_ELEMS * 4) as f64 / (1024.0 * 1024.0),
+            "mbytes": (pr.ring_elems * 4) as f64 / (1024.0 * 1024.0),
             "fast_ms": fast.min_s * 1e3,
             "seed_ms": seed.min_s * 1e3,
             "speedup": sp,
@@ -167,17 +201,81 @@ fn ring_section() -> Vec<Value> {
     rows
 }
 
-fn time_gemm(m: usize, k: usize, n: usize) -> (Timing, Timing, f64) {
+/// All-reduce algorithm to benchmark head-to-head.
+#[derive(Clone, Copy)]
+enum Algo {
+    Ring,
+    Rabenseifner,
+    Hierarchical,
+}
+
+fn time_algo(pr: Params, p: usize, algo: Algo) -> Timing {
+    let mut outs = SimCluster::run(p, move |w| {
+        let mut buf: Vec<f32> = (0..pr.ring_elems)
+            .map(|i| (i % 97) as f32 * 1e-3 + w.rank() as f32)
+            .collect();
+        bench(1, pr.ring_iters, || {
+            match algo {
+                Algo::Ring => w.all_reduce_sum(&mut buf).expect("ring"),
+                Algo::Rabenseifner => w
+                    .rabenseifner_all_reduce_sum(&mut buf)
+                    .expect("rabenseifner"),
+                Algo::Hierarchical => w
+                    .hierarchical_all_reduce_sum(&mut buf, GPUS_PER_NODE)
+                    .expect("hierarchical"),
+            }
+            black_box(&buf);
+        })
+    });
+    outs.swap_remove(0)
+}
+
+/// Ring vs. Rabenseifner vs. hierarchical on the same buffer. All three
+/// produce identical sums (modulo addition order); what differs is the
+/// number of passes over the buffer and the message schedule, which is
+/// what shows up on an in-process transport where bandwidth is memcpy.
+fn all_reduce_algorithms_section(pr: Params) -> Vec<Value> {
+    let mut rows = Vec::new();
+    for &p in &RING_WORLDS {
+        let ring = time_algo(pr, p, Algo::Ring);
+        // Rabenseifner's recursive halving-doubling needs a power-of-two
+        // world; RING_WORLDS all qualify, but guard anyway so editing the
+        // sweep can't panic the bench.
+        let raben = p
+            .is_power_of_two()
+            .then(|| time_algo(pr, p, Algo::Rabenseifner));
+        let hier = time_algo(pr, p, Algo::Hierarchical);
+        let raben_ms = raben.map(|t| t.min_s * 1e3);
+        println!(
+            "all-reduce algos p={p:<2}  ring {}  rabenseifner {}  hierarchical {}",
+            ring.ms(),
+            raben.map_or_else(|| "n/a".into(), |t| t.ms()),
+            hier.ms()
+        );
+        rows.push(json!({
+            "kernel": "all_reduce_algorithms",
+            "p": p,
+            "gpus_per_node": GPUS_PER_NODE,
+            "mbytes": (pr.ring_elems * 4) as f64 / (1024.0 * 1024.0),
+            "ring_ms": ring.min_s * 1e3,
+            "rabenseifner_ms": raben_ms,
+            "hierarchical_ms": hier.min_s * 1e3,
+        }));
+    }
+    rows
+}
+
+fn time_gemm(pr: Params, m: usize, k: usize, n: usize) -> (Timing, Timing, f64) {
     let a = Tensor::randn([m, k], 11).into_vec();
     let b = Tensor::randn([k, n], 13).into_vec();
     let mut out = vec![0.0f32; m * n];
-    let fast = bench(2, GEMM_ITERS, || {
+    let fast = bench(2, pr.gemm_iters, || {
         let av = MatrixRef::new(&a, m, k).expect("a view");
         let bv = MatrixRef::new(&b, k, n).expect("b view");
         matmul(av, bv, &mut out).expect("matmul");
         black_box(&out);
     });
-    let seed = bench(2, GEMM_ITERS, || {
+    let seed = bench(2, pr.gemm_iters, || {
         seed_matmul(&a, &b, &mut out, m, k, n);
         black_box(&out);
     });
@@ -185,14 +283,18 @@ fn time_gemm(m: usize, k: usize, n: usize) -> (Timing, Timing, f64) {
     (fast, seed, sp)
 }
 
-fn gemm_section() -> Vec<Value> {
+fn gemm_section(pr: Params, smoke: bool) -> Vec<Value> {
     // The two shapes PowerSGD actually runs (a conv layer viewed as
     // 512 x 4608 against a rank-4 factor) plus a square product where
     // register blocking is load-bound.
-    let shapes = [(512usize, 4608usize, 64usize), (384, 384, 384)];
+    let shapes = if smoke {
+        [(64usize, 128usize, 16usize), (48, 48, 48)]
+    } else {
+        [(512usize, 4608usize, 64usize), (384, 384, 384)]
+    };
     let mut rows = Vec::new();
     for &(m, k, n) in &shapes {
-        let (fast, seed, speedup) = time_gemm(m, k, n);
+        let (fast, seed, speedup) = time_gemm(pr, m, k, n);
         println!(
             "matmul {m}x{k}x{n}  fast {}  seed {}  speedup {speedup:.2}x",
             fast.ms(),
@@ -209,16 +311,20 @@ fn gemm_section() -> Vec<Value> {
     rows
 }
 
-fn powersgd_section() -> Value {
+fn powersgd_section(pr: Params, smoke: bool) -> Value {
     // ResNet-50-style layer shapes (the encode_decode suite's conv set).
-    let shapes: Vec<Vec<usize>> = vec![
-        vec![64, 64, 3, 3],
-        vec![128, 128, 3, 3],
-        vec![256, 256, 3, 3],
-        vec![512, 512, 3, 3],
-        vec![512, 2048],
-        vec![1000, 512],
-    ];
+    let shapes: Vec<Vec<usize>> = if smoke {
+        vec![vec![32, 32, 3, 3], vec![64, 128]]
+    } else {
+        vec![
+            vec![64, 64, 3, 3],
+            vec![128, 128, 3, 3],
+            vec![256, 256, 3, 3],
+            vec![512, 512, 3, 3],
+            vec![512, 2048],
+            vec![1000, 512],
+        ]
+    };
     let grads: Vec<Tensor> = shapes
         .iter()
         .enumerate()
@@ -226,7 +332,7 @@ fn powersgd_section() -> Value {
         .collect();
     let params: usize = grads.iter().map(Tensor::numel).sum();
     let mut c = PowerSgd::new(4).expect("rank 4");
-    let t = bench(1, GEMM_ITERS, || {
+    let t = bench(1, pr.gemm_iters, || {
         for (layer, g) in grads.iter().enumerate() {
             black_box(round_trip(&mut c, layer, g).expect("powersgd round trip"));
         }
@@ -244,39 +350,40 @@ fn powersgd_section() -> Value {
     })
 }
 
-fn selection_section() -> (Value, Value) {
-    let g = Tensor::randn([RING_ELEMS], 23);
-    let k = RING_ELEMS / 100;
+fn selection_section(pr: Params) -> (Value, Value) {
+    let n = pr.ring_elems;
+    let g = Tensor::randn([n], 23);
+    let k = n / 100;
     let mut mags = Vec::new();
-    let topk = bench(1, GEMM_ITERS, || {
+    let topk = bench(1, pr.gemm_iters, || {
         black_box(top_k_abs_with(g.data(), k, &mut mags));
     });
-    println!("top-k 1% select  n={RING_ELEMS} k={k}  {}", topk.ms());
+    println!("top-k 1% select  n={n} k={k}  {}", topk.ms());
 
     let mut packed = SignBits::pack(g.data());
-    let pack = bench(1, GEMM_ITERS, || {
+    let pack = bench(1, pr.gemm_iters, || {
         packed = SignBits::pack(g.data());
         black_box(&packed);
     });
-    let unpack = bench(1, GEMM_ITERS, || {
+    let unpack = bench(1, pr.gemm_iters, || {
         black_box(packed.unpack(1.0));
     });
     println!(
-        "sign pack/unpack  n={RING_ELEMS}  pack {}  unpack {}",
+        "sign pack/unpack  n={n}  pack {}  unpack {}",
         pack.ms(),
         unpack.ms()
     );
     (
         json!({
             "kernel": "topk_select",
-            "n": RING_ELEMS,
+            "n": n,
             "k": k,
             "ratio": 0.01,
             "select_ms": topk.mean_s * 1e3,
         }),
         json!({
             "kernel": "sign_pack_unpack",
-            "n": RING_ELEMS,
+            "n": n,
             "pack_ms": pack.mean_s * 1e3,
             "unpack_ms": unpack.mean_s * 1e3,
         }),
@@ -285,21 +392,30 @@ fn selection_section() -> (Value, Value) {
 
 fn main() {
     println!("datapath micro-benchmark (release builds only give meaningful numbers)");
-    let ring = ring_section();
-    let gemm = gemm_section();
-    let psgd = powersgd_section();
-    let (topk, signs) = selection_section();
+    let smoke = std::env::var_os("GCS_BENCH_SMOKE").is_some();
+    let pr = Params::new(smoke);
+    let ring = ring_section(pr);
+    let algos = all_reduce_algorithms_section(pr);
+    let gemm = gemm_section(pr, smoke);
+    let psgd = powersgd_section(pr, smoke);
+    let (topk, signs) = selection_section(pr);
 
     let report = json!({
         "bench": "datapath",
         "ring_all_reduce": ring,
+        "all_reduce_algorithms": algos,
         "matmul": gemm,
         "powersgd": psgd,
         "topk": topk,
         "signs": signs,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
-    let text = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, text).expect("write BENCH_datapath.json");
-    println!("wrote {path}");
+    if smoke {
+        // Smoke timings are meaningless; don't clobber the tracked file.
+        println!("smoke mode: skipping write of {path}");
+    } else {
+        let text = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(path, text).expect("write BENCH_datapath.json");
+        println!("wrote {path}");
+    }
 }

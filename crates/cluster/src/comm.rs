@@ -1,0 +1,355 @@
+//! Handle-based asynchronous collectives: a dedicated communication thread
+//! per worker.
+//!
+//! [`CommEngine::spawn`] moves a [`WorkerHandle`] onto its own thread and
+//! exposes `start_*` methods that enqueue collective jobs on a **bounded**
+//! channel and return immediately with a pending handle.  The caller
+//! overlaps its own compute (packing / encoding the next gradient bucket)
+//! with the collective in flight and later blocks on
+//! [`PendingReduce::wait`] / [`PendingGather::wait`] to retrieve the
+//! result.
+//!
+//! # Ordering invariant
+//!
+//! The comm thread processes jobs strictly FIFO.  As long as every rank
+//! submits the *same sequence* of collectives — which the pipelined
+//! exchange engine guarantees by construction (all ranks walk the same
+//! bucket schedule) — the underlying blocking collectives pair up
+//! correctly across ranks and cannot deadlock.  Interleaving jobs from
+//! multiple producer threads on one engine would break this; the engine is
+//! deliberately `!Sync`-by-convention (methods take `&self` but the
+//! pipelined engine owns it uniquely).
+//!
+//! # Backpressure
+//!
+//! The job queue is a `sync_channel(queue_depth)`: once `queue_depth`
+//! collectives are in flight, `start_*` blocks until the comm thread
+//! drains one.  Depth 2 gives classic double buffering — bucket *i* on the
+//! wire while bucket *i+1* is being encoded.
+//!
+//! The arithmetic is *identical* to calling the blocking collectives
+//! inline: the comm thread simply calls [`WorkerHandle::all_reduce_sum`] /
+//! [`ring_all_reduce_chunked`] / [`all_gather_bytes`] on the same handle,
+//! so results are bit-exact with the sequential engine.
+//!
+//! [`ring_all_reduce_chunked`]: crate::collectives — see `WorkerHandle::ring_all_reduce_chunked`
+//! [`all_gather_bytes`]: crate::collectives — see `WorkerHandle::all_gather_bytes`
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::transport::{Frame, WorkerHandle};
+use crate::{ClusterError, Result};
+
+/// One queued collective.  Buffers travel by value so the comm thread can
+/// work on them without synchronization; they come back through the reply
+/// channel for the caller to recycle.
+enum Job {
+    /// Sum-all-reduce `data` across ranks (optionally chunked), reply with
+    /// the reduced buffer.
+    ReduceSum {
+        data: Vec<f32>,
+        chunk_elems: Option<usize>,
+        reply: Sender<Result<Vec<f32>>>,
+    },
+    /// All-gather `data`; reply with one [`Frame`] per rank plus the sent
+    /// buffer (so the caller can reuse its wire allocation).
+    GatherBytes {
+        data: Vec<u8>,
+        reply: Sender<Result<(Vec<Frame>, Vec<u8>)>>,
+    },
+}
+
+/// In-flight sum-all-reduce started by [`CommEngine::start_all_reduce_sum`].
+#[must_use = "a pending collective does nothing until waited on"]
+pub struct PendingReduce {
+    rx: Receiver<Result<Vec<f32>>>,
+}
+
+impl PendingReduce {
+    /// Block until the collective completes and return the reduced buffer.
+    pub fn wait(self) -> Result<Vec<f32>> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(ClusterError::Disconnected { peer: usize::MAX }))
+    }
+}
+
+/// In-flight all-gather started by [`CommEngine::start_all_gather`].
+#[must_use = "a pending collective does nothing until waited on"]
+pub struct PendingGather {
+    rx: Receiver<Result<(Vec<Frame>, Vec<u8>)>>,
+}
+
+impl PendingGather {
+    /// Block until the gather completes.  Returns one frame per rank (in
+    /// rank order; this rank's entry is a zero-copy view of what it sent)
+    /// plus the original send buffer for recycling.
+    pub fn wait(self) -> Result<(Vec<Frame>, Vec<u8>)> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(ClusterError::Disconnected { peer: usize::MAX }))
+    }
+}
+
+/// A worker's dedicated communication thread.
+///
+/// Owns the [`WorkerHandle`] for the lifetime of the engine; call
+/// [`shutdown`](CommEngine::shutdown) to drain the queue and get the
+/// handle back.
+pub struct CommEngine {
+    jobs: Option<SyncSender<Job>>,
+    thread: Option<JoinHandle<WorkerHandle>>,
+    rank: usize,
+    world: usize,
+}
+
+impl CommEngine {
+    /// Spawn the communication thread.  `queue_depth` bounds the number of
+    /// collectives that may be queued or in flight at once (must be ≥ 1);
+    /// further `start_*` calls block until a slot frees up.
+    pub fn spawn(worker: WorkerHandle, queue_depth: usize) -> Self {
+        assert!(queue_depth >= 1, "queue_depth must be at least 1");
+        let rank = worker.rank();
+        let world = worker.world();
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let thread = std::thread::Builder::new()
+            .name(format!("gcs-comm-{rank}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::ReduceSum {
+                            mut data,
+                            chunk_elems,
+                            reply,
+                        } => {
+                            let res = match chunk_elems {
+                                Some(c) => worker.ring_all_reduce_chunked(&mut data, c),
+                                None => worker.all_reduce_sum(&mut data),
+                            };
+                            // A dropped reply receiver just means the caller
+                            // abandoned the pending handle; keep serving.
+                            let _ = reply.send(res.map(|()| data));
+                        }
+                        Job::GatherBytes { data, reply } => {
+                            let res = worker.all_gather_bytes(&data);
+                            let _ = reply.send(res.map(|frames| (frames, data)));
+                        }
+                    }
+                }
+                worker
+            })
+            .expect("failed to spawn comm thread");
+        Self {
+            jobs: Some(tx),
+            thread: Some(thread),
+            rank,
+            world,
+        }
+    }
+
+    /// Rank of the underlying worker.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size of the underlying cluster.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Enqueue a sum-all-reduce of `data`.  With `chunk_elems = Some(c)`
+    /// the reduction uses the staggered chunked ring (segments of `c`
+    /// elements); with `None` it uses the plain ring, whose arithmetic is
+    /// bit-identical to the blocking `all_reduce_sum`.
+    ///
+    /// Blocks only if the job queue is full (backpressure).
+    pub fn start_all_reduce_sum(
+        &self,
+        data: Vec<f32>,
+        chunk_elems: Option<usize>,
+    ) -> Result<PendingReduce> {
+        let (reply, rx) = std::sync::mpsc::channel();
+        self.jobs
+            .as_ref()
+            .expect("engine already shut down")
+            .send(Job::ReduceSum {
+                data,
+                chunk_elems,
+                reply,
+            })
+            .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
+        Ok(PendingReduce { rx })
+    }
+
+    /// Enqueue an all-gather of `data` (opaque bytes).
+    ///
+    /// Blocks only if the job queue is full (backpressure).
+    pub fn start_all_gather(&self, data: Vec<u8>) -> Result<PendingGather> {
+        let (reply, rx) = std::sync::mpsc::channel();
+        self.jobs
+            .as_ref()
+            .expect("engine already shut down")
+            .send(Job::GatherBytes { data, reply })
+            .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
+        Ok(PendingGather { rx })
+    }
+
+    /// Drain any queued jobs, stop the comm thread, and recover the
+    /// [`WorkerHandle`] for further (blocking) use.
+    pub fn shutdown(mut self) -> WorkerHandle {
+        drop(self.jobs.take());
+        self.thread
+            .take()
+            .expect("comm thread already joined")
+            .join()
+            .expect("comm thread panicked")
+    }
+}
+
+impl Drop for CommEngine {
+    fn drop(&mut self) {
+        drop(self.jobs.take());
+        if let Some(t) = self.thread.take() {
+            // Propagating a panic out of drop would abort; losing the
+            // handle here is fine, the cluster is going away anyway.
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimCluster;
+
+    #[test]
+    fn async_reduce_matches_blocking_bitwise() {
+        let outs = SimCluster::run(4, |w| {
+            let rank = w.rank();
+            let make = |salt: usize| -> Vec<f32> {
+                (0..257)
+                    .map(|i| ((rank * 53 + salt * 7 + i) % 97) as f32 * 0.31 - 1.5)
+                    .collect()
+            };
+            let mut blocking0 = make(0);
+            let mut blocking1 = make(1);
+            w.all_reduce_sum(&mut blocking0).unwrap();
+            w.all_reduce_sum(&mut blocking1).unwrap();
+
+            (blocking0, blocking1)
+        });
+        let outs_async = SimCluster::run(4, |w| {
+            let rank = w.rank();
+            let make = |salt: usize| -> Vec<f32> {
+                (0..257)
+                    .map(|i| ((rank * 53 + salt * 7 + i) % 97) as f32 * 0.31 - 1.5)
+                    .collect()
+            };
+            let eng = CommEngine::spawn(w, 2);
+            // Two overlapping reductions in flight at once.
+            let p0 = eng.start_all_reduce_sum(make(0), None).unwrap();
+            let p1 = eng.start_all_reduce_sum(make(1), None).unwrap();
+            let r0 = p0.wait().unwrap();
+            let r1 = p1.wait().unwrap();
+            let _ = eng.shutdown();
+            (r0, r1)
+        });
+        for ((b0, b1), (a0, a1)) in outs.iter().zip(&outs_async) {
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(b0), bits(a0));
+            assert_eq!(bits(b1), bits(a1));
+        }
+    }
+
+    #[test]
+    fn async_chunked_reduce_matches_chunked_blocking() {
+        let outs = SimCluster::run(3, |w| {
+            let rank = w.rank();
+            let make = || -> Vec<f32> {
+                (0..100)
+                    .map(|i| ((rank * 11 + i) % 31) as f32 - 15.0)
+                    .collect()
+            };
+            let mut blocking = make();
+            w.ring_all_reduce_chunked(&mut blocking, 16).unwrap();
+            let eng = CommEngine::spawn(w, 1);
+            let reduced = eng
+                .start_all_reduce_sum(make(), Some(16))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let _ = eng.shutdown();
+            (blocking, reduced)
+        });
+        for (b, a) in outs {
+            assert_eq!(
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn async_gather_returns_rank_order_and_recycles_buffer() {
+        let outs = SimCluster::run(4, |w| {
+            let rank = w.rank();
+            let eng = CommEngine::spawn(w, 2);
+            let sent = vec![rank as u8; rank + 1];
+            let (frames, buf) = eng.start_all_gather(sent.clone()).unwrap().wait().unwrap();
+            let _ = eng.shutdown();
+            (frames, buf, sent)
+        });
+        for (frames, buf, sent) in outs {
+            assert_eq!(buf, sent, "send buffer must come back for reuse");
+            assert_eq!(frames.len(), 4);
+            for (r, f) in frames.iter().enumerate() {
+                assert_eq!(f.as_slice(), vec![r as u8; r + 1].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_returns_usable_handle() {
+        let sums = SimCluster::run(2, |w| {
+            let eng = CommEngine::spawn(w, 1);
+            let _ = eng
+                .start_all_reduce_sum(vec![1.0, 2.0], None)
+                .unwrap()
+                .wait()
+                .unwrap();
+            let w = eng.shutdown();
+            let mut x = vec![w.rank() as f32 + 1.0];
+            w.all_reduce_sum(&mut x).unwrap();
+            x[0]
+        });
+        assert_eq!(sums, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn fifo_mixed_jobs_pair_up_across_ranks() {
+        // Alternate reduce and gather jobs; identical submission order on
+        // every rank must pair collectives correctly.
+        let outs = SimCluster::run(3, |w| {
+            let rank = w.rank();
+            let eng = CommEngine::spawn(w, 2);
+            let r = eng
+                .start_all_reduce_sum(vec![rank as f32; 5], None)
+                .unwrap();
+            let g = eng.start_all_gather(vec![rank as u8; 3]).unwrap();
+            let r2 = eng
+                .start_all_reduce_sum(vec![1.0f32; 2], None)
+                .unwrap();
+            let red = r.wait().unwrap();
+            let (frames, _) = g.wait().unwrap();
+            let red2 = r2.wait().unwrap();
+            let _ = eng.shutdown();
+            (red, frames.len(), red2)
+        });
+        for (red, nframes, red2) in outs {
+            assert_eq!(red, vec![3.0; 5]); // 0+1+2
+            assert_eq!(nframes, 3);
+            assert_eq!(red2, vec![3.0; 2]);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod collectives;
+pub mod comm;
 pub mod cost;
 mod error;
 pub mod hierarchy;
@@ -34,8 +35,9 @@ pub mod ps;
 pub mod rabenseifner;
 pub mod transport;
 
+pub use comm::{CommEngine, PendingGather, PendingReduce};
 pub use error::ClusterError;
-pub use transport::{Frame, SimCluster, WorkerHandle};
+pub use transport::{Frame, NetEmu, SimCluster, WorkerHandle};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -13,11 +13,25 @@
 //! holding the only reference can reclaim the allocation with
 //! [`Frame::into_vec`] and reuse it for its next send, which is what makes
 //! the ring all-reduce allocation-free in steady state.
+//!
+//! # Network emulation
+//!
+//! A cluster built with [`SimCluster::new_with_netem`] paces frame
+//! delivery through the α–β model the paper's cost formulas use: a frame
+//! of `b` bytes sent at time `t` over a link whose previous transmission
+//! ends at `t_free` becomes visible to the receiver at
+//! `max(t, t_free) + b/BW + α`. Senders never block (an asynchronous NIC
+//! with buffering); receivers sleep until the delivery deadline. This
+//! turns communication into *wall-clock time that does not consume CPU*,
+//! which is exactly what a pipelined engine can hide behind compute — and
+//! what a sequential engine cannot.
 
 use crate::{ClusterError, Result};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A message on the wire: immutable, reference-counted bytes.
 ///
@@ -106,6 +120,62 @@ impl PartialEq<[u8]> for Frame {
     }
 }
 
+/// α–β link emulation parameters: per-hop latency plus serialization at a
+/// finite bandwidth. Matches the cost model's
+/// `T = α + b/BW` per point-to-point transfer, with back-to-back sends on
+/// one link serialized (each directed link transmits one frame at a time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetEmu {
+    /// Per-hop propagation latency (the cost model's α).
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second (the cost model's BW).
+    pub bytes_per_sec: f64,
+}
+
+impl NetEmu {
+    /// Creates an emulated link from latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn new(latency: Duration, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        NetEmu {
+            latency,
+            bytes_per_sec,
+        }
+    }
+
+    /// Convenience constructor in the units the paper uses: latency in
+    /// microseconds, bandwidth in Gbit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive and finite.
+    pub fn from_gbps(latency_us: f64, gbps: f64) -> Self {
+        Self::new(
+            Duration::from_secs_f64(latency_us * 1e-6),
+            gbps * 1e9 / 8.0,
+        )
+    }
+
+    /// Serialization time of `bytes` on this link.
+    fn tx_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+}
+
+/// What actually travels on a channel: the frame plus its emulated
+/// delivery deadline (`None` when the cluster runs without emulation).
+#[derive(Debug)]
+struct Packet {
+    frame: Frame,
+    deliver_at: Option<Instant>,
+}
+
 /// Per-worker traffic counters, shared with the cluster for post-run
 /// inspection.
 #[derive(Debug, Default)]
@@ -139,10 +209,15 @@ pub struct WorkerHandle {
     rank: usize,
     world: usize,
     /// `senders[j]` sends to rank `j` (index `rank` is a loop-back).
-    senders: Vec<Sender<Frame>>,
+    senders: Vec<Sender<Packet>>,
     /// `receivers[j]` receives frames sent *by* rank `j`.
-    receivers: Vec<Receiver<Frame>>,
+    receivers: Vec<Receiver<Packet>>,
     traffic: Arc<TrafficCounter>,
+    /// Link emulation, if enabled for this cluster.
+    netem: Option<NetEmu>,
+    /// `link_free[j]`: when the directed link to rank `j` finishes its
+    /// current transmission (only meaningful with `netem`).
+    link_free: Vec<Cell<Instant>>,
 }
 
 impl WorkerHandle {
@@ -178,8 +253,15 @@ impl WorkerHandle {
         }
         let frame = bytes.into();
         self.traffic.record(frame.len());
+        let deliver_at = self.netem.map(|emu| {
+            let now = Instant::now();
+            let start = self.link_free[peer].get().max(now);
+            let done = start + emu.tx_time(frame.len());
+            self.link_free[peer].set(done);
+            done + emu.latency
+        });
         self.senders[peer]
-            .send(frame)
+            .send(Packet { frame, deliver_at })
             .map_err(|_| ClusterError::Disconnected { peer })
     }
 
@@ -196,9 +278,16 @@ impl WorkerHandle {
                 self.world
             )));
         }
-        self.receivers[peer]
+        let packet = self.receivers[peer]
             .recv()
-            .map_err(|_| ClusterError::Disconnected { peer })
+            .map_err(|_| ClusterError::Disconnected { peer })?;
+        if let Some(deliver_at) = packet.deliver_at {
+            let now = Instant::now();
+            if deliver_at > now {
+                std::thread::sleep(deliver_at - now);
+            }
+        }
+        Ok(packet.frame)
     }
 
     /// Rank of the next worker on the ring.
@@ -227,10 +316,21 @@ impl SimCluster {
     ///
     /// Panics if `world == 0`.
     pub fn new(world: usize) -> Self {
+        Self::new_with_netem(world, None)
+    }
+
+    /// Like [`SimCluster::new`], but with optional link emulation: every
+    /// directed link between workers gets `netem`'s latency and bandwidth,
+    /// and receivers block until a frame's emulated delivery time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new_with_netem(world: usize, netem: Option<NetEmu>) -> Self {
         assert!(world > 0, "cluster needs at least one worker");
         // mesh[i][j]: channel carrying frames from i to j.
-        let mut senders_by_src: Vec<Vec<Sender<Frame>>> = Vec::with_capacity(world);
-        let mut receivers_by_dst: Vec<Vec<Option<Receiver<Frame>>>> =
+        let mut senders_by_src: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(world);
+        let mut receivers_by_dst: Vec<Vec<Option<Receiver<Packet>>>> =
             (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
         for src in 0..world {
             let mut row = Vec::with_capacity(world);
@@ -244,6 +344,7 @@ impl SimCluster {
         let traffic: Vec<Arc<TrafficCounter>> = (0..world)
             .map(|_| Arc::new(TrafficCounter::default()))
             .collect();
+        let epoch = Instant::now();
         let handles = senders_by_src
             .into_iter()
             .enumerate()
@@ -256,6 +357,8 @@ impl SimCluster {
                     .map(|r| r.take().expect("mesh fully populated"))
                     .collect(),
                 traffic: Arc::clone(&traffic[rank]),
+                netem,
+                link_free: (0..world).map(|_| Cell::new(epoch)).collect(),
             })
             .collect();
         SimCluster { handles, traffic }
@@ -284,6 +387,20 @@ impl SimCluster {
         R: Send,
     {
         SimCluster::new(world).run_workers(f)
+    }
+
+    /// [`SimCluster::run`] over an emulated network: frame delivery is
+    /// paced by `netem`'s latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker thread panics.
+    pub fn run_with_netem<F, R>(world: usize, netem: NetEmu, f: F) -> Vec<R>
+    where
+        F: Fn(WorkerHandle) -> R + Sync,
+        R: Send,
+    {
+        SimCluster::new_with_netem(world, Some(netem)).run_workers(f)
     }
 
     /// Like [`SimCluster::run`], but on *this* cluster — clone the
@@ -436,6 +553,64 @@ mod tests {
             }
         });
         assert_eq!(outs, vec![true, true]);
+    }
+
+    #[test]
+    fn netem_delays_delivery_by_latency_and_bandwidth() {
+        // 1 MiB at 100 MiB/s plus 5 ms latency: the receiver must not see
+        // the frame before ~15 ms after the send.
+        let emu = NetEmu::new(
+            Duration::from_millis(5),
+            100.0 * 1024.0 * 1024.0,
+        );
+        let outs = SimCluster::run_with_netem(2, emu, |w| {
+            if w.rank() == 0 {
+                w.send(1, vec![0u8; 1024 * 1024]).unwrap();
+                Duration::ZERO
+            } else {
+                let t0 = Instant::now();
+                let _ = w.recv(0).unwrap();
+                t0.elapsed()
+            }
+        });
+        // Bandwidth term 10 ms + latency 5 ms; allow generous slack below.
+        assert!(
+            outs[1] >= Duration::from_millis(12),
+            "delivery arrived too early: {:?}",
+            outs[1]
+        );
+    }
+
+    #[test]
+    fn netem_serializes_back_to_back_sends_on_one_link() {
+        // Two 1 MiB frames on a 100 MiB/s link: the second delivery lands
+        // ~10 ms after the first, even though both sends return instantly.
+        let emu = NetEmu::new(Duration::ZERO, 100.0 * 1024.0 * 1024.0);
+        let outs = SimCluster::run_with_netem(2, emu, |w| {
+            if w.rank() == 0 {
+                w.send(1, vec![0u8; 1024 * 1024]).unwrap();
+                w.send(1, vec![0u8; 1024 * 1024]).unwrap();
+                Duration::ZERO
+            } else {
+                let t0 = Instant::now();
+                let _ = w.recv(0).unwrap();
+                let first = t0.elapsed();
+                let _ = w.recv(0).unwrap();
+                t0.elapsed() - first
+            }
+        });
+        assert!(
+            outs[1] >= Duration::from_millis(8),
+            "second frame not paced behind the first: {:?}",
+            outs[1]
+        );
+    }
+
+    #[test]
+    fn netem_from_gbps_converts_units() {
+        let emu = NetEmu::from_gbps(15.0, 10.0);
+        assert_eq!(emu.latency, Duration::from_micros(15));
+        assert!((emu.bytes_per_sec - 1.25e9).abs() < 1.0);
     }
 
     #[test]

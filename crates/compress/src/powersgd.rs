@@ -18,7 +18,10 @@
 //! (§4.2).
 
 use crate::{CompressError, Compressor, Factor, Payload, Properties, Result};
-use gcs_tensor::matrix::{a_mul_bt, at_mul_b, matmul, orthonormalize_columns, MatrixRef};
+use gcs_tensor::matrix::{
+    a_mul_bt_pooled, at_mul_b_pooled, matmul_pooled, orthonormalize_columns, MatrixRef,
+};
+use gcs_tensor::pool;
 use gcs_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 
@@ -198,7 +201,8 @@ impl Compressor for PowerSgd {
         let mut p = std::mem::take(&mut state.p_scratch);
         p.clear();
         p.resize(m * r, 0.0);
-        matmul(
+        matmul_pooled(
+            pool::global(),
             MatrixRef::new(&state.m_work, m, n)?,
             MatrixRef::new(&state.q, n, r)?,
             &mut p,
@@ -228,7 +232,8 @@ impl Compressor for PowerSgd {
         let mut q = std::mem::take(&mut state.q_scratch);
         q.clear();
         q.resize(n * r, 0.0);
-        at_mul_b(
+        at_mul_b_pooled(
+            pool::global(),
             MatrixRef::new(&state.m_work, m, n)?,
             MatrixRef::new(p_hat, m, r)?,
             &mut q,
@@ -314,7 +319,8 @@ impl Compressor for PowerSgd {
         let (m, n, r) = (state.rows, state.cols, state.rank);
         // Ĝ = P̂ · Q̄ᵀ
         let mut g_hat = vec![0.0f32; m * n];
-        a_mul_bt(
+        a_mul_bt_pooled(
+            pool::global(),
             MatrixRef::new(&p_hat, m, r)?,
             MatrixRef::new(&q_agg, n, r)?,
             &mut g_hat,
@@ -345,6 +351,7 @@ impl Compressor for PowerSgd {
 mod tests {
     use super::*;
     use crate::driver::{all_reduce_compressed, round_trip};
+    use gcs_tensor::matrix::matmul;
     use gcs_tensor::stats::relative_l2_error;
 
     #[test]

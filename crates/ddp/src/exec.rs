@@ -188,6 +188,191 @@ pub fn exchange_gradients<C: Compressor>(
         .collect()
 }
 
+/// The bucket partition of a gradient set plus the persistent buffers the
+/// bucketed exchange needs: the flat pack buffer and the serialization
+/// wire buffer.
+///
+/// DDP computes its bucket assignment once at model construction and
+/// reuses it every iteration; recomputing the partition (and reallocating
+/// the pack buffer) per step, as the engine previously did, is pure
+/// rework. Build a plan once with [`BucketPlan::new`] and drive
+/// [`exchange_gradients_with_plan`] with it every step.
+#[derive(Debug)]
+pub struct BucketPlan {
+    /// Layer indices per bucket, filled in backward (reverse-layer) order
+    /// the way DDP sees gradients become ready.
+    buckets: Vec<Vec<usize>>,
+    /// Total element count per bucket.
+    elems: Vec<usize>,
+    /// Shape each packed bucket is presented to the compressor with:
+    /// `[elems]` by default, or `[d, elems/d]` (d the largest divisor ≤
+    /// √elems) for [`BucketPlan::matricized`] plans.
+    shapes: Vec<gcs_tensor::Shape>,
+    /// Element count of every layer (used to detect layout changes).
+    layer_elems: Vec<usize>,
+    /// Persistent flat pack buffer, circulated through [`BucketPlan::pack`]
+    /// / [`BucketPlan::reclaim`].
+    pack: Vec<f32>,
+    /// Persistent serialization buffer for the gather path.
+    wire: Vec<u8>,
+}
+
+impl BucketPlan {
+    /// Partitions `grads` into flat buckets of at most `bucket_bytes`
+    /// bytes (a layer larger than the cap gets a bucket of its own),
+    /// filling in backward order to mirror DDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_bytes == 0`.
+    pub fn new(grads: &[Tensor], bucket_bytes: usize) -> Self {
+        Self::build(grads, bucket_bytes, false)
+    }
+
+    /// Like [`BucketPlan::new`], but presents each packed bucket to the
+    /// compressor as a near-square matrix `[d, elems/d]` (d the largest
+    /// divisor of the bucket's element count that is ≤ its square root)
+    /// instead of a flat vector.
+    ///
+    /// Shape-sensitive compressors need this: a flat bucket matricizes to
+    /// `(1, n)`, which collapses PowerSGD to rank 1 with an n-element
+    /// factor — no compression at all. PyTorch's PowerSGD DDP hook
+    /// likewise views each bucket as a matrix before factorizing.
+    /// Flat packing stays the default because it matches the layer-wise
+    /// reference driver on concatenated gradients exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_bytes == 0`.
+    pub fn matricized(grads: &[Tensor], bucket_bytes: usize) -> Self {
+        Self::build(grads, bucket_bytes, true)
+    }
+
+    fn build(grads: &[Tensor], bucket_bytes: usize, matricize: bool) -> Self {
+        assert!(bucket_bytes > 0, "bucket size must be positive");
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_bytes = 0usize;
+        for idx in (0..grads.len()).rev() {
+            let b = grads[idx].numel() * 4;
+            if current_bytes > 0 && current_bytes + b > bucket_bytes {
+                buckets.push(std::mem::take(&mut current));
+                current_bytes = 0;
+            }
+            current.push(idx);
+            current_bytes += b;
+        }
+        if !current.is_empty() {
+            buckets.push(current);
+        }
+        let elems: Vec<usize> = buckets
+            .iter()
+            .map(|layers| layers.iter().map(|&i| grads[i].numel()).sum())
+            .collect();
+        let max_elems = elems.iter().copied().max().unwrap_or(0);
+        let shapes = elems
+            .iter()
+            .map(|&n| {
+                let d = if matricize { largest_divisor_le_sqrt(n) } else { 1 };
+                if d > 1 {
+                    gcs_tensor::Shape::new(vec![d, n / d])
+                } else {
+                    gcs_tensor::Shape::new(vec![n])
+                }
+            })
+            .collect();
+        BucketPlan {
+            buckets,
+            elems,
+            shapes,
+            layer_elems: grads.iter().map(Tensor::numel).collect(),
+            pack: Vec::with_capacity(max_elems),
+            wire: Vec::new(),
+        }
+    }
+
+    /// Number of buckets in the plan.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Layer indices assigned to `bucket` (in pack order).
+    pub fn layers(&self, bucket: usize) -> &[usize] {
+        &self.buckets[bucket]
+    }
+
+    /// Total element count of `bucket`.
+    pub fn elems(&self, bucket: usize) -> usize {
+        self.elems[bucket]
+    }
+
+    /// The shape `bucket` is presented to the compressor with.
+    pub fn bucket_shape(&self, bucket: usize) -> &gcs_tensor::Shape {
+        &self.shapes[bucket]
+    }
+
+    /// Whether this plan was built for gradients with the same per-layer
+    /// element counts as `grads`.
+    pub fn matches(&self, grads: &[Tensor]) -> bool {
+        self.layer_elems.len() == grads.len()
+            && self
+                .layer_elems
+                .iter()
+                .zip(grads)
+                .all(|(&n, g)| n == g.numel())
+    }
+
+    /// Packs `bucket`'s layers into one flat tensor, reusing the plan's
+    /// pack buffer. Hand the tensor back via [`BucketPlan::reclaim`] after
+    /// encoding so the allocation circulates.
+    pub fn pack(&mut self, grads: &[Tensor], bucket: usize) -> Tensor {
+        let mut flat = std::mem::take(&mut self.pack);
+        flat.clear();
+        flat.reserve(self.elems[bucket]);
+        for &i in &self.buckets[bucket] {
+            flat.extend_from_slice(grads[i].data());
+        }
+        Tensor::from_shape_vec(self.shapes[bucket].clone(), flat)
+            .expect("bucket shape matches element count")
+    }
+
+    /// Returns a spent pack tensor's allocation to the plan.
+    pub fn reclaim(&mut self, packed: Tensor) {
+        self.pack = packed.into_vec();
+    }
+
+    /// Scatters decoded flat buckets (`flats[b]` for bucket `b`) back to
+    /// per-layer tensors shaped like `grads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from tensor construction.
+    pub fn scatter(&self, grads: &[Tensor], mut flats: Vec<Tensor>) -> Result<Vec<Tensor>> {
+        let mut out: Vec<Option<Tensor>> = (0..grads.len()).map(|_| None).collect();
+        for (layers, flat) in self.buckets.iter().zip(flats.drain(..)) {
+            let mut offset = 0usize;
+            for &i in layers {
+                let n = grads[i].numel();
+                let slice = flat.data()[offset..offset + n].to_vec();
+                out[i] = Some(
+                    Tensor::from_shape_vec(grads[i].shape().clone(), slice)
+                        .map_err(gcs_compress::CompressError::from)?,
+                );
+                offset += n;
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|t| t.expect("every layer scattered"))
+            .collect())
+    }
+
+    /// The plan's persistent wire buffer (gather-path serialization).
+    pub(crate) fn wire_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.wire
+    }
+}
+
 /// Runs the exchange at **bucket granularity**, the way PyTorch DDP comm
 /// hooks actually see gradients: layers are packed (in backward order)
 /// into flat buckets of at most `bucket_bytes`, each bucket is compressed
@@ -198,6 +383,9 @@ pub fn exchange_gradients<C: Compressor>(
 /// compressor sees one long flat vector — sidesteps the per-layer encode
 /// overhead §4.2 complains about. It is also the only way to use
 /// non-layer-wise methods (Table 1's Random-K row) inside DDP.
+///
+/// Builds a fresh [`BucketPlan`] per call; steady-state drivers should
+/// build the plan once and call [`exchange_gradients_with_plan`].
 ///
 /// # Errors
 ///
@@ -212,72 +400,64 @@ pub fn exchange_gradients_bucketed<C: Compressor>(
     grads: &[Tensor],
     bucket_bytes: usize,
 ) -> Result<Vec<Tensor>> {
-    assert!(bucket_bytes > 0, "bucket size must be positive");
-    // Mirror DDP: fill buckets in backward (reverse-layer) order.
-    let mut buckets: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> = Vec::new();
-    let mut current_bytes = 0usize;
-    for idx in (0..grads.len()).rev() {
-        let b = grads[idx].numel() * 4;
-        if current_bytes > 0 && current_bytes + b > bucket_bytes {
-            buckets.push(std::mem::take(&mut current));
-            current_bytes = 0;
-        }
-        current.push(idx);
-        current_bytes += b;
-    }
-    if !current.is_empty() {
-        buckets.push(current);
-    }
+    let mut plan = BucketPlan::new(grads, bucket_bytes);
+    exchange_gradients_with_plan(worker, compressor, grads, &mut plan)
+}
 
+/// [`exchange_gradients_bucketed`] driven by a prebuilt [`BucketPlan`]:
+/// the partition, pack buffer, and wire buffer all persist across steps.
+///
+/// # Errors
+///
+/// Propagates compression and transport errors.
+///
+/// # Panics
+///
+/// Panics if `plan` was built for a different gradient layout (debug
+/// builds only; release builds would produce garbage buckets, so the
+/// check is cheap insurance — `plan.matches(grads)`).
+pub fn exchange_gradients_with_plan<C: Compressor>(
+    worker: &WorkerHandle,
+    compressor: &mut C,
+    grads: &[Tensor],
+    plan: &mut BucketPlan,
+) -> Result<Vec<Tensor>> {
+    debug_assert!(plan.matches(grads), "plan built for a different model");
     let rounds = compressor.properties().rounds;
-    let mut flat_out: Vec<Option<Tensor>> = (0..buckets.len()).map(|_| None).collect();
-    let mut wire = Vec::new();
     for round in 0..rounds {
-        for (bucket_id, layers) in buckets.iter().enumerate() {
+        for bucket_id in 0..plan.num_buckets() {
             let payload = if round == 0 {
-                // Pack the bucket's layers into one flat tensor.
-                let total: usize = layers.iter().map(|&i| grads[i].numel()).sum();
-                let mut flat = Vec::with_capacity(total);
-                for &i in layers {
-                    flat.extend_from_slice(grads[i].data());
-                }
-                compressor.encode(bucket_id, &Tensor::from_vec(flat))?
+                let flat = plan.pack(grads, bucket_id);
+                let p = compressor.encode(bucket_id, &flat);
+                plan.reclaim(flat);
+                p?
             } else {
                 compressor.encode_round(bucket_id, round)?
             };
+            let mut wire = std::mem::take(plan.wire_mut());
             let agg =
-                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
-            compressor.absorb(bucket_id, round, agg)?;
+                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire);
+            *plan.wire_mut() = wire;
+            compressor.absorb(bucket_id, round, agg?)?;
         }
     }
-    for (bucket_id, layers) in buckets.iter().enumerate() {
-        let total: usize = layers.iter().map(|&i| grads[i].numel()).sum();
-        let flat = compressor.finish(
-            bucket_id,
-            &gcs_tensor::Shape::new(vec![total]),
-        )?;
-        flat_out[bucket_id] = Some(flat);
-    }
-    // Scatter buckets back to per-layer tensors.
-    let mut out: Vec<Option<Tensor>> = (0..grads.len()).map(|_| None).collect();
-    for (bucket_id, layers) in buckets.iter().enumerate() {
-        let flat = flat_out[bucket_id].take().expect("decoded above");
-        let mut offset = 0usize;
-        for &i in layers {
-            let n = grads[i].numel();
-            let slice = flat.data()[offset..offset + n].to_vec();
-            out[i] = Some(
-                Tensor::from_shape_vec(grads[i].shape().clone(), slice)
-                    .map_err(gcs_compress::CompressError::from)?,
-            );
-            offset += n;
+    let flats: Vec<Tensor> = (0..plan.num_buckets())
+        .map(|bucket_id| Ok(compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?))
+        .collect::<Result<_>>()?;
+    plan.scatter(grads, flats)
+}
+
+/// Largest divisor of `n` that is at most `√n` (1 for primes and `n ≤ 3`).
+fn largest_divisor_le_sqrt(n: usize) -> usize {
+    let mut best = 1;
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = d;
         }
+        d += 1;
     }
-    Ok(out
-        .into_iter()
-        .map(|t| t.expect("every layer scattered"))
-        .collect())
+    best
 }
 
 /// Convenience harness: runs `exchange_gradients` across `p` in-process

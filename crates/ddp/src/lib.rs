@@ -28,6 +28,9 @@
 //! ```
 
 pub mod exec;
+pub mod pipeline;
 pub mod sim;
 pub mod trace;
 pub mod wire;
+
+pub use pipeline::{PipelineConfig, PipelinedEngine};

@@ -1,0 +1,485 @@
+//! Pipelined bucket exchange: comm/compute overlap in the real data plane.
+//!
+//! The sequential engine ([`exec::exchange_gradients_with_plan`]) encodes
+//! a bucket, blocks inside the collective, absorbs, and only then touches
+//! the next bucket — so while bytes are on the wire the CPU idles, and
+//! while the CPU encodes the wire idles. [`PipelinedEngine`] splits each
+//! worker into two threads:
+//!
+//! ```text
+//!  encode thread (caller)          comm thread (gcs_cluster::CommEngine)
+//!  ──────────────────────          ────────────────────────────────────
+//!  pack+encode bucket 0  ──job──▶  collective(bucket 0)
+//!  pack+encode bucket 1  ──job──▶  collective(bucket 1)
+//!  absorb bucket 0 ◀──reply──────  ...
+//!  pack+encode bucket 2  ──job──▶
+//!  ...
+//! ```
+//!
+//! The job queue is a *bounded* channel of depth
+//! [`PipelineConfig::depth`] (default 2 — classic double buffering), so
+//! the encode thread can run at most `depth` buckets ahead before
+//! backpressure stalls it. Completions are always consumed **in
+//! submission order** (the in-order absorb invariant): the engine keeps a
+//! FIFO of in-flight buckets and only ever waits on the front, which is
+//! also the job the comm thread finishes first.
+//!
+//! # Bit-exactness
+//!
+//! The pipelined engine performs *exactly* the arithmetic of the
+//! sequential engine, just on a different thread:
+//!
+//! * summable payloads ride the same plain ring `all_reduce_sum` followed
+//!   by the same f32 divide-by-world (Half payloads are decoded to f32
+//!   before submission and re-rounded after, mirroring
+//!   `aggregate_over_cluster_with`);
+//! * gather payloads are serialized to the same bytes, all-gathered, and
+//!   aggregated by the same `Compressor::aggregate` call.
+//!
+//! Hence pipelined output is bit-identical to the sequential engine for
+//! every method in the registry (asserted in `tests/pipeline_bitexact.rs`).
+//!
+//! Setting [`PipelineConfig::chunk_elems`] switches summable reductions
+//! to the staggered chunked ring, which cuts time-to-first-byte on large
+//! buckets but accumulates each element in a chunk-dependent order — use
+//! it for throughput experiments, not when comparing bits against the
+//! sequential engine.
+
+use std::collections::VecDeque;
+
+use gcs_cluster::{CommEngine, PendingGather, PendingReduce, WorkerHandle};
+use gcs_compress::{Compressor, Factor, Payload};
+use gcs_tensor::f16::{decode_f16, encode_f16};
+use gcs_tensor::Tensor;
+
+use crate::exec::{BucketPlan, Result};
+
+/// Tuning knobs for [`PipelinedEngine`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Bucket capacity in bytes (of uncompressed f32 gradient). PyTorch
+    /// DDP defaults to 25 MiB; small models end up with one bucket and no
+    /// overlap, so benches use ~1 MiB buckets.
+    pub bucket_bytes: usize,
+    /// Bound on in-flight collectives (job-queue depth, ≥ 1). Depth 1
+    /// degenerates to the sequential schedule (submit, wait, absorb);
+    /// depth 2 is double buffering.
+    pub depth: usize,
+    /// `Some(c)`: use the staggered chunked ring with `c`-element segments
+    /// for summable reductions. `None` (default): plain ring,
+    /// bit-identical to the sequential engine.
+    pub chunk_elems: Option<usize>,
+    /// Present packed buckets to the compressor as near-square matrices
+    /// (see [`BucketPlan::matricized`]) instead of flat vectors. Needed
+    /// for PowerSGD-class methods to actually compress buckets; off by
+    /// default to match the flat sequential/reference semantics.
+    pub matricize: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            bucket_bytes: 25 * 1024 * 1024,
+            depth: 2,
+            chunk_elems: None,
+            matricize: false,
+        }
+    }
+}
+
+/// Everything needed to rebuild a summable payload around the reduced f32
+/// buffer that comes back from the comm thread.
+enum Shell {
+    Dense,
+    Half,
+    Factor {
+        which: Factor,
+        rows: usize,
+        cols: usize,
+    },
+    SharedSparse {
+        len: usize,
+        seed: u64,
+    },
+}
+
+/// One in-flight bucket: which collective it is riding and how to turn
+/// the completion back into a payload.
+enum Inflight {
+    Reduce {
+        bucket: usize,
+        shell: Shell,
+        pending: PendingReduce,
+    },
+    Gather {
+        bucket: usize,
+        pending: PendingGather,
+    },
+}
+
+/// A worker-side pipelined exchange engine: encode path on the calling
+/// thread, collectives on a dedicated comm thread, connected by a bounded
+/// channel. See the module docs for the thread layout and invariants.
+pub struct PipelinedEngine<C: Compressor> {
+    comm: CommEngine,
+    compressor: C,
+    cfg: PipelineConfig,
+    plan: Option<BucketPlan>,
+    /// Recycled gather-path serialization buffers (up to `depth` circulate).
+    wire_pool: Vec<Vec<u8>>,
+}
+
+impl<C: Compressor> PipelinedEngine<C> {
+    /// Moves `worker` onto a dedicated comm thread and wraps `compressor`
+    /// in the pipelined schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.depth == 0`.
+    pub fn new(worker: WorkerHandle, compressor: C, cfg: PipelineConfig) -> Self {
+        assert!(cfg.depth >= 1, "pipeline depth must be at least 1");
+        PipelinedEngine {
+            comm: CommEngine::spawn(worker, cfg.depth),
+            compressor,
+            cfg,
+            plan: None,
+            wire_pool: Vec::new(),
+        }
+    }
+
+    /// Rank of the underlying worker.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// World size of the underlying cluster.
+    pub fn world(&self) -> usize {
+        self.comm.world()
+    }
+
+    /// Stops the comm thread and returns the worker handle and compressor.
+    pub fn into_parts(self) -> (WorkerHandle, C) {
+        let PipelinedEngine {
+            comm, compressor, ..
+        } = self;
+        (comm.shutdown(), compressor)
+    }
+
+    /// Runs one full compressed bucket exchange, overlapping each bucket's
+    /// collective with the next bucket's encode. Returns the decoded
+    /// aggregated gradients in layer order — bit-identical (with the
+    /// default plain ring) to `exchange_gradients_bucketed` on the same
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression and transport errors.
+    pub fn exchange(&mut self, grads: &[Tensor]) -> Result<Vec<Tensor>> {
+        // (Re)build the bucket plan only when the gradient layout changes.
+        if !self.plan.as_ref().is_some_and(|p| p.matches(grads)) {
+            self.plan = Some(if self.cfg.matricize {
+                BucketPlan::matricized(grads, self.cfg.bucket_bytes)
+            } else {
+                BucketPlan::new(grads, self.cfg.bucket_bytes)
+            });
+        }
+        let mut plan = self.plan.take().expect("installed above");
+        let result = self.exchange_with_plan(grads, &mut plan);
+        self.plan = Some(plan);
+        result
+    }
+
+    fn exchange_with_plan(
+        &mut self,
+        grads: &[Tensor],
+        plan: &mut BucketPlan,
+    ) -> Result<Vec<Tensor>> {
+        let rounds = self.compressor.properties().rounds;
+        let mut inflight: VecDeque<Inflight> = VecDeque::new();
+        for round in 0..rounds {
+            for bucket_id in 0..plan.num_buckets() {
+                // Backpressure: never run more than `depth` buckets ahead
+                // of the oldest unabsorbed collective.
+                while inflight.len() >= self.cfg.depth {
+                    self.complete_front(round, &mut inflight)?;
+                }
+                let payload = if round == 0 {
+                    let flat = plan.pack(grads, bucket_id);
+                    let p = self.compressor.encode(bucket_id, &flat);
+                    plan.reclaim(flat);
+                    p?
+                } else {
+                    self.compressor.encode_round(bucket_id, round)?
+                };
+                inflight.push_back(self.submit(bucket_id, payload)?);
+            }
+            // Rounds are a barrier: encode_round(i, r+1) may require the
+            // absorb of round r for bucket i, so drain before moving on.
+            while !inflight.is_empty() {
+                self.complete_front(round, &mut inflight)?;
+            }
+        }
+        let flats: Vec<Tensor> = (0..plan.num_buckets())
+            .map(|bucket_id| Ok(self.compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?))
+            .collect::<Result<_>>()?;
+        plan.scatter(grads, flats)
+    }
+
+    /// Hands one encoded payload to the comm thread, choosing the
+    /// collective exactly like `aggregate_over_cluster_with`.
+    fn submit(&mut self, bucket: usize, payload: Payload) -> Result<Inflight> {
+        if payload.is_summable() {
+            let (shell, data) = match payload {
+                Payload::Dense(v) => (Shell::Dense, v),
+                // Sum the f32 images and re-round after the divide, exactly
+                // like the sequential engine's Half arm.
+                Payload::Half(h) => (Shell::Half, decode_f16(&h)),
+                Payload::Factor {
+                    which,
+                    rows,
+                    cols,
+                    data,
+                } => (Shell::Factor { which, rows, cols }, data),
+                Payload::SharedSparse { len, seed, values } => {
+                    (Shell::SharedSparse { len, seed }, values)
+                }
+                other => unreachable!("is_summable() covered {:?}", other.kind_name()),
+            };
+            let pending = self.comm.start_all_reduce_sum(data, self.cfg.chunk_elems)?;
+            Ok(Inflight::Reduce {
+                bucket,
+                shell,
+                pending,
+            })
+        } else {
+            let mut wire = self.wire_pool.pop().unwrap_or_default();
+            wire.clear();
+            payload.write_bytes(&mut wire);
+            let pending = self.comm.start_all_gather(wire)?;
+            Ok(Inflight::Gather { bucket, pending })
+        }
+    }
+
+    /// Waits for the oldest in-flight collective, finishes its aggregation
+    /// arithmetic, and absorbs it — the in-order absorb invariant.
+    fn complete_front(&mut self, round: usize, inflight: &mut VecDeque<Inflight>) -> Result<()> {
+        let front = inflight.pop_front().expect("caller checked non-empty");
+        match front {
+            Inflight::Reduce {
+                bucket,
+                shell,
+                pending,
+            } => {
+                let mut data = pending.wait()?;
+                let world = self.comm.world() as f32;
+                for x in &mut data {
+                    *x /= world;
+                }
+                let agg = match shell {
+                    Shell::Dense => Payload::Dense(data),
+                    Shell::Half => Payload::Half(encode_f16(&data)),
+                    Shell::Factor { which, rows, cols } => Payload::Factor {
+                        which,
+                        rows,
+                        cols,
+                        data,
+                    },
+                    Shell::SharedSparse { len, seed } => Payload::SharedSparse {
+                        len,
+                        seed,
+                        values: data,
+                    },
+                };
+                self.compressor.absorb(bucket, round, agg)?;
+            }
+            Inflight::Gather { bucket, pending } => {
+                let (frames, wire) = pending.wait()?;
+                self.wire_pool.push(wire);
+                let payloads: Vec<Payload> = frames
+                    .iter()
+                    .map(|b| Payload::from_bytes(b))
+                    .collect::<gcs_compress::Result<_>>()?;
+                let agg = self.compressor.aggregate(round, &payloads)?;
+                self.compressor.absorb(bucket, round, agg)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::exchange_gradients_bucketed;
+    use gcs_cluster::SimCluster;
+    use gcs_compress::registry::MethodConfig;
+
+    fn make_grads(rank: usize, shapes: &[Vec<usize>]) -> Vec<Tensor> {
+        shapes
+            .iter()
+            .enumerate()
+            .map(|(l, s)| Tensor::randn(s.clone(), 90 + (rank * 131 + l) as u64))
+            .collect()
+    }
+
+    fn assert_pipeline_matches_sequential(method: MethodConfig, bucket_bytes: usize) {
+        let shapes = vec![vec![40usize, 3], vec![64], vec![9, 7], vec![128], vec![5]];
+        let p = 4;
+        let sequential = SimCluster::run(p, |w| {
+            let mut c = method.build().unwrap();
+            let grads = make_grads(w.rank(), &shapes);
+            exchange_gradients_bucketed(&w, &mut c, &grads, bucket_bytes).unwrap()
+        });
+        let pipelined = SimCluster::run(p, |w| {
+            let c = method.build().unwrap();
+            let grads = make_grads(w.rank(), &shapes);
+            let cfg = PipelineConfig {
+                bucket_bytes,
+                depth: 2,
+                chunk_elems: None,
+                matricize: false,
+            };
+            let mut eng = PipelinedEngine::new(w, c, cfg);
+            // Two steps through one engine: the cached plan and recycled
+            // buffers must not change results.
+            let first = eng.exchange(&grads).unwrap();
+            let second = eng.exchange(&grads).unwrap();
+            let _ = eng.into_parts();
+            (first, second)
+        });
+        for (seq, (pipe1, pipe2)) in sequential.iter().zip(&pipelined) {
+            for ((s, p1), p2) in seq.iter().zip(pipe1).zip(pipe2) {
+                let sb: Vec<u32> = s.data().iter().map(|x| x.to_bits()).collect();
+                let p1b: Vec<u32> = p1.data().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(sb, p1b, "{method:?} step 1 deviates");
+                // Stateless methods repeat exactly; stateful ones (error
+                // feedback, warm start) evolve — but both engines see the
+                // same state trajectory, so only step 1 of a fresh engine
+                // is comparable. Still, step 2 must be finite and sized.
+                assert_eq!(p2.numel(), s.numel());
+                assert!(p2.data().iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_syncsgd_multi_bucket() {
+        assert_pipeline_matches_sequential(MethodConfig::SyncSgd, 600);
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_powersgd() {
+        assert_pipeline_matches_sequential(MethodConfig::PowerSgd { rank: 2 }, 600);
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_topk_gather_path() {
+        assert_pipeline_matches_sequential(MethodConfig::TopK { ratio: 0.25 }, 600);
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_single_bucket() {
+        assert_pipeline_matches_sequential(MethodConfig::SignSgd, usize::MAX);
+    }
+
+    #[test]
+    fn matricized_pipeline_matches_matricized_sequential() {
+        // Matricized buckets change what the compressor sees (a near-square
+        // matrix instead of a flat vector) but not the engine schedule, so
+        // pipelined and sequential must still agree bit for bit.
+        use crate::exec::{exchange_gradients_with_plan, BucketPlan};
+        let shapes = vec![vec![40usize, 3], vec![64], vec![9, 7]];
+        for method in [
+            MethodConfig::PowerSgd { rank: 2 },
+            MethodConfig::TopK { ratio: 0.25 },
+        ] {
+            let outs = SimCluster::run(4, |w| {
+                let c = method.build().unwrap();
+                let grads = make_grads(w.rank(), &shapes);
+                let cfg = PipelineConfig {
+                    bucket_bytes: 600,
+                    depth: 2,
+                    chunk_elems: None,
+                    matricize: true,
+                };
+                let mut eng = PipelinedEngine::new(w, c, cfg);
+                let out = eng.exchange(&grads).unwrap();
+                let (w, _) = eng.into_parts();
+                let mut c2 = method.build().unwrap();
+                let mut plan = BucketPlan::matricized(&grads, 600);
+                let seq = exchange_gradients_with_plan(&w, &mut c2, &grads, &mut plan).unwrap();
+                (out, seq)
+            });
+            for (pipe, seq) in outs {
+                for (p, s) in pipe.iter().zip(&seq) {
+                    assert_eq!(
+                        p.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        s.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{method:?}: matricized pipelined deviates from sequential"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_degenerates_to_sequential() {
+        let shapes = vec![vec![32usize], vec![48], vec![16]];
+        let outs = SimCluster::run(3, |w| {
+            let c = MethodConfig::SyncSgd.build().unwrap();
+            let grads = make_grads(w.rank(), &shapes);
+            let cfg = PipelineConfig {
+                bucket_bytes: 200,
+                depth: 1,
+                chunk_elems: None,
+                matricize: false,
+            };
+            let mut eng = PipelinedEngine::new(w, c, cfg);
+            let out = eng.exchange(&grads).unwrap();
+            let (w, _) = eng.into_parts();
+            let mut c2 = MethodConfig::SyncSgd.build().unwrap();
+            let grads2 = make_grads(w.rank(), &shapes);
+            let seq = exchange_gradients_bucketed(&w, &mut c2, &grads2, 200).unwrap();
+            (out, seq)
+        });
+        for (pipe, seq) in outs {
+            for (p, s) in pipe.iter().zip(&seq) {
+                assert_eq!(
+                    p.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    s.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_ring_option_stays_close_to_plain() {
+        // Chunked reductions reorder the per-element accumulation, so
+        // expect f32-noise-level differences, not equality.
+        let shapes = vec![vec![300usize], vec![200]];
+        let outs = SimCluster::run(4, |w| {
+            let c = MethodConfig::SyncSgd.build().unwrap();
+            let grads = make_grads(w.rank(), &shapes);
+            let cfg = PipelineConfig {
+                bucket_bytes: usize::MAX,
+                depth: 2,
+                chunk_elems: Some(64),
+                matricize: false,
+            };
+            let mut eng = PipelinedEngine::new(w, c, cfg);
+            let out = eng.exchange(&grads).unwrap();
+            let (w, _) = eng.into_parts();
+            let mut c2 = MethodConfig::SyncSgd.build().unwrap();
+            let seq =
+                exchange_gradients_bucketed(&w, &mut c2, &grads, usize::MAX).unwrap();
+            (out, seq)
+        });
+        for (pipe, seq) in outs {
+            for (p, s) in pipe.iter().zip(&seq) {
+                for (a, b) in p.data().iter().zip(s.data()) {
+                    assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+                }
+            }
+        }
+    }
+}

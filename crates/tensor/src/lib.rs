@@ -29,11 +29,13 @@
 pub mod bits;
 pub mod f16;
 pub mod matrix;
+pub mod pool;
 pub mod select;
 pub mod shape;
 pub mod stats;
 mod tensor;
 
+pub use pool::Pool;
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorError};
 

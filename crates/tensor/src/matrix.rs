@@ -192,20 +192,37 @@ pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
     }
     check_out(out, a.cols(), b.cols())?;
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
+    atb_rows(a.as_slice(), b.as_slice(), (k, m, n), 0, m, out);
+    Ok(())
+}
+
+/// Output rows `[i0, i1)` of `Aᵀ · B` into `out_band` (`(i1 - i0) x n`).
+///
+/// Row `i` of the output is a function of A column `i` and all of B only,
+/// and every element is accumulated as an l-ordered FMA chain in both the
+/// tiled and remainder paths below, so computing a band in isolation is
+/// bit-identical to the same rows of the full product — the property the
+/// pooled variant relies on.
+fn atb_rows(
+    a_s: &[f32],
+    b_s: &[f32],
+    (k, m, n): (usize, usize, usize),
+    i0: usize,
+    i1: usize,
+    out_band: &mut [f32],
+) {
     // Same register tiling as [`matmul`]: both A and B are streamed
     // row-major over the shared dimension while a 4 x T accumulator tile
-    // stays in registers, so `out` is stored exactly once per element.
-    let mut i = 0;
-    while i + 4 <= m {
+    // stays in registers, so `out_band` is stored exactly once per element.
+    let mut i = i0;
+    while i + 4 <= i1 {
         let mut j = 0;
         while j + 16 <= n {
-            atb_tile::<16>(a_s, b_s, (k, m, n), i, j, out);
+            atb_tile::<16>(a_s, b_s, (k, m, n), i, i - i0, j, out_band);
             j += 16;
         }
         while j + 4 <= n {
-            atb_tile::<4>(a_s, b_s, (k, m, n), i, j, out);
+            atb_tile::<4>(a_s, b_s, (k, m, n), i, i - i0, j, out_band);
             j += 4;
         }
         for j in j..n {
@@ -220,36 +237,38 @@ pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
                 }
             }
             for (r, sr) in s.into_iter().enumerate() {
-                out[(i + r) * n + j] = sr;
+                out_band[(i - i0 + r) * n + j] = sr;
             }
         }
         i += 4;
     }
-    // Remainder rows (m % 4) stream l-outer over zeroed output rows.
-    if i < m {
-        out[i * n..].fill(0.0);
+    // Remainder rows stream l-outer over zeroed output rows.
+    if i < i1 {
+        out_band[(i - i0) * n..].fill(0.0);
         for l in 0..k {
             let brow = &b_s[l * n..(l + 1) * n];
-            for r in i..m {
+            for r in i..i1 {
                 let av = a_s[l * m + r];
-                let orow = &mut out[r * n..(r + 1) * n];
+                let orow = &mut out_band[(r - i0) * n..(r - i0 + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
                 }
             }
         }
     }
-    Ok(())
 }
 
 /// One 4 x T output tile of `Aᵀ · B` (`A` stored `k x m`): accumulates over
-/// the shared dimension in registers, then stores each row once.
+/// the shared dimension in registers, then stores each row once.  `i` is
+/// the absolute A column of the tile's first row; `oi` is the row it lands
+/// on inside `out` (they differ when computing a band).
 #[inline(always)]
 fn atb_tile<const T: usize>(
     a_s: &[f32],
     b_s: &[f32],
     (k, m, n): (usize, usize, usize),
     i: usize,
+    oi: usize,
     j: usize,
     out: &mut [f32],
 ) {
@@ -268,7 +287,7 @@ fn atb_tile<const T: usize>(
         }
     }
     for (r, accr) in acc.iter().enumerate() {
-        out[(i + r) * n + j..(i + r) * n + j + T].copy_from_slice(accr);
+        out[(oi + r) * n + j..(oi + r) * n + j + T].copy_from_slice(accr);
     }
 }
 
@@ -319,6 +338,115 @@ pub fn a_mul_bt(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
             orow[j] = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
         }
     }
+    Ok(())
+}
+
+/// Minimum FMAs a band must amortize before forking is worth ~10 µs of
+/// scoped-spawn overhead.
+const MIN_BAND_FLOPS: usize = 1 << 16;
+
+/// Rows per band so that each band performs at least [`MIN_BAND_FLOPS`]
+/// multiply-adds (`row_cost` = FMAs per output row).
+fn band_rows(row_cost: usize) -> usize {
+    MIN_BAND_FLOPS.div_ceil(row_cost.max(1))
+}
+
+/// [`matmul`] with output rows banded across `pool`.
+///
+/// Row `i` of `A · B` depends only on row `i` of A, so each band is a
+/// complete `matmul` of an A sub-view — the per-element FMA order is
+/// unchanged and the result is **bit-identical** to the serial kernel.
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul`].
+pub fn matmul_pooled(
+    pool: &crate::pool::Pool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("inner dim {}", a.cols()),
+            actual: format!("inner dim {}", b.rows()),
+        });
+    }
+    check_out(out, a.rows(), b.cols())?;
+    let (k, n) = (a.cols(), b.cols());
+    let a_s = a.as_slice();
+    pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
+        let rows = band.len() / n;
+        let sub = MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k)
+            .expect("band sub-view");
+        matmul(sub, b, band).expect("validated dims");
+    });
+    Ok(())
+}
+
+/// [`at_mul_b`] with output rows banded across `pool`.
+///
+/// Output row `i` comes from A *column* `i` (not contiguous in A), so the
+/// bands run the shared [`atb_rows`] kernel over `[i0, i1)` directly;
+/// per-element FMA order is unchanged → bit-identical to the serial
+/// kernel.
+///
+/// # Errors
+///
+/// Same shape errors as [`at_mul_b`].
+pub fn at_mul_b_pooled(
+    pool: &crate::pool::Pool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("shared rows {}", a.rows()),
+            actual: format!("shared rows {}", b.rows()),
+        });
+    }
+    check_out(out, a.cols(), b.cols())?;
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
+        let rows = band.len() / n;
+        atb_rows(a_s, b_s, (k, m, n), row_lo, row_lo + rows, band);
+    });
+    Ok(())
+}
+
+/// [`a_mul_bt`] with output rows banded across `pool`.
+///
+/// Row `i` of `A · Bᵀ` depends only on row `i` of A; each band is a
+/// complete `a_mul_bt` of an A sub-view, bit-identical to the serial
+/// kernel.
+///
+/// # Errors
+///
+/// Same shape errors as [`a_mul_bt`].
+pub fn a_mul_bt_pooled(
+    pool: &crate::pool::Pool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            expected: format!("shared cols {}", a.cols()),
+            actual: format!("shared cols {}", b.cols()),
+        });
+    }
+    check_out(out, a.rows(), b.rows())?;
+    let (k, n) = (a.cols(), b.rows());
+    let a_s = a.as_slice();
+    pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
+        let rows = band.len() / n;
+        let sub = MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k)
+            .expect("band sub-view");
+        a_mul_bt(sub, b, band).expect("validated dims");
+    });
     Ok(())
 }
 
@@ -655,6 +783,111 @@ mod tests {
         let m = Tensor::randn([3, 8], 14).into_vec();
         let svd = svd_truncated(&m, 3, 8, 10, 10).unwrap();
         assert_eq!(svd.rank, 3);
+    }
+
+    #[test]
+    fn pooled_kernels_are_bit_identical_to_serial() {
+        use crate::pool::Pool;
+        let pool = Pool::new(3);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        // The large case actually fans out (row cost k*n = 64 FMAs, so
+        // bands of ~1024 rows → 3 bands at width 3); the odd small sizes
+        // run inline but exercise the remainder paths of the sub-view
+        // kernels.
+        for (m, k, n) in [
+            (4099usize, 4usize, 16usize),
+            (33, 4, 29),
+            (8, 8, 8),
+            (5, 3, 2),
+            (70, 6, 1),
+        ] {
+            let a = Tensor::randn([m, k], (m * 31 + n) as u64).into_vec();
+            let b = Tensor::randn([k, n], (k * 7 + n) as u64).into_vec();
+            let mut serial = vec![0.0f32; m * n];
+            let mut pooled = vec![0.0f32; m * n];
+            matmul(
+                MatrixRef::new(&a, m, k).unwrap(),
+                MatrixRef::new(&b, k, n).unwrap(),
+                &mut serial,
+            )
+            .unwrap();
+            matmul_pooled(
+                &pool,
+                MatrixRef::new(&a, m, k).unwrap(),
+                MatrixRef::new(&b, k, n).unwrap(),
+                &mut pooled,
+            )
+            .unwrap();
+            assert_eq!(bits(&serial), bits(&pooled), "matmul {m}x{k}x{n}");
+
+            // Aᵀ·B: A is k x m (shared dim first).
+            let at = Tensor::randn([k, m], (m + 977) as u64).into_vec();
+            let mut serial2 = vec![0.0f32; m * n];
+            let mut pooled2 = vec![0.0f32; m * n];
+            at_mul_b(
+                MatrixRef::new(&at, k, m).unwrap(),
+                MatrixRef::new(&b, k, n).unwrap(),
+                &mut serial2,
+            )
+            .unwrap();
+            at_mul_b_pooled(
+                &pool,
+                MatrixRef::new(&at, k, m).unwrap(),
+                MatrixRef::new(&b, k, n).unwrap(),
+                &mut pooled2,
+            )
+            .unwrap();
+            assert_eq!(bits(&serial2), bits(&pooled2), "at_mul_b {m}x{k}x{n}");
+
+            // A·Bᵀ: B is n x k.
+            let bt = Tensor::randn([n, k], (n + 55) as u64).into_vec();
+            let mut serial3 = vec![0.0f32; m * n];
+            let mut pooled3 = vec![0.0f32; m * n];
+            a_mul_bt(
+                MatrixRef::new(&a, m, k).unwrap(),
+                MatrixRef::new(&bt, n, k).unwrap(),
+                &mut serial3,
+            )
+            .unwrap();
+            a_mul_bt_pooled(
+                &pool,
+                MatrixRef::new(&a, m, k).unwrap(),
+                MatrixRef::new(&bt, n, k).unwrap(),
+                &mut pooled3,
+            )
+            .unwrap();
+            assert_eq!(bits(&serial3), bits(&pooled3), "a_mul_bt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn pooled_kernels_validate_shapes() {
+        use crate::pool::Pool;
+        let pool = Pool::new(2);
+        let a = [0.0f32; 6];
+        let b = [0.0f32; 6];
+        let mut out = [0.0f32; 4];
+        assert!(matmul_pooled(
+            &pool,
+            MatrixRef::new(&a, 2, 3).unwrap(),
+            MatrixRef::new(&b, 2, 3).unwrap(),
+            &mut out
+        )
+        .is_err());
+        assert!(at_mul_b_pooled(
+            &pool,
+            MatrixRef::new(&a, 2, 3).unwrap(),
+            MatrixRef::new(&b, 3, 2).unwrap(),
+            &mut out
+        )
+        .is_err());
+        assert!(a_mul_bt_pooled(
+            &pool,
+            MatrixRef::new(&a, 2, 3).unwrap(),
+            MatrixRef::new(&b, 3, 2).unwrap(),
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! A small fork-join thread pool for intra-worker kernel parallelism.
+//!
+//! PowerSGD encode time is dominated by its three GEMMs and Top-K encode
+//! by the `|data|` magnitude scan; both decompose into independent row
+//! bands.  [`Pool::for_rows`] splits a mutable output buffer into disjoint
+//! bands and runs a closure on each band from a scoped thread, joining
+//! before it returns — no unsafe, no lifetime erasure, and the banding is
+//! **bit-identical** to the serial kernel because every output element's
+//! FMA chain is computed in the same order regardless of which band it
+//! lands in (see `matrix::matmul_pooled` et al.).
+//!
+//! Width comes from the `GCS_THREADS` environment variable when set, else
+//! [`std::thread::available_parallelism`].  With width 1 (the common case
+//! on small CI boxes) every call runs inline on the caller's thread with
+//! zero overhead, so the pooled kernels are safe to use unconditionally.
+//!
+//! Threads are spawned per call rather than parked persistently: the
+//! kernels this pool serves run for hundreds of microseconds to
+//! milliseconds per call, so ~10 µs of spawn cost is noise, and scoped
+//! spawning keeps borrowed band slices safe without any `'static`
+//! plumbing.
+
+use std::sync::OnceLock;
+
+/// Fork-join helper over disjoint row bands of a mutable buffer.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    width: usize,
+}
+
+impl Pool {
+    /// A pool that fans out to at most `width` threads (including the
+    /// calling thread).  `width` is clamped to at least 1.
+    pub fn new(width: usize) -> Self {
+        Pool {
+            width: width.max(1),
+        }
+    }
+
+    /// Width from the environment: `GCS_THREADS` when set to a positive
+    /// integer, else [`std::thread::available_parallelism`], else 1.
+    pub fn from_env() -> Self {
+        let width = std::env::var("GCS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        Pool::new(width)
+    }
+
+    /// Maximum number of concurrent bands.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Splits `out` (rows of `row_len` elements each) into up to
+    /// [`width`](Pool::width) near-equal contiguous row bands of at least
+    /// `min_rows_per_band` rows and runs `f(first_row, band)` on each band
+    /// concurrently, returning once all bands finish.  The last band runs
+    /// on the calling thread.
+    ///
+    /// With one band (width 1, few rows, or a small buffer) `f` runs
+    /// inline exactly once over the whole buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a multiple of `row_len`, or if `f`
+    /// panics on any band (the panic is propagated).
+    pub fn for_rows<T, F>(&self, out: &mut [T], row_len: usize, min_rows_per_band: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if out.is_empty() || row_len == 0 {
+            f(0, out);
+            return;
+        }
+        assert_eq!(
+            out.len() % row_len,
+            0,
+            "buffer length {} is not a multiple of row length {row_len}",
+            out.len()
+        );
+        let rows = out.len() / row_len;
+        let bands = self
+            .width
+            .min(rows / min_rows_per_band.max(1))
+            .clamp(1, rows);
+        if bands == 1 {
+            f(0, out);
+            return;
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = out;
+            let mut lo = 0usize;
+            for b in 0..bands {
+                let hi = rows * (b + 1) / bands;
+                let (band, tail) = rest.split_at_mut((hi - lo) * row_len);
+                rest = tail;
+                let first_row = lo;
+                if b + 1 == bands {
+                    f(first_row, band);
+                } else {
+                    s.spawn(move || f(first_row, band));
+                }
+                lo = hi;
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// The process-wide pool used by the pooled kernels when the caller does
+/// not thread one through explicitly (compressors keep their trait
+/// signatures unchanged by going through this).  Initialized lazily from
+/// the environment on first use.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        assert_eq!(Pool::new(0).width(), 1);
+        assert_eq!(Pool::new(5).width(), 5);
+    }
+
+    #[test]
+    fn for_rows_covers_every_row_exactly_once() {
+        for width in [1usize, 2, 3, 7] {
+            for rows in [1usize, 2, 5, 16, 33] {
+                let row_len = 3;
+                let mut out = vec![0u32; rows * row_len];
+                Pool::new(width).for_rows(&mut out, row_len, 1, |first_row, band| {
+                    for (r, row) in band.chunks_mut(row_len).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (first_row + r) as u32 + 1;
+                        }
+                    }
+                });
+                let expect: Vec<u32> = (0..rows)
+                    .flat_map(|r| std::iter::repeat(r as u32 + 1).take(row_len))
+                    .collect();
+                assert_eq!(out, expect, "width={width} rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_rows_respects_min_band_size() {
+        // 10 rows, min 8 per band: only one band fits, so everything runs
+        // inline in a single call.
+        let mut calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut out = vec![0u8; 10];
+        Pool::new(4).for_rows(&mut out, 1, 8, |_, _| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(*calls.get_mut(), 1);
+    }
+
+    #[test]
+    fn for_rows_empty_buffer_runs_once() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let mut out: Vec<f32> = Vec::new();
+        Pool::new(3).for_rows(&mut out, 4, 1, |_, band| {
+            assert!(band.is_empty());
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().width() >= 1);
+    }
+}

@@ -82,6 +82,41 @@ pub fn top_k_abs_with(data: &[f32], k: usize, mags: &mut Vec<f32>) -> SparseSele
     // Quickselect the k-th largest absolute value on the scratch copy.
     mags.clear();
     mags.extend(data.iter().map(|x| x.abs()));
+    gather_top_k(data, k, mags)
+}
+
+/// [`top_k_abs_with`] with the magnitude scan fanned out across `pool`.
+///
+/// Only the embarrassingly parallel `|data|` fill is banded; the
+/// quickselect and gather are serial, and since `|x|` is exact in f32 the
+/// selection is identical to the serial variant (same threshold, same
+/// scan order), so the result is **bit-identical** to [`top_k_abs_with`].
+pub fn top_k_abs_pooled(
+    pool: &crate::pool::Pool,
+    data: &[f32],
+    k: usize,
+    mags: &mut Vec<f32>,
+) -> SparseSelection {
+    let n = data.len();
+    if k == 0 || n == 0 || k >= n {
+        return top_k_abs_with(data, k, mags);
+    }
+    mags.clear();
+    mags.resize(n, 0.0);
+    // ~64k elements per band before forking pays for itself.
+    pool.for_rows(&mut mags[..], 1, 1 << 16, |lo, band| {
+        let len = band.len();
+        for (o, &v) in band.iter_mut().zip(&data[lo..lo + len]) {
+            *o = v.abs();
+        }
+    });
+    gather_top_k(data, k, mags)
+}
+
+/// Shared tail of the top-k variants: quickselect the threshold on the
+/// (already filled) magnitude scratch, then gather the winning indices.
+/// Requires `0 < k < data.len()`.
+fn gather_top_k(data: &[f32], k: usize, mags: &mut [f32]) -> SparseSelection {
     let threshold = {
         let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
             b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
@@ -195,6 +230,27 @@ mod tests {
                 assert!(v.abs() <= min_sel + 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn pooled_top_k_is_bit_identical_to_serial() {
+        use crate::pool::Pool;
+        let pool = Pool::new(3);
+        let data: Vec<f32> = (0..200_000)
+            .map(|i| ((i * 131 % 7919) as f32 - 3959.5) * 0.017)
+            .collect();
+        for k in [1usize, 100, 9999] {
+            let serial = top_k_abs_with(&data, k, &mut Vec::new());
+            let pooled = top_k_abs_pooled(&pool, &data, k, &mut Vec::new());
+            assert_eq!(serial.indices, pooled.indices, "k={k}");
+            let sb: Vec<u32> = serial.values.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = pooled.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, pb, "k={k}");
+        }
+        // Degenerate cases route through the serial path.
+        assert!(top_k_abs_pooled(&pool, &data, 0, &mut Vec::new()).is_empty());
+        let all = top_k_abs_pooled(&pool, &[1.0, 2.0], 5, &mut Vec::new());
+        assert_eq!(all.len(), 2);
     }
 
     #[test]

@@ -16,4 +16,13 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Smoke-run the tracked benchmark binaries: tiny sizes, one iteration,
+# no JSON rewrite — catches bit-rot in the bench plumbing without the
+# minutes-long full runs.
+echo "==> bench smoke (datapath)"
+GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin datapath
+
+echo "==> bench smoke (pipeline)"
+GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin pipeline
+
 echo "CI OK"
