@@ -14,6 +14,11 @@
 //!    PowerSGD-shaped skinny product and a square product.
 //! 4. PowerSGD rank-4 round trip over ResNet-50-style layer shapes.
 //! 5. Top-k 1% selection and sign pack/unpack on the same 25 MiB buffer.
+//! 6. Per-kernel SIMD vs. scalar rows: every primitive in the
+//!    [`gcs_tensor::kernels`] dispatch table timed against both tables on
+//!    the same buffers, plus the GEMM tile through both dispatch paths.
+//!    The report's `metadata` object records the CPU model, detected
+//!    feature string, and whether `GCS_FORCE_SCALAR` was set.
 //!
 //! Run with `cargo run -p gcs-bench --bin datapath --release`. Set
 //! `GCS_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny sizes, one
@@ -25,7 +30,8 @@ use gcs_cluster::{Frame, SimCluster, WorkerHandle};
 use gcs_compress::driver::round_trip;
 use gcs_compress::powersgd::PowerSgd;
 use gcs_tensor::bits::SignBits;
-use gcs_tensor::matrix::{matmul, MatrixRef};
+use gcs_tensor::kernels;
+use gcs_tensor::matrix::{matmul, matmul_with_dispatch, MatrixRef};
 use gcs_tensor::select::top_k_abs_with;
 use gcs_tensor::Tensor;
 use serde_json::{json, Value};
@@ -390,6 +396,148 @@ fn selection_section(pr: Params) -> (Value, Value) {
     )
 }
 
+/// Times one kernel under both dispatch tables and returns the JSON row.
+/// The closure receives `use_simd` and runs the kernel on shared buffers
+/// (one closure, so the buffers are borrowed only once). `iters` comes from
+/// the caller so smoke mode stays fast.
+fn simd_row(name: &str, n: usize, iters: usize, mut f: impl FnMut(bool)) -> Value {
+    let sc = bench(1, iters, || f(false));
+    let sv = bench(1, iters, || f(true));
+    let sp = speedup(&sc, &sv);
+    println!(
+        "simd kernel {name:<16} n={n:<9} scalar {}  simd {}  speedup {sp:.2}x",
+        sc.ms(),
+        sv.ms()
+    );
+    json!({
+        "kernel": name,
+        "n": n,
+        "scalar_ms": sc.min_s * 1e3,
+        "simd_ms": sv.min_s * 1e3,
+        "speedup": sp,
+    })
+}
+
+/// Per-kernel SIMD vs. scalar comparison: calls both dispatch tables
+/// directly (ignoring `GCS_FORCE_SCALAR`) on identical buffers, so the rows
+/// isolate the kernel code from everything around it. Empty on hosts
+/// without the SIMD table.
+fn simd_kernels_section(pr: Params) -> Vec<Value> {
+    let sc = kernels::scalar();
+    let Some(sv) = kernels::simd() else {
+        println!("simd kernels: no SIMD table on this host, skipping simd-vs-scalar rows");
+        return Vec::new();
+    };
+    let n = pr.ring_elems;
+    let iters = pr.gemm_iters;
+    let data = Tensor::randn([n], 29).into_vec();
+    let other = Tensor::randn([n], 31).into_vec();
+    let words_len = n.div_ceil(32);
+    let table = move |s: bool| if s { sv } else { sc };
+    let mut rows = Vec::new();
+
+    // Sign pack / unpack / majority vote (SignSGD and 1-bit Adam paths).
+    let mut words = vec![0u32; words_len];
+    rows.push(simd_row("sign_pack", n, iters, |s| {
+        (table(s).sign_pack)(&data, black_box(&mut words));
+    }));
+    let mut out = vec![0.0f32; n];
+    rows.push(simd_row("sign_unpack_fill", n, iters, |s| {
+        (table(s).unpack_fill)(&words, -1.0, 1.0, black_box(&mut out));
+    }));
+    let mut tally = vec![0i32; n];
+    rows.push(simd_row("vote_add", n, iters, |s| {
+        (table(s).vote_add)(&words, black_box(&mut tally));
+    }));
+    rows.push(simd_row("vote_pack", n, iters, |s| {
+        (table(s).vote_pack)(&tally, black_box(&mut words));
+    }));
+
+    // Wire (de)serialization and the ring's receive-and-accumulate step.
+    let mut bytes = vec![0u8; n * 4];
+    rows.push(simd_row("f32s_to_bytes", n, iters, |s| {
+        (table(s).f32s_to_bytes)(&other, black_box(&mut bytes));
+    }));
+    rows.push(simd_row("bytes_to_f32s", n, iters, |s| {
+        (table(s).bytes_to_f32s)(&bytes, black_box(&mut out));
+    }));
+    let mut acc = data.clone();
+    rows.push(simd_row("add_from_bytes", n, iters, |s| {
+        (table(s).add_from_bytes)(&bytes, black_box(&mut acc));
+    }));
+    let mut acc2 = data.clone();
+    rows.push(simd_row("add_assign", n, iters, |s| {
+        (table(s).add_assign)(black_box(&mut acc2), &other);
+    }));
+    let mut acc3 = data.clone();
+    rows.push(simd_row("axpy", n, iters, |s| {
+        (table(s).axpy)(black_box(&mut acc3), 0.999, &other);
+    }));
+
+    // Top-k support kernels: |x| materialization, L1 reduction, and the
+    // threshold scan-and-gather (threshold chosen near the top-1% cut of a
+    // standard normal, ~2.6 sigma).
+    let mut mags = vec![0.0f32; n];
+    rows.push(simd_row("abs_into", n, iters, |s| {
+        (table(s).abs_into)(&data, black_box(&mut mags));
+    }));
+    rows.push(simd_row("sum_abs", n, iters, |s| {
+        black_box((table(s).sum_abs)(&data));
+    }));
+    let threshold = 2.6f32;
+    let (mut idx, mut vals) = (Vec::new(), Vec::new());
+    rows.push(simd_row("gather_above", n, iters, |s| {
+        idx.clear();
+        vals.clear();
+        (table(s).gather_above)(&data, threshold, &mut idx, &mut vals);
+        black_box((&idx, &vals));
+    }));
+
+    // GEMM microkernel through both dispatch paths (PowerSGD's skinny
+    // shape). Unlike the rows above this compares the same register-blocked
+    // algorithm with scalar mul_add vs. AVX2 FMA tiles.
+    let (m, k, nn) = if pr.ring_elems < 1024 * 1024 {
+        (64usize, 128usize, 16usize)
+    } else {
+        (512usize, 4608usize, 64usize)
+    };
+    let a = Tensor::randn([m, k], 37).into_vec();
+    let b = Tensor::randn([k, nn], 41).into_vec();
+    let mut gout = vec![0.0f32; m * nn];
+    rows.push(simd_row("matmul_tile", m * k * nn, iters, |s| {
+        let av = MatrixRef::new(&a, m, k).expect("a view");
+        let bv = MatrixRef::new(&b, k, nn).expect("b view");
+        matmul_with_dispatch(s, av, bv, &mut gout).expect("matmul");
+        black_box(&gout);
+    }));
+    rows
+}
+
+/// `model name` from `/proc/cpuinfo`, or `"unknown"` off Linux.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Host + dispatch provenance for the tracked report (bench hygiene: a
+/// number without the CPU and dispatch mode that produced it is noise).
+fn metadata() -> Value {
+    json!({
+        "cpu_model": cpu_model(),
+        "kernel_features": kernels::feature_string(),
+        "active_kernel_table": kernels::active().name,
+        "simd_active": kernels::simd_active(),
+        "force_scalar": std::env::var("GCS_FORCE_SCALAR").ok(),
+    })
+}
+
 fn main() {
     println!("datapath micro-benchmark (release builds only give meaningful numbers)");
     let smoke = std::env::var_os("GCS_BENCH_SMOKE").is_some();
@@ -399,15 +547,18 @@ fn main() {
     let gemm = gemm_section(pr, smoke);
     let psgd = powersgd_section(pr, smoke);
     let (topk, signs) = selection_section(pr);
+    let simd = simd_kernels_section(pr);
 
     let report = json!({
         "bench": "datapath",
+        "metadata": metadata(),
         "ring_all_reduce": ring,
         "all_reduce_algorithms": algos,
         "matmul": gemm,
         "powersgd": psgd,
         "topk": topk,
         "signs": signs,
+        "simd_kernels": simd,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
     if smoke {

@@ -12,12 +12,14 @@
 //! steady state: the wire buffer it sends is reclaimed from the previous
 //! step's received [`Frame`] (frames on a ring have exactly one receiver,
 //! so [`Frame::into_vec`] recovers the allocation without copying), and
-//! f32↔byte conversion runs over `chunks_exact` slices instead of
-//! per-element `Vec` growth. All-gather and broadcast forward frames by
-//! refcount bump.
+//! f32↔byte conversion and the segment-sum reduce step dispatch through
+//! [`gcs_tensor::kernels`] (AVX2 on capable hosts, scalar otherwise — the
+//! reduce keeps a fixed association order, so results are identical either
+//! way). All-gather and broadcast forward frames by refcount bump.
 
 use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
+use gcs_tensor::kernels;
 
 /// Splits `len` elements into `p` contiguous chunks whose sizes differ by
 /// at most one. Returns the `(start, end)` of chunk `i`.
@@ -35,9 +37,7 @@ pub(crate) fn fill_bytes_from_f32s(out: &mut Vec<u8>, xs: &[f32]) {
     // (nearly) the right length, so steady-state steps skip the zero-fill
     // memset entirely and go straight to the overwrite below.
     out.resize(xs.len() * 4, 0);
-    for (b, x) in out.chunks_exact_mut(4).zip(xs) {
-        b.copy_from_slice(&x.to_le_bytes());
-    }
+    kernels::f32s_to_bytes(xs, out);
 }
 
 /// Checks that `bytes` decodes to exactly `expected` f32s.
@@ -54,16 +54,14 @@ pub(crate) fn check_f32_frame(bytes: &[u8], expected: usize, what: &str) -> Resu
 
 /// Decodes `bytes` into `out[..]` in place (`out.len() * 4 == bytes.len()`).
 pub(crate) fn fill_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
-    for (x, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-        *x = f32::from_le_bytes(b.try_into().expect("4 bytes"));
-    }
+    kernels::bytes_to_f32s(bytes, out);
 }
 
-/// Accumulates `bytes` (decoded as f32s) into `out[..]` in place.
+/// Accumulates `bytes` (decoded as f32s) into `out[..]` in place — the
+/// reduce step of every ring / halving-doubling exchange. Elementwise, so
+/// SIMD and scalar dispatch produce identical bits.
 pub(crate) fn add_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
-    for (x, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-        *x += f32::from_le_bytes(b.try_into().expect("4 bytes"));
-    }
+    kernels::add_from_bytes(bytes, out);
 }
 
 impl WorkerHandle {

@@ -5,6 +5,11 @@
 //! recursive *doubling*. Bandwidth-optimal like the ring
 //! (`2n(p−1)/(p·BW)`), but with `2·log₂(p)` latency steps instead of
 //! `2(p−1)` — the best of both at large scale for power-of-two worlds.
+//!
+//! The halving-step reduce and the f32↔byte conversion go through the
+//! shared collectives helpers, which dispatch to the
+//! [`gcs_tensor::kernels`] SIMD table — the same vectorized segment sum the
+//! ring uses, with the same fixed (elementwise) association order.
 
 use crate::collectives::{
     add_f32s_from_bytes, check_f32_frame, fill_bytes_from_f32s, fill_f32s_from_bytes,

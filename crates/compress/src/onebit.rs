@@ -62,14 +62,10 @@ impl Compressor for OneBitSgd {
         };
         let bits = SignBits::pack(v.data());
         let (neg, pos) = Self::bucket_means(v.data());
-        // Residual: v minus own reconstruction.
-        let recon: Vec<f32> = (0..v.numel())
-            .map(|i| if bits.get(i) { pos } else { neg })
-            .collect();
+        // Residual: v minus own reconstruction (accumulating unpack of the
+        // negated bucket means — one vectorized pass, no recon buffer).
         let mut res = v.clone();
-        for (r, c) in res.data_mut().iter_mut().zip(&recon) {
-            *r -= c;
-        }
+        bits.unpack_add_into(-neg, -pos, res.data_mut());
         self.residual.insert(layer, res);
         Ok(Payload::TwoScale {
             len: bits.len(),
@@ -99,9 +95,7 @@ impl Compressor for OneBitSgd {
                             "two-scale payloads disagree on length".into(),
                         ));
                     }
-                    for (i, x) in a.iter_mut().enumerate() {
-                        *x += if bits.get(i) { *pos } else { *neg };
-                    }
+                    bits.unpack_add_into(*neg, *pos, a);
                 }
                 other => {
                     return Err(CompressError::PayloadKind {
@@ -112,10 +106,7 @@ impl Compressor for OneBitSgd {
             }
         }
         let mut a = acc.expect("non-empty");
-        let inv = 1.0 / payloads.len() as f32;
-        for x in &mut a {
-            *x *= inv;
-        }
+        gcs_tensor::kernels::scale(&mut a, 1.0 / payloads.len() as f32);
         Ok(Payload::Dense(a))
     }
 

@@ -6,6 +6,7 @@
 //! by the in-process cluster transport.
 
 use crate::{CompressError, Result};
+use gcs_tensor::kernels;
 
 /// Which low-rank factor a [`Payload::Factor`] carries (PowerSGD sends `P`
 /// then `Q`, paying the all-reduce latency twice — see §4.2 of the paper).
@@ -187,9 +188,7 @@ impl Payload {
         match (self, other) {
             (Payload::Dense(a), Payload::Dense(b)) => {
                 check_len(a.len(), b.len())?;
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
+                kernels::add_assign(a, b);
                 Ok(())
             }
             (Payload::Half(a), Payload::Half(b)) => {
@@ -220,9 +219,8 @@ impl Payload {
                         "factor payload shape mismatch".into(),
                     ));
                 }
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
+                check_len(a.len(), b.len())?;
+                kernels::add_assign(a, b);
                 Ok(())
             }
             (
@@ -243,9 +241,7 @@ impl Payload {
                     ));
                 }
                 check_len(a.len(), b.len())?;
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
+                kernels::add_assign(a, b);
                 Ok(())
             }
             (me, other) => Err(CompressError::PayloadKind {
@@ -267,9 +263,7 @@ impl Payload {
     pub fn scale(&mut self, s: f32) -> Result<()> {
         match self {
             Payload::Dense(v) => {
-                for x in v {
-                    *x *= s;
-                }
+                kernels::scale(v, s);
                 Ok(())
             }
             Payload::Half(v) => {
@@ -280,15 +274,11 @@ impl Payload {
                 Ok(())
             }
             Payload::Factor { data, .. } => {
-                for x in data {
-                    *x *= s;
-                }
+                kernels::scale(data, s);
                 Ok(())
             }
             Payload::SharedSparse { values, .. } => {
-                for x in values {
-                    *x *= s;
-                }
+                kernels::scale(values, s);
                 Ok(())
             }
             other => Err(CompressError::PayloadKind {
@@ -406,9 +396,15 @@ impl Payload {
 
     /// Deserializes a payload produced by [`Payload::to_bytes`].
     ///
+    /// The input must be exactly one payload: every byte is consumed, and
+    /// trailing bytes (e.g. a length field that doesn't cover a whole
+    /// number of elements, or a frame carrying more than it claims) are a
+    /// structured error rather than being silently dropped.
+    ///
     /// # Errors
     ///
-    /// Returns [`CompressError::Wire`] on truncated or malformed input.
+    /// Returns [`CompressError::Wire`] on truncated, malformed, or
+    /// over-long input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Payload> {
         let mut r = Reader::new(bytes);
         let tag = r.u8()?;
@@ -511,6 +507,13 @@ impl Payload {
                 return Err(CompressError::Wire(format!("unknown payload tag {other}")));
             }
         };
+        if r.pos != bytes.len() {
+            return Err(CompressError::Wire(format!(
+                "{} trailing bytes after {} payload",
+                bytes.len() - r.pos,
+                payload.kind_name()
+            )));
+        }
         Ok(payload)
     }
 }
@@ -528,22 +531,18 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Appends `xs` as little-endian `f32`s with one bulk resize and
-/// fixed-width chunk copies (vectorizes; no per-element Vec growth).
+/// Appends `xs` as little-endian `f32`s with one bulk resize and a
+/// dispatched bulk-serialization kernel (no per-element Vec growth).
 fn push_f32s(out: &mut Vec<u8>, xs: &[f32]) {
     let start = out.len();
     out.resize(start + xs.len() * 4, 0);
-    for (chunk, x) in out[start..].chunks_exact_mut(4).zip(xs) {
-        chunk.copy_from_slice(&x.to_le_bytes());
-    }
+    kernels::f32s_to_bytes(xs, &mut out[start..]);
 }
 
 fn push_u32s(out: &mut Vec<u8>, xs: &[u32]) {
     let start = out.len();
     out.resize(start + xs.len() * 4, 0);
-    for (chunk, x) in out[start..].chunks_exact_mut(4).zip(xs) {
-        chunk.copy_from_slice(&x.to_le_bytes());
-    }
+    kernels::u32s_to_bytes(xs, &mut out[start..]);
 }
 
 fn push_u16s(out: &mut Vec<u8>, xs: &[u16]) {
@@ -600,18 +599,18 @@ impl<'a> Reader<'a> {
         let b = self.take(n.checked_mul(4).ok_or_else(|| {
             CompressError::Wire("length overflow".into())
         })?)?;
-        Ok(b.chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        let mut out = vec![0.0f32; n];
+        kernels::bytes_to_f32s(b, &mut out);
+        Ok(out)
     }
 
     fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
         let b = self.take(n.checked_mul(4).ok_or_else(|| {
             CompressError::Wire("length overflow".into())
         })?)?;
-        Ok(b.chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        let mut out = vec![0u32; n];
+        kernels::bytes_to_u32s(b, &mut out);
+        Ok(out)
     }
 
     fn u16s(&mut self, n: usize) -> Result<Vec<u16>> {
@@ -698,6 +697,43 @@ mod tests {
         let mut b = vec![1u8];
         b.extend_from_slice(&100u64.to_le_bytes());
         b.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(Payload::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_bytes() {
+        // Regression: a byte length that is not a whole number of elements
+        // used to be silently truncated — the reader consumed `len * 4`
+        // bytes and ignored the rest. Every variant must now reject
+        // over-long input with a structured Wire error.
+        let victims = [
+            Payload::Dense(vec![1.0, -2.5]),
+            Payload::Signs {
+                words: vec![0b1011],
+                len: 4,
+                scale: 0.01,
+            },
+            Payload::Sparse {
+                len: 10,
+                indices: vec![1, 5],
+                values: vec![0.5, -0.5],
+            },
+        ];
+        for p in victims {
+            for extra in [1usize, 3, 4] {
+                let mut b = p.to_bytes();
+                b.extend(std::iter::repeat(0xAB).take(extra));
+                let err = Payload::from_bytes(&b).expect_err("trailing bytes must error");
+                let msg = err.to_string();
+                assert!(msg.contains("trailing"), "unexpected error: {msg}");
+            }
+        }
+        // A Dense length field that covers only part of the byte tail:
+        // 1 claimed element but 6 data bytes -> 2 trailing bytes, error.
+        let mut b = vec![1u8];
+        b.extend_from_slice(&1u64.to_le_bytes());
+        b.extend_from_slice(&1.0f32.to_le_bytes());
+        b.extend_from_slice(&[0xCD, 0xEF]);
         assert!(Payload::from_bytes(&b).is_err());
     }
 

@@ -128,9 +128,7 @@ impl Compressor for SignSgd {
                     "residual shape mismatch for layer {layer}"
                 )));
             }
-            for (w, &ev) in self.work.iter_mut().zip(e.data()) {
-                *w += ev;
-            }
+            gcs_tensor::kernels::add_assign(&mut self.work, e.data());
         }
         let bits = SignBits::pack(&self.work);
         let scale = match self.scale {
@@ -139,7 +137,7 @@ impl Compressor for SignSgd {
                 if numel == 0 {
                     0.0
                 } else {
-                    self.work.iter().map(|x| x.abs()).sum::<f32>() / numel as f32
+                    gcs_tensor::kernels::sum_abs(&self.work) / numel as f32
                 }
             }
         };

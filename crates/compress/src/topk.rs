@@ -145,10 +145,7 @@ impl Compressor for TopK {
             }
         }
         let mut d = dense.expect("non-empty payloads");
-        let inv = 1.0 / payloads.len() as f32;
-        for x in &mut d {
-            *x *= inv;
-        }
+        gcs_tensor::kernels::scale(&mut d, 1.0 / payloads.len() as f32);
         Ok(Payload::Dense(d))
     }
 

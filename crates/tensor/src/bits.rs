@@ -3,6 +3,12 @@
 //! SignSGD transmits one bit per 32-bit gradient element (`sign(g)`), and
 //! aggregation is a per-coordinate majority vote:
 //! `sign(Σᵢ sign(gᵢ))` (Section 2.1 of the paper).
+//!
+//! The pack/unpack/vote inner loops dispatch through [`crate::kernels`], so
+//! they run vectorized on AVX2 hosts with byte-identical results to the
+//! scalar fallback.
+
+use crate::kernels;
 
 /// A packed vector of signs: bit = 1 means the element was non-negative.
 ///
@@ -20,13 +26,7 @@ impl SignBits {
     pub fn pack(data: &[f32]) -> Self {
         let len = data.len();
         let mut words = vec![0u32; len.div_ceil(32)];
-        for (w, chunk) in words.iter_mut().zip(data.chunks(32)) {
-            let mut acc = 0u32;
-            for (b, &v) in chunk.iter().enumerate() {
-                acc |= u32::from(v >= 0.0) << b;
-            }
-            *w = acc;
-        }
+        kernels::sign_pack(data, &mut words);
         SignBits { words, len }
     }
 
@@ -34,17 +34,23 @@ impl SignBits {
     ///
     /// Element `i` becomes `+scale` if bit `i` is set, `-scale` otherwise.
     pub fn unpack(&self, scale: f32) -> Vec<f32> {
-        let mut out = vec![-scale; self.len];
-        for (w_idx, &w) in self.words.iter().enumerate() {
-            let base = w_idx * 32;
-            let end = (base + 32).min(self.len);
-            for (b, o) in out[base..end].iter_mut().enumerate() {
-                if (w >> b) & 1 == 1 {
-                    *o = scale;
-                }
-            }
-        }
+        let mut out = vec![0.0; self.len];
+        kernels::unpack_fill(&self.words, -scale, scale, &mut out);
         out
+    }
+
+    /// [`unpack`](Self::unpack) with an asymmetric value pair: element `i`
+    /// becomes `pos` if bit `i` is set, `neg` otherwise (1-bit SGD keeps
+    /// distinct per-bucket means for the two halves).
+    pub fn unpack_into(&self, neg: f32, pos: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "unpack_into length mismatch");
+        kernels::unpack_fill(&self.words, neg, pos, out);
+    }
+
+    /// Accumulating unpack: `out[i] += if bit i { pos } else { neg }`.
+    pub fn unpack_add_into(&self, neg: f32, pos: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "unpack_add_into length mismatch");
+        kernels::unpack_add(&self.words, neg, pos, out);
     }
 
     /// Number of packed elements.
@@ -134,14 +140,8 @@ impl MajorityVote {
     /// Panics if `bits.len()` differs from the accumulator length.
     pub fn add(&mut self, bits: &SignBits) {
         assert_eq!(bits.len(), self.tally.len(), "vote length mismatch");
-        for (w_idx, &w) in bits.words().iter().enumerate() {
-            let base = w_idx * 32;
-            let end = (base + 32).min(self.tally.len());
-            for (b, t) in self.tally[base..end].iter_mut().enumerate() {
-                // +1 for a set bit, −1 otherwise, branchless.
-                *t += (((w >> b) & 1) as i32) * 2 - 1;
-            }
-        }
+        // +1 for a set bit, −1 otherwise, branchless.
+        kernels::vote_add(bits.words(), &mut self.tally);
         self.voters += 1;
     }
 
@@ -163,13 +163,7 @@ impl MajorityVote {
     /// would broadcast back).
     pub fn majority_bits(&self) -> SignBits {
         let mut words = vec![0u32; self.tally.len().div_ceil(32)];
-        for (w, chunk) in words.iter_mut().zip(self.tally.chunks(32)) {
-            let mut acc = 0u32;
-            for (b, &t) in chunk.iter().enumerate() {
-                acc |= u32::from(t >= 0) << b;
-            }
-            *w = acc;
-        }
+        kernels::vote_pack(&self.tally, &mut words);
         SignBits {
             words,
             len: self.tally.len(),

@@ -1,0 +1,292 @@
+//! Runtime-dispatched SIMD kernels for the compression and collective hot
+//! paths.
+//!
+//! Every scalar inner loop that dominates Table 2's encode/decode column or
+//! the ring/Rabenseifner reduce step lives behind the [`Kernels`] vtable: a
+//! plain struct of function pointers with one canonical scalar
+//! implementation ([`scalar()`]) and, on x86_64 hosts with AVX2+FMA, an
+//! explicitly vectorized implementation ([`simd()`]). The active table is
+//! chosen **once** at first use by runtime CPU-feature detection
+//! (`is_x86_feature_detected!`) and cached in a `OnceLock`; setting
+//! `GCS_FORCE_SCALAR=1` in the environment pins the scalar table regardless
+//! of what the CPU supports, which is how CI exercises both code paths.
+//!
+//! # Exactness contract
+//!
+//! Callers throughout `gcs-tensor`, `gcs-compress` and `gcs-cluster` assume
+//! the two tables are interchangeable, so each kernel falls into one of two
+//! classes (verified by `tests/kernel_props.rs`):
+//!
+//! - **Bit kernels** (sign pack/unpack, majority vote, byte↔f32/u32
+//!   conversion, threshold gather): byte-identical output for every input,
+//!   including NaN and signed-zero payloads. E.g. sign packing follows the
+//!   scalar `v >= 0.0` predicate, so the AVX2 path uses an ordered
+//!   `_CMP_GE_OQ` compare — *not* the sign-bit `movmskps` shortcut, which
+//!   disagrees on positive NaNs.
+//! - **Float kernels** (segment add, axpy, scale, |x| reduction): a fixed
+//!   association order shared by both tables. Elementwise kernels have no
+//!   reassociation at all; the horizontal [`sum_abs`] reduction is defined
+//!   lane-striped (8 partial sums combined in a fixed pairwise tree, then a
+//!   scalar tail) in *both* implementations, so results are reproducible
+//!   bit-for-bit across dispatch modes and worker counts.
+//!
+//! The GEMM microkernel's FMA lanes are dispatched separately (its tile
+//! routines are const-generic, which function pointers can't express) —
+//! `matrix.rs` consults [`simd_active()`] directly.
+
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+use std::sync::OnceLock;
+
+/// Dispatch table of SIMD-accelerated primitives.
+///
+/// All slice-length contracts are asserted by the free wrapper functions in
+/// this module (the usual entry points); the table entries themselves assume
+/// the contract holds.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernels {
+    /// Implementation name, e.g. `"scalar"` or `"avx2"`.
+    pub name: &'static str,
+    /// Packs `data[i] >= 0.0` into bit `i % 32` of `out[i / 32]`
+    /// (LSB-first). `out.len() == data.len().div_ceil(32)`; trailing bits of
+    /// the last word are zero.
+    pub sign_pack: fn(data: &[f32], out: &mut [u32]),
+    /// Sets `out[i] = if bit i of words { pos } else { neg }`.
+    pub unpack_fill: fn(words: &[u32], neg: f32, pos: f32, out: &mut [f32]),
+    /// Accumulating variant: `out[i] += if bit i { pos } else { neg }`.
+    pub unpack_add: fn(words: &[u32], neg: f32, pos: f32, out: &mut [f32]),
+    /// Majority-vote accumulate: `tally[i] += if bit i { 1 } else { -1 }`.
+    pub vote_add: fn(words: &[u32], tally: &mut [i32]),
+    /// Packs the vote outcome `tally[i] >= 0` back into bits (LSB-first).
+    /// `out.len() == tally.len().div_ceil(32)`.
+    pub vote_pack: fn(tally: &[i32], out: &mut [u32]),
+    /// Bulk little-endian serialization: `out.len() == 4 * xs.len()`.
+    pub f32s_to_bytes: fn(xs: &[f32], out: &mut [u8]),
+    /// Bulk little-endian serialization: `out.len() == 4 * xs.len()`.
+    pub u32s_to_bytes: fn(xs: &[u32], out: &mut [u8]),
+    /// Bulk little-endian deserialization: `bytes.len() == 4 * out.len()`.
+    pub bytes_to_f32s: fn(bytes: &[u8], out: &mut [f32]),
+    /// Bulk little-endian deserialization: `bytes.len() == 4 * out.len()`.
+    pub bytes_to_u32s: fn(bytes: &[u8], out: &mut [u32]),
+    /// The ring / Rabenseifner reduce step: `out[i] += f32::from_le_bytes`
+    /// of the i-th 4-byte group. `bytes.len() == 4 * out.len()`.
+    pub add_from_bytes: fn(bytes: &[u8], out: &mut [f32]),
+    /// Elementwise `acc[i] += other[i]` (equal lengths).
+    pub add_assign: fn(acc: &mut [f32], other: &[f32]),
+    /// `y[i] += alpha * x[i]` (equal lengths), mul-then-add with two
+    /// roundings in both tables — deliberately *not* fused.
+    pub axpy: fn(y: &mut [f32], alpha: f32, x: &[f32]),
+    /// `v[i] *= alpha`.
+    pub scale: fn(v: &mut [f32], alpha: f32),
+    /// `out[i] = data[i].abs()` (equal lengths).
+    pub abs_into: fn(data: &[f32], out: &mut [f32]),
+    /// Lane-striped `Σ |x_i|`: 8 partial sums over `x[8k + lane]`, combined
+    /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, then the `< 8` tail added in
+    /// order. Both tables use this exact association.
+    pub sum_abs: fn(data: &[f32]) -> f32,
+    /// Appends `(i, data[i])` for every `|data[i]| > threshold`, in index
+    /// order, to `indices`/`values`. NaNs never match (ordered compare).
+    pub gather_above: fn(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values: &mut Vec<f32>),
+}
+
+static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// Whether `GCS_FORCE_SCALAR=1` (or any non-empty value other than `0`) is
+/// set, pinning dispatch to the scalar table.
+fn force_scalar() -> bool {
+    match std::env::var("GCS_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// The canonical portable implementation. Always available; defines the
+/// exact semantics every other table must reproduce.
+pub fn scalar() -> &'static Kernels {
+    &scalar::KERNELS
+}
+
+/// The best vectorized table this CPU supports, independent of
+/// `GCS_FORCE_SCALAR` (benchmarks and property tests compare it against
+/// [`scalar()`] explicitly). `None` when the host lacks AVX2+FMA.
+pub fn simd() -> Option<&'static Kernels> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Some(&avx2::KERNELS);
+        }
+    }
+    None
+}
+
+/// The table in effect for this process: [`simd()`] when available unless
+/// `GCS_FORCE_SCALAR=1`, else [`scalar()`]. Resolved once and cached.
+pub fn active() -> &'static Kernels {
+    ACTIVE.get_or_init(|| {
+        if force_scalar() {
+            return scalar();
+        }
+        simd().unwrap_or_else(scalar)
+    })
+}
+
+/// Whether the active table is a SIMD one — consulted by the GEMM tile
+/// dispatch in `matrix.rs`, which can't go through function pointers.
+pub fn simd_active() -> bool {
+    !std::ptr::eq(active(), scalar())
+}
+
+/// Human-readable description of what runtime detection found, for bench
+/// metadata: e.g. `"avx2+fma (active: avx2)"` or
+/// `"avx2+fma (active: scalar, GCS_FORCE_SCALAR)"`.
+pub fn feature_string() -> String {
+    let detected = if simd().is_some() { "avx2+fma" } else { "none" };
+    let forced = if force_scalar() { ", GCS_FORCE_SCALAR" } else { "" };
+    format!("{} (active: {}{})", detected, active().name, forced)
+}
+
+// ---------------------------------------------------------------------------
+// Free wrappers: assert the length contract once, then dispatch.
+// ---------------------------------------------------------------------------
+
+/// Dispatched [`Kernels::sign_pack`].
+pub fn sign_pack(data: &[f32], out: &mut [u32]) {
+    assert_eq!(out.len(), data.len().div_ceil(32), "sign_pack word count");
+    (active().sign_pack)(data, out);
+}
+
+/// Dispatched [`Kernels::unpack_fill`].
+pub fn unpack_fill(words: &[u32], neg: f32, pos: f32, out: &mut [f32]) {
+    assert!(words.len() * 32 >= out.len(), "unpack_fill word count");
+    (active().unpack_fill)(words, neg, pos, out);
+}
+
+/// Dispatched [`Kernels::unpack_add`].
+pub fn unpack_add(words: &[u32], neg: f32, pos: f32, out: &mut [f32]) {
+    assert!(words.len() * 32 >= out.len(), "unpack_add word count");
+    (active().unpack_add)(words, neg, pos, out);
+}
+
+/// Dispatched [`Kernels::vote_add`].
+pub fn vote_add(words: &[u32], tally: &mut [i32]) {
+    assert!(words.len() * 32 >= tally.len(), "vote_add word count");
+    (active().vote_add)(words, tally);
+}
+
+/// Dispatched [`Kernels::vote_pack`].
+pub fn vote_pack(tally: &[i32], out: &mut [u32]) {
+    assert_eq!(out.len(), tally.len().div_ceil(32), "vote_pack word count");
+    (active().vote_pack)(tally, out);
+}
+
+/// Dispatched [`Kernels::f32s_to_bytes`].
+pub fn f32s_to_bytes(xs: &[f32], out: &mut [u8]) {
+    assert_eq!(out.len(), xs.len() * 4, "f32s_to_bytes byte count");
+    (active().f32s_to_bytes)(xs, out);
+}
+
+/// Dispatched [`Kernels::u32s_to_bytes`].
+pub fn u32s_to_bytes(xs: &[u32], out: &mut [u8]) {
+    assert_eq!(out.len(), xs.len() * 4, "u32s_to_bytes byte count");
+    (active().u32s_to_bytes)(xs, out);
+}
+
+/// Dispatched [`Kernels::bytes_to_f32s`].
+pub fn bytes_to_f32s(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 4, "bytes_to_f32s byte count");
+    (active().bytes_to_f32s)(bytes, out);
+}
+
+/// Dispatched [`Kernels::bytes_to_u32s`].
+pub fn bytes_to_u32s(bytes: &[u8], out: &mut [u32]) {
+    assert_eq!(bytes.len(), out.len() * 4, "bytes_to_u32s byte count");
+    (active().bytes_to_u32s)(bytes, out);
+}
+
+/// Dispatched [`Kernels::add_from_bytes`].
+pub fn add_from_bytes(bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 4, "add_from_bytes byte count");
+    (active().add_from_bytes)(bytes, out);
+}
+
+/// Dispatched [`Kernels::add_assign`].
+pub fn add_assign(acc: &mut [f32], other: &[f32]) {
+    assert_eq!(acc.len(), other.len(), "add_assign length");
+    (active().add_assign)(acc, other);
+}
+
+/// Dispatched [`Kernels::axpy`].
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy length");
+    (active().axpy)(y, alpha, x);
+}
+
+/// Dispatched [`Kernels::scale`].
+pub fn scale(v: &mut [f32], alpha: f32) {
+    (active().scale)(v, alpha);
+}
+
+/// Dispatched [`Kernels::abs_into`].
+pub fn abs_into(data: &[f32], out: &mut [f32]) {
+    assert_eq!(data.len(), out.len(), "abs_into length");
+    (active().abs_into)(data, out);
+}
+
+/// Dispatched [`Kernels::sum_abs`].
+pub fn sum_abs(data: &[f32]) -> f32 {
+    (active().sum_abs)(data)
+}
+
+/// Dispatched [`Kernels::gather_above`].
+pub fn gather_above(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values: &mut Vec<f32>) {
+    (active().gather_above)(data, threshold, indices, values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_table_is_always_available() {
+        assert_eq!(scalar().name, "scalar");
+    }
+
+    #[test]
+    fn active_is_stable_and_named() {
+        let a = active();
+        assert!(std::ptr::eq(a, active()));
+        assert!(a.name == "scalar" || a.name == "avx2");
+        if simd_active() {
+            assert_ne!(a.name, "scalar");
+        }
+    }
+
+    #[test]
+    fn feature_string_mentions_active_table() {
+        let s = feature_string();
+        assert!(s.contains(active().name), "{s}");
+    }
+
+    #[test]
+    fn wrappers_round_trip_signs() {
+        let data = [1.0f32, -2.0, 3.0, -4.0, 5.0];
+        let mut words = vec![0u32; 1];
+        sign_pack(&data, &mut words);
+        assert_eq!(words[0], 0b10101);
+        let mut out = vec![0.0f32; 5];
+        unpack_fill(&words, -1.0, 1.0, &mut out);
+        assert_eq!(out, [1.0, -1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign_pack word count")]
+    fn wrapper_asserts_word_count() {
+        let mut words = vec![0u32; 2];
+        sign_pack(&[1.0; 5], &mut words);
+    }
+}

@@ -11,7 +11,10 @@
 //! * top-k / random-k index selection ([`select`]) used by sparsification
 //!   compressors;
 //! * sign bit-packing and majority vote ([`bits`]) used by SignSGD;
-//! * half-precision conversion ([mod@f16]) used by the FP16 baseline.
+//! * half-precision conversion ([mod@f16]) used by the FP16 baseline;
+//! * runtime-dispatched SIMD kernels ([`kernels`]) behind the hot loops of
+//!   all of the above (AVX2 on x86_64, scalar elsewhere or with
+//!   `GCS_FORCE_SCALAR=1`).
 //!
 //! Everything is deterministic: random initialisation goes through seeded
 //! [`rand::rngs::StdRng`] so experiments are exactly reproducible.
@@ -28,6 +31,7 @@
 
 pub mod bits;
 pub mod f16;
+pub mod kernels;
 pub mod matrix;
 pub mod pool;
 pub mod select;

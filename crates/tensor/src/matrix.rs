@@ -87,6 +87,23 @@ fn check_out(out: &[f32], rows: usize, cols: usize) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] if inner dimensions or the output
 /// buffer size do not line up.
 pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
+    matmul_with_dispatch(crate::kernels::simd_active(), a, b, out)
+}
+
+/// [`matmul`] with the SIMD-tile dispatch pinned by the caller — exposed
+/// for the dispatch property tests and the datapath benchmark, which
+/// compare both paths explicitly. Everyone else wants [`matmul`].
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul`].
+#[doc(hidden)]
+pub fn matmul_with_dispatch(
+    use_simd: bool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             expected: format!("inner dim {}", a.cols()),
@@ -111,7 +128,7 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
         let a_rows = [c0, c1, c2, c3];
         let mut j = 0;
         while j + 16 <= n {
-            mm_tile::<16>(a_rows, b_s, k, n, i, j, out);
+            mm_tile16(use_simd, a_rows, b_s, (k, n), i, j, out);
             j += 16;
         }
         while j + 4 <= n {
@@ -123,7 +140,7 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
             for l in 0..k {
                 let bv = b_s[l * n + j];
                 for (sr, ar) in s.iter_mut().zip(a_rows) {
-                    *sr += ar[l] * bv;
+                    *sr = ar[l].mul_add(bv, *sr);
                 }
             }
             for (r, sr) in s.into_iter().enumerate() {
@@ -140,7 +157,7 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
             let aik = a_s[i * k + l];
             let brow = &b_s[l * n..(l + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aik * bv;
+                *o = aik.mul_add(bv, *o);
             }
         }
     }
@@ -149,6 +166,10 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
 
 /// One 4 x T output tile of `A · B`: accumulates over the full shared
 /// dimension in register-resident arrays, then stores each row once.
+///
+/// Accumulation is `mul_add` (one rounding per step) so the scalar tile is
+/// bit-identical to the AVX2 `vfmadd` tile — both are the same l-ordered
+/// fused chain per output element.
 #[inline(always)]
 fn mm_tile<const T: usize>(
     a_rows: [&[f32]; 4],
@@ -167,12 +188,70 @@ fn mm_tile<const T: usize>(
         for (accr, ar) in acc.iter_mut().zip(a_rows) {
             let c = ar[l];
             for (av, &bv) in accr.iter_mut().zip(brow) {
-                *av += c * bv;
+                *av = c.mul_add(bv, *av);
             }
         }
     }
     for (r, accr) in acc.iter().enumerate() {
         out[(i + r) * n + j..(i + r) * n + j + T].copy_from_slice(accr);
+    }
+}
+
+/// The hot 4 x 16 `A · B` tile, dispatched: explicit AVX2+FMA lanes when
+/// the caller saw [`crate::kernels::simd_active`], scalar `mul_add`
+/// otherwise. Both orders are identical, so the choice is invisible in the
+/// output bits.
+#[inline(always)]
+fn mm_tile16(
+    use_simd: bool,
+    a_rows: [&[f32]; 4],
+    b_s: &[f32],
+    (k, n): (usize, usize),
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: `use_simd` is only ever true after runtime AVX2+FMA
+        // detection (kernels::simd_active / an explicit dispatch test).
+        unsafe { mm_tile16_avx2(a_rows, b_s, k, n, i, j, out) };
+        return;
+    }
+    let _ = use_simd;
+    mm_tile::<16>(a_rows, b_s, k, n, i, j, out);
+}
+
+/// AVX2+FMA 4 x 16 tile: two ymm accumulators per row, one broadcast per
+/// A element, `vfmadd231ps` over the shared dimension — the same fused
+/// l-ordered chain as the scalar `mul_add` tile.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mm_tile16_avx2(
+    a_rows: [&[f32]; 4],
+    b_s: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+    for l in 0..k {
+        let p = b_s.as_ptr().add(l * n + j);
+        let b0 = _mm256_loadu_ps(p);
+        let b1 = _mm256_loadu_ps(p.add(8));
+        for (accr, ar) in acc.iter_mut().zip(a_rows) {
+            let c = _mm256_set1_ps(ar[l]);
+            accr[0] = _mm256_fmadd_ps(c, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(c, b1, accr[1]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let p = out.as_mut_ptr().add((i + r) * n + j);
+        _mm256_storeu_ps(p, accr[0]);
+        _mm256_storeu_ps(p.add(8), accr[1]);
     }
 }
 
@@ -184,6 +263,22 @@ fn mm_tile<const T: usize>(
 /// Returns [`TensorError::ShapeMismatch`] if row counts or the output buffer
 /// size do not line up.
 pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
+    at_mul_b_with_dispatch(crate::kernels::simd_active(), a, b, out)
+}
+
+/// [`at_mul_b`] with the SIMD-tile dispatch pinned by the caller — see
+/// [`matmul_with_dispatch`].
+///
+/// # Errors
+///
+/// Same shape errors as [`at_mul_b`].
+#[doc(hidden)]
+pub fn at_mul_b_with_dispatch(
+    use_simd: bool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
     if a.rows() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             expected: format!("shared rows {}", a.rows()),
@@ -192,7 +287,7 @@ pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
     }
     check_out(out, a.cols(), b.cols())?;
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    atb_rows(a.as_slice(), b.as_slice(), (k, m, n), 0, m, out);
+    atb_rows(use_simd, a.as_slice(), b.as_slice(), (k, m, n), 0, m, out);
     Ok(())
 }
 
@@ -204,6 +299,7 @@ pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<(
 /// bit-identical to the same rows of the full product — the property the
 /// pooled variant relies on.
 fn atb_rows(
+    use_simd: bool,
     a_s: &[f32],
     b_s: &[f32],
     (k, m, n): (usize, usize, usize),
@@ -218,7 +314,7 @@ fn atb_rows(
     while i + 4 <= i1 {
         let mut j = 0;
         while j + 16 <= n {
-            atb_tile::<16>(a_s, b_s, (k, m, n), i, i - i0, j, out_band);
+            atb_tile16(use_simd, a_s, b_s, (k, m, n), (i, i - i0, j), out_band);
             j += 16;
         }
         while j + 4 <= n {
@@ -233,7 +329,7 @@ fn atb_rows(
                     .expect("row block");
                 let bv = b_s[l * n + j];
                 for (sr, &ar) in s.iter_mut().zip(av) {
-                    *sr += ar * bv;
+                    *sr = ar.mul_add(bv, *sr);
                 }
             }
             for (r, sr) in s.into_iter().enumerate() {
@@ -251,7 +347,7 @@ fn atb_rows(
                 let av = a_s[l * m + r];
                 let orow = &mut out_band[(r - i0) * n..(r - i0 + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                    *o = av.mul_add(bv, *o);
                 }
             }
         }
@@ -282,12 +378,66 @@ fn atb_tile<const T: usize>(
             .expect("tile width");
         for (accr, &c) in acc.iter_mut().zip(av) {
             for (accv, &bv) in accr.iter_mut().zip(brow) {
-                *accv += c * bv;
+                *accv = c.mul_add(bv, *accv);
             }
         }
     }
     for (r, accr) in acc.iter().enumerate() {
         out[(oi + r) * n + j..(oi + r) * n + j + T].copy_from_slice(accr);
+    }
+}
+
+/// The hot 4 x 16 `Aᵀ · B` tile, dispatched like [`mm_tile16`].
+/// `(i, oi, j)` are the absolute A column, the output-band row, and the
+/// output column of the tile corner.
+#[inline(always)]
+fn atb_tile16(
+    use_simd: bool,
+    a_s: &[f32],
+    b_s: &[f32],
+    (k, m, n): (usize, usize, usize),
+    (i, oi, j): (usize, usize, usize),
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: `use_simd` is only ever true after runtime AVX2+FMA
+        // detection (kernels::simd_active / an explicit dispatch test).
+        unsafe { atb_tile16_avx2(a_s, b_s, (k, m, n), (i, oi, j), out) };
+        return;
+    }
+    let _ = use_simd;
+    atb_tile::<16>(a_s, b_s, (k, m, n), i, oi, j, out);
+}
+
+/// AVX2+FMA 4 x 16 `Aᵀ · B` tile — same fused l-ordered chain as the
+/// scalar `mul_add` tile.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn atb_tile16_avx2(
+    a_s: &[f32],
+    b_s: &[f32],
+    (k, m, n): (usize, usize, usize),
+    (i, oi, j): (usize, usize, usize),
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+    for l in 0..k {
+        let ap = a_s.as_ptr().add(l * m + i);
+        let bp = b_s.as_ptr().add(l * n + j);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let c = _mm256_set1_ps(*ap.add(r));
+            accr[0] = _mm256_fmadd_ps(c, b0, accr[0]);
+            accr[1] = _mm256_fmadd_ps(c, b1, accr[1]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let p = out.as_mut_ptr().add((oi + r) * n + j);
+        _mm256_storeu_ps(p, accr[0]);
+        _mm256_storeu_ps(p.add(8), accr[1]);
     }
 }
 
@@ -410,9 +560,10 @@ pub fn at_mul_b_pooled(
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let a_s = a.as_slice();
     let b_s = b.as_slice();
+    let use_simd = crate::kernels::simd_active();
     pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
         let rows = band.len() / n;
-        atb_rows(a_s, b_s, (k, m, n), row_lo, row_lo + rows, band);
+        atb_rows(use_simd, a_s, b_s, (k, m, n), row_lo, row_lo + rows, band);
     });
     Ok(())
 }

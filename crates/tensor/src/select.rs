@@ -1,5 +1,6 @@
 //! Top-k / random-k index selection used by sparsification compressors.
 
+use crate::kernels;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,7 +82,8 @@ pub fn top_k_abs_with(data: &[f32], k: usize, mags: &mut Vec<f32>) -> SparseSele
     }
     // Quickselect the k-th largest absolute value on the scratch copy.
     mags.clear();
-    mags.extend(data.iter().map(|x| x.abs()));
+    mags.resize(n, 0.0);
+    kernels::abs_into(data, mags);
     gather_top_k(data, k, mags)
 }
 
@@ -105,10 +107,7 @@ pub fn top_k_abs_pooled(
     mags.resize(n, 0.0);
     // ~64k elements per band before forking pays for itself.
     pool.for_rows(&mut mags[..], 1, 1 << 16, |lo, band| {
-        let len = band.len();
-        for (o, &v) in band.iter_mut().zip(&data[lo..lo + len]) {
-            *o = v.abs();
-        }
+        kernels::abs_into(&data[lo..lo + band.len()], band);
     });
     gather_top_k(data, k, mags)
 }
@@ -123,16 +122,12 @@ fn gather_top_k(data: &[f32], k: usize, mags: &mut [f32]) -> SparseSelection {
         });
         *kth
     };
-    // Gather: first everything strictly above threshold, then fill with
-    // threshold-equal entries until k are collected.
+    // Gather: first everything strictly above threshold (SIMD stream
+    // compaction on AVX2 hosts, same index order as the scalar scan), then
+    // fill with threshold-equal entries until k are collected.
     let mut indices = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);
-    for (i, &v) in data.iter().enumerate() {
-        if v.abs() > threshold {
-            indices.push(i as u32);
-            values.push(v);
-        }
-    }
+    kernels::gather_above(data, threshold, &mut indices, &mut values);
     if indices.len() < k {
         for (i, &v) in data.iter().enumerate() {
             if indices.len() == k {

@@ -200,9 +200,7 @@ impl Tensor {
 
     /// In-place scalar multiply.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
-            *x *= s;
-        }
+        crate::kernels::scale(&mut self.data, s);
     }
 
     /// Returns `self * s` as a new tensor.
@@ -219,9 +217,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) -> crate::Result<()> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::kernels::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
@@ -245,9 +241,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> crate::Result<()> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::kernels::axpy(&mut self.data, alpha, &other.data);
         Ok(())
     }
 
@@ -303,9 +297,11 @@ impl Tensor {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
-    /// Sum of absolute values.
+    /// Sum of absolute values (lane-striped association order — see
+    /// [`crate::kernels::sum_abs`] — identical under scalar and SIMD
+    /// dispatch).
     pub fn l1_norm(&self) -> f32 {
-        self.data.iter().map(|x| x.abs()).sum()
+        crate::kernels::sum_abs(&self.data)
     }
 
     /// Maximum absolute value (0 for an empty tensor).

@@ -1,0 +1,314 @@
+//! Property tests: the SIMD kernel table must be exactly interchangeable
+//! with the scalar table.
+//!
+//! Every dispatched kernel is checked across lengths covering every lane
+//! remainder (0..2 x lane width and beyond), with payloads containing NaN,
+//! ±0, ±inf and denormals. Bit kernels must be **byte-identical**; float
+//! kernels must be **bit-identical under the fixed association order**
+//! (elementwise ops have no reassociation; `sum_abs` is lane-striped in
+//! both tables).
+//!
+//! On hosts without AVX2+FMA, `kernels::simd()` is `None` and each test
+//! degenerates to scalar-vs-scalar (still exercising the contracts).
+
+use gcs_tensor::kernels::{self, Kernels};
+
+/// Lengths covering lane remainders 0..8 twice, word-boundary remainders
+/// 0..32, and a couple of large sizes that hit every unrolled path.
+fn lengths() -> Vec<usize> {
+    let mut v: Vec<usize> = (0..=67).collect();
+    v.extend([95, 96, 97, 128, 1000, 4096, 4097]);
+    v
+}
+
+/// Deterministic "adversarial" payload: a pseudo-random mix seeded per
+/// index, with NaN, ±0, ±inf and a denormal sprinkled at fixed strides.
+fn payload(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| match i % 13 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::NAN,
+            3 => -f32::NAN,
+            4 => f32::INFINITY,
+            5 => f32::NEG_INFINITY,
+            6 => 1.0e-40, // denormal
+            _ => {
+                let x = ((i as u32).wrapping_mul(2654435761) >> 8) as f32;
+                (x / 1.0e6 - 8.0) * 1.7
+            }
+        })
+        .collect()
+}
+
+fn both() -> (&'static Kernels, Option<&'static Kernels>) {
+    (kernels::scalar(), kernels::simd())
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Bit patterns with NaNs canonicalized. Arithmetic float kernels are
+/// bit-identical except for NaN *payloads*: when both inputs of an add are
+/// NaN, x86 keeps the first operand's payload, and LLVM may commute the
+/// scalar `a + b` — IEEE-754 deliberately leaves payload propagation
+/// unspecified. The contract is: NaN in exactly the same lanes, every
+/// non-NaN lane bit-identical.
+fn canon_bits(v: &[f32]) -> Vec<u32> {
+    v.iter()
+        .map(|x| if x.is_nan() { 0x7FC0_0000 } else { x.to_bits() })
+        .collect()
+}
+
+#[test]
+fn sign_pack_is_byte_identical() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let data = payload(n);
+        let words = n.div_ceil(32);
+        let mut a = vec![0u32; words];
+        let mut b = vec![0xdead_beefu32; words];
+        (sc.sign_pack)(&data, &mut a);
+        (simd.sign_pack)(&data, &mut b);
+        assert_eq!(a, b, "n={n}");
+    }
+}
+
+#[test]
+fn unpack_fill_and_add_are_byte_identical() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let data = payload(n);
+        let mut words = vec![0u32; n.div_ceil(32)];
+        (sc.sign_pack)(&data, &mut words);
+        // Asymmetric neg/pos, including a negative-zero reconstruction.
+        for (neg, pos) in [(-1.5f32, 0.25f32), (-0.0, 2.0)] {
+            let mut a = vec![7.0f32; n];
+            let mut b = vec![7.0f32; n];
+            (sc.unpack_fill)(&words, neg, pos, &mut a);
+            (simd.unpack_fill)(&words, neg, pos, &mut b);
+            assert_eq!(bits(&a), bits(&b), "fill n={n}");
+            let mut a2 = data.clone();
+            let mut b2 = data.clone();
+            (sc.unpack_add)(&words, neg, pos, &mut a2);
+            (simd.unpack_add)(&words, neg, pos, &mut b2);
+            assert_eq!(bits(&a2), bits(&b2), "add n={n}");
+        }
+    }
+}
+
+#[test]
+fn vote_add_and_pack_are_byte_identical() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let mut tally_a: Vec<i32> = (0..n as i32).map(|i| (i % 7) - 3).collect();
+        let mut tally_b = tally_a.clone();
+        for voter in 0..3u32 {
+            let data: Vec<f32> = (0..n)
+                .map(|i| if (i as u32 ^ voter) % 3 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            let mut words = vec![0u32; n.div_ceil(32)];
+            (sc.sign_pack)(&data, &mut words);
+            (sc.vote_add)(&words, &mut tally_a);
+            (simd.vote_add)(&words, &mut tally_b);
+            assert_eq!(tally_a, tally_b, "n={n} voter={voter}");
+        }
+        let mut wa = vec![0u32; n.div_ceil(32)];
+        let mut wb = vec![0xffff_ffffu32; n.div_ceil(32)];
+        (sc.vote_pack)(&tally_a, &mut wa);
+        (simd.vote_pack)(&tally_b, &mut wb);
+        assert_eq!(wa, wb, "pack n={n}");
+    }
+}
+
+#[test]
+fn byte_conversions_are_byte_identical() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let data = payload(n);
+        let mut ba = vec![0u8; n * 4];
+        let mut bb = vec![0xAAu8; n * 4];
+        (sc.f32s_to_bytes)(&data, &mut ba);
+        (simd.f32s_to_bytes)(&data, &mut bb);
+        assert_eq!(ba, bb, "f32s_to_bytes n={n}");
+
+        let words: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let mut ua = vec![0u8; n * 4];
+        let mut ub = vec![0x55u8; n * 4];
+        (sc.u32s_to_bytes)(&words, &mut ua);
+        (simd.u32s_to_bytes)(&words, &mut ub);
+        assert_eq!(ua, ub, "u32s_to_bytes n={n}");
+
+        let mut fa = vec![0.0f32; n];
+        let mut fb = vec![1.0f32; n];
+        (sc.bytes_to_f32s)(&ba, &mut fa);
+        (simd.bytes_to_f32s)(&ba, &mut fb);
+        assert_eq!(bits(&fa), bits(&fb), "bytes_to_f32s n={n}");
+
+        let mut wa = vec![0u32; n];
+        let mut wb = vec![1u32; n];
+        (sc.bytes_to_u32s)(&ua, &mut wa);
+        (simd.bytes_to_u32s)(&ua, &mut wb);
+        assert_eq!(wa, wb, "bytes_to_u32s n={n}");
+    }
+}
+
+#[test]
+fn float_kernels_match_bitwise_under_fixed_association() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let data = payload(n);
+        let other = payload(n + 1)[1..].to_vec();
+        let mut bytes = vec![0u8; n * 4];
+        (sc.f32s_to_bytes)(&other, &mut bytes);
+
+        // add_from_bytes: elementwise, no reassociation. Both `data` and
+        // `other` carry NaNs, so some lanes add NaN to NaN — compare with
+        // canonicalized payloads there (see `canon_bits`).
+        let mut a = data.clone();
+        let mut b = data.clone();
+        (sc.add_from_bytes)(&bytes, &mut a);
+        (simd.add_from_bytes)(&bytes, &mut b);
+        assert_eq!(canon_bits(&a), canon_bits(&b), "add_from_bytes n={n}");
+
+        // add_assign / axpy / scale / abs_into: elementwise.
+        let mut a = data.clone();
+        let mut b = data.clone();
+        (sc.add_assign)(&mut a, &other);
+        (simd.add_assign)(&mut b, &other);
+        assert_eq!(canon_bits(&a), canon_bits(&b), "add_assign n={n}");
+
+        let mut a = data.clone();
+        let mut b = data.clone();
+        (sc.axpy)(&mut a, -1.25, &other);
+        (simd.axpy)(&mut b, -1.25, &other);
+        assert_eq!(canon_bits(&a), canon_bits(&b), "axpy n={n}");
+
+        // A single-NaN add is deterministic (the NaN operand's payload
+        // wins regardless of operand order), so with a NaN-free `other`
+        // the results must be fully bit-identical, payloads included.
+        let finite: Vec<f32> = other
+            .iter()
+            .map(|x| if x.is_nan() { 0.75 } else { *x })
+            .collect();
+        let mut a = data.clone();
+        let mut b = data.clone();
+        (sc.add_assign)(&mut a, &finite);
+        (simd.add_assign)(&mut b, &finite);
+        assert_eq!(bits(&a), bits(&b), "add_assign finite-rhs n={n}");
+
+        let mut a = data.clone();
+        let mut b = data.clone();
+        (sc.scale)(&mut a, 0.3);
+        (simd.scale)(&mut b, 0.3);
+        assert_eq!(bits(&a), bits(&b), "scale n={n}");
+
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![-1.0f32; n];
+        (sc.abs_into)(&data, &mut a);
+        (simd.abs_into)(&data, &mut b);
+        assert_eq!(bits(&a), bits(&b), "abs_into n={n}");
+
+        // sum_abs: horizontal, but both tables stripe across 8 lanes and
+        // combine with the same pairwise tree. NaN payloads poison both
+        // identically, so compare bit patterns, not values.
+        let sa = (sc.sum_abs)(&data);
+        let sb = (simd.sum_abs)(&data);
+        assert_eq!(sa.to_bits(), sb.to_bits(), "sum_abs n={n}");
+        // And on a NaN-free payload the sums are still bitwise equal.
+        let clean: Vec<f32> = data.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
+        assert_eq!(
+            (sc.sum_abs)(&clean).to_bits(),
+            (simd.sum_abs)(&clean).to_bits(),
+            "sum_abs clean n={n}"
+        );
+    }
+}
+
+#[test]
+fn gather_above_is_byte_identical() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    for n in lengths() {
+        let data = payload(n);
+        for threshold in [0.0f32, 1.0, 5.5, -1.0, f32::INFINITY] {
+            let (mut ia, mut va) = (Vec::new(), Vec::new());
+            let (mut ib, mut vb) = (Vec::new(), Vec::new());
+            (sc.gather_above)(&data, threshold, &mut ia, &mut va);
+            (simd.gather_above)(&data, threshold, &mut ib, &mut vb);
+            assert_eq!(ia, ib, "indices n={n} t={threshold}");
+            assert_eq!(bits(&va), bits(&vb), "values n={n} t={threshold}");
+        }
+    }
+}
+
+#[test]
+fn gather_above_appends_without_clobbering() {
+    let (sc, simd) = both();
+    let Some(simd) = simd else { return };
+    let data = payload(100);
+    let (mut ia, mut va) = (vec![42u32], vec![9.0f32]);
+    let (mut ib, mut vb) = (vec![42u32], vec![9.0f32]);
+    (sc.gather_above)(&data, 1.0, &mut ia, &mut va);
+    (simd.gather_above)(&data, 1.0, &mut ib, &mut vb);
+    assert_eq!(ia, ib);
+    assert_eq!(bits(&va), bits(&vb));
+    assert_eq!(ia[0], 42);
+    assert_eq!(va[0], 9.0);
+}
+
+#[test]
+fn gemm_dispatch_paths_are_bit_identical() {
+    use gcs_tensor::matrix::{at_mul_b_with_dispatch, matmul_with_dispatch, MatrixRef};
+    if kernels::simd().is_none() {
+        return;
+    }
+    // Dims chosen to hit the 4x16 SIMD tile, the 4x4 tile, the column
+    // remainder and the row remainder in one product.
+    for (m, k, n) in [(4, 8, 16), (5, 3, 21), (13, 17, 37), (64, 32, 48), (3, 5, 7)] {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((i * 53) % 97) as f32 - 48.0) * 0.021)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((i * 37) % 101) as f32 - 50.0) * 0.013)
+            .collect();
+        let am = MatrixRef::new(&a, m, k).unwrap();
+        let bm = MatrixRef::new(&b, k, n).unwrap();
+        let mut scalar_out = vec![0.0f32; m * n];
+        let mut simd_out = vec![0.0f32; m * n];
+        matmul_with_dispatch(false, am, bm, &mut scalar_out).unwrap();
+        matmul_with_dispatch(true, am, bm, &mut simd_out).unwrap();
+        assert_eq!(bits(&scalar_out), bits(&simd_out), "matmul {m}x{k}x{n}");
+
+        // Aᵀ·B with A stored k x m.
+        let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02).collect();
+        let atm = MatrixRef::new(&at, k, m).unwrap();
+        matmul_with_dispatch(false, am, bm, &mut scalar_out).unwrap();
+        at_mul_b_with_dispatch(false, atm, bm, &mut scalar_out).unwrap();
+        at_mul_b_with_dispatch(true, atm, bm, &mut simd_out).unwrap();
+        assert_eq!(bits(&scalar_out), bits(&simd_out), "at_mul_b {k}x{m}x{n}");
+    }
+}
+
+#[test]
+fn signbits_roundtrip_matches_under_both_tables() {
+    // End-to-end through the public SignBits API: whatever table is active,
+    // pack -> unpack must invert (NaN packs as negative by the `>= 0`
+    // convention).
+    use gcs_tensor::bits::SignBits;
+    for n in [0usize, 1, 31, 32, 33, 100] {
+        let data = payload(n);
+        let bits = SignBits::pack(&data);
+        let un = bits.unpack(1.0);
+        for (i, (&d, &u)) in data.iter().zip(&un).enumerate() {
+            let expect = if d >= 0.0 { 1.0 } else { -1.0 };
+            assert_eq!(u, expect, "n={n} i={i} d={d}");
+        }
+    }
+}

@@ -13,14 +13,26 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Second pass with the SIMD kernel tables disabled: every dispatched call
+# site must behave identically on the portable scalar path (the kernel
+# property tests compare the tables directly; this run proves the whole
+# pipeline — compression bit-exactness included — under forced-scalar
+# dispatch, i.e. what a non-AVX2 host executes).
+echo "==> cargo test --workspace -q (GCS_FORCE_SCALAR=1)"
+GCS_FORCE_SCALAR=1 cargo test --workspace -q
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 # Smoke-run the tracked benchmark binaries: tiny sizes, one iteration,
 # no JSON rewrite — catches bit-rot in the bench plumbing without the
-# minutes-long full runs.
+# minutes-long full runs. The datapath smoke runs under both dispatch
+# modes so the scalar fallback paths stay executable too.
 echo "==> bench smoke (datapath)"
 GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin datapath
+
+echo "==> bench smoke (datapath, GCS_FORCE_SCALAR=1)"
+GCS_BENCH_SMOKE=1 GCS_FORCE_SCALAR=1 cargo run -q --release -p gcs-bench --bin datapath
 
 echo "==> bench smoke (pipeline)"
 GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin pipeline
