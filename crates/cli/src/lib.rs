@@ -55,6 +55,7 @@ COMMANDS:
   gap        distance of syncSGD from ideal scaling
   sweep      bandwidth sweep for one method vs syncSGD (--from/--to Gbps)
   trace      ASCII two-stream timeline of one iteration (Figure-2 style)
+  faults     train on the real in-process cluster under an injected fault plan
   models     list available model specs
   methods    list available compression methods
   help       show this text
@@ -67,6 +68,17 @@ COMMON FLAGS (with defaults):
   --alpha-us 15           per-hop latency in microseconds
   --speedup 1.0           compute speedup vs V100
   --method syncsgd        e.g. powersgd:4, topk:0.01, qsgd:15, variance:1.5
+
+FAULTS FLAGS (gradcomp faults, with defaults):
+  --workers 4             worker thread count
+  --steps 20              optimizer steps
+  --seed 0                fault-plan master seed (same seed => same events)
+  --jitter-us 0           per-frame delivery delay jitter bound (microseconds)
+  --drop 0                per-frame drop probability in [0, 1]
+  --reorder 0             per-frame reorder probability in [0, 1]
+  --kill none             scheduled deaths, e.g. 3@5 or 1@4,6@10 (rank@step)
+  --timeout-ms 0          recv deadline per attempt (0 = block forever)
+  --retries 2             recv retries after a timeout
 ";
 
 /// Looks up a model spec by CLI name.
@@ -98,7 +110,8 @@ struct Flags {
     to: f64,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags> {
+/// Parses `--key value` pairs into a map.
+fn flag_map(args: &[String]) -> Result<HashMap<String, String>> {
     let mut map: HashMap<String, String> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -111,6 +124,11 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         map.insert(key.to_owned(), value.clone());
         i += 2;
     }
+    Ok(map)
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags> {
+    let map = flag_map(args)?;
     let get_f64 = |key: &str, default: f64| -> Result<f64> {
         match map.get(key) {
             None => Ok(default),
@@ -389,6 +407,90 @@ pub fn run(args: &[String]) -> Result<String> {
                 out.push_str("Compression wins across the whole sweep.\n");
             }
         }
+        "faults" => {
+            let map = flag_map(rest)?;
+            let get_parse = |key: &str, default: &str| -> Result<f64> {
+                let v = map.get(key).map_or(default, String::as_str);
+                v.parse()
+                    .map_err(|e| CliError(format!("bad --{key} '{v}': {e}")))
+            };
+            let workers = get_parse("workers", "4")? as usize;
+            if workers == 0 {
+                return Err(CliError("--workers must be at least 1".into()));
+            }
+            let steps = get_parse("steps", "20")? as usize;
+            let seed = get_parse("seed", "0")? as u64;
+            let jitter_us = get_parse("jitter-us", "0")? as u64;
+            let drop = get_parse("drop", "0")?;
+            let reorder = get_parse("reorder", "0")?;
+            if !(0.0..=1.0).contains(&drop) || !(0.0..=1.0).contains(&reorder) {
+                return Err(CliError("--drop/--reorder must be in [0, 1]".into()));
+            }
+            let method =
+                MethodConfig::parse(map.get("method").map_or("syncsgd", String::as_str))
+                    .map_err(|e| CliError(e.to_string()))?;
+            let mut plan = gcs_cluster::FaultPlan::new(seed)
+                .delay_jitter(std::time::Duration::from_micros(jitter_us))
+                .drop_prob(drop)
+                .reorder_prob(reorder);
+            if let Some(kills) = map.get("kill") {
+                for spec in kills.split(',') {
+                    let (rank, at) = spec.split_once('@').ok_or_else(|| {
+                        CliError(format!("bad --kill '{spec}' (want rank@step)"))
+                    })?;
+                    let rank: usize = rank
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --kill rank '{rank}': {e}")))?;
+                    let at: usize = at
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --kill step '{at}': {e}")))?;
+                    if rank >= workers {
+                        return Err(CliError(format!(
+                            "--kill rank {rank} out of range for {workers} workers"
+                        )));
+                    }
+                    plan = plan.kill(rank, at);
+                }
+            }
+            let timeout_ms = get_parse("timeout-ms", "0")? as u64;
+            if timeout_ms > 0 {
+                let retries = get_parse("retries", "2")? as u32;
+                plan = plan.recv_policy(gcs_cluster::RecvPolicy::with_timeout(
+                    std::time::Duration::from_millis(timeout_ms),
+                    retries,
+                    std::time::Duration::from_millis(timeout_ms / 2),
+                ));
+            }
+            let final_live = plan.live_members(workers, steps.saturating_sub(1)).len();
+            let cfg = gcs_train::threaded::ThreadedConfig::new()
+                .workers(workers)
+                .steps(steps)
+                .seed(seed)
+                .faulty(plan);
+            let task = gcs_train::task::LinearRegression::new(8, 96, 0.01, 41);
+            let (rep, events) =
+                gcs_train::threaded::train_threaded_faulty(&task, &method, &cfg)
+                    .map_err(|e| CliError(format!("faulty run failed: {e}")))?;
+            writeln!(
+                out,
+                "{} | {workers} workers | {steps} steps | fault seed {seed:#x}",
+                method_name(&method)
+            )
+            .expect("write");
+            if events.is_empty() {
+                out.push_str("  no robustness events (all ranks survived)\n");
+            }
+            for e in &events {
+                writeln!(out, "  event: {e}").expect("write");
+            }
+            writeln!(
+                out,
+                "  loss {:.4} -> {:.4} over {steps} steps on {final_live} live workers",
+                rep.initial_loss(),
+                rep.final_loss()
+            )
+            .expect("write");
+        }
         other => {
             return Err(CliError(format!(
                 "unknown command '{other}' (try `gradcomp help`)"
@@ -483,6 +585,31 @@ mod tests {
         assert!(run(&args("predict --method bogus:1")).is_err());
         assert!(run(&args("sweep --from 5 --to 1")).is_err());
         assert!(run(&args("required --gpus 1")).is_err());
+    }
+
+    #[test]
+    fn faults_command_reports_death_and_ring_shrink() {
+        let out = run(&args(
+            "faults --workers 4 --steps 12 --seed 5 --kill 2@4",
+        ))
+        .unwrap();
+        assert!(out.contains("step 4: rank 2 died"), "{out}");
+        assert!(out.contains("ring shrank 4 -> 3"), "{out}");
+        assert!(out.contains("3 live workers"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_with_benign_plan_reports_no_events() {
+        let out = run(&args("faults --workers 3 --steps 8")).unwrap();
+        assert!(out.contains("no robustness events"), "{out}");
+    }
+
+    #[test]
+    fn faults_command_rejects_bad_specs() {
+        assert!(run(&args("faults --kill banana")).is_err());
+        assert!(run(&args("faults --workers 4 --kill 9@2")).is_err());
+        assert!(run(&args("faults --drop 1.5")).is_err());
+        assert!(run(&args("faults --workers 0")).is_err());
     }
 
     #[test]

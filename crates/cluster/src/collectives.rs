@@ -102,7 +102,7 @@ impl WorkerHandle {
             let (ss, se) = chunk_range(len, p, send_idx);
             fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
             self.send(next, Frame::from_vec(wire))?;
-            let incoming = self.recv(prev)?;
+            let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
             check_f32_frame(&incoming, re - rs, "reduce-scatter")?;
             add_f32s_from_bytes(&mut buf[rs..re], &incoming);
@@ -116,7 +116,7 @@ impl WorkerHandle {
             let (ss, se) = chunk_range(len, p, send_idx);
             fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
             self.send(next, Frame::from_vec(wire))?;
-            let incoming = self.recv(prev)?;
+            let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
             check_f32_frame(&incoming, re - rs, "all-gather")?;
             fill_f32s_from_bytes(&mut buf[rs..re], &incoming);
@@ -202,7 +202,7 @@ impl WorkerHandle {
                 }
                 let (lo, hi) = seg_range(g);
                 let slen = hi - lo;
-                let incoming = self.recv(prev)?;
+                let incoming = self.recv_robust(prev)?;
                 if s < p - 1 {
                     let recv_idx = (rank + 2 * p - s - 1) % p;
                     let (rs, re) = chunk_range(slen, p, recv_idx);
@@ -260,7 +260,7 @@ impl WorkerHandle {
         let mut current = out[rank].clone();
         for s in 0..p - 1 {
             self.send(next, current)?;
-            current = self.recv(prev)?;
+            current = self.recv_robust(prev)?;
             let origin = (rank + 2 * p - s - 1) % p;
             out[origin] = current.clone();
         }
@@ -310,7 +310,7 @@ impl WorkerHandle {
             } else if vrank < 2 * mask && have.is_none() {
                 let src_v = vrank - mask;
                 let src = (src_v + root) % p;
-                have = Some(self.recv(src)?);
+                have = Some(self.recv_robust(src)?);
             }
             mask <<= 1;
         }
@@ -325,6 +325,130 @@ impl WorkerHandle {
     pub fn barrier(&self) -> Result<()> {
         let _ = self.all_gather_bytes(&[])?;
         Ok(())
+    }
+
+    /// Validates a live-member list and locates this rank on the shrunk
+    /// ring: returns `(m, pos, next, prev)` where `m = members.len()`,
+    /// `pos` is this rank's position, and `next`/`prev` are the actual
+    /// ranks of the ring neighbors among `members`.
+    fn ring_among(&self, members: &[usize]) -> Result<(usize, usize, usize, usize)> {
+        if members.is_empty() {
+            return Err(ClusterError::InvalidArgument(
+                "member list must not be empty".into(),
+            ));
+        }
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ClusterError::InvalidArgument(
+                "member list must be strictly ascending".into(),
+            ));
+        }
+        if *members.last().expect("non-empty") >= self.world() {
+            return Err(ClusterError::InvalidArgument(format!(
+                "member {} out of range for world {}",
+                members.last().expect("non-empty"),
+                self.world()
+            )));
+        }
+        let Ok(pos) = members.binary_search(&self.rank()) else {
+            return Err(ClusterError::InvalidArgument(format!(
+                "rank {} is not in the member list",
+                self.rank()
+            )));
+        };
+        let m = members.len();
+        Ok((m, pos, members[(pos + 1) % m], members[(pos + m - 1) % m]))
+    }
+
+    /// Ring all-reduce (sum) over a *subset* of ranks — the shrunk-ring
+    /// collective survivors run after a rank death. `members` must be the
+    /// same strictly ascending list on every participating rank and must
+    /// contain this rank; dead/absent ranks are simply not on the ring.
+    ///
+    /// Over the full member list `&[0, 1, …, p−1]` this is bit-identical
+    /// to [`WorkerHandle::all_reduce_sum`]: same chunking, same
+    /// fixed-association reduce order, same wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidArgument`] for a malformed member
+    /// list, plus everything the plain ring returns.
+    pub fn all_reduce_sum_among(&self, buf: &mut [f32], members: &[usize]) -> Result<()> {
+        let (m, pos, next, prev) = self.ring_among(members)?;
+        if m == 1 {
+            return Ok(());
+        }
+        let len = buf.len();
+        let mut wire: Vec<u8> = Vec::with_capacity(len.div_ceil(m) * 4);
+        for s in 0..m - 1 {
+            let send_idx = (pos + m - s) % m;
+            let recv_idx = (pos + 2 * m - s - 1) % m;
+            let (ss, se) = chunk_range(len, m, send_idx);
+            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+            self.send(next, Frame::from_vec(wire))?;
+            let incoming = self.recv_robust(prev)?;
+            let (rs, re) = chunk_range(len, m, recv_idx);
+            check_f32_frame(&incoming, re - rs, "reduce-scatter (among)")?;
+            add_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            wire = incoming.into_vec();
+        }
+        for s in 0..m - 1 {
+            let send_idx = (pos + 1 + m - s) % m;
+            let recv_idx = (pos + m - s) % m;
+            let (ss, se) = chunk_range(len, m, send_idx);
+            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+            self.send(next, Frame::from_vec(wire))?;
+            let incoming = self.recv_robust(prev)?;
+            let (rs, re) = chunk_range(len, m, recv_idx);
+            check_f32_frame(&incoming, re - rs, "all-gather (among)")?;
+            fill_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            wire = incoming.into_vec();
+        }
+        Ok(())
+    }
+
+    /// [`WorkerHandle::all_reduce_sum_among`] followed by division by the
+    /// member count — the renormalized mean survivors aggregate with after
+    /// a death (divide by the live count, not the original world size).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkerHandle::all_reduce_sum_among`].
+    pub fn all_reduce_mean_among(&self, buf: &mut [f32], members: &[usize]) -> Result<()> {
+        self.all_reduce_sum_among(buf, members)?;
+        let inv = 1.0 / members.len() as f32;
+        for x in buf {
+            *x *= inv;
+        }
+        Ok(())
+    }
+
+    /// Ring all-gather over a subset of ranks. Returns one [`Frame`] per
+    /// member, indexed by *position* in `members` (which, being sorted, is
+    /// also rank order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidArgument`] for a malformed member
+    /// list, plus everything the plain gather returns.
+    pub fn all_gather_bytes_among(
+        &self,
+        own: &[u8],
+        members: &[usize],
+    ) -> Result<Vec<Frame>> {
+        let (m, pos, next, prev) = self.ring_among(members)?;
+        let mut out: Vec<Frame> = vec![Frame::empty(); m];
+        out[pos] = Frame::copy_from_slice(own);
+        if m == 1 {
+            return Ok(out);
+        }
+        let mut current = out[pos].clone();
+        for s in 0..m - 1 {
+            self.send(next, current)?;
+            current = self.recv_robust(prev)?;
+            let origin = (pos + 2 * m - s - 1) % m;
+            out[origin] = current.clone();
+        }
+        Ok(out)
     }
 }
 
@@ -550,5 +674,122 @@ mod tests {
     fn non_f32_frame_is_rejected() {
         assert!(bytes_to_f32s(&[1, 2, 3]).is_err());
         assert_eq!(bytes_to_f32s(&1.0f32.to_le_bytes()).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn all_reduce_among_full_membership_is_bit_identical_to_plain() {
+        for p in [2usize, 3, 4, 8] {
+            for n in [1usize, 7, 37, 100] {
+                let members: Vec<usize> = (0..p).collect();
+                let make = |rank: usize| -> Vec<f32> {
+                    (0..n)
+                        .map(|i| ((rank * 131 + i * 17) % 101) as f32 * 0.37 - 3.0)
+                        .collect()
+                };
+                let outs = SimCluster::run(p, |w| {
+                    let mut plain = make(w.rank());
+                    let mut among = plain.clone();
+                    w.all_reduce_sum(&mut plain).unwrap();
+                    w.all_reduce_sum_among(&mut among, &members).unwrap();
+                    (plain, among)
+                });
+                for (plain, among) in outs {
+                    assert_eq!(
+                        plain.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        among.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "p={p} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_among_subset_sums_only_members() {
+        // Ranks {0, 2, 3} of a 5-rank world reduce among themselves while
+        // the others sit out.
+        let members = [0usize, 2, 3];
+        let outs = SimCluster::run(5, |w| {
+            if members.contains(&w.rank()) {
+                let mut buf = vec![(w.rank() + 1) as f32; 7];
+                w.all_reduce_sum_among(&mut buf, &members).unwrap();
+                Some(buf)
+            } else {
+                None
+            }
+        });
+        for (rank, out) in outs.iter().enumerate() {
+            match out {
+                Some(buf) => assert_eq!(buf, &vec![8.0f32; 7], "rank {rank}"), // 1+3+4
+                None => assert!(!members.contains(&rank)),
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_among_divides_by_member_count() {
+        let members = [1usize, 3];
+        let outs = SimCluster::run(4, |w| {
+            if members.contains(&w.rank()) {
+                let mut buf = vec![w.rank() as f32];
+                w.all_reduce_mean_among(&mut buf, &members).unwrap();
+                Some(buf[0])
+            } else {
+                None
+            }
+        });
+        assert_eq!(outs[1], Some(2.0)); // (1 + 3) / 2
+        assert_eq!(outs[3], Some(2.0));
+    }
+
+    #[test]
+    fn all_gather_among_returns_position_ordered_blobs() {
+        let members = [0usize, 1, 4];
+        let outs = SimCluster::run(5, |w| {
+            if members.contains(&w.rank()) {
+                Some(w.all_gather_bytes_among(&[w.rank() as u8; 3], &members).unwrap())
+            } else {
+                None
+            }
+        });
+        for out in outs.into_iter().flatten() {
+            assert_eq!(out.len(), 3);
+            for (pos, blob) in out.iter().enumerate() {
+                assert_eq!(blob.as_slice(), &[members[pos] as u8; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn among_rejects_malformed_member_lists() {
+        let outs = SimCluster::run(3, |w| {
+            let mut buf = vec![1.0f32; 4];
+            let empty = w.all_reduce_sum_among(&mut buf, &[]).is_err();
+            let unsorted = w.all_reduce_sum_among(&mut buf, &[2, 0, 1]).is_err();
+            let dup = w.all_reduce_sum_among(&mut buf, &[0, 0, 1, 2]).is_err();
+            let out_of_range = w.all_reduce_sum_among(&mut buf, &[0, 1, 7]).is_err();
+            let missing_self = if w.rank() == 2 {
+                w.all_reduce_sum_among(&mut buf, &[0, 1]).is_err()
+            } else {
+                true
+            };
+            empty && unsorted && dup && out_of_range && missing_self
+        });
+        assert_eq!(outs, vec![true; 3]);
+    }
+
+    #[test]
+    fn among_single_member_is_noop() {
+        let outs = SimCluster::run(2, |w| {
+            let mut buf = vec![3.5f32; 2];
+            let members = [w.rank()];
+            w.all_reduce_sum_among(&mut buf, &members).unwrap();
+            let gathered = w.all_gather_bytes_among(&[9u8], &members).unwrap();
+            (buf, gathered.len())
+        });
+        for (buf, n) in outs {
+            assert_eq!(buf, vec![3.5f32; 2]);
+            assert_eq!(n, 1);
+        }
     }
 }

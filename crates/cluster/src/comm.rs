@@ -36,6 +36,7 @@
 //! [`all_gather_bytes`]: crate::collectives — see `WorkerHandle::all_gather_bytes`
 
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::transport::{Frame, WorkerHandle};
@@ -102,6 +103,12 @@ pub struct CommEngine {
     thread: Option<JoinHandle<WorkerHandle>>,
     rank: usize,
     world: usize,
+    /// First collective error the comm thread hit. Once set, the engine is
+    /// poisoned: queued and future jobs are answered with this error
+    /// instead of being executed, so one rank's failure surfaces
+    /// immediately on every subsequent `start_*`/`wait` instead of
+    /// desynchronizing the cross-rank job pairing (or hanging).
+    poisoned: Arc<Mutex<Option<ClusterError>>>,
 }
 
 impl CommEngine {
@@ -113,9 +120,21 @@ impl CommEngine {
         let rank = worker.rank();
         let world = worker.world();
         let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let poisoned: Arc<Mutex<Option<ClusterError>>> = Arc::new(Mutex::new(None));
+        let poison = Arc::clone(&poisoned);
         let thread = std::thread::Builder::new()
             .name(format!("gcs-comm-{rank}"))
             .spawn(move || {
+                let stored_error =
+                    || poison.lock().expect("poison lock").clone();
+                let store_error = |res: &Result<()>| {
+                    if let Err(e) = res {
+                        let mut slot = poison.lock().expect("poison lock");
+                        if slot.is_none() {
+                            *slot = Some(e.clone());
+                        }
+                    }
+                };
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::ReduceSum {
@@ -123,16 +142,29 @@ impl CommEngine {
                             chunk_elems,
                             reply,
                         } => {
+                            // A poisoned engine answers without touching the
+                            // wire: executing further collectives after a
+                            // failure would desynchronize rank pairing.
+                            if let Some(e) = stored_error() {
+                                let _ = reply.send(Err(e));
+                                continue;
+                            }
                             let res = match chunk_elems {
                                 Some(c) => worker.ring_all_reduce_chunked(&mut data, c),
                                 None => worker.all_reduce_sum(&mut data),
                             };
+                            store_error(&res);
                             // A dropped reply receiver just means the caller
                             // abandoned the pending handle; keep serving.
                             let _ = reply.send(res.map(|()| data));
                         }
                         Job::GatherBytes { data, reply } => {
+                            if let Some(e) = stored_error() {
+                                let _ = reply.send(Err(e));
+                                continue;
+                            }
                             let res = worker.all_gather_bytes(&data);
+                            store_error(&res.as_ref().map(|_| ()).map_err(Clone::clone));
                             let _ = reply.send(res.map(|frames| (frames, data)));
                         }
                     }
@@ -145,7 +177,15 @@ impl CommEngine {
             thread: Some(thread),
             rank,
             world,
+            poisoned,
         }
+    }
+
+    /// The first collective error the comm thread hit, if any. A poisoned
+    /// engine fails every subsequent job with this error instead of
+    /// touching the wire.
+    pub fn last_error(&self) -> Option<ClusterError> {
+        self.poisoned.lock().expect("poison lock").clone()
     }
 
     /// Rank of the underlying worker.
@@ -169,6 +209,9 @@ impl CommEngine {
         data: Vec<f32>,
         chunk_elems: Option<usize>,
     ) -> Result<PendingReduce> {
+        if let Some(e) = self.last_error() {
+            return Err(e);
+        }
         let (reply, rx) = std::sync::mpsc::channel();
         self.jobs
             .as_ref()
@@ -186,6 +229,9 @@ impl CommEngine {
     ///
     /// Blocks only if the job queue is full (backpressure).
     pub fn start_all_gather(&self, data: Vec<u8>) -> Result<PendingGather> {
+        if let Some(e) = self.last_error() {
+            return Err(e);
+        }
         let (reply, rx) = std::sync::mpsc::channel();
         self.jobs
             .as_ref()
@@ -324,6 +370,39 @@ mod tests {
             x[0]
         });
         assert_eq!(sums, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn failed_collective_poisons_engine_instead_of_hanging() {
+        use crate::faults::{FaultPlan, RecvPolicy};
+        use std::time::Duration;
+        // Rank 1 never participates, so rank 0's reduce times out. The
+        // engine must surface the error on the pending handle, remember
+        // it, and fail later jobs fast — no hang, no mismatched pairing.
+        let plan = FaultPlan::new(3).recv_policy(RecvPolicy::with_timeout(
+            Duration::from_millis(20),
+            1,
+            Duration::from_millis(10),
+        ));
+        let cluster = crate::SimCluster::new_with_faults(2, None, Some(plan));
+        let outs = cluster.run_workers(|w| {
+            if w.rank() == 0 {
+                let eng = CommEngine::spawn(w, 2);
+                let first = eng.start_all_reduce_sum(vec![1.0; 4], None).unwrap().wait();
+                let poisoned = eng.last_error().is_some();
+                // Later jobs fail fast at start (poisoned engine).
+                let second = eng.start_all_reduce_sum(vec![1.0; 4], None);
+                let _ = eng.shutdown();
+                (first.is_err(), poisoned, second.is_err())
+            } else {
+                // Deliberately absent from the collective. Give rank 0
+                // time to time out before this handle drops (a drop would
+                // surface Disconnected instead of Timeout).
+                std::thread::sleep(Duration::from_millis(120));
+                (true, true, true)
+            }
+        });
+        assert_eq!(outs, vec![(true, true, true); 2]);
     }
 
     #[test]

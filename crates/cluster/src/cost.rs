@@ -249,4 +249,30 @@ mod tests {
     fn negative_incast_rejected() {
         let _ = net().with_incast(-1.0);
     }
+
+    #[test]
+    fn degenerate_worlds_cost_nothing_in_every_formula() {
+        // p = 1 makes the α–β formulas' (p − 1) terms vanish, and p = 0 is
+        // a caller bug either way; both must return exactly 0.0 — never a
+        // negative time, NaN, or division by zero — for every collective.
+        let n = net().with_incast(0.3);
+        let bytes = 10_000_000;
+        for p in [0usize, 1] {
+            assert_eq!(n.ring_all_reduce(bytes, p), 0.0, "ring, p={p}");
+            assert_eq!(n.tree_all_reduce(bytes, p), 0.0, "tree, p={p}");
+            assert_eq!(n.all_gather(bytes, p), 0.0, "all-gather, p={p}");
+            assert_eq!(n.reduce_scatter(bytes, p), 0.0, "reduce-scatter, p={p}");
+            assert_eq!(n.broadcast(bytes, p), 0.0, "broadcast, p={p}");
+        }
+        // And the first real world size is strictly positive and finite.
+        for t in [
+            n.ring_all_reduce(bytes, 2),
+            n.tree_all_reduce(bytes, 2),
+            n.all_gather(bytes, 2),
+            n.reduce_scatter(bytes, 2),
+            n.broadcast(bytes, 2),
+        ] {
+            assert!(t.is_finite() && t > 0.0);
+        }
+    }
 }

@@ -11,6 +11,20 @@ pub enum ClusterError {
         /// Rank whose channel closed.
         peer: usize,
     },
+    /// A peer is permanently gone: it was declared dead by the fault plan
+    /// (or hung up after being marked dead) and will never produce or
+    /// accept another frame. Unlike [`ClusterError::Disconnected`] this is
+    /// an *expected* condition robust consumers degrade around.
+    PeerGone {
+        /// Rank that is dead.
+        peer: usize,
+    },
+    /// A `recv` deadline elapsed before the peer's frame was delivered.
+    /// The frame is not lost: it remains receivable on a later retry.
+    Timeout {
+        /// Rank whose frame did not arrive in time.
+        peer: usize,
+    },
     /// A collective was invoked with inconsistent arguments across ranks
     /// (e.g. different buffer lengths).
     Mismatch(String),
@@ -23,6 +37,12 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::Disconnected { peer } => {
                 write!(f, "peer {peer} disconnected during a collective")
+            }
+            ClusterError::PeerGone { peer } => {
+                write!(f, "peer {peer} is dead (declared by the fault plan)")
+            }
+            ClusterError::Timeout { peer } => {
+                write!(f, "timed out waiting for a frame from peer {peer}")
             }
             ClusterError::Mismatch(msg) => write!(f, "collective argument mismatch: {msg}"),
             ClusterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -39,6 +59,8 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!ClusterError::Disconnected { peer: 3 }.to_string().is_empty());
+        assert!(!ClusterError::PeerGone { peer: 1 }.to_string().is_empty());
+        assert!(!ClusterError::Timeout { peer: 2 }.to_string().is_empty());
         assert!(!ClusterError::Mismatch("x".into()).to_string().is_empty());
         assert!(!ClusterError::InvalidArgument("y".into())
             .to_string()

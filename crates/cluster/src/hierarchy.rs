@@ -123,7 +123,7 @@ impl WorkerHandle {
         // straight out of each incoming frame's bytes.
         if is_leader {
             for peer in leader + 1..node_end {
-                let incoming = self.recv(peer)?;
+                let incoming = self.recv_robust(peer)?;
                 check_f32_frame(&incoming, buf.len(), "hierarchical reduce")?;
                 add_f32s_from_bytes(buf, &incoming);
             }
@@ -149,7 +149,7 @@ impl WorkerHandle {
             let mut outgoing = Frame::from_vec(wire);
             for _ in 0..nodes - 1 {
                 self.send(next_leader, outgoing)?;
-                let incoming = self.recv(prev_leader)?;
+                let incoming = self.recv_robust(prev_leader)?;
                 check_f32_frame(&incoming, accum.len(), "leader ring")?;
                 add_f32s_from_bytes(&mut accum, &incoming);
                 outgoing = incoming;
@@ -167,7 +167,7 @@ impl WorkerHandle {
                 self.send(peer, bcast.clone())?;
             }
         } else {
-            let incoming = self.recv(leader)?;
+            let incoming = self.recv_robust(leader)?;
             check_f32_frame(&incoming, buf.len(), "hierarchical broadcast")?;
             fill_f32s_from_bytes(buf, &incoming);
         }

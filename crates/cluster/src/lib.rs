@@ -30,6 +30,7 @@ pub mod collectives;
 pub mod comm;
 pub mod cost;
 mod error;
+pub mod faults;
 pub mod hierarchy;
 pub mod ps;
 pub mod rabenseifner;
@@ -37,6 +38,7 @@ pub mod transport;
 
 pub use comm::{CommEngine, PendingGather, PendingReduce};
 pub use error::ClusterError;
+pub use faults::{DeadRank, FaultEvent, FaultKind, FaultLog, FaultPlan, RecvPolicy};
 pub use transport::{Frame, NetEmu, SimCluster, WorkerHandle};
 
 /// Crate-wide result alias.

@@ -76,7 +76,7 @@ impl WorkerHandle {
             };
             fill_bytes_from_f32s(&mut wire, &buf[send_range.0..send_range.1]);
             self.send(partner, Frame::from_vec(wire))?;
-            let incoming = self.recv(partner)?;
+            let incoming = self.recv_robust(partner)?;
             check_f32_frame(&incoming, keep_range.1 - keep_range.0, "halving step")?;
             add_f32s_from_bytes(&mut buf[keep_range.0..keep_range.1], &incoming);
             wire = incoming.into_vec();
@@ -94,7 +94,7 @@ impl WorkerHandle {
             let partner = rank ^ mask;
             fill_bytes_from_f32s(&mut wire, &buf[lo..hi]);
             self.send(partner, Frame::from_vec(wire))?;
-            let incoming = self.recv(partner)?;
+            let incoming = self.recv_robust(partner)?;
             let (plo, phi) = handed_away.pop().expect("one range per level");
             check_f32_frame(&incoming, phi - plo, "doubling step")?;
             fill_f32s_from_bytes(&mut buf[plo..phi], &incoming);

@@ -26,10 +26,11 @@
 //! which is exactly what a pipelined engine can hide behind compute — and
 //! what a sequential engine cannot.
 
+use crate::faults::{FaultEvent, FaultKind, FaultLog, FaultPlan, LinkFaults, RecvPolicy};
 use crate::{ClusterError, Result};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -176,6 +177,23 @@ struct Packet {
     deliver_at: Option<Instant>,
 }
 
+/// Per-worker fault-injection state, present when the cluster was built
+/// with a [`FaultPlan`].
+#[derive(Debug)]
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    log: Arc<FaultLog>,
+    /// `alive[r]`: whether rank `r` is still participating. Cleared by
+    /// [`WorkerHandle::mark_dead`]; checked as a backstop on send/recv.
+    alive: Arc<Vec<AtomicBool>>,
+    /// Per-outgoing-link fault streams.
+    links: Vec<RefCell<LinkFaults>>,
+    /// Reorder stash: a frame held back to swap with the link's next
+    /// frame. Flushed (in link order) before this worker blocks in a
+    /// receive, so a held frame can never deadlock a lock-step collective.
+    held: Vec<RefCell<Option<Packet>>>,
+}
+
 /// Per-worker traffic counters, shared with the cluster for post-run
 /// inspection.
 #[derive(Debug, Default)]
@@ -218,6 +236,12 @@ pub struct WorkerHandle {
     /// `link_free[j]`: when the directed link to rank `j` finishes its
     /// current transmission (only meaningful with `netem`).
     link_free: Vec<Cell<Instant>>,
+    /// Fault injection, if enabled for this cluster.
+    faults: Option<FaultCtx>,
+    /// `pending[j]`: a packet from rank `j` whose delivery deadline
+    /// exceeded a `recv_deadline` — it surfaced as a timeout but stays
+    /// receivable by a retry.
+    pending: Vec<RefCell<Option<Packet>>>,
 }
 
 impl WorkerHandle {
@@ -240,10 +264,15 @@ impl WorkerHandle {
     /// [`Frame`]; passing a `Frame` forwards by refcount bump, passing a
     /// `Vec<u8>` wraps it without copying.
     ///
+    /// Under a [`FaultPlan`] the frame may be silently dropped, delayed,
+    /// or held back to swap with the link's next frame — all decided by
+    /// the link's deterministic fault stream.
+    ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer
-    /// and [`ClusterError::Disconnected`] if the peer hung up.
+    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer,
+    /// [`ClusterError::PeerGone`] if the peer was declared dead, and
+    /// [`ClusterError::Disconnected`] if the peer hung up.
     pub fn send(&self, peer: usize, bytes: impl Into<Frame>) -> Result<()> {
         if peer >= self.world {
             return Err(ClusterError::InvalidArgument(format!(
@@ -251,26 +280,113 @@ impl WorkerHandle {
                 self.world
             )));
         }
+        if !self.is_alive(peer) {
+            return Err(ClusterError::PeerGone { peer });
+        }
         let frame = bytes.into();
         self.traffic.record(frame.len());
-        let deliver_at = self.netem.map(|emu| {
+        let mut deliver_at = self.netem.map(|emu| {
             let now = Instant::now();
             let start = self.link_free[peer].get().max(now);
             let done = start + emu.tx_time(frame.len());
             self.link_free[peer].set(done);
             done + emu.latency
         });
+        let Some(ctx) = &self.faults else {
+            return self
+                .senders[peer]
+                .send(Packet { frame, deliver_at })
+                .map_err(|_| ClusterError::Disconnected { peer });
+        };
+        let fate = ctx.links[peer].borrow_mut().next_fate(&ctx.plan);
+        if fate.drop {
+            ctx.log.record(FaultEvent {
+                src: self.rank,
+                dst: peer,
+                seq: fate.seq,
+                kind: FaultKind::Drop,
+            });
+            return Ok(());
+        }
+        if !fate.extra.is_zero() {
+            deliver_at = Some(deliver_at.unwrap_or_else(Instant::now) + fate.extra);
+            ctx.log.record(FaultEvent {
+                src: self.rank,
+                dst: peer,
+                seq: fate.seq,
+                kind: FaultKind::Delay { extra: fate.extra },
+            });
+        }
+        let packet = Packet { frame, deliver_at };
+        let previously_held = ctx.held[peer].borrow_mut().take();
+        if fate.reorder && previously_held.is_none() {
+            // Hold this frame back; the link's next send (or this worker's
+            // next receive, whichever comes first) releases it.
+            *ctx.held[peer].borrow_mut() = Some(packet);
+            ctx.log.record(FaultEvent {
+                src: self.rank,
+                dst: peer,
+                seq: fate.seq,
+                kind: FaultKind::Reorder,
+            });
+            return Ok(());
+        }
+        // Enqueue the fresh frame first, then any held one: the swap.
         self.senders[peer]
-            .send(Packet { frame, deliver_at })
-            .map_err(|_| ClusterError::Disconnected { peer })
+            .send(packet)
+            .map_err(|_| ClusterError::Disconnected { peer })?;
+        if let Some(held) = previously_held {
+            self.senders[peer]
+                .send(held)
+                .map_err(|_| ClusterError::Disconnected { peer })?;
+        }
+        Ok(())
+    }
+
+    /// Releases every reorder-held frame (in link order). Called before
+    /// any receive so a held frame cannot deadlock a lock-step collective:
+    /// once the sender starts waiting, everything it owes is on the wire.
+    fn flush_held(&self) {
+        if let Some(ctx) = &self.faults {
+            for peer in 0..self.world {
+                if let Some(packet) = ctx.held[peer].borrow_mut().take() {
+                    // A gone peer just loses the frame; the flush is
+                    // best-effort by design.
+                    let _ = self.senders[peer].send(packet);
+                }
+            }
+        }
+    }
+
+    /// Sleeps until `packet`'s delivery deadline, then surfaces the frame.
+    fn deliver(packet: Packet) -> Frame {
+        if let Some(deliver_at) = packet.deliver_at {
+            let now = Instant::now();
+            if deliver_at > now {
+                std::thread::sleep(deliver_at - now);
+            }
+        }
+        packet.frame
+    }
+
+    /// Maps a closed-channel receive error: a peer that was declared dead
+    /// is [`ClusterError::PeerGone`]; anything else hung up unexpectedly.
+    fn hangup_error(&self, peer: usize) -> ClusterError {
+        if self.is_alive(peer) {
+            ClusterError::Disconnected { peer }
+        } else {
+            ClusterError::PeerGone { peer }
+        }
     }
 
     /// Receives the next frame sent by `peer` (blocking).
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer
-    /// and [`ClusterError::Disconnected`] if the peer hung up.
+    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer,
+    /// [`ClusterError::PeerGone`] if the peer was declared dead and has
+    /// nothing queued, and [`ClusterError::Disconnected`] if the peer hung
+    /// up.
     pub fn recv(&self, peer: usize) -> Result<Frame> {
         if peer >= self.world {
             return Err(ClusterError::InvalidArgument(format!(
@@ -278,16 +394,140 @@ impl WorkerHandle {
                 self.world
             )));
         }
+        self.flush_held();
+        if let Some(packet) = self.pending[peer].borrow_mut().take() {
+            return Ok(Self::deliver(packet));
+        }
+        if !self.is_alive(peer) {
+            // Drain anything the peer managed to send before dying, but
+            // never block on a dead rank.
+            return match self.receivers[peer].try_recv() {
+                Ok(packet) => Ok(Self::deliver(packet)),
+                Err(_) => Err(ClusterError::PeerGone { peer }),
+            };
+        }
         let packet = self.receivers[peer]
             .recv()
-            .map_err(|_| ClusterError::Disconnected { peer })?;
-        if let Some(deliver_at) = packet.deliver_at {
-            let now = Instant::now();
-            if deliver_at > now {
-                std::thread::sleep(deliver_at - now);
+            .map_err(|_| self.hangup_error(peer))?;
+        Ok(Self::deliver(packet))
+    }
+
+    /// Receives the next frame sent by `peer`, giving up after `timeout`.
+    ///
+    /// A frame whose (emulated or fault-injected) delivery deadline lies
+    /// beyond the timeout is **not** discarded: it is stashed and returned
+    /// by the next receive from `peer`, so a timeout is surfaced exactly
+    /// once per late frame and the frame remains receivable on retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Timeout`] when no frame is deliverable in time,
+    /// plus everything [`WorkerHandle::recv`] returns.
+    pub fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame> {
+        if peer >= self.world {
+            return Err(ClusterError::InvalidArgument(format!(
+                "peer {peer} out of range for world {}",
+                self.world
+            )));
+        }
+        self.flush_held();
+        let deadline = Instant::now() + timeout;
+        {
+            let mut slot = self.pending[peer].borrow_mut();
+            if let Some(packet) = slot.as_ref() {
+                if packet.deliver_at.is_some_and(|d| d > deadline) {
+                    return Err(ClusterError::Timeout { peer });
+                }
+                let packet = slot.take().expect("checked above");
+                drop(slot);
+                return Ok(Self::deliver(packet));
             }
         }
-        Ok(packet.frame)
+        if !self.is_alive(peer) {
+            return match self.receivers[peer].try_recv() {
+                Ok(packet) => Ok(Self::deliver(packet)),
+                Err(_) => Err(ClusterError::PeerGone { peer }),
+            };
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match self.receivers[peer].recv_timeout(remaining) {
+            Ok(packet) => {
+                if packet.deliver_at.is_some_and(|d| d > deadline) {
+                    *self.pending[peer].borrow_mut() = Some(packet);
+                    return Err(ClusterError::Timeout { peer });
+                }
+                Ok(Self::deliver(packet))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout { peer }),
+            Err(RecvTimeoutError::Disconnected) => Err(self.hangup_error(peer)),
+        }
+    }
+
+    /// The receive collectives use: blocking by default, or
+    /// deadline-plus-retry under the cluster's [`RecvPolicy`]. Each retry
+    /// extends the deadline by the policy's backoff; after the last retry
+    /// the timeout propagates to the caller instead of hanging the
+    /// collective forever.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`WorkerHandle::recv_deadline`] returns; the final
+    /// attempt's [`ClusterError::Timeout`] when all retries elapse.
+    pub fn recv_robust(&self, peer: usize) -> Result<Frame> {
+        let policy = self
+            .faults
+            .as_ref()
+            .map_or_else(RecvPolicy::blocking, |ctx| ctx.plan.recv);
+        let Some(mut timeout) = policy.timeout else {
+            return self.recv(peer);
+        };
+        let mut attempt = 0;
+        loop {
+            match self.recv_deadline(peer, timeout) {
+                Err(ClusterError::Timeout { .. }) if attempt < policy.retries => {
+                    attempt += 1;
+                    timeout += policy.backoff;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Whether `peer` is still participating. Always `true` without a
+    /// fault plan. `peer == self.rank()` reports this worker's own state.
+    pub fn is_alive(&self, peer: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|ctx| ctx.alive[peer].load(Ordering::SeqCst))
+    }
+
+    /// Declares this worker dead as of iteration `at_iter`: clears its
+    /// alive bit (peers' sends/recvs start returning
+    /// [`ClusterError::PeerGone`]) and records the event. The worker
+    /// should stop participating in collectives immediately after.
+    ///
+    /// No-op without a fault plan.
+    pub fn mark_dead(&self, at_iter: usize) {
+        if let Some(ctx) = &self.faults {
+            self.flush_held();
+            ctx.alive[self.rank].store(false, Ordering::SeqCst);
+            ctx.log.record(FaultEvent {
+                src: self.rank,
+                dst: self.rank,
+                seq: at_iter as u64,
+                kind: FaultKind::RankDead { at_iter },
+            });
+        }
+    }
+
+    /// The cluster's fault plan, if one was installed.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|ctx| ctx.plan.as_ref())
+    }
+
+    /// The shared fault log, if fault injection is enabled.
+    pub fn fault_log(&self) -> Option<Arc<FaultLog>> {
+        self.faults.as_ref().map(|ctx| Arc::clone(&ctx.log))
     }
 
     /// Rank of the next worker on the ring.
@@ -301,11 +541,20 @@ impl WorkerHandle {
     }
 }
 
+impl Drop for WorkerHandle {
+    /// Reorder may *delay* a frame, never lose it: a worker exiting with a
+    /// held frame still owes it to the wire.
+    fn drop(&mut self) {
+        self.flush_held();
+    }
+}
+
 /// Builder/owner of the channel mesh.
 #[derive(Debug)]
 pub struct SimCluster {
     handles: Vec<WorkerHandle>,
     traffic: Vec<Arc<TrafficCounter>>,
+    fault_log: Option<Arc<FaultLog>>,
 }
 
 impl SimCluster {
@@ -327,6 +576,23 @@ impl SimCluster {
     ///
     /// Panics if `world == 0`.
     pub fn new_with_netem(world: usize, netem: Option<NetEmu>) -> Self {
+        Self::new_with_faults(world, netem, None)
+    }
+
+    /// The full constructor: optional link emulation plus an optional
+    /// deterministic [`FaultPlan`]. With a plan installed, every worker
+    /// gets per-link fault streams derived from the plan's seed, the
+    /// shared alive bitmap, and the shared [`FaultLog`] (retrieve it with
+    /// [`SimCluster::fault_log`] before moving the handles to threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new_with_faults(
+        world: usize,
+        netem: Option<NetEmu>,
+        plan: Option<FaultPlan>,
+    ) -> Self {
         assert!(world > 0, "cluster needs at least one worker");
         // mesh[i][j]: channel carrying frames from i to j.
         let mut senders_by_src: Vec<Vec<Sender<Packet>>> = Vec::with_capacity(world);
@@ -344,6 +610,17 @@ impl SimCluster {
         let traffic: Vec<Arc<TrafficCounter>> = (0..world)
             .map(|_| Arc::new(TrafficCounter::default()))
             .collect();
+        let fault_shared = plan.map(|p| {
+            (
+                Arc::new(p),
+                Arc::new(FaultLog::new()),
+                Arc::new(
+                    (0..world)
+                        .map(|_| AtomicBool::new(true))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+        });
         let epoch = Instant::now();
         let handles = senders_by_src
             .into_iter()
@@ -359,9 +636,23 @@ impl SimCluster {
                 traffic: Arc::clone(&traffic[rank]),
                 netem,
                 link_free: (0..world).map(|_| Cell::new(epoch)).collect(),
+                faults: fault_shared.as_ref().map(|(plan, log, alive)| FaultCtx {
+                    plan: Arc::clone(plan),
+                    log: Arc::clone(log),
+                    alive: Arc::clone(alive),
+                    links: (0..world)
+                        .map(|dst| RefCell::new(LinkFaults::new(plan.seed, rank, dst)))
+                        .collect(),
+                    held: (0..world).map(|_| RefCell::new(None)).collect(),
+                }),
+                pending: (0..world).map(|_| RefCell::new(None)).collect(),
             })
             .collect();
-        SimCluster { handles, traffic }
+        SimCluster {
+            handles,
+            traffic,
+            fault_log: fault_shared.map(|(_, log, _)| log),
+        }
     }
 
     /// Takes the worker handles (one per rank, in rank order).
@@ -373,6 +664,12 @@ impl SimCluster {
     /// threads).
     pub fn traffic(&self) -> &[Arc<TrafficCounter>] {
         &self.traffic
+    }
+
+    /// The shared fault log (present when built with a [`FaultPlan`];
+    /// remains valid after handles are moved to threads).
+    pub fn fault_log(&self) -> Option<Arc<FaultLog>> {
+        self.fault_log.clone()
     }
 
     /// Convenience: spawns `world` scoped threads, runs `f(handle)` on
@@ -401,6 +698,23 @@ impl SimCluster {
         R: Send,
     {
         SimCluster::new_with_netem(world, Some(netem)).run_workers(f)
+    }
+
+    /// [`SimCluster::run`] under a [`FaultPlan`] (no link emulation).
+    /// Returns each worker's result plus the sorted fault-event sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker thread panics.
+    pub fn run_with_faults<F, R>(world: usize, plan: FaultPlan, f: F) -> (Vec<R>, Vec<FaultEvent>)
+    where
+        F: Fn(WorkerHandle) -> R + Sync,
+        R: Send,
+    {
+        let cluster = SimCluster::new_with_faults(world, None, Some(plan));
+        let log = cluster.fault_log().expect("plan installed");
+        let outs = cluster.run_workers(f);
+        (outs, log.events())
     }
 
     /// Like [`SimCluster::run`], but on *this* cluster — clone the

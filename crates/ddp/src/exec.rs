@@ -89,68 +89,117 @@ pub fn aggregate_over_cluster_with<C: Compressor>(
     wire: &mut Vec<u8>,
 ) -> Result<Payload> {
     if payload.is_summable() {
-        let world = worker.world() as f32;
-        match payload {
-            Payload::Dense(mut v) => {
-                worker.all_reduce_sum(&mut v)?;
-                for x in &mut v {
-                    *x /= world;
-                }
-                Ok(Payload::Dense(v))
-            }
-            Payload::Half(h) => {
-                // NCCL sums fp16 natively; we sum the f32 images and
-                // re-round, which matches Payload::add_assign semantics up
-                // to rounding order.
-                let mut v = decode_f16(&h);
-                worker.all_reduce_sum(&mut v)?;
-                for x in &mut v {
-                    *x /= world;
-                }
-                Ok(Payload::Half(encode_f16(&v)))
-            }
-            Payload::Factor {
-                which,
-                rows,
-                cols,
-                mut data,
-            } => {
-                worker.all_reduce_sum(&mut data)?;
-                for x in &mut data {
-                    *x /= world;
-                }
-                Ok(Payload::Factor {
-                    which,
-                    rows,
-                    cols,
-                    data,
-                })
-            }
-            Payload::SharedSparse {
-                len,
-                seed,
-                mut values,
-            } => {
-                worker.all_reduce_sum(&mut values)?;
-                for x in &mut values {
-                    *x /= world;
-                }
-                Ok(Payload::SharedSparse { len, seed, values })
-            }
-            other => unreachable!("is_summable() covered {:?}", other.kind_name()),
-        }
+        mean_summable(payload, worker.world() as f32, |v| worker.all_reduce_sum(v))
     } else {
         // Non-associative aggregation: gather every worker's payload and
         // reduce locally (identically on every worker).
         wire.clear();
         payload.write_bytes(wire);
         let gathered = worker.all_gather_bytes(wire)?;
-        let payloads: Vec<Payload> = gathered
-            .iter()
-            .map(|b| Payload::from_bytes(b))
-            .collect::<gcs_compress::Result<_>>()?;
-        Ok(compressor.aggregate(round, &payloads)?)
+        aggregate_gathered(compressor, round, &gathered)
     }
+}
+
+/// [`aggregate_over_cluster_with`] restricted to the live `members` of a
+/// degraded ring: summable payloads ride the among-variant ring collectives
+/// and are averaged over `members.len()` (not the original world size), so
+/// survivors of a dead rank keep producing a true mean over live
+/// contributions.
+///
+/// `members` must be sorted ascending, contain this worker's rank, and
+/// name only valid ranks — the same contract as
+/// [`WorkerHandle::all_reduce_sum_among`].
+///
+/// # Errors
+///
+/// Propagates compression and transport errors.
+pub fn aggregate_over_cluster_among<C: Compressor>(
+    worker: &WorkerHandle,
+    compressor: &C,
+    round: usize,
+    payload: Payload,
+    wire: &mut Vec<u8>,
+    members: &[usize],
+) -> Result<Payload> {
+    if payload.is_summable() {
+        mean_summable(payload, members.len() as f32, |v| {
+            worker.all_reduce_sum_among(v, members)
+        })
+    } else {
+        wire.clear();
+        payload.write_bytes(wire);
+        let gathered = worker.all_gather_bytes_among(wire, members)?;
+        aggregate_gathered(compressor, round, &gathered)
+    }
+}
+
+/// Reduces a summable payload's `f32` content in place via `reduce` and
+/// divides by `denom` — the shared body of the full-world and among-members
+/// aggregation paths.
+fn mean_summable<F>(payload: Payload, denom: f32, mut reduce: F) -> Result<Payload>
+where
+    F: FnMut(&mut Vec<f32>) -> gcs_cluster::Result<()>,
+{
+    let scale = |v: &mut Vec<f32>| {
+        for x in v {
+            *x /= denom;
+        }
+    };
+    match payload {
+        Payload::Dense(mut v) => {
+            reduce(&mut v)?;
+            scale(&mut v);
+            Ok(Payload::Dense(v))
+        }
+        Payload::Half(h) => {
+            // NCCL sums fp16 natively; we sum the f32 images and
+            // re-round, which matches Payload::add_assign semantics up
+            // to rounding order.
+            let mut v = decode_f16(&h);
+            reduce(&mut v)?;
+            scale(&mut v);
+            Ok(Payload::Half(encode_f16(&v)))
+        }
+        Payload::Factor {
+            which,
+            rows,
+            cols,
+            mut data,
+        } => {
+            reduce(&mut data)?;
+            scale(&mut data);
+            Ok(Payload::Factor {
+                which,
+                rows,
+                cols,
+                data,
+            })
+        }
+        Payload::SharedSparse {
+            len,
+            seed,
+            mut values,
+        } => {
+            reduce(&mut values)?;
+            scale(&mut values);
+            Ok(Payload::SharedSparse { len, seed, values })
+        }
+        other => unreachable!("is_summable() covered {:?}", other.kind_name()),
+    }
+}
+
+/// Deserializes gathered wire images and reduces them through the
+/// compressor's own `aggregate` (identically on every participant).
+fn aggregate_gathered<C: Compressor>(
+    compressor: &C,
+    round: usize,
+    gathered: &[gcs_cluster::Frame],
+) -> Result<Payload> {
+    let payloads: Vec<Payload> = gathered
+        .iter()
+        .map(|b| Payload::from_bytes(b))
+        .collect::<gcs_compress::Result<_>>()?;
+    Ok(compressor.aggregate(round, &payloads)?)
 }
 
 /// Runs one full compressed gradient exchange for `grads` (this worker's
@@ -178,6 +227,42 @@ pub fn exchange_gradients<C: Compressor>(
             };
             let agg =
                 aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
+            compressor.absorb(layer, round, agg)?;
+        }
+    }
+    grads
+        .iter()
+        .enumerate()
+        .map(|(layer, grad)| Ok(compressor.finish(layer, grad.shape())?))
+        .collect()
+}
+
+/// [`exchange_gradients`] over a shrunk ring: only the (sorted, live)
+/// `members` participate, and summable aggregation renormalizes by the
+/// live member count. This is what a surviving worker switches to after a
+/// dead-rank event.
+///
+/// # Errors
+///
+/// Propagates compression and transport errors.
+pub fn exchange_gradients_among<C: Compressor>(
+    worker: &WorkerHandle,
+    compressor: &mut C,
+    grads: &[Tensor],
+    members: &[usize],
+) -> Result<Vec<Tensor>> {
+    let rounds = compressor.properties().rounds;
+    let mut wire = Vec::new();
+    for round in 0..rounds {
+        for (layer, grad) in grads.iter().enumerate() {
+            let payload = if round == 0 {
+                compressor.encode(layer, grad)?
+            } else {
+                compressor.encode_round(layer, round)?
+            };
+            let agg = aggregate_over_cluster_among(
+                worker, compressor, round, payload, &mut wire, members,
+            )?;
             compressor.absorb(layer, round, agg)?;
         }
     }
@@ -679,6 +764,88 @@ mod tests {
         for (a, b) in bucketed[0].iter().zip(&layered[0]) {
             assert!(relative_l2_error(a, b) < 1e-6);
         }
+    }
+
+    #[test]
+    fn among_exchange_full_membership_matches_plain_exchange() {
+        let grads = make_grads(3, &[vec![4usize, 5], vec![7]], 17);
+        let members = [0usize, 1, 2];
+        let outs = gcs_cluster::SimCluster::run(3, |worker| {
+            let mut plain = MethodConfig::TopK { ratio: 0.4 }.build().unwrap();
+            let a = exchange_gradients(&worker, &mut plain, &grads[worker.rank()]).unwrap();
+            let mut among = MethodConfig::TopK { ratio: 0.4 }.build().unwrap();
+            let b = exchange_gradients_among(&worker, &mut among, &grads[worker.rank()], &members)
+                .unwrap();
+            (a, b)
+        });
+        for (a, b) in &outs {
+            assert_eq!(a, b, "full-membership among path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn among_exchange_averages_over_live_members_only() {
+        // 4 workers, rank 2 is "dead": survivors exchange among {0, 1, 3}
+        // and must compute the exact mean over exactly those three.
+        let grads = make_grads(4, &[vec![9usize]], 23);
+        let members = [0usize, 1, 3];
+        let outs = gcs_cluster::SimCluster::run(4, |worker| {
+            if worker.rank() == 2 {
+                return None;
+            }
+            let mut c = MethodConfig::SyncSgd.build().unwrap();
+            Some(
+                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members)
+                    .unwrap(),
+            )
+        });
+        let mut mean = Tensor::zeros([9]);
+        for &m in &members {
+            mean.add_assign(&grads[m][0]).unwrap();
+        }
+        mean.scale(1.0 / members.len() as f32);
+        for (rank, out) in outs.iter().enumerate() {
+            match out {
+                None => assert_eq!(rank, 2),
+                Some(layers) => {
+                    assert!(
+                        relative_l2_error(&mean, &layers[0]) < 1e-6,
+                        "survivor {rank} must average over live members only"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn among_exchange_gather_path_uses_live_members_only() {
+        // SignSGD takes the gather/aggregate path; majority vote must be
+        // over the survivors' payloads only.
+        let grads = make_grads(4, &[vec![3usize, 4]], 29);
+        let members = [0usize, 2, 3];
+        let outs = gcs_cluster::SimCluster::run(4, |worker| {
+            if worker.rank() == 1 {
+                return None;
+            }
+            let mut c = MethodConfig::SignSgd.build().unwrap();
+            Some(
+                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members)
+                    .unwrap(),
+            )
+        });
+        let survivors: Vec<_> = outs.iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        for s in &survivors[1..] {
+            assert_eq!(*s, survivors[0], "survivors must agree bit-exactly");
+        }
+        // Reference: centralized driver over only the member gradients.
+        let mut refs: Vec<_> = members
+            .iter()
+            .map(|_| MethodConfig::SignSgd.build().unwrap())
+            .collect();
+        let member_grads: Vec<Tensor> = members.iter().map(|&m| grads[m][0].clone()).collect();
+        let ref_out = all_reduce_compressed(&mut refs, 0, &member_grads).unwrap();
+        assert!(relative_l2_error(&ref_out[0], &survivors[0][0]) < 1e-5);
     }
 
     #[test]

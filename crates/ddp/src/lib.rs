@@ -34,3 +34,4 @@ pub mod trace;
 pub mod wire;
 
 pub use pipeline::{PipelineConfig, PipelinedEngine};
+pub use trace::{RunEvent, RunEventKind};

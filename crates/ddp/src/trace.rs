@@ -161,6 +161,46 @@ pub fn trace_iteration(cfg: &SimConfig) -> Vec<TraceEvent> {
     events
 }
 
+/// What happened in a robustness-relevant run event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEventKind {
+    /// A rank reached its scheduled death and stopped participating.
+    RankDead {
+        /// The rank that died.
+        rank: usize,
+    },
+    /// The survivors shrank the ring from `from` to `to` live members.
+    RingShrink {
+        /// Live member count before the shrink.
+        from: usize,
+        /// Live member count after the shrink.
+        to: usize,
+    },
+}
+
+/// One entry in a training run's robustness event log: a dead rank or a
+/// ring reconfiguration, stamped with the step it took effect at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunEvent {
+    /// Training step the event took effect at.
+    pub step: usize,
+    /// What happened.
+    pub kind: RunEventKind,
+}
+
+impl std::fmt::Display for RunEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RunEventKind::RankDead { rank } => {
+                write!(f, "step {}: rank {rank} died", self.step)
+            }
+            RunEventKind::RingShrink { from, to } => {
+                write!(f, "step {}: ring shrank {from} -> {to} workers", self.step)
+            }
+        }
+    }
+}
+
 /// Renders a trace as a two-row ASCII Gantt chart of `width` columns.
 ///
 /// # Panics
@@ -282,5 +322,19 @@ mod tests {
     #[should_panic(expected = "at least 10 columns")]
     fn tiny_chart_panics() {
         let _ = render_ascii(&[], 3);
+    }
+
+    #[test]
+    fn run_events_render_human_readable() {
+        let dead = RunEvent {
+            step: 5,
+            kind: RunEventKind::RankDead { rank: 3 },
+        };
+        let shrink = RunEvent {
+            step: 5,
+            kind: RunEventKind::RingShrink { from: 8, to: 7 },
+        };
+        assert_eq!(dead.to_string(), "step 5: rank 3 died");
+        assert_eq!(shrink.to_string(), "step 5: ring shrank 8 -> 7 workers");
     }
 }

@@ -44,9 +44,14 @@ impl SparseSelection {
 /// Selects the `k` entries of `data` with the largest absolute value.
 ///
 /// Uses an average-O(n) quickselect on a scratch copy, then gathers the
-/// winning indices. Ties are broken arbitrarily (any valid top-k set may be
-/// returned, matching GPU top-k semantics). If `k >= data.len()` all entries
-/// are selected.
+/// winning indices. Ties at the threshold magnitude are broken
+/// **deterministically toward the lowest index**: entries strictly above
+/// the k-th magnitude are gathered first in ascending index order, then
+/// threshold-equal entries fill the remaining slots scanning from index 0.
+/// The scalar and AVX2 gather kernels honor the same order, so the
+/// selection is bit-identical across dispatch tables — which is what keeps
+/// Top-K workers in agreement regardless of each host's SIMD support. If
+/// `k >= data.len()` all entries are selected.
 ///
 /// # Example
 ///
@@ -208,6 +213,21 @@ mod tests {
         let data = [1.0f32; 100];
         let sel = top_k_abs(&data, 37);
         assert_eq!(sel.len(), 37);
+    }
+
+    #[test]
+    fn top_k_breaks_threshold_ties_toward_lowest_index() {
+        // Threshold magnitude 1.0 is shared by indices 1, 2, 3, 5; only two
+        // slots remain after the strictly-above entries (indices 0 and 4),
+        // and the contract picks the lowest-indexed tied entries.
+        let data = [2.0, -1.0, 1.0, 1.0, -2.0, 1.0];
+        let sel = top_k_abs(&data, 4);
+        assert_eq!(sel.indices, vec![0, 4, 1, 2]);
+        assert_eq!(sel.values, vec![2.0, -2.0, -1.0, 1.0]);
+        // All-tied input: exactly the first k indices.
+        let flat = [3.0f32; 8];
+        let sel = top_k_abs(&flat, 5);
+        assert_eq!(sel.indices, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -12,9 +12,10 @@
 use crate::harness::ConvergenceReport;
 use crate::optim::Sgd;
 use crate::task::Task;
+use gcs_cluster::FaultPlan;
 use gcs_compress::registry::MethodConfig;
-use gcs_ddp::exec::{exchange_gradients, ExecError};
-use gcs_ddp::{PipelineConfig, PipelinedEngine};
+use gcs_ddp::exec::{exchange_gradients, exchange_gradients_among, ExecError};
+use gcs_ddp::{PipelineConfig, PipelinedEngine, RunEvent, RunEventKind};
 use gcs_tensor::Tensor;
 
 /// Errors from threaded training.
@@ -68,6 +69,9 @@ pub struct ThreadedConfig {
     /// per-layer engine. With the default plain-ring config the parameter
     /// trajectory is bit-identical between the two engines.
     pub pipeline: Option<PipelineConfig>,
+    /// `Some(plan)`: run the cluster under this fault plan
+    /// ([`train_threaded_faulty`] reads it; [`train_threaded`] ignores it).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ThreadedConfig {
@@ -81,6 +85,7 @@ impl ThreadedConfig {
             lr: 0.1,
             seed: 0,
             pipeline: None,
+            faults: None,
         }
     }
 
@@ -116,6 +121,12 @@ impl ThreadedConfig {
     /// Routes the gradient exchange through the pipelined engine.
     pub fn pipelined(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Runs the cluster under `plan` (see [`train_threaded_faulty`]).
+    pub fn faulty(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -207,6 +218,123 @@ pub fn train_threaded<T: Task + Sync>(
         task: task.name().to_owned(),
         losses: losses0.clone(),
     })
+}
+
+/// [`train_threaded`] under a fault plan, with graceful degradation: when
+/// a rank reaches its scheduled death it drops out mid-run, the survivors
+/// recompute the live membership from the shared plan, shrink the ring,
+/// renormalize the gradient mean over the live member count, and keep
+/// training. Always uses the sequential per-layer exchange
+/// (`cfg.pipeline` is ignored — the pipelined engine owns its worker
+/// handle and cannot re-plan membership mid-stream).
+///
+/// Returns the convergence report of the lowest-ranked survivor plus the
+/// run's robustness events ([`RunEvent`]: one `RankDead` per death, one
+/// `RingShrink` per membership change).
+///
+/// # Errors
+///
+/// Returns [`ThreadedTrainError`] if a survivor's exchange fails or the
+/// survivors end with different parameters.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or the plan kills every rank before
+/// the run ends (no survivor left to report).
+pub fn train_threaded_faulty<T: Task + Sync>(
+    task: &T,
+    method: &MethodConfig,
+    cfg: &ThreadedConfig,
+) -> Result<(ConvergenceReport, Vec<RunEvent>), ThreadedTrainError> {
+    let plan = cfg.faults.clone().unwrap_or_else(|| FaultPlan::new(0));
+    let world = cfg.workers;
+    let (results, _fault_events) =
+        gcs_cluster::SimCluster::run_with_faults(world, plan.clone(), |worker| {
+            let rank = worker.rank();
+            let mut compressor = method.build().map_err(ExecError::from)?;
+            let mut params = task.init_params(cfg.seed);
+            let mut opt = Sgd::new(cfg.lr);
+            let mut losses = vec![(0usize, task.full_loss(&params))];
+            let mut events: Vec<RunEvent> = Vec::new();
+            let mut live = world;
+            let mut died = false;
+            for step in 0..cfg.steps {
+                if plan.dead_at(rank, step) {
+                    // This rank's scheduled death: flip the alive bit (so
+                    // stragglers poking this rank get PeerGone, and the
+                    // fault log records the death) and stop participating.
+                    worker.mark_dead(step);
+                    died = true;
+                    break;
+                }
+                let members = plan.live_members(world, step);
+                if members.len() < live {
+                    for d in &plan.dead {
+                        let newly_dead = d.at_iter <= step
+                            && (step == 0 || !plan.dead_at(d.rank, step - 1));
+                        if newly_dead {
+                            events.push(RunEvent {
+                                step,
+                                kind: RunEventKind::RankDead { rank: d.rank },
+                            });
+                        }
+                    }
+                    events.push(RunEvent {
+                        step,
+                        kind: RunEventKind::RingShrink {
+                            from: live,
+                            to: members.len(),
+                        },
+                    });
+                    live = members.len();
+                }
+                let grads = task.minibatch_grad(
+                    &params,
+                    cfg.batch_per_worker,
+                    cfg.seed
+                        .wrapping_add(1 + step as u64)
+                        .wrapping_mul(7_368_787)
+                        .wrapping_add(rank as u64),
+                );
+                let mean = exchange_gradients_among(&worker, &mut compressor, &grads, &members)?;
+                opt.step(&mut params, &mean)
+                    .map_err(gcs_compress::CompressError::from)
+                    .map_err(ExecError::from)?;
+                if (step + 1) % 10 == 0 || step + 1 == cfg.steps {
+                    losses.push((step + 1, task.full_loss(&params)));
+                }
+            }
+            Ok::<_, ExecError>((died, params, losses, events))
+        });
+    // (rank, final params, loss trajectory, robustness events)
+    type Survivor = (usize, Vec<Tensor>, Vec<(usize, f64)>, Vec<RunEvent>);
+    let mut survivors: Vec<Survivor> = Vec::new();
+    for (rank, r) in results.into_iter().enumerate() {
+        let (died, params, losses, events) = r?;
+        if !died {
+            survivors.push((rank, params, losses, events));
+        }
+    }
+    let (rank0, params0, losses0, events0) = survivors
+        .first()
+        .expect("the fault plan must leave at least one survivor");
+    for (rank, params, _, _) in &survivors[1..] {
+        if params != params0 {
+            return Err(ThreadedTrainError::Diverged { rank: *rank });
+        }
+    }
+    let _ = rank0;
+    Ok((
+        ConvergenceReport {
+            method: method
+                .build()
+                .map(|c| c.properties().name)
+                .unwrap_or_else(|_| "unknown".into()),
+            task: task.name().to_owned(),
+            losses: losses0.clone(),
+        },
+        events0.clone(),
+    ))
 }
 
 #[cfg(test)]
@@ -306,6 +434,55 @@ mod tests {
             rep.initial_loss(),
             rep.final_loss()
         );
+    }
+
+    #[test]
+    fn killing_one_of_eight_workers_mid_run_degrades_gracefully() {
+        // Rank 3 dies at step 5 of 40: the remaining 7 shrink the ring,
+        // renormalize the mean over 7 contributions, and finish training.
+        let cfg = ThreadedConfig::new()
+            .workers(8)
+            .steps(40)
+            .lr(0.1)
+            .seed(9)
+            .faulty(FaultPlan::new(0xFA01).kill(3, 5));
+        let (rep, events) = train_threaded_faulty(&task(), &MethodConfig::SyncSgd, &cfg).unwrap();
+        // Training completed and converged on the survivors.
+        assert_eq!(rep.losses.last().unwrap().0, 40);
+        assert!(
+            rep.final_loss() < 0.5 * rep.initial_loss(),
+            "{} -> {}",
+            rep.initial_loss(),
+            rep.final_loss()
+        );
+        // The death and the ring reconfiguration are both on record.
+        assert_eq!(
+            events,
+            vec![
+                RunEvent {
+                    step: 5,
+                    kind: RunEventKind::RankDead { rank: 3 }
+                },
+                RunEvent {
+                    step: 5,
+                    kind: RunEventKind::RingShrink { from: 8, to: 7 }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn faulty_run_with_benign_plan_matches_plain_threaded_bitwise() {
+        let base = ThreadedConfig::new().workers(4).steps(30).lr(0.1).seed(12);
+        let plain = train_threaded(&task(), &MethodConfig::TopK { ratio: 0.3 }, &base).unwrap();
+        let (faulty, events) = train_threaded_faulty(
+            &task(),
+            &MethodConfig::TopK { ratio: 0.3 },
+            &base.clone().faulty(FaultPlan::new(7)),
+        )
+        .unwrap();
+        assert!(events.is_empty());
+        assert_eq!(plain.losses, faulty.losses, "benign plan must be a no-op");
     }
 
     #[test]

@@ -37,4 +37,17 @@ GCS_BENCH_SMOKE=1 GCS_FORCE_SCALAR=1 cargo run -q --release -p gcs-bench --bin d
 echo "==> bench smoke (pipeline)"
 GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin pipeline
 
+# Fault-injection suite under two fixed seeds (decimal; the suite reads
+# GCS_FAULT_SEED). Wrapped in `timeout` because the failure mode the fault
+# plane guards against is a hang — a wedged collective must fail CI fast,
+# not stall it.
+echo "==> fault suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test fault_injection
+
+echo "==> fault suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test fault_injection
+
+echo "==> bench smoke (straggler)"
+GCS_BENCH_SMOKE=1 timeout 300 cargo run -q --release -p gcs-bench --bin straggler
+
 echo "CI OK"
