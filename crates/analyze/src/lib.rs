@@ -1,0 +1,35 @@
+//! # gcs-analyze — static verification layer
+//!
+//! Two passes that turn the repo's correctness assumptions into
+//! machine-checked invariants before anything runs:
+//!
+//! **Pass 1 — schedule verifier** ([`verify`], [`schedules`], [`ir`]):
+//! every collective's communication schedule (ring all-reduce /
+//! all-gather, the segmented ring, Rabenseifner halving-doubling, the
+//! hierarchical node-leader reduce, binomial-tree broadcast, and the
+//! live-subset `*_among` variants) is lifted into an IR of per-rank
+//! `Send` / `Recv` ops by replaying the implementation's exact index
+//! arithmetic. The verifier then proves, for p ∈ {2..16} and every
+//! dead-rank subset of size ≤ 2: pairing completeness, no self-sends,
+//! byte conservation per step, deterministic reduction order (via
+//! symbolic per-element expression trees), and deadlock-freedom with
+//! bounded channel capacities (covering the CommEngine/PipelinedEngine
+//! `sync_channel` handshake).
+//!
+//! **Pass 2 — workspace lint** ([`lint`]): a dependency-free token-level
+//! Rust scanner enforcing that `unsafe` stays inside the SIMD allowlist
+//! and carries `// SAFETY:` comments, that data-plane code never
+//! panics where it should propagate `Result`s, that raw f32 accumulation
+//! loops route through `gcs_tensor::kernels`, and that panic-free crates
+//! declare `#![forbid(unsafe_code)]`.
+//!
+//! Both passes run in CI via `gradcomp analyze --all` and fail the build
+//! on violations; [`report`] renders `results/analyze_report.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod ir;
+pub mod lint;
+pub mod report;
+pub mod schedules;
+pub mod verify;

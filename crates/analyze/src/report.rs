@@ -1,0 +1,326 @@
+//! Pass orchestration and the machine-readable report.
+//!
+//! `run_schedule_pass` sweeps every schedule family over p ∈ {2..16},
+//! including every dead-rank subset of size ≤ 2 for the `*_among`
+//! collectives, and cross-validates the canonical-order deadlock check
+//! with exhaustive interleaving search on small configurations.
+//! `to_json` renders both passes into the `results/analyze_report.json`
+//! shape CI consumes.
+
+use crate::lint::LintReport;
+use crate::schedules;
+use crate::verify::{check_deadlock_exhaustive, verify_schedule};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Aggregated outcome of the schedule-verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulePassReport {
+    /// Configurations verified per family name.
+    pub configs_per_family: BTreeMap<String, usize>,
+    /// Total IR ops executed across all canonical-order simulations.
+    pub ops_executed: usize,
+    /// States visited by the exhaustive interleaving cross-checks.
+    pub exhaustive_states: usize,
+    /// `(schedule name, violation)` pairs.
+    pub violations: Vec<(String, String)>,
+}
+
+impl SchedulePassReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn configs_checked(&self) -> usize {
+        self.configs_per_family.values().sum()
+    }
+
+    fn record(&mut self, family: &str, result: crate::verify::VerifyResult) {
+        *self.configs_per_family.entry(family.to_string()).or_insert(0) += 1;
+        self.ops_executed += result.ops_executed;
+        for v in result.violations {
+            self.violations.push((result.schedule.clone(), v.to_string()));
+        }
+    }
+}
+
+/// Every live-member subset of `0..p` obtained by removing at most
+/// `max_dead` ranks (the fault model: ≤ 2 simultaneous deaths).
+/// Excludes the empty set.
+pub fn live_subsets(p: usize, max_dead: usize) -> Vec<Vec<usize>> {
+    let full: Vec<usize> = (0..p).collect();
+    let mut out = vec![full.clone()];
+    if max_dead >= 1 && p >= 2 {
+        for dead in 0..p {
+            out.push(full.iter().copied().filter(|&r| r != dead).collect());
+        }
+    }
+    if max_dead >= 2 && p >= 3 {
+        for d0 in 0..p {
+            for d1 in d0 + 1..p {
+                out.push(
+                    full.iter()
+                        .copied()
+                        .filter(|&r| r != d0 && r != d1)
+                        .collect(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The full static sweep: all schedule families, p ∈ {2..16}, dead-rank
+/// subsets of size ≤ 2 for the `*_among` variants, bounded-channel
+/// CommEngine handshakes, plus exhaustive interleaving cross-checks on
+/// configurations small enough to enumerate.
+pub fn run_schedule_pass() -> SchedulePassReport {
+    let mut rep = SchedulePassReport::default();
+    for p in 2..=16usize {
+        // Ring all-reduce: an awkward length (remainder chunks) and a
+        // length below p (empty chunks still travel as 0-byte frames).
+        for n in [4 * p + 3, p - 1] {
+            rep.record("ring-all-reduce", verify_schedule(&schedules::ring_all_reduce(p, n)));
+        }
+        // Segmented/staggered ring.
+        rep.record(
+            "chunked-ring",
+            verify_schedule(&schedules::chunked_ring_all_reduce(p, 4 * p + 3, 5)),
+        );
+        // Rabenseifner needs a power-of-two world.
+        if p.is_power_of_two() {
+            for n in [4 * p + 3, 7] {
+                rep.record("rabenseifner", verify_schedule(&schedules::rabenseifner(p, n)));
+            }
+        }
+        // Hierarchical with several node widths, including ragged last
+        // nodes and the every-rank-is-a-leader edge.
+        for g in [1usize, 2, 4] {
+            rep.record(
+                "hierarchical",
+                verify_schedule(&schedules::hierarchical(p, g, 2 * p + 1)),
+            );
+        }
+        // Binomial-tree broadcast from edge and middle roots.
+        let mut roots = vec![0, p - 1, p / 2];
+        roots.dedup();
+        for root in roots {
+            rep.record("broadcast", verify_schedule(&schedules::broadcast(p, root)));
+        }
+        // Live-subset collectives over every dead set of size ≤ 2.
+        for members in live_subsets(p, 2) {
+            let m = members.len();
+            rep.record(
+                "ring-all-reduce-among",
+                verify_schedule(&schedules::ring_all_reduce_among(p, &members, 4 * m + 3)),
+            );
+            rep.record(
+                "ring-all-gather-among",
+                verify_schedule(&schedules::ring_all_gather_among(p, &members)),
+            );
+        }
+    }
+    // CommEngine/PipelinedEngine handshake: bounded job channel of
+    // capacity `depth`, in-flight window of the same depth.
+    for p in [2usize, 4, 8] {
+        for depth in [1usize, 2, 3] {
+            for jobs in [1usize, 4] {
+                rep.record(
+                    "comm-engine",
+                    verify_schedule(&schedules::comm_engine_pipeline(p, depth, jobs, 5)),
+                );
+            }
+        }
+    }
+    // Exhaustive interleaving cross-checks (explicit-state DFS over all
+    // schedulings) on configurations small enough to enumerate — this
+    // validates the canonical-order argument rather than assuming it.
+    for sched in [
+        schedules::ring_all_reduce(2, 5),
+        schedules::ring_all_reduce(3, 4),
+        schedules::rabenseifner(4, 4),
+        schedules::broadcast(4, 1),
+        schedules::comm_engine_pipeline(2, 1, 2, 2),
+        schedules::comm_engine_pipeline(2, 2, 3, 1),
+    ] {
+        match check_deadlock_exhaustive(&sched, 2_000_000) {
+            Ok(states) => {
+                rep.exhaustive_states += states;
+                *rep
+                    .configs_per_family
+                    .entry("exhaustive-cross-check".into())
+                    .or_insert(0) += 1;
+            }
+            Err(v) => rep.violations.push((sched.name.clone(), v.to_string())),
+        }
+    }
+    rep
+}
+
+/// Render both passes as the `results/analyze_report.json` document.
+/// Either pass may be absent (the CLI can run them separately).
+pub fn to_json(
+    schedule: Option<&SchedulePassReport>,
+    lint: Option<&LintReport>,
+) -> Value {
+    let mut passes: Vec<(String, Value)> = Vec::new();
+    if let Some(s) = schedule {
+        let families: Vec<Value> = s
+            .configs_per_family
+            .iter()
+            .map(|(name, count)| json!({ "family": name, "configs": count }))
+            .collect();
+        let violations: Vec<Value> = s
+            .violations
+            .iter()
+            .map(|(sched, v)| json!({ "schedule": sched, "violation": v }))
+            .collect();
+        passes.push((
+            "schedule_verifier".to_string(),
+            json!({
+                "ok": s.ok(),
+                "configs_checked": s.configs_checked(),
+                "ops_executed": s.ops_executed,
+                "exhaustive_states": s.exhaustive_states,
+                "violation_count": s.violations.len(),
+                "families": families,
+                "violations": violations,
+            }),
+        ));
+    }
+    if let Some(l) = lint {
+        let violations: Vec<Value> = l
+            .violations
+            .iter()
+            .map(|v| {
+                json!({
+                    "file": v.file,
+                    "line": v.line,
+                    "rule": v.rule,
+                    "message": v.message,
+                })
+            })
+            .collect();
+        let allowed: Vec<Value> = l
+            .allowed
+            .iter()
+            .map(|v| json!({ "file": v.file, "line": v.line, "rule": v.rule }))
+            .collect();
+        passes.push((
+            "workspace_lint".to_string(),
+            json!({
+                "ok": l.ok(),
+                "files_scanned": l.files_scanned,
+                "violation_count": l.violations.len(),
+                "allowed_count": l.allowed.len(),
+                "violations": violations,
+                "allowed": allowed,
+            }),
+        ));
+    }
+    let ok = schedule.is_none_or(SchedulePassReport::ok)
+        && lint.is_none_or(LintReport::ok);
+    json!({
+        "tool": "gradcomp analyze",
+        "ok": ok,
+        "passes": Value::Object(passes),
+    })
+}
+
+/// Human-readable one-screen summary for CLI output.
+pub fn render_text(
+    schedule: Option<&SchedulePassReport>,
+    lint: Option<&LintReport>,
+) -> String {
+    let mut out = String::new();
+    if let Some(s) = schedule {
+        out.push_str(&format!(
+            "schedule verifier: {} configs, {} ops simulated, {} exhaustive states — {}\n",
+            s.configs_checked(),
+            s.ops_executed,
+            s.exhaustive_states,
+            if s.ok() { "OK" } else { "FAILED" }
+        ));
+        for (family, count) in &s.configs_per_family {
+            out.push_str(&format!("  {family}: {count} configs\n"));
+        }
+        for (sched, v) in &s.violations {
+            out.push_str(&format!("  VIOLATION [{sched}]: {v}\n"));
+        }
+    }
+    if let Some(l) = lint {
+        out.push_str(&format!(
+            "workspace lint: {} files — {}\n",
+            l.files_scanned,
+            if l.ok() { "OK" } else { "FAILED" }
+        ));
+        if !l.allowed.is_empty() {
+            out.push_str(&format!(
+                "  {} explicitly allowed site(s)\n",
+                l.allowed.len()
+            ));
+        }
+        for v in &l.violations {
+            out.push_str(&format!("  VIOLATION {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_subsets_counts() {
+        // p=4: full + 4 singles + 6 pairs = 11.
+        assert_eq!(live_subsets(4, 2).len(), 11);
+        // p=2: full + 2 singles (pairs would empty the ring).
+        assert_eq!(live_subsets(2, 2).len(), 3);
+        for s in live_subsets(5, 2) {
+            assert!(!s.is_empty());
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn full_sweep_is_clean() {
+        let rep = run_schedule_pass();
+        assert!(rep.ok(), "violations: {:?}", rep.violations);
+        // p ∈ 2..=16, every family present.
+        for family in [
+            "ring-all-reduce",
+            "chunked-ring",
+            "rabenseifner",
+            "hierarchical",
+            "broadcast",
+            "ring-all-reduce-among",
+            "ring-all-gather-among",
+            "comm-engine",
+            "exhaustive-cross-check",
+        ] {
+            assert!(
+                rep.configs_per_family.get(family).copied().unwrap_or(0) > 0,
+                "family {family} missing from sweep"
+            );
+        }
+        // Dead-rank subsets: Σ_{p=2..16} (1 + p + C(p,2)) configs each
+        // for reduce-among and gather-among.
+        let expected: usize = (2..=16usize)
+            .map(|p| 1 + p + if p >= 3 { p * (p - 1) / 2 } else { 0 })
+            .sum();
+        assert_eq!(rep.configs_per_family["ring-all-reduce-among"], expected);
+        assert_eq!(rep.configs_per_family["ring-all-gather-among"], expected);
+    }
+
+    #[test]
+    fn json_shape_has_both_passes() {
+        let sched = run_schedule_pass();
+        let lint = LintReport::default();
+        let v = to_json(Some(&sched), Some(&lint));
+        let s = serde_json::to_string_pretty(&v).unwrap();
+        assert!(s.contains("schedule_verifier"));
+        assert!(s.contains("workspace_lint"));
+        assert!(s.contains("\"ok\": true"));
+    }
+}

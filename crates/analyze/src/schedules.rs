@@ -1,0 +1,660 @@
+//! Schedule extractors: lift each collective in `gcs-cluster` into the
+//! IR by replaying its exact index arithmetic (neighbor selection, chunk
+//! boundaries, send/recv interleaving) without moving any bytes.
+//!
+//! Every function here mirrors one implementation — same loop structure,
+//! same modular arithmetic, same per-tick ordering — so a verified
+//! schedule is evidence about the real code path, not about an idealized
+//! textbook version. Divergences between an extractor and its
+//! implementation are themselves bugs; the property tests in
+//! `tests/verifier_props.rs` pin the extractors to the real collectives'
+//! traffic counters to keep the two from drifting apart.
+
+use crate::ir::{DataRef, Expectation, Op, Range, RecvAction, Schedule};
+
+/// `chunk_range` from `gcs-cluster::collectives`: `p` contiguous chunks
+/// of `len` elements whose sizes differ by at most one.
+pub fn chunk_range(len: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = len / p;
+    let rem = len % p;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    (start, start + size)
+}
+
+fn send_elems(s: &mut Schedule, from: usize, to: usize, lo: usize, hi: usize) {
+    s.push(
+        from,
+        Op::Send {
+            dst: to,
+            bytes: (hi - lo) * 4,
+            data: DataRef::Elems(Range::new(lo, hi)),
+        },
+    );
+}
+
+fn recv_elems(
+    s: &mut Schedule,
+    at: usize,
+    from: usize,
+    lo: usize,
+    hi: usize,
+    accumulate: bool,
+) {
+    let r = Range::new(lo, hi);
+    s.push(
+        at,
+        Op::Recv {
+            src: from,
+            bytes: (hi - lo) * 4,
+            action: if accumulate {
+                RecvAction::Accumulate(r)
+            } else {
+                RecvAction::Overwrite(r)
+            },
+        },
+    );
+}
+
+/// Ring all-reduce over `members` (actual process ids, strictly
+/// ascending), reducing `n` elements at `offset` into each member's
+/// buffer. Mirrors `WorkerHandle::all_reduce_sum` /
+/// `all_reduce_sum_among` — the two share their arithmetic (`pos = rank`,
+/// `m = p` in the full-membership case), which the cluster test
+/// `all_reduce_among_full_membership_is_bit_identical_to_plain` pins.
+fn push_ring_all_reduce_ops(s: &mut Schedule, members: &[usize], offset: usize, n: usize) {
+    let m = members.len();
+    if m <= 1 {
+        return;
+    }
+    for (pos, &rank) in members.iter().enumerate() {
+        let next = members[(pos + 1) % m];
+        let prev = members[(pos + m - 1) % m];
+        // Phase 1: reduce-scatter.
+        for step in 0..m - 1 {
+            let send_idx = (pos + m - step) % m;
+            let recv_idx = (pos + 2 * m - step - 1) % m;
+            let (ss, se) = chunk_range(n, m, send_idx);
+            send_elems(s, rank, next, offset + ss, offset + se);
+            let (rs, re) = chunk_range(n, m, recv_idx);
+            recv_elems(s, rank, prev, offset + rs, offset + re, true);
+        }
+        // Phase 2: all-gather of the reduced chunks.
+        for step in 0..m - 1 {
+            let send_idx = (pos + 1 + m - step) % m;
+            let recv_idx = (pos + m - step) % m;
+            let (ss, se) = chunk_range(n, m, send_idx);
+            send_elems(s, rank, next, offset + ss, offset + se);
+            let (rs, re) = chunk_range(n, m, recv_idx);
+            recv_elems(s, rank, prev, offset + rs, offset + re, false);
+        }
+    }
+}
+
+/// Full-membership ring all-reduce: `p` ranks, `n` elements.
+pub fn ring_all_reduce(p: usize, n: usize) -> Schedule {
+    let members: Vec<usize> = (0..p).collect();
+    ring_all_reduce_among(p, &members, n)
+}
+
+/// Shrunk-ring all-reduce among a live subset of a `p`-rank world.
+/// Non-members get empty programs (dead ranks are simply not on the
+/// ring).
+pub fn ring_all_reduce_among(p: usize, members: &[usize], n: usize) -> Schedule {
+    let mut s = Schedule::new(
+        format!("ring-all-reduce p={p} members={members:?} n={n}"),
+        p,
+        n,
+    );
+    push_ring_all_reduce_ops(&mut s, members, 0, n);
+    s.expect = Expectation::ReducedVector {
+        ranks: members.to_vec(),
+        contributors: members.to_vec(),
+        bitwise: true,
+    };
+    s
+}
+
+/// Segmented ring all-reduce with staggered segments — mirrors
+/// `WorkerHandle::ring_all_reduce_chunked` including the per-tick
+/// send-phase/recv-phase split that keeps per-peer FIFO order aligned
+/// with step order.
+pub fn chunked_ring_all_reduce(p: usize, n: usize, chunk_elems: usize) -> Schedule {
+    assert!(chunk_elems > 0, "extractor mirrors the validated path");
+    let mut s = Schedule::new(
+        format!("chunked-ring p={p} n={n} chunk={chunk_elems}"),
+        p,
+        n,
+    );
+    s.expect = Expectation::ReducedVector {
+        ranks: (0..p).collect(),
+        contributors: (0..p).collect(),
+        bitwise: true,
+    };
+    if p == 1 || n == 0 {
+        return s;
+    }
+    let segments = n.div_ceil(chunk_elems);
+    if segments == 1 {
+        return ring_all_reduce(p, n);
+    }
+    let steps = 2 * (p - 1);
+    let seg_range = |g: usize| (g * chunk_elems, ((g + 1) * chunk_elems).min(n));
+    for rank in 0..p {
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        for t in 0..steps + segments - 1 {
+            // Send phase of tick t: segment g runs ring step s = t - g.
+            for g in 0..segments {
+                let Some(step) = t.checked_sub(g) else { break };
+                if step >= steps {
+                    continue;
+                }
+                let (lo, hi) = seg_range(g);
+                let slen = hi - lo;
+                let send_idx = if step < p - 1 {
+                    (rank + p - step) % p
+                } else {
+                    (rank + 1 + p - (step - (p - 1))) % p
+                };
+                let (ss, se) = chunk_range(slen, p, send_idx);
+                send_elems(&mut s, rank, next, lo + ss, lo + se);
+            }
+            // Recv phase of tick t.
+            for g in 0..segments {
+                let Some(step) = t.checked_sub(g) else { break };
+                if step >= steps {
+                    continue;
+                }
+                let (lo, hi) = seg_range(g);
+                let slen = hi - lo;
+                if step < p - 1 {
+                    let recv_idx = (rank + 2 * p - step - 1) % p;
+                    let (rs, re) = chunk_range(slen, p, recv_idx);
+                    recv_elems(&mut s, rank, prev, lo + rs, lo + re, true);
+                } else {
+                    let s2 = step - (p - 1);
+                    let recv_idx = (rank + p - s2) % p;
+                    let (rs, re) = chunk_range(slen, p, recv_idx);
+                    recv_elems(&mut s, rank, prev, lo + rs, lo + re, false);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Recursive halving-doubling all-reduce — mirrors
+/// `WorkerHandle::rabenseifner_all_reduce_sum`. `p` must be a power of
+/// two (the implementation rejects anything else).
+pub fn rabenseifner(p: usize, n: usize) -> Schedule {
+    assert!(p.is_power_of_two(), "extractor mirrors the validated path");
+    let mut s = Schedule::new(format!("rabenseifner p={p} n={n}"), p, n);
+    s.expect = Expectation::ReducedVector {
+        ranks: (0..p).collect(),
+        contributors: (0..p).collect(),
+        bitwise: true,
+    };
+    if p == 1 {
+        return s;
+    }
+    for rank in 0..p {
+        let mut lo = 0usize;
+        let mut hi = n;
+        let mut handed_away: Vec<(usize, usize)> = Vec::new();
+        // Phase 1: recursive halving reduce-scatter.
+        let mut mask = p / 2;
+        while mask >= 1 {
+            let partner = rank ^ mask;
+            let mid = lo + (hi - lo) / 2;
+            let keep_low = rank & mask == 0;
+            let (send_range, keep_range) = if keep_low {
+                ((mid, hi), (lo, mid))
+            } else {
+                ((lo, mid), (mid, hi))
+            };
+            send_elems(&mut s, rank, partner, send_range.0, send_range.1);
+            recv_elems(&mut s, rank, partner, keep_range.0, keep_range.1, true);
+            handed_away.push(send_range);
+            lo = keep_range.0;
+            hi = keep_range.1;
+            mask /= 2;
+        }
+        // Phase 2: recursive doubling all-gather, replaying hand-offs in
+        // reverse.
+        let mut mask = 1usize;
+        while mask < p {
+            let partner = rank ^ mask;
+            send_elems(&mut s, rank, partner, lo, hi);
+            let Some((plo, phi)) = handed_away.pop() else {
+                break; // impossible for power-of-two p; keeps extractor total
+            };
+            recv_elems(&mut s, rank, partner, plo, phi, false);
+            lo = lo.min(plo);
+            hi = hi.max(phi);
+            mask *= 2;
+        }
+    }
+    s
+}
+
+/// Hierarchical (node-leader) all-reduce — mirrors
+/// `WorkerHandle::hierarchical_all_reduce_sum`. Sum-complete on every
+/// rank but *not* bit-deterministic across nodes: each leader folds the
+/// ring frames in its own arrival order, which is exactly what the
+/// implementation documents ("addition reordering aside").
+pub fn hierarchical(p: usize, gpus_per_node: usize, n: usize) -> Schedule {
+    assert!(gpus_per_node > 0, "extractor mirrors the validated path");
+    let mut s = Schedule::new(
+        format!("hierarchical p={p} g={gpus_per_node} n={n}"),
+        p,
+        n,
+    );
+    s.expect = Expectation::ReducedVector {
+        ranks: (0..p).collect(),
+        contributors: (0..p).collect(),
+        bitwise: false,
+    };
+    if p == 1 {
+        return s;
+    }
+    let nodes = p.div_ceil(gpus_per_node);
+    for rank in 0..p {
+        let node = rank / gpus_per_node;
+        let leader = node * gpus_per_node;
+        let node_end = (leader + gpus_per_node).min(p);
+        let is_leader = rank == leader;
+
+        // Phase 1: node members reduce to the leader.
+        if is_leader {
+            for peer in leader + 1..node_end {
+                recv_elems(&mut s, rank, peer, 0, n, true);
+            }
+        } else {
+            send_elems(&mut s, rank, leader, 0, n);
+        }
+
+        // Phase 2: leader ring — pass-and-add of the full vector. The
+        // first send snapshots the node-reduced buffer; every later send
+        // forwards the frame received in the previous step (zero-copy in
+        // the implementation, `LastRecv` here).
+        if is_leader && nodes > 1 {
+            let next_leader = ((node + 1) % nodes) * gpus_per_node;
+            let prev_leader = ((node + nodes - 1) % nodes) * gpus_per_node;
+            for step in 0..nodes - 1 {
+                if step == 0 {
+                    send_elems(&mut s, rank, next_leader, 0, n);
+                } else {
+                    s.push(
+                        rank,
+                        Op::Send {
+                            dst: next_leader,
+                            bytes: n * 4,
+                            data: DataRef::LastRecv { src: prev_leader },
+                        },
+                    );
+                }
+                recv_elems(&mut s, rank, prev_leader, 0, n, true);
+            }
+        }
+
+        // Phase 3: leader broadcasts the node's result.
+        if is_leader {
+            for peer in leader + 1..node_end {
+                send_elems(&mut s, rank, peer, 0, n);
+            }
+        } else {
+            recv_elems(&mut s, rank, leader, 0, n, false);
+        }
+    }
+    s
+}
+
+/// Per-origin blob size used by the gather/broadcast extractors: distinct
+/// sizes per origin make the byte-pairing check sensitive to *which*
+/// frame the index arithmetic routes where, not just how many.
+pub fn blob_bytes(origin: usize) -> usize {
+    16 + 8 * origin
+}
+
+/// Ring all-gather over `members` — mirrors
+/// `WorkerHandle::all_gather_bytes` / `all_gather_bytes_among`: each
+/// blob traverses the ring by zero-copy forwarding, and the receiver
+/// attributes step-`s` arrivals to origin position `(pos + 2m - s - 1) % m`.
+pub fn ring_all_gather_among(p: usize, members: &[usize]) -> Schedule {
+    let mut s = Schedule::new(
+        format!("ring-all-gather p={p} members={members:?}"),
+        p,
+        0,
+    );
+    s.expect = Expectation::GatheredBlobs {
+        ranks: members.to_vec(),
+        origins: members.to_vec(),
+    };
+    let m = members.len();
+    if m <= 1 {
+        return s;
+    }
+    for (pos, &rank) in members.iter().enumerate() {
+        let next = members[(pos + 1) % m];
+        let prev = members[(pos + m - 1) % m];
+        for step in 0..m - 1 {
+            // Step 0 sends our own blob; later steps forward the frame
+            // just received. Either way the sender can compute the
+            // origin, so the byte count (origin-dependent) is exact.
+            let sent_origin_pos = (pos + 2 * m - step) % m; // == pos at step 0
+            let sent_origin = members[sent_origin_pos % m];
+            let data = if step == 0 {
+                DataRef::Blob { origin: rank }
+            } else {
+                DataRef::LastRecv { src: prev }
+            };
+            s.push(
+                rank,
+                Op::Send {
+                    dst: next,
+                    bytes: blob_bytes(sent_origin),
+                    data,
+                },
+            );
+            let origin = members[(pos + 2 * m - step - 1) % m];
+            s.push(
+                rank,
+                Op::Recv {
+                    src: prev,
+                    bytes: blob_bytes(origin),
+                    action: RecvAction::StoreBlob { origin },
+                },
+            );
+        }
+    }
+    s
+}
+
+/// Full-membership ring all-gather.
+pub fn ring_all_gather(p: usize) -> Schedule {
+    let members: Vec<usize> = (0..p).collect();
+    ring_all_gather_among(p, &members)
+}
+
+/// Binomial-tree broadcast from `root` — mirrors
+/// `WorkerHandle::broadcast`: virtual ranks rotate `root` to 0, and in
+/// the round with mask `2^k` every holder `vrank < mask` feeds
+/// `vrank + mask`.
+pub fn broadcast(p: usize, root: usize) -> Schedule {
+    assert!(root < p, "extractor mirrors the validated path");
+    let mut s = Schedule::new(format!("broadcast p={p} root={root}"), p, 0);
+    s.expect = Expectation::BroadcastBlob {
+        root,
+        ranks: (0..p).collect(),
+    };
+    let bytes = blob_bytes(root);
+    for rank in 0..p {
+        let vrank = (rank + p - root) % p;
+        let mut have = vrank == 0;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank < mask {
+                let dst_v = vrank + mask;
+                if dst_v < p {
+                    let dst = (dst_v + root) % p;
+                    s.push(
+                        rank,
+                        Op::Send {
+                            dst,
+                            bytes,
+                            data: DataRef::Blob { origin: root },
+                        },
+                    );
+                }
+            } else if vrank < 2 * mask && !have {
+                let src_v = vrank - mask;
+                let src = (src_v + root) % p;
+                s.push(
+                    rank,
+                    Op::Recv {
+                        src,
+                        bytes,
+                        action: RecvAction::StoreBlob { origin: root },
+                    },
+                );
+                have = true;
+            }
+            mask <<= 1;
+        }
+    }
+    s
+}
+
+/// The CommEngine / PipelinedEngine handshake: `p` producer processes
+/// (ids `0..p`) each drive a comm thread (ids `p..2p`) over a bounded
+/// job channel of capacity `depth` (`mpsc::sync_channel(queue_depth)` in
+/// `CommEngine::spawn`), with at most `depth` jobs in flight before the
+/// producer blocks on a completion reply — the `PipelinedEngine`
+/// admission rule. Each job runs a full ring all-reduce among the comm
+/// threads over its own `n`-element segment.
+///
+/// This is the schedule where bounded capacities matter: model the job
+/// channel as unbounded and a submit-overrun deadlock becomes invisible.
+pub fn comm_engine_pipeline(p: usize, depth: usize, jobs: usize, n: usize) -> Schedule {
+    assert!(depth > 0, "sync_channel(0) rendezvous is not used by CommEngine");
+    let nprocs = 2 * p;
+    let mut s = Schedule::new(
+        format!("comm-engine p={p} depth={depth} jobs={jobs} n={n}"),
+        nprocs,
+        jobs * n,
+    );
+    let comm_ids: Vec<usize> = (p..2 * p).collect();
+    s.expect = Expectation::ReducedVector {
+        ranks: comm_ids.clone(),
+        contributors: comm_ids.clone(),
+        bitwise: true,
+    };
+    // Tiny control frames; sizes are arbitrary but fixed.
+    let job_bytes = 8;
+    let reply_bytes = 8;
+    for r in 0..p {
+        let comm = p + r;
+        s.channel_caps.insert((r, comm), depth);
+        // Producer: submit with the PipelinedEngine window rule.
+        let mut inflight = 0usize;
+        for _ in 0..jobs {
+            if inflight == depth {
+                s.push(
+                    r,
+                    Op::Recv {
+                        src: comm,
+                        bytes: reply_bytes,
+                        action: RecvAction::Discard,
+                    },
+                );
+                inflight -= 1;
+            }
+            s.push(
+                r,
+                Op::Send {
+                    dst: comm,
+                    bytes: job_bytes,
+                    data: DataRef::Opaque,
+                },
+            );
+            inflight += 1;
+        }
+        for _ in 0..inflight {
+            s.push(
+                r,
+                Op::Recv {
+                    src: comm,
+                    bytes: reply_bytes,
+                    action: RecvAction::Discard,
+                },
+            );
+        }
+    }
+    // Comm threads: pop a job, run its collective, post the reply. The
+    // collective ops for job k are interleaved per comm thread by
+    // generating them job-segment at a time.
+    for k in 0..jobs {
+        for r in 0..p {
+            let comm = p + r;
+            s.push(
+                comm,
+                Op::Recv {
+                    src: r,
+                    bytes: job_bytes,
+                    action: RecvAction::Discard,
+                },
+            );
+        }
+        push_ring_all_reduce_ops(&mut s, &comm_ids, k * n, n);
+        for r in 0..p {
+            let comm = p + r;
+            s.push(
+                comm,
+                Op::Send {
+                    dst: r,
+                    bytes: reply_bytes,
+                    data: DataRef::Opaque,
+                },
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_deadlock_exhaustive, verify_schedule};
+
+    #[test]
+    fn chunk_range_partitions() {
+        for len in [0usize, 1, 7, 67, 100] {
+            for p in [1usize, 2, 5, 16] {
+                let mut covered = 0;
+                for i in 0..p {
+                    let (s, e) = chunk_range(len, p, i);
+                    assert_eq!(s, covered);
+                    covered = e;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_verifies_small() {
+        for p in [2usize, 3, 5, 8] {
+            for n in [1usize, 7, 4 * p + 3, p.saturating_sub(1)] {
+                let s = ring_all_reduce(p, n);
+                let r = verify_schedule(&s);
+                assert!(r.ok(), "p={p} n={n}: {:?}", r.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_byte_totals_match_formula() {
+        // Per-rank send traffic when p | n: 2(p-1) chunks of n/p f32s.
+        let (p, n) = (8usize, 64usize);
+        let s = ring_all_reduce(p, n);
+        for rank in 0..p {
+            assert_eq!(s.sent_bytes(rank), 2 * (p - 1) * (n / p) * 4);
+        }
+    }
+
+    #[test]
+    fn chunked_matches_ring_per_segment() {
+        let s = chunked_ring_all_reduce(4, 37, 8);
+        let r = verify_schedule(&s);
+        assert!(r.ok(), "{:?}", r.violations);
+        // Same total bytes as per-segment plain rings.
+        let mut per_segment = 0usize;
+        let mut start = 0;
+        while start < 37 {
+            let end = (start + 8).min(37);
+            per_segment += ring_all_reduce(4, end - start).sent_bytes(0);
+            start = end;
+        }
+        assert_eq!(s.sent_bytes(0), per_segment);
+    }
+
+    #[test]
+    fn rabenseifner_verifies_and_exhaustive_agrees() {
+        for p in [2usize, 4, 8] {
+            for n in [1usize, 7, 33] {
+                let s = rabenseifner(p, n);
+                let r = verify_schedule(&s);
+                assert!(r.ok(), "p={p} n={n}: {:?}", r.violations);
+            }
+        }
+        check_deadlock_exhaustive(&rabenseifner(4, 8), 500_000).expect("no deadlock");
+    }
+
+    #[test]
+    fn hierarchical_verifies_including_ragged_nodes() {
+        for (p, g) in [(8usize, 4usize), (6, 2), (5, 4), (4, 4), (3, 1), (7, 3)] {
+            let s = hierarchical(p, g, 6);
+            let r = verify_schedule(&s);
+            assert!(r.ok(), "p={p} g={g}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn gather_and_broadcast_verify() {
+        for p in 2..=6 {
+            let r = verify_schedule(&ring_all_gather(p));
+            assert!(r.ok(), "gather p={p}: {:?}", r.violations);
+            for root in 0..p {
+                let r = verify_schedule(&broadcast(p, root));
+                assert!(r.ok(), "bcast p={p} root={root}: {:?}", r.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn among_subsets_verify() {
+        let s = ring_all_reduce_among(5, &[0, 2, 3], 7);
+        let r = verify_schedule(&s);
+        assert!(r.ok(), "{:?}", r.violations);
+        let s = ring_all_gather_among(5, &[1, 4]);
+        let r = verify_schedule(&s);
+        assert!(r.ok(), "{:?}", r.violations);
+        // Single survivor: empty program, trivially complete.
+        let s = ring_all_reduce_among(4, &[2], 5);
+        assert!(verify_schedule(&s).ok());
+    }
+
+    #[test]
+    fn comm_engine_handshake_verifies_and_needs_the_bound() {
+        for depth in [1usize, 2, 3] {
+            for jobs in [1usize, 4] {
+                let s = comm_engine_pipeline(4, depth, jobs, 5);
+                let r = verify_schedule(&s);
+                assert!(r.ok(), "depth={depth} jobs={jobs}: {:?}", r.violations);
+            }
+        }
+        // Cross-validate the canonical-order argument on a small config.
+        check_deadlock_exhaustive(&comm_engine_pipeline(2, 1, 2, 1), 500_000)
+            .expect("no deadlock");
+        // A producer that ignores the admission window deadlocks against
+        // the bounded job channel: submit all jobs up front with no reply
+        // recvs interleaved, while the comm thread blocks on a bounded
+        // reply channel after the second job — producer waits on the full
+        // job queue, comm thread waits on the full reply queue.
+        let mut bad = comm_engine_pipeline(2, 1, 4, 1);
+        // Rebuild producer 0's program as blind sends followed by recvs.
+        let prog = &mut bad.processes[0].ops;
+        prog.sort_by_key(|op| matches!(op, Op::Recv { .. }));
+        // Also bound the reply channel so the comm thread can block.
+        bad.channel_caps.insert((2, 0), 1);
+        let r = verify_schedule(&bad);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, crate::verify::Violation::Deadlock { .. })),
+            "expected overrun deadlock: {:?}",
+            r.violations
+        );
+    }
+}

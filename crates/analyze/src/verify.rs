@@ -1,0 +1,886 @@
+//! Schedule verifier / model checker.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. **Static structural checks** — no self-sends; per-channel pairing
+//!    (the k-th send on a directed channel must meet a k-th recv with the
+//!    same byte count — FIFO channels with a single writer and a single
+//!    reader make program order the channel order, so this is exact, not
+//!    an approximation).
+//! 2. **Canonical-order execution** — run the schedule to completion
+//!    under one deterministic scheduler, tracking symbolic per-element
+//!    expression trees. Quiescence before completion is a deadlock; the
+//!    blocked-op wait-for graph is reported with its cycle. On normal
+//!    completion the final symbolic state is checked against the
+//!    schedule's [`Expectation`].
+//! 3. **Exhaustive interleaving search** (`check_deadlock_exhaustive`) —
+//!    explicit-state DFS over *all* schedulings, for cross-validating
+//!    layer 2 on small configurations.
+//!
+//! Why one canonical order suffices for deadlock-freedom: every channel
+//! here is point-to-point FIFO with exactly one writer and one reader,
+//! every `Recv` names its source (there is no `select`), and each process
+//! is deterministic and sequential. That makes the system a Kahn process
+//! network: any two enabled transitions commute, so executing one never
+//! disables the other, and every maximal execution reaches the same final
+//! state — including whether that state is "all programs finished". A
+//! singleton persistent set (pick any enabled transition) is therefore a
+//! sound partial-order reduction, and deadlock is scheduler-independent.
+//! The bounded-channel capacities are part of the transition relation
+//! (a full channel disables the send), so the argument covers the
+//! `sync_channel` handshake models too. `check_deadlock_exhaustive`
+//! exists to validate this argument empirically rather than trust it.
+
+use crate::ir::{DataRef, Expectation, Expr, Op, RecvAction, Schedule};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// A verification failure, with enough context to act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    SelfSend {
+        process: usize,
+        op_index: usize,
+    },
+    /// Send/recv counts on a directed channel don't agree.
+    PairingMismatch {
+        src: usize,
+        dst: usize,
+        sends: usize,
+        recvs: usize,
+    },
+    /// The k-th message on a channel has different sizes at the two ends.
+    ByteMismatch {
+        src: usize,
+        dst: usize,
+        seq: usize,
+        send_bytes: usize,
+        recv_bytes: usize,
+    },
+    Deadlock {
+        /// Wait-for cycle as process indices (first == last omitted).
+        cycle: Vec<usize>,
+        detail: String,
+    },
+    /// Symbolic execution hit an inconsistency (payload kind/length
+    /// mismatch, forwarding before receiving, blob misattribution, ...).
+    DataFlow {
+        process: usize,
+        detail: String,
+    },
+    /// The schedule ran to completion but the final state breaks the
+    /// schedule's claim.
+    ExpectationFailed {
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SelfSend { process, op_index } => {
+                write!(f, "process {process} op {op_index}: send to self")
+            }
+            Violation::PairingMismatch {
+                src,
+                dst,
+                sends,
+                recvs,
+            } => write!(
+                f,
+                "channel {src}->{dst}: {sends} send(s) but {recvs} recv(s)"
+            ),
+            Violation::ByteMismatch {
+                src,
+                dst,
+                seq,
+                send_bytes,
+                recv_bytes,
+            } => write!(
+                f,
+                "channel {src}->{dst} message {seq}: sender puts {send_bytes} B, receiver expects {recv_bytes} B"
+            ),
+            Violation::Deadlock { cycle, detail } => {
+                write!(f, "deadlock: wait-for cycle {cycle:?}; {detail}")
+            }
+            Violation::DataFlow { process, detail } => {
+                write!(f, "data-flow at process {process}: {detail}")
+            }
+            Violation::ExpectationFailed { detail } => {
+                write!(f, "expectation failed: {detail}")
+            }
+        }
+    }
+}
+
+/// Outcome of verifying one schedule.
+#[derive(Debug, Clone)]
+pub struct VerifyResult {
+    pub schedule: String,
+    pub violations: Vec<Violation>,
+    /// Ops executed by the canonical-order simulation (0 if it never ran
+    /// because static checks already failed hard).
+    pub ops_executed: usize,
+}
+
+impl VerifyResult {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run every check on a schedule.
+pub fn verify_schedule(s: &Schedule) -> VerifyResult {
+    let mut violations = static_checks(s);
+    // Static pairing failures guarantee the simulation deadlocks or
+    // leaves queued messages; still run it — the wait-for cycle it
+    // reports is usually the more actionable diagnostic.
+    let (mut sim_violations, ops_executed) = simulate(s);
+    violations.append(&mut sim_violations);
+    VerifyResult {
+        schedule: s.name.clone(),
+        violations,
+        ops_executed,
+    }
+}
+
+/// Layer 1: structural checks that need no execution.
+pub fn static_checks(s: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Self-sends.
+    for (pid, proc_) in s.processes.iter().enumerate() {
+        for (i, op) in proc_.ops.iter().enumerate() {
+            if let Op::Send { dst, .. } = op {
+                if *dst == pid {
+                    out.push(Violation::SelfSend {
+                        process: pid,
+                        op_index: i,
+                    });
+                }
+            }
+        }
+    }
+    // Pairing: per directed channel, ordered byte lists at both ends.
+    let mut sends: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut recvs: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (pid, proc_) in s.processes.iter().enumerate() {
+        for op in &proc_.ops {
+            match op {
+                Op::Send { dst, bytes, .. } => {
+                    sends.entry((pid, *dst)).or_default().push(*bytes)
+                }
+                Op::Recv { src, bytes, .. } => {
+                    recvs.entry((*src, pid)).or_default().push(*bytes)
+                }
+            }
+        }
+    }
+    let mut channels: Vec<(usize, usize)> =
+        sends.keys().chain(recvs.keys()).copied().collect();
+    channels.sort_unstable();
+    channels.dedup();
+    for ch in channels {
+        let empty = Vec::new();
+        let tx = sends.get(&ch).unwrap_or(&empty);
+        let rx = recvs.get(&ch).unwrap_or(&empty);
+        if tx.len() != rx.len() {
+            out.push(Violation::PairingMismatch {
+                src: ch.0,
+                dst: ch.1,
+                sends: tx.len(),
+                recvs: rx.len(),
+            });
+        }
+        for (seq, (sb, rb)) in tx.iter().zip(rx.iter()).enumerate() {
+            if sb != rb {
+                out.push(Violation::ByteMismatch {
+                    src: ch.0,
+                    dst: ch.1,
+                    seq,
+                    send_bytes: *sb,
+                    recv_bytes: *rb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Symbolic message payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Payload {
+    Elems(Vec<Rc<Expr>>),
+    Blob(usize),
+    Opaque,
+}
+
+struct ProcState {
+    vec: Vec<Rc<Expr>>,
+    blobs: HashSet<usize>,
+    last_recv: HashMap<usize, Payload>,
+}
+
+/// Layer 2: canonical-order execution with symbolic data flow.
+///
+/// Returns the violations found plus the number of ops executed.
+fn simulate(s: &Schedule) -> (Vec<Violation>, usize) {
+    let n = s.processes.len();
+    let mut pcs = vec![0usize; n];
+    let mut queues: HashMap<(usize, usize), VecDeque<Payload>> = HashMap::new();
+    let mut states: Vec<ProcState> = (0..n)
+        .map(|pid| ProcState {
+            vec: (0..s.elems).map(|_| Expr::leaf(pid)).collect(),
+            blobs: HashSet::from([pid]),
+            last_recv: HashMap::new(),
+        })
+        .collect();
+    let mut executed = 0usize;
+
+    loop {
+        let Some(pid) = next_enabled(s, &pcs, &queues) else {
+            break;
+        };
+        let op = &s.processes[pid].ops[pcs[pid]];
+        match op {
+            Op::Send { dst, bytes, data } => {
+                let payload = match build_payload(pid, data, &states[pid]) {
+                    Ok(p) => p,
+                    Err(detail) => {
+                        return (
+                            vec![Violation::DataFlow {
+                                process: pid,
+                                detail,
+                            }],
+                            executed,
+                        );
+                    }
+                };
+                // Byte conservation ties the declared frame size to the
+                // symbolic payload it carries.
+                if let Payload::Elems(ref es) = payload {
+                    if es.len() * 4 != *bytes {
+                        return (
+                            vec![Violation::DataFlow {
+                                process: pid,
+                                detail: format!(
+                                    "op {}: declares {bytes} B but carries {} f32 elems",
+                                    pcs[pid],
+                                    es.len()
+                                ),
+                            }],
+                            executed,
+                        );
+                    }
+                }
+                queues.entry((pid, *dst)).or_default().push_back(payload);
+            }
+            Op::Recv { src, action, .. } => {
+                let Some(payload) =
+                    queues.get_mut(&(*src, pid)).and_then(|q| q.pop_front())
+                else {
+                    // next_enabled guarantees non-empty; defensive.
+                    break;
+                };
+                if let Err(detail) = apply_recv(action, &payload, &mut states[pid]) {
+                    return (
+                        vec![Violation::DataFlow {
+                            process: pid,
+                            detail: format!("op {}: {detail}", pcs[pid]),
+                        }],
+                        executed,
+                    );
+                }
+                states[pid].last_recv.insert(*src, payload);
+            }
+        }
+        pcs[pid] += 1;
+        executed += 1;
+    }
+
+    let all_done = pcs
+        .iter()
+        .enumerate()
+        .all(|(pid, &pc)| pc == s.processes[pid].ops.len());
+    if !all_done {
+        return (vec![deadlock_report(s, &pcs, &queues)], executed);
+    }
+    // Messages left in queues were sent and never received — static
+    // pairing already flags this, so don't duplicate the report here.
+    let mut violations = Vec::new();
+    if queues.values().all(|q| q.is_empty()) {
+        check_expectation(s, &states, &mut violations);
+    }
+    (violations, executed)
+}
+
+/// Lowest-index enabled process, or `None` on quiescence. Any choice
+/// rule is sound here (see module docs); lowest-index keeps runs
+/// reproducible.
+fn next_enabled(
+    s: &Schedule,
+    pcs: &[usize],
+    queues: &HashMap<(usize, usize), VecDeque<Payload>>,
+) -> Option<usize> {
+    (0..s.processes.len()).find(|&pid| op_enabled(s, pcs, queues, pid))
+}
+
+fn op_enabled(
+    s: &Schedule,
+    pcs: &[usize],
+    queues: &HashMap<(usize, usize), VecDeque<Payload>>,
+    pid: usize,
+) -> bool {
+    let Some(op) = s.processes[pid].ops.get(pcs[pid]) else {
+        return false;
+    };
+    match op {
+        Op::Send { dst, .. } => match s.channel_caps.get(&(pid, *dst)) {
+            Some(cap) => queues.get(&(pid, *dst)).map_or(0, |q| q.len()) < *cap,
+            None => true,
+        },
+        Op::Recv { src, .. } => {
+            queues.get(&(*src, pid)).is_some_and(|q| !q.is_empty())
+        }
+    }
+}
+
+fn build_payload(
+    pid: usize,
+    data: &DataRef,
+    st: &ProcState,
+) -> Result<Payload, String> {
+    match data {
+        DataRef::Elems(r) => {
+            if r.hi > st.vec.len() {
+                return Err(format!(
+                    "send range {}..{} exceeds buffer of {} elems",
+                    r.lo,
+                    r.hi,
+                    st.vec.len()
+                ));
+            }
+            Ok(Payload::Elems(st.vec[r.lo..r.hi].to_vec()))
+        }
+        DataRef::LastRecv { src } => st
+            .last_recv
+            .get(src)
+            .cloned()
+            .ok_or_else(|| format!("forwards frame from {src} before receiving one")),
+        DataRef::Blob { origin } => {
+            if *origin != pid && !st.blobs.contains(origin) {
+                return Err(format!("sends blob of origin {origin} without holding it"));
+            }
+            Ok(Payload::Blob(*origin))
+        }
+        DataRef::Opaque => Ok(Payload::Opaque),
+    }
+}
+
+fn apply_recv(
+    action: &RecvAction,
+    payload: &Payload,
+    st: &mut ProcState,
+) -> Result<(), String> {
+    match action {
+        RecvAction::Accumulate(r) | RecvAction::Overwrite(r) => {
+            let Payload::Elems(incoming) = payload else {
+                return Err(format!("expected element payload, got {payload:?}"));
+            };
+            if incoming.len() != r.len() {
+                return Err(format!(
+                    "range {}..{} wants {} elems, payload has {}",
+                    r.lo,
+                    r.hi,
+                    r.len(),
+                    incoming.len()
+                ));
+            }
+            if r.hi > st.vec.len() {
+                return Err(format!(
+                    "recv range {}..{} exceeds buffer of {} elems",
+                    r.lo,
+                    r.hi,
+                    st.vec.len()
+                ));
+            }
+            for (k, inc) in incoming.iter().enumerate() {
+                st.vec[r.lo + k] = if matches!(action, RecvAction::Accumulate(_)) {
+                    Expr::add(st.vec[r.lo + k].clone(), inc.clone())
+                } else {
+                    inc.clone()
+                };
+            }
+            Ok(())
+        }
+        RecvAction::StoreBlob { origin } => {
+            let Payload::Blob(actual) = payload else {
+                return Err(format!("expected blob payload, got {payload:?}"));
+            };
+            if actual != origin {
+                return Err(format!(
+                    "receiver's index arithmetic says blob origin {origin}, wire says {actual}"
+                ));
+            }
+            st.blobs.insert(*actual);
+            Ok(())
+        }
+        RecvAction::Discard => Ok(()),
+    }
+}
+
+/// Build the wait-for graph over blocked processes and report its cycle
+/// (or, for a non-cyclic hang, what each blocked process waits on).
+fn deadlock_report(
+    s: &Schedule,
+    pcs: &[usize],
+    queues: &HashMap<(usize, usize), VecDeque<Payload>>,
+) -> Violation {
+    let n = s.processes.len();
+    // waits_on[pid] = the process whose progress would unblock pid.
+    let mut waits_on: HashMap<usize, usize> = HashMap::new();
+    let mut details = Vec::new();
+    for pid in 0..n {
+        let Some(op) = s.processes[pid].ops.get(pcs[pid]) else {
+            continue; // finished
+        };
+        match op {
+            Op::Send { dst, .. } => {
+                // Blocked send: channel at capacity, only the receiver
+                // draining it helps.
+                waits_on.insert(pid, *dst);
+                details.push(format!(
+                    "{} blocked sending to {} (channel full, cap {})",
+                    s.processes[pid].name,
+                    s.processes[*dst].name,
+                    s.channel_caps
+                        .get(&(pid, *dst))
+                        .map_or("∞".to_string(), |c| c.to_string()),
+                ));
+            }
+            Op::Recv { src, .. } => {
+                waits_on.insert(pid, *src);
+                let queued = queues.get(&(*src, pid)).map_or(0, |q| q.len());
+                details.push(format!(
+                    "{} blocked receiving from {} ({} queued)",
+                    s.processes[pid].name, s.processes[*src].name, queued
+                ));
+            }
+        }
+    }
+    // Walk successor pointers from any blocked node; in a finite graph
+    // where some nodes have out-degree ≤ 1 we either fall off (waiting on
+    // a finished process — starvation, not a cycle) or loop.
+    let mut cycle = Vec::new();
+    if let Some(&start) = waits_on.keys().min() {
+        let mut seen_at: HashMap<usize, usize> = HashMap::new();
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            if let Some(&i) = seen_at.get(&cur) {
+                cycle = path[i..].to_vec();
+                break;
+            }
+            seen_at.insert(cur, path.len());
+            path.push(cur);
+            match waits_on.get(&cur) {
+                Some(&nxt) => cur = nxt,
+                None => break, // waiting on a finished process
+            }
+        }
+    }
+    Violation::Deadlock {
+        cycle,
+        detail: details.join("; "),
+    }
+}
+
+fn check_expectation(s: &Schedule, states: &[ProcState], out: &mut Vec<Violation>) {
+    match &s.expect {
+        Expectation::None => {}
+        Expectation::ReducedVector {
+            ranks,
+            contributors,
+            bitwise,
+        } => {
+            let mut want = contributors.clone();
+            want.sort_unstable();
+            let Some(&first) = ranks.first() else {
+                return;
+            };
+            for &r in ranks {
+                for e in 0..s.elems {
+                    let leaves = states[r].vec[e].leaves();
+                    if leaves != want {
+                        out.push(Violation::ExpectationFailed {
+                            detail: format!(
+                                "{} elem {e}: reduction {} sums ranks {leaves:?}, want {want:?}",
+                                s.processes[r].name,
+                                states[r].vec[e].render()
+                            ),
+                        });
+                        return; // one concrete counterexample is enough
+                    }
+                    if *bitwise && states[r].vec[e] != states[first].vec[e] {
+                        out.push(Violation::ExpectationFailed {
+                            detail: format!(
+                                "elem {e}: {} reduces as {} but {} as {} — association differs, result is not bit-deterministic",
+                                s.processes[first].name,
+                                states[first].vec[e].render(),
+                                s.processes[r].name,
+                                states[r].vec[e].render()
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        Expectation::GatheredBlobs { ranks, origins } => {
+            for &r in ranks {
+                for &o in origins {
+                    if !states[r].blobs.contains(&o) {
+                        out.push(Violation::ExpectationFailed {
+                            detail: format!(
+                                "{} never obtained the contribution of rank {o}",
+                                s.processes[r].name
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        Expectation::BroadcastBlob { root, ranks } => {
+            for &r in ranks {
+                if !states[r].blobs.contains(root) {
+                    out.push(Violation::ExpectationFailed {
+                        detail: format!(
+                            "{} never received the broadcast payload of root {root}",
+                            s.processes[r].name
+                        ),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Layer 3: explicit-state DFS over **every** interleaving, tracking only
+/// what enabledness depends on (program counters + channel occupancy).
+///
+/// Returns `Ok(states_visited)` if no reachable quiescent state is a
+/// deadlock, `Err(violation)` on the first deadlock found. `state_cap`
+/// bounds the visited set; exceeding it returns an
+/// [`Violation::ExpectationFailed`] describing the blow-up (callers pick
+/// configs small enough that this never triggers).
+pub fn check_deadlock_exhaustive(
+    s: &Schedule,
+    state_cap: usize,
+) -> Result<usize, Violation> {
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct State {
+        pcs: Vec<usize>,
+        // Occupancy per channel, in a fixed channel order.
+        occ: Vec<usize>,
+    }
+    // Fixed channel universe: every (src, dst) that appears in any op.
+    let mut chans: Vec<(usize, usize)> = Vec::new();
+    for (pid, p) in s.processes.iter().enumerate() {
+        for op in &p.ops {
+            let ch = match op {
+                Op::Send { dst, .. } => (pid, *dst),
+                Op::Recv { src, .. } => (*src, pid),
+            };
+            if !chans.contains(&ch) {
+                chans.push(ch);
+            }
+        }
+    }
+    chans.sort_unstable();
+    let chan_idx: HashMap<(usize, usize), usize> =
+        chans.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+
+    let enabled = |st: &State, pid: usize| -> Option<usize> {
+        // Returns the channel index the op acts on, if enabled.
+        let op = s.processes[pid].ops.get(st.pcs[pid])?;
+        match op {
+            Op::Send { dst, .. } => {
+                let ci = chan_idx[&(pid, *dst)];
+                match s.channel_caps.get(&(pid, *dst)) {
+                    Some(cap) if st.occ[ci] >= *cap => None,
+                    _ => Some(ci),
+                }
+            }
+            Op::Recv { src, .. } => {
+                let ci = chan_idx[&(*src, pid)];
+                (st.occ[ci] > 0).then_some(ci)
+            }
+        }
+    };
+
+    let initial = State {
+        pcs: vec![0; s.processes.len()],
+        occ: vec![0; chans.len()],
+    };
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(st) = stack.pop() {
+        let mut h = DefaultHasher::new();
+        st.hash(&mut h);
+        if !visited.insert(h.finish()) {
+            continue;
+        }
+        if visited.len() > state_cap {
+            return Err(Violation::ExpectationFailed {
+                detail: format!(
+                    "state space exceeds cap {state_cap} for '{}'",
+                    s.name
+                ),
+            });
+        }
+        let mut any = false;
+        for pid in 0..s.processes.len() {
+            let Some(ci) = enabled(&st, pid) else {
+                continue;
+            };
+            any = true;
+            let mut nxt = st.clone();
+            match &s.processes[pid].ops[st.pcs[pid]] {
+                Op::Send { .. } => nxt.occ[ci] += 1,
+                Op::Recv { .. } => nxt.occ[ci] -= 1,
+            }
+            nxt.pcs[pid] += 1;
+            stack.push(nxt);
+        }
+        if !any {
+            let done = st
+                .pcs
+                .iter()
+                .enumerate()
+                .all(|(pid, &pc)| pc == s.processes[pid].ops.len());
+            if !done {
+                // Reconstruct a queue view for the report (occupancy only).
+                let queues: HashMap<(usize, usize), VecDeque<Payload>> = chans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        (c, (0..st.occ[i]).map(|_| Payload::Opaque).collect())
+                    })
+                    .collect();
+                return Err(deadlock_report(s, &st.pcs, &queues));
+            }
+        }
+    }
+    Ok(visited.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{DataRef, Range, RecvAction};
+
+    fn send(dst: usize, n: usize, lo: usize, hi: usize) -> Op {
+        Op::Send {
+            dst,
+            bytes: n,
+            data: DataRef::Elems(Range::new(lo, hi)),
+        }
+    }
+
+    fn recv_acc(src: usize, n: usize, lo: usize, hi: usize) -> Op {
+        Op::Recv {
+            src,
+            bytes: n,
+            action: RecvAction::Accumulate(Range::new(lo, hi)),
+        }
+    }
+
+    /// Two ranks exchange and accumulate one element — the smallest
+    /// correct all-reduce. Sum-complete but NOT bit-deterministic: rank 0
+    /// computes (0+1) while rank 1 computes (1+0), which is exactly why
+    /// real schedules reduce-scatter so each element has one owner.
+    fn tiny_exchange() -> Schedule {
+        let mut s = Schedule::new("tiny", 2, 1);
+        s.push(0, send(1, 4, 0, 1));
+        s.push(0, recv_acc(1, 4, 0, 1));
+        s.push(1, send(0, 4, 0, 1));
+        s.push(1, recv_acc(0, 4, 0, 1));
+        s.expect = Expectation::ReducedVector {
+            ranks: vec![0, 1],
+            contributors: vec![0, 1],
+            bitwise: false,
+        };
+        s
+    }
+
+    #[test]
+    fn symmetric_exchange_is_not_bit_deterministic() {
+        // The same schedule under the bitwise expectation must fail:
+        // the two ranks associate the sum differently.
+        let mut s = tiny_exchange();
+        s.expect = Expectation::ReducedVector {
+            ranks: vec![0, 1],
+            contributors: vec![0, 1],
+            bitwise: true,
+        };
+        let r = verify_schedule(&s);
+        assert!(
+            r.violations.iter().any(|v| matches!(
+                v,
+                Violation::ExpectationFailed { detail } if detail.contains("association differs")
+            )),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn tiny_exchange_verifies() {
+        let r = verify_schedule(&tiny_exchange());
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.ops_executed, 4);
+    }
+
+    #[test]
+    fn recv_before_send_deadlocks() {
+        // Both ranks recv first: classic head-to-head deadlock.
+        let mut s = Schedule::new("mispaired", 2, 1);
+        s.push(0, recv_acc(1, 4, 0, 1));
+        s.push(0, send(1, 4, 0, 1));
+        s.push(1, recv_acc(0, 4, 0, 1));
+        s.push(1, send(0, 4, 0, 1));
+        let r = verify_schedule(&s);
+        let dl = r
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::Deadlock { cycle, .. } => Some(cycle.clone()),
+                _ => None,
+            })
+            .expect("must report deadlock");
+        assert_eq!(dl.len(), 2, "two-rank wait-for cycle: {dl:?}");
+        assert!(check_deadlock_exhaustive(&s, 10_000).is_err());
+    }
+
+    #[test]
+    fn bounded_channel_send_send_deadlocks() {
+        // cap-1 channels, both sides send twice before receiving: the
+        // second sends block forever. Unbounded channels would hide this.
+        let mut s = Schedule::new("sync-overrun", 2, 1);
+        for (me, peer) in [(0usize, 1usize), (1, 0)] {
+            s.push(me, send(peer, 4, 0, 1));
+            s.push(me, send(peer, 4, 0, 1));
+            s.push(me, recv_acc(peer, 4, 0, 1));
+            s.push(me, Op::Recv {
+                src: peer,
+                bytes: 4,
+                action: RecvAction::Discard,
+            });
+        }
+        s.channel_caps.insert((0, 1), 1);
+        s.channel_caps.insert((1, 0), 1);
+        let r = verify_schedule(&s);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::Deadlock { .. })),
+            "{:?}",
+            r.violations
+        );
+        // With capacity 2 the same program drains fine.
+        s.channel_caps.insert((0, 1), 2);
+        s.channel_caps.insert((1, 0), 2);
+        assert!(verify_schedule(&s).ok());
+    }
+
+    #[test]
+    fn self_send_and_byte_mismatch_are_static() {
+        let mut s = Schedule::new("bad-static", 2, 1);
+        s.push(0, send(0, 4, 0, 1)); // self-send
+        s.push(0, send(1, 8, 0, 1)); // declares 8 B for 1 elem
+        s.push(1, recv_acc(0, 4, 0, 1)); // and the recv disagrees anyway
+        let v = static_checks(&s);
+        assert!(v.iter().any(|x| matches!(x, Violation::SelfSend { .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::ByteMismatch {
+                send_bytes: 8,
+                recv_bytes: 4,
+                ..
+            }
+        )));
+        // Self-send channel 0->0 has a send and no recv.
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::PairingMismatch { src: 0, dst: 0, .. })));
+    }
+
+    #[test]
+    fn double_count_reduction_is_rejectedable() {
+        // Rank 1 accumulates the same contribution twice.
+        let mut s = Schedule::new("double-count", 2, 1);
+        s.push(0, send(1, 4, 0, 1));
+        s.push(0, send(1, 4, 0, 1));
+        s.push(0, recv_acc(1, 4, 0, 1));
+        s.push(1, recv_acc(0, 4, 0, 1));
+        s.push(1, recv_acc(0, 4, 0, 1));
+        s.push(1, send(0, 4, 0, 1));
+        s.expect = Expectation::ReducedVector {
+            ranks: vec![1],
+            contributors: vec![0, 1],
+            bitwise: true,
+        };
+        let r = verify_schedule(&s);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::ExpectationFailed { .. })),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn association_divergence_is_detected() {
+        // Three ranks; ranks 0 and 2 both end with all contributions but
+        // associate them differently — numerically "equal", bitwise not.
+        let mut s = Schedule::new("assoc", 3, 1);
+        // rank 1 sends its leaf to both 0 and 2.
+        s.push(1, send(0, 4, 0, 1));
+        s.push(1, send(2, 4, 0, 1));
+        // rank 0: gets 1's leaf, then 2's leaf => ((0+1)+2)
+        s.push(0, recv_acc(1, 4, 0, 1));
+        s.push(0, recv_acc(2, 4, 0, 1));
+        // rank 2: sends own leaf to 0 first, then receives 0's ORIGINAL?
+        // No — rank 2 receives 1's leaf then 0's leaf => ((2+1)+0).
+        s.push(2, send(0, 4, 0, 1));
+        s.push(2, recv_acc(1, 4, 0, 1));
+        s.push(2, recv_acc(0, 4, 0, 1));
+        // rank 0 ships its own pristine leaf AFTER accumulating? It must
+        // send before accumulating to give rank 2 a pure leaf — use a
+        // fresh send op placed first.
+        s.processes[0].ops.insert(0, send(2, 4, 0, 1));
+        s.expect = Expectation::ReducedVector {
+            ranks: vec![0, 2],
+            contributors: vec![0, 1, 2],
+            bitwise: true,
+        };
+        let r = verify_schedule(&s);
+        let has_assoc_failure = r.violations.iter().any(|v| {
+            matches!(v, Violation::ExpectationFailed { detail }
+                if detail.contains("association differs"))
+        });
+        assert!(has_assoc_failure, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_canonical_on_tiny_exchange() {
+        let s = tiny_exchange();
+        let states = check_deadlock_exhaustive(&s, 100_000).expect("no deadlock");
+        assert!(states > 1);
+    }
+}

@@ -159,7 +159,7 @@ fn time_exchange(
                     chunk_elems: None,
                     matricize: true,
                 },
-            );
+            ).unwrap();
             black_box(eng.exchange(&grads).expect("pipelined exchange"));
             let t0 = std::time::Instant::now();
             for _ in 0..bp.inner {

@@ -16,6 +16,8 @@
 //! All logic lives in [`run`], which returns the rendered output so tests
 //! can assert on it.
 
+#![forbid(unsafe_code)]
+
 use gcs_cluster::cost::NetworkModel;
 use gcs_compress::registry::MethodConfig;
 use gcs_core::ideal::{ideal_gap, required_compression, RequiredCompression};
@@ -56,6 +58,7 @@ COMMANDS:
   sweep      bandwidth sweep for one method vs syncSGD (--from/--to Gbps)
   trace      ASCII two-stream timeline of one iteration (Figure-2 style)
   faults     train on the real in-process cluster under an injected fault plan
+  analyze    static verification: schedule model checker + workspace lint
   models     list available model specs
   methods    list available compression methods
   help       show this text
@@ -79,6 +82,15 @@ FAULTS FLAGS (gradcomp faults, with defaults):
   --kill none             scheduled deaths, e.g. 3@5 or 1@4,6@10 (rank@step)
   --timeout-ms 0          recv deadline per attempt (0 = block forever)
   --retries 2             recv retries after a timeout
+
+ANALYZE FLAGS (gradcomp analyze):
+  --all                   run both passes (default when no pass is named)
+  --schedules             schedule verifier only (ring/Rabenseifner/tree/among
+                          at p in 2..16 with dead-rank subsets of size <= 2)
+  --lint                  workspace lint only (unsafe allowlist, SAFETY
+                          comments, data-plane panics, raw f32 loops)
+  --root .                workspace root to lint
+  --json <path>           report path (default <root>/results/analyze_report.json)
 ";
 
 /// Looks up a model spec by CLI name.
@@ -491,6 +503,9 @@ pub fn run(args: &[String]) -> Result<String> {
             )
             .expect("write");
         }
+        "analyze" => {
+            out.push_str(&cmd_analyze(rest)?);
+        }
         other => {
             return Err(CliError(format!(
                 "unknown command '{other}' (try `gradcomp help`)"
@@ -498,6 +513,89 @@ pub fn run(args: &[String]) -> Result<String> {
         }
     }
     Ok(out)
+}
+
+/// `gradcomp analyze [--all|--schedules|--lint] [--root PATH] [--json PATH]`.
+///
+/// Runs the static-analysis passes, writes the machine-readable report,
+/// and fails (so `main` exits non-zero) if either pass found violations.
+fn cmd_analyze(rest: &[String]) -> Result<String> {
+    let mut want_schedules = false;
+    let mut want_lint = false;
+    let mut root = String::from(".");
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--all" => {
+                want_schedules = true;
+                want_lint = true;
+            }
+            "--schedules" => want_schedules = true,
+            "--lint" => want_lint = true,
+            "--root" | "--json" => {
+                let key = rest[i].clone();
+                i += 1;
+                let val = rest
+                    .get(i)
+                    .ok_or_else(|| CliError(format!("{key} needs a value")))?;
+                if key == "--root" {
+                    root = val.clone();
+                } else {
+                    json_path = Some(val.clone());
+                }
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unknown analyze flag '{other}' (try `gradcomp help`)"
+                )));
+            }
+        }
+        i += 1;
+    }
+    if !want_schedules && !want_lint {
+        want_schedules = true;
+        want_lint = true;
+    }
+
+    let schedule_rep = want_schedules.then(gcs_analyze::report::run_schedule_pass);
+    let lint_rep = if want_lint {
+        Some(
+            gcs_analyze::lint::run_lint(std::path::Path::new(&root))
+                .map_err(|e| CliError(format!("lint walk of '{root}' failed: {e}")))?,
+        )
+    } else {
+        None
+    };
+
+    let json = gcs_analyze::report::to_json(schedule_rep.as_ref(), lint_rep.as_ref());
+    let report_path = json_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::Path::new(&root)
+            .join("results")
+            .join("analyze_report.json")
+    });
+    if let Some(dir) = report_path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", dir.display())))?;
+    }
+    let rendered = serde_json::to_string_pretty(&json)
+        .map_err(|e| CliError(format!("report serialization failed: {e}")))?;
+    std::fs::write(&report_path, rendered)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", report_path.display())))?;
+
+    let mut text =
+        gcs_analyze::report::render_text(schedule_rep.as_ref(), lint_rep.as_ref());
+    text.push_str(&format!("report: {}\n", report_path.display()));
+
+    let clean = schedule_rep.as_ref().is_none_or(|r| r.ok())
+        && lint_rep.as_ref().is_none_or(|r| r.ok());
+    if clean {
+        Ok(text)
+    } else {
+        // The violations themselves are the error message; main prints
+        // them to stderr and exits non-zero, which is what fails CI.
+        Err(CliError(text))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,101 @@
+//! End-to-end checks for `gradcomp analyze`: the lint pass must fail
+//! the build (non-zero exit == `Err` from `run`) on a workspace with an
+//! un-commented `unsafe` block, and still write the machine-readable
+//! report so CI has the violation counts.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch workspace under the target-adjacent temp dir, removed on
+/// drop so failed assertions don't leak directories between runs.
+struct ScratchRoot(PathBuf);
+
+impl ScratchRoot {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("gcs-analyze-cli-{tag}-{}", std::process::id()));
+        // A stale dir from a crashed prior run is fine to clobber.
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        ScratchRoot(dir)
+    }
+}
+
+impl Drop for ScratchRoot {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+#[test]
+fn analyze_lint_fails_on_uncommented_unsafe_block() {
+    let root = ScratchRoot::new("unsafe");
+    // In the kernel allowlist, so the only violation is the missing
+    // SAFETY comment — the exact failure the ISSUE requires to be
+    // demonstrably non-zero-exit.
+    let kernels = root.0.join("crates/tensor/src/kernels");
+    fs::create_dir_all(&kernels).unwrap();
+    fs::write(
+        kernels.join("bad.rs"),
+        "pub fn f(p: *const f32) -> f32 { unsafe { *p } }\n",
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let err = gcs_cli::run(&args).expect_err("un-commented unsafe must fail");
+    assert!(
+        err.0.contains("unsafe-missing-safety-comment"),
+        "error should cite the rule: {}",
+        err.0
+    );
+
+    // The report must exist even on failure, with a non-zero count.
+    let report = root.0.join("results/analyze_report.json");
+    let text = fs::read_to_string(&report).unwrap();
+    let json: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let count = json["passes"]["workspace_lint"]["violation_count"]
+        .as_u64()
+        .unwrap();
+    assert!(count >= 1, "report must record the violation: {text}");
+}
+
+#[test]
+fn analyze_lint_fails_on_unsafe_outside_allowlist() {
+    let root = ScratchRoot::new("dataplane");
+    let src = root.0.join("crates/cluster/src");
+    fs::create_dir_all(&src).unwrap();
+    // Even with a SAFETY comment: unsafe simply isn't allowed here.
+    fs::write(
+        src.join("hot.rs"),
+        "// SAFETY: irrelevant, wrong crate.\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let err = gcs_cli::run(&args).expect_err("unsafe outside allowlist must fail");
+    assert!(
+        err.0.contains("unsafe-outside-allowlist"),
+        "error should cite the rule: {}",
+        err.0
+    );
+}
+
+#[test]
+fn analyze_lint_passes_on_clean_workspace() {
+    let root = ScratchRoot::new("clean");
+    let src = root.0.join("crates/ddp/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(
+        src.join("ok.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let out = gcs_cli::run(&args).expect("clean workspace must pass");
+    assert!(out.contains("OK"), "summary should say OK: {out}");
+}

@@ -304,7 +304,11 @@ impl WorkerHandle {
                 let dst_v = vrank + mask;
                 if dst_v < p {
                     let dst = (dst_v + root) % p;
-                    let payload = have.clone().expect("sender must hold data");
+                    let Some(payload) = have.clone() else {
+                        return Err(ClusterError::Protocol(
+                            "broadcast sender holds no data".into(),
+                        ));
+                    };
                     self.send(dst, payload)?;
                 }
             } else if vrank < 2 * mask && have.is_none() {
@@ -314,7 +318,7 @@ impl WorkerHandle {
             }
             mask <<= 1;
         }
-        Ok(have.expect("broadcast completed without data"))
+        have.ok_or_else(|| ClusterError::Protocol("broadcast completed without data".into()))
     }
 
     /// Barrier: returns once every rank has entered.
@@ -342,12 +346,14 @@ impl WorkerHandle {
                 "member list must be strictly ascending".into(),
             ));
         }
-        if *members.last().expect("non-empty") >= self.world() {
-            return Err(ClusterError::InvalidArgument(format!(
-                "member {} out of range for world {}",
-                members.last().expect("non-empty"),
-                self.world()
-            )));
+        if let Some(&last) = members.last() {
+            if last >= self.world() {
+                return Err(ClusterError::InvalidArgument(format!(
+                    "member {} out of range for world {}",
+                    last,
+                    self.world()
+                )));
+            }
         }
         let Ok(pos) = members.binary_search(&self.rank()) else {
             return Err(ClusterError::InvalidArgument(format!(

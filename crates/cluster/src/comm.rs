@@ -115,8 +115,18 @@ impl CommEngine {
     /// Spawn the communication thread.  `queue_depth` bounds the number of
     /// collectives that may be queued or in flight at once (must be ≥ 1);
     /// further `start_*` calls block until a slot frees up.
-    pub fn spawn(worker: WorkerHandle, queue_depth: usize) -> Self {
-        assert!(queue_depth >= 1, "queue_depth must be at least 1");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidArgument`] if `queue_depth` is zero
+    /// and [`ClusterError::Protocol`] if the OS refuses to spawn the
+    /// thread.
+    pub fn spawn(worker: WorkerHandle, queue_depth: usize) -> Result<Self> {
+        if queue_depth < 1 {
+            return Err(ClusterError::InvalidArgument(
+                "queue_depth must be at least 1".into(),
+            ));
+        }
         let rank = worker.rank();
         let world = worker.world();
         let (tx, rx) = sync_channel::<Job>(queue_depth);
@@ -125,11 +135,13 @@ impl CommEngine {
         let thread = std::thread::Builder::new()
             .name(format!("gcs-comm-{rank}"))
             .spawn(move || {
+                // A poisoned mutex only means another thread panicked while
+                // holding the lock; the Option inside is still valid.
                 let stored_error =
-                    || poison.lock().expect("poison lock").clone();
+                    || poison.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 let store_error = |res: &Result<()>| {
                     if let Err(e) = res {
-                        let mut slot = poison.lock().expect("poison lock");
+                        let mut slot = poison.lock().unwrap_or_else(|e| e.into_inner());
                         if slot.is_none() {
                             *slot = Some(e.clone());
                         }
@@ -171,21 +183,21 @@ impl CommEngine {
                 }
                 worker
             })
-            .expect("failed to spawn comm thread");
-        Self {
+            .map_err(|e| ClusterError::Protocol(format!("failed to spawn comm thread: {e}")))?;
+        Ok(Self {
             jobs: Some(tx),
             thread: Some(thread),
             rank,
             world,
             poisoned,
-        }
+        })
     }
 
     /// The first collective error the comm thread hit, if any. A poisoned
     /// engine fails every subsequent job with this error instead of
     /// touching the wire.
     pub fn last_error(&self) -> Option<ClusterError> {
-        self.poisoned.lock().expect("poison lock").clone()
+        self.poisoned.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Rank of the underlying worker.
@@ -213,15 +225,15 @@ impl CommEngine {
             return Err(e);
         }
         let (reply, rx) = std::sync::mpsc::channel();
-        self.jobs
-            .as_ref()
-            .expect("engine already shut down")
-            .send(Job::ReduceSum {
-                data,
-                chunk_elems,
-                reply,
-            })
-            .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
+        let Some(jobs) = self.jobs.as_ref() else {
+            return Err(ClusterError::Protocol("comm engine already shut down".into()));
+        };
+        jobs.send(Job::ReduceSum {
+            data,
+            chunk_elems,
+            reply,
+        })
+        .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
         Ok(PendingReduce { rx })
     }
 
@@ -233,10 +245,10 @@ impl CommEngine {
             return Err(e);
         }
         let (reply, rx) = std::sync::mpsc::channel();
-        self.jobs
-            .as_ref()
-            .expect("engine already shut down")
-            .send(Job::GatherBytes { data, reply })
+        let Some(jobs) = self.jobs.as_ref() else {
+            return Err(ClusterError::Protocol("comm engine already shut down".into()));
+        };
+        jobs.send(Job::GatherBytes { data, reply })
             .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
         Ok(PendingGather { rx })
     }
@@ -245,11 +257,18 @@ impl CommEngine {
     /// [`WorkerHandle`] for further (blocking) use.
     pub fn shutdown(mut self) -> WorkerHandle {
         drop(self.jobs.take());
-        self.thread
-            .take()
-            .expect("comm thread already joined")
-            .join()
-            .expect("comm thread panicked")
+        let Some(thread) = self.thread.take() else {
+            // `shutdown` consumes `self` and `thread` is always Some until
+            // then; reachable only through a logic error in this module.
+            unreachable!("comm thread already joined");
+        };
+        match thread.join() {
+            Ok(worker) => worker,
+            // The comm thread only panics if the worker closure panicked;
+            // re-raise that panic on the caller's thread rather than
+            // swallowing it or inventing a second panic site.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -292,7 +311,7 @@ mod tests {
                     .map(|i| ((rank * 53 + salt * 7 + i) % 97) as f32 * 0.31 - 1.5)
                     .collect()
             };
-            let eng = CommEngine::spawn(w, 2);
+            let eng = CommEngine::spawn(w, 2).unwrap();
             // Two overlapping reductions in flight at once.
             let p0 = eng.start_all_reduce_sum(make(0), None).unwrap();
             let p1 = eng.start_all_reduce_sum(make(1), None).unwrap();
@@ -319,7 +338,7 @@ mod tests {
             };
             let mut blocking = make();
             w.ring_all_reduce_chunked(&mut blocking, 16).unwrap();
-            let eng = CommEngine::spawn(w, 1);
+            let eng = CommEngine::spawn(w, 1).unwrap();
             let reduced = eng
                 .start_all_reduce_sum(make(), Some(16))
                 .unwrap()
@@ -340,7 +359,7 @@ mod tests {
     fn async_gather_returns_rank_order_and_recycles_buffer() {
         let outs = SimCluster::run(4, |w| {
             let rank = w.rank();
-            let eng = CommEngine::spawn(w, 2);
+            let eng = CommEngine::spawn(w, 2).unwrap();
             let sent = vec![rank as u8; rank + 1];
             let (frames, buf) = eng.start_all_gather(sent.clone()).unwrap().wait().unwrap();
             let _ = eng.shutdown();
@@ -358,7 +377,7 @@ mod tests {
     #[test]
     fn shutdown_returns_usable_handle() {
         let sums = SimCluster::run(2, |w| {
-            let eng = CommEngine::spawn(w, 1);
+            let eng = CommEngine::spawn(w, 1).unwrap();
             let _ = eng
                 .start_all_reduce_sum(vec![1.0, 2.0], None)
                 .unwrap()
@@ -387,7 +406,7 @@ mod tests {
         let cluster = crate::SimCluster::new_with_faults(2, None, Some(plan));
         let outs = cluster.run_workers(|w| {
             if w.rank() == 0 {
-                let eng = CommEngine::spawn(w, 2);
+                let eng = CommEngine::spawn(w, 2).unwrap();
                 let first = eng.start_all_reduce_sum(vec![1.0; 4], None).unwrap().wait();
                 let poisoned = eng.last_error().is_some();
                 // Later jobs fail fast at start (poisoned engine).
@@ -411,7 +430,7 @@ mod tests {
         // every rank must pair collectives correctly.
         let outs = SimCluster::run(3, |w| {
             let rank = w.rank();
-            let eng = CommEngine::spawn(w, 2);
+            let eng = CommEngine::spawn(w, 2).unwrap();
             let r = eng
                 .start_all_reduce_sum(vec![rank as f32; 5], None)
                 .unwrap();

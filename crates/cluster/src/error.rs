@@ -30,6 +30,10 @@ pub enum ClusterError {
     Mismatch(String),
     /// An argument was invalid (e.g. zero workers, root out of range).
     InvalidArgument(String),
+    /// An internal protocol invariant was violated (a "cannot happen"
+    /// state reported as an error instead of a panic, so a corrupted
+    /// exchange degrades one collective rather than a whole worker).
+    Protocol(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -46,6 +50,7 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Mismatch(msg) => write!(f, "collective argument mismatch: {msg}"),
             ClusterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            ClusterError::Protocol(msg) => write!(f, "protocol invariant violated: {msg}"),
         }
     }
 }

@@ -247,19 +247,24 @@ impl FaultLog {
     }
 
     pub(crate) fn record(&self, event: FaultEvent) {
-        self.events.lock().expect("fault log poisoned").push(event);
+        // A poisoned mutex only means another worker panicked mid-push;
+        // the Vec inside is still valid, keep logging.
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
     }
 
     /// All recorded events, sorted by `(src, dst, seq)`.
     pub fn events(&self) -> Vec<FaultEvent> {
-        let mut out = self.events.lock().expect("fault log poisoned").clone();
+        let mut out = self.events.lock().unwrap_or_else(|e| e.into_inner()).clone();
         out.sort_by_key(|e| (e.src, e.dst, e.seq));
         out
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("fault log poisoned").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether nothing was injected.

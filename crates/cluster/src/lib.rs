@@ -26,6 +26,8 @@
 //! assert_eq!(sums, vec![10.0; 4]); // 1+2+3+4 on every worker
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod comm;
 pub mod cost;

@@ -95,7 +95,11 @@ impl WorkerHandle {
             fill_bytes_from_f32s(&mut wire, &buf[lo..hi]);
             self.send(partner, Frame::from_vec(wire))?;
             let incoming = self.recv_robust(partner)?;
-            let (plo, phi) = handed_away.pop().expect("one range per level");
+            let Some((plo, phi)) = handed_away.pop() else {
+                return Err(ClusterError::Protocol(
+                    "doubling phase outran the halving-range stack".into(),
+                ));
+            };
             check_f32_frame(&incoming, phi - plo, "doubling step")?;
             fill_f32s_from_bytes(&mut buf[plo..phi], &incoming);
             wire = incoming.into_vec();

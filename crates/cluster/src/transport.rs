@@ -434,11 +434,11 @@ impl WorkerHandle {
         let deadline = Instant::now() + timeout;
         {
             let mut slot = self.pending[peer].borrow_mut();
-            if let Some(packet) = slot.as_ref() {
+            if let Some(packet) = slot.take() {
                 if packet.deliver_at.is_some_and(|d| d > deadline) {
+                    *slot = Some(packet);
                     return Err(ClusterError::Timeout { peer });
                 }
-                let packet = slot.take().expect("checked above");
                 drop(slot);
                 return Ok(Self::deliver(packet));
             }
@@ -631,7 +631,15 @@ impl SimCluster {
                 senders,
                 receivers: receivers_by_dst[rank]
                     .iter_mut()
-                    .map(|r| r.take().expect("mesh fully populated"))
+                    .map(|r| {
+                        let Some(r) = r.take() else {
+                            // Every (src, dst) slot is filled by the mesh
+                            // construction loop above; reachable only
+                            // through a logic error in this constructor.
+                            unreachable!("mesh fully populated");
+                        };
+                        r
+                    })
                     .collect(),
                 traffic: Arc::clone(&traffic[rank]),
                 netem,
@@ -712,7 +720,11 @@ impl SimCluster {
         R: Send,
     {
         let cluster = SimCluster::new_with_faults(world, None, Some(plan));
-        let log = cluster.fault_log().expect("plan installed");
+        // A plan was installed above, so a log exists; the fallback empty
+        // log keeps this total without a panic path.
+        let log = cluster
+            .fault_log()
+            .unwrap_or_else(|| Arc::new(FaultLog::new()));
         let outs = cluster.run_workers(f);
         (outs, log.events())
     }
@@ -738,7 +750,12 @@ impl SimCluster {
                 .collect();
             joins
                 .into_iter()
-                .map(|j| j.join().expect("worker thread panicked"))
+                .map(|j| match j.join() {
+                    Ok(r) => r,
+                    // Re-raise the worker's own panic on the caller's
+                    // thread instead of inventing a second panic site.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }

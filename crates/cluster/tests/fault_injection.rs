@@ -201,9 +201,12 @@ fn reorder_swaps_frames_deterministically_without_losing_any() {
                 let got: Vec<u8> = (0..20).map(|_| w.recv(0).unwrap()[0]).collect();
                 // Send the ack twice: if the first copy is reorder-held,
                 // the second send releases it (swap), so at least one ack
-                // reaches rank 0 before this handle drops.
+                // reaches rank 0 before this handle drops. When the first
+                // ack was delivered directly, rank 0 may already have
+                // received it and hung up, so the second send is allowed
+                // to fail with Disconnected.
                 w.send(0, vec![0]).unwrap();
-                w.send(0, vec![0]).unwrap();
+                let _ = w.send(0, vec![0]);
                 got
             }
         });

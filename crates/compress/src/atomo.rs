@@ -112,9 +112,7 @@ impl Compressor for Atomo {
                                     "svd payloads disagree on shape".into(),
                                 ));
                             }
-                            for (x, y) in a.iter_mut().zip(&dense) {
-                                *x += y;
-                            }
+                            gcs_tensor::kernels::add_assign(a, &dense);
                         }
                     }
                 }
@@ -126,7 +124,9 @@ impl Compressor for Atomo {
                 }
             }
         }
-        let mut a = acc.expect("non-empty");
+        let Some(mut a) = acc else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut a {
             *x *= inv;

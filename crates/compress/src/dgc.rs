@@ -191,7 +191,9 @@ impl Compressor for Dgc {
                         let slot = d.get_mut(i as usize).ok_or_else(|| {
                             CompressError::Protocol(format!("index {i} out of bounds"))
                         })?;
-                        *slot += v;
+                        // Bounds-checked sparse scatter-add; no bulk kernel
+                        // applies to indexed single-element updates.
+                        *slot += v; // lint: allow(raw-f32-accumulation)
                     }
                 }
                 other => {
@@ -202,7 +204,9 @@ impl Compressor for Dgc {
                 }
             }
         }
-        let mut d = dense.expect("non-empty");
+        let Some(mut d) = dense else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut d {
             *x *= inv;

@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod atomo;
 pub mod dgc;
 pub mod double_squeeze;

@@ -119,7 +119,9 @@ impl Compressor for NaturalCompression {
                         ));
                     }
                     for (x, &c) in a.iter_mut().zip(levels) {
-                        *x += decode_value(c);
+                        // Fused decode-and-add: the addend is synthesized
+                        // per element, so no bulk kernel applies.
+                        *x += decode_value(c); // lint: allow(raw-f32-accumulation)
                     }
                 }
                 other => {
@@ -130,7 +132,9 @@ impl Compressor for NaturalCompression {
                 }
             }
         }
-        let mut a = acc.expect("non-empty");
+        let Some(mut a) = acc else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut a {
             *x *= inv;

@@ -105,7 +105,9 @@ impl Compressor for OneBitSgd {
                 }
             }
         }
-        let mut a = acc.expect("non-empty");
+        let Some(mut a) = acc else {
+            return Err(CompressError::EmptyAggregate);
+        };
         gcs_tensor::kernels::scale(&mut a, 1.0 / payloads.len() as f32);
         Ok(Payload::Dense(a))
     }

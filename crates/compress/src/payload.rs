@@ -583,12 +583,16 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
     }
 
     fn f32(&mut self) -> Result<f32> {
         let b = self.take(4)?;
-        Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(f32::from_le_bytes(a))
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -618,7 +622,7 @@ impl<'a> Reader<'a> {
             CompressError::Wire("length overflow".into())
         })?)?;
         Ok(b.chunks_exact(2)
-            .map(|c| u16::from_le_bytes(c.try_into().expect("2 bytes")))
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect())
     }
 }

@@ -183,7 +183,11 @@ impl Compressor for PowerSgd {
         let warm = self.warm_start;
         let ef = self.error_feedback;
         let fresh_q = if warm { None } else { Some(self.init_q(layer, n, r)) };
-        let state = self.layers.get_mut(&layer).expect("state just ensured");
+        let Some(state) = self.layers.get_mut(&layer) else {
+            return Err(CompressError::Protocol(format!(
+                "no per-layer state for layer {layer}"
+            )));
+        };
         if let Some(q) = fresh_q {
             state.q = q;
         }
@@ -191,9 +195,7 @@ impl Compressor for PowerSgd {
         // M = grad (+ error feedback)
         state.m_work.copy_from_slice(grad.data());
         if ef {
-            for (w, e) in state.m_work.iter_mut().zip(&state.error) {
-                *w += e;
-            }
+            gcs_tensor::kernels::add_assign(&mut state.m_work, &state.error);
         }
 
         // P = M · Q, into the recycled buffer from the previous round's

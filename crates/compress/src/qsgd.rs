@@ -115,9 +115,7 @@ impl Compressor for Qsgd {
                                     "quantized payloads disagree on length".into(),
                                 ));
                             }
-                            for (x, y) in a.iter_mut().zip(&dense) {
-                                *x += y;
-                            }
+                            gcs_tensor::kernels::add_assign(a, &dense);
                         }
                     }
                 }
@@ -129,7 +127,9 @@ impl Compressor for Qsgd {
                 }
             }
         }
-        let mut a = acc.expect("non-empty");
+        let Some(mut a) = acc else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut a {
             *x *= inv;

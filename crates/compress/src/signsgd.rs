@@ -182,7 +182,9 @@ impl Compressor for SignSgd {
                 }
             }
         }
-        let vote = vote.expect("non-empty payloads");
+        let Some(vote) = vote else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let bits = vote.majority_bits();
         Ok(Payload::Signs {
             len: bits.len(),

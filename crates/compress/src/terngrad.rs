@@ -123,7 +123,9 @@ impl Compressor for TernGrad {
                         ));
                     }
                     for (x, c) in a.iter_mut().zip(&codes) {
-                        *x += match *c {
+                        // Fused decode-and-add: the addend is synthesized
+                        // per element, so no bulk kernel applies.
+                        *x += match *c { // lint: allow(raw-f32-accumulation)
                             CODE_POS => *scale,
                             CODE_NEG => -*scale,
                             _ => 0.0,
@@ -138,7 +140,9 @@ impl Compressor for TernGrad {
                 }
             }
         }
-        let mut a = acc.expect("non-empty");
+        let Some(mut a) = acc else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut a {
             *x *= inv;

@@ -144,7 +144,9 @@ impl Compressor for TopK {
                 }
             }
         }
-        let mut d = dense.expect("non-empty payloads");
+        let Some(mut d) = dense else {
+            return Err(CompressError::EmptyAggregate);
+        };
         gcs_tensor::kernels::scale(&mut d, 1.0 / payloads.len() as f32);
         Ok(Payload::Dense(d))
     }

@@ -119,7 +119,7 @@ impl Compressor for VarianceSparsifier {
                 .residual
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
             {
                 if v != 0.0 {
                     indices.push(i as u32);
@@ -157,7 +157,9 @@ impl Compressor for VarianceSparsifier {
                         let slot = d.get_mut(i as usize).ok_or_else(|| {
                             CompressError::Protocol(format!("index {i} out of bounds"))
                         })?;
-                        *slot += v;
+                        // Bounds-checked sparse scatter-add; no bulk kernel
+                        // applies to indexed single-element updates.
+                        *slot += v; // lint: allow(raw-f32-accumulation)
                     }
                 }
                 other => {
@@ -168,7 +170,9 @@ impl Compressor for VarianceSparsifier {
                 }
             }
         }
-        let mut d = dense.expect("non-empty");
+        let Some(mut d) = dense else {
+            return Err(CompressError::EmptyAggregate);
+        };
         let inv = 1.0 / payloads.len() as f32;
         for x in &mut d {
             *x *= inv;

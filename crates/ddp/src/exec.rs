@@ -410,7 +410,12 @@ impl BucketPlan {
     /// Packs `bucket`'s layers into one flat tensor, reusing the plan's
     /// pack buffer. Hand the tensor back via [`BucketPlan::reclaim`] after
     /// encoding so the allocation circulates.
-    pub fn pack(&mut self, grads: &[Tensor], bucket: usize) -> Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if the plan was built for a different
+    /// gradient layout (bucket shape no longer matches the element count).
+    pub fn pack(&mut self, grads: &[Tensor], bucket: usize) -> Result<Tensor> {
         let mut flat = std::mem::take(&mut self.pack);
         flat.clear();
         flat.reserve(self.elems[bucket]);
@@ -418,7 +423,8 @@ impl BucketPlan {
             flat.extend_from_slice(grads[i].data());
         }
         Tensor::from_shape_vec(self.shapes[bucket].clone(), flat)
-            .expect("bucket shape matches element count")
+            .map_err(gcs_compress::CompressError::from)
+            .map_err(ExecError::from)
     }
 
     /// Returns a spent pack tensor's allocation to the plan.
@@ -446,10 +452,16 @@ impl BucketPlan {
                 offset += n;
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|t| t.expect("every layer scattered"))
-            .collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.ok_or_else(|| {
+                    ExecError::Compress(gcs_compress::CompressError::Protocol(format!(
+                        "layer {i} was not covered by any bucket"
+                    )))
+                })
+            })
+            .collect()
     }
 
     /// The plan's persistent wire buffer (gather-path serialization).
@@ -512,7 +524,7 @@ pub fn exchange_gradients_with_plan<C: Compressor>(
     for round in 0..rounds {
         for bucket_id in 0..plan.num_buckets() {
             let payload = if round == 0 {
-                let flat = plan.pack(grads, bucket_id);
+                let flat = plan.pack(grads, bucket_id)?;
                 let p = compressor.encode(bucket_id, &flat);
                 plan.reclaim(flat);
                 p?

@@ -27,6 +27,8 @@
 //! assert!(breakdown.total_s > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod pipeline;
 pub mod sim;

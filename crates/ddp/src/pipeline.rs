@@ -133,18 +133,18 @@ impl<C: Compressor> PipelinedEngine<C> {
     /// Moves `worker` onto a dedicated comm thread and wraps `compressor`
     /// in the pipelined schedule.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg.depth == 0`.
-    pub fn new(worker: WorkerHandle, compressor: C, cfg: PipelineConfig) -> Self {
-        assert!(cfg.depth >= 1, "pipeline depth must be at least 1");
-        PipelinedEngine {
-            comm: CommEngine::spawn(worker, cfg.depth),
+    /// Returns an error if `cfg.depth == 0` or the comm thread cannot be
+    /// spawned.
+    pub fn new(worker: WorkerHandle, compressor: C, cfg: PipelineConfig) -> Result<Self> {
+        Ok(PipelinedEngine {
+            comm: CommEngine::spawn(worker, cfg.depth)?,
             compressor,
             cfg,
             plan: None,
             wire_pool: Vec::new(),
-        }
+        })
     }
 
     /// Rank of the underlying worker.
@@ -183,7 +183,11 @@ impl<C: Compressor> PipelinedEngine<C> {
                 BucketPlan::new(grads, self.cfg.bucket_bytes)
             });
         }
-        let mut plan = self.plan.take().expect("installed above");
+        let Some(mut plan) = self.plan.take() else {
+            // Installed unconditionally above; reachable only through a
+            // logic error in this function.
+            unreachable!("bucket plan installed above");
+        };
         let result = self.exchange_with_plan(grads, &mut plan);
         self.plan = Some(plan);
         result
@@ -204,7 +208,7 @@ impl<C: Compressor> PipelinedEngine<C> {
                     self.complete_front(round, &mut inflight)?;
                 }
                 let payload = if round == 0 {
-                    let flat = plan.pack(grads, bucket_id);
+                    let flat = plan.pack(grads, bucket_id)?;
                     let p = self.compressor.encode(bucket_id, &flat);
                     plan.reclaim(flat);
                     p?
@@ -263,7 +267,9 @@ impl<C: Compressor> PipelinedEngine<C> {
     /// Waits for the oldest in-flight collective, finishes its aggregation
     /// arithmetic, and absorbs it — the in-order absorb invariant.
     fn complete_front(&mut self, round: usize, inflight: &mut VecDeque<Inflight>) -> Result<()> {
-        let front = inflight.pop_front().expect("caller checked non-empty");
+        let Some(front) = inflight.pop_front() else {
+            return Ok(());
+        };
         match front {
             Inflight::Reduce {
                 bucket,
@@ -339,7 +345,7 @@ mod tests {
                 chunk_elems: None,
                 matricize: false,
             };
-            let mut eng = PipelinedEngine::new(w, c, cfg);
+            let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
             // Two steps through one engine: the cached plan and recycled
             // buffers must not change results.
             let first = eng.exchange(&grads).unwrap();
@@ -402,7 +408,7 @@ mod tests {
                     chunk_elems: None,
                     matricize: true,
                 };
-                let mut eng = PipelinedEngine::new(w, c, cfg);
+                let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
                 let out = eng.exchange(&grads).unwrap();
                 let (w, _) = eng.into_parts();
                 let mut c2 = method.build().unwrap();
@@ -434,7 +440,7 @@ mod tests {
                 chunk_elems: None,
                 matricize: false,
             };
-            let mut eng = PipelinedEngine::new(w, c, cfg);
+            let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
             let out = eng.exchange(&grads).unwrap();
             let (w, _) = eng.into_parts();
             let mut c2 = MethodConfig::SyncSgd.build().unwrap();
@@ -466,7 +472,7 @@ mod tests {
                 chunk_elems: Some(64),
                 matricize: false,
             };
-            let mut eng = PipelinedEngine::new(w, c, cfg);
+            let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
             let out = eng.exchange(&grads).unwrap();
             let (w, _) = eng.into_parts();
             let mut c2 = MethodConfig::SyncSgd.build().unwrap();

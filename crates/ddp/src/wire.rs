@@ -91,7 +91,9 @@ pub fn wire_plan(method: &MethodConfig, model: &ModelSpec) -> WirePlan {
             }
         }
         other => {
-            let compressor = other.build().expect("valid method config");
+            // Documented panic contract (see `# Panics` above): callers
+            // validate user-supplied configs with MethodConfig::build.
+            let compressor = other.build().expect("valid method config"); // lint: allow(panic-in-data-plane)
             let bytes: usize = model
                 .layers
                 .iter()

@@ -60,7 +60,7 @@ fn pipelined_exchange(w: gcs_cluster::WorkerHandle, method: &MethodConfig) -> Ve
             chunk_elems: None,
             matricize: false,
         },
-    );
+    ).unwrap();
     let out = eng.exchange(&grads).unwrap();
     let _ = eng.into_parts();
     out

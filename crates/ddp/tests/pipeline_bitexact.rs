@@ -81,7 +81,7 @@ fn pipelined_matches_sequential_and_reference_for_every_method() {
                     chunk_elems: None,
                     matricize: false,
                 },
-            );
+            ).unwrap();
             let out = eng.exchange(&grads).unwrap();
             let _ = eng.into_parts();
             out

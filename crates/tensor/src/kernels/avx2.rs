@@ -59,6 +59,8 @@ fn sign_pack(data: &[f32], out: &mut [u32]) {
     unsafe { sign_pack_avx2(data, out) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present; `out` must hold
+// `ceil(data.len() / 32)` words (the table contract checked by `mod.rs`).
 #[target_feature(enable = "avx2,fma")]
 unsafe fn sign_pack_avx2(data: &[f32], out: &mut [u32]) {
     let full_words = data.len() / 32;
@@ -90,6 +92,8 @@ fn unpack_add(words: &[u32], neg: f32, pos: f32, out: &mut [f32]) {
 /// Shared body of `unpack_fill` / `unpack_add`: broadcast one byte of the
 /// bit stream per 8-lane group, test it against per-lane bit selectors, and
 /// blend `neg`/`pos`. `ACCUMULATE` adds into `out` instead of storing.
+// SAFETY: caller must guarantee AVX2+FMA are present; `words` must hold
+// at least `ceil(out.len() / 32)` bit words.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn unpack_select_avx2<const ACCUMULATE: bool>(
     words: &[u32],
@@ -129,6 +133,8 @@ fn vote_add(words: &[u32], tally: &mut [i32]) {
     unsafe { vote_add_avx2(words, tally) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present; `words` must hold
+// at least `ceil(tally.len() / 32)` bit words.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn vote_add_avx2(words: &[u32], tally: &mut [i32]) {
     let n = tally.len();
@@ -156,6 +162,8 @@ fn vote_pack(tally: &[i32], out: &mut [u32]) {
     unsafe { vote_pack_avx2(tally, out) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present; `out` must hold
+// `ceil(tally.len() / 32)` words.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn vote_pack_avx2(tally: &[i32], out: &mut [u32]) {
     let full_words = tally.len() / 32;
@@ -218,6 +226,9 @@ fn add_from_bytes(bytes: &[u8], out: &mut [f32]) {
     unsafe { add_from_bytes_avx2(bytes, out) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present and that `bytes`
+// holds exactly `4 * out.len()` little-endian f32s; unaligned loads are
+// used throughout so `bytes` needs no alignment.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn add_from_bytes_avx2(bytes: &[u8], out: &mut [f32]) {
     let n = out.len();
@@ -242,6 +253,8 @@ fn add_assign(acc: &mut [f32], other: &[f32]) {
     unsafe { add_assign_avx2(acc, other) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present and
+// `other.len() >= acc.len()`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn add_assign_avx2(acc: &mut [f32], other: &[f32]) {
     let full = acc.len() / 8;
@@ -258,6 +271,8 @@ fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
     unsafe { axpy_avx2(y, alpha, x) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present and
+// `x.len() >= y.len()`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn axpy_avx2(y: &mut [f32], alpha: f32, x: &[f32]) {
     let a = _mm256_set1_ps(alpha);
@@ -276,6 +291,8 @@ fn scale(v: &mut [f32], alpha: f32) {
     unsafe { scale_avx2(v, alpha) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present; all loads/stores
+// stay inside `v`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn scale_avx2(v: &mut [f32], alpha: f32) {
     let a = _mm256_set1_ps(alpha);
@@ -292,6 +309,8 @@ fn abs_into(data: &[f32], out: &mut [f32]) {
     unsafe { abs_into_avx2(data, out) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present and
+// `out.len() >= data.len()`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn abs_into_avx2(data: &[f32], out: &mut [f32]) {
     let mask = _mm256_castsi256_ps(_mm256_set1_epi32(ABS_MASK));
@@ -308,6 +327,8 @@ fn sum_abs(data: &[f32]) -> f32 {
     unsafe { sum_abs_avx2(data) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present; reads stay inside
+// `data`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn sum_abs_avx2(data: &[f32]) -> f32 {
     // One vaddps per 8 elements IS the scalar kernel's lane striping:
@@ -362,6 +383,9 @@ fn gather_above(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values: &m
     unsafe { gather_above_avx2(data, threshold, indices, values) }
 }
 
+// SAFETY: caller must guarantee AVX2+FMA are present. The over-wide
+// stores below land in capacity reserved immediately beforehand
+// (`reserve(8)`), and `set_len` only commits the `cnt` initialized slots.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn gather_above_avx2(
     data: &[f32],

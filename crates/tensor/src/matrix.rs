@@ -225,6 +225,9 @@ fn mm_tile16(
 /// AVX2+FMA 4 x 16 tile: two ymm accumulators per row, one broadcast per
 /// A element, `vfmadd231ps` over the shared dimension — the same fused
 /// l-ordered chain as the scalar `mul_add` tile.
+// SAFETY: caller must guarantee AVX2+FMA are present and that the tile
+// `[i..i+4) x [j..j+16)` lies fully inside `out` (rows of length `n`),
+// with `a_rows`/`b_s` covering the shared dimension `k`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn mm_tile16_avx2(
@@ -412,6 +415,9 @@ fn atb_tile16(
 
 /// AVX2+FMA 4 x 16 `Aᵀ · B` tile — same fused l-ordered chain as the
 /// scalar `mul_add` tile.
+// SAFETY: caller must guarantee AVX2+FMA are present and that the tile
+// `[oi..oi+4) x [j..j+16)` lies fully inside `out` (rows of length `n`),
+// with column block `i..i+4` valid in `a_s` (rows of length `m`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn atb_tile16_avx2(

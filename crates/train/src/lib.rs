@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod local_sgd;
 pub mod optim;

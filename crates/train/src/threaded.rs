@@ -174,7 +174,9 @@ pub fn train_threaded<T: Task + Sync>(
         let rank = worker.rank();
         let compressor = method.build().map_err(ExecError::from)?;
         let mut engine = match &cfg.pipeline {
-            Some(pcfg) => Engine::Pipelined(PipelinedEngine::new(worker, compressor, pcfg.clone())),
+            Some(pcfg) => {
+                Engine::Pipelined(PipelinedEngine::new(worker, compressor, pcfg.clone())?)
+            }
             None => Engine::Sequential(worker, compressor),
         };
         let mut params = task.init_params(cfg.seed);

@@ -24,6 +24,13 @@ GCS_FORCE_SCALAR=1 cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Static verification layer: model-check every collective schedule family
+# (p = 2..16, dead-rank subsets <= 2) and lint the workspace source
+# (unsafe hygiene, data-plane panic paths, raw accumulation loops). Writes
+# results/analyze_report.json and exits non-zero on any violation.
+echo "==> gradcomp analyze --all"
+cargo run -q --release -p gcs-cli --bin gradcomp-cli -- analyze --all
+
 # Smoke-run the tracked benchmark binaries: tiny sizes, one iteration,
 # no JSON rewrite — catches bit-rot in the bench plumbing without the
 # minutes-long full runs. The datapath smoke runs under both dispatch
