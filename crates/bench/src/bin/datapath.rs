@@ -527,14 +527,21 @@ fn cpu_model() -> String {
 }
 
 /// Host + dispatch provenance for the tracked report (bench hygiene: a
-/// number without the CPU and dispatch mode that produced it is noise).
-fn metadata() -> Value {
+/// number without the CPU, dispatch mode, thread count and tile shape that
+/// produced it is noise).
+fn metadata(smoke: bool) -> Value {
+    let choice = gcs_tensor::autotune::choice();
     json!({
         "cpu_model": cpu_model(),
         "kernel_features": kernels::feature_string(),
         "active_kernel_table": kernels::active().name,
         "simd_active": kernels::simd_active(),
         "force_scalar": std::env::var("GCS_FORCE_SCALAR").ok(),
+        "kernel_threads": gcs_tensor::pool::global().width(),
+        "gemm_tile": choice.gemm_tile.name(),
+        "wire_chunk_elems": choice.wire_chunk_elems,
+        "autotune_provenance": choice.provenance,
+        "smoke": smoke,
     })
 }
 
@@ -551,7 +558,7 @@ fn main() {
 
     let report = json!({
         "bench": "datapath",
-        "metadata": metadata(),
+        "metadata": metadata(smoke),
         "ring_all_reduce": ring,
         "all_reduce_algorithms": algos,
         "matmul": gemm,
@@ -560,13 +567,25 @@ fn main() {
         "signs": signs,
         "simd_kernels": simd,
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
-    if smoke {
-        // Smoke timings are meaningless; don't clobber the tracked file.
-        println!("smoke mode: skipping write of {path}");
-    } else {
-        let text = serde_json::to_string_pretty(&report).expect("serialize report");
-        std::fs::write(path, text).expect("write BENCH_datapath.json");
-        println!("wrote {path}");
+    // `GCS_BENCH_OUT` redirects the report (written even in smoke mode —
+    // the regression gate diffs report *structure* against the committed
+    // file and only compares timings between two full runs).
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
+    let out = std::env::var("GCS_BENCH_OUT").ok();
+    match (out, smoke) {
+        (Some(path), _) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(&path, text).expect("write GCS_BENCH_OUT report");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            // Smoke timings are meaningless; don't clobber the tracked file.
+            println!("smoke mode: skipping write of {default_path}");
+        }
+        (None, false) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(default_path, text).expect("write BENCH_datapath.json");
+            println!("wrote {default_path}");
+        }
     }
 }

@@ -256,19 +256,39 @@ fn main() {
         }
     }
 
+    let choice = gcs_tensor::autotune::choice();
+    let metadata = json!({
+        "active_kernel_table": gcs_tensor::kernels::active().name,
+        "kernel_threads": gcs_tensor::pool::global().width(),
+        "gemm_tile": choice.gemm_tile.name(),
+        "wire_chunk_elems": choice.wire_chunk_elems,
+        "autotune_provenance": choice.provenance,
+        "smoke": smoke,
+    });
     let report: Value = json!({
         "bench": "pipeline",
         "smoke": smoke,
         "params": total_params,
+        "metadata": metadata,
         "rows": rows,
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    if smoke {
-        // Smoke timings are meaningless; don't clobber the tracked file.
-        println!("smoke mode: skipping write of {path}");
-    } else {
-        let text = serde_json::to_string_pretty(&report).expect("serialize report");
-        std::fs::write(path, text).expect("write BENCH_pipeline.json");
-        println!("wrote {path}");
+    // `GCS_BENCH_OUT` redirects the report (written even in smoke mode, for
+    // the structural regression gate in CI).
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match (std::env::var("GCS_BENCH_OUT").ok(), smoke) {
+        (Some(path), _) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(&path, text).expect("write GCS_BENCH_OUT report");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            // Smoke timings are meaningless; don't clobber the tracked file.
+            println!("smoke mode: skipping write of {default_path}");
+        }
+        (None, false) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(default_path, text).expect("write BENCH_pipeline.json");
+            println!("wrote {default_path}");
+        }
     }
 }

@@ -85,6 +85,42 @@ fn analyze_lint_fails_on_unsafe_outside_allowlist() {
 }
 
 #[test]
+fn analyze_lint_fails_on_avx512_intrinsics_outside_kernel_allowlist() {
+    let root = ScratchRoot::new("avx512");
+    let src = root.0.join("crates/compress/src");
+    fs::create_dir_all(&src).unwrap();
+    // A hand-vectorized AVX-512 hot loop dropped outside the audited
+    // kernel layer: SAFETY-commented and feature-gated, but still not in
+    // the allowlist — the lint must reject it so every intrinsic stays in
+    // `crates/tensor/src/kernels/` where the bitwise property suite and
+    // runtime feature detection cover it.
+    fs::write(
+        src.join("turbo.rs"),
+        concat!(
+            "use std::arch::x86_64::*;\n",
+            "#[target_feature(enable = \"avx512f\")]\n",
+            "pub unsafe fn add16(a: *const f32, b: *mut f32) {\n",
+            "    // SAFETY: caller promises 16 valid lanes.\n",
+            "    unsafe {\n",
+            "        let x = _mm512_loadu_ps(a);\n",
+            "        let y = _mm512_loadu_ps(b);\n",
+            "        _mm512_storeu_ps(b, _mm512_add_ps(x, y));\n",
+            "    }\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let err = gcs_cli::run(&args).expect_err("AVX-512 unsafe outside kernels/ must fail");
+    assert!(
+        err.0.contains("unsafe-outside-allowlist"),
+        "error should cite the rule: {}",
+        err.0
+    );
+}
+
+#[test]
 fn analyze_lint_passes_on_clean_workspace() {
     let root = ScratchRoot::new("clean");
     let src = root.0.join("crates/ddp/src");

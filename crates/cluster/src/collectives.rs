@@ -9,17 +9,22 @@
 //! # Data-plane fast path
 //!
 //! The hot loop of [`WorkerHandle::all_reduce_sum`] is allocation-free in
-//! steady state: the wire buffer it sends is reclaimed from the previous
-//! step's received [`Frame`] (frames on a ring have exactly one receiver,
-//! so [`Frame::into_vec`] recovers the allocation without copying), and
-//! f32↔byte conversion and the segment-sum reduce step dispatch through
-//! [`gcs_tensor::kernels`] (AVX2 on capable hosts, scalar otherwise — the
-//! reduce keeps a fixed association order, so results are identical either
-//! way). All-gather and broadcast forward frames by refcount bump.
+//! steady state and touches each byte once per step: the reduce-scatter
+//! folds the local contribution directly into the received wire image
+//! (`w ← x + w` via [`gcs_tensor::kernels::add_into_bytes`], the same
+//! operand order as the buffer-side accumulator, so sums are bit-identical
+//! to decode-accumulate-reserialize) and forwards that buffer, while the
+//! all-gather decodes each incoming frame into `buf` and forwards the
+//! *same* [`Frame`] by refcount bump — no re-serialization in either
+//! phase. Every conversion and reduce dispatches through the pooled
+//! [`gcs_tensor::kernels`] entry points (AVX-512/AVX2 where detected,
+//! banded across the kernel pool on multi-core hosts; fixed association
+//! order keeps results identical in every configuration).
 
 use crate::transport::{Frame, WorkerHandle};
 use crate::{ClusterError, Result};
 use gcs_tensor::kernels;
+use gcs_tensor::pool;
 
 /// Splits `len` elements into `p` contiguous chunks whose sizes differ by
 /// at most one. Returns the `(start, end)` of chunk `i`.
@@ -37,7 +42,7 @@ pub(crate) fn fill_bytes_from_f32s(out: &mut Vec<u8>, xs: &[f32]) {
     // (nearly) the right length, so steady-state steps skip the zero-fill
     // memset entirely and go straight to the overwrite below.
     out.resize(xs.len() * 4, 0);
-    kernels::f32s_to_bytes(xs, out);
+    kernels::f32s_to_bytes_pooled(pool::global(), xs, out);
 }
 
 /// Checks that `bytes` decodes to exactly `expected` f32s.
@@ -54,14 +59,24 @@ pub(crate) fn check_f32_frame(bytes: &[u8], expected: usize, what: &str) -> Resu
 
 /// Decodes `bytes` into `out[..]` in place (`out.len() * 4 == bytes.len()`).
 pub(crate) fn fill_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
-    kernels::bytes_to_f32s(bytes, out);
+    kernels::bytes_to_f32s_pooled(pool::global(), bytes, out);
 }
 
 /// Accumulates `bytes` (decoded as f32s) into `out[..]` in place — the
 /// reduce step of every ring / halving-doubling exchange. Elementwise, so
 /// SIMD and scalar dispatch produce identical bits.
 pub(crate) fn add_f32s_from_bytes(out: &mut [f32], bytes: &[u8]) {
-    kernels::add_from_bytes(bytes, out);
+    kernels::add_from_bytes_pooled(pool::global(), bytes, out);
+}
+
+/// Folds `xs` into the wire image in place: `bytes ← encode(x + decode(w))`
+/// elementwise. Operand order (`x` first) matches the `out += wire`
+/// accumulator of [`add_f32s_from_bytes`], so a sum built step-by-step in
+/// the wire buffer is bit-identical to one built in a float buffer and
+/// re-serialized — including NaN payload propagation. One pass over the
+/// frame instead of decode + accumulate + re-encode.
+pub(crate) fn add_f32s_into_bytes(xs: &[f32], bytes: &mut [u8]) {
+    kernels::add_into_bytes_pooled(pool::global(), xs, bytes);
 }
 
 impl WorkerHandle {
@@ -70,10 +85,17 @@ impl WorkerHandle {
     ///
     /// All ranks must call this with buffers of equal length.
     ///
-    /// Steady-state allocation-free: across all `2(p−1)` ring steps the
-    /// only buffers in play are one outgoing wire buffer per worker, which
-    /// circulates around the ring (each received frame is uniquely owned,
-    /// so its allocation is reclaimed and refilled for the next send).
+    /// Single-pass wire path: the only serialization is the initial send
+    /// of this rank's own chunk. Each subsequent reduce-scatter step folds
+    /// the local contribution *into the received wire image* (one
+    /// `w ← x + w` pass) and forwards that buffer — the chunk a rank sends
+    /// at step `s+1` is exactly the chunk it received at step `s`, so
+    /// decode-accumulate-reserialize collapses into one kernel call. The
+    /// all-gather decodes each incoming frame into `buf` and forwards the
+    /// same [`Frame`] by refcount bump (zero copies). Same `2(p−1)` frame
+    /// schedule and byte counts as the textbook formulation, and the
+    /// accumulation chain `x_{r} + (…)` keeps the same association order,
+    /// so the result is **bit-identical** to it.
     ///
     /// # Errors
     ///
@@ -89,38 +111,49 @@ impl WorkerHandle {
         let next = self.ring_next();
         let prev = self.ring_prev();
 
-        // One scratch buffer seeded here; every subsequent send reuses the
-        // allocation of the frame received in the previous step.
-        let mut wire: Vec<u8> = Vec::with_capacity(len.div_ceil(p) * 4);
-
-        // Phase 1: reduce-scatter. After step s, the chunk we just received
-        // accumulates one more contribution; after p-1 steps chunk
-        // (rank+1) % p holds the full sum.
+        // Phase 1: reduce-scatter. Only the seed send serializes from
+        // `buf`; partial sums then travel (and accumulate) in wire form.
+        // After p-1 steps chunk (rank+1) % p holds the full sum.
+        let (ss, se) = chunk_range(len, p, rank);
+        let mut wire: Vec<u8> = Vec::with_capacity(se.saturating_sub(ss) * 4);
+        fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+        self.send(next, Frame::from_vec(wire))?;
         for s in 0..p - 1 {
-            let send_idx = (rank + p - s) % p;
             let recv_idx = (rank + 2 * p - s - 1) % p;
-            let (ss, se) = chunk_range(len, p, send_idx);
-            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
-            self.send(next, Frame::from_vec(wire))?;
             let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
             check_f32_frame(&incoming, re - rs, "reduce-scatter")?;
-            add_f32s_from_bytes(&mut buf[rs..re], &incoming);
-            wire = incoming.into_vec();
+            if s + 1 < p - 1 {
+                // Fold our contribution into the wire image and pass it
+                // on (the frame is uniquely owned on a ring, so into_vec
+                // reclaims the allocation without copying).
+                let mut w = incoming.into_vec();
+                add_f32s_into_bytes(&buf[rs..re], &mut w);
+                self.send(next, Frame::from_vec(w))?;
+            } else {
+                // Final hop: this rank completes the sum for its chunk,
+                // which must land in `buf` for the all-gather phase.
+                add_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            }
         }
 
-        // Phase 2: all-gather of the reduced chunks.
+        // Phase 2: all-gather of the reduced chunks. One serialization of
+        // our completed chunk; every other frame is decoded into `buf`
+        // and forwarded as-is.
+        let own = (rank + 1) % p;
+        let (ss, se) = chunk_range(len, p, own);
+        let mut wire: Vec<u8> = Vec::with_capacity(se.saturating_sub(ss) * 4);
+        fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+        self.send(next, Frame::from_vec(wire))?;
         for s in 0..p - 1 {
-            let send_idx = (rank + 1 + p - s) % p;
             let recv_idx = (rank + p - s) % p;
-            let (ss, se) = chunk_range(len, p, send_idx);
-            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
-            self.send(next, Frame::from_vec(wire))?;
             let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, p, recv_idx);
             check_f32_frame(&incoming, re - rs, "all-gather")?;
             fill_f32s_from_bytes(&mut buf[rs..re], &incoming);
-            wire = incoming.into_vec();
+            if s + 1 < p - 1 {
+                self.send(next, incoming)?;
+            }
         }
         Ok(())
     }
@@ -384,30 +417,40 @@ impl WorkerHandle {
             return Ok(());
         }
         let len = buf.len();
-        let mut wire: Vec<u8> = Vec::with_capacity(len.div_ceil(m) * 4);
+        // Same single-pass wire path as [`WorkerHandle::all_reduce_sum`],
+        // over the shrunk ring: seed send, in-wire accumulation forwards,
+        // zero-copy all-gather forwards.
+        let (ss, se) = chunk_range(len, m, pos);
+        let mut wire: Vec<u8> = Vec::with_capacity(se.saturating_sub(ss) * 4);
+        fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+        self.send(next, Frame::from_vec(wire))?;
         for s in 0..m - 1 {
-            let send_idx = (pos + m - s) % m;
             let recv_idx = (pos + 2 * m - s - 1) % m;
-            let (ss, se) = chunk_range(len, m, send_idx);
-            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
-            self.send(next, Frame::from_vec(wire))?;
             let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, m, recv_idx);
             check_f32_frame(&incoming, re - rs, "reduce-scatter (among)")?;
-            add_f32s_from_bytes(&mut buf[rs..re], &incoming);
-            wire = incoming.into_vec();
+            if s + 1 < m - 1 {
+                let mut w = incoming.into_vec();
+                add_f32s_into_bytes(&buf[rs..re], &mut w);
+                self.send(next, Frame::from_vec(w))?;
+            } else {
+                add_f32s_from_bytes(&mut buf[rs..re], &incoming);
+            }
         }
+        let own = (pos + 1) % m;
+        let (ss, se) = chunk_range(len, m, own);
+        let mut wire: Vec<u8> = Vec::with_capacity(se.saturating_sub(ss) * 4);
+        fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
+        self.send(next, Frame::from_vec(wire))?;
         for s in 0..m - 1 {
-            let send_idx = (pos + 1 + m - s) % m;
             let recv_idx = (pos + m - s) % m;
-            let (ss, se) = chunk_range(len, m, send_idx);
-            fill_bytes_from_f32s(&mut wire, &buf[ss..se]);
-            self.send(next, Frame::from_vec(wire))?;
             let incoming = self.recv_robust(prev)?;
             let (rs, re) = chunk_range(len, m, recv_idx);
             check_f32_frame(&incoming, re - rs, "all-gather (among)")?;
             fill_f32s_from_bytes(&mut buf[rs..re], &incoming);
-            wire = incoming.into_vec();
+            if s + 1 < m - 1 {
+                self.send(next, incoming)?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,416 @@
+//! Runtime autotuner for the kernel layer.
+//!
+//! Two knobs are worth measuring rather than hard-coding:
+//!
+//! * **GEMM tile shape** — the matmul j-loop can run the 4x32 AVX-512
+//!   tile, the 4x16 AVX2 tile, or the scalar `mul_add` tile. All three
+//!   produce bit-identical output (every element is the same l-ordered
+//!   fused chain), so the choice is purely a performance question — and
+//!   on some parts (e.g. client cores that downclock under 512-bit
+//!   load) the widest tile is *not* the fastest.
+//! * **Wire chunk size** — the pooled byte/float kernels split buffers
+//!   into bands of at least this many elements; it bounds fork overhead
+//!   and doubles as the cache-blocking unit for the streaming wire
+//!   paths.
+//!
+//! The tuner benchmarks the supported candidates once at first use,
+//! caches the decision in a process-wide [`OnceLock`], and persists it
+//! to `results/autotune.json` (or `GCS_AUTOTUNE_CACHE`) so later runs on
+//! the same machine skip the measurement. The cache records the CPU
+//! model, kernel table, and pool width it was measured under and is
+//! ignored on any mismatch.
+//!
+//! Knobs:
+//!
+//! * `GCS_NO_AUTOTUNE=1` — skip measurement *and* cache IO; use the
+//!   widest supported tile and the default chunk size.
+//! * `GCS_FORCE_SCALAR=1` — scalar tile, default chunk, no IO (the
+//!   autotuner must not observe SIMD timings the dispatcher will never
+//!   use).
+//! * `GCS_AUTOTUNE_CACHE=<path>` — cache file location override.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::matrix::{self, MatrixRef};
+
+/// Register-tile shape used by the matmul j-loops. Every tile computes
+/// the identical l-ordered FMA chain per output element, so switching
+/// tiles never changes output bits — only speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmTile {
+    /// Scalar `mul_add` tiles only.
+    Scalar,
+    /// 4x16 AVX2+FMA tile (two ymm accumulators per row).
+    Avx2x16,
+    /// 4x32 AVX-512 tile (two zmm accumulators per row).
+    Avx512x32,
+}
+
+impl GemmTile {
+    /// Stable identifier used in the cache file and bench metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmTile::Scalar => "scalar",
+            GemmTile::Avx2x16 => "avx2x16",
+            GemmTile::Avx512x32 => "avx512x32",
+        }
+    }
+
+    /// Inverse of [`GemmTile::name`].
+    pub fn from_name(name: &str) -> Option<GemmTile> {
+        match name {
+            "scalar" => Some(GemmTile::Scalar),
+            "avx2x16" => Some(GemmTile::Avx2x16),
+            "avx512x32" => Some(GemmTile::Avx512x32),
+            _ => None,
+        }
+    }
+
+    /// Whether this tile runs vector code (needs the matching runtime
+    /// feature detection before use).
+    pub fn uses_simd(self) -> bool {
+        !matches!(self, GemmTile::Scalar)
+    }
+}
+
+/// Default minimum elements per pooled wire band when no measurement is
+/// available: 64 Ki floats = 256 KiB, comfortably above fork overhead.
+pub const DEFAULT_WIRE_CHUNK: usize = 1 << 16;
+
+/// The tuner's decision for this process.
+#[derive(Clone, Debug)]
+pub struct Choice {
+    /// Tile the dispatched matmuls run when SIMD is active.
+    pub gemm_tile: GemmTile,
+    /// Minimum elements per band for the pooled wire kernels.
+    pub wire_chunk_elems: usize,
+    /// How the decision was reached: `"measured"`, `"cache"`,
+    /// `"static-default"`, or `"forced-scalar"`.
+    pub provenance: &'static str,
+}
+
+static CHOICE: OnceLock<Choice> = OnceLock::new();
+
+/// The process-wide tuning decision, measuring (or loading the cache)
+/// on first call.
+pub fn choice() -> &'static Choice {
+    CHOICE.get_or_init(resolve)
+}
+
+/// Widest tile the running CPU supports — the static fallback when
+/// measurement is disabled, and the tile [`matrix::matmul_with_dispatch`]
+/// pins when its caller asks for SIMD.
+pub fn best_supported_tile() -> GemmTile {
+    if crate::kernels::avx512_supported() {
+        GemmTile::Avx512x32
+    } else if crate::kernels::avx2_supported() {
+        GemmTile::Avx2x16
+    } else {
+        GemmTile::Scalar
+    }
+}
+
+/// Every tile the running CPU can execute, narrowest first.
+pub fn supported_tiles() -> Vec<GemmTile> {
+    let mut tiles = vec![GemmTile::Scalar];
+    if crate::kernels::avx2_supported() {
+        tiles.push(GemmTile::Avx2x16);
+    }
+    if crate::kernels::avx512_supported() {
+        tiles.push(GemmTile::Avx512x32);
+    }
+    tiles
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+fn resolve() -> Choice {
+    if crate::kernels::force_scalar() {
+        return Choice {
+            gemm_tile: GemmTile::Scalar,
+            wire_chunk_elems: DEFAULT_WIRE_CHUNK,
+            provenance: "forced-scalar",
+        };
+    }
+    if env_flag("GCS_NO_AUTOTUNE") {
+        return Choice {
+            gemm_tile: best_supported_tile(),
+            wire_chunk_elems: DEFAULT_WIRE_CHUNK,
+            provenance: "static-default",
+        };
+    }
+    if let Some(rec) = cache_path().and_then(|p| load_cache(&p)) {
+        return Choice {
+            gemm_tile: rec.gemm_tile,
+            wire_chunk_elems: rec.wire_chunk_elems,
+            provenance: "cache",
+        };
+    }
+    let (gemm_tile, wire_chunk_elems) = measure();
+    if let Some(path) = cache_path() {
+        let rec = CacheRecord {
+            cpu_model: cpu_model(),
+            kernel_table: crate::kernels::active().name.to_string(),
+            threads: crate::pool::global().width(),
+            gemm_tile,
+            wire_chunk_elems,
+        };
+        store_cache(&path, &rec);
+    }
+    Choice {
+        gemm_tile,
+        wire_chunk_elems,
+        provenance: "measured",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Deterministic pseudo-random fill so measurement inputs are stable
+/// without touching the seeded experiment RNGs.
+fn fill_pattern(buf: &mut [f32], mut seed: u32) {
+    for v in buf {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        *v = (seed >> 8) as f32 / (1 << 24) as f32 - 0.5;
+    }
+}
+
+fn bench_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warm caches and page in buffers
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Benchmark the supported GEMM tiles and the wire chunk candidates,
+/// returning the fastest of each. A few tens of milliseconds, paid once
+/// per process (or once per machine with the cache).
+fn measure() -> (GemmTile, usize) {
+    // GEMM: a PowerSGD-shaped product, n divisible by 32 so every tile
+    // runs its full-width path.
+    let (m, k, n) = (128, 384, 96);
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    let mut out = vec![0.0f32; m * n];
+    fill_pattern(&mut a, 1);
+    fill_pattern(&mut b, 2);
+    let av = MatrixRef::new(&a, m, k).expect("tuner shape");
+    let bv = MatrixRef::new(&b, k, n).expect("tuner shape");
+    let mut best_tile = (GemmTile::Scalar, u128::MAX);
+    for tile in supported_tiles() {
+        let ns = bench_ns(3, || {
+            matrix::matmul_with_tile(tile, av, bv, &mut out).expect("tuner dims");
+        });
+        if ns < best_tile.1 {
+            best_tile = (tile, ns);
+        }
+    }
+
+    // Wire chunk: stream an out-of-cache buffer through the accumulate
+    // kernel in chunks of each candidate size.
+    let elems = 1 << 19;
+    let mut xs = vec![0.0f32; elems];
+    fill_pattern(&mut xs, 3);
+    let mut bytes = vec![0u8; elems * 4];
+    let mut best_chunk = (DEFAULT_WIRE_CHUNK, u128::MAX);
+    for chunk in [1usize << 14, 1 << 16, 1 << 18] {
+        let ns = bench_ns(2, || {
+            for lo in (0..elems).step_by(chunk) {
+                let hi = (lo + chunk).min(elems);
+                crate::kernels::add_into_bytes(&xs[lo..hi], &mut bytes[lo * 4..hi * 4]);
+            }
+        });
+        if ns < best_chunk.1 {
+            best_chunk = (chunk, ns);
+        }
+    }
+    (best_tile.0, best_chunk.0)
+}
+
+// ---------------------------------------------------------------------------
+// Cache persistence (hand-rolled JSON — the tensor crate stays dep-free)
+// ---------------------------------------------------------------------------
+
+/// What the cache file records. A file measured under a different CPU,
+/// kernel table, or pool width is stale and ignored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheRecord {
+    cpu_model: String,
+    kernel_table: String,
+    threads: usize,
+    gemm_tile: GemmTile,
+    wire_chunk_elems: usize,
+}
+
+/// Cache location: the env override, else `results/autotune.json` when a
+/// `results/` directory already exists in the working directory (so test
+/// runs inside `crates/*` never scatter cache files), else nowhere.
+fn cache_path() -> Option<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("GCS_AUTOTUNE_CACHE") {
+        if !p.is_empty() {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    let dir = std::path::Path::new("results");
+    dir.is_dir().then(|| dir.join("autotune.json"))
+}
+
+/// `model name` from `/proc/cpuinfo`, or `"unknown"` off Linux.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| sanitize(v.trim()))
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Strips characters that would break the naive JSON writer/parser.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, '"' | '\\' | ',' | '{' | '}' | '\n' | '\r'))
+        .collect()
+}
+
+fn render_cache(rec: &CacheRecord) -> String {
+    format!(
+        "{{\n  \"version\": 1,\n  \"cpu_model\": \"{}\",\n  \"kernel_table\": \"{}\",\n  \
+         \"threads\": {},\n  \"gemm_tile\": \"{}\",\n  \"wire_chunk_elems\": {}\n}}\n",
+        sanitize(&rec.cpu_model),
+        sanitize(&rec.kernel_table),
+        rec.threads,
+        rec.gemm_tile.name(),
+        rec.wire_chunk_elems,
+    )
+}
+
+/// Pulls the raw text of `"key": <value>` from a flat JSON object —
+/// enough structure for the fixed shape [`render_cache`] writes.
+fn field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let after = &text[text.find(&pat)? + pat.len()..];
+    let val = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = val.find([',', '\n', '}']).unwrap_or(val.len());
+    Some(val[..end].trim().trim_matches('"'))
+}
+
+fn parse_cache(text: &str) -> Option<CacheRecord> {
+    if field(text, "version")? != "1" {
+        return None;
+    }
+    let wire_chunk_elems: usize = field(text, "wire_chunk_elems")?.parse().ok()?;
+    if !(1 << 10..=1 << 22).contains(&wire_chunk_elems) {
+        return None;
+    }
+    Some(CacheRecord {
+        cpu_model: field(text, "cpu_model")?.to_string(),
+        kernel_table: field(text, "kernel_table")?.to_string(),
+        threads: field(text, "threads")?.parse().ok()?,
+        gemm_tile: GemmTile::from_name(field(text, "gemm_tile")?)?,
+        wire_chunk_elems,
+    })
+}
+
+/// Loads and validates the cache; any mismatch with the running machine
+/// (CPU, kernel table, pool width, unsupported tile) discards it.
+fn load_cache(path: &std::path::Path) -> Option<CacheRecord> {
+    let rec = parse_cache(&std::fs::read_to_string(path).ok()?)?;
+    let valid = rec.cpu_model == cpu_model()
+        && rec.kernel_table == crate::kernels::active().name
+        && rec.threads == crate::pool::global().width()
+        && supported_tiles().contains(&rec.gemm_tile);
+    valid.then_some(rec)
+}
+
+/// Best-effort atomic write (temp file + rename); concurrent test
+/// binaries may race, but each writes a complete file.
+fn store_cache(path: &std::path::Path, rec: &CacheRecord) {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, render_cache(rec)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_names_round_trip() {
+        for tile in [GemmTile::Scalar, GemmTile::Avx2x16, GemmTile::Avx512x32] {
+            assert_eq!(GemmTile::from_name(tile.name()), Some(tile));
+        }
+        assert_eq!(GemmTile::from_name("avx1024x64"), None);
+    }
+
+    #[test]
+    fn cache_round_trips_through_render_and_parse() {
+        let rec = CacheRecord {
+            cpu_model: "Engineering Sample @ 2.10GHz".to_string(),
+            kernel_table: "avx512".to_string(),
+            threads: 4,
+            gemm_tile: GemmTile::Avx512x32,
+            wire_chunk_elems: 1 << 16,
+        };
+        assert_eq!(parse_cache(&render_cache(&rec)).as_ref(), Some(&rec));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_bad_versions() {
+        assert_eq!(parse_cache(""), None);
+        assert_eq!(parse_cache("not json at all"), None);
+        let rec = CacheRecord {
+            cpu_model: "x".to_string(),
+            kernel_table: "scalar".to_string(),
+            threads: 1,
+            gemm_tile: GemmTile::Scalar,
+            wire_chunk_elems: 1 << 16,
+        };
+        let v2 = render_cache(&rec).replace("\"version\": 1", "\"version\": 2");
+        assert_eq!(parse_cache(&v2), None);
+        let wild = render_cache(&rec).replace(
+            &format!("\"wire_chunk_elems\": {}", 1 << 16),
+            "\"wire_chunk_elems\": 7",
+        );
+        assert_eq!(parse_cache(&wild), None, "implausible chunk rejected");
+    }
+
+    #[test]
+    fn sanitizer_strips_structural_characters() {
+        assert_eq!(sanitize("a\"b\\c,d{e}f\ng"), "abcdefg");
+    }
+
+    #[test]
+    fn choice_is_computed_once_and_supported() {
+        let c = choice();
+        assert!(std::ptr::eq(c, choice()));
+        assert!(supported_tiles().contains(&c.gemm_tile));
+        assert!(c.wire_chunk_elems >= 1 << 10);
+        if crate::kernels::force_scalar() {
+            assert_eq!(c.gemm_tile, GemmTile::Scalar);
+            assert_eq!(c.provenance, "forced-scalar");
+        }
+    }
+
+    #[test]
+    fn best_supported_tile_matches_kernel_tables() {
+        let best = best_supported_tile();
+        match crate::kernels::simd().map(|k| k.name) {
+            Some("avx512") => assert_eq!(best, GemmTile::Avx512x32),
+            Some("avx2") => assert_eq!(best, GemmTile::Avx2x16),
+            _ => assert_eq!(best, GemmTile::Scalar),
+        }
+    }
+}

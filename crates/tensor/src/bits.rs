@@ -4,11 +4,14 @@
 //! aggregation is a per-coordinate majority vote:
 //! `sign(Σᵢ sign(gᵢ))` (Section 2.1 of the paper).
 //!
-//! The pack/unpack/vote inner loops dispatch through [`crate::kernels`], so
-//! they run vectorized on AVX2 hosts with byte-identical results to the
-//! scalar fallback.
+//! The pack/unpack/vote inner loops dispatch through the *pooled*
+//! [`crate::kernels`] entry points, so they run vectorized (AVX-512 or
+//! AVX2 where detected) and banded across the global kernel pool on
+//! multi-core hosts — with byte-identical results to the serial scalar
+//! fallback in every configuration.
 
 use crate::kernels;
+use crate::pool;
 
 /// A packed vector of signs: bit = 1 means the element was non-negative.
 ///
@@ -26,7 +29,7 @@ impl SignBits {
     pub fn pack(data: &[f32]) -> Self {
         let len = data.len();
         let mut words = vec![0u32; len.div_ceil(32)];
-        kernels::sign_pack(data, &mut words);
+        kernels::sign_pack_pooled(pool::global(), data, &mut words);
         SignBits { words, len }
     }
 
@@ -35,7 +38,7 @@ impl SignBits {
     /// Element `i` becomes `+scale` if bit `i` is set, `-scale` otherwise.
     pub fn unpack(&self, scale: f32) -> Vec<f32> {
         let mut out = vec![0.0; self.len];
-        kernels::unpack_fill(&self.words, -scale, scale, &mut out);
+        kernels::unpack_fill_pooled(pool::global(), &self.words, -scale, scale, &mut out);
         out
     }
 
@@ -44,13 +47,13 @@ impl SignBits {
     /// distinct per-bucket means for the two halves).
     pub fn unpack_into(&self, neg: f32, pos: f32, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "unpack_into length mismatch");
-        kernels::unpack_fill(&self.words, neg, pos, out);
+        kernels::unpack_fill_pooled(pool::global(), &self.words, neg, pos, out);
     }
 
     /// Accumulating unpack: `out[i] += if bit i { pos } else { neg }`.
     pub fn unpack_add_into(&self, neg: f32, pos: f32, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "unpack_add_into length mismatch");
-        kernels::unpack_add(&self.words, neg, pos, out);
+        kernels::unpack_add_pooled(pool::global(), &self.words, neg, pos, out);
     }
 
     /// Number of packed elements.
@@ -141,7 +144,7 @@ impl MajorityVote {
     pub fn add(&mut self, bits: &SignBits) {
         assert_eq!(bits.len(), self.tally.len(), "vote length mismatch");
         // +1 for a set bit, −1 otherwise, branchless.
-        kernels::vote_add(bits.words(), &mut self.tally);
+        kernels::vote_add_pooled(pool::global(), bits.words(), &mut self.tally);
         self.voters += 1;
     }
 
@@ -163,7 +166,7 @@ impl MajorityVote {
     /// would broadcast back).
     pub fn majority_bits(&self) -> SignBits {
         let mut words = vec![0u32; self.tally.len().div_ceil(32)];
-        kernels::vote_pack(&self.tally, &mut words);
+        kernels::vote_pack_pooled(pool::global(), &self.tally, &mut words);
         SignBits {
             words,
             len: self.tally.len(),

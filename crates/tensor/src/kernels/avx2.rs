@@ -39,6 +39,7 @@ pub(super) static KERNELS: Kernels = Kernels {
     bytes_to_f32s,
     bytes_to_u32s,
     add_from_bytes,
+    add_into_bytes,
     add_assign,
     axpy,
     scale,
@@ -190,7 +191,7 @@ unsafe fn vote_pack_avx2(tally: &[i32], out: &mut [u32]) {
 /// x86_64 is little-endian, so the per-element `to_le_bytes` loops are a
 /// straight memory copy; `copy_nonoverlapping` lowers to the platform
 /// memcpy, whose bulk path is already the widest vector the CPU has.
-fn f32s_to_bytes(xs: &[f32], out: &mut [u8]) {
+pub(super) fn f32s_to_bytes(xs: &[f32], out: &mut [u8]) {
     // SAFETY: `out` holds exactly `4 * xs.len()` bytes (wrapper contract)
     // and the slices cannot overlap (`&mut` aliasing rules).
     unsafe {
@@ -198,14 +199,14 @@ fn f32s_to_bytes(xs: &[f32], out: &mut [u8]) {
     }
 }
 
-fn u32s_to_bytes(xs: &[u32], out: &mut [u8]) {
+pub(super) fn u32s_to_bytes(xs: &[u32], out: &mut [u8]) {
     // SAFETY: as in `f32s_to_bytes`.
     unsafe {
         std::ptr::copy_nonoverlapping(xs.as_ptr() as *const u8, out.as_mut_ptr(), xs.len() * 4);
     }
 }
 
-fn bytes_to_f32s(bytes: &[u8], out: &mut [f32]) {
+pub(super) fn bytes_to_f32s(bytes: &[u8], out: &mut [f32]) {
     // SAFETY: `bytes` holds exactly `4 * out.len()` bytes (wrapper
     // contract); `f32` has no invalid bit patterns and alignment-1 reads
     // into an aligned destination are handled by memcpy.
@@ -214,7 +215,7 @@ fn bytes_to_f32s(bytes: &[u8], out: &mut [f32]) {
     }
 }
 
-fn bytes_to_u32s(bytes: &[u8], out: &mut [u32]) {
+pub(super) fn bytes_to_u32s(bytes: &[u8], out: &mut [u32]) {
     // SAFETY: as in `bytes_to_f32s`.
     unsafe {
         std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
@@ -242,6 +243,27 @@ unsafe fn add_from_bytes_avx2(bytes: &[u8], out: &mut [f32]) {
         _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), b));
     }
     scalar::add_from_bytes(&bytes[full * 32..], &mut out[full * 8..]);
+}
+
+fn add_into_bytes(xs: &[f32], bytes: &mut [u8]) {
+    // SAFETY: table installed only after AVX2+FMA runtime detection.
+    unsafe { add_into_bytes_avx2(xs, bytes) }
+}
+
+// SAFETY: caller must guarantee AVX2+FMA are present and that `bytes`
+// holds exactly `4 * xs.len()` little-endian f32s; unaligned loads/stores
+// are used so `bytes` needs no alignment.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_into_bytes_avx2(xs: &[f32], bytes: &mut [u8]) {
+    let full = xs.len() / 8;
+    let dst = bytes.as_mut_ptr();
+    for i in 0..full {
+        let w = _mm256_loadu_ps(dst.add(i * 32) as *const f32);
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i * 8));
+        // x first, wire second — the scalar kernel's `x + w` order.
+        _mm256_storeu_ps(dst.add(i * 32) as *mut f32, _mm256_add_ps(x, w));
+    }
+    scalar::add_into_bytes(&xs[full * 8..], &mut bytes[full * 32..]);
 }
 
 // ---------------------------------------------------------------------------
@@ -322,8 +344,12 @@ unsafe fn abs_into_avx2(data: &[f32], out: &mut [f32]) {
     scalar::abs_into(&data[full * 8..], &mut out[full * 8..]);
 }
 
-fn sum_abs(data: &[f32]) -> f32 {
-    // SAFETY: table installed only after AVX2+FMA runtime detection.
+/// `pub(super)` so the AVX-512 table reuses this entry directly: the
+/// kernel contract fixes the 8-lane striping, so a 16-lane version would
+/// *break* bit-exactness rather than improve it.
+pub(super) fn sum_abs(data: &[f32]) -> f32 {
+    // SAFETY: table installed only after AVX2+FMA runtime detection (the
+    // AVX-512 table also requires AVX2+FMA — see `mod.rs::simd`).
     unsafe { sum_abs_avx2(data) }
 }
 

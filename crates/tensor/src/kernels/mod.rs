@@ -4,12 +4,21 @@
 //! Every scalar inner loop that dominates Table 2's encode/decode column or
 //! the ring/Rabenseifner reduce step lives behind the [`Kernels`] vtable: a
 //! plain struct of function pointers with one canonical scalar
-//! implementation ([`scalar()`]) and, on x86_64 hosts with AVX2+FMA, an
-//! explicitly vectorized implementation ([`simd()`]). The active table is
+//! implementation ([`scalar()`]) and, on x86_64 hosts, explicitly
+//! vectorized tiers — AVX2+FMA and, where the CPU has it, AVX-512F
+//! ([`simd()`] returns the widest supported one; [`tables()`] enumerates
+//! them all for the property tests and benchmarks). The active table is
 //! chosen **once** at first use by runtime CPU-feature detection
 //! (`is_x86_feature_detected!`) and cached in a `OnceLock`; setting
 //! `GCS_FORCE_SCALAR=1` in the environment pins the scalar table regardless
 //! of what the CPU supports, which is how CI exercises both code paths.
+//!
+//! The `*_pooled` variants at the bottom fan the embarrassingly parallel
+//! kernels (sign pack/unpack/vote, wire byte↔f32 conversion and the wire
+//! adds) out across a [`crate::pool::Pool`] in fixed 32-element-aligned
+//! bands. Banding never splits an accumulation chain — these kernels are
+//! all elementwise or per-32-element-block — so the pooled results are
+//! bitwise identical to the serial kernels for every pool width.
 //!
 //! # Exactness contract
 //!
@@ -38,7 +47,10 @@ mod scalar;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
 
+use crate::pool::{Pool, SendPtr};
 use std::sync::OnceLock;
 
 /// Dispatch table of SIMD-accelerated primitives.
@@ -74,6 +86,13 @@ pub struct Kernels {
     /// The ring / Rabenseifner reduce step: `out[i] += f32::from_le_bytes`
     /// of the i-th 4-byte group. `bytes.len() == 4 * out.len()`.
     pub add_from_bytes: fn(bytes: &[u8], out: &mut [f32]),
+    /// The in-wire reduce step: the i-th 4-byte group of `bytes` becomes
+    /// `xs[i] + f32::from_le_bytes(group)` re-serialized in place
+    /// (`bytes.len() == 4 * xs.len()`). Operand order `x + w` matches the
+    /// `add_from_bytes` accumulator path bit-for-bit, so a ring that
+    /// accumulates in the wire image gets the same sums as one that
+    /// accumulates in a float buffer and re-serializes.
+    pub add_into_bytes: fn(xs: &[f32], bytes: &mut [u8]),
     /// Elementwise `acc[i] += other[i]` (equal lengths).
     pub add_assign: fn(acc: &mut [f32], other: &[f32]),
     /// `y[i] += alpha * x[i]` (equal lengths), mul-then-add with two
@@ -95,8 +114,9 @@ pub struct Kernels {
 static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
 
 /// Whether `GCS_FORCE_SCALAR=1` (or any non-empty value other than `0`) is
-/// set, pinning dispatch to the scalar table.
-fn force_scalar() -> bool {
+/// set, pinning dispatch to the scalar table (and, via `pool::from_env` /
+/// `autotune`, the thread pool to width 1 and the autotuner off).
+pub(crate) fn force_scalar() -> bool {
     match std::env::var("GCS_FORCE_SCALAR") {
         Ok(v) => !v.is_empty() && v != "0",
         Err(_) => false,
@@ -109,19 +129,66 @@ pub fn scalar() -> &'static Kernels {
     &scalar::KERNELS
 }
 
+/// Whether the AVX2+FMA tier is usable on this CPU.
+#[cfg(target_arch = "x86_64")]
+pub fn avx2_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// Whether the AVX2+FMA tier is usable on this CPU (never, off x86_64).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx2_supported() -> bool {
+    false
+}
+
+/// Whether the AVX-512 tier is usable on this CPU. AVX2+FMA is required
+/// too because the AVX-512 table's tails and its shared `sum_abs` entry
+/// run AVX2 code (every real AVX-512F CPU has both, but the soundness of
+/// the table installation rests on detection, not on that convention).
+#[cfg(target_arch = "x86_64")]
+pub fn avx512_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f") && avx2_supported()
+}
+
+/// Whether the AVX-512 tier is usable on this CPU (never, off x86_64).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx512_supported() -> bool {
+    false
+}
+
 /// The best vectorized table this CPU supports, independent of
 /// `GCS_FORCE_SCALAR` (benchmarks and property tests compare it against
-/// [`scalar()`] explicitly). `None` when the host lacks AVX2+FMA.
+/// [`scalar()`] explicitly): AVX-512 where detected, else AVX2+FMA, else
+/// `None`.
 pub fn simd() -> Option<&'static Kernels> {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
-        {
+        if avx512_supported() {
+            return Some(&avx512::KERNELS);
+        }
+        if avx2_supported() {
             return Some(&avx2::KERNELS);
         }
     }
     None
+}
+
+/// Every table this CPU can run, scalar first, widest last. The property
+/// suite iterates this so the AVX2 tier stays covered on AVX-512 hosts
+/// (where [`simd()`] returns the AVX-512 table).
+pub fn tables() -> Vec<&'static Kernels> {
+    #[allow(unused_mut)]
+    let mut t = vec![scalar()];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_supported() {
+            t.push(&avx2::KERNELS);
+        }
+        if avx512_supported() {
+            t.push(&avx512::KERNELS);
+        }
+    }
+    t
 }
 
 /// The table in effect for this process: [`simd()`] when available unless
@@ -142,10 +209,14 @@ pub fn simd_active() -> bool {
 }
 
 /// Human-readable description of what runtime detection found, for bench
-/// metadata: e.g. `"avx2+fma (active: avx2)"` or
+/// metadata: e.g. `"avx512f+avx2+fma (active: avx512)"` or
 /// `"avx2+fma (active: scalar, GCS_FORCE_SCALAR)"`.
 pub fn feature_string() -> String {
-    let detected = if simd().is_some() { "avx2+fma" } else { "none" };
+    let detected = match simd().map(|t| t.name) {
+        Some("avx512") => "avx512f+avx2+fma",
+        Some(_) => "avx2+fma",
+        None => "none",
+    };
     let forced = if force_scalar() { ", GCS_FORCE_SCALAR" } else { "" };
     format!("{} (active: {}{})", detected, active().name, forced)
 }
@@ -214,6 +285,12 @@ pub fn add_from_bytes(bytes: &[u8], out: &mut [f32]) {
     (active().add_from_bytes)(bytes, out);
 }
 
+/// Dispatched [`Kernels::add_into_bytes`].
+pub fn add_into_bytes(xs: &[f32], bytes: &mut [u8]) {
+    assert_eq!(bytes.len(), xs.len() * 4, "add_into_bytes byte count");
+    (active().add_into_bytes)(xs, bytes);
+}
+
 /// Dispatched [`Kernels::add_assign`].
 pub fn add_assign(acc: &mut [f32], other: &[f32]) {
     assert_eq!(acc.len(), other.len(), "add_assign length");
@@ -247,6 +324,144 @@ pub fn gather_above(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values
     (active().gather_above)(data, threshold, indices, values);
 }
 
+// ---------------------------------------------------------------------------
+// Pooled variants: fixed 32-element-aligned banding across a Pool.
+//
+// Every kernel here is elementwise or per-32-element-block, so any split
+// into contiguous aligned bands computes exactly the serial result — the
+// banding is invisible in the output bits for every pool width (verified
+// by `tests/kernel_props.rs`). Band sizing comes from the autotuner's
+// wire-chunk choice so fork overhead is only paid on buffers that
+// amortize it.
+// ---------------------------------------------------------------------------
+
+/// Minimum elements per band for the pooled wire kernels.
+fn wire_min_elems() -> usize {
+    crate::autotune::choice().wire_chunk_elems
+}
+
+/// [`sign_pack`] with the word stream banded across `pool`. Each band
+/// packs a disjoint word range from the matching 32-element data blocks —
+/// identical output for every width.
+pub fn sign_pack_pooled(pool: &Pool, data: &[f32], out: &mut [u32]) {
+    assert_eq!(out.len(), data.len().div_ceil(32), "sign_pack word count");
+    let n = data.len();
+    let min_words = (wire_min_elems() / 32).max(1);
+    pool.for_rows(out, 1, min_words, |lo_word, band| {
+        let d_lo = lo_word * 32;
+        let d_hi = ((lo_word + band.len()) * 32).min(n);
+        (active().sign_pack)(&data[d_lo..d_hi], band);
+    });
+}
+
+/// Shared banding of the three word-indexed mutators (`unpack_fill`,
+/// `unpack_add`, `vote_add`): spans of whole sign words map to disjoint
+/// 32-aligned ranges of the float/tally buffer, handed out through a raw
+/// base pointer because the span authority (`words`) is the *shared*
+/// input here, not the mutable output.
+fn for_word_blocks<T: Send>(
+    pool: &Pool,
+    words: &[u32],
+    out: &mut [T],
+    f: impl Fn(&[u32], &mut [T]) + Sync,
+) {
+    let n = out.len();
+    let base = SendPtr(out.as_mut_ptr());
+    let min_words = (wire_min_elems() / 32).max(1);
+    pool.for_spans(words.len(), min_words, move |lw, hw| {
+        let lo = lw * 32;
+        let hi = (hw * 32).min(n);
+        if lo >= hi {
+            return;
+        }
+        // SAFETY: `for_spans` hands out disjoint `[lw, hw)` word spans, so
+        // the 32-aligned `[lo, hi)` element ranges are disjoint too; `out`
+        // stays mutably borrowed for the whole dispatch.
+        let band = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        f(&words[lw..hw], band);
+    });
+}
+
+/// [`unpack_fill`] banded across `pool` (bit-identical for every width).
+pub fn unpack_fill_pooled(pool: &Pool, words: &[u32], neg: f32, pos: f32, out: &mut [f32]) {
+    assert!(words.len() * 32 >= out.len(), "unpack_fill word count");
+    for_word_blocks(pool, words, out, |w, band| {
+        (active().unpack_fill)(w, neg, pos, band);
+    });
+}
+
+/// [`unpack_add`] banded across `pool` (bit-identical for every width).
+pub fn unpack_add_pooled(pool: &Pool, words: &[u32], neg: f32, pos: f32, out: &mut [f32]) {
+    assert!(words.len() * 32 >= out.len(), "unpack_add word count");
+    for_word_blocks(pool, words, out, |w, band| {
+        (active().unpack_add)(w, neg, pos, band);
+    });
+}
+
+/// [`vote_add`] banded across `pool` (bit-identical for every width —
+/// each tally element is touched by exactly one band).
+pub fn vote_add_pooled(pool: &Pool, words: &[u32], tally: &mut [i32]) {
+    assert!(words.len() * 32 >= tally.len(), "vote_add word count");
+    for_word_blocks(pool, words, tally, |w, band| {
+        (active().vote_add)(w, band);
+    });
+}
+
+/// [`vote_pack`] with the word stream banded across `pool`.
+pub fn vote_pack_pooled(pool: &Pool, tally: &[i32], out: &mut [u32]) {
+    assert_eq!(out.len(), tally.len().div_ceil(32), "vote_pack word count");
+    let n = tally.len();
+    let min_words = (wire_min_elems() / 32).max(1);
+    pool.for_rows(out, 1, min_words, |lo_word, band| {
+        let t_lo = lo_word * 32;
+        let t_hi = ((lo_word + band.len()) * 32).min(n);
+        (active().vote_pack)(&tally[t_lo..t_hi], band);
+    });
+}
+
+/// [`f32s_to_bytes`] banded across `pool` (a banded memcpy).
+pub fn f32s_to_bytes_pooled(pool: &Pool, xs: &[f32], out: &mut [u8]) {
+    assert_eq!(out.len(), xs.len() * 4, "f32s_to_bytes byte count");
+    pool.for_rows(out, 4, wire_min_elems(), |lo, band| {
+        (active().f32s_to_bytes)(&xs[lo..lo + band.len() / 4], band);
+    });
+}
+
+/// [`bytes_to_f32s`] banded across `pool` (a banded memcpy).
+pub fn bytes_to_f32s_pooled(pool: &Pool, bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 4, "bytes_to_f32s byte count");
+    pool.for_rows(out, 1, wire_min_elems(), |lo, band| {
+        (active().bytes_to_f32s)(&bytes[lo * 4..(lo + band.len()) * 4], band);
+    });
+}
+
+/// [`add_from_bytes`] banded across `pool`: elementwise, so banding never
+/// splits an accumulation chain — bit-identical for every width.
+pub fn add_from_bytes_pooled(pool: &Pool, bytes: &[u8], out: &mut [f32]) {
+    assert_eq!(bytes.len(), out.len() * 4, "add_from_bytes byte count");
+    pool.for_rows(out, 1, wire_min_elems(), |lo, band| {
+        (active().add_from_bytes)(&bytes[lo * 4..(lo + band.len()) * 4], band);
+    });
+}
+
+/// [`add_into_bytes`] banded across `pool` (elementwise; bit-identical
+/// for every width).
+pub fn add_into_bytes_pooled(pool: &Pool, xs: &[f32], bytes: &mut [u8]) {
+    assert_eq!(bytes.len(), xs.len() * 4, "add_into_bytes byte count");
+    pool.for_rows(bytes, 4, wire_min_elems(), |lo, band| {
+        (active().add_into_bytes)(&xs[lo..lo + band.len() / 4], band);
+    });
+}
+
+/// [`add_assign`] banded across `pool` (elementwise; bit-identical for
+/// every width).
+pub fn add_assign_pooled(pool: &Pool, acc: &mut [f32], other: &[f32]) {
+    assert_eq!(acc.len(), other.len(), "add_assign length");
+    pool.for_rows(acc, 1, wire_min_elems(), |lo, band| {
+        (active().add_assign)(band, &other[lo..lo + band.len()]);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,9 +475,30 @@ mod tests {
     fn active_is_stable_and_named() {
         let a = active();
         assert!(std::ptr::eq(a, active()));
-        assert!(a.name == "scalar" || a.name == "avx2");
+        assert!(a.name == "scalar" || a.name == "avx2" || a.name == "avx512");
         if simd_active() {
             assert_ne!(a.name, "scalar");
+        }
+    }
+
+    #[test]
+    fn tables_enumerates_scalar_first_and_widest_last() {
+        let t = tables();
+        assert!(std::ptr::eq(t[0], scalar()));
+        let names: Vec<&str> = t.iter().map(|k| k.name).collect();
+        let mut expected = vec!["scalar"];
+        if names.contains(&"avx2") {
+            expected.push("avx2");
+        }
+        if names.contains(&"avx512") {
+            expected.push("avx512");
+        }
+        assert_eq!(names, expected);
+        // The best table simd() reports must be the last enumerated one.
+        if let Some(best) = simd() {
+            assert!(std::ptr::eq(best, *t.last().unwrap()));
+        } else {
+            assert_eq!(t.len(), 1);
         }
     }
 

@@ -18,6 +18,7 @@ pub(super) static KERNELS: Kernels = Kernels {
     bytes_to_f32s,
     bytes_to_u32s,
     add_from_bytes,
+    add_into_bytes,
     add_assign,
     axpy,
     scale,
@@ -104,6 +105,17 @@ pub(super) fn bytes_to_u32s(bytes: &[u8], out: &mut [u32]) {
 pub(super) fn add_from_bytes(bytes: &[u8], out: &mut [f32]) {
     for (o, src) in out.iter_mut().zip(bytes.chunks_exact(4)) {
         *o += f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+    }
+}
+
+pub(super) fn add_into_bytes(xs: &[f32], bytes: &mut [u8]) {
+    // Operand order `x + w` (local contribution first) matches the
+    // `add_from_bytes` accumulator path `out += wire`, so a sum built in
+    // the wire image is bit-identical to one built in a float buffer and
+    // re-serialized — including NaN payload propagation.
+    for (chunk, &x) in bytes.chunks_exact_mut(4).zip(xs) {
+        let w = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        chunk.copy_from_slice(&(x + w).to_le_bytes());
     }
 }
 

@@ -7,6 +7,7 @@
 //! needs a truncated SVD, implemented in [`svd_truncated`] via subspace
 //! iteration on top of the same kernels.
 
+use crate::autotune::GemmTile;
 use crate::{Result, Tensor, TensorError};
 
 /// An immutable matrix view over a flat `f32` slice (row-major).
@@ -87,12 +88,23 @@ fn check_out(out: &[f32], rows: usize, cols: usize) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] if inner dimensions or the output
 /// buffer size do not line up.
 pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
-    matmul_with_dispatch(crate::kernels::simd_active(), a, b, out)
+    matmul_with_tile(active_tile(), a, b, out)
+}
+
+/// The register tile the dispatched entry points run: the autotuned
+/// choice when SIMD is active, scalar otherwise.
+fn active_tile() -> GemmTile {
+    if crate::kernels::simd_active() {
+        crate::autotune::choice().gemm_tile
+    } else {
+        GemmTile::Scalar
+    }
 }
 
 /// [`matmul`] with the SIMD-tile dispatch pinned by the caller — exposed
 /// for the dispatch property tests and the datapath benchmark, which
-/// compare both paths explicitly. Everyone else wants [`matmul`].
+/// compare both paths explicitly. `true` means the *widest supported*
+/// tile, bypassing the autotuner. Everyone else wants [`matmul`].
 ///
 /// # Errors
 ///
@@ -100,6 +112,29 @@ pub fn matmul(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()>
 #[doc(hidden)]
 pub fn matmul_with_dispatch(
     use_simd: bool,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
+    let tile = if use_simd {
+        crate::autotune::best_supported_tile()
+    } else {
+        GemmTile::Scalar
+    };
+    matmul_with_tile(tile, a, b, out)
+}
+
+/// [`matmul`] with an explicit register tile — what the autotuner
+/// benchmarks and the property tests sweep. The caller must only pass
+/// tiles in [`crate::autotune::supported_tiles`]; every supported tile
+/// produces bit-identical output.
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul`].
+#[doc(hidden)]
+pub fn matmul_with_tile(
+    tile: GemmTile,
     a: MatrixRef<'_>,
     b: MatrixRef<'_>,
     out: &mut [f32],
@@ -120,6 +155,59 @@ pub fn matmul_with_dispatch(
     // step, which caps it at one FMA per store). Each streamed B vector
     // feeds four rows, so B loads amortize 4x as well.
     let mut i = 0;
+    // 8-row x 32-col AVX-512 macro-block first: 16 zmm accumulators per
+    // block, so each streamed B vector feeds eight rows instead of four —
+    // half the B memory traffic, which is what bounds the skinny PowerSGD
+    // shapes. Per-output-element FMA chains stay l-ordered, so the block
+    // height is invisible in the output bits.
+    #[cfg(target_arch = "x86_64")]
+    if tile == GemmTile::Avx512x32 && m >= 8 && n >= 32 {
+        // k-panel blocking: the outer loop walks `k` in panels sized so a
+        // B panel (`kc x n`) stays L2-resident while every 8-row block
+        // streams over it — without it, skinny shapes (PowerSGD's
+        // 512 x 4608 x 64) re-stream all of B from memory once per row
+        // block. Later panels resume each accumulator from `out`; an f32
+        // store/load roundtrip is exact (NaN bits included), so the
+        // per-element chain — and therefore the result bits — are
+        // identical to the unblocked loop.
+        let kc = (131072 / n).max(64).min(k);
+        let m8 = m - m % 8;
+        let n32 = n - n % 32;
+        let mut kb = 0;
+        while kb < k {
+            let kh = (kb + kc).min(k);
+            let first = kb == 0;
+            let mut bi = 0;
+            while bi + 8 <= m8 {
+                let rows: [&[f32]; 8] =
+                    std::array::from_fn(|r| &a_s[(bi + r) * k + kb..(bi + r) * k + kh]);
+                let mut j = 0;
+                while j + 32 <= n32 {
+                    // SAFETY: the `Avx512x32` tile is only handed out after
+                    // runtime AVX-512F detection (see `matmul_with_tile`'s
+                    // caller contract); tile bounds are maintained by the
+                    // loop and the B panel covers rows `kb..kh`.
+                    unsafe {
+                        mm_tile32x8_avx512(first, rows, &b_s[kb * n..kh * n], (kh - kb, n), bi, j, out)
+                    };
+                    j += 32;
+                }
+                bi += 8;
+            }
+            kb = kh;
+        }
+        // Column remainder of the blocked rows via the 4-row tiles
+        // (full-`k` register chains — same bits, see above).
+        if n32 < n {
+            while i + 4 <= m8 {
+                let a_rows: [&[f32]; 4] =
+                    std::array::from_fn(|r| &a_s[(i + r) * k..(i + r + 1) * k]);
+                mm_cols_from(tile, n32, a_rows, b_s, (k, n), i, out);
+                i += 4;
+            }
+        }
+        i = m8;
+    }
     while i + 4 <= m {
         let c0 = &a_s[i * k..(i + 1) * k];
         let c1 = &a_s[(i + 1) * k..(i + 2) * k];
@@ -127,26 +215,17 @@ pub fn matmul_with_dispatch(
         let c3 = &a_s[(i + 3) * k..(i + 4) * k];
         let a_rows = [c0, c1, c2, c3];
         let mut j = 0;
-        while j + 16 <= n {
-            mm_tile16(use_simd, a_rows, b_s, (k, n), i, j, out);
-            j += 16;
-        }
-        while j + 4 <= n {
-            mm_tile::<4>(a_rows, b_s, k, n, i, j, out);
-            j += 4;
-        }
-        for j in j..n {
-            let mut s = [0.0f32; 4];
-            for l in 0..k {
-                let bv = b_s[l * n + j];
-                for (sr, ar) in s.iter_mut().zip(a_rows) {
-                    *sr = ar[l].mul_add(bv, *sr);
-                }
-            }
-            for (r, sr) in s.into_iter().enumerate() {
-                out[(i + r) * n + j] = sr;
+        #[cfg(target_arch = "x86_64")]
+        if tile == GemmTile::Avx512x32 {
+            while j + 32 <= n {
+                // SAFETY: the `Avx512x32` tile is only handed out after
+                // runtime AVX-512F detection (see `matmul_with_tile`'s
+                // caller contract); tile bounds are maintained by the loop.
+                unsafe { mm_tile32_avx512(a_rows, b_s, (k, n), i, j, out) };
+                j += 32;
             }
         }
+        mm_cols_from(tile, j, a_rows, b_s, (k, n), i, out);
         i += 4;
     }
     // Remainder rows (m % 4) with the plain streaming loop.
@@ -162,6 +241,41 @@ pub fn matmul_with_dispatch(
         }
     }
     Ok(())
+}
+
+/// Columns `j0..n` of a 4-row block of `A · B`, via the 16/4/1-wide tiles
+/// (the 32-wide AVX-512 panel, when active, is consumed by the caller).
+#[inline(always)]
+fn mm_cols_from(
+    tile: GemmTile,
+    j0: usize,
+    a_rows: [&[f32]; 4],
+    b_s: &[f32],
+    (k, n): (usize, usize),
+    i: usize,
+    out: &mut [f32],
+) {
+    let mut j = j0;
+    while j + 16 <= n {
+        mm_tile16(tile.uses_simd(), a_rows, b_s, (k, n), i, j, out);
+        j += 16;
+    }
+    while j + 4 <= n {
+        mm_tile::<4>(a_rows, b_s, k, n, i, j, out);
+        j += 4;
+    }
+    for j in j..n {
+        let mut s = [0.0f32; 4];
+        for l in 0..k {
+            let bv = b_s[l * n + j];
+            for (sr, ar) in s.iter_mut().zip(a_rows) {
+                *sr = ar[l].mul_add(bv, *sr);
+            }
+        }
+        for (r, sr) in s.into_iter().enumerate() {
+            out[(i + r) * n + j] = sr;
+        }
+    }
 }
 
 /// One 4 x T output tile of `A · B`: accumulates over the full shared
@@ -258,6 +372,89 @@ unsafe fn mm_tile16_avx2(
     }
 }
 
+/// AVX-512 4 x 32 `A · B` tile: two zmm accumulators per row, one
+/// broadcast per A element — the same fused l-ordered chain as the
+/// scalar `mul_add` tile, so the wider registers are invisible in the
+/// output bits.
+// SAFETY: caller must guarantee AVX-512F is present and that the tile
+// `[i..i+4) x [j..j+32)` lies fully inside `out` (rows of length `n`),
+// with `a_rows`/`b_s` covering the shared dimension `k`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn mm_tile32_avx512(
+    a_rows: [&[f32]; 4],
+    b_s: &[f32],
+    (k, n): (usize, usize),
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_ps(); 2]; 4];
+    for l in 0..k {
+        let p = b_s.as_ptr().add(l * n + j);
+        let b0 = _mm512_loadu_ps(p);
+        let b1 = _mm512_loadu_ps(p.add(16));
+        for (accr, ar) in acc.iter_mut().zip(a_rows) {
+            let c = _mm512_set1_ps(ar[l]);
+            accr[0] = _mm512_fmadd_ps(c, b0, accr[0]);
+            accr[1] = _mm512_fmadd_ps(c, b1, accr[1]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let p = out.as_mut_ptr().add((i + r) * n + j);
+        _mm512_storeu_ps(p, accr[0]);
+        _mm512_storeu_ps(p.add(16), accr[1]);
+    }
+}
+
+/// AVX-512 8 x 32 `A · B` macro-block: 16 zmm accumulators (half the
+/// register file) so each streamed B vector is reused across eight rows.
+/// `first` selects zero-initialized accumulators (first k panel) vs.
+/// resuming from `out` (later panels); both keep every per-element chain
+/// identical to [`mm_tile32_avx512`] — only the number of rows in flight
+/// and where the running sum parks between panels differ, neither of
+/// which touches the arithmetic.
+// SAFETY: caller must guarantee AVX-512F is present and that the block
+// `[i..i+8) x [j..j+32)` lies fully inside `out` (rows of length `n`),
+// with `a_rows`/`b_s` covering the shared (panel) dimension `k`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn mm_tile32x8_avx512(
+    first: bool,
+    a_rows: [&[f32]; 8],
+    b_s: &[f32],
+    (k, n): (usize, usize),
+    i: usize,
+    j: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_ps(); 2]; 8];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let p = out.as_ptr().add((i + r) * n + j);
+            accr[0] = _mm512_loadu_ps(p);
+            accr[1] = _mm512_loadu_ps(p.add(16));
+        }
+    }
+    for l in 0..k {
+        let p = b_s.as_ptr().add(l * n + j);
+        let b0 = _mm512_loadu_ps(p);
+        let b1 = _mm512_loadu_ps(p.add(16));
+        for (accr, ar) in acc.iter_mut().zip(a_rows) {
+            let c = _mm512_set1_ps(ar[l]);
+            accr[0] = _mm512_fmadd_ps(c, b0, accr[0]);
+            accr[1] = _mm512_fmadd_ps(c, b1, accr[1]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let p = out.as_mut_ptr().add((i + r) * n + j);
+        _mm512_storeu_ps(p, accr[0]);
+        _mm512_storeu_ps(p.add(16), accr[1]);
+    }
+}
+
 /// `out = Aᵀ · B` where `A` is `k x m` and `B` is `k x n` (no explicit
 /// transpose is materialized).
 ///
@@ -266,7 +463,7 @@ unsafe fn mm_tile16_avx2(
 /// Returns [`TensorError::ShapeMismatch`] if row counts or the output buffer
 /// size do not line up.
 pub fn at_mul_b(a: MatrixRef<'_>, b: MatrixRef<'_>, out: &mut [f32]) -> Result<()> {
-    at_mul_b_with_dispatch(crate::kernels::simd_active(), a, b, out)
+    at_mul_b_with_tile(active_tile(), a, b, out)
 }
 
 /// [`at_mul_b`] with the SIMD-tile dispatch pinned by the caller — see
@@ -282,6 +479,27 @@ pub fn at_mul_b_with_dispatch(
     b: MatrixRef<'_>,
     out: &mut [f32],
 ) -> Result<()> {
+    let tile = if use_simd {
+        crate::autotune::best_supported_tile()
+    } else {
+        GemmTile::Scalar
+    };
+    at_mul_b_with_tile(tile, a, b, out)
+}
+
+/// [`at_mul_b`] with an explicit register tile — see [`matmul_with_tile`]
+/// for the caller contract.
+///
+/// # Errors
+///
+/// Same shape errors as [`at_mul_b`].
+#[doc(hidden)]
+pub fn at_mul_b_with_tile(
+    tile: GemmTile,
+    a: MatrixRef<'_>,
+    b: MatrixRef<'_>,
+    out: &mut [f32],
+) -> Result<()> {
     if a.rows() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             expected: format!("shared rows {}", a.rows()),
@@ -290,7 +508,7 @@ pub fn at_mul_b_with_dispatch(
     }
     check_out(out, a.cols(), b.cols())?;
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    atb_rows(use_simd, a.as_slice(), b.as_slice(), (k, m, n), 0, m, out);
+    atb_rows(tile, a.as_slice(), b.as_slice(), (k, m, n), 0, m, out);
     Ok(())
 }
 
@@ -302,7 +520,7 @@ pub fn at_mul_b_with_dispatch(
 /// bit-identical to the same rows of the full product — the property the
 /// pooled variant relies on.
 fn atb_rows(
-    use_simd: bool,
+    tile: GemmTile,
     a_s: &[f32],
     b_s: &[f32],
     (k, m, n): (usize, usize, usize),
@@ -316,8 +534,18 @@ fn atb_rows(
     let mut i = i0;
     while i + 4 <= i1 {
         let mut j = 0;
+        #[cfg(target_arch = "x86_64")]
+        if tile == GemmTile::Avx512x32 {
+            while j + 32 <= n {
+                // SAFETY: the `Avx512x32` tile is only handed out after
+                // runtime AVX-512F detection; tile bounds are maintained
+                // by the loop.
+                unsafe { atb_tile32_avx512(a_s, b_s, (k, m, n), (i, i - i0, j), out_band) };
+                j += 32;
+            }
+        }
         while j + 16 <= n {
-            atb_tile16(use_simd, a_s, b_s, (k, m, n), (i, i - i0, j), out_band);
+            atb_tile16(tile.uses_simd(), a_s, b_s, (k, m, n), (i, i - i0, j), out_band);
             j += 16;
         }
         while j + 4 <= n {
@@ -447,6 +675,40 @@ unsafe fn atb_tile16_avx2(
     }
 }
 
+/// AVX-512 4 x 32 `Aᵀ · B` tile — same fused l-ordered chain as the
+/// scalar `mul_add` tile.
+// SAFETY: caller must guarantee AVX-512F is present and that the tile
+// `[oi..oi+4) x [j..j+32)` lies fully inside `out` (rows of length `n`),
+// with column block `i..i+4` valid in `a_s` (rows of length `m`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn atb_tile32_avx512(
+    a_s: &[f32],
+    b_s: &[f32],
+    (k, m, n): (usize, usize, usize),
+    (i, oi, j): (usize, usize, usize),
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_ps(); 2]; 4];
+    for l in 0..k {
+        let ap = a_s.as_ptr().add(l * m + i);
+        let bp = b_s.as_ptr().add(l * n + j);
+        let b0 = _mm512_loadu_ps(bp);
+        let b1 = _mm512_loadu_ps(bp.add(16));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let c = _mm512_set1_ps(*ap.add(r));
+            accr[0] = _mm512_fmadd_ps(c, b0, accr[0]);
+            accr[1] = _mm512_fmadd_ps(c, b1, accr[1]);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let p = out.as_mut_ptr().add((oi + r) * n + j);
+        _mm512_storeu_ps(p, accr[0]);
+        _mm512_storeu_ps(p.add(16), accr[1]);
+    }
+}
+
 /// `out = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`.
 ///
 /// # Errors
@@ -566,10 +828,10 @@ pub fn at_mul_b_pooled(
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let a_s = a.as_slice();
     let b_s = b.as_slice();
-    let use_simd = crate::kernels::simd_active();
+    let tile = active_tile();
     pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
         let rows = band.len() / n;
-        atb_rows(use_simd, a_s, b_s, (k, m, n), row_lo, row_lo + rows, band);
+        atb_rows(tile, a_s, b_s, (k, m, n), row_lo, row_lo + rows, band);
     });
     Ok(())
 }

@@ -92,12 +92,15 @@ pub fn top_k_abs_with(data: &[f32], k: usize, mags: &mut Vec<f32>) -> SparseSele
     gather_top_k(data, k, mags)
 }
 
-/// [`top_k_abs_with`] with the magnitude scan fanned out across `pool`.
+/// [`top_k_abs_with`] with the magnitude scan *and* the gather fanned out
+/// across `pool`.
 ///
-/// Only the embarrassingly parallel `|data|` fill is banded; the
-/// quickselect and gather are serial, and since `|x|` is exact in f32 the
-/// selection is identical to the serial variant (same threshold, same
-/// scan order), so the result is **bit-identical** to [`top_k_abs_with`].
+/// Both banded stages are order-preserving: the `|data|` fill is
+/// elementwise, and the chunked gather emits each span's hits with
+/// span-local index fixup before concatenating in span order — the same
+/// ascending index order as the serial scan. Since `|x|` is exact in f32
+/// the threshold is identical too, so the result is **bit-identical** to
+/// [`top_k_abs_with`]. Only the quickselect and tie-fill stay serial.
 pub fn top_k_abs_pooled(
     pool: &crate::pool::Pool,
     data: &[f32],
@@ -114,25 +117,61 @@ pub fn top_k_abs_pooled(
     pool.for_rows(&mut mags[..], 1, 1 << 16, |lo, band| {
         kernels::abs_into(&data[lo..lo + band.len()], band);
     });
-    gather_top_k(data, k, mags)
+    let threshold = kth_threshold(mags, k);
+    // Chunked stream compaction: each span gathers its own sub-slice
+    // (span-local indices, fixed up by the span offset), and `map_spans`
+    // returns the parts in span order.
+    let parts = pool.map_spans(n, 1 << 16, |lo, hi| {
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        kernels::gather_above(&data[lo..hi], threshold, &mut idx, &mut val);
+        for i in &mut idx {
+            *i += lo as u32;
+        }
+        (idx, val)
+    });
+    let mut indices = Vec::with_capacity(k);
+    let mut values = Vec::with_capacity(k);
+    for (idx, val) in parts {
+        indices.extend_from_slice(&idx);
+        values.extend_from_slice(&val);
+    }
+    finish_selection(data, k, threshold, indices, values)
+}
+
+/// Quickselect the k-th largest magnitude on the (already filled)
+/// magnitude scratch. Requires `0 < k <= mags.len()`.
+fn kth_threshold(mags: &mut [f32], k: usize) -> f32 {
+    let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *kth
 }
 
 /// Shared tail of the top-k variants: quickselect the threshold on the
 /// (already filled) magnitude scratch, then gather the winning indices.
 /// Requires `0 < k < data.len()`.
 fn gather_top_k(data: &[f32], k: usize, mags: &mut [f32]) -> SparseSelection {
-    let threshold = {
-        let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
-            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        *kth
-    };
+    let threshold = kth_threshold(mags, k);
     // Gather: first everything strictly above threshold (SIMD stream
-    // compaction on AVX2 hosts, same index order as the scalar scan), then
-    // fill with threshold-equal entries until k are collected.
+    // compaction on AVX2/AVX-512 hosts, same index order as the scalar
+    // scan), then fill with threshold-equal entries until k are collected.
     let mut indices = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);
     kernels::gather_above(data, threshold, &mut indices, &mut values);
+    finish_selection(data, k, threshold, indices, values)
+}
+
+/// Tie-fill: if fewer than `k` entries were strictly above the threshold,
+/// scan from index 0 adding threshold-equal entries until `k` are
+/// collected — the deterministic lowest-index tie-break.
+fn finish_selection(
+    data: &[f32],
+    k: usize,
+    threshold: f32,
+    mut indices: Vec<u32>,
+    mut values: Vec<f32>,
+) -> SparseSelection {
     if indices.len() < k {
         for (i, &v) in data.iter().enumerate() {
             if indices.len() == k {

@@ -1,20 +1,24 @@
-//! Property tests: the SIMD kernel table must be exactly interchangeable
-//! with the scalar table.
+//! Property tests: every vectorized kernel table must be exactly
+//! interchangeable with the scalar table, and the pooled (banded) entry
+//! points must be exactly interchangeable with serial execution.
 //!
 //! Every dispatched kernel is checked across lengths covering every lane
-//! remainder (0..2 x lane width and beyond), with payloads containing NaN,
-//! ±0, ±inf and denormals. Bit kernels must be **byte-identical**; float
-//! kernels must be **bit-identical under the fixed association order**
-//! (elementwise ops have no reassociation; `sum_abs` is lane-striped in
-//! both tables).
+//! remainder (0..2 x widest lane width and beyond), with payloads
+//! containing NaN, ±0, ±inf and denormals. Bit kernels must be
+//! **byte-identical**; float kernels must be **bit-identical under the
+//! fixed association order** (elementwise ops have no reassociation;
+//! `sum_abs` is lane-striped identically in every table).
 //!
-//! On hosts without AVX2+FMA, `kernels::simd()` is `None` and each test
-//! degenerates to scalar-vs-scalar (still exercising the contracts).
+//! [`kernels::tables`] enumerates the tables the host supports, so on an
+//! AVX-512 machine each check runs scalar-vs-AVX2 *and* scalar-vs-AVX-512;
+//! on hosts without SIMD the pair list is empty and the table checks
+//! degenerate to the always-on pooled/threaded properties.
 
 use gcs_tensor::kernels::{self, Kernels};
+use gcs_tensor::pool::Pool;
 
-/// Lengths covering lane remainders 0..8 twice, word-boundary remainders
-/// 0..32, and a couple of large sizes that hit every unrolled path.
+/// Lengths covering lane remainders 0..16 twice (AVX-512 is 16 f32 lanes),
+/// word-boundary remainders 0..32, and sizes that hit every unrolled path.
 fn lengths() -> Vec<usize> {
     let mut v: Vec<usize> = (0..=67).collect();
     v.extend([95, 96, 97, 128, 1000, 4096, 4097]);
@@ -41,8 +45,11 @@ fn payload(n: usize) -> Vec<f32> {
         .collect()
 }
 
-fn both() -> (&'static Kernels, Option<&'static Kernels>) {
-    (kernels::scalar(), kernels::simd())
+/// `(scalar, vectorized)` pairs: every vectorized table the host supports
+/// is checked against the scalar reference.
+fn pairs() -> Vec<(&'static Kernels, &'static Kernels)> {
+    let ts = kernels::tables();
+    ts[1..].iter().map(|t| (ts[0], *t)).collect()
 }
 
 fn bits(v: &[f32]) -> Vec<u32> {
@@ -63,187 +70,243 @@ fn canon_bits(v: &[f32]) -> Vec<u32> {
 
 #[test]
 fn sign_pack_is_byte_identical() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let data = payload(n);
-        let words = n.div_ceil(32);
-        let mut a = vec![0u32; words];
-        let mut b = vec![0xdead_beefu32; words];
-        (sc.sign_pack)(&data, &mut a);
-        (simd.sign_pack)(&data, &mut b);
-        assert_eq!(a, b, "n={n}");
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let data = payload(n);
+            let words = n.div_ceil(32);
+            let mut a = vec![0u32; words];
+            let mut b = vec![0xdead_beefu32; words];
+            (sc.sign_pack)(&data, &mut a);
+            (simd.sign_pack)(&data, &mut b);
+            assert_eq!(a, b, "{tbl} n={n}");
+        }
     }
 }
 
 #[test]
 fn unpack_fill_and_add_are_byte_identical() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let data = payload(n);
-        let mut words = vec![0u32; n.div_ceil(32)];
-        (sc.sign_pack)(&data, &mut words);
-        // Asymmetric neg/pos, including a negative-zero reconstruction.
-        for (neg, pos) in [(-1.5f32, 0.25f32), (-0.0, 2.0)] {
-            let mut a = vec![7.0f32; n];
-            let mut b = vec![7.0f32; n];
-            (sc.unpack_fill)(&words, neg, pos, &mut a);
-            (simd.unpack_fill)(&words, neg, pos, &mut b);
-            assert_eq!(bits(&a), bits(&b), "fill n={n}");
-            let mut a2 = data.clone();
-            let mut b2 = data.clone();
-            (sc.unpack_add)(&words, neg, pos, &mut a2);
-            (simd.unpack_add)(&words, neg, pos, &mut b2);
-            assert_eq!(bits(&a2), bits(&b2), "add n={n}");
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let data = payload(n);
+            let mut words = vec![0u32; n.div_ceil(32)];
+            (sc.sign_pack)(&data, &mut words);
+            // Asymmetric neg/pos, including a negative-zero reconstruction.
+            for (neg, pos) in [(-1.5f32, 0.25f32), (-0.0, 2.0)] {
+                let mut a = vec![7.0f32; n];
+                let mut b = vec![7.0f32; n];
+                (sc.unpack_fill)(&words, neg, pos, &mut a);
+                (simd.unpack_fill)(&words, neg, pos, &mut b);
+                assert_eq!(bits(&a), bits(&b), "{tbl} fill n={n}");
+                let mut a2 = data.clone();
+                let mut b2 = data.clone();
+                (sc.unpack_add)(&words, neg, pos, &mut a2);
+                (simd.unpack_add)(&words, neg, pos, &mut b2);
+                assert_eq!(bits(&a2), bits(&b2), "{tbl} add n={n}");
+            }
         }
     }
 }
 
 #[test]
 fn vote_add_and_pack_are_byte_identical() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let mut tally_a: Vec<i32> = (0..n as i32).map(|i| (i % 7) - 3).collect();
-        let mut tally_b = tally_a.clone();
-        for voter in 0..3u32 {
-            let data: Vec<f32> = (0..n)
-                .map(|i| if (i as u32 ^ voter) % 3 == 0 { 1.0 } else { -1.0 })
-                .collect();
-            let mut words = vec![0u32; n.div_ceil(32)];
-            (sc.sign_pack)(&data, &mut words);
-            (sc.vote_add)(&words, &mut tally_a);
-            (simd.vote_add)(&words, &mut tally_b);
-            assert_eq!(tally_a, tally_b, "n={n} voter={voter}");
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let mut tally_a: Vec<i32> = (0..n as i32).map(|i| (i % 7) - 3).collect();
+            let mut tally_b = tally_a.clone();
+            for voter in 0..3u32 {
+                let data: Vec<f32> = (0..n)
+                    .map(|i| if (i as u32 ^ voter) % 3 == 0 { 1.0 } else { -1.0 })
+                    .collect();
+                let mut words = vec![0u32; n.div_ceil(32)];
+                (sc.sign_pack)(&data, &mut words);
+                (sc.vote_add)(&words, &mut tally_a);
+                (simd.vote_add)(&words, &mut tally_b);
+                assert_eq!(tally_a, tally_b, "{tbl} n={n} voter={voter}");
+            }
+            let mut wa = vec![0u32; n.div_ceil(32)];
+            let mut wb = vec![0xffff_ffffu32; n.div_ceil(32)];
+            (sc.vote_pack)(&tally_a, &mut wa);
+            (simd.vote_pack)(&tally_b, &mut wb);
+            assert_eq!(wa, wb, "{tbl} pack n={n}");
         }
-        let mut wa = vec![0u32; n.div_ceil(32)];
-        let mut wb = vec![0xffff_ffffu32; n.div_ceil(32)];
-        (sc.vote_pack)(&tally_a, &mut wa);
-        (simd.vote_pack)(&tally_b, &mut wb);
-        assert_eq!(wa, wb, "pack n={n}");
     }
 }
 
 #[test]
 fn byte_conversions_are_byte_identical() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let data = payload(n);
-        let mut ba = vec![0u8; n * 4];
-        let mut bb = vec![0xAAu8; n * 4];
-        (sc.f32s_to_bytes)(&data, &mut ba);
-        (simd.f32s_to_bytes)(&data, &mut bb);
-        assert_eq!(ba, bb, "f32s_to_bytes n={n}");
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let data = payload(n);
+            let mut ba = vec![0u8; n * 4];
+            let mut bb = vec![0xAAu8; n * 4];
+            (sc.f32s_to_bytes)(&data, &mut ba);
+            (simd.f32s_to_bytes)(&data, &mut bb);
+            assert_eq!(ba, bb, "{tbl} f32s_to_bytes n={n}");
 
-        let words: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
-        let mut ua = vec![0u8; n * 4];
-        let mut ub = vec![0x55u8; n * 4];
-        (sc.u32s_to_bytes)(&words, &mut ua);
-        (simd.u32s_to_bytes)(&words, &mut ub);
-        assert_eq!(ua, ub, "u32s_to_bytes n={n}");
+            let words: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+            let mut ua = vec![0u8; n * 4];
+            let mut ub = vec![0x55u8; n * 4];
+            (sc.u32s_to_bytes)(&words, &mut ua);
+            (simd.u32s_to_bytes)(&words, &mut ub);
+            assert_eq!(ua, ub, "{tbl} u32s_to_bytes n={n}");
 
-        let mut fa = vec![0.0f32; n];
-        let mut fb = vec![1.0f32; n];
-        (sc.bytes_to_f32s)(&ba, &mut fa);
-        (simd.bytes_to_f32s)(&ba, &mut fb);
-        assert_eq!(bits(&fa), bits(&fb), "bytes_to_f32s n={n}");
+            let mut fa = vec![0.0f32; n];
+            let mut fb = vec![1.0f32; n];
+            (sc.bytes_to_f32s)(&ba, &mut fa);
+            (simd.bytes_to_f32s)(&ba, &mut fb);
+            assert_eq!(bits(&fa), bits(&fb), "{tbl} bytes_to_f32s n={n}");
 
-        let mut wa = vec![0u32; n];
-        let mut wb = vec![1u32; n];
-        (sc.bytes_to_u32s)(&ua, &mut wa);
-        (simd.bytes_to_u32s)(&ua, &mut wb);
-        assert_eq!(wa, wb, "bytes_to_u32s n={n}");
+            let mut wa = vec![0u32; n];
+            let mut wb = vec![1u32; n];
+            (sc.bytes_to_u32s)(&ua, &mut wa);
+            (simd.bytes_to_u32s)(&ua, &mut wb);
+            assert_eq!(wa, wb, "{tbl} bytes_to_u32s n={n}");
+        }
     }
 }
 
 #[test]
 fn float_kernels_match_bitwise_under_fixed_association() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let data = payload(n);
-        let other = payload(n + 1)[1..].to_vec();
-        let mut bytes = vec![0u8; n * 4];
-        (sc.f32s_to_bytes)(&other, &mut bytes);
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let data = payload(n);
+            let other = payload(n + 1)[1..].to_vec();
+            let mut bytes = vec![0u8; n * 4];
+            (sc.f32s_to_bytes)(&other, &mut bytes);
 
-        // add_from_bytes: elementwise, no reassociation. Both `data` and
-        // `other` carry NaNs, so some lanes add NaN to NaN — compare with
-        // canonicalized payloads there (see `canon_bits`).
-        let mut a = data.clone();
-        let mut b = data.clone();
-        (sc.add_from_bytes)(&bytes, &mut a);
-        (simd.add_from_bytes)(&bytes, &mut b);
-        assert_eq!(canon_bits(&a), canon_bits(&b), "add_from_bytes n={n}");
+            // add_from_bytes: elementwise, no reassociation. Both `data` and
+            // `other` carry NaNs, so some lanes add NaN to NaN — compare with
+            // canonicalized payloads there (see `canon_bits`).
+            let mut a = data.clone();
+            let mut b = data.clone();
+            (sc.add_from_bytes)(&bytes, &mut a);
+            (simd.add_from_bytes)(&bytes, &mut b);
+            assert_eq!(canon_bits(&a), canon_bits(&b), "{tbl} add_from_bytes n={n}");
 
-        // add_assign / axpy / scale / abs_into: elementwise.
-        let mut a = data.clone();
-        let mut b = data.clone();
-        (sc.add_assign)(&mut a, &other);
-        (simd.add_assign)(&mut b, &other);
-        assert_eq!(canon_bits(&a), canon_bits(&b), "add_assign n={n}");
+            // add_assign / axpy / scale / abs_into: elementwise.
+            let mut a = data.clone();
+            let mut b = data.clone();
+            (sc.add_assign)(&mut a, &other);
+            (simd.add_assign)(&mut b, &other);
+            assert_eq!(canon_bits(&a), canon_bits(&b), "{tbl} add_assign n={n}");
 
-        let mut a = data.clone();
-        let mut b = data.clone();
-        (sc.axpy)(&mut a, -1.25, &other);
-        (simd.axpy)(&mut b, -1.25, &other);
-        assert_eq!(canon_bits(&a), canon_bits(&b), "axpy n={n}");
+            let mut a = data.clone();
+            let mut b = data.clone();
+            (sc.axpy)(&mut a, -1.25, &other);
+            (simd.axpy)(&mut b, -1.25, &other);
+            assert_eq!(canon_bits(&a), canon_bits(&b), "{tbl} axpy n={n}");
 
-        // A single-NaN add is deterministic (the NaN operand's payload
-        // wins regardless of operand order), so with a NaN-free `other`
-        // the results must be fully bit-identical, payloads included.
-        let finite: Vec<f32> = other
-            .iter()
-            .map(|x| if x.is_nan() { 0.75 } else { *x })
-            .collect();
-        let mut a = data.clone();
-        let mut b = data.clone();
-        (sc.add_assign)(&mut a, &finite);
-        (simd.add_assign)(&mut b, &finite);
-        assert_eq!(bits(&a), bits(&b), "add_assign finite-rhs n={n}");
+            // A single-NaN add is deterministic (the NaN operand's payload
+            // wins regardless of operand order), so with a NaN-free `other`
+            // the results must be fully bit-identical, payloads included.
+            let finite: Vec<f32> = other
+                .iter()
+                .map(|x| if x.is_nan() { 0.75 } else { *x })
+                .collect();
+            let mut a = data.clone();
+            let mut b = data.clone();
+            (sc.add_assign)(&mut a, &finite);
+            (simd.add_assign)(&mut b, &finite);
+            assert_eq!(bits(&a), bits(&b), "{tbl} add_assign finite-rhs n={n}");
 
-        let mut a = data.clone();
-        let mut b = data.clone();
-        (sc.scale)(&mut a, 0.3);
-        (simd.scale)(&mut b, 0.3);
-        assert_eq!(bits(&a), bits(&b), "scale n={n}");
+            let mut a = data.clone();
+            let mut b = data.clone();
+            (sc.scale)(&mut a, 0.3);
+            (simd.scale)(&mut b, 0.3);
+            assert_eq!(bits(&a), bits(&b), "{tbl} scale n={n}");
 
-        let mut a = vec![0.0f32; n];
-        let mut b = vec![-1.0f32; n];
-        (sc.abs_into)(&data, &mut a);
-        (simd.abs_into)(&data, &mut b);
-        assert_eq!(bits(&a), bits(&b), "abs_into n={n}");
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![-1.0f32; n];
+            (sc.abs_into)(&data, &mut a);
+            (simd.abs_into)(&data, &mut b);
+            assert_eq!(bits(&a), bits(&b), "{tbl} abs_into n={n}");
 
-        // sum_abs: horizontal, but both tables stripe across 8 lanes and
-        // combine with the same pairwise tree. NaN payloads poison both
-        // identically, so compare bit patterns, not values.
-        let sa = (sc.sum_abs)(&data);
-        let sb = (simd.sum_abs)(&data);
-        assert_eq!(sa.to_bits(), sb.to_bits(), "sum_abs n={n}");
-        // And on a NaN-free payload the sums are still bitwise equal.
-        let clean: Vec<f32> = data.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
-        assert_eq!(
-            (sc.sum_abs)(&clean).to_bits(),
-            (simd.sum_abs)(&clean).to_bits(),
-            "sum_abs clean n={n}"
-        );
+            // sum_abs: horizontal, but every table stripes across 8 lanes
+            // and combines with the same pairwise tree (the AVX-512 table
+            // deliberately reuses the AVX2 entry). NaN payloads poison both
+            // identically, so compare bit patterns, not values.
+            let sa = (sc.sum_abs)(&data);
+            let sb = (simd.sum_abs)(&data);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "{tbl} sum_abs n={n}");
+            // And on a NaN-free payload the sums are still bitwise equal.
+            let clean: Vec<f32> =
+                data.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
+            assert_eq!(
+                (sc.sum_abs)(&clean).to_bits(),
+                (simd.sum_abs)(&clean).to_bits(),
+                "{tbl} sum_abs clean n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn add_into_bytes_matches_decode_accumulate_reserialize() {
+    // The in-wire accumulator `w ← x + w` must be exactly the collapsed
+    // form of add_from_bytes (buf ← x + w) followed by f32s_to_bytes —
+    // that equivalence is what makes the single-pass ring bit-identical
+    // to the textbook one.
+    let sc = kernels::scalar();
+    for (_, simd) in pairs().into_iter().chain([(sc, sc)]) {
+        let tbl = simd.name;
+        for n in lengths() {
+            let xs = payload(n);
+            let wire_f = payload(n + 1)[1..].to_vec();
+            let mut wire = vec![0u8; n * 4];
+            (sc.f32s_to_bytes)(&wire_f, &mut wire);
+
+            // Reference: decode + accumulate into a float buffer + encode.
+            let mut acc = xs.clone();
+            (sc.add_from_bytes)(&wire, &mut acc);
+            let mut expect = vec![0u8; n * 4];
+            (sc.f32s_to_bytes)(&acc, &mut expect);
+
+            let mut got = wire.clone();
+            (simd.add_into_bytes)(&xs, &mut got);
+
+            // NaN+NaN lanes may differ in payload only (see canon_bits);
+            // decode both and compare canonicalized.
+            let mut ef = vec![0.0f32; n];
+            let mut gf = vec![0.0f32; n];
+            (sc.bytes_to_f32s)(&expect, &mut ef);
+            (sc.bytes_to_f32s)(&got, &mut gf);
+            assert_eq!(canon_bits(&ef), canon_bits(&gf), "{tbl} n={n}");
+
+            // With a NaN-free wire the bytes must match exactly.
+            let clean: Vec<f32> =
+                wire_f.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
+            let mut wire_c = vec![0u8; n * 4];
+            (sc.f32s_to_bytes)(&clean, &mut wire_c);
+            let mut acc = xs.clone();
+            (sc.add_from_bytes)(&wire_c, &mut acc);
+            let mut expect = vec![0u8; n * 4];
+            (sc.f32s_to_bytes)(&acc, &mut expect);
+            let mut got = wire_c.clone();
+            (simd.add_into_bytes)(&xs, &mut got);
+            assert_eq!(expect, got, "{tbl} clean n={n}");
+        }
     }
 }
 
 #[test]
 fn gather_above_is_byte_identical() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        let data = payload(n);
-        for threshold in [0.0f32, 1.0, 5.5, -1.0, f32::INFINITY] {
-            let (mut ia, mut va) = (Vec::new(), Vec::new());
-            let (mut ib, mut vb) = (Vec::new(), Vec::new());
-            (sc.gather_above)(&data, threshold, &mut ia, &mut va);
-            (simd.gather_above)(&data, threshold, &mut ib, &mut vb);
-            assert_eq!(ia, ib, "indices n={n} t={threshold}");
-            assert_eq!(bits(&va), bits(&vb), "values n={n} t={threshold}");
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            let data = payload(n);
+            for threshold in [0.0f32, 1.0, 5.5, -1.0, f32::INFINITY] {
+                let (mut ia, mut va) = (Vec::new(), Vec::new());
+                let (mut ib, mut vb) = (Vec::new(), Vec::new());
+                (sc.gather_above)(&data, threshold, &mut ia, &mut va);
+                (simd.gather_above)(&data, threshold, &mut ib, &mut vb);
+                assert_eq!(ia, ib, "{tbl} indices n={n} t={threshold}");
+                assert_eq!(bits(&va), bits(&vb), "{tbl} values n={n} t={threshold}");
+            }
         }
     }
 }
@@ -252,29 +315,30 @@ fn gather_above_is_byte_identical() {
 fn gather_above_tied_magnitudes_are_byte_identical() {
     // Top-K's tie-break contract: entries whose |x| equals the threshold
     // are excluded by gather_above (strictly-above semantics) and later
-    // filled scanning from index 0 — both tables must agree exactly on a
+    // filled scanning from index 0 — all tables must agree exactly on a
     // payload dominated by tied magnitudes, including runs of ties that
-    // straddle the AVX2 lane width.
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    for n in lengths() {
-        // Blocks of ±t ties with isolated strictly-above spikes.
-        let t = 2.5f32;
-        let data: Vec<f32> = (0..n)
-            .map(|i| match i % 11 {
-                0 => 7.0,
-                d if d % 2 == 0 => t,
-                _ => -t,
-            })
-            .collect();
-        let (mut ia, mut va) = (Vec::new(), Vec::new());
-        let (mut ib, mut vb) = (Vec::new(), Vec::new());
-        (sc.gather_above)(&data, t, &mut ia, &mut va);
-        (simd.gather_above)(&data, t, &mut ib, &mut vb);
-        assert_eq!(ia, ib, "tied indices n={n}");
-        assert_eq!(bits(&va), bits(&vb), "tied values n={n}");
-        // Only the spikes pass a strictly-above gather.
-        assert!(ia.iter().all(|&i| i % 11 == 0), "n={n}");
+    // straddle the 8-lane (AVX2) and 16-lane (AVX-512) widths.
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        for n in lengths() {
+            // Blocks of ±t ties with isolated strictly-above spikes.
+            let t = 2.5f32;
+            let data: Vec<f32> = (0..n)
+                .map(|i| match i % 11 {
+                    0 => 7.0,
+                    d if d % 2 == 0 => t,
+                    _ => -t,
+                })
+                .collect();
+            let (mut ia, mut va) = (Vec::new(), Vec::new());
+            let (mut ib, mut vb) = (Vec::new(), Vec::new());
+            (sc.gather_above)(&data, t, &mut ia, &mut va);
+            (simd.gather_above)(&data, t, &mut ib, &mut vb);
+            assert_eq!(ia, ib, "{tbl} tied indices n={n}");
+            assert_eq!(bits(&va), bits(&vb), "{tbl} tied values n={n}");
+            // Only the spikes pass a strictly-above gather.
+            assert!(ia.iter().all(|&i| i % 11 == 0), "{tbl} n={n}");
+        }
     }
 }
 
@@ -311,17 +375,60 @@ fn top_k_selection_is_identical_across_dispatch_tables_on_ties() {
 
 #[test]
 fn gather_above_appends_without_clobbering() {
-    let (sc, simd) = both();
-    let Some(simd) = simd else { return };
-    let data = payload(100);
-    let (mut ia, mut va) = (vec![42u32], vec![9.0f32]);
-    let (mut ib, mut vb) = (vec![42u32], vec![9.0f32]);
-    (sc.gather_above)(&data, 1.0, &mut ia, &mut va);
-    (simd.gather_above)(&data, 1.0, &mut ib, &mut vb);
-    assert_eq!(ia, ib);
-    assert_eq!(bits(&va), bits(&vb));
-    assert_eq!(ia[0], 42);
-    assert_eq!(va[0], 9.0);
+    for (sc, simd) in pairs() {
+        let tbl = simd.name;
+        let data = payload(100);
+        let (mut ia, mut va) = (vec![42u32], vec![9.0f32]);
+        let (mut ib, mut vb) = (vec![42u32], vec![9.0f32]);
+        (sc.gather_above)(&data, 1.0, &mut ia, &mut va);
+        (simd.gather_above)(&data, 1.0, &mut ib, &mut vb);
+        assert_eq!(ia, ib, "{tbl}");
+        assert_eq!(bits(&va), bits(&vb), "{tbl}");
+        assert_eq!(ia[0], 42, "{tbl}");
+        assert_eq!(va[0], 9.0, "{tbl}");
+    }
+}
+
+#[test]
+fn gemm_tiles_are_bit_identical() {
+    use gcs_tensor::autotune::{supported_tiles, GemmTile};
+    use gcs_tensor::matrix::{at_mul_b_with_tile, matmul_with_tile, MatrixRef};
+    // Dims chosen to hit the 4x32 AVX-512 tile, the 4x16 tile, the 4x4
+    // tile, the column remainder and the row remainder in one product.
+    for (m, k, n) in [
+        (4, 8, 16),
+        (5, 3, 21),
+        (13, 17, 37),
+        (64, 32, 48),
+        (3, 5, 7),
+        (9, 11, 70),
+        (8, 16, 96),
+    ] {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| (((i * 53) % 97) as f32 - 48.0) * 0.021)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((i * 37) % 101) as f32 - 50.0) * 0.013)
+            .collect();
+        let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02).collect();
+        let am = MatrixRef::new(&a, m, k).unwrap();
+        let bm = MatrixRef::new(&b, k, n).unwrap();
+        let atm = MatrixRef::new(&at, k, m).unwrap();
+
+        let mut mm_ref = vec![0.0f32; m * n];
+        matmul_with_tile(GemmTile::Scalar, am, bm, &mut mm_ref).unwrap();
+        let mut atb_ref = vec![0.0f32; m * n];
+        at_mul_b_with_tile(GemmTile::Scalar, atm, bm, &mut atb_ref).unwrap();
+
+        for tile in supported_tiles() {
+            let mut out = vec![0.0f32; m * n];
+            matmul_with_tile(tile, am, bm, &mut out).unwrap();
+            assert_eq!(bits(&mm_ref), bits(&out), "matmul {:?} {m}x{k}x{n}", tile);
+            let mut out = vec![0.0f32; m * n];
+            at_mul_b_with_tile(tile, atm, bm, &mut out).unwrap();
+            assert_eq!(bits(&atb_ref), bits(&out), "at_mul_b {:?} {k}x{m}x{n}", tile);
+        }
+    }
 }
 
 #[test]
@@ -330,9 +437,7 @@ fn gemm_dispatch_paths_are_bit_identical() {
     if kernels::simd().is_none() {
         return;
     }
-    // Dims chosen to hit the 4x16 SIMD tile, the 4x4 tile, the column
-    // remainder and the row remainder in one product.
-    for (m, k, n) in [(4, 8, 16), (5, 3, 21), (13, 17, 37), (64, 32, 48), (3, 5, 7)] {
+    for (m, k, n) in [(4, 8, 16), (13, 17, 37), (64, 32, 48)] {
         let a: Vec<f32> = (0..m * k)
             .map(|i| (((i * 53) % 97) as f32 - 48.0) * 0.021)
             .collect();
@@ -347,13 +452,150 @@ fn gemm_dispatch_paths_are_bit_identical() {
         matmul_with_dispatch(true, am, bm, &mut simd_out).unwrap();
         assert_eq!(bits(&scalar_out), bits(&simd_out), "matmul {m}x{k}x{n}");
 
-        // Aᵀ·B with A stored k x m.
         let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02).collect();
         let atm = MatrixRef::new(&at, k, m).unwrap();
-        matmul_with_dispatch(false, am, bm, &mut scalar_out).unwrap();
         at_mul_b_with_dispatch(false, atm, bm, &mut scalar_out).unwrap();
         at_mul_b_with_dispatch(true, atm, bm, &mut simd_out).unwrap();
         assert_eq!(bits(&scalar_out), bits(&simd_out), "at_mul_b {k}x{m}x{n}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded determinism: the pooled entry points must be bit-identical to
+// serial execution for every pool width, and stable across repeated runs.
+// ---------------------------------------------------------------------------
+
+/// Small + banding-triggering lengths for the pooled wire kernels. The
+/// large size exceeds `4 x` the widest autotunable chunk (2^18 elements),
+/// so a width-4 pool genuinely splits it into 4 concurrent bands.
+fn pooled_lengths() -> Vec<usize> {
+    let mut v: Vec<usize> = (0..=67).collect();
+    v.push((1 << 20) + 37);
+    v
+}
+
+#[test]
+fn pooled_wire_kernels_are_bit_identical_across_widths_and_runs() {
+    for width in [1usize, 2, 4] {
+        let pool = Pool::new(width);
+        for n in pooled_lengths() {
+            let data = payload(n);
+            let words = n.div_ceil(32);
+
+            // Serial references through the dispatched (active-table)
+            // entry points — the pooled variants run the same table, so
+            // banding must be invisible down to NaN payloads.
+            let mut words_ref = vec![0u32; words];
+            kernels::sign_pack(&data, &mut words_ref);
+            let mut unpack_ref = vec![0.0f32; n];
+            kernels::unpack_fill(&words_ref, -1.5, 0.25, &mut unpack_ref);
+            let mut tally_ref: Vec<i32> = (0..n as i32).map(|i| (i % 5) - 2).collect();
+            kernels::vote_add(&words_ref, &mut tally_ref);
+            let mut vote_ref = vec![0u32; words];
+            kernels::vote_pack(&tally_ref, &mut vote_ref);
+            let mut bytes_ref = vec![0u8; n * 4];
+            kernels::f32s_to_bytes(&data, &mut bytes_ref);
+            let mut add_ref = data.clone();
+            kernels::add_from_bytes(&bytes_ref, &mut add_ref);
+            let mut wire_ref = bytes_ref.clone();
+            kernels::add_into_bytes(&data, &mut wire_ref);
+
+            for run in 0..2 {
+                let ctx = format!("w={width} n={n} run={run}");
+
+                let mut w = vec![0xdead_beefu32; words];
+                kernels::sign_pack_pooled(&pool, &data, &mut w);
+                assert_eq!(words_ref, w, "sign_pack {ctx}");
+
+                let mut u = vec![7.0f32; n];
+                kernels::unpack_fill_pooled(&pool, &words_ref, -1.5, 0.25, &mut u);
+                assert_eq!(bits(&unpack_ref), bits(&u), "unpack_fill {ctx}");
+
+                let mut u = data.clone();
+                kernels::unpack_add_pooled(&pool, &words_ref, -1.5, 0.25, &mut u);
+                let mut u_ref = data.clone();
+                kernels::unpack_add(&words_ref, -1.5, 0.25, &mut u_ref);
+                assert_eq!(bits(&u_ref), bits(&u), "unpack_add {ctx}");
+
+                let mut t: Vec<i32> = (0..n as i32).map(|i| (i % 5) - 2).collect();
+                kernels::vote_add_pooled(&pool, &words_ref, &mut t);
+                assert_eq!(tally_ref, t, "vote_add {ctx}");
+
+                let mut v = vec![0u32; words];
+                kernels::vote_pack_pooled(&pool, &tally_ref, &mut v);
+                assert_eq!(vote_ref, v, "vote_pack {ctx}");
+
+                let mut by = vec![0xAAu8; n * 4];
+                kernels::f32s_to_bytes_pooled(&pool, &data, &mut by);
+                assert_eq!(bytes_ref, by, "f32s_to_bytes {ctx}");
+
+                let mut f = vec![0.5f32; n];
+                kernels::bytes_to_f32s_pooled(&pool, &bytes_ref, &mut f);
+                assert_eq!(bits(&data), bits(&f), "bytes_to_f32s {ctx}");
+
+                let mut acc = data.clone();
+                kernels::add_from_bytes_pooled(&pool, &bytes_ref, &mut acc);
+                assert_eq!(bits(&add_ref), bits(&acc), "add_from_bytes {ctx}");
+
+                let mut wire = bytes_ref.clone();
+                kernels::add_into_bytes_pooled(&pool, &data, &mut wire);
+                assert_eq!(wire_ref, wire, "add_into_bytes {ctx}");
+
+                let mut acc = data.clone();
+                kernels::add_assign_pooled(&pool, &mut acc, &data);
+                let mut acc_ref = data.clone();
+                kernels::add_assign(&mut acc_ref, &data);
+                assert_eq!(bits(&acc_ref), bits(&acc), "add_assign {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_gemm_and_topk_are_deterministic_across_widths_and_runs() {
+    use gcs_tensor::matrix::{self, MatrixRef};
+    use gcs_tensor::select;
+
+    // GEMM with adversarial payloads (NaN, ±0, ±inf propagate through the
+    // FMA chains identically in every band split).
+    for width in [1usize, 2, 4] {
+        let pool = Pool::new(width);
+        for (m, k, n) in [(67, 33, 29), (16, 8, 48), (5, 4, 3)] {
+            let a = payload(m * k);
+            let b = payload(k * n);
+            let am = MatrixRef::new(&a, m, k).unwrap();
+            let bm = MatrixRef::new(&b, k, n).unwrap();
+            let mut serial = vec![0.0f32; m * n];
+            matrix::matmul(am, bm, &mut serial).unwrap();
+            for run in 0..2 {
+                let mut pooled = vec![0.0f32; m * n];
+                matrix::matmul_pooled(&pool, am, bm, &mut pooled).unwrap();
+                assert_eq!(
+                    canon_bits(&serial),
+                    canon_bits(&pooled),
+                    "matmul w={width} {m}x{k}x{n} run={run}"
+                );
+            }
+        }
+
+        // Top-k: tie-heavy data so the lowest-index tie-break is load
+        // bearing, at a size that splits the banded gather.
+        let n = 300_000;
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i * 131 % 17) as f32 - 8.0) * 0.25)
+            .collect();
+        for k in [1usize, 1000, 50_000] {
+            let serial = select::top_k_abs_with(&data, k, &mut Vec::new());
+            for run in 0..2 {
+                let pooled = select::top_k_abs_pooled(&pool, &data, k, &mut Vec::new());
+                assert_eq!(serial.indices, pooled.indices, "topk w={width} k={k} run={run}");
+                assert_eq!(
+                    bits(&serial.values),
+                    bits(&pooled.values),
+                    "topk w={width} k={k} run={run}"
+                );
+            }
+        }
     }
 }
 

@@ -36,13 +36,25 @@ cargo run -q --release -p gcs-cli --bin gradcomp-cli -- analyze --all
 # minutes-long full runs. The datapath smoke runs under both dispatch
 # modes so the scalar fallback paths stay executable too.
 echo "==> bench smoke (datapath)"
-GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin datapath
+GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_datapath_smoke.json \
+  cargo run -q --release -p gcs-bench --bin datapath
 
 echo "==> bench smoke (datapath, GCS_FORCE_SCALAR=1)"
 GCS_BENCH_SMOKE=1 GCS_FORCE_SCALAR=1 cargo run -q --release -p gcs-bench --bin datapath
 
 echo "==> bench smoke (pipeline)"
-GCS_BENCH_SMOKE=1 cargo run -q --release -p gcs-bench --bin pipeline
+GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_pipeline_smoke.json \
+  cargo run -q --release -p gcs-bench --bin pipeline
+
+# Bench regression gate: the smoke reports must keep every tracked row of
+# the committed baselines (structure check; timings are only diffed when
+# comparing two full runs on the same CPU — see the script's docstring).
+# Regenerate the committed files with full runs and the same script flags
+# before landing intentional changes: a >20% slowdown on matched full-run
+# rows fails the gate.
+echo "==> bench compare (structure gate vs committed baselines)"
+python3 scripts/bench_compare.py BENCH_datapath.json results/bench_datapath_smoke.json
+python3 scripts/bench_compare.py BENCH_pipeline.json results/bench_pipeline_smoke.json
 
 # Fault-injection suite under two fixed seeds (decimal; the suite reads
 # GCS_FAULT_SEED). Wrapped in `timeout` because the failure mode the fault
