@@ -157,21 +157,42 @@ fn main() {
     let rows = straggler_rows(workers);
     let faults = fault_plane_exercise(smoke);
 
+    let choice = gcs_tensor::autotune::choice();
+    let metadata = json!({
+        "active_kernel_table": gcs_tensor::kernels::active().name,
+        "kernel_threads": gcs_tensor::pool::global().width(),
+        "gemm_tile": choice.gemm_tile.name(),
+        "wire_chunk_elems": choice.wire_chunk_elems,
+        "autotune_provenance": choice.provenance,
+        "smoke": smoke,
+    });
     let report = json!({
         "bench": "straggler",
         "model": "resnet50",
+        "smoke": smoke,
         "workers": workers,
         "slowdowns": SLOWDOWNS.to_vec(),
+        "metadata": metadata,
         "methods": rows,
         "fault_plane": faults,
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_straggler.json");
-    if smoke {
-        // Smoke sizes change the fault section; don't clobber the tracked file.
-        println!("smoke mode: skipping write of {path}");
-    } else {
-        let text = serde_json::to_string_pretty(&report).expect("serialize report");
-        std::fs::write(path, text).expect("write BENCH_straggler.json");
-        println!("wrote {path}");
+    // `GCS_BENCH_OUT` redirects the report (written even in smoke mode,
+    // for the structural regression gate in CI).
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_straggler.json");
+    match (std::env::var("GCS_BENCH_OUT").ok(), smoke) {
+        (Some(path), _) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(&path, text).expect("write GCS_BENCH_OUT report");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            // Smoke sizes change the fault section; don't clobber the tracked file.
+            println!("smoke mode: skipping write of {default_path}");
+        }
+        (None, false) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(default_path, text).expect("write BENCH_straggler.json");
+            println!("wrote {default_path}");
+        }
     }
 }

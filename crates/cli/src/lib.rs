@@ -58,6 +58,8 @@ COMMANDS:
   sweep      bandwidth sweep for one method vs syncSGD (--from/--to Gbps)
   trace      ASCII two-stream timeline of one iteration (Figure-2 style)
   faults     train on the real in-process cluster under an injected fault plan
+  adaptive   train with the online Equation-1 controller picking the scheme
+             per bucket, vs. each arm pinned (time-to-loss comparison)
   analyze    static verification: schedule model checker + workspace lint
   models     list available model specs
   methods    list available compression methods
@@ -82,6 +84,15 @@ FAULTS FLAGS (gradcomp faults, with defaults):
   --kill none             scheduled deaths, e.g. 3@5 or 1@4,6@10 (rank@step)
   --timeout-ms 0          recv deadline per attempt (0 = block forever)
   --retries 2             recv retries after a timeout
+
+ADAPTIVE FLAGS (gradcomp adaptive, with defaults):
+  --workers 4             worker thread count
+  --steps 60              optimizer steps
+  --gbps 0.01             modelled link bandwidth (Equation-1 cost input)
+  --alpha-us 15           modelled per-message latency in microseconds
+  --arms syncsgd,fp16,powersgd:2   candidate schemes (first is the baseline)
+  --bucket-kb 1           gradient bucket size in KiB
+  --seed 8                data/init seed
 
 ANALYZE FLAGS (gradcomp analyze):
   --all                   run both passes (default when no pass is named)
@@ -503,6 +514,9 @@ pub fn run(args: &[String]) -> Result<String> {
             )
             .expect("write");
         }
+        "adaptive" => {
+            out.push_str(&cmd_adaptive(rest)?);
+        }
         "analyze" => {
             out.push_str(&cmd_analyze(rest)?);
         }
@@ -511,6 +525,121 @@ pub fn run(args: &[String]) -> Result<String> {
                 "unknown command '{other}' (try `gradcomp help`)"
             )));
         }
+    }
+    Ok(out)
+}
+
+/// `gradcomp adaptive [--workers N] [--steps N] [--gbps F] [--arms a,b,c] ...`
+///
+/// Trains a small convex task through the adaptive per-bucket controller
+/// and through every arm pinned, then reports modelled step time and
+/// time-to-loss — the what-if answer, demonstrated on the real data plane.
+fn cmd_adaptive(rest: &[String]) -> Result<String> {
+    use gcs_compress::adaptive::{AdaptiveConfig, LinkModel};
+    use gcs_train::adaptive::train_threaded_adaptive;
+
+    let map = flag_map(rest)?;
+    let get_parse = |key: &str, default: &str| -> Result<f64> {
+        let v = map.get(key).map_or(default, String::as_str);
+        v.parse()
+            .map_err(|e| CliError(format!("bad --{key} '{v}': {e}")))
+    };
+    let workers = get_parse("workers", "4")? as usize;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".into()));
+    }
+    let steps = get_parse("steps", "60")? as usize;
+    let gbps = get_parse("gbps", "0.01")?;
+    if gbps <= 0.0 {
+        return Err(CliError("--gbps must be positive".into()));
+    }
+    let alpha_s = get_parse("alpha-us", "15")? * 1e-6;
+    let bucket_kb = get_parse("bucket-kb", "1")?;
+    if bucket_kb <= 0.0 {
+        return Err(CliError("--bucket-kb must be positive".into()));
+    }
+    let seed = get_parse("seed", "8")? as u64;
+    let arms: Vec<MethodConfig> = map
+        .get("arms")
+        .map_or("syncsgd,fp16,powersgd:2", String::as_str)
+        .split(',')
+        .map(|a| MethodConfig::parse(a.trim()).map_err(|e| CliError(e.to_string())))
+        .collect::<Result<_>>()?;
+    if arms.is_empty() {
+        return Err(CliError("--arms needs at least one scheme".into()));
+    }
+
+    let link =
+        LinkModel::new(alpha_s, gbps * 1e9 / 8.0).map_err(|e| CliError(e.to_string()))?;
+    let bucket_bytes = (bucket_kb * 1024.0) as usize;
+    let task = gcs_train::task::LinearRegression::new(256, 256, 0.01, 41);
+    let cfg = gcs_train::threaded::ThreadedConfig::new()
+        .workers(workers)
+        .steps(steps)
+        .lr(0.05)
+        .seed(seed);
+    let run = |scheme_arms: Vec<MethodConfig>| -> Result<gcs_train::adaptive::AdaptiveTrainReport> {
+        let acfg = AdaptiveConfig::new(scheme_arms)
+            .map_err(|e| CliError(e.to_string()))?
+            .link(link);
+        train_threaded_adaptive(&task, &acfg, bucket_bytes, &cfg)
+            .map_err(|e| CliError(format!("adaptive run failed: {e}")))
+    };
+
+    let adaptive = run(arms.clone())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "adaptive | {workers} workers | {} arms | {gbps} Gbps | bucket {bucket_kb:.0} KiB",
+        arms.len()
+    )
+    .expect("write");
+    let arm_name = |i: usize| -> String {
+        arms.get(i).map_or_else(|| format!("arm {i}"), method_name)
+    };
+    if adaptive.trace.is_empty() {
+        out.push_str("  decisions: none (initial assignment kept)\n");
+    } else {
+        out.push_str("  decisions:\n");
+        for d in &adaptive.trace {
+            writeln!(
+                out,
+                "    step {:>3}: bucket {} {} -> {}{}",
+                d.step,
+                d.bucket,
+                arm_name(d.from as usize),
+                arm_name(d.to as usize),
+                if d.probe { "  (probe)" } else { "" },
+            )
+            .expect("write");
+        }
+    }
+    out.push_str("  final assignment:\n");
+    for (b, &a) in adaptive.assignment.iter().enumerate() {
+        writeln!(out, "    bucket {b} -> {}", arm_name(a)).expect("write");
+    }
+    let target = 0.4 * adaptive.report.initial_loss();
+    let fmt_ttl = |r: &gcs_train::adaptive::AdaptiveTrainReport| -> String {
+        r.time_to_loss(target)
+            .map_or_else(|| "not reached".into(), |t| format!("{:.2} ms", t * 1e3))
+    };
+    writeln!(
+        out,
+        "  adaptive   : step {:.3} ms | time-to-0.4x-loss {}",
+        adaptive.modelled_step_s * 1e3,
+        fmt_ttl(&adaptive)
+    )
+    .expect("write");
+    for arm in &arms {
+        let fixed = run(vec![arm.clone()])?;
+        writeln!(
+            out,
+            "  {:<11}: step {:.3} ms | time-to-0.4x-loss {}",
+            method_name(arm),
+            fixed.modelled_step_s * 1e3,
+            fmt_ttl(&fixed)
+        )
+        .expect("write");
     }
     Ok(out)
 }
@@ -708,6 +837,40 @@ mod tests {
         assert!(run(&args("faults --workers 4 --kill 9@2")).is_err());
         assert!(run(&args("faults --drop 1.5")).is_err());
         assert!(run(&args("faults --workers 0")).is_err());
+    }
+
+    #[test]
+    fn adaptive_command_compresses_on_a_slow_link() {
+        let out = run(&args(
+            "adaptive --workers 2 --steps 20 --gbps 0.001 --alpha-us 5",
+        ))
+        .unwrap();
+        assert!(out.contains("final assignment"), "{out}");
+        // 1 Mbps: the modelled controller must move the big weight bucket
+        // onto a compressed arm and say which one.
+        assert!(out.contains("-> PowerSGD"), "{out}");
+        assert!(out.contains("adaptive   : step"), "{out}");
+        assert!(out.contains("time-to-0.4x-loss"), "{out}");
+    }
+
+    #[test]
+    fn adaptive_command_stays_uncompressed_on_a_fast_link() {
+        let out = run(&args(
+            "adaptive --workers 2 --steps 20 --gbps 10 --arms syncsgd,powersgd:2",
+        ))
+        .unwrap();
+        assert!(out.contains("decisions: none"), "{out}");
+        for line in out.lines().filter(|l| l.trim_start().starts_with("bucket ")) {
+            assert!(line.ends_with("-> syncSGD"), "{out}");
+        }
+    }
+
+    #[test]
+    fn adaptive_command_rejects_bad_flags() {
+        assert!(run(&args("adaptive --workers 0")).is_err());
+        assert!(run(&args("adaptive --gbps -1")).is_err());
+        assert!(run(&args("adaptive --arms bogus:1")).is_err());
+        assert!(run(&args("adaptive --bucket-kb 0")).is_err());
     }
 
     #[test]

@@ -54,6 +54,73 @@ pub fn all_reduce_compressed<C: Compressor>(
         .collect()
 }
 
+/// What to do with the old scheme's error-feedback residual when a layer
+/// (or bucket) switches compressors mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualPolicy {
+    /// Carry the residual across: extract it from the old compressor and
+    /// inject it into the new one, so unsent gradient mass survives the
+    /// switch. Falls back to a reset when either side has no
+    /// error-feedback memory.
+    #[default]
+    Carry,
+    /// Drop the residual: both compressors start the next step with zero
+    /// error memory. Safe for any scheme pair; loses at most one step's
+    /// compression error.
+    Reset,
+}
+
+/// Outcome of a [`switch_scheme`] call — the typed contract the adaptive
+/// data plane tests against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchOutcome {
+    /// Whether the residual actually moved into the new compressor
+    /// (`false` under [`ResidualPolicy::Reset`] or when either scheme
+    /// keeps no error-feedback memory — the documented reset semantics).
+    pub carried: bool,
+    /// L2 norm of the residual at the switch point (0.0 when there was
+    /// none). Carried or not, this bounds the one-step mass at stake.
+    pub residual_norm: f64,
+}
+
+/// Moves `layer` from compressor `old` to compressor `new` under the given
+/// residual policy, returning what happened to the error-feedback state.
+///
+/// The old compressor's residual for `layer` is always *removed* (so
+/// continued use of `old` on other layers never double-counts mass); under
+/// [`ResidualPolicy::Carry`] it is offered to `new` via
+/// [`Compressor::inject_residual`], which accepts it only if the new
+/// scheme maintains error feedback. The caller is responsible for only
+/// switching at a bucket boundary — i.e. after `finish` and before the
+/// next `encode` — when neither compressor holds in-flight round state
+/// for `layer`.
+///
+/// # Errors
+///
+/// Propagates a protocol error if the new compressor cannot reconcile the
+/// injected residual (element-count mismatch against existing state).
+pub fn switch_scheme<A, B>(
+    old: &mut A,
+    new: &mut B,
+    layer: usize,
+    policy: ResidualPolicy,
+) -> Result<SwitchOutcome>
+where
+    A: Compressor + ?Sized,
+    B: Compressor + ?Sized,
+{
+    let residual = old.take_residual(layer);
+    let residual_norm = residual.as_ref().map_or(0.0, |r| f64::from(r.l2_norm()));
+    let carried = match (policy, residual) {
+        (ResidualPolicy::Carry, Some(r)) => new.inject_residual(layer, r)?,
+        _ => false,
+    };
+    Ok(SwitchOutcome {
+        carried,
+        residual_norm,
+    })
+}
+
 /// Convenience wrapper for single-worker (local) compression: encodes,
 /// "aggregates" the single payload and decodes. Useful for measuring pure
 /// encode/decode cost and for round-trip accuracy tests.
@@ -106,5 +173,89 @@ mod tests {
         let grads = vec![Tensor::zeros([2])];
         let mut workers = vec![NoCompression::new(), NoCompression::new()];
         let _ = all_reduce_compressed(&mut workers, 0, &grads);
+    }
+
+    #[test]
+    fn switch_carries_residual_between_ef_schemes() {
+        use crate::topk::TopK;
+        // Build residual mass in a 25%-Top-K: 3 of 4 coordinates dropped.
+        let mut old = TopK::new(0.25).unwrap().error_feedback(true);
+        let g = Tensor::from_vec(vec![10.0, 1.0, 2.0, 3.0]);
+        let _ = round_trip(&mut old, 0, &g).unwrap();
+        let expected_norm = (1.0f64 + 4.0 + 9.0).sqrt();
+
+        let mut new = TopK::new(1.0).unwrap().error_feedback(true);
+        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
+            .unwrap();
+        assert!(out.carried);
+        assert!((out.residual_norm - expected_norm).abs() < 1e-6);
+        // The old compressor's residual is gone either way.
+        assert!(old.take_residual(0).is_none());
+        // The carried mass is re-sent by the new scheme on a zero gradient.
+        let sent = round_trip(&mut new, 0, &Tensor::zeros([4])).unwrap();
+        assert_eq!(sent.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn switch_into_no_ef_scheme_is_a_documented_reset() {
+        use crate::topk::TopK;
+        let mut old = TopK::new(0.25).unwrap().error_feedback(true);
+        let g = Tensor::from_vec(vec![10.0, 1.0, 2.0, 3.0]);
+        let _ = round_trip(&mut old, 0, &g).unwrap();
+        let mut new = NoCompression::new();
+        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
+            .unwrap();
+        assert!(!out.carried, "no-EF target cannot carry");
+        assert!(out.residual_norm > 0.0, "norm is still reported");
+        assert!(old.take_residual(0).is_none(), "old residual is cleared");
+    }
+
+    #[test]
+    fn switch_reset_policy_drops_residual_but_reports_norm() {
+        use crate::topk::TopK;
+        let mut old = TopK::new(0.25).unwrap().error_feedback(true);
+        let g = Tensor::from_vec(vec![10.0, 1.0, 2.0, 3.0]);
+        let _ = round_trip(&mut old, 0, &g).unwrap();
+        let mut new = TopK::new(1.0).unwrap().error_feedback(true);
+        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Reset)
+            .unwrap();
+        assert!(!out.carried);
+        assert!(out.residual_norm > 0.0);
+        let sent = round_trip(&mut new, 0, &Tensor::zeros([4])).unwrap();
+        assert_eq!(sent.data(), &[0.0; 4], "reset must not re-send mass");
+    }
+
+    #[test]
+    fn switch_into_powersgd_defers_residual_to_first_encode() {
+        use crate::powersgd::PowerSgd;
+        use crate::topk::TopK;
+        let mut old = TopK::new(0.25).unwrap().error_feedback(true);
+        let g = Tensor::randn([4, 4], 3);
+        let _ = round_trip(&mut old, 0, &g).unwrap();
+        let mut new = PowerSgd::new(4).unwrap();
+        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
+            .unwrap();
+        assert!(out.carried, "PowerSGD has EF memory");
+        // The injected residual is reconciled at the next encode; rank-4 on
+        // a 4x4 matrix is exact, so (zero grad + residual) round-trips to
+        // approximately the residual itself.
+        let sent = round_trip(&mut new, 0, &Tensor::zeros([4, 4])).unwrap();
+        assert!(sent.data().iter().any(|x| x.abs() > 1e-6));
+        assert!(sent.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn switch_norm_zero_when_old_scheme_has_no_residual() {
+        let mut old = NoCompression::new();
+        let mut new = NoCompression::new();
+        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
+            .unwrap();
+        assert_eq!(
+            out,
+            super::SwitchOutcome {
+                carried: false,
+                residual_norm: 0.0
+            }
+        );
     }
 }

@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod atomo;
 pub mod dgc;
 pub mod double_squeeze;

@@ -728,7 +728,7 @@ mod tests {
         for p in victims {
             for extra in [1usize, 3, 4] {
                 let mut b = p.to_bytes();
-                b.extend(std::iter::repeat(0xAB).take(extra));
+                b.extend(std::iter::repeat_n(0xAB, extra));
                 let err = Payload::from_bytes(&b).expect_err("trailing bytes must error");
                 let msg = err.to_string();
                 assert!(msg.contains("trailing"), "unexpected error: {msg}");

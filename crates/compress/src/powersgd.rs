@@ -71,6 +71,10 @@ pub struct PowerSgd {
     error_feedback: bool,
     warm_start: bool,
     layers: HashMap<usize, LayerState>,
+    /// Residuals injected via the scheme-switch contract before this layer
+    /// has any state; reconciled (or dropped on shape change) at the next
+    /// `encode`.
+    injected: HashMap<usize, Vec<f32>>,
     seed: u64,
 }
 
@@ -93,6 +97,7 @@ impl PowerSgd {
             error_feedback: true,
             warm_start: true,
             layers: HashMap::new(),
+            injected: HashMap::new(),
             seed: 0x9e37_79b9,
         })
     }
@@ -183,6 +188,7 @@ impl Compressor for PowerSgd {
         let warm = self.warm_start;
         let ef = self.error_feedback;
         let fresh_q = if warm { None } else { Some(self.init_q(layer, n, r)) };
+        let injected = self.injected.remove(&layer);
         let Some(state) = self.layers.get_mut(&layer) else {
             return Err(CompressError::Protocol(format!(
                 "no per-layer state for layer {layer}"
@@ -190,6 +196,14 @@ impl Compressor for PowerSgd {
         };
         if let Some(q) = fresh_q {
             state.q = q;
+        }
+
+        // A residual injected by a scheme switch replaces the layer's
+        // error memory (dropped if the layer changed shape since).
+        if let Some(injected) = injected {
+            if injected.len() == numel {
+                state.error.copy_from_slice(&injected);
+            }
         }
 
         // M = grad (+ error feedback)
@@ -346,6 +360,42 @@ impl Compressor for PowerSgd {
 
     fn reset(&mut self) {
         self.layers.clear();
+        self.injected.clear();
+    }
+
+    fn take_residual(&mut self, layer: usize) -> Option<Tensor> {
+        if !self.error_feedback {
+            return None;
+        }
+        if let Some(pending) = self.injected.remove(&layer) {
+            return Some(Tensor::from_vec(pending));
+        }
+        let state = self.layers.get_mut(&layer)?;
+        let numel = state.rows * state.cols;
+        let out = std::mem::replace(&mut state.error, vec![0.0; numel]);
+        Some(Tensor::from_vec(out))
+    }
+
+    fn inject_residual(&mut self, layer: usize, residual: Tensor) -> Result<bool> {
+        if !self.error_feedback {
+            return Ok(false);
+        }
+        match self.layers.get_mut(&layer) {
+            Some(state) if state.error.len() == residual.numel() => {
+                state.error.copy_from_slice(residual.data());
+            }
+            Some(_) => {
+                return Err(CompressError::Protocol(format!(
+                    "injected residual numel {} does not match layer {layer} state",
+                    residual.numel()
+                )));
+            }
+            // No state yet: stash until the first encode fixes the shape.
+            None => {
+                self.injected.insert(layer, residual.into_vec());
+            }
+        }
+        Ok(true)
     }
 }
 

@@ -226,6 +226,24 @@ impl Compressor for SignSgd {
         self.residual.clear();
         self.pending.clear();
     }
+
+    fn take_residual(&mut self, layer: usize) -> Option<Tensor> {
+        if !self.error_feedback {
+            return None;
+        }
+        self.residual.remove(&layer)
+    }
+
+    fn inject_residual(&mut self, layer: usize, residual: Tensor) -> Result<bool> {
+        if !self.error_feedback {
+            return Ok(false);
+        }
+        // Stored flat; `encode` adds by element count (a count mismatch
+        // after a layer shape change is rejected there).
+        self.residual
+            .insert(layer, Tensor::from_vec(residual.into_vec()));
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -93,9 +93,16 @@ impl Compressor for TopK {
                 values: sel.values,
             });
         }
+        // The residual is matched by element count, not shape: a
+        // scheme-switch injection arrives flat while the bucket may be
+        // matricized. A count mismatch (layer changed shape) drops it.
         let v = match self.residual.get(&layer) {
-            Some(e) => grad.add(e)?,
-            None => grad.clone(),
+            Some(e) if e.numel() == grad.numel() => {
+                let mut v = grad.clone();
+                gcs_tensor::kernels::add_assign(v.data_mut(), e.data());
+                v
+            }
+            _ => grad.clone(),
         };
         let sel = top_k_abs_pooled(pool::global(), v.data(), k, &mut self.mags);
         // Residual keeps exactly the dropped coordinates.
@@ -179,6 +186,24 @@ impl Compressor for TopK {
     fn reset(&mut self) {
         self.residual.clear();
         self.pending.clear();
+    }
+
+    fn take_residual(&mut self, layer: usize) -> Option<Tensor> {
+        if !self.error_feedback {
+            return None;
+        }
+        self.residual.remove(&layer)
+    }
+
+    fn inject_residual(&mut self, layer: usize, residual: Tensor) -> Result<bool> {
+        if !self.error_feedback {
+            return Ok(false);
+        }
+        // The residual participates as `grad + residual` at the next
+        // encode; only the element count matters, so reshape to flat.
+        self.residual
+            .insert(layer, Tensor::from_vec(residual.into_vec()));
+        Ok(true)
     }
 }
 

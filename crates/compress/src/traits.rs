@@ -105,6 +105,42 @@ pub trait Compressor: Send {
 
     /// Clears all per-layer state (error feedback, warm starts, counters).
     fn reset(&mut self);
+
+    /// Removes and returns the error-feedback residual for `layer` as a
+    /// flat tensor, or `None` when this scheme keeps no residual (either
+    /// because error feedback is disabled or the method has none).
+    ///
+    /// This is one half of the **scheme-switch residual contract** used by
+    /// the adaptive controller: when a bucket switches compressors
+    /// mid-run, the unsent gradient mass accumulated by the old scheme is
+    /// extracted here and handed to
+    /// [`inject_residual`](Compressor::inject_residual) on the new one
+    /// (see [`driver::switch_scheme`](crate::driver::switch_scheme)).
+    /// Implementations must leave the layer with a *zero* residual
+    /// afterwards, so a `take` followed by continued use of the old
+    /// compressor never double-counts mass.
+    fn take_residual(&mut self, layer: usize) -> Option<Tensor> {
+        let _ = layer;
+        None
+    }
+
+    /// Seeds the error-feedback residual for `layer` with `residual`
+    /// (flat, element count must match the layer's gradient). Returns
+    /// `Ok(true)` if the residual was accepted, `Ok(false)` if this scheme
+    /// cannot carry one (no error-feedback memory) — the caller must then
+    /// treat the switch as a documented **reset**: the mass is dropped,
+    /// exactly as if the old scheme had transmitted it losslessly and the
+    /// optimizer had consumed it.
+    ///
+    /// # Errors
+    ///
+    /// May return a protocol error when the residual cannot be reconciled
+    /// with existing layer state (implementations that defer the check to
+    /// the next `encode` instead drop a mismatched residual there).
+    fn inject_residual(&mut self, layer: usize, residual: Tensor) -> Result<bool> {
+        let _ = (layer, residual);
+        Ok(false)
+    }
 }
 
 impl<C: Compressor + ?Sized> Compressor for Box<C> {
@@ -138,6 +174,14 @@ impl<C: Compressor + ?Sized> Compressor for Box<C> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn take_residual(&mut self, layer: usize) -> Option<Tensor> {
+        (**self).take_residual(layer)
+    }
+
+    fn inject_residual(&mut self, layer: usize, residual: Tensor) -> Result<bool> {
+        (**self).inject_residual(layer, residual)
     }
 }
 

@@ -81,7 +81,7 @@ pub fn aggregate_over_cluster<C: Compressor>(
 /// # Errors
 ///
 /// Propagates compression and transport errors.
-pub fn aggregate_over_cluster_with<C: Compressor>(
+pub fn aggregate_over_cluster_with<C: Compressor + ?Sized>(
     worker: &WorkerHandle,
     compressor: &C,
     round: usize,
@@ -190,7 +190,7 @@ where
 
 /// Deserializes gathered wire images and reduces them through the
 /// compressor's own `aggregate` (identically on every participant).
-fn aggregate_gathered<C: Compressor>(
+fn aggregate_gathered<C: Compressor + ?Sized>(
     compressor: &C,
     round: usize,
     gathered: &[gcs_cluster::Frame],
@@ -542,6 +542,130 @@ pub fn exchange_gradients_with_plan<C: Compressor>(
         .map(|bucket_id| Ok(compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?))
         .collect::<Result<_>>()?;
     plan.scatter(grads, flats)
+}
+
+/// Per-bucket wall-clock breakdown of one exchange, from monotonic timers
+/// around the encode / collective / absorb phases — the raw signal the
+/// adaptive controller's measured mode consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BucketTiming {
+    /// Bucket index.
+    pub bucket: usize,
+    /// Seconds spent encoding (all rounds, including packing).
+    pub encode_s: f64,
+    /// Seconds spent in the cluster collective (all rounds).
+    pub comm_s: f64,
+    /// Seconds spent absorbing and decoding.
+    pub decode_s: f64,
+    /// Bytes this worker contributed to ring all-reduce rounds (the f32
+    /// wire image for summable payloads).
+    pub ring_bytes: u64,
+    /// Number of ring rounds.
+    pub ring_rounds: u32,
+    /// Bytes this worker contributed to all-gather rounds (serialized
+    /// payload length).
+    pub gather_bytes: u64,
+    /// Number of gather rounds.
+    pub gather_rounds: u32,
+}
+
+/// Bytes a summable payload occupies on the ring — the length of the f32
+/// image `mean_summable` actually reduces (Half payloads are decoded to
+/// f32 *before* the ring, so FP16 pays full f32 wire bytes here).
+pub fn summable_wire_bytes(payload: &Payload) -> u64 {
+    match payload {
+        Payload::Dense(v) => 4 * v.len() as u64,
+        Payload::Half(h) => 4 * h.len() as u64,
+        Payload::Factor { data, .. } => 4 * data.len() as u64,
+        Payload::SharedSparse { values, .. } => 4 * values.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Runs one (bucket, round) leg of the exchange with monotonic timers,
+/// accumulating into `timing` — shared by the round-major timed exchange
+/// below and the bucket-major adaptive engine.
+pub(crate) fn run_timed_round<C: Compressor + ?Sized>(
+    worker: &WorkerHandle,
+    compressor: &mut C,
+    grads: &[Tensor],
+    plan: &mut BucketPlan,
+    bucket_id: usize,
+    round: usize,
+    timing: &mut BucketTiming,
+) -> Result<()> {
+    let t0 = std::time::Instant::now();
+    let payload = if round == 0 {
+        let flat = plan.pack(grads, bucket_id)?;
+        let p = compressor.encode(bucket_id, &flat);
+        plan.reclaim(flat);
+        p?
+    } else {
+        compressor.encode_round(bucket_id, round)?
+    };
+    let t1 = std::time::Instant::now();
+    timing.encode_s += t1.duration_since(t0).as_secs_f64();
+    let summable = payload.is_summable();
+    if summable {
+        timing.ring_bytes += summable_wire_bytes(&payload);
+        timing.ring_rounds += 1;
+    }
+    let mut wire = std::mem::take(plan.wire_mut());
+    let agg = aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire);
+    if !summable {
+        // The gather path serialized this worker's payload into `wire`.
+        timing.gather_bytes += wire.len() as u64;
+        timing.gather_rounds += 1;
+    }
+    *plan.wire_mut() = wire;
+    let t2 = std::time::Instant::now();
+    timing.comm_s += t2.duration_since(t1).as_secs_f64();
+    compressor.absorb(bucket_id, round, agg?)?;
+    timing.decode_s += t2.elapsed().as_secs_f64();
+    Ok(())
+}
+
+/// [`exchange_gradients_with_plan`] with per-bucket timing probes: the
+/// same round-major schedule, returning a [`BucketTiming`] per bucket
+/// alongside the decoded gradients.
+///
+/// # Errors
+///
+/// Propagates compression and transport errors.
+///
+/// # Panics
+///
+/// Panics if `plan` was built for a different gradient layout (debug
+/// builds only, as in [`exchange_gradients_with_plan`]).
+pub fn exchange_gradients_with_plan_timed<C: Compressor>(
+    worker: &WorkerHandle,
+    compressor: &mut C,
+    grads: &[Tensor],
+    plan: &mut BucketPlan,
+) -> Result<(Vec<Tensor>, Vec<BucketTiming>)> {
+    debug_assert!(plan.matches(grads), "plan built for a different model");
+    let rounds = compressor.properties().rounds;
+    let mut timings: Vec<BucketTiming> = (0..plan.num_buckets())
+        .map(|bucket| BucketTiming {
+            bucket,
+            ..BucketTiming::default()
+        })
+        .collect();
+    for round in 0..rounds {
+        for (bucket_id, timing) in timings.iter_mut().enumerate() {
+            run_timed_round(worker, compressor, grads, plan, bucket_id, round, timing)?;
+        }
+    }
+    let flats: Vec<Tensor> = (0..plan.num_buckets())
+        .map(|bucket_id| {
+            let t0 = std::time::Instant::now();
+            let flat = compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?;
+            timings[bucket_id].decode_s += t0.elapsed().as_secs_f64();
+            Ok(flat)
+        })
+        .collect::<Result<_>>()?;
+    plan.scatter(grads, flats)
+        .map(|grads_out| (grads_out, timings))
 }
 
 /// Largest divisor of `n` that is at most `√n` (1 for primes and `n ≤ 3`).

@@ -29,11 +29,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod exec;
 pub mod pipeline;
 pub mod sim;
 pub mod trace;
 pub mod wire;
 
+pub use adaptive::{AdaptiveEngine, SwitchRecord};
+pub use exec::{summable_wire_bytes, BucketTiming};
 pub use pipeline::{PipelineConfig, PipelinedEngine};
 pub use trace::{RunEvent, RunEventKind};

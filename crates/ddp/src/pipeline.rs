@@ -52,7 +52,8 @@ use gcs_compress::{Compressor, Factor, Payload};
 use gcs_tensor::f16::{decode_f16, encode_f16};
 use gcs_tensor::Tensor;
 
-use crate::exec::{BucketPlan, Result};
+use crate::exec::{summable_wire_bytes, BucketPlan, BucketTiming, Result};
+use gcs_compress::driver::{switch_scheme, ResidualPolicy, SwitchOutcome};
 
 /// Tuning knobs for [`PipelinedEngine`].
 #[derive(Debug, Clone)]
@@ -127,6 +128,11 @@ pub struct PipelinedEngine<C: Compressor> {
     plan: Option<BucketPlan>,
     /// Recycled gather-path serialization buffers (up to `depth` circulate).
     wire_pool: Vec<Vec<u8>>,
+    /// Per-bucket timing probes of the most recent exchange. In a
+    /// pipelined schedule `comm_s` is the *exposed* (wait-blocked)
+    /// communication time — overlap hides the rest, which is precisely
+    /// the quantity an adaptive policy should react to.
+    timings: Vec<BucketTiming>,
 }
 
 impl<C: Compressor> PipelinedEngine<C> {
@@ -144,7 +150,38 @@ impl<C: Compressor> PipelinedEngine<C> {
             cfg,
             plan: None,
             wire_pool: Vec::new(),
+            timings: Vec::new(),
         })
+    }
+
+    /// Per-bucket timing probes of the most recent [`exchange`](Self::exchange).
+    pub fn last_timings(&self) -> &[BucketTiming] {
+        &self.timings
+    }
+
+    /// The scheme-switch point of the pipelined plane: replaces the
+    /// engine's compressor with `new` at a step boundary, moving (or
+    /// documented-resetting) every bucket's error-feedback residual per
+    /// `policy`. Returns the old compressor and one [`SwitchOutcome`] per
+    /// bucket of the current plan. Must only be called between exchanges
+    /// — the engine never holds in-flight collectives across
+    /// [`exchange`](Self::exchange) calls, so that boundary is always
+    /// safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates residual-reconciliation protocol errors.
+    pub fn swap_compressor(
+        &mut self,
+        mut new: C,
+        policy: ResidualPolicy,
+    ) -> Result<(C, Vec<SwitchOutcome>)> {
+        let buckets = self.plan.as_ref().map_or(0, BucketPlan::num_buckets);
+        let mut outcomes = Vec::with_capacity(buckets);
+        for bucket in 0..buckets {
+            outcomes.push(switch_scheme(&mut self.compressor, &mut new, bucket, policy)?);
+        }
+        Ok((std::mem::replace(&mut self.compressor, new), outcomes))
     }
 
     /// Rank of the underlying worker.
@@ -200,13 +237,23 @@ impl<C: Compressor> PipelinedEngine<C> {
     ) -> Result<Vec<Tensor>> {
         let rounds = self.compressor.properties().rounds;
         let mut inflight: VecDeque<Inflight> = VecDeque::new();
+        let mut timings: Vec<BucketTiming> = (0..plan.num_buckets())
+            .map(|bucket| BucketTiming {
+                bucket,
+                ..BucketTiming::default()
+            })
+            .collect();
         for round in 0..rounds {
+            // Indexed loop: `complete_front` needs the whole `timings`
+            // slice mid-iteration, so an `iter_mut` would double-borrow.
+            #[allow(clippy::needless_range_loop)]
             for bucket_id in 0..plan.num_buckets() {
                 // Backpressure: never run more than `depth` buckets ahead
                 // of the oldest unabsorbed collective.
                 while inflight.len() >= self.cfg.depth {
-                    self.complete_front(round, &mut inflight)?;
+                    self.complete_front(round, &mut inflight, &mut timings)?;
                 }
+                let t0 = std::time::Instant::now();
                 let payload = if round == 0 {
                     let flat = plan.pack(grads, bucket_id)?;
                     let p = self.compressor.encode(bucket_id, &flat);
@@ -215,24 +262,38 @@ impl<C: Compressor> PipelinedEngine<C> {
                 } else {
                     self.compressor.encode_round(bucket_id, round)?
                 };
-                inflight.push_back(self.submit(bucket_id, payload)?);
+                timings[bucket_id].encode_s += t0.elapsed().as_secs_f64();
+                inflight.push_back(self.submit(bucket_id, payload, &mut timings[bucket_id])?);
             }
             // Rounds are a barrier: encode_round(i, r+1) may require the
             // absorb of round r for bucket i, so drain before moving on.
             while !inflight.is_empty() {
-                self.complete_front(round, &mut inflight)?;
+                self.complete_front(round, &mut inflight, &mut timings)?;
             }
         }
         let flats: Vec<Tensor> = (0..plan.num_buckets())
-            .map(|bucket_id| Ok(self.compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?))
+            .map(|bucket_id| {
+                let t0 = std::time::Instant::now();
+                let flat = self.compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?;
+                timings[bucket_id].decode_s += t0.elapsed().as_secs_f64();
+                Ok(flat)
+            })
             .collect::<Result<_>>()?;
+        self.timings = timings;
         plan.scatter(grads, flats)
     }
 
     /// Hands one encoded payload to the comm thread, choosing the
     /// collective exactly like `aggregate_over_cluster_with`.
-    fn submit(&mut self, bucket: usize, payload: Payload) -> Result<Inflight> {
+    fn submit(
+        &mut self,
+        bucket: usize,
+        payload: Payload,
+        timing: &mut BucketTiming,
+    ) -> Result<Inflight> {
         if payload.is_summable() {
+            timing.ring_bytes += summable_wire_bytes(&payload);
+            timing.ring_rounds += 1;
             let (shell, data) = match payload {
                 Payload::Dense(v) => (Shell::Dense, v),
                 // Sum the f32 images and re-round after the divide, exactly
@@ -259,6 +320,8 @@ impl<C: Compressor> PipelinedEngine<C> {
             let mut wire = self.wire_pool.pop().unwrap_or_default();
             wire.clear();
             payload.write_bytes(&mut wire);
+            timing.gather_bytes += wire.len() as u64;
+            timing.gather_rounds += 1;
             let pending = self.comm.start_all_gather(wire)?;
             Ok(Inflight::Gather { bucket, pending })
         }
@@ -266,7 +329,12 @@ impl<C: Compressor> PipelinedEngine<C> {
 
     /// Waits for the oldest in-flight collective, finishes its aggregation
     /// arithmetic, and absorbs it — the in-order absorb invariant.
-    fn complete_front(&mut self, round: usize, inflight: &mut VecDeque<Inflight>) -> Result<()> {
+    fn complete_front(
+        &mut self,
+        round: usize,
+        inflight: &mut VecDeque<Inflight>,
+        timings: &mut [BucketTiming],
+    ) -> Result<()> {
         let Some(front) = inflight.pop_front() else {
             return Ok(());
         };
@@ -276,7 +344,10 @@ impl<C: Compressor> PipelinedEngine<C> {
                 shell,
                 pending,
             } => {
+                let t0 = std::time::Instant::now();
                 let mut data = pending.wait()?;
+                timings[bucket].comm_s += t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
                 let world = self.comm.world() as f32;
                 for x in &mut data {
                     *x /= world;
@@ -297,9 +368,13 @@ impl<C: Compressor> PipelinedEngine<C> {
                     },
                 };
                 self.compressor.absorb(bucket, round, agg)?;
+                timings[bucket].decode_s += t1.elapsed().as_secs_f64();
             }
             Inflight::Gather { bucket, pending } => {
+                let t0 = std::time::Instant::now();
                 let (frames, wire) = pending.wait()?;
+                timings[bucket].comm_s += t0.elapsed().as_secs_f64();
+                let t1 = std::time::Instant::now();
                 self.wire_pool.push(wire);
                 let payloads: Vec<Payload> = frames
                     .iter()
@@ -307,6 +382,7 @@ impl<C: Compressor> PipelinedEngine<C> {
                     .collect::<gcs_compress::Result<_>>()?;
                 let agg = self.compressor.aggregate(round, &payloads)?;
                 self.compressor.absorb(bucket, round, agg)?;
+                timings[bucket].decode_s += t1.elapsed().as_secs_f64();
             }
         }
         Ok(())
@@ -486,6 +562,103 @@ mod tests {
                     assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
                 }
             }
+        }
+    }
+
+    /// The controller's dependency-free `LinkModel` must price collectives
+    /// exactly like the cluster's `NetworkModel` — the whole point of the
+    /// online Equation-1 estimate is that it agrees with the cost layer.
+    #[test]
+    fn link_model_matches_network_model() {
+        use gcs_cluster::cost::NetworkModel;
+        use gcs_compress::adaptive::LinkModel;
+        for &incast in &[0.0f64, 0.3, 0.7] {
+            let net = NetworkModel::new(15e-6, 1.25e9).with_incast(incast);
+            let mut link = LinkModel::new(15e-6, 1.25e9).unwrap();
+            link.incast = incast;
+            for &bytes in &[1_000usize, 1_000_000, 100_000_000] {
+                for &p in &[1usize, 2, 4, 16, 64] {
+                    let ring_net = net.ring_all_reduce(bytes, p);
+                    let ring_link = link.ring_all_reduce(bytes as f64, p);
+                    assert!(
+                        (ring_net - ring_link).abs() <= 1e-15 * ring_net.abs().max(1.0),
+                        "ring mismatch: {ring_net} vs {ring_link} (bytes={bytes}, p={p})"
+                    );
+                    let gather_net = net.all_gather(bytes, p);
+                    let gather_link = link.all_gather(bytes as f64, p);
+                    assert!(
+                        (gather_net - gather_link).abs()
+                            <= 1e-15 * gather_net.abs().max(1.0),
+                        "gather mismatch: {gather_net} vs {gather_link} (bytes={bytes}, p={p})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_timing_probes_count_wire_traffic() {
+        let shapes = vec![vec![256usize], vec![200]];
+        let outs = SimCluster::run(2, |w| {
+            let c = MethodConfig::SyncSgd.build().unwrap();
+            let grads = make_grads(w.rank(), &shapes);
+            let cfg = PipelineConfig {
+                bucket_bytes: 256 * 4,
+                depth: 2,
+                chunk_elems: None,
+                matricize: false,
+            };
+            let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
+            eng.exchange(&grads).unwrap();
+            eng.last_timings().to_vec()
+        });
+        for timings in outs {
+            assert_eq!(timings.len(), 2);
+            let mut bytes: Vec<u64> = timings.iter().map(|t| t.ring_bytes).collect();
+            bytes.sort_unstable();
+            assert_eq!(bytes, vec![200 * 4, 256 * 4]);
+            for t in &timings {
+                assert_eq!(t.ring_rounds, 1);
+                assert_eq!(t.gather_rounds, 0);
+                assert!(t.encode_s >= 0.0 && t.comm_s >= 0.0 && t.decode_s >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_compressor_at_step_boundary_carries_residual() {
+        use gcs_compress::driver::ResidualPolicy;
+        use gcs_compress::topk::TopK;
+        use gcs_compress::Compressor;
+        let shapes = vec![vec![128usize], vec![96]];
+        let outs = SimCluster::run(2, |w| {
+            let c: Box<dyn Compressor> =
+                Box::new(TopK::new(0.25).unwrap().error_feedback(true));
+            let grads = make_grads(w.rank(), &shapes);
+            let cfg = PipelineConfig {
+                bucket_bytes: 128 * 4,
+                depth: 2,
+                chunk_elems: None,
+                matricize: false,
+            };
+            let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
+            eng.exchange(&grads).unwrap();
+            let replacement = MethodConfig::EfSignSgd.build().unwrap();
+            let (_old, outcomes) = eng
+                .swap_compressor(replacement, ResidualPolicy::Carry)
+                .unwrap();
+            let out = eng.exchange(&grads).unwrap();
+            (outcomes, out)
+        });
+        for (outcomes, out) in outs {
+            // Top-K at ratio 0.25 leaves a residual in every bucket; the
+            // carry must move it into the replacement scheme.
+            assert_eq!(outcomes.len(), 2);
+            assert!(outcomes.iter().all(|o| o.carried));
+            assert!(outcomes.iter().all(|o| o.residual_norm > 0.0));
+            assert!(out
+                .iter()
+                .all(|t| t.data().iter().all(|x| x.is_finite())));
         }
     }
 }

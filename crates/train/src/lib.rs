@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod harness;
 pub mod local_sgd;
 pub mod optim;

@@ -9,7 +9,10 @@ Two layers of checking:
 1. **Structure** (always): the fresh report must contain every benchmark
    row present in the baseline — same sections, same (kernel, shape/world)
    identity keys, same timing fields. A refactor that silently drops a
-   tracked kernel row fails here even in smoke mode.
+   tracked kernel row fails here even in smoke mode. Benches listed in
+   REQUIRED_METADATA (adaptive, straggler) must also carry the metadata
+   that makes a run attributable (autotune provenance, kernel threads,
+   active kernel table).
 
 2. **Timings** (full runs only): every `*_ms` field shared by a matched
    row pair must not regress by more than `--max-regression` (default
@@ -29,8 +32,20 @@ import sys
 # runs); the fine keys pin the exact configuration (shape, world size),
 # which smoke mode shrinks — so structure checks use coarse identity and
 # timing checks use the full identity.
-COARSE_KEYS = ("kernel", "method")
-FINE_KEYS = ("p", "m", "k", "n", "bucket_bytes")
+COARSE_KEYS = ("kernel", "method", "scheme", "regime")
+FINE_KEYS = ("p", "m", "k", "n", "bucket_bytes", "workers", "gbps", "latency_us")
+
+# Wall-clock fields that depend on the machine running the bench (the
+# adaptive report keeps them "for honesty, never gated") — excluded from
+# the timing regression gate; modelled `*_ms` fields are still compared.
+NOISY_FIELDS = {"measured_step_ms"}
+
+# Per-bench metadata the report must carry so runs stay attributable to a
+# concrete kernel/autotune configuration (keyed by the report's "bench").
+REQUIRED_METADATA = {
+    "adaptive": ("autotune_provenance", "kernel_threads", "active_kernel_table"),
+    "straggler": ("autotune_provenance", "kernel_threads", "active_kernel_table"),
+}
 
 
 def row_identity(section, row, fine):
@@ -59,8 +74,18 @@ def timing_fields(row):
     return {
         key: val
         for key, val in row.items()
-        if key.endswith("_ms") and isinstance(val, (int, float)) and val > 0
+        if key.endswith("_ms")
+        and key not in NOISY_FIELDS
+        and isinstance(val, (int, float))
+        and val > 0
     }
+
+
+def missing_metadata(report):
+    """Names of required metadata keys absent from `report`, if any."""
+    required = REQUIRED_METADATA.get(report.get("bench"), ())
+    meta = report.get("metadata") or {}
+    return [key for key in required if key not in meta]
 
 
 def is_smoke(report):
@@ -100,6 +125,10 @@ def main():
     fresh_coarse = {row_identity(s, r, False): r for s, r in iter_rows(fresh)}
 
     failures = []
+
+    for name, report in (("baseline", baseline), ("fresh", fresh)):
+        for key in missing_metadata(report):
+            failures.append(f"{name} report lacks required metadata: {key}")
 
     # Layer 1: every benchmark the baseline tracks must still exist in the
     # fresh report with the same timing fields (coarse identity: smoke runs

@@ -52,9 +52,14 @@ GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_pipeline_smoke.json \
 # Regenerate the committed files with full runs and the same script flags
 # before landing intentional changes: a >20% slowdown on matched full-run
 # rows fails the gate.
+echo "==> bench smoke (adaptive)"
+GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_adaptive_smoke.json \
+  timeout 300 cargo run -q --release -p gcs-bench --bin adaptive
+
 echo "==> bench compare (structure gate vs committed baselines)"
 python3 scripts/bench_compare.py BENCH_datapath.json results/bench_datapath_smoke.json
 python3 scripts/bench_compare.py BENCH_pipeline.json results/bench_pipeline_smoke.json
+python3 scripts/bench_compare.py BENCH_adaptive.json results/bench_adaptive_smoke.json
 
 # Fault-injection suite under two fixed seeds (decimal; the suite reads
 # GCS_FAULT_SEED). Wrapped in `timeout` because the failure mode the fault
@@ -66,7 +71,21 @@ GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test fault_in
 echo "==> fault suite (seed 271828)"
 GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test fault_injection
 
+# The adaptive controller under the same two fault seeds: delay-injected
+# links must steer the measured-mode controller toward compression, and
+# the steering must reproduce per seed (see adaptive_faults.rs).
+echo "==> adaptive controller fault suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-ddp --test adaptive_faults
+
+echo "==> adaptive controller fault suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-ddp --test adaptive_faults
+
+echo "==> adaptive switch property suite"
+timeout 300 cargo test -q -p gcs-ddp --test adaptive_switch
+
 echo "==> bench smoke (straggler)"
-GCS_BENCH_SMOKE=1 timeout 300 cargo run -q --release -p gcs-bench --bin straggler
+GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_straggler_smoke.json \
+  timeout 300 cargo run -q --release -p gcs-bench --bin straggler
+python3 scripts/bench_compare.py BENCH_straggler.json results/bench_straggler_smoke.json
 
 echo "CI OK"
