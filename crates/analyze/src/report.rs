@@ -132,6 +132,19 @@ pub fn run_schedule_pass() -> SchedulePassReport {
             }
         }
     }
+    // Streaming exchange: each bucket split into wire chunks that ride
+    // the job channel individually, including ragged tails and the
+    // chunk ≥ n single-chunk degenerate.
+    for p in [2usize, 4, 8] {
+        for depth in [1usize, 2, 8] {
+            for (n, chunk) in [(37usize, 8usize), (5, 8), (7, 1)] {
+                rep.record(
+                    "streaming-exchange",
+                    verify_schedule(&schedules::streaming_chunked_exchange(p, depth, n, chunk)),
+                );
+            }
+        }
+    }
     // Exhaustive interleaving cross-checks (explicit-state DFS over all
     // schedulings) on configurations small enough to enumerate — this
     // validates the canonical-order argument rather than assuming it.
@@ -142,6 +155,7 @@ pub fn run_schedule_pass() -> SchedulePassReport {
         schedules::broadcast(4, 1),
         schedules::comm_engine_pipeline(2, 1, 2, 2),
         schedules::comm_engine_pipeline(2, 2, 3, 1),
+        schedules::streaming_chunked_exchange(2, 1, 4, 2),
     ] {
         match check_deadlock_exhaustive(&sched, 2_000_000) {
             Ok(states) => {
@@ -297,6 +311,7 @@ mod tests {
             "ring-all-reduce-among",
             "ring-all-gather-among",
             "comm-engine",
+            "streaming-exchange",
             "exhaustive-cross-check",
         ] {
             assert!(

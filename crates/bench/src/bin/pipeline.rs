@@ -1,22 +1,31 @@
-//! Pipelined-exchange benchmark: sequential vs. pipelined bucket exchange
-//! over an emulated α–β network, writing `BENCH_pipeline.json` at the repo
-//! root.
+//! Pipelined-exchange benchmark: sequential vs. pipelined vs. streaming
+//! bucket exchange over an emulated α–β network, writing
+//! `BENCH_pipeline.json` at the repo root.
 //!
-//! Both engines run the identical compressed exchange (same bucket plan,
+//! All engines run the identical compressed exchange (same bucket plan,
 //! same matricized bucket shapes, same plain-ring collectives); the only
 //! difference is the schedule. The sequential engine encodes a bucket,
 //! blocks inside its collective, absorbs, then moves on; the pipelined
 //! engine ships each bucket's collective to a dedicated comm thread so it
-//! overlaps the next bucket's encode. The network is emulated
-//! ([`NetEmu`]) — frames are paced by latency + bytes/bandwidth while the
-//! receiver sleeps — so the overlap is a genuine wall-clock win even on a
-//! single core: encode CPU fills the windows where the sequential engine
-//! would sleep in a collective.
+//! overlaps the next bucket's encode; the streaming engine additionally
+//! splits every bucket into wire chunks so encode(chunk i+1) overlaps
+//! send(chunk i) and decode overlaps recv *inside* each bucket. The
+//! network is emulated ([`NetEmu`]) — frames are paced by latency +
+//! bytes/bandwidth while the receiver sleeps — so the overlap is a genuine
+//! wall-clock win even on a single core: encode CPU fills the windows
+//! where the sequential engine would sleep in a collective.
 //!
 //! The emulated link is deliberately slow (0.2 Gbit/s, 25 µs) relative to
 //! the paper's 10 Gbit/s: a lone CPU core encodes roughly three orders of
 //! magnitude slower than a V100, so the network is scaled down by a
 //! similar factor to keep the comm/compute ratio representative.
+//!
+//! Besides the headline per-engine medians, every configuration also
+//! emits a per-engine phase breakdown row (`encode_ms` / `comm_ms` /
+//! `decode_ms` / `exposed_wait_ms`) so a weak speedup is diagnosable:
+//! `exposed_wait_ms` is the caller-blocked wait the schedule failed to
+//! hide, and `comm_ms` for the threaded engines is wire-busy time measured
+//! on the comm thread itself.
 //!
 //! Run with `cargo run -p gcs-bench --bin pipeline --release`. Set
 //! `GCS_BENCH_SMOKE=1` for a seconds-long CI smoke run (tiny model, one
@@ -25,18 +34,37 @@
 use gcs_bench::timing::black_box;
 use gcs_cluster::{NetEmu, SimCluster};
 use gcs_compress::registry::MethodConfig;
-use gcs_ddp::exec::{exchange_gradients_with_plan, BucketPlan};
+use gcs_ddp::exec::{exchange_gradients_with_plan_timed, BucketPlan, BucketTiming};
 use gcs_ddp::{PipelineConfig, PipelinedEngine};
 use gcs_tensor::Tensor;
 use serde_json::{json, Value};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Sequential,
+    Pipelined,
+    Streaming,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Sequential => "sequential",
+            Engine::Pipelined => "pipelined",
+            Engine::Streaming => "streaming",
+        }
+    }
+}
+
 struct BenchParams {
     worlds: Vec<usize>,
     layer_shapes: Vec<Vec<usize>>,
-    /// Paired sequential-vs-pipelined measurements per configuration.
+    /// Paired engine measurements per configuration.
     trials: usize,
     /// Timed exchanges per measurement (one untimed warmup precedes them).
     inner: usize,
+    /// In-flight chunk window for the streaming engine.
+    stream_depth: usize,
 }
 
 fn params(smoke: bool) -> BenchParams {
@@ -46,6 +74,7 @@ fn params(smoke: bool) -> BenchParams {
             layer_shapes: vec![vec![32, 32, 3, 3], vec![64, 64], vec![100]],
             trials: 1,
             inner: 1,
+            stream_depth: 4,
         }
     } else {
         BenchParams {
@@ -67,12 +96,13 @@ fn params(smoke: bool) -> BenchParams {
             ],
             trials: 5,
             inner: 2,
+            stream_depth: 8,
         }
     }
 }
 
-/// Benchmarked methods, each with a bucket size and an emulated link
-/// speed.
+/// Benchmarked methods, each with a bucket size, an emulated link speed,
+/// and a streaming wire-chunk size (elements).
 ///
 /// The bucket cap is a real DDP tuning knob (PyTorch's comm hooks pick
 /// bucket caps per algorithm): Top-K and SignSGD ship large payloads whose
@@ -84,16 +114,26 @@ fn params(smoke: bool) -> BenchParams {
 /// time is comparable to the single-core encode time — the regime where
 /// overlap matters and where the paper's analysis lives. The speeds are
 /// not comparable across methods: PowerSGD compresses ~100× harder than
-/// Top-K 5%, so it only reaches the balanced regime on a link ~100× 
+/// Top-K 5%, so it only reaches the balanced regime on a link ~100×
 /// slower. (A lone CPU core also encodes orders of magnitude slower than
 /// the paper's V100s, which is why all the links are far below 10 Gbit/s.)
-fn methods(smoke: bool) -> Vec<(MethodConfig, usize, NetEmu)> {
+///
+/// The streaming chunk size is a per-method knob for the same reason the
+/// link is: the overlap granularity worth paying for depends on how the
+/// scheme's wire image decomposes. PowerSGD's 16K-element P/Q factors
+/// split into two ring segments each (genuine intra-bucket streaming of
+/// the GEMM panels), while the gather-based methods keep bucket-granular
+/// chunks — on a single benchmark core, finer gather chunks cost more in
+/// comm-thread scheduling than their decode overlap recovers (the scan
+/// that picked these values is reproducible by sweeping the last tuple
+/// field).
+fn methods(smoke: bool) -> Vec<(MethodConfig, usize, NetEmu, usize)> {
     if smoke {
         let link = NetEmu::from_gbps(5.0, 2.0);
         return vec![
-            (MethodConfig::PowerSgd { rank: 16 }, 16 * 1024, link),
-            (MethodConfig::TopK { ratio: 0.05 }, 16 * 1024, link),
-            (MethodConfig::SignSgd, 16 * 1024, link),
+            (MethodConfig::PowerSgd { rank: 16 }, 16 * 1024, link, 1024),
+            (MethodConfig::TopK { ratio: 0.05 }, 16 * 1024, link, 1024),
+            (MethodConfig::SignSgd, 16 * 1024, link, 1024),
         ];
     }
     vec![
@@ -101,16 +141,19 @@ fn methods(smoke: bool) -> Vec<(MethodConfig, usize, NetEmu)> {
             MethodConfig::PowerSgd { rank: 16 },
             4 * 1024 * 1024,
             NetEmu::from_gbps(25.0, 0.006),
+            8 * 1024,
         ),
         (
             MethodConfig::TopK { ratio: 0.05 },
             4 * 1024 * 1024,
             NetEmu::from_gbps(25.0, 0.2),
+            128 * 1024,
         ),
         (
             MethodConfig::SignSgd,
             4 * 1024 * 1024,
             NetEmu::from_gbps(25.0, 0.2),
+            128 * 1024,
         ),
     ]
 }
@@ -133,89 +176,154 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
+/// Per-exchange phase breakdown in milliseconds:
+/// `[encode, comm, decode, exposed_wait]`.
+type Breakdown = [f64; 4];
+
+fn sum_timings(timings: &[BucketTiming], comm_ms: f64) -> Breakdown {
+    let encode: f64 = timings.iter().map(|t| t.encode_s).sum();
+    let decode: f64 = timings.iter().map(|t| t.decode_s).sum();
+    let exposed: f64 = timings.iter().map(|t| t.exposed_wait_s).sum();
+    [encode * 1e3, comm_ms, decode * 1e3, exposed * 1e3]
+}
+
 /// Times one engine at world size `p`: one untimed warmup exchange, then
 /// `inner` timed exchanges. Every worker loops full exchanges over
-/// persistent gradients; rank 0's per-exchange time is reported
-/// (collectives synchronize all ranks to the same cadence).
+/// persistent gradients; rank 0's per-exchange time and breakdown are
+/// reported (collectives synchronize all ranks to the same cadence).
+///
+/// `comm_ms` in the breakdown is wire-busy time: for the threaded engines
+/// it is the comm-thread busy counter averaged over the timed exchanges;
+/// for the sequential engine it is the caller's in-collective time (the
+/// two coincide there — the caller *is* the comm thread).
 fn time_exchange(
     method: &MethodConfig,
     bucket_bytes: usize,
     netem: NetEmu,
+    chunk_elems: usize,
     p: usize,
-    pipelined: bool,
+    engine: Engine,
     bp: &BenchParams,
-) -> f64 {
+) -> (f64, Breakdown) {
     let shapes = &bp.layer_shapes;
     let mut outs = SimCluster::run_with_netem(p, netem, move |w| {
         let grads = make_grads(w.rank(), shapes);
-        if pipelined {
+        if engine == Engine::Sequential {
+            let mut c = method.build().expect("build compressor");
+            let mut plan = BucketPlan::matricized(&grads, bucket_bytes);
+            let mut run = || {
+                let (out, timings) =
+                    exchange_gradients_with_plan_timed(&w, &mut c, &grads, &mut plan)
+                        .expect("sequential exchange");
+                black_box(out);
+                timings
+            };
+            run();
+            let t0 = std::time::Instant::now();
+            let mut timings = Vec::new();
+            for _ in 0..bp.inner {
+                timings = run();
+            }
+            let t = t0.elapsed().as_secs_f64() / bp.inner as f64;
+            let comm_ms: f64 = timings.iter().map(|t| t.comm_s).sum::<f64>() * 1e3;
+            (t, sum_timings(&timings, comm_ms))
+        } else {
             let c = method.build().expect("build compressor");
             let mut eng = PipelinedEngine::new(
                 w,
                 c,
                 PipelineConfig {
                     bucket_bytes,
-                    depth: 2,
+                    depth: if engine == Engine::Streaming {
+                        bp.stream_depth
+                    } else {
+                        2
+                    },
                     chunk_elems: None,
+                    stream_chunk_elems: if engine == Engine::Streaming {
+                        Some(chunk_elems)
+                    } else {
+                        None
+                    },
                     matricize: true,
                 },
-            ).unwrap();
+            )
+            .unwrap();
             black_box(eng.exchange(&grads).expect("pipelined exchange"));
+            let busy0 = eng.comm_busy_seconds();
             let t0 = std::time::Instant::now();
             for _ in 0..bp.inner {
                 black_box(eng.exchange(&grads).expect("pipelined exchange"));
             }
             let t = t0.elapsed().as_secs_f64() / bp.inner as f64;
+            let comm_ms =
+                (eng.comm_busy_seconds() - busy0) / bp.inner as f64 * 1e3;
+            let breakdown = sum_timings(eng.last_timings(), comm_ms);
             let _ = eng.into_parts();
-            t
-        } else {
-            let mut c = method.build().expect("build compressor");
-            let mut plan = BucketPlan::matricized(&grads, bucket_bytes);
-            let mut run = || {
-                black_box(
-                    exchange_gradients_with_plan(&w, &mut c, &grads, &mut plan)
-                        .expect("sequential exchange"),
-                );
-            };
-            run();
-            let t0 = std::time::Instant::now();
-            for _ in 0..bp.inner {
-                run();
-            }
-            t0.elapsed().as_secs_f64() / bp.inner as f64
+            (t, breakdown)
         }
     });
     outs.swap_remove(0)
 }
 
-/// One configuration: `trials` paired runs (sequential immediately
-/// followed by pipelined, so machine-level interference hits both), summed
-/// up as the median per-exchange time of each engine and the median of the
-/// per-trial ratios. The median-of-ratios is the headline number: pairing
-/// plus the median makes it robust against the scheduler noise that
-/// dominates absolute timings when 2p threads share one core.
+struct Comparison {
+    seq_ms: f64,
+    pipe_ms: f64,
+    stream_ms: f64,
+    /// Median of per-trial sequential/pipelined ratios.
+    speedup: f64,
+    /// Median of per-trial pipelined/streaming ratios.
+    streaming_speedup: f64,
+    breakdowns: [Breakdown; 3],
+}
+
+/// One configuration: `trials` paired runs (the three engines back to
+/// back, so machine-level interference hits all of them), summed up as the
+/// median per-exchange time of each engine and the median of the per-trial
+/// ratios. The median-of-ratios is the headline number: pairing plus the
+/// median makes it robust against the scheduler noise that dominates
+/// absolute timings when 2p threads share one core.
 fn compare(
     method: &MethodConfig,
     bucket_bytes: usize,
     netem: NetEmu,
+    chunk_elems: usize,
     p: usize,
     bp: &BenchParams,
-) -> (f64, f64, f64) {
-    let mut seq_s = Vec::with_capacity(bp.trials);
-    let mut pipe_s = Vec::with_capacity(bp.trials);
+) -> Comparison {
+    let engines = [Engine::Sequential, Engine::Pipelined, Engine::Streaming];
+    let mut times: [Vec<f64>; 3] = Default::default();
     let mut ratios = Vec::with_capacity(bp.trials);
+    let mut stream_ratios = Vec::with_capacity(bp.trials);
+    let mut parts: [[Vec<f64>; 4]; 3] = Default::default();
     for _ in 0..bp.trials {
-        let s = time_exchange(method, bucket_bytes, netem, p, false, bp);
-        let q = time_exchange(method, bucket_bytes, netem, p, true, bp);
-        seq_s.push(s);
-        pipe_s.push(q);
-        ratios.push(s / q);
+        let mut trial = [0.0f64; 3];
+        for (e, engine) in engines.into_iter().enumerate() {
+            let (t, breakdown) =
+                time_exchange(method, bucket_bytes, netem, chunk_elems, p, engine, bp);
+            trial[e] = t;
+            times[e].push(t);
+            for (k, ms) in breakdown.into_iter().enumerate() {
+                parts[e][k].push(ms);
+            }
+        }
+        ratios.push(trial[0] / trial[1]);
+        stream_ratios.push(trial[1] / trial[2]);
     }
-    (
-        median(&mut seq_s),
-        median(&mut pipe_s),
-        median(&mut ratios),
-    )
+    let mut breakdowns = [[0.0f64; 4]; 3];
+    for e in 0..3 {
+        for k in 0..4 {
+            breakdowns[e][k] = median(&mut parts[e][k]);
+        }
+    }
+    Comparison {
+        seq_ms: median(&mut times[0]) * 1e3,
+        pipe_ms: median(&mut times[1]) * 1e3,
+        stream_ms: median(&mut times[2]) * 1e3,
+        speedup: median(&mut ratios),
+        streaming_speedup: median(&mut stream_ratios),
+        breakdowns,
+    }
 }
 
 fn main() {
@@ -233,26 +341,55 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (method, bucket_bytes, netem) in methods(smoke) {
+    let mut breakdown_rows = Vec::new();
+    for (method, bucket_bytes, netem, chunk_elems) in methods(smoke) {
         let name = gcs_bench::method_name(&method);
         for &p in &bp.worlds {
-            let (seq_s, pipe_s, sp) = compare(&method, bucket_bytes, netem, p, &bp);
+            let c = compare(&method, bucket_bytes, netem, chunk_elems, p, &bp);
             println!(
-                "{name:<12} p={p:<2}  bucket {:>4} KiB  link {:>6.2} MB/s  sequential {:.3}ms  pipelined {:.3}ms  speedup {sp:.2}x",
+                "{name:<12} p={p:<2}  bucket {:>4} KiB  link {:>6.2} MB/s  sequential {:.3}ms  pipelined {:.3}ms  streaming {:.3}ms  speedup {:.2}x  stream {:.2}x",
                 bucket_bytes / 1024,
                 netem.bytes_per_sec / 1e6,
-                seq_s * 1e3,
-                pipe_s * 1e3
+                c.seq_ms,
+                c.pipe_ms,
+                c.stream_ms,
+                c.speedup,
+                c.streaming_speedup,
             );
             rows.push(json!({
                 "method": name,
                 "p": p,
                 "bucket_bytes": bucket_bytes,
                 "link_mbytes_per_sec": netem.bytes_per_sec / 1e6,
-                "sequential_ms": seq_s * 1e3,
-                "pipelined_ms": pipe_s * 1e3,
-                "speedup": sp,
+                "stream_chunk_elems": chunk_elems,
+                "sequential_ms": c.seq_ms,
+                "pipelined_ms": c.pipe_ms,
+                "streaming_ms": c.stream_ms,
+                "speedup": c.speedup,
+                "streaming_speedup": c.streaming_speedup,
             }));
+            for (e, engine) in
+                [Engine::Sequential, Engine::Pipelined, Engine::Streaming]
+                    .into_iter()
+                    .enumerate()
+            {
+                let [encode_ms, comm_ms, decode_ms, exposed_wait_ms] =
+                    c.breakdowns[e];
+                println!(
+                    "    {:<10}  encode {encode_ms:.3}ms  comm {comm_ms:.3}ms  decode {decode_ms:.3}ms  exposed wait {exposed_wait_ms:.3}ms",
+                    engine.name(),
+                );
+                breakdown_rows.push(json!({
+                    "method": name,
+                    "engine": engine.name(),
+                    "p": p,
+                    "bucket_bytes": bucket_bytes,
+                    "encode_ms": encode_ms,
+                    "comm_ms": comm_ms,
+                    "decode_ms": decode_ms,
+                    "exposed_wait_ms": exposed_wait_ms,
+                }));
+            }
         }
     }
 
@@ -262,6 +399,7 @@ fn main() {
         "kernel_threads": gcs_tensor::pool::global().width(),
         "gemm_tile": choice.gemm_tile.name(),
         "wire_chunk_elems": choice.wire_chunk_elems,
+        "stream_depth": bp.stream_depth,
         "autotune_provenance": choice.provenance,
         "smoke": smoke,
     });
@@ -271,6 +409,7 @@ fn main() {
         "params": total_params,
         "metadata": metadata,
         "rows": rows,
+        "breakdown": breakdown_rows,
     });
     // `GCS_BENCH_OUT` redirects the report (written even in smoke mode, for
     // the structural regression gate in CI).

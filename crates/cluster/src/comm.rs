@@ -35,6 +35,7 @@
 //! [`ring_all_reduce_chunked`]: crate::collectives — see `WorkerHandle::ring_all_reduce_chunked`
 //! [`all_gather_bytes`]: crate::collectives — see `WorkerHandle::all_gather_bytes`
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -109,6 +110,10 @@ pub struct CommEngine {
     /// immediately on every subsequent `start_*`/`wait` instead of
     /// desynchronizing the cross-rank job pairing (or hanging).
     poisoned: Arc<Mutex<Option<ClusterError>>>,
+    /// Nanoseconds the comm thread has spent executing collectives (wire
+    /// busy time).  The gap between a caller's blocked `wait` time and
+    /// this counter is scheduling overhead / exposed encode time.
+    busy_nanos: Arc<AtomicU64>,
 }
 
 impl CommEngine {
@@ -132,6 +137,8 @@ impl CommEngine {
         let (tx, rx) = sync_channel::<Job>(queue_depth);
         let poisoned: Arc<Mutex<Option<ClusterError>>> = Arc::new(Mutex::new(None));
         let poison = Arc::clone(&poisoned);
+        let busy_nanos = Arc::new(AtomicU64::new(0));
+        let busy = Arc::clone(&busy_nanos);
         let thread = std::thread::Builder::new()
             .name(format!("gcs-comm-{rank}"))
             .spawn(move || {
@@ -161,10 +168,12 @@ impl CommEngine {
                                 let _ = reply.send(Err(e));
                                 continue;
                             }
+                            let t0 = std::time::Instant::now();
                             let res = match chunk_elems {
                                 Some(c) => worker.ring_all_reduce_chunked(&mut data, c),
                                 None => worker.all_reduce_sum(&mut data),
                             };
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             store_error(&res);
                             // A dropped reply receiver just means the caller
                             // abandoned the pending handle; keep serving.
@@ -175,7 +184,9 @@ impl CommEngine {
                                 let _ = reply.send(Err(e));
                                 continue;
                             }
+                            let t0 = std::time::Instant::now();
                             let res = worker.all_gather_bytes(&data);
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             store_error(&res.as_ref().map(|_| ()).map_err(Clone::clone));
                             let _ = reply.send(res.map(|frames| (frames, data)));
                         }
@@ -190,7 +201,16 @@ impl CommEngine {
             rank,
             world,
             poisoned,
+            busy_nanos,
         })
+    }
+
+    /// Seconds the comm thread has spent executing collectives since
+    /// spawn (monotone; read a delta around a region to attribute wire
+    /// time to it).  Caller `wait` time minus this delta is *exposed*
+    /// wait — time the pipeline stalled with nothing on the wire.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9
     }
 
     /// The first collective error the comm thread hit, if any. A poisoned

@@ -41,6 +41,7 @@
 
 pub mod adaptive;
 pub mod atomo;
+pub mod chunked;
 pub mod dgc;
 pub mod double_squeeze;
 pub mod driver;

@@ -113,18 +113,19 @@ pub enum Payload {
     },
 }
 
-/// Wire-format tags (first byte of a serialized payload).
-const TAG_DENSE: u8 = 1;
-const TAG_HALF: u8 = 2;
-const TAG_SPARSE: u8 = 3;
-const TAG_SHARED_SPARSE: u8 = 4;
-const TAG_SIGNS: u8 = 5;
-const TAG_FACTOR_P: u8 = 6;
-const TAG_FACTOR_Q: u8 = 7;
-const TAG_QUANTIZED: u8 = 8;
-const TAG_TERNARY: u8 = 9;
-const TAG_TWO_SCALE: u8 = 10;
-const TAG_SVD: u8 = 11;
+/// Wire-format tags (first byte of a serialized payload). Crate-visible
+/// because native chunk emitters reproduce `write_bytes` span by span.
+pub(crate) const TAG_DENSE: u8 = 1;
+pub(crate) const TAG_HALF: u8 = 2;
+pub(crate) const TAG_SPARSE: u8 = 3;
+pub(crate) const TAG_SHARED_SPARSE: u8 = 4;
+pub(crate) const TAG_SIGNS: u8 = 5;
+pub(crate) const TAG_FACTOR_P: u8 = 6;
+pub(crate) const TAG_FACTOR_Q: u8 = 7;
+pub(crate) const TAG_QUANTIZED: u8 = 8;
+pub(crate) const TAG_TERNARY: u8 = 9;
+pub(crate) const TAG_TWO_SCALE: u8 = 10;
+pub(crate) const TAG_SVD: u8 = 11;
 
 impl Payload {
     /// The variant name, for diagnostics and

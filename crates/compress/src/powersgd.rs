@@ -133,25 +133,11 @@ impl PowerSgd {
         let _ = orthonormalize_columns(&mut q, n, r);
         q
     }
-}
 
-impl Compressor for PowerSgd {
-    fn properties(&self) -> Properties {
-        Properties {
-            name: format!("PowerSGD (rank {})", self.rank),
-            all_reducible: true,
-            layerwise: true,
-            rounds: 2,
-        }
-    }
-
-    fn compressed_bytes(&self, shape: &Shape) -> usize {
-        let (m, n) = shape.matricized();
-        let r = self.effective_rank(m, n);
-        (m * r + n * r) * 4
-    }
-
-    fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+    /// Everything `encode` does before the `P = M · Q` GEMM: state
+    /// (re)initialization, injected-residual reconciliation, and the
+    /// `M = grad (+ error)` working copy. Returns the matricized dims.
+    fn prepare(&mut self, layer: usize, grad: &Tensor) -> Result<(usize, usize, usize)> {
         let (m, n) = grad.shape().matricized();
         let r = self.effective_rank(m, n);
         let numel = m * n;
@@ -211,6 +197,33 @@ impl Compressor for PowerSgd {
         if ef {
             gcs_tensor::kernels::add_assign(&mut state.m_work, &state.error);
         }
+        Ok((m, n, r))
+    }
+}
+
+impl Compressor for PowerSgd {
+    fn properties(&self) -> Properties {
+        Properties {
+            name: format!("PowerSGD (rank {})", self.rank),
+            all_reducible: true,
+            layerwise: true,
+            rounds: 2,
+        }
+    }
+
+    fn compressed_bytes(&self, shape: &Shape) -> usize {
+        let (m, n) = shape.matricized();
+        let r = self.effective_rank(m, n);
+        (m * r + n * r) * 4
+    }
+
+    fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+        let (m, n, r) = self.prepare(layer, grad)?;
+        let Some(state) = self.layers.get_mut(&layer) else {
+            return Err(CompressError::Protocol(format!(
+                "no per-layer state for layer {layer}"
+            )));
+        };
 
         // P = M · Q, into the recycled buffer from the previous round's
         // finish (steady state: no allocation).
@@ -361,6 +374,89 @@ impl Compressor for PowerSgd {
     fn reset(&mut self) {
         self.layers.clear();
         self.injected.clear();
+    }
+
+    // Streaming: round 0 defers the `P = M · Q` GEMM — begin only runs the
+    // cheap prelude, and each chunk computes exactly the row panel of `P`
+    // it needs before emitting it. The pooled GEMM partitions work by rows
+    // and is pinned bit-identical to the serial kernel, so contiguous
+    // row-panel calls reproduce the monolithic product bit for bit while
+    // the first panels ride the wire ahead of the rest of the GEMM.
+    // Round 1 cannot stream its GEMM (`Q = Mᵀ·P̂` has no column slicing),
+    // so it materializes at begin and streams from the whole payload.
+    fn begin_chunked_encode(
+        &mut self,
+        layer: usize,
+        round: usize,
+        grad: Option<&Tensor>,
+    ) -> Result<crate::chunked::ChunkedEncode> {
+        use crate::chunked::{ChunkedEncode, ChunkedHeader, NativeEncode, PayloadShell};
+        let Some(g) = grad else {
+            return Ok(ChunkedEncode::whole(self.encode_round(layer, round)?));
+        };
+        let (m, _n, r) = self.prepare(layer, g)?;
+        let Some(state) = self.layers.get_mut(&layer) else {
+            return Err(CompressError::Protocol(format!(
+                "no per-layer state for layer {layer}"
+            )));
+        };
+        let mut p = std::mem::take(&mut state.p_scratch);
+        p.clear();
+        p.resize(m * r, 0.0);
+        Ok(ChunkedEncode::native(
+            ChunkedHeader::Summable {
+                shell: PayloadShell::Factor {
+                    which: Factor::P,
+                    rows: m,
+                    cols: r,
+                },
+                elems: m * r,
+            },
+            NativeEncode {
+                src: p,
+                ..NativeEncode::default()
+            },
+        ))
+    }
+
+    fn encode_chunk(
+        &mut self,
+        layer: usize,
+        enc: &mut crate::chunked::ChunkedEncode,
+        lo: usize,
+        hi: usize,
+        sink: crate::chunked::ChunkSink<'_>,
+    ) -> Result<()> {
+        if !enc.is_native() {
+            // Round 1's whole-payload stage: slice the materialized Q.
+            return enc.emit_staged(lo, hi, sink);
+        }
+        let out = crate::chunked::f32_sink(sink)?;
+        let st = enc.native_mut()?;
+        let state = self.layers.get_mut(&layer).ok_or_else(|| {
+            CompressError::Protocol(format!("encode_chunk before begin for layer {layer}"))
+        })?;
+        let (n, r) = (state.cols, state.rank);
+        if hi > st.src.len() || lo > hi {
+            return Err(CompressError::Protocol(format!(
+                "chunk span [{lo}, {hi}) out of range for P of {}",
+                st.src.len()
+            )));
+        }
+        // `cursor` counts P rows already computed; a span ending mid-row
+        // pulls the whole row in.
+        let need = hi.div_ceil(r).min(state.rows);
+        if need > st.cursor {
+            matmul_pooled(
+                pool::global(),
+                MatrixRef::new(&state.m_work[st.cursor * n..need * n], need - st.cursor, n)?,
+                MatrixRef::new(&state.q, n, r)?,
+                &mut st.src[st.cursor * r..need * r],
+            )?;
+            st.cursor = need;
+        }
+        out.extend_from_slice(&st.src[lo..hi]);
+        Ok(())
     }
 
     fn take_residual(&mut self, layer: usize) -> Option<Tensor> {

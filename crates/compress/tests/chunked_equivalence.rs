@@ -1,0 +1,346 @@
+//! Native chunked encodes must reproduce the monolithic payload bit for
+//! bit: for every scheme with a native `encode_chunk` override, streaming
+//! the payload as ordered spans and concatenating them must equal the
+//! whole-payload (default) path exactly — same header, same image — for
+//! ragged chunk counts and awkward tensor sizes.
+
+use gcs_compress::chunked::{chunk_spans, ChunkData, ChunkSink, ChunkedDecode, ChunkedEncode};
+use gcs_compress::fp16::Fp16;
+use gcs_compress::powersgd::PowerSgd;
+use gcs_compress::qsgd::Qsgd;
+use gcs_compress::randomk::RandomK;
+use gcs_compress::signsgd::SignSgd;
+use gcs_compress::terngrad::TernGrad;
+use gcs_compress::topk::TopK;
+use gcs_compress::{Compressor, Payload};
+use gcs_tensor::Tensor;
+
+/// The chunk counts every equivalence case is exercised at: monolithic,
+/// small, prime, and far more chunks than the image has grains.
+const CHUNK_COUNTS: [usize; 5] = [1, 2, 7, 16, 64];
+
+/// Streams a begun encode through `chunks` spans and concatenates the
+/// emitted image (f32 content for summable payloads, wire bytes for
+/// gather payloads; the f32 image is compared through its bit pattern).
+fn drain<C: Compressor + ?Sized>(
+    c: &mut C,
+    layer: usize,
+    enc: &mut ChunkedEncode,
+    chunks: usize,
+) -> Vec<u8> {
+    let header = enc.header().clone();
+    let spans = chunk_spans(&header, chunks);
+    assert_eq!(spans.len(), chunks);
+    assert_eq!(spans[0].0, 0);
+    assert_eq!(spans.last().unwrap().1, header.image_len());
+    let mut image = Vec::new();
+    for &(lo, hi) in &spans {
+        match &header {
+            gcs_compress::chunked::ChunkedHeader::Summable { .. } => {
+                let mut chunk = Vec::new();
+                c.encode_chunk(layer, enc, lo, hi, ChunkSink::F32(&mut chunk))
+                    .unwrap();
+                assert_eq!(chunk.len(), hi - lo, "span [{lo}, {hi})");
+                for x in chunk {
+                    image.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            gcs_compress::chunked::ChunkedHeader::Gather { .. } => {
+                let mut chunk = Vec::new();
+                c.encode_chunk(layer, enc, lo, hi, ChunkSink::Bytes(&mut chunk))
+                    .unwrap();
+                assert_eq!(chunk.len(), hi - lo, "span [{lo}, {hi})");
+                image.extend_from_slice(&chunk);
+            }
+        }
+    }
+    image
+}
+
+/// Asserts that `native`'s chunked encode of `grad` equals `reference`'s
+/// monolithic encode routed through the default whole-payload splitter,
+/// at every chunk count. Both compressors must be freshly built with
+/// identical configuration/seeds per call (RNG schemes advance state).
+fn assert_encode_equivalent<A, B, FA, FB>(make_native: FA, make_reference: FB, grad: &Tensor)
+where
+    A: Compressor,
+    B: Compressor,
+    FA: Fn() -> A,
+    FB: Fn() -> B,
+{
+    for chunks in CHUNK_COUNTS {
+        let mut native = make_native();
+        let mut reference = make_reference();
+        let mut enc = native.begin_chunked_encode(0, 0, Some(grad)).unwrap();
+        assert!(enc.is_native(), "scheme should opt into native chunking");
+        let payload = reference.encode(0, grad).unwrap();
+        let mut whole = ChunkedEncode::whole(payload);
+        assert_eq!(
+            enc.header(),
+            whole.header(),
+            "native and whole headers disagree at {chunks} chunks"
+        );
+        let native_image = drain(&mut native, 0, &mut enc, chunks);
+        let whole_image = drain(&mut reference, 0, &mut whole, chunks);
+        assert_eq!(
+            native_image, whole_image,
+            "chunked image diverges at {chunks} chunks"
+        );
+    }
+}
+
+#[test]
+fn fp16_chunks_match_monolithic() {
+    for n in [1usize, 97, 1000] {
+        let g = Tensor::randn([n], 7);
+        assert_encode_equivalent(Fp16::new, Fp16::new, &g);
+    }
+}
+
+#[test]
+fn signsgd_chunks_match_monolithic() {
+    for n in [1usize, 31, 97, 1024] {
+        let g = Tensor::randn([n], 11);
+        assert_encode_equivalent(SignSgd::new, SignSgd::new, &g);
+    }
+}
+
+#[test]
+fn ef_signsgd_chunks_match_monolithic_and_residual() {
+    let g = Tensor::randn([257], 13);
+    assert_encode_equivalent(
+        SignSgd::with_error_feedback,
+        SignSgd::with_error_feedback,
+        &g,
+    );
+    // The residual written at begin must equal the monolithic one.
+    let mut a = SignSgd::with_error_feedback();
+    let mut b = SignSgd::with_error_feedback();
+    let _ = a.begin_chunked_encode(0, 0, Some(&g)).unwrap();
+    let _ = b.encode(0, &g).unwrap();
+    assert_eq!(
+        a.take_residual(0).unwrap().data(),
+        b.take_residual(0).unwrap().data()
+    );
+}
+
+#[test]
+fn qsgd_chunks_match_monolithic() {
+    for n in [1usize, 97, 1000] {
+        let g = Tensor::randn([n], 17);
+        let make = || Qsgd::new(15).unwrap().with_seed(42);
+        assert_encode_equivalent(make, make, &g);
+    }
+}
+
+#[test]
+fn qsgd_zero_gradient_never_touches_rng() {
+    let g = Tensor::zeros([64]);
+    let make = || Qsgd::new(15).unwrap().with_seed(9);
+    assert_encode_equivalent(make, make, &g);
+}
+
+#[test]
+fn qsgd_rejects_out_of_order_chunks() {
+    let g = Tensor::randn([100], 3);
+    let mut c = Qsgd::new(15).unwrap();
+    let mut enc = c.begin_chunked_encode(0, 0, Some(&g)).unwrap();
+    let spans = chunk_spans(enc.header(), 4);
+    let mut sink = Vec::new();
+    // Skipping the first span must be rejected: the RNG stream is
+    // positional.
+    let (lo, hi) = spans[1];
+    assert!(c
+        .encode_chunk(0, &mut enc, lo, hi, ChunkSink::Bytes(&mut sink))
+        .is_err());
+}
+
+#[test]
+fn terngrad_chunks_match_monolithic() {
+    for n in [1usize, 5, 97, 1024] {
+        let g = Tensor::randn([n], 19);
+        let make = || TernGrad::new().with_seed(7);
+        assert_encode_equivalent(make, make, &g);
+    }
+}
+
+#[test]
+fn terngrad_zero_gradient_never_touches_rng() {
+    let g = Tensor::zeros([33]);
+    let make = || TernGrad::new().with_seed(1);
+    assert_encode_equivalent(make, make, &g);
+}
+
+#[test]
+fn topk_chunks_match_monolithic() {
+    for n in [10usize, 97, 2000] {
+        let g = Tensor::randn([n], 23);
+        let make = || TopK::new(0.1).unwrap();
+        assert_encode_equivalent(make, make, &g);
+    }
+}
+
+#[test]
+fn ef_topk_chunks_match_monolithic() {
+    let g = Tensor::randn([500], 29);
+    let make = || TopK::new(0.05).unwrap().error_feedback(true);
+    assert_encode_equivalent(make, make, &g);
+}
+
+#[test]
+fn randomk_chunks_match_monolithic() {
+    for n in [4usize, 97, 1000] {
+        let g = Tensor::randn([n], 31);
+        let make = || RandomK::new(0.25).unwrap();
+        assert_encode_equivalent(make, make, &g);
+    }
+}
+
+#[test]
+fn ef_randomk_chunks_match_monolithic() {
+    let g = Tensor::randn([300], 37);
+    let make = || RandomK::new(0.1).unwrap().error_feedback(true);
+    assert_encode_equivalent(make, make, &g);
+}
+
+#[test]
+fn powersgd_round0_chunks_match_monolithic() {
+    for (m, n) in [(8usize, 12usize), (33, 17), (64, 64)] {
+        let g = Tensor::randn([m, n], 41);
+        let make = || PowerSgd::new(4).unwrap();
+        assert_encode_equivalent(make, make, &g);
+    }
+}
+
+#[test]
+fn powersgd_full_protocol_streams_both_rounds_bitwise() {
+    // Drive the complete two-round protocol on a single worker through the
+    // chunked surface and through the monolithic surface; every wire image
+    // and the final decoded tensor must agree bitwise.
+    let g = Tensor::randn([24, 36], 43);
+    for chunks in CHUNK_COUNTS {
+        let mut a = PowerSgd::new(4).unwrap();
+        let mut b = PowerSgd::new(4).unwrap();
+
+        // Round 0.
+        let mut enc_a = a.begin_chunked_encode(0, 0, Some(&g)).unwrap();
+        let p_b = b.encode(0, &g).unwrap();
+        let image_a = drain(&mut a, 0, &mut enc_a, chunks);
+        let mut whole_b = ChunkedEncode::whole(p_b.clone());
+        assert_eq!(enc_a.header(), whole_b.header());
+        assert_eq!(image_a, drain(&mut b, 0, &mut whole_b, chunks));
+
+        // Feed the reduced image back through the chunked decode.
+        let header = enc_a.header().clone();
+        let mut dec = a.begin_chunked_decode(0, 0, &header, 1).unwrap();
+        let floats: Vec<f32> = image_a
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes([w[0], w[1], w[2], w[3]]))
+            .collect();
+        for &(lo, hi) in &chunk_spans(&header, chunks) {
+            a.decode_chunk(0, &mut dec, lo, hi, ChunkData::F32(&floats[lo..hi]))
+                .unwrap();
+        }
+        a.finish_chunked_decode(0, 0, dec).unwrap();
+        let agg_b = b.aggregate(0, std::slice::from_ref(&p_b)).unwrap();
+        b.absorb(0, 0, agg_b).unwrap();
+
+        // Round 1 (streams from the whole payload: the Q GEMM ran at
+        // begin).
+        let mut enc_a1 = a.begin_chunked_encode(0, 1, None).unwrap();
+        let q_b = b.encode_round(0, 1).unwrap();
+        let mut whole_b1 = ChunkedEncode::whole(q_b.clone());
+        assert_eq!(enc_a1.header(), whole_b1.header());
+        let image_a1 = drain(&mut a, 0, &mut enc_a1, chunks);
+        assert_eq!(image_a1, drain(&mut b, 0, &mut whole_b1, chunks));
+
+        let header1 = enc_a1.header().clone();
+        let mut dec1 = a.begin_chunked_decode(0, 1, &header1, 1).unwrap();
+        let floats1: Vec<f32> = image_a1
+            .chunks_exact(4)
+            .map(|w| f32::from_le_bytes([w[0], w[1], w[2], w[3]]))
+            .collect();
+        for &(lo, hi) in &chunk_spans(&header1, chunks) {
+            a.decode_chunk(0, &mut dec1, lo, hi, ChunkData::F32(&floats1[lo..hi]))
+                .unwrap();
+        }
+        a.finish_chunked_decode(0, 1, dec1).unwrap();
+        let agg_b1 = b.aggregate(1, std::slice::from_ref(&q_b)).unwrap();
+        b.absorb(0, 1, agg_b1).unwrap();
+
+        assert_eq!(
+            a.finish(0, g.shape()).unwrap().data(),
+            b.finish(0, g.shape()).unwrap().data(),
+            "decoded gradients diverge at {chunks} chunks"
+        );
+    }
+}
+
+#[test]
+fn fp16_native_decode_matches_monolithic_absorb() {
+    let g = Tensor::randn([97], 47);
+    let reduced: Vec<f32> = g
+        .data()
+        .iter()
+        .map(|&x| gcs_tensor::f16::f16_bits_to_f32(gcs_tensor::f16::f32_to_f16_bits(x)) * 0.5)
+        .collect();
+    for chunks in CHUNK_COUNTS {
+        let mut a = Fp16::new();
+        let mut b = Fp16::new();
+        let enc = a.begin_chunked_encode(0, 0, Some(&g)).unwrap();
+        let header = enc.header().clone();
+        let mut dec = a.begin_chunked_decode(0, 0, &header, 2).unwrap();
+        for &(lo, hi) in &chunk_spans(&header, chunks) {
+            a.decode_chunk(0, &mut dec, lo, hi, ChunkData::F32(&reduced[lo..hi]))
+                .unwrap();
+        }
+        a.finish_chunked_decode(0, 0, dec).unwrap();
+        b.absorb(0, 0, Payload::Half(gcs_tensor::f16::encode_f16(&reduced)))
+            .unwrap();
+        assert_eq!(
+            a.finish(0, g.shape()).unwrap().data(),
+            b.finish(0, g.shape()).unwrap().data()
+        );
+    }
+}
+
+#[test]
+fn gather_decode_reassembles_ragged_per_rank_frames() {
+    // Two ranks with different actual byte counts (value-dependent
+    // payloads) must still pair up chunk for chunk: the spans are computed
+    // per rank, frames may be empty, and the concatenation per rank must
+    // reproduce each rank's wire image exactly.
+    let g0 = Tensor::randn([50], 53);
+    let g1 = Tensor::randn([50], 59);
+    let mut w0 = TopK::new(0.1).unwrap();
+    let mut w1 = TopK::new(0.1).unwrap();
+    let chunks = 9;
+    let mut enc0 = w0.begin_chunked_encode(0, 0, Some(&g0)).unwrap();
+    let mut enc1 = w1.begin_chunked_encode(0, 0, Some(&g1)).unwrap();
+    let spans0 = chunk_spans(enc0.header(), chunks);
+    let spans1 = chunk_spans(enc1.header(), chunks);
+    let header = enc0.header().clone();
+    let mut dec = w0.begin_chunked_decode(0, 0, &header, 2).unwrap();
+    for j in 0..chunks {
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        w0.encode_chunk(0, &mut enc0, spans0[j].0, spans0[j].1, ChunkSink::Bytes(&mut c0))
+            .unwrap();
+        w1.encode_chunk(0, &mut enc1, spans1[j].0, spans1[j].1, ChunkSink::Bytes(&mut c1))
+            .unwrap();
+        let frames: [&[u8]; 2] = [&c0, &c1];
+        w0.decode_chunk(0, &mut dec, spans0[j].0, spans0[j].1, ChunkData::Frames(&frames))
+            .unwrap();
+    }
+    w0.finish_chunked_decode(0, 0, dec).unwrap();
+    let decoded = w0.finish(0, g0.shape()).unwrap();
+
+    // Reference: monolithic aggregate of both payloads.
+    let mut r0 = TopK::new(0.1).unwrap();
+    let mut r1 = TopK::new(0.1).unwrap();
+    let p0 = r0.encode(0, &g0).unwrap();
+    let p1 = r1.encode(0, &g1).unwrap();
+    let agg = r0.aggregate(0, &[p0, p1]).unwrap();
+    r0.absorb(0, 0, agg).unwrap();
+    assert_eq!(decoded.data(), r0.finish(0, g0.shape()).unwrap().data());
+}

@@ -557,6 +557,10 @@ pub struct BucketTiming {
     pub comm_s: f64,
     /// Seconds spent absorbing and decoding.
     pub decode_s: f64,
+    /// Seconds the caller was *blocked* on an in-flight collective with
+    /// no local work to overlap it (pipelined/streaming engines only;
+    /// the sequential engine folds all wire time into `comm_s`).
+    pub exposed_wait_s: f64,
     /// Bytes this worker contributed to ring all-reduce rounds (the f32
     /// wire image for summable payloads).
     pub ring_bytes: u64,

@@ -44,12 +44,32 @@
 //! buckets but accumulates each element in a chunk-dependent order — use
 //! it for throughput experiments, not when comparing bits against the
 //! sequential engine.
+//!
+//! # Streaming mode
+//!
+//! Setting [`PipelineConfig::stream_chunk_elems`]` = Some(c)` moves the
+//! overlap *inside* each bucket: the compressor's chunked surface
+//! ([`Compressor::encode_chunk`] / [`Compressor::decode_chunk`]) emits
+//! the wire image as ordered `c`-element chunks, each submitted as its
+//! own collective, so encode of chunk *i+1* overlaps the wire time of
+//! chunk *i* and decode starts as soon as chunk 0 lands — the exposed
+//! term drops from `encode + comm` to roughly `max(encode, comm)`
+//! (`NetworkModel::streamed`). Summable spans reproduce the staggered
+//! chunked ring's segment schedule exactly, so streaming output is
+//! **bit-identical** to `chunk_elems = Some(c)` pipelining on the same
+//! inputs (asserted for the full registry in
+//! `tests/streaming_bitexact.rs`). Gather chunk counts derive from the
+//! scheme's analytic `compressed_bytes` so every rank agrees on the
+//! schedule even when actual wire bytes differ.
 
 use std::collections::VecDeque;
 
 use gcs_cluster::{CommEngine, PendingGather, PendingReduce, WorkerHandle};
-use gcs_compress::{Compressor, Factor, Payload};
-use gcs_tensor::f16::{decode_f16, encode_f16};
+use gcs_compress::chunked::{
+    wire_chunk_spans, ChunkData, ChunkSink, ChunkedDecode, ChunkedHeader, PayloadShell,
+};
+use gcs_compress::{Compressor, Payload};
+use gcs_tensor::f16::decode_f16;
 use gcs_tensor::Tensor;
 
 use crate::exec::{summable_wire_bytes, BucketPlan, BucketTiming, Result};
@@ -70,6 +90,13 @@ pub struct PipelineConfig {
     /// for summable reductions. `None` (default): plain ring,
     /// bit-identical to the sequential engine.
     pub chunk_elems: Option<usize>,
+    /// `Some(c)`: stream each bucket through the compressor's chunked
+    /// encode/decode surface in `c`-element wire chunks, overlapping
+    /// encode/decode with the wire *inside* the bucket (see the module
+    /// docs). Takes precedence over [`chunk_elems`](Self::chunk_elems);
+    /// output is bit-identical to `chunk_elems = Some(c)`. `None`
+    /// (default): whole-bucket payloads.
+    pub stream_chunk_elems: Option<usize>,
     /// Present packed buckets to the compressor as near-square matrices
     /// (see [`BucketPlan::matricized`]) instead of flat vectors. Needed
     /// for PowerSGD-class methods to actually compress buckets; off by
@@ -83,25 +110,10 @@ impl Default for PipelineConfig {
             bucket_bytes: 25 * 1024 * 1024,
             depth: 2,
             chunk_elems: None,
+            stream_chunk_elems: None,
             matricize: false,
         }
     }
-}
-
-/// Everything needed to rebuild a summable payload around the reduced f32
-/// buffer that comes back from the comm thread.
-enum Shell {
-    Dense,
-    Half,
-    Factor {
-        which: Factor,
-        rows: usize,
-        cols: usize,
-    },
-    SharedSparse {
-        len: usize,
-        seed: u64,
-    },
 }
 
 /// One in-flight bucket: which collective it is riding and how to turn
@@ -109,13 +121,31 @@ enum Shell {
 enum Inflight {
     Reduce {
         bucket: usize,
-        shell: Shell,
+        shell: PayloadShell,
         pending: PendingReduce,
     },
     Gather {
         bucket: usize,
         pending: PendingGather,
     },
+}
+
+/// One in-flight wire chunk of a streaming exchange.
+struct StreamChunk {
+    bucket: usize,
+    round: usize,
+    lo: usize,
+    hi: usize,
+    /// Last chunk of its (bucket, round) unit: completion finishes the
+    /// chunked decode and schedules the next round (or the bucket's
+    /// `finish`).
+    last: bool,
+    op: ChunkOp,
+}
+
+enum ChunkOp {
+    Reduce(PendingReduce),
+    Gather(PendingGather),
 }
 
 /// A worker-side pipelined exchange engine: encode path on the calling
@@ -128,6 +158,8 @@ pub struct PipelinedEngine<C: Compressor> {
     plan: Option<BucketPlan>,
     /// Recycled gather-path serialization buffers (up to `depth` circulate).
     wire_pool: Vec<Vec<u8>>,
+    /// Recycled streaming-path f32 chunk buffers.
+    float_pool: Vec<Vec<f32>>,
     /// Per-bucket timing probes of the most recent exchange. In a
     /// pipelined schedule `comm_s` is the *exposed* (wait-blocked)
     /// communication time — overlap hides the rest, which is precisely
@@ -150,8 +182,18 @@ impl<C: Compressor> PipelinedEngine<C> {
             cfg,
             plan: None,
             wire_pool: Vec::new(),
+            float_pool: Vec::new(),
             timings: Vec::new(),
         })
+    }
+
+    /// Seconds the comm thread has spent executing collectives since this
+    /// engine was created (monotone). The delta around an
+    /// [`exchange`](Self::exchange) is the wire-busy time of that step;
+    /// subtracting it from the summed `exposed_wait_s` probes separates
+    /// genuine wire time from pipeline stalls.
+    pub fn comm_busy_seconds(&self) -> f64 {
+        self.comm.busy_seconds()
     }
 
     /// Per-bucket timing probes of the most recent [`exchange`](Self::exchange).
@@ -235,6 +277,9 @@ impl<C: Compressor> PipelinedEngine<C> {
         grads: &[Tensor],
         plan: &mut BucketPlan,
     ) -> Result<Vec<Tensor>> {
+        if let Some(chunk_elems) = self.cfg.stream_chunk_elems {
+            return self.exchange_streaming(grads, plan, chunk_elems);
+        }
         let rounds = self.compressor.properties().rounds;
         let mut inflight: VecDeque<Inflight> = VecDeque::new();
         let mut timings: Vec<BucketTiming> = (0..plan.num_buckets())
@@ -295,18 +340,18 @@ impl<C: Compressor> PipelinedEngine<C> {
             timing.ring_bytes += summable_wire_bytes(&payload);
             timing.ring_rounds += 1;
             let (shell, data) = match payload {
-                Payload::Dense(v) => (Shell::Dense, v),
+                Payload::Dense(v) => (PayloadShell::Dense, v),
                 // Sum the f32 images and re-round after the divide, exactly
                 // like the sequential engine's Half arm.
-                Payload::Half(h) => (Shell::Half, decode_f16(&h)),
+                Payload::Half(h) => (PayloadShell::Half, decode_f16(&h)),
                 Payload::Factor {
                     which,
                     rows,
                     cols,
                     data,
-                } => (Shell::Factor { which, rows, cols }, data),
+                } => (PayloadShell::Factor { which, rows, cols }, data),
                 Payload::SharedSparse { len, seed, values } => {
-                    (Shell::SharedSparse { len, seed }, values)
+                    (PayloadShell::SharedSparse { len, seed }, values)
                 }
                 other => unreachable!("is_summable() covered {:?}", other.kind_name()),
             };
@@ -346,34 +391,23 @@ impl<C: Compressor> PipelinedEngine<C> {
             } => {
                 let t0 = std::time::Instant::now();
                 let mut data = pending.wait()?;
-                timings[bucket].comm_s += t0.elapsed().as_secs_f64();
+                let waited = t0.elapsed().as_secs_f64();
+                timings[bucket].comm_s += waited;
+                timings[bucket].exposed_wait_s += waited;
                 let t1 = std::time::Instant::now();
                 let world = self.comm.world() as f32;
                 for x in &mut data {
                     *x /= world;
                 }
-                let agg = match shell {
-                    Shell::Dense => Payload::Dense(data),
-                    Shell::Half => Payload::Half(encode_f16(&data)),
-                    Shell::Factor { which, rows, cols } => Payload::Factor {
-                        which,
-                        rows,
-                        cols,
-                        data,
-                    },
-                    Shell::SharedSparse { len, seed } => Payload::SharedSparse {
-                        len,
-                        seed,
-                        values: data,
-                    },
-                };
-                self.compressor.absorb(bucket, round, agg)?;
+                self.compressor.absorb(bucket, round, shell.assemble(data))?;
                 timings[bucket].decode_s += t1.elapsed().as_secs_f64();
             }
             Inflight::Gather { bucket, pending } => {
                 let t0 = std::time::Instant::now();
                 let (frames, wire) = pending.wait()?;
-                timings[bucket].comm_s += t0.elapsed().as_secs_f64();
+                let waited = t0.elapsed().as_secs_f64();
+                timings[bucket].comm_s += waited;
+                timings[bucket].exposed_wait_s += waited;
                 let t1 = std::time::Instant::now();
                 self.wire_pool.push(wire);
                 let payloads: Vec<Payload> = frames
@@ -384,6 +418,241 @@ impl<C: Compressor> PipelinedEngine<C> {
                 self.compressor.absorb(bucket, round, agg)?;
                 timings[bucket].decode_s += t1.elapsed().as_secs_f64();
             }
+        }
+        Ok(())
+    }
+
+    /// The streaming datapath: every (bucket, round) unit is encoded and
+    /// shipped as ordered wire chunks, so encode(chunk *i+1*) overlaps
+    /// send(chunk *i*) and decode runs chunk-by-chunk as completions
+    /// land. The schedule is a pure function of the plan and the FIFO
+    /// completion order — identical on every rank, which is what keeps
+    /// the per-chunk collectives paired across ranks:
+    ///
+    /// * a ready queue of (bucket, round) units starts as `[(b, 0)]` in
+    ///   bucket order;
+    /// * popping a unit begins its chunked encode and submits all of its
+    ///   spans in order, blocking on the oldest in-flight chunk whenever
+    ///   `depth` chunks are in flight;
+    /// * completing a unit's last chunk finishes its chunked decode and
+    ///   pushes `(b, round+1)` — or, on the final round, runs the
+    ///   bucket's `finish` immediately so trailing decompression (e.g.
+    ///   PowerSGD's outer-product GEMM) overlaps other buckets' wire
+    ///   time.
+    fn exchange_streaming(
+        &mut self,
+        grads: &[Tensor],
+        plan: &mut BucketPlan,
+        chunk_elems: usize,
+    ) -> Result<Vec<Tensor>> {
+        let rounds = self.compressor.properties().rounds;
+        let window = self.cfg.depth.max(1);
+        let nb = plan.num_buckets();
+        let mut timings: Vec<BucketTiming> = (0..nb)
+            .map(|bucket| BucketTiming {
+                bucket,
+                ..BucketTiming::default()
+            })
+            .collect();
+        let mut ready: VecDeque<(usize, usize)> = (0..nb).map(|b| (b, 0)).collect();
+        let mut decodes: Vec<Option<ChunkedDecode>> = (0..nb).map(|_| None).collect();
+        let mut flats: Vec<Option<Tensor>> = (0..nb).map(|_| None).collect();
+        let mut inflight: VecDeque<StreamChunk> = VecDeque::new();
+        loop {
+            let Some((bucket, round)) = ready.pop_front() else {
+                if inflight.is_empty() {
+                    break;
+                }
+                self.complete_stream_front(
+                    &mut inflight,
+                    &mut decodes,
+                    &mut ready,
+                    &mut flats,
+                    plan,
+                    rounds,
+                    &mut timings,
+                )?;
+                continue;
+            };
+            let t0 = std::time::Instant::now();
+            let mut enc = if round == 0 {
+                let flat = plan.pack(grads, bucket)?;
+                let e = self.compressor.begin_chunked_encode(bucket, 0, Some(&flat));
+                plan.reclaim(flat);
+                e?
+            } else {
+                self.compressor.begin_chunked_encode(bucket, round, None)?
+            };
+            let header = enc.header().clone();
+            decodes[bucket] = Some(self.compressor.begin_chunked_decode(
+                bucket,
+                round,
+                &header,
+                self.comm.world(),
+            )?);
+            // Gather chunk counts must be rank-agreed even when actual
+            // byte counts differ (DGC, variance): derive them from the
+            // analytic, shape-determined size.
+            let analytic = match header {
+                ChunkedHeader::Gather { .. } => {
+                    self.compressor.compressed_bytes(plan.bucket_shape(bucket))
+                }
+                ChunkedHeader::Summable { .. } => 0,
+            };
+            let spans = wire_chunk_spans(&header, chunk_elems, analytic);
+            match header {
+                ChunkedHeader::Summable { elems, .. } => {
+                    timings[bucket].ring_bytes += 4 * elems as u64;
+                    timings[bucket].ring_rounds += 1;
+                }
+                ChunkedHeader::Gather { bytes, .. } => {
+                    timings[bucket].gather_bytes += bytes as u64;
+                    timings[bucket].gather_rounds += 1;
+                }
+            }
+            timings[bucket].encode_s += t0.elapsed().as_secs_f64();
+            let nspans = spans.len();
+            for (j, (lo, hi)) in spans.into_iter().enumerate() {
+                while inflight.len() >= window {
+                    self.complete_stream_front(
+                        &mut inflight,
+                        &mut decodes,
+                        &mut ready,
+                        &mut flats,
+                        plan,
+                        rounds,
+                        &mut timings,
+                    )?;
+                }
+                let t1 = std::time::Instant::now();
+                let op = match header {
+                    ChunkedHeader::Summable { .. } => {
+                        let mut buf = self.float_pool.pop().unwrap_or_default();
+                        buf.clear();
+                        self.compressor
+                            .encode_chunk(bucket, &mut enc, lo, hi, ChunkSink::F32(&mut buf))?;
+                        timings[bucket].encode_s += t1.elapsed().as_secs_f64();
+                        // Each span is its own plain ring: bit-identical
+                        // to the staggered chunked ring's segment.
+                        ChunkOp::Reduce(self.comm.start_all_reduce_sum(buf, None)?)
+                    }
+                    ChunkedHeader::Gather { .. } => {
+                        let mut wire = self.wire_pool.pop().unwrap_or_default();
+                        wire.clear();
+                        self.compressor.encode_chunk(
+                            bucket,
+                            &mut enc,
+                            lo,
+                            hi,
+                            ChunkSink::Bytes(&mut wire),
+                        )?;
+                        timings[bucket].encode_s += t1.elapsed().as_secs_f64();
+                        ChunkOp::Gather(self.comm.start_all_gather(wire)?)
+                    }
+                };
+                inflight.push_back(StreamChunk {
+                    bucket,
+                    round,
+                    lo,
+                    hi,
+                    last: j + 1 == nspans,
+                    op,
+                });
+            }
+        }
+        self.timings = timings;
+        let flats: Vec<Tensor> = flats
+            .into_iter()
+            .enumerate()
+            .map(|(bucket, f)| {
+                f.ok_or_else(|| {
+                    gcs_compress::CompressError::Protocol(format!(
+                        "streaming exchange never finished bucket {bucket}"
+                    ))
+                    .into()
+                })
+            })
+            .collect::<Result<_>>()?;
+        plan.scatter(grads, flats)
+    }
+
+    /// Waits for the oldest in-flight wire chunk, decodes it, and — on a
+    /// unit's last chunk — finishes the unit, scheduling the next round
+    /// or the bucket's `finish`.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_stream_front(
+        &mut self,
+        inflight: &mut VecDeque<StreamChunk>,
+        decodes: &mut [Option<ChunkedDecode>],
+        ready: &mut VecDeque<(usize, usize)>,
+        flats: &mut [Option<Tensor>],
+        plan: &BucketPlan,
+        rounds: usize,
+        timings: &mut [BucketTiming],
+    ) -> Result<()> {
+        let Some(chunk) = inflight.pop_front() else {
+            return Ok(());
+        };
+        let StreamChunk {
+            bucket,
+            round,
+            lo,
+            hi,
+            last,
+            op,
+        } = chunk;
+        let missing_decode = || {
+            gcs_compress::CompressError::Protocol(format!(
+                "streaming chunk for bucket {bucket} has no active decode"
+            ))
+        };
+        match op {
+            ChunkOp::Reduce(pending) => {
+                let t0 = std::time::Instant::now();
+                let mut data = pending.wait()?;
+                let waited = t0.elapsed().as_secs_f64();
+                timings[bucket].comm_s += waited;
+                timings[bucket].exposed_wait_s += waited;
+                let t1 = std::time::Instant::now();
+                let world = self.comm.world() as f32;
+                for x in &mut data {
+                    *x /= world;
+                }
+                let dec = decodes[bucket].as_mut().ok_or_else(missing_decode)?;
+                self.compressor
+                    .decode_chunk(bucket, dec, lo, hi, ChunkData::F32(&data))?;
+                self.float_pool.push(data);
+                timings[bucket].decode_s += t1.elapsed().as_secs_f64();
+            }
+            ChunkOp::Gather(pending) => {
+                let t0 = std::time::Instant::now();
+                let (frames, wire) = pending.wait()?;
+                let waited = t0.elapsed().as_secs_f64();
+                timings[bucket].comm_s += waited;
+                timings[bucket].exposed_wait_s += waited;
+                let t1 = std::time::Instant::now();
+                self.wire_pool.push(wire);
+                let views: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+                let dec = decodes[bucket].as_mut().ok_or_else(missing_decode)?;
+                self.compressor
+                    .decode_chunk(bucket, dec, lo, hi, ChunkData::Frames(&views))?;
+                timings[bucket].decode_s += t1.elapsed().as_secs_f64();
+            }
+        }
+        if last {
+            let t0 = std::time::Instant::now();
+            let dec = decodes[bucket].take().ok_or_else(missing_decode)?;
+            self.compressor.finish_chunked_decode(bucket, round, dec)?;
+            if round + 1 < rounds {
+                ready.push_back((bucket, round + 1));
+            } else {
+                // Early finish: the bucket's dense gradient is rebuilt
+                // the moment its last chunk decodes, overlapping the
+                // trailing decompression with other buckets' wire time.
+                flats[bucket] =
+                    Some(self.compressor.finish(bucket, plan.bucket_shape(bucket))?);
+            }
+            timings[bucket].decode_s += t0.elapsed().as_secs_f64();
         }
         Ok(())
     }
@@ -419,6 +688,7 @@ mod tests {
                 bucket_bytes,
                 depth: 2,
                 chunk_elems: None,
+                stream_chunk_elems: None,
                 matricize: false,
             };
             let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
@@ -482,6 +752,7 @@ mod tests {
                     bucket_bytes: 600,
                     depth: 2,
                     chunk_elems: None,
+                    stream_chunk_elems: None,
                     matricize: true,
                 };
                 let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
@@ -514,6 +785,7 @@ mod tests {
                 bucket_bytes: 200,
                 depth: 1,
                 chunk_elems: None,
+                stream_chunk_elems: None,
                 matricize: false,
             };
             let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
@@ -546,6 +818,7 @@ mod tests {
                 bucket_bytes: usize::MAX,
                 depth: 2,
                 chunk_elems: Some(64),
+                stream_chunk_elems: None,
                 matricize: false,
             };
             let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
@@ -591,8 +864,45 @@ mod tests {
                             <= 1e-15 * gather_net.abs().max(1.0),
                         "gather mismatch: {gather_net} vs {gather_link} (bytes={bytes}, p={p})"
                     );
+                    // The overlap-aware Equation 1 must agree too.
+                    for &chunks in &[1usize, 2, 8, 64] {
+                        let enc = 1e-9 * bytes as f64;
+                        let s_net = net.streamed(enc, ring_net, chunks);
+                        let s_link = link.streamed(enc, ring_link, chunks);
+                        assert!(
+                            (s_net - s_link).abs() <= 1e-15 * s_net.abs().max(1.0),
+                            "streamed mismatch: {s_net} vs {s_link} (chunks={chunks})"
+                        );
+                    }
                 }
             }
+        }
+    }
+
+    /// Streaming overlap must make the controller's estimates drop toward
+    /// `max(encdec, comm)` — the signal that lets it prefer cheaper
+    /// schemes when the wire, not the CPU, is the bottleneck.
+    #[test]
+    fn streaming_chunks_lower_adaptive_estimates() {
+        use gcs_compress::adaptive::{AdaptiveConfig, Controller};
+        use gcs_compress::registry::MethodConfig;
+        let arms = vec![MethodConfig::SyncSgd, MethodConfig::TopK { ratio: 0.05 }];
+        let elems = vec![gcs_tensor::Shape::new(vec![1_000_000])];
+        let serial = Controller::new(AdaptiveConfig::new(arms.clone()).unwrap(), &elems, 8)
+            .unwrap();
+        let streamed = Controller::new(
+            AdaptiveConfig::new(arms).unwrap().streaming_chunks(32),
+            &elems,
+            8,
+        )
+        .unwrap();
+        for arm in 0..2 {
+            let t_serial = serial.estimate(0, arm);
+            let t_streamed = streamed.estimate(0, arm);
+            assert!(
+                t_streamed < t_serial,
+                "arm {arm}: streamed {t_streamed} must beat serial {t_serial}"
+            );
         }
     }
 
@@ -606,6 +916,7 @@ mod tests {
                 bucket_bytes: 256 * 4,
                 depth: 2,
                 chunk_elems: None,
+                stream_chunk_elems: None,
                 matricize: false,
             };
             let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
@@ -639,6 +950,7 @@ mod tests {
                 bucket_bytes: 128 * 4,
                 depth: 2,
                 chunk_elems: None,
+                stream_chunk_elems: None,
                 matricize: false,
             };
             let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();

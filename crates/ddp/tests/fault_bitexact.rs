@@ -58,6 +58,7 @@ fn pipelined_exchange(w: gcs_cluster::WorkerHandle, method: &MethodConfig) -> Ve
             bucket_bytes: usize::MAX,
             depth: 2,
             chunk_elems: None,
+            stream_chunk_elems: None,
             matricize: false,
         },
     ).unwrap();

@@ -79,6 +79,7 @@ fn pipelined_matches_sequential_and_reference_for_every_method() {
                     bucket_bytes: usize::MAX,
                     depth: 2,
                     chunk_elems: None,
+                    stream_chunk_elems: None,
                     matricize: false,
                 },
             ).unwrap();

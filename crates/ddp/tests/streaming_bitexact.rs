@@ -1,0 +1,193 @@
+//! The streaming engine (`stream_chunk_elems = Some(c)`) must be
+//! bit-identical to the chunked pipelined engine (`chunk_elems = Some(c)`)
+//! for every method in the registry: summable spans reproduce the
+//! staggered chunked ring's segment schedule exactly, and gather spans
+//! concatenate back to the monolithic wire image, so the only thing
+//! streaming may change is *when* work happens — never the bits.
+//!
+//! Two exchanges run through each engine so stateful schemes (error
+//! feedback, warm start, shared-seed rotation) are compared along their
+//! whole state trajectory, not just the first step.
+
+use std::time::Duration;
+
+use gcs_cluster::{FaultKind, FaultPlan, SimCluster};
+use gcs_compress::registry::MethodConfig;
+use gcs_ddp::{PipelineConfig, PipelinedEngine};
+use gcs_tensor::Tensor;
+
+/// Small enough that a 7-element chunk splits every bucket raggedly.
+const PRIME_CHUNK: usize = 7;
+const BUCKET_BYTES: usize = 400;
+
+/// Every variant of `MethodConfig`, with representative parameters.
+fn registry() -> Vec<MethodConfig> {
+    vec![
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::PowerSgd { rank: 2 },
+        MethodConfig::TopK { ratio: 0.2 },
+        MethodConfig::SignSgd,
+        MethodConfig::EfSignSgd,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.25 },
+        MethodConfig::Atomo { rank: 2 },
+        MethodConfig::OneBit,
+        MethodConfig::Sketch { block: 4 },
+        MethodConfig::Dgc { ratio: 0.05 },
+        MethodConfig::Variance { kappa: 1.0 },
+        MethodConfig::Natural,
+    ]
+}
+
+fn make_grads(rank: usize) -> Vec<Tensor> {
+    [vec![6usize, 10], vec![33], vec![4, 4, 3, 3]]
+        .iter()
+        .enumerate()
+        .map(|(l, s)| Tensor::randn(s.clone(), 42 + (rank * 131 + l) as u64))
+        .collect()
+}
+
+/// Two exchanges through one engine, returning both steps' outputs.
+fn two_steps(
+    w: gcs_cluster::WorkerHandle,
+    method: &MethodConfig,
+    cfg: PipelineConfig,
+) -> (Vec<Tensor>, Vec<Tensor>) {
+    let c = method.build().unwrap();
+    let grads = make_grads(w.rank());
+    let mut eng = PipelinedEngine::new(w, c, cfg).unwrap();
+    let first = eng.exchange(&grads).unwrap();
+    let second = eng.exchange(&grads).unwrap();
+    let _ = eng.into_parts();
+    (first, second)
+}
+
+fn chunked_cfg(chunk: usize) -> PipelineConfig {
+    PipelineConfig {
+        bucket_bytes: BUCKET_BYTES,
+        depth: 2,
+        chunk_elems: Some(chunk),
+        stream_chunk_elems: None,
+        matricize: false,
+    }
+}
+
+fn streaming_cfg(chunk: usize) -> PipelineConfig {
+    PipelineConfig {
+        bucket_bytes: BUCKET_BYTES,
+        depth: 2,
+        chunk_elems: None,
+        stream_chunk_elems: Some(chunk),
+        matricize: false,
+    }
+}
+
+fn assert_bitwise_eq(
+    a: &[(Vec<Tensor>, Vec<Tensor>)],
+    b: &[(Vec<Tensor>, Vec<Tensor>)],
+    method: &MethodConfig,
+    what: &str,
+) {
+    for (rank, (x, y)) in a.iter().zip(b).enumerate() {
+        for (step, (xs, ys)) in [(&x.0, &y.0), (&x.1, &y.1)].into_iter().enumerate() {
+            for (layer, (s, p)) in xs.iter().zip(ys).enumerate() {
+                let sb: Vec<u32> = s.data().iter().map(|v| v.to_bits()).collect();
+                let pb: Vec<u32> = p.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    sb, pb,
+                    "{method:?} worker {rank} step {step} layer {layer}: {what}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_chunked_pipelined_for_every_method_and_world() {
+    for world in [2usize, 4, 8] {
+        for method in registry() {
+            let chunked = SimCluster::run(world, |w| {
+                two_steps(w, &method, chunked_cfg(PRIME_CHUNK))
+            });
+            let streaming = SimCluster::run(world, |w| {
+                two_steps(w, &method, streaming_cfg(PRIME_CHUNK))
+            });
+            assert_bitwise_eq(
+                &chunked,
+                &streaming,
+                &method,
+                &format!("streaming deviates from chunked pipelined at p={world}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn ragged_chunk_sizes_stream_bit_identically() {
+    // One representative per native chunked-encode path plus a
+    // whole-stage fallback scheme (Natural), swept across degenerate and
+    // misaligned chunk sizes: single-element, prime, and the autotuned
+    // wire chunk ±1 (far larger than the test model, so the schedule
+    // collapses to one chunk — the other boundary).
+    let wire = gcs_tensor::autotune::choice().wire_chunk_elems;
+    let methods = [
+        MethodConfig::Fp16,
+        MethodConfig::PowerSgd { rank: 2 },
+        MethodConfig::TopK { ratio: 0.2 },
+        MethodConfig::SignSgd,
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::TernGrad,
+        MethodConfig::RandomK { ratio: 0.25 },
+        MethodConfig::Natural,
+    ];
+    for chunk in [1usize, PRIME_CHUNK, wire - 1, wire + 1] {
+        for method in &methods {
+            let chunked =
+                SimCluster::run(4, |w| two_steps(w, method, chunked_cfg(chunk)));
+            let streaming =
+                SimCluster::run(4, |w| two_steps(w, method, streaming_cfg(chunk)));
+            assert_bitwise_eq(
+                &chunked,
+                &streaming,
+                method,
+                &format!("streaming deviates from chunked pipelined at chunk={chunk}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn delay_only_faults_leave_streaming_bit_identical_for_every_method() {
+    // Late-but-intact frames must not perturb the streaming schedule's
+    // arithmetic: completion order is FIFO regardless of wire timing.
+    // The seed is sweepable for CI re-runs, as in the other fault suites.
+    let seed = std::env::var("GCS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD31A);
+    let plan = FaultPlan::new(seed).delay_jitter(Duration::from_micros(200));
+    for method in registry() {
+        let clean = SimCluster::run(4, |w| two_steps(w, &method, streaming_cfg(PRIME_CHUNK)));
+        let (delayed, events) = SimCluster::run_with_faults(4, plan.clone(), |w| {
+            two_steps(w, &method, streaming_cfg(PRIME_CHUNK))
+        });
+        assert!(
+            !events.is_empty(),
+            "{method:?}: the plan must actually inject delays"
+        );
+        assert!(
+            events
+                .iter()
+                .all(|e| matches!(e.kind, FaultKind::Delay { .. })),
+            "{method:?}: a delay-only plan must log only Delay events"
+        );
+        assert_bitwise_eq(
+            &clean,
+            &delayed,
+            &method,
+            "streaming deviates under delay-only faults",
+        );
+    }
+}

@@ -404,6 +404,7 @@ mod tests {
                 bucket_bytes: 1,
                 depth: 2,
                 chunk_elems: None,
+                stream_chunk_elems: None,
                 matricize: false,
             }),
         )
@@ -425,6 +426,7 @@ mod tests {
                     bucket_bytes: 256,
                     depth: 2,
                     chunk_elems: None,
+                    stream_chunk_elems: None,
                     matricize: false,
                 }),
         )

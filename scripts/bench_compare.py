@@ -31,8 +31,12 @@ import sys
 # The coarse keys name *what* is benchmarked (stable across smoke and full
 # runs); the fine keys pin the exact configuration (shape, world size),
 # which smoke mode shrinks — so structure checks use coarse identity and
-# timing checks use the full identity.
-COARSE_KEYS = ("kernel", "method", "scheme", "regime")
+# timing checks use the full identity. `engine` distinguishes the pipeline
+# bench's per-engine breakdown rows (sequential / pipelined / streaming):
+# dropping one engine's breakdown must fail the structure gate, and its
+# `encode_ms`/`comm_ms`/`decode_ms`/`exposed_wait_ms` fields ride the same
+# >20% regression policy as every other timing field.
+COARSE_KEYS = ("kernel", "method", "scheme", "regime", "engine")
 FINE_KEYS = ("p", "m", "k", "n", "bucket_bytes", "workers", "gbps", "latency_us")
 
 # Wall-clock fields that depend on the machine running the bench (the

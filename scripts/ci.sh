@@ -83,6 +83,17 @@ GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-ddp --test adaptive_fault
 echo "==> adaptive switch property suite"
 timeout 300 cargo test -q -p gcs-ddp --test adaptive_switch
 
+# Streaming-engine bit-exactness under the same two delay seeds: chunked
+# streaming must stay bitwise equal to the chunked pipelined schedule for
+# every registry method even when frames arrive late (the streaming bench
+# smoke above already runs the streaming arm through the bench_compare
+# structure gate).
+echo "==> streaming bitexact suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-ddp --test streaming_bitexact
+
+echo "==> streaming bitexact suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-ddp --test streaming_bitexact
+
 echo "==> bench smoke (straggler)"
 GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_straggler_smoke.json \
   timeout 300 cargo run -q --release -p gcs-bench --bin straggler
