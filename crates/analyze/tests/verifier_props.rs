@@ -252,6 +252,68 @@ fn ir_bytes_match_simcluster_all_gather_traffic() {
     }
 }
 
+#[test]
+fn ir_bytes_match_tcp_cluster_traffic_for_every_collective() {
+    // The same IR must describe BOTH transport backends: the TCP mesh
+    // counts payload bytes exactly like the sim counters (header bytes
+    // are framing, not payload), so every rank's wire totals over real
+    // loopback sockets must equal the schedule's — for the ring, for
+    // halving-doubling, and for the all-gather.
+    use gcs_cluster::{TcpCluster, TcpOptions};
+
+    let p = 4usize;
+    let len = 100usize;
+
+    let ring = schedules::ring_all_reduce(p, len);
+    let run = TcpCluster::run_with(p, TcpOptions::default(), |h| {
+        let mut buf = vec![1.0f32; len];
+        h.all_reduce_sum(&mut buf).unwrap();
+    })
+    .expect("tcp mesh");
+    for (rank, t) in run.traffic.iter().enumerate() {
+        assert_eq!(t.bytes_sent(), ring.sent_bytes(rank) as u64, "ring rank {rank}");
+        assert_eq!(
+            t.messages_sent(),
+            send_op_count(&ring, rank) as u64,
+            "ring rank {rank} messages"
+        );
+    }
+
+    let rab = schedules::rabenseifner(p, len);
+    let run = TcpCluster::run_with(p, TcpOptions::default(), |h| {
+        let mut buf = vec![1.0f32; len];
+        h.rabenseifner_all_reduce_sum(&mut buf).unwrap();
+    })
+    .expect("tcp mesh");
+    for (rank, t) in run.traffic.iter().enumerate() {
+        assert_eq!(t.bytes_sent(), rab.sent_bytes(rank) as u64, "rab rank {rank}");
+        assert_eq!(
+            t.messages_sent(),
+            send_op_count(&rab, rank) as u64,
+            "rab rank {rank} messages"
+        );
+    }
+
+    let gather = schedules::ring_all_gather(p);
+    let run = TcpCluster::run_with(p, TcpOptions::default(), |h| {
+        let own = vec![0u8; schedules::blob_bytes(h.rank())];
+        h.all_gather_bytes(&own).unwrap();
+    })
+    .expect("tcp mesh");
+    for (rank, t) in run.traffic.iter().enumerate() {
+        assert_eq!(
+            t.bytes_sent(),
+            gather.sent_bytes(rank) as u64,
+            "gather rank {rank}"
+        );
+        assert_eq!(
+            t.messages_sent(),
+            send_op_count(&gather, rank) as u64,
+            "gather rank {rank} messages"
+        );
+    }
+}
+
 /// Reroute process 0's first send from its ring successor to its ring
 /// predecessor — the classic "mispaired" bug where index arithmetic
 /// targets the wrong peer. All chunk sizes are equal (p | n), so every

@@ -14,9 +14,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for p in [2usize, 4, 8, 16, 32, 64] {
-        let ps1 = net.parameter_server(bytes, p, 1);
-        let ps8 = net.parameter_server(bytes, p, 8);
-        let ps_sign = net.parameter_server(bytes / 32, p, 1);
+        let ps1 = net.parameter_server(bytes, p, 1).expect("shards > 0");
+        let ps8 = net.parameter_server(bytes, p, 8).expect("shards > 0");
+        let ps_sign = net.parameter_server(bytes / 32, p, 1).expect("shards > 0");
         let ring = net.ring_all_reduce(bytes, p);
         rows.push(vec![
             p.to_string(),

@@ -1,0 +1,158 @@
+//! Transport backend comparison: the identical sequential bucketed
+//! exchange over the in-process [`SimCluster`] channels and over the
+//! real loopback [`TcpCluster`] sockets, writing `BENCH_transport.json`
+//! at the repo root.
+//!
+//! Every row carries a `transport` identity key (`sim` / `tcp`) so the
+//! regression gate (`scripts/bench_compare.py`) never diffs a channel
+//! row against a socket row: the two backends have categorically
+//! different wall-clock profiles (memcpy vs syscalls + wire framing),
+//! and only like-for-like pairs are meaningful.
+//!
+//! The exchanged results are asserted bit-identical across backends on
+//! every iteration — this bench doubles as a continuous cross-backend
+//! consistency probe, not just a stopwatch.
+//!
+//! Run with `cargo run -p gcs-bench --bin transport --release`. Set
+//! `GCS_BENCH_SMOKE=1` for a seconds-long CI smoke run.
+
+use gcs_cluster::{SimCluster, TcpCluster, WorkerHandle};
+use gcs_compress::registry::MethodConfig;
+use gcs_ddp::exec::exchange_gradients_bucketed;
+use gcs_tensor::Tensor;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+struct BenchParams {
+    worlds: Vec<usize>,
+    layer_shapes: Vec<Vec<usize>>,
+    iters: usize,
+}
+
+fn params(smoke: bool) -> BenchParams {
+    if smoke {
+        BenchParams {
+            worlds: vec![2],
+            layer_shapes: vec![vec![6, 10], vec![33]],
+            iters: 1,
+        }
+    } else {
+        BenchParams {
+            worlds: vec![2, 4],
+            layer_shapes: vec![vec![64, 64], vec![256], vec![32, 3, 3, 3]],
+            iters: 5,
+        }
+    }
+}
+
+// Smoke keeps the full method set (the structure gate matches rows by
+// coarse (method, transport) identity); only sizes and repeats shrink.
+fn methods() -> Vec<MethodConfig> {
+    vec![
+        MethodConfig::SyncSgd,
+        MethodConfig::Fp16,
+        MethodConfig::TopK { ratio: 0.2 },
+        MethodConfig::Qsgd { levels: 15 },
+        MethodConfig::PowerSgd { rank: 2 },
+    ]
+}
+
+fn make_grads(rank: usize, shapes: &[Vec<usize>]) -> Vec<Tensor> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(l, s)| Tensor::randn(s.clone(), 42 + (rank * 131 + l) as u64))
+        .collect()
+}
+
+fn exchange(w: &WorkerHandle, method: &MethodConfig, shapes: &[Vec<usize>]) -> Vec<Tensor> {
+    let mut c = method.build().expect("method builds");
+    let grads = make_grads(w.rank(), shapes);
+    exchange_gradients_bucketed(w, &mut c, &grads, usize::MAX).expect("exchange")
+}
+
+fn bits(outs: &[Vec<Tensor>]) -> Vec<u32> {
+    outs.iter()
+        .flatten()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var_os("GCS_BENCH_SMOKE").is_some();
+    let bp = params(smoke);
+    println!(
+        "transport backend benchmark{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for method in methods() {
+        let name = gcs_bench::method_name(&method);
+        for &p in &bp.worlds {
+            let mut sim_ms = Vec::new();
+            let mut tcp_ms = Vec::new();
+            for _ in 0..bp.iters {
+                let t = Instant::now();
+                let sim = SimCluster::run(p, |w| exchange(&w, &method, &bp.layer_shapes));
+                sim_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+                let t = Instant::now();
+                let tcp = TcpCluster::run(p, |w| exchange(&w, &method, &bp.layer_shapes))
+                    .expect("tcp mesh forms on loopback");
+                tcp_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+                assert_eq!(
+                    bits(&sim),
+                    bits(&tcp),
+                    "{name} p={p}: tcp deviates from sim"
+                );
+            }
+            let (sim_med, tcp_med) = (median(sim_ms), median(tcp_ms));
+            println!(
+                "{name:<12} p={p:<2}  sim {sim_med:>8.3}ms  tcp {tcp_med:>8.3}ms  (bit-identical)"
+            );
+            for (transport, exchange_ms) in [("sim", sim_med), ("tcp", tcp_med)] {
+                rows.push(json!({
+                    "method": name,
+                    "transport": transport,
+                    "p": p,
+                    "exchange_ms": exchange_ms,
+                }));
+            }
+        }
+    }
+
+    let metadata = json!({
+        "active_kernel_table": gcs_tensor::kernels::active().name,
+        "kernel_threads": gcs_tensor::pool::global().width(),
+        "smoke": smoke,
+    });
+    let report: Value = json!({
+        "bench": "transport",
+        "smoke": smoke,
+        "metadata": metadata,
+        "rows": rows,
+    });
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    match (std::env::var("GCS_BENCH_OUT").ok(), smoke) {
+        (Some(path), _) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(&path, text).expect("write GCS_BENCH_OUT report");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            println!("smoke mode: skipping write of {default_path}");
+        }
+        (None, false) => {
+            let text = serde_json::to_string_pretty(&report).expect("serialize report");
+            std::fs::write(default_path, text).expect("write BENCH_transport.json");
+            println!("wrote {default_path}");
+        }
+    }
+}

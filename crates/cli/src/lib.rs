@@ -28,6 +28,8 @@ use gcs_models::{presets, DeviceSpec, ModelSpec};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+mod multiproc;
+
 /// A CLI error: bad usage or unknown values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -61,6 +63,9 @@ COMMANDS:
   adaptive   train with the online Equation-1 controller picking the scheme
              per bucket, vs. each arm pinned (time-to-loss comparison)
   analyze    static verification: schedule model checker + workspace lint
+  worker     one rank of a multi-process TCP training run (real sockets)
+  orchestrator  control plane for a multi-process run: assigns ranks,
+             collects digests, verifies them against the sim reference
   models     list available model specs
   methods    list available compression methods
   help       show this text
@@ -93,6 +98,13 @@ ADAPTIVE FLAGS (gradcomp adaptive, with defaults):
   --arms syncsgd,fp16,powersgd:2   candidate schemes (first is the baseline)
   --bucket-kb 1           gradient bucket size in KiB
   --seed 8                data/init seed
+
+MULTI-PROCESS FLAGS:
+  gradcomp worker --rank N --peers h:p,h:p,...   static mesh membership
+                  [--method topk:0.2] [--steps 3]
+  gradcomp worker --orchestrator HOST:PORT       rank assigned at runtime
+  gradcomp orchestrator --world 2 [--method topk:0.2] [--steps 3]
+                  [--port 0] [--addr-file F]     F gets the bound address
 
 ANALYZE FLAGS (gradcomp analyze):
   --all                   run both passes (default when no pass is named)
@@ -134,7 +146,7 @@ struct Flags {
 }
 
 /// Parses `--key value` pairs into a map.
-fn flag_map(args: &[String]) -> Result<HashMap<String, String>> {
+pub(crate) fn flag_map(args: &[String]) -> Result<HashMap<String, String>> {
     let mut map: HashMap<String, String> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -519,6 +531,12 @@ pub fn run(args: &[String]) -> Result<String> {
         }
         "analyze" => {
             out.push_str(&cmd_analyze(rest)?);
+        }
+        "worker" => {
+            out.push_str(&multiproc::cmd_worker(rest)?);
+        }
+        "orchestrator" => {
+            out.push_str(&multiproc::cmd_orchestrator(rest)?);
         }
         other => {
             return Err(CliError(format!(

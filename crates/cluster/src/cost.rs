@@ -297,7 +297,26 @@ mod tests {
             assert_eq!(n.all_gather(bytes, p), 0.0, "all-gather, p={p}");
             assert_eq!(n.reduce_scatter(bytes, p), 0.0, "reduce-scatter, p={p}");
             assert_eq!(n.broadcast(bytes, p), 0.0, "broadcast, p={p}");
+            // PS with a valid shard count follows the same p∈{0,1} rule…
+            assert_eq!(
+                n.parameter_server(bytes, p, 1),
+                Ok(0.0),
+                "parameter server, p={p}"
+            );
+            // …while shards = 0 is the typed error path, not a panic,
+            // regardless of the world size.
+            assert!(
+                matches!(
+                    n.parameter_server(bytes, p, 0),
+                    Err(crate::ClusterError::InvalidArgument(_))
+                ),
+                "parameter server shards=0, p={p}"
+            );
         }
+        assert!(matches!(
+            n.parameter_server(bytes, 8, 0),
+            Err(crate::ClusterError::InvalidArgument(_))
+        ));
         // And the first real world size is strictly positive and finite.
         for t in [
             n.ring_all_reduce(bytes, 2),

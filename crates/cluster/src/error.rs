@@ -34,6 +34,14 @@ pub enum ClusterError {
     /// state reported as an error instead of a panic, so a corrupted
     /// exchange degrades one collective rather than a whole worker).
     Protocol(String),
+    /// A wire-format violation on a real transport: bad magic, unknown
+    /// version or frame kind, or a length/rank field that does not fit
+    /// its header encoding. Oversized or forged frames fail here loudly
+    /// instead of truncating silently.
+    Wire(String),
+    /// An OS-level socket error on a real transport (bind, connect,
+    /// read, write).
+    Io(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -51,6 +59,8 @@ impl fmt::Display for ClusterError {
             ClusterError::Mismatch(msg) => write!(f, "collective argument mismatch: {msg}"),
             ClusterError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             ClusterError::Protocol(msg) => write!(f, "protocol invariant violated: {msg}"),
+            ClusterError::Wire(msg) => write!(f, "wire format violation: {msg}"),
+            ClusterError::Io(msg) => write!(f, "transport i/o error: {msg}"),
         }
     }
 }
@@ -70,5 +80,7 @@ mod tests {
         assert!(!ClusterError::InvalidArgument("y".into())
             .to_string()
             .is_empty());
+        assert!(!ClusterError::Wire("bad magic".into()).to_string().is_empty());
+        assert!(!ClusterError::Io("refused".into()).to_string().is_empty());
     }
 }

@@ -11,7 +11,10 @@
 //!   associativity are *executed*, not assumed);
 //! * [`cost`] — analytic communication-time model for every collective;
 //! * [`SimCluster`] — spawns the worker threads and hands each a
-//!   [`WorkerHandle`].
+//!   [`WorkerHandle`];
+//! * [`tcp`] / [`wire`] — the real multi-process backend: the same
+//!   [`Transport`] trait over `std::net` sockets with a versioned,
+//!   length-prefixed wire format, bit-identical to the simulator.
 //!
 //! # Example
 //!
@@ -36,12 +39,15 @@ pub mod faults;
 pub mod hierarchy;
 pub mod ps;
 pub mod rabenseifner;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use comm::{CommEngine, PendingGather, PendingReduce};
 pub use error::ClusterError;
 pub use faults::{DeadRank, FaultEvent, FaultKind, FaultLog, FaultPlan, RecvPolicy};
-pub use transport::{Frame, NetEmu, SimCluster, WorkerHandle};
+pub use tcp::{TcpCluster, TcpOptions, TcpRun};
+pub use transport::{Frame, NetEmu, SimCluster, TrafficCounter, Transport, WorkerHandle};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -23,15 +23,20 @@ impl NetworkModel {
     /// direction, serialized by its NIC:
     /// `2·α + 2·p·b / (s·BW)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `shards == 0`.
-    pub fn parameter_server(&self, bytes: usize, p: usize, shards: usize) -> f64 {
-        assert!(shards > 0, "need at least one server shard");
-        if p <= 1 {
-            return 0.0;
+    /// Returns [`ClusterError::InvalidArgument`] if `shards == 0` — the
+    /// typed error path, not a panic, per the data-plane lint contract.
+    pub fn parameter_server(&self, bytes: usize, p: usize, shards: usize) -> Result<f64> {
+        if shards == 0 {
+            return Err(ClusterError::InvalidArgument(
+                "parameter server needs at least one shard".into(),
+            ));
         }
-        2.0 * self.alpha + 2.0 * (p as f64) * (bytes as f64) / (shards as f64 * self.bandwidth)
+        if p <= 1 {
+            return Ok(0.0);
+        }
+        Ok(2.0 * self.alpha + 2.0 * (p as f64) * (bytes as f64) / (shards as f64 * self.bandwidth))
     }
 }
 
@@ -119,23 +124,25 @@ mod tests {
     fn ps_cost_grows_linearly_ring_does_not() {
         let net = NetworkModel::new(0.0, 1e9);
         let bytes = 10_000_000;
-        let ps8 = net.parameter_server(bytes, 8, 1);
-        let ps64 = net.parameter_server(bytes, 64, 1);
+        let ps8 = net.parameter_server(bytes, 8, 1).unwrap();
+        let ps64 = net.parameter_server(bytes, 64, 1).unwrap();
         assert!((ps64 / ps8 - 8.0).abs() < 1e-9, "PS scales with p");
         let ring8 = net.ring_all_reduce(bytes, 8);
         let ring64 = net.ring_all_reduce(bytes, 64);
         assert!(ring64 / ring8 < 1.15, "ring stays flat");
         // At p = 2 PS is within a small constant of the ring; at 64 it is
         // hopeless.
-        assert!(net.parameter_server(bytes, 2, 1) < 5.0 * net.ring_all_reduce(bytes, 2));
+        assert!(
+            net.parameter_server(bytes, 2, 1).unwrap() < 5.0 * net.ring_all_reduce(bytes, 2)
+        );
         assert!(ps64 > 10.0 * ring64);
     }
 
     #[test]
     fn sharding_divides_server_time() {
         let net = NetworkModel::new(0.0, 1e9);
-        let one = net.parameter_server(1_000_000, 32, 1);
-        let four = net.parameter_server(1_000_000, 32, 4);
+        let one = net.parameter_server(1_000_000, 32, 1).unwrap();
+        let four = net.parameter_server(1_000_000, 32, 4).unwrap();
         assert!((one / four - 4.0).abs() < 1e-9);
     }
 

@@ -1,10 +1,20 @@
-//! Point-to-point transport between in-process workers.
+//! Point-to-point transport between workers.
+//!
+//! The [`Transport`] trait is the primitive surface every backend
+//! provides: rank/world identity, `send`/`recv`/`recv_deadline` over
+//! [`Frame`]s, liveness (`is_alive`/`mark_dead`), traffic counters, and
+//! the optional fault plane. A [`WorkerHandle`] wraps a boxed backend and
+//! carries everything built *on top* of those primitives — the
+//! collectives in [`crate::collectives`], the shrunk-ring `*_among`
+//! variants, `recv_robust` retry policies — so the same collective code
+//! runs unchanged over the in-process simulator ([`SimCluster`]) and the
+//! real multi-process TCP mesh ([`TcpCluster`](crate::tcp::TcpCluster)).
 //!
 //! A [`SimCluster`] wires up a full mesh of unbounded channels between `p`
 //! ranks. Each worker thread owns a [`WorkerHandle`] giving it `send` /
-//! `recv` to any peer plus the collectives in [`crate::collectives`]
-//! (exposed as methods). Traffic is counted per worker so tests and benches
-//! can assert on bytes actually moved.
+//! `recv` to any peer plus the collectives (exposed as methods). Traffic
+//! is counted per worker so tests and benches can assert on bytes actually
+//! moved.
 //!
 //! Messages travel as [`Frame`]s — reference-counted byte buffers. Cloning
 //! a frame bumps a refcount instead of copying the payload, so collectives
@@ -24,7 +34,8 @@
 //! with buffering); receivers sleep until the delivery deadline. This
 //! turns communication into *wall-clock time that does not consume CPU*,
 //! which is exactly what a pipelined engine can hide behind compute — and
-//! what a sequential engine cannot.
+//! what a sequential engine cannot. Emulation is a property of the
+//! simulator; the TCP backend's wire is real and needs none.
 
 use crate::faults::{FaultEvent, FaultKind, FaultLog, FaultPlan, LinkFaults, RecvPolicy};
 use crate::{ClusterError, Result};
@@ -169,12 +180,12 @@ impl NetEmu {
     }
 }
 
-/// What actually travels on a channel: the frame plus its emulated
-/// delivery deadline (`None` when the cluster runs without emulation).
+/// What actually travels to a receiver: the frame plus its (emulated or
+/// fault-injected) delivery deadline — `None` for immediate delivery.
 #[derive(Debug)]
-struct Packet {
-    frame: Frame,
-    deliver_at: Option<Instant>,
+pub(crate) struct Packet {
+    pub(crate) frame: Frame,
+    pub(crate) deliver_at: Option<Instant>,
 }
 
 /// Per-worker fault-injection state, present when the cluster was built
@@ -184,7 +195,7 @@ struct FaultCtx {
     plan: Arc<FaultPlan>,
     log: Arc<FaultLog>,
     /// `alive[r]`: whether rank `r` is still participating. Cleared by
-    /// [`WorkerHandle::mark_dead`]; checked as a backstop on send/recv.
+    /// `mark_dead`; checked as a backstop on send/recv.
     alive: Arc<Vec<AtomicBool>>,
     /// Per-outgoing-link fault streams.
     links: Vec<RefCell<LinkFaults>>,
@@ -195,7 +206,9 @@ struct FaultCtx {
 }
 
 /// Per-worker traffic counters, shared with the cluster for post-run
-/// inspection.
+/// inspection. Every backend counts *payload* bytes only, so per-rank
+/// totals are comparable across backends and against the schedule IR
+/// (the TCP header overhead is bookkeeping, not schedule traffic).
 #[derive(Debug, Default)]
 pub struct TrafficCounter {
     bytes_sent: AtomicU64,
@@ -213,51 +226,210 @@ impl TrafficCounter {
         self.messages_sent.load(Ordering::Relaxed)
     }
 
-    fn record(&self, bytes: usize) {
+    pub(crate) fn record(&self, bytes: usize) {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// A worker's endpoint into the cluster: rank, world size, point-to-point
-/// messaging and traffic accounting. Collective operations are implemented
-/// in [`crate::collectives`] and exposed as inherent methods.
+/// Validates a peer rank against the world size.
+pub(crate) fn check_peer(peer: usize, world: usize) -> Result<()> {
+    if peer >= world {
+        return Err(ClusterError::InvalidArgument(format!(
+            "peer {peer} out of range for world {world}"
+        )));
+    }
+    Ok(())
+}
+
+/// Per-peer inbound queues plus the pending-slot machinery behind
+/// `recv_deadline`'s exactly-once timeout semantics. Shared by every
+/// backend: the simulator feeds the queues directly from sender threads,
+/// the TCP backend from per-socket reader threads — so the deadline and
+/// retry behavior collectives observe is identical by construction.
 #[derive(Debug)]
-pub struct WorkerHandle {
-    rank: usize,
-    world: usize,
-    /// `senders[j]` sends to rank `j` (index `rank` is a loop-back).
-    senders: Vec<Sender<Packet>>,
-    /// `receivers[j]` receives frames sent *by* rank `j`.
+pub(crate) struct Mailbox {
+    /// `receivers[j]` yields frames sent *by* rank `j`.
     receivers: Vec<Receiver<Packet>>,
-    traffic: Arc<TrafficCounter>,
-    /// Link emulation, if enabled for this cluster.
-    netem: Option<NetEmu>,
-    /// `link_free[j]`: when the directed link to rank `j` finishes its
-    /// current transmission (only meaningful with `netem`).
-    link_free: Vec<Cell<Instant>>,
-    /// Fault injection, if enabled for this cluster.
-    faults: Option<FaultCtx>,
     /// `pending[j]`: a packet from rank `j` whose delivery deadline
     /// exceeded a `recv_deadline` — it surfaced as a timeout but stays
     /// receivable by a retry.
     pending: Vec<RefCell<Option<Packet>>>,
 }
 
+impl Mailbox {
+    pub(crate) fn new(receivers: Vec<Receiver<Packet>>) -> Self {
+        let pending = (0..receivers.len()).map(|_| RefCell::new(None)).collect();
+        Mailbox { receivers, pending }
+    }
+
+    /// Sleeps until `packet`'s delivery deadline, then surfaces the frame.
+    fn deliver(packet: Packet) -> Frame {
+        if let Some(deliver_at) = packet.deliver_at {
+            let now = Instant::now();
+            if deliver_at > now {
+                std::thread::sleep(deliver_at - now);
+            }
+        }
+        packet.frame
+    }
+
+    /// Blocking receive from `peer`. `alive` is the caller's current view
+    /// of the peer; `hangup` maps a closed queue to the backend's error.
+    pub(crate) fn recv(
+        &self,
+        peer: usize,
+        alive: bool,
+        hangup: impl Fn() -> ClusterError,
+    ) -> Result<Frame> {
+        if let Some(packet) = self.pending[peer].borrow_mut().take() {
+            return Ok(Self::deliver(packet));
+        }
+        if !alive {
+            // Drain anything the peer managed to send before dying, but
+            // never block on a dead rank.
+            return match self.receivers[peer].try_recv() {
+                Ok(packet) => Ok(Self::deliver(packet)),
+                Err(_) => Err(ClusterError::PeerGone { peer }),
+            };
+        }
+        let packet = self.receivers[peer].recv().map_err(|_| hangup())?;
+        Ok(Self::deliver(packet))
+    }
+
+    /// Receive from `peer` with a deadline. A frame whose delivery
+    /// deadline lies beyond the timeout is **not** discarded: it is
+    /// stashed in the pending slot and returned by the next receive, so a
+    /// timeout is surfaced exactly once per late frame.
+    pub(crate) fn recv_deadline(
+        &self,
+        peer: usize,
+        timeout: Duration,
+        alive: bool,
+        hangup: impl Fn() -> ClusterError,
+    ) -> Result<Frame> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut slot = self.pending[peer].borrow_mut();
+            if let Some(packet) = slot.take() {
+                if packet.deliver_at.is_some_and(|d| d > deadline) {
+                    *slot = Some(packet);
+                    return Err(ClusterError::Timeout { peer });
+                }
+                drop(slot);
+                return Ok(Self::deliver(packet));
+            }
+        }
+        if !alive {
+            return match self.receivers[peer].try_recv() {
+                Ok(packet) => Ok(Self::deliver(packet)),
+                Err(_) => Err(ClusterError::PeerGone { peer }),
+            };
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match self.receivers[peer].recv_timeout(remaining) {
+            Ok(packet) => {
+                if packet.deliver_at.is_some_and(|d| d > deadline) {
+                    *self.pending[peer].borrow_mut() = Some(packet);
+                    return Err(ClusterError::Timeout { peer });
+                }
+                Ok(Self::deliver(packet))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout { peer }),
+            Err(RecvTimeoutError::Disconnected) => Err(hangup()),
+        }
+    }
+}
+
+/// The primitive transport surface a backend provides. Everything above
+/// this line — collectives, shrunk rings, `recv_robust`, the comm engine,
+/// the pipelined/streaming/adaptive engines — is built on a
+/// [`WorkerHandle`] and therefore runs unchanged over any implementation.
+///
+/// Implementations may assume `peer < world()`: [`WorkerHandle`] validates
+/// peers before delegating. `Send` (but not `Sync`) is required so a
+/// handle can move onto a comm thread; a handle is owned by exactly one
+/// thread at a time.
+pub trait Transport: Send + std::fmt::Debug {
+    /// Short backend name for diagnostics and bench row identity
+    /// (`"sim"`, `"tcp"`).
+    fn backend(&self) -> &'static str;
+
+    /// This worker's rank in `0..world()`.
+    fn rank(&self) -> usize;
+
+    /// Number of workers in the cluster.
+    fn world(&self) -> usize;
+
+    /// This worker's traffic counters (payload bytes and message counts).
+    fn traffic(&self) -> &TrafficCounter;
+
+    /// Sends a frame to `peer`. Under a [`FaultPlan`] the frame may be
+    /// silently dropped, delayed, or held back to swap with the link's
+    /// next frame — decided by the link's deterministic fault stream.
+    fn send(&self, peer: usize, frame: Frame) -> Result<()>;
+
+    /// Receives the next frame sent by `peer` (blocking).
+    fn recv(&self, peer: usize) -> Result<Frame>;
+
+    /// Receives the next frame sent by `peer`, giving up after `timeout`.
+    /// A late frame is stashed, not lost: the timeout surfaces exactly
+    /// once and the frame remains receivable on retry.
+    fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame>;
+
+    /// Whether `peer` is still participating, as far as this worker
+    /// knows. `peer == rank()` reports this worker's own state.
+    fn is_alive(&self, peer: usize) -> bool;
+
+    /// Declares this worker dead as of iteration `at_iter` and makes the
+    /// death visible to peers (shared bitmap in the simulator, a control
+    /// frame on the TCP wire).
+    fn mark_dead(&self, at_iter: usize);
+
+    /// The fault plan this worker runs under, if one was installed.
+    fn fault_plan(&self) -> Option<&FaultPlan>;
+
+    /// The shared fault log, if fault injection is enabled.
+    fn fault_log(&self) -> Option<Arc<FaultLog>>;
+}
+
+/// A worker's endpoint into the cluster: rank, world size, point-to-point
+/// messaging and traffic accounting over a boxed [`Transport`] backend.
+/// Collective operations are implemented in [`crate::collectives`] (plus
+/// [`crate::hierarchy`], [`crate::rabenseifner`], [`crate::ps`]) and
+/// exposed as inherent methods, so they work identically over every
+/// backend.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    inner: Box<dyn Transport>,
+}
+
 impl WorkerHandle {
+    /// Wraps a backend. Used by cluster constructors; callers normally
+    /// obtain handles from [`SimCluster`] or
+    /// [`TcpCluster`](crate::tcp::TcpCluster).
+    pub fn from_transport(inner: Box<dyn Transport>) -> Self {
+        WorkerHandle { inner }
+    }
+
+    /// Short backend name (`"sim"`, `"tcp"`).
+    pub fn backend(&self) -> &'static str {
+        self.inner.backend()
+    }
+
     /// This worker's rank in `0..world()`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.inner.rank()
     }
 
     /// Number of workers in the cluster.
     pub fn world(&self) -> usize {
-        self.world
+        self.inner.world()
     }
 
     /// This worker's traffic counters.
     pub fn traffic(&self) -> &TrafficCounter {
-        &self.traffic
+        self.inner.traffic()
     }
 
     /// Sends a frame to `peer`. Accepts anything convertible into a
@@ -274,16 +446,173 @@ impl WorkerHandle {
     /// [`ClusterError::PeerGone`] if the peer was declared dead, and
     /// [`ClusterError::Disconnected`] if the peer hung up.
     pub fn send(&self, peer: usize, bytes: impl Into<Frame>) -> Result<()> {
-        if peer >= self.world {
-            return Err(ClusterError::InvalidArgument(format!(
-                "peer {peer} out of range for world {}",
-                self.world
-            )));
+        check_peer(peer, self.world())?;
+        self.inner.send(peer, bytes.into())
+    }
+
+    /// Receives the next frame sent by `peer` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer,
+    /// [`ClusterError::PeerGone`] if the peer was declared dead (or, on
+    /// TCP, vanished) and has nothing queued, and
+    /// [`ClusterError::Disconnected`] if the peer hung up.
+    pub fn recv(&self, peer: usize) -> Result<Frame> {
+        check_peer(peer, self.world())?;
+        self.inner.recv(peer)
+    }
+
+    /// Receives the next frame sent by `peer`, giving up after `timeout`.
+    ///
+    /// A frame whose (emulated or fault-injected) delivery deadline lies
+    /// beyond the timeout is **not** discarded: it is stashed and returned
+    /// by the next receive from `peer`, so a timeout is surfaced exactly
+    /// once per late frame and the frame remains receivable on retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Timeout`] when no frame is deliverable in time,
+    /// plus everything [`WorkerHandle::recv`] returns.
+    pub fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame> {
+        check_peer(peer, self.world())?;
+        self.inner.recv_deadline(peer, timeout)
+    }
+
+    /// The receive collectives use: blocking by default, or
+    /// deadline-plus-retry under the cluster's [`RecvPolicy`]. Each retry
+    /// extends the deadline by the policy's backoff; after the last retry
+    /// the timeout propagates to the caller instead of hanging the
+    /// collective forever.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`WorkerHandle::recv_deadline`] returns; the final
+    /// attempt's [`ClusterError::Timeout`] when all retries elapse.
+    pub fn recv_robust(&self, peer: usize) -> Result<Frame> {
+        let policy = self
+            .inner
+            .fault_plan()
+            .map_or_else(RecvPolicy::blocking, |plan| plan.recv);
+        let Some(mut timeout) = policy.timeout else {
+            return self.recv(peer);
+        };
+        check_peer(peer, self.world())?;
+        let mut attempt = 0;
+        loop {
+            match self.inner.recv_deadline(peer, timeout) {
+                Err(ClusterError::Timeout { .. }) if attempt < policy.retries => {
+                    attempt += 1;
+                    timeout += policy.backoff;
+                }
+                other => return other,
+            }
         }
+    }
+
+    /// Whether `peer` is still participating. Always `true` in a
+    /// simulator without a fault plan. `peer == self.rank()` reports this
+    /// worker's own state.
+    pub fn is_alive(&self, peer: usize) -> bool {
+        self.inner.is_alive(peer)
+    }
+
+    /// Declares this worker dead as of iteration `at_iter`: peers'
+    /// sends/recvs start returning [`ClusterError::PeerGone`] once the
+    /// death is visible to them, and the event is recorded. The worker
+    /// should stop participating in collectives immediately after.
+    pub fn mark_dead(&self, at_iter: usize) {
+        self.inner.mark_dead(at_iter);
+    }
+
+    /// The cluster's fault plan, if one was installed.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inner.fault_plan()
+    }
+
+    /// The shared fault log, if fault injection is enabled.
+    pub fn fault_log(&self) -> Option<Arc<FaultLog>> {
+        self.inner.fault_log()
+    }
+
+    /// Rank of the next worker on the ring.
+    pub fn ring_next(&self) -> usize {
+        (self.rank() + 1) % self.world()
+    }
+
+    /// Rank of the previous worker on the ring.
+    pub fn ring_prev(&self) -> usize {
+        (self.rank() + self.world() - 1) % self.world()
+    }
+}
+
+/// The in-process backend: a full mesh of unbounded channels, with
+/// optional α–β link emulation and deterministic fault injection.
+#[derive(Debug)]
+struct SimWorker {
+    rank: usize,
+    world: usize,
+    /// `senders[j]` sends to rank `j` (index `rank` is a loop-back).
+    senders: Vec<Sender<Packet>>,
+    mailbox: Mailbox,
+    traffic: Arc<TrafficCounter>,
+    /// Link emulation, if enabled for this cluster.
+    netem: Option<NetEmu>,
+    /// `link_free[j]`: when the directed link to rank `j` finishes its
+    /// current transmission (only meaningful with `netem`).
+    link_free: Vec<Cell<Instant>>,
+    /// Fault injection, if enabled for this cluster.
+    faults: Option<FaultCtx>,
+}
+
+impl SimWorker {
+    /// Releases every reorder-held frame (in link order). Called before
+    /// any receive so a held frame cannot deadlock a lock-step collective:
+    /// once the sender starts waiting, everything it owes is on the wire.
+    fn flush_held(&self) {
+        if let Some(ctx) = &self.faults {
+            for peer in 0..self.world {
+                if let Some(packet) = ctx.held[peer].borrow_mut().take() {
+                    // A gone peer just loses the frame; the flush is
+                    // best-effort by design.
+                    let _ = self.senders[peer].send(packet);
+                }
+            }
+        }
+    }
+
+    /// Maps a closed-channel receive error: a peer that was declared dead
+    /// is [`ClusterError::PeerGone`]; anything else hung up unexpectedly.
+    fn hangup_error(&self, peer: usize) -> ClusterError {
+        if self.is_alive(peer) {
+            ClusterError::Disconnected { peer }
+        } else {
+            ClusterError::PeerGone { peer }
+        }
+    }
+}
+
+impl Transport for SimWorker {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    fn send(&self, peer: usize, frame: Frame) -> Result<()> {
         if !self.is_alive(peer) {
             return Err(ClusterError::PeerGone { peer });
         }
-        let frame = bytes.into();
         self.traffic.record(frame.len());
         let mut deliver_at = self.netem.map(|emu| {
             let now = Instant::now();
@@ -343,171 +672,27 @@ impl WorkerHandle {
         Ok(())
     }
 
-    /// Releases every reorder-held frame (in link order). Called before
-    /// any receive so a held frame cannot deadlock a lock-step collective:
-    /// once the sender starts waiting, everything it owes is on the wire.
-    fn flush_held(&self) {
-        if let Some(ctx) = &self.faults {
-            for peer in 0..self.world {
-                if let Some(packet) = ctx.held[peer].borrow_mut().take() {
-                    // A gone peer just loses the frame; the flush is
-                    // best-effort by design.
-                    let _ = self.senders[peer].send(packet);
-                }
-            }
-        }
-    }
-
-    /// Sleeps until `packet`'s delivery deadline, then surfaces the frame.
-    fn deliver(packet: Packet) -> Frame {
-        if let Some(deliver_at) = packet.deliver_at {
-            let now = Instant::now();
-            if deliver_at > now {
-                std::thread::sleep(deliver_at - now);
-            }
-        }
-        packet.frame
-    }
-
-    /// Maps a closed-channel receive error: a peer that was declared dead
-    /// is [`ClusterError::PeerGone`]; anything else hung up unexpectedly.
-    fn hangup_error(&self, peer: usize) -> ClusterError {
-        if self.is_alive(peer) {
-            ClusterError::Disconnected { peer }
-        } else {
-            ClusterError::PeerGone { peer }
-        }
-    }
-
-    /// Receives the next frame sent by `peer` (blocking).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ClusterError::InvalidArgument`] for an out-of-range peer,
-    /// [`ClusterError::PeerGone`] if the peer was declared dead and has
-    /// nothing queued, and [`ClusterError::Disconnected`] if the peer hung
-    /// up.
-    pub fn recv(&self, peer: usize) -> Result<Frame> {
-        if peer >= self.world {
-            return Err(ClusterError::InvalidArgument(format!(
-                "peer {peer} out of range for world {}",
-                self.world
-            )));
-        }
+    fn recv(&self, peer: usize) -> Result<Frame> {
         self.flush_held();
-        if let Some(packet) = self.pending[peer].borrow_mut().take() {
-            return Ok(Self::deliver(packet));
-        }
-        if !self.is_alive(peer) {
-            // Drain anything the peer managed to send before dying, but
-            // never block on a dead rank.
-            return match self.receivers[peer].try_recv() {
-                Ok(packet) => Ok(Self::deliver(packet)),
-                Err(_) => Err(ClusterError::PeerGone { peer }),
-            };
-        }
-        let packet = self.receivers[peer]
-            .recv()
-            .map_err(|_| self.hangup_error(peer))?;
-        Ok(Self::deliver(packet))
+        self.mailbox
+            .recv(peer, self.is_alive(peer), || self.hangup_error(peer))
     }
 
-    /// Receives the next frame sent by `peer`, giving up after `timeout`.
-    ///
-    /// A frame whose (emulated or fault-injected) delivery deadline lies
-    /// beyond the timeout is **not** discarded: it is stashed and returned
-    /// by the next receive from `peer`, so a timeout is surfaced exactly
-    /// once per late frame and the frame remains receivable on retry.
-    ///
-    /// # Errors
-    ///
-    /// [`ClusterError::Timeout`] when no frame is deliverable in time,
-    /// plus everything [`WorkerHandle::recv`] returns.
-    pub fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame> {
-        if peer >= self.world {
-            return Err(ClusterError::InvalidArgument(format!(
-                "peer {peer} out of range for world {}",
-                self.world
-            )));
-        }
+    fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame> {
         self.flush_held();
-        let deadline = Instant::now() + timeout;
-        {
-            let mut slot = self.pending[peer].borrow_mut();
-            if let Some(packet) = slot.take() {
-                if packet.deliver_at.is_some_and(|d| d > deadline) {
-                    *slot = Some(packet);
-                    return Err(ClusterError::Timeout { peer });
-                }
-                drop(slot);
-                return Ok(Self::deliver(packet));
-            }
-        }
-        if !self.is_alive(peer) {
-            return match self.receivers[peer].try_recv() {
-                Ok(packet) => Ok(Self::deliver(packet)),
-                Err(_) => Err(ClusterError::PeerGone { peer }),
-            };
-        }
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        match self.receivers[peer].recv_timeout(remaining) {
-            Ok(packet) => {
-                if packet.deliver_at.is_some_and(|d| d > deadline) {
-                    *self.pending[peer].borrow_mut() = Some(packet);
-                    return Err(ClusterError::Timeout { peer });
-                }
-                Ok(Self::deliver(packet))
-            }
-            Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout { peer }),
-            Err(RecvTimeoutError::Disconnected) => Err(self.hangup_error(peer)),
-        }
+        self.mailbox
+            .recv_deadline(peer, timeout, self.is_alive(peer), || {
+                self.hangup_error(peer)
+            })
     }
 
-    /// The receive collectives use: blocking by default, or
-    /// deadline-plus-retry under the cluster's [`RecvPolicy`]. Each retry
-    /// extends the deadline by the policy's backoff; after the last retry
-    /// the timeout propagates to the caller instead of hanging the
-    /// collective forever.
-    ///
-    /// # Errors
-    ///
-    /// Everything [`WorkerHandle::recv_deadline`] returns; the final
-    /// attempt's [`ClusterError::Timeout`] when all retries elapse.
-    pub fn recv_robust(&self, peer: usize) -> Result<Frame> {
-        let policy = self
-            .faults
-            .as_ref()
-            .map_or_else(RecvPolicy::blocking, |ctx| ctx.plan.recv);
-        let Some(mut timeout) = policy.timeout else {
-            return self.recv(peer);
-        };
-        let mut attempt = 0;
-        loop {
-            match self.recv_deadline(peer, timeout) {
-                Err(ClusterError::Timeout { .. }) if attempt < policy.retries => {
-                    attempt += 1;
-                    timeout += policy.backoff;
-                }
-                other => return other,
-            }
-        }
-    }
-
-    /// Whether `peer` is still participating. Always `true` without a
-    /// fault plan. `peer == self.rank()` reports this worker's own state.
-    pub fn is_alive(&self, peer: usize) -> bool {
+    fn is_alive(&self, peer: usize) -> bool {
         self.faults
             .as_ref()
             .is_none_or(|ctx| ctx.alive[peer].load(Ordering::SeqCst))
     }
 
-    /// Declares this worker dead as of iteration `at_iter`: clears its
-    /// alive bit (peers' sends/recvs start returning
-    /// [`ClusterError::PeerGone`]) and records the event. The worker
-    /// should stop participating in collectives immediately after.
-    ///
-    /// No-op without a fault plan.
-    pub fn mark_dead(&self, at_iter: usize) {
+    fn mark_dead(&self, at_iter: usize) {
         if let Some(ctx) = &self.faults {
             self.flush_held();
             ctx.alive[self.rank].store(false, Ordering::SeqCst);
@@ -520,28 +705,16 @@ impl WorkerHandle {
         }
     }
 
-    /// The cluster's fault plan, if one was installed.
-    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+    fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(|ctx| ctx.plan.as_ref())
     }
 
-    /// The shared fault log, if fault injection is enabled.
-    pub fn fault_log(&self) -> Option<Arc<FaultLog>> {
+    fn fault_log(&self) -> Option<Arc<FaultLog>> {
         self.faults.as_ref().map(|ctx| Arc::clone(&ctx.log))
-    }
-
-    /// Rank of the next worker on the ring.
-    pub fn ring_next(&self) -> usize {
-        (self.rank + 1) % self.world
-    }
-
-    /// Rank of the previous worker on the ring.
-    pub fn ring_prev(&self) -> usize {
-        (self.rank + self.world - 1) % self.world
     }
 }
 
-impl Drop for WorkerHandle {
+impl Drop for SimWorker {
     /// Reorder may *delay* a frame, never lose it: a worker exiting with a
     /// held frame still owes it to the wire.
     fn drop(&mut self) {
@@ -549,7 +722,7 @@ impl Drop for WorkerHandle {
     }
 }
 
-/// Builder/owner of the channel mesh.
+/// Builder/owner of the in-process channel mesh.
 #[derive(Debug)]
 pub struct SimCluster {
     handles: Vec<WorkerHandle>,
@@ -625,11 +798,8 @@ impl SimCluster {
         let handles = senders_by_src
             .into_iter()
             .enumerate()
-            .map(|(rank, senders)| WorkerHandle {
-                rank,
-                world,
-                senders,
-                receivers: receivers_by_dst[rank]
+            .map(|(rank, senders)| {
+                let receivers = receivers_by_dst[rank]
                     .iter_mut()
                     .map(|r| {
                         let Some(r) = r.take() else {
@@ -640,20 +810,25 @@ impl SimCluster {
                         };
                         r
                     })
-                    .collect(),
-                traffic: Arc::clone(&traffic[rank]),
-                netem,
-                link_free: (0..world).map(|_| Cell::new(epoch)).collect(),
-                faults: fault_shared.as_ref().map(|(plan, log, alive)| FaultCtx {
-                    plan: Arc::clone(plan),
-                    log: Arc::clone(log),
-                    alive: Arc::clone(alive),
-                    links: (0..world)
-                        .map(|dst| RefCell::new(LinkFaults::new(plan.seed, rank, dst)))
-                        .collect(),
-                    held: (0..world).map(|_| RefCell::new(None)).collect(),
-                }),
-                pending: (0..world).map(|_| RefCell::new(None)).collect(),
+                    .collect();
+                WorkerHandle::from_transport(Box::new(SimWorker {
+                    rank,
+                    world,
+                    senders,
+                    mailbox: Mailbox::new(receivers),
+                    traffic: Arc::clone(&traffic[rank]),
+                    netem,
+                    link_free: (0..world).map(|_| Cell::new(epoch)).collect(),
+                    faults: fault_shared.as_ref().map(|(plan, log, alive)| FaultCtx {
+                        plan: Arc::clone(plan),
+                        log: Arc::clone(log),
+                        alive: Arc::clone(alive),
+                        links: (0..world)
+                            .map(|dst| RefCell::new(LinkFaults::new(plan.seed, rank, dst)))
+                            .collect(),
+                        held: (0..world).map(|_| RefCell::new(None)).collect(),
+                    }),
+                }))
             })
             .collect();
         SimCluster {
@@ -826,11 +1001,18 @@ mod tests {
     }
 
     #[test]
+    fn sim_backend_reports_its_name() {
+        let cluster = SimCluster::new(1);
+        assert_eq!(cluster.into_handles()[0].backend(), "sim");
+    }
+
+    #[test]
     fn out_of_range_peer_rejected() {
         let cluster = SimCluster::new(1);
         let h = &cluster.into_handles()[0];
         assert!(h.send(5, vec![]).is_err());
         assert!(h.recv(5).is_err());
+        assert!(h.recv_deadline(5, Duration::from_millis(1)).is_err());
     }
 
     #[test]

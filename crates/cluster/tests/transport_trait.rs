@@ -1,0 +1,199 @@
+//! Backend-agnostic fault-semantics tests through the [`Transport`]
+//! trait: the same workload runs on [`SimCluster`] and [`TcpCluster`]
+//! (via the shared [`WorkerHandle`] surface) and must observe identical
+//! timeout / dead-rank / drop semantics on both.
+//!
+//! Honors `GCS_FAULT_SEED` so CI re-runs the suite under multiple fixed
+//! seeds; every seeded test also runs under a second seed derived from
+//! the first so a single invocation already covers two plans.
+
+use gcs_cluster::faults::{FaultPlan, RecvPolicy};
+use gcs_cluster::{ClusterError, FaultKind, SimCluster, TcpCluster, WorkerHandle};
+use std::time::Duration;
+
+/// Base seed; overridable so CI can sweep seeds.
+fn seed_from_env() -> u64 {
+    std::env::var("GCS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x00C0_FFEE)
+}
+
+/// Two distinct plan seeds per invocation.
+fn seeds() -> [u64; 2] {
+    let base = seed_from_env();
+    [base, base ^ 0x9E37_79B9]
+}
+
+/// Runs the same closure on both backends under the same plan and
+/// returns `(backend, outputs, events)` per backend.
+fn run_both<R, F>(
+    world: usize,
+    plan: &FaultPlan,
+    f: F,
+) -> Vec<(&'static str, Vec<R>, Vec<gcs_cluster::FaultEvent>)>
+where
+    R: Send,
+    F: Fn(WorkerHandle) -> R + Sync,
+{
+    let (sim_outs, sim_events) = SimCluster::run_with_faults(world, plan.clone(), &f);
+    let (tcp_outs, tcp_events) =
+        TcpCluster::run_with_faults(world, plan.clone(), &f).expect("tcp mesh forms on loopback");
+    vec![("sim", sim_outs, sim_events), ("tcp", tcp_outs, tcp_events)]
+}
+
+#[test]
+fn late_frame_times_out_exactly_once_on_both_backends() {
+    // Exactly-once timeout semantics through the trait: a frame that has
+    // not arrived yet times out on every too-early `recv_deadline`
+    // WITHOUT being discarded, is delivered exactly once by a patient
+    // deadline, and never reappears afterwards.
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed).delay_jitter(Duration::from_millis(2));
+        for (backend, outs, events) in run_both(2, &plan, |w| {
+            if w.rank() == 0 {
+                // Make the frame late regardless of the drawn jitter, so
+                // the receiver's first two deadlines always expire.
+                std::thread::sleep(Duration::from_millis(60));
+                w.send(1, vec![42u8; 64]).unwrap();
+                // Outlive the receiver's probes so sockets stay open.
+                std::thread::sleep(Duration::from_millis(200));
+                (true, true, true, true)
+            } else {
+                let early =
+                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
+                let early_again =
+                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
+                let got = matches!(
+                    w.recv_deadline(0, Duration::from_secs(5)),
+                    Ok(f) if f.as_slice() == [42u8; 64]
+                );
+                // The delivered frame must not be duplicated.
+                let no_dup =
+                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
+                (early, early_again, got, no_dup)
+            }
+        }) {
+            assert_eq!(
+                outs,
+                vec![(true, true, true, true); 2],
+                "backend {backend} seed {seed}"
+            );
+            // A delay-only plan may log only delays.
+            assert!(
+                events.iter().all(|e| matches!(e.kind, FaultKind::Delay { .. })),
+                "backend {backend} seed {seed}: non-delay event in {events:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_frames_surface_as_timeout_through_recv_robust_on_both_backends() {
+    // Certain loss + a bounded recv policy: `recv_robust` (used by every
+    // collective) must exhaust its retries and fail with Timeout instead
+    // of hanging, on sim and on real sockets alike.
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed)
+            .drop_prob(1.0)
+            .recv_policy(RecvPolicy::with_timeout(
+                Duration::from_millis(10),
+                2,
+                Duration::from_millis(5),
+            ));
+        for (backend, outs, events) in run_both(2, &plan, |w| {
+            if w.rank() == 0 {
+                let res = w.send(1, vec![7u8; 16]).is_ok();
+                // Outlive the receiver's retry window so its failure is a
+                // clean Timeout rather than a racy PeerGone.
+                std::thread::sleep(Duration::from_millis(300));
+                res
+            } else {
+                matches!(w.recv_robust(0), Err(ClusterError::Timeout { peer: 0 }))
+            }
+        }) {
+            assert_eq!(outs, vec![true, true], "backend {backend} seed {seed}");
+            assert!(
+                !events.is_empty() && events.iter().all(|e| matches!(e.kind, FaultKind::Drop)),
+                "backend {backend} seed {seed}: expected only Drop events, got {events:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_rank_maps_to_peer_gone_on_both_backends() {
+    // `mark_dead` propagates through the trait: the survivor's send AND
+    // recv both surface `PeerGone`, and the death is logged, identically
+    // on both backends.
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed).kill(1, 0);
+        for (backend, outs, events) in run_both(2, &plan, |w| {
+            if w.rank() == 0 {
+                while w.is_alive(1) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let send = w.send(1, vec![1, 2, 3]) == Err(ClusterError::PeerGone { peer: 1 });
+                let recv = w.recv(1) == Err(ClusterError::PeerGone { peer: 1 });
+                (send, recv)
+            } else {
+                w.mark_dead(0);
+                // Keep the process alive until rank 0 has observed the
+                // death so the TCP socket close cannot race the Dead frame.
+                std::thread::sleep(Duration::from_millis(100));
+                (true, true)
+            }
+        }) {
+            assert_eq!(outs, vec![(true, true); 2], "backend {backend} seed {seed}");
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.src == 1 && matches!(e.kind, FaultKind::RankDead { at_iter: 0 })),
+                "backend {backend} seed {seed}: death missing from {events:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tcp_peer_disconnect_maps_to_peer_gone() {
+    // A real socket close (peer process exits without mark_dead) cannot
+    // be distinguished from a crash on the wire, so the TCP backend maps
+    // it to `PeerGone` — the documented divergence from sim's
+    // `Disconnected` for a *clean* exit.
+    let outs = TcpCluster::run(2, |w| {
+        if w.rank() == 0 {
+            // Exit immediately: dropping the handle closes both sockets.
+            true
+        } else {
+            matches!(w.recv(0), Err(ClusterError::PeerGone { peer: 0 }))
+        }
+    })
+    .expect("tcp mesh forms on loopback");
+    assert_eq!(outs, vec![true, true]);
+}
+
+#[test]
+fn recv_robust_rides_out_a_late_frame_on_both_backends() {
+    // One attempt would time out, but the policy's retries extend the
+    // deadline until the late frame lands — exactly once.
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed).recv_policy(RecvPolicy::with_timeout(
+            Duration::from_millis(10),
+            6,
+            Duration::from_millis(10),
+        ));
+        for (backend, outs, _) in run_both(2, &plan, |w| {
+            if w.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(25));
+                w.send(1, vec![3u8; 8]).unwrap();
+                std::thread::sleep(Duration::from_millis(200));
+                true
+            } else {
+                w.recv_robust(0).unwrap().as_slice() == [3u8; 8]
+            }
+        }) {
+            assert_eq!(outs, vec![true, true], "backend {backend} seed {seed}");
+        }
+    }
+}

@@ -355,9 +355,20 @@ pub struct Decision {
 const DECISION_WIRE_BYTES: usize = 4 * 4 + 8 * 2 + 1;
 
 /// Serializes decisions for the rank-0 → followers broadcast.
-pub fn encode_decisions(decisions: &[Decision]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`CompressError::Wire`] if the decision count overflows the
+/// `u32` wire count field (narrowing must fail loudly, never truncate).
+pub fn encode_decisions(decisions: &[Decision]) -> Result<Vec<u8>> {
+    let count = u32::try_from(decisions.len()).map_err(|_| {
+        CompressError::Wire(format!(
+            "{} decisions exceed the u32 wire count field",
+            decisions.len()
+        ))
+    })?;
     let mut out = Vec::with_capacity(4 + decisions.len() * DECISION_WIRE_BYTES);
-    out.extend_from_slice(&(decisions.len() as u32).to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
     for d in decisions {
         out.extend_from_slice(&d.step.to_le_bytes());
         out.extend_from_slice(&d.bucket.to_le_bytes());
@@ -367,7 +378,7 @@ pub fn encode_decisions(decisions: &[Decision]) -> Vec<u8> {
         out.extend_from_slice(&d.est_to_s.to_bits().to_le_bytes());
         out.push(u8::from(d.probe));
     }
-    out
+    Ok(out)
 }
 
 /// Deserializes a decision list produced by [`encode_decisions`].
@@ -834,6 +845,9 @@ impl Controller {
 
     fn switch(&mut self, step: u32, bucket: usize, to: usize, probe: bool) -> Decision {
         let from = self.buckets[bucket].arm;
+        // `bucket` indexes self.buckets and `from`/`to` index the arm
+        // ladder — both collections are bounded far below u32::MAX by
+        // construction, so these narrowings cannot truncate.
         let d = Decision {
             step,
             bucket: bucket as u32,
@@ -1185,9 +1199,9 @@ mod tests {
                 probe: true,
             },
         ];
-        let wire = encode_decisions(&ds);
+        let wire = encode_decisions(&ds).unwrap();
         assert_eq!(decode_decisions(&wire).unwrap(), ds);
-        assert_eq!(decode_decisions(&encode_decisions(&[])).unwrap(), vec![]);
+        assert_eq!(decode_decisions(&encode_decisions(&[]).unwrap()).unwrap(), vec![]);
         assert!(decode_decisions(&wire[..wire.len() - 1]).is_err());
         assert!(decode_decisions(&[1, 2]).is_err());
     }
@@ -1240,12 +1254,12 @@ mod tests {
         let mut follower = Controller::new(mk_cfg(), &shapes(), 4).unwrap();
         let init = leader.tune_initial();
         follower
-            .apply_initial(&decode_decisions(&encode_decisions(&init)).unwrap())
+            .apply_initial(&decode_decisions(&encode_decisions(&init).unwrap()).unwrap())
             .unwrap();
         for _ in 0..3 {
             let ds = leader.end_step();
             follower
-                .apply(&decode_decisions(&encode_decisions(&ds)).unwrap())
+                .apply(&decode_decisions(&encode_decisions(&ds).unwrap()).unwrap())
                 .unwrap();
         }
         for b in 0..leader.num_buckets() {

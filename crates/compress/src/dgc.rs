@@ -99,7 +99,9 @@ impl Dgc {
         let mut sample: Vec<f32> = (0..sample_n)
             .map(|_| data[self.rng.gen_range(0..n)].abs())
             .collect();
-        sample.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN-total descending order: a NaN gradient must not scramble
+        // the sampled threshold between runs.
+        sample.sort_by(|a, b| b.total_cmp(a));
         let k = ((sample_n as f64 * self.ratio).round() as usize).clamp(1, sample_n);
         sample[k - 1]
     }
@@ -121,6 +123,7 @@ impl Compressor for Dgc {
     }
 
     fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+        crate::payload::check_sparse_index_space(grad.numel())?;
         // Momentum correction: sparsify the velocity, not the gradient.
         let input = if self.momentum > 0.0 {
             let vel = self
@@ -250,6 +253,29 @@ impl Compressor for Dgc {
 mod tests {
     use super::*;
     use crate::driver::round_trip;
+
+    #[test]
+    fn nan_gradient_keeps_threshold_deterministic() {
+        // The sampled-threshold sort runs under f32::total_cmp: a NaN
+        // coordinate must neither panic nor make the kept set run-to-run
+        // noise (two encoders with identical state and input must agree).
+        let mut data: Vec<f32> = (0..2048).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.1).collect();
+        data[100] = f32::NAN;
+        data[1999] = -f32::NAN;
+        let g = Tensor::from_vec(data);
+        let mut a = Dgc::new(0.05).unwrap();
+        let mut b = Dgc::new(0.05).unwrap();
+        let pa = a.encode(0, &g).unwrap();
+        let pb = b.encode(0, &g).unwrap();
+        let (Payload::Sparse { indices: ia, values: va, .. },
+             Payload::Sparse { indices: ib, values: vb, .. }) = (pa, pb)
+        else {
+            panic!("wrong payload")
+        };
+        assert_eq!(ia, ib, "kept coordinates must be deterministic");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&va), bits(&vb));
+    }
 
     #[test]
     fn rejects_bad_config() {

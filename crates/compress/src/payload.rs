@@ -19,6 +19,19 @@ pub enum Factor {
     Q,
 }
 
+/// Guards the `usize → u32` narrowing every sparse encoder performs when it
+/// pushes coordinate indices: a tensor beyond the `u32` index space must
+/// fail loudly with a typed [`CompressError::Wire`] before any index is
+/// emitted, never truncate silently on the TCP framing.
+pub(crate) fn check_sparse_index_space(n: usize) -> Result<()> {
+    if u32::try_from(n).is_err() {
+        return Err(CompressError::Wire(format!(
+            "tensor of {n} elements exceeds the u32 sparse-index space"
+        )));
+    }
+    Ok(())
+}
+
 /// A compressed gradient in one of the representations used by the schemes
 /// in this crate.
 #[derive(Debug, Clone, PartialEq)]
@@ -638,6 +651,18 @@ mod tests {
         let bytes = p.to_bytes();
         let q = Payload::from_bytes(&bytes).expect("roundtrip decode");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn sparse_index_space_guard_is_a_typed_wire_error() {
+        // Every sparse encoder narrows coordinate indices to u32; the
+        // shared guard must reject tensors past that space loudly instead
+        // of letting `i as u32` wrap on the wire.
+        assert!(check_sparse_index_space(0).is_ok());
+        assert!(check_sparse_index_space(u32::MAX as usize).is_ok());
+        let err = check_sparse_index_space(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, CompressError::Wire(_)), "got {err:?}");
+        assert!(err.to_string().contains("sparse-index space"));
     }
 
     #[test]

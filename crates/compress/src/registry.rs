@@ -173,6 +173,31 @@ impl MethodConfig {
     }
 }
 
+impl std::fmt::Display for MethodConfig {
+    /// The compact spec form accepted by [`MethodConfig::parse`], so a
+    /// config can ride a text control plane and round-trip exactly
+    /// (Rust's `f64` Display prints the shortest round-tripping form).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodConfig::SyncSgd => write!(f, "syncsgd"),
+            MethodConfig::Fp16 => write!(f, "fp16"),
+            MethodConfig::PowerSgd { rank } => write!(f, "powersgd:{rank}"),
+            MethodConfig::TopK { ratio } => write!(f, "topk:{ratio}"),
+            MethodConfig::SignSgd => write!(f, "signsgd"),
+            MethodConfig::EfSignSgd => write!(f, "efsignsgd"),
+            MethodConfig::Qsgd { levels } => write!(f, "qsgd:{levels}"),
+            MethodConfig::TernGrad => write!(f, "terngrad"),
+            MethodConfig::RandomK { ratio } => write!(f, "randomk:{ratio}"),
+            MethodConfig::Atomo { rank } => write!(f, "atomo:{rank}"),
+            MethodConfig::OneBit => write!(f, "onebit"),
+            MethodConfig::Sketch { block } => write!(f, "sketch:{block}"),
+            MethodConfig::Dgc { ratio } => write!(f, "dgc:{ratio}"),
+            MethodConfig::Variance { kappa } => write!(f, "variance:{kappa}"),
+            MethodConfig::Natural => write!(f, "natural"),
+        }
+    }
+}
+
 /// The method catalogue in the order of the paper's Table 1, with
 /// representative parameters.
 pub fn table1_methods() -> Vec<MethodConfig> {

@@ -86,6 +86,7 @@ impl Compressor for TopK {
     }
 
     fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
+        crate::payload::check_sparse_index_space(grad.numel())?;
         let k = self.k_for(grad.numel());
         if !self.error_feedback {
             // Fast path: select straight from the gradient; the only

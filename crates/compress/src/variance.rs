@@ -79,6 +79,7 @@ impl Compressor for VarianceSparsifier {
 
     fn encode(&mut self, layer: usize, grad: &Tensor) -> Result<Payload> {
         let n = grad.numel();
+        crate::payload::check_sparse_index_space(n)?;
         let state = self.layers.entry(layer).or_insert_with(|| LayerStats {
             ema_mean: vec![0.0; n],
             ema_sq: vec![0.0; n],

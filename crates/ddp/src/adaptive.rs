@@ -186,7 +186,7 @@ impl AdaptiveEngine {
         // End-of-step decision protocol.
         let decisions = if worker.rank() == 0 {
             let ds = controller.end_step();
-            worker.broadcast(0, Some(&encode_decisions(&ds)))?;
+            worker.broadcast(0, Some(&encode_decisions(&ds)?))?;
             ds
         } else {
             let frame = worker.broadcast(0, None)?;
@@ -227,7 +227,7 @@ impl AdaptiveEngine {
         // Initial assignment: rank 0 decides, everyone else replays.
         if worker.rank() == 0 {
             let ds = controller.tune_initial();
-            worker.broadcast(0, Some(&encode_decisions(&ds)))?;
+            worker.broadcast(0, Some(&encode_decisions(&ds)?))?;
         } else {
             let frame = worker.broadcast(0, None)?;
             controller.apply_initial(&decode_decisions(&frame)?)?;

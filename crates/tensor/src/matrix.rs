@@ -1001,7 +1001,7 @@ pub fn svd_truncated(
     }
     // Sort triplets by singular value, descending.
     let mut order: Vec<usize> = (0..rank).collect();
-    order.sort_by(|&i, &j| s[j].partial_cmp(&s[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| s[j].total_cmp(&s[i]));
     let mut u = vec![0.0f32; rows * rank];
     let mut v = vec![0.0f32; cols * rank];
     let mut s_sorted = vec![0.0f32; rank];

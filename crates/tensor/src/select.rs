@@ -142,9 +142,10 @@ pub fn top_k_abs_pooled(
 /// Quickselect the k-th largest magnitude on the (already filled)
 /// magnitude scratch. Requires `0 < k <= mags.len()`.
 fn kth_threshold(mags: &mut [f32], k: usize) -> f32 {
-    let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| {
-        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp keeps the descending selection deterministic even when a
+    // NaN magnitude sneaks in (partial_cmp's Equal fallback let NaN float
+    // anywhere in the partition, making the threshold run-to-run noise).
+    let (_, kth, _) = mags.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
     *kth
 }
 
@@ -178,6 +179,22 @@ fn finish_selection(
                 break;
             }
             if v.abs() == threshold {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+    }
+    if indices.len() < k {
+        // Only reachable with NaN inputs: NaN magnitudes rank above every
+        // finite value in the descending total order (so the quickselect
+        // counted them into the top k) but match neither the `>` gather
+        // nor the `==` tie-fill. Append them in ascending index order so
+        // the selection still has exactly k deterministic entries.
+        for (i, &v) in data.iter().enumerate() {
+            if indices.len() == k {
+                break;
+            }
+            if v.is_nan() {
                 indices.push(i as u32);
                 values.push(v);
             }

@@ -83,9 +83,9 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     let lo_idx = rank.floor() as usize;
     let frac = rank - lo_idx as f64;
     let mut scratch = xs.to_vec();
-    let (_, lo, above) = scratch.select_nth_unstable_by(lo_idx, |a, b| {
-        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: NaN-total order, so a NaN input can never misorder the
+    // selection (partial_cmp would silently treat NaN pairs as equal).
+    let (_, lo, above) = scratch.select_nth_unstable_by(lo_idx, f64::total_cmp);
     let lo = *lo;
     if frac == 0.0 || above.is_empty() {
         return lo;
@@ -158,7 +158,7 @@ mod tests {
         // Cross-check the quickselect path against sort-then-index.
         let xs: Vec<f64> = (0..101).map(|i| ((i * 37) % 101) as f64).collect();
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
             let rank = p / 100.0 * (xs.len() - 1) as f64;
             let lo = rank.floor() as usize;

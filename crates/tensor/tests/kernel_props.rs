@@ -615,3 +615,57 @@ fn signbits_roundtrip_matches_under_both_tables() {
         }
     }
 }
+
+#[test]
+fn nan_inputs_keep_percentile_total_ordered_and_deterministic() {
+    use gcs_tensor::stats::percentile;
+    // NaN-poisoned input must select under a total order: no panic, the
+    // same bits on every call, and (since positive NaN sorts above +inf
+    // in the total order) low percentiles still come from finite values.
+    let xs = vec![3.0f64, f64::NAN, 1.0, 2.0, f64::NAN, 5.0, 4.0];
+    assert_eq!(percentile(&xs, 0.0), 1.0);
+    assert!(percentile(&xs, 100.0).is_nan(), "NaN sorts last");
+    for p in [0.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
+        let a = percentile(&xs, p);
+        let b = percentile(&xs, p);
+        assert_eq!(a.to_bits(), b.to_bits(), "p={p} must be deterministic");
+    }
+    // All-NaN input: still no panic.
+    assert!(percentile(&[f64::NAN, f64::NAN], 50.0).is_nan());
+}
+
+#[test]
+fn nan_inputs_keep_top_k_selection_deterministic_and_exactly_k() {
+    use gcs_tensor::pool::Pool;
+    use gcs_tensor::select;
+    let data: Vec<f32> = (0..4096)
+        .map(|i| {
+            if i % 97 == 13 {
+                f32::NAN
+            } else {
+                ((i * 131 % 17) as f32 - 8.0) * 0.5
+            }
+        })
+        .collect();
+    let pool = Pool::new(2);
+    for k in [1usize, 64, 512] {
+        let serial = select::top_k_abs(&data, k);
+        assert_eq!(serial.len(), k, "k={k}: NaNs must not shrink the selection");
+        // Repeat calls and the pooled path must agree exactly — the old
+        // partial_cmp fallback let NaN land anywhere in the partition.
+        let again = select::top_k_abs(&data, k);
+        assert_eq!(serial.indices, again.indices, "k={k} repeat");
+        let pooled = select::top_k_abs_pooled(&pool, &data, k, &mut Vec::new());
+        assert_eq!(serial.indices, pooled.indices, "k={k} pooled");
+        assert_eq!(
+            bits(&serial.values),
+            bits(&pooled.values),
+            "k={k} pooled values"
+        );
+    }
+    // More NaNs than k: the NaN fill itself must be deterministic.
+    let noisy = vec![f32::NAN, 1.0, f32::NAN, 2.0, f32::NAN];
+    let sel = select::top_k_abs(&noisy, 2);
+    assert_eq!(sel.len(), 2);
+    assert_eq!(sel.indices, select::top_k_abs(&noisy, 2).indices);
+}

@@ -158,7 +158,9 @@ pub fn train_threaded<T: Task + Sync>(
     // written once.
     enum Engine {
         Sequential(gcs_cluster::WorkerHandle, Box<dyn gcs_compress::Compressor>),
-        Pipelined(PipelinedEngine<Box<dyn gcs_compress::Compressor>>),
+        // Boxed: the pipelined engine is an order of magnitude larger
+        // than the sequential pair.
+        Pipelined(Box<PipelinedEngine<Box<dyn gcs_compress::Compressor>>>),
     }
     impl Engine {
         fn exchange(&mut self, grads: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
@@ -175,7 +177,7 @@ pub fn train_threaded<T: Task + Sync>(
         let compressor = method.build().map_err(ExecError::from)?;
         let mut engine = match &cfg.pipeline {
             Some(pcfg) => {
-                Engine::Pipelined(PipelinedEngine::new(worker, compressor, pcfg.clone())?)
+                Engine::Pipelined(Box::new(PipelinedEngine::new(worker, compressor, pcfg.clone())?))
             }
             None => Engine::Sequential(worker, compressor),
         };

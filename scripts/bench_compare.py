@@ -36,7 +36,9 @@ import sys
 # dropping one engine's breakdown must fail the structure gate, and its
 # `encode_ms`/`comm_ms`/`decode_ms`/`exposed_wait_ms` fields ride the same
 # >20% regression policy as every other timing field.
-COARSE_KEYS = ("kernel", "method", "scheme", "regime", "engine")
+# `transport` separates rows measured over different backends (sim vs
+# tcp): a Sim row must never gate against a TCP row of the same method.
+COARSE_KEYS = ("kernel", "method", "scheme", "regime", "engine", "transport")
 FINE_KEYS = ("p", "m", "k", "n", "bucket_bytes", "workers", "gbps", "latency_us")
 
 # Wall-clock fields that depend on the machine running the bench (the

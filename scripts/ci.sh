@@ -71,6 +71,51 @@ GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test fault_in
 echo "==> fault suite (seed 271828)"
 GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test fault_injection
 
+# Backend-agnostic transport semantics (same workload on SimCluster and
+# TcpCluster through the Transport trait) and the TCP-vs-sim bitexact
+# gate, each under the same two seeds.
+echo "==> transport trait suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test transport_trait
+
+echo "==> transport trait suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test transport_trait
+
+echo "==> transport bitexact suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-ddp --test transport_bitexact
+
+echo "==> transport bitexact suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-ddp --test transport_bitexact
+
+# Multi-process smoke: one orchestrator + two workers as REAL OS
+# processes over loopback. The orchestrator verifies every worker's
+# digest against the in-process SimCluster reference and exits non-zero
+# on any mismatch; `timeout` guards the whole choreography because the
+# failure mode of a control/data-plane bug is a hang.
+echo "==> multi-process smoke (orchestrator + 2 workers on loopback)"
+GRADCOMP=./target/release/gradcomp-cli
+MP_DIR=$(mktemp -d)
+trap 'rm -rf "$MP_DIR"' EXIT
+timeout 120 "$GRADCOMP" orchestrator --world 2 --method topk:0.2 --steps 3 \
+  --addr-file "$MP_DIR/orch.addr" > "$MP_DIR/orch.out" 2>&1 &
+ORCH_PID=$!
+for _ in $(seq 1 200); do
+  [ -f "$MP_DIR/orch.addr" ] && break
+  sleep 0.05
+done
+[ -f "$MP_DIR/orch.addr" ] || { echo "orchestrator never published its address"; exit 1; }
+ORCH_ADDR=$(cat "$MP_DIR/orch.addr")
+timeout 120 "$GRADCOMP" worker --orchestrator "$ORCH_ADDR" > "$MP_DIR/w0.out" 2>&1 &
+W0_PID=$!
+timeout 120 "$GRADCOMP" worker --orchestrator "$ORCH_ADDR" > "$MP_DIR/w1.out" 2>&1 &
+W1_PID=$!
+wait "$ORCH_PID" "$W0_PID" "$W1_PID" || {
+  echo "multi-process smoke failed:"; cat "$MP_DIR"/*.out; exit 1;
+}
+grep -q "bit-identical to the sim reference" "$MP_DIR/orch.out" || {
+  echo "orchestrator did not verify:"; cat "$MP_DIR/orch.out"; exit 1;
+}
+cat "$MP_DIR/orch.out"
+
 # The adaptive controller under the same two fault seeds: delay-injected
 # links must steer the measured-mode controller toward compression, and
 # the steering must reproduce per seed (see adaptive_faults.rs).
@@ -98,5 +143,13 @@ echo "==> bench smoke (straggler)"
 GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_straggler_smoke.json \
   timeout 300 cargo run -q --release -p gcs-bench --bin straggler
 python3 scripts/bench_compare.py BENCH_straggler.json results/bench_straggler_smoke.json
+
+# Transport bench: sim vs tcp rows carry a `transport` identity key so
+# the gate never diffs a channel row against a socket row; the bench
+# itself asserts cross-backend bit-identity every iteration.
+echo "==> bench smoke (transport)"
+GCS_BENCH_SMOKE=1 GCS_BENCH_OUT=results/bench_transport_smoke.json \
+  timeout 300 cargo run -q --release -p gcs-bench --bin transport
+python3 scripts/bench_compare.py BENCH_transport.json results/bench_transport_smoke.json
 
 echo "CI OK"
