@@ -1,6 +1,6 @@
 //! # gcs-analyze — static verification layer
 //!
-//! Two passes that turn the repo's correctness assumptions into
+//! Five passes that turn the repo's correctness assumptions into
 //! machine-checked invariants before anything runs:
 //!
 //! **Pass 1 — schedule verifier** ([`verify`], [`schedules`], [`ir`]):
@@ -20,16 +20,40 @@
 //! Rust scanner enforcing that `unsafe` stays inside the SIMD allowlist
 //! and carries `// SAFETY:` comments, that data-plane code never
 //! panics where it should propagate `Result`s, that raw f32 accumulation
-//! loops route through `gcs_tensor::kernels`, and that panic-free crates
-//! declare `#![forbid(unsafe_code)]`.
+//! loops route through `gcs_tensor::kernels`, that `Ordering::Relaxed`
+//! stays inside its allowlist with `// SYNC:` justifications, and that
+//! panic-free crates declare `#![forbid(unsafe_code)]`.
 //!
-//! Both passes run in CI via `gradcomp analyze --all` and fail the build
-//! on violations; [`report`] renders `results/analyze_report.json`.
+//! **Pass 3 — thread race checker** ([`threads`]): the threaded runtime
+//! (kernel pool join, CommEngine poison slot, streaming window, adaptive
+//! broadcast, TCP reader threads) lifted into a thread/event IR and
+//! explored exhaustively on small configs; unordered conflicting access
+//! pairs, deadlocks, and lost wakeups are typed findings, with a
+//! vector-clock + lockset scan as the second opinion and source anchors
+//! guarding against model drift.
+//!
+//! **Pass 4 — protocol state machines** ([`protocol`]): the TCP Hello
+//! handshake, adaptive decision protocol, and streaming FIFO window as
+//! explicit state machines, proved free of deadlock, double-accept,
+//! decision divergence, and out-of-window completion — with mutant
+//! machines as seeded negatives.
+//!
+//! **Pass 5 — deterministic wire fuzz** ([`fuzz`]): a SplitMix64-seeded
+//! structured fuzzer over `gcs_cluster::wire` headers/frames and
+//! `Payload::from_bytes` for all 15 registry methods; every mutation must
+//! yield a typed `Wire`/`Protocol` error, never a panic.
+//!
+//! All passes run in CI via `gradcomp analyze --all` and fail the build
+//! on violations; [`report`] renders `results/analyze_report.json`
+//! (schema v2, stable key order).
 
 #![forbid(unsafe_code)]
 
+pub mod fuzz;
 pub mod ir;
 pub mod lint;
+pub mod protocol;
 pub mod report;
 pub mod schedules;
+pub mod threads;
 pub mod verify;

@@ -19,6 +19,11 @@
 //!   association order and dispatches SIMD).
 //! - `missing-forbid-unsafe` — crates that need no unsafe must say so
 //!   with `#![forbid(unsafe_code)]`.
+//! - `relaxed-atomic-ordering` — `Ordering::Relaxed` atomics only in
+//!   allowlisted files (the pool band cursor is the only sanctioned
+//!   site), and every allowlisted use needs a `// SYNC:` comment naming
+//!   the ordering argument; everything else synchronizes with `SeqCst`
+//!   or stronger so the Pass 3 happens-before models stay faithful.
 //!
 //! A site can be exempted explicitly with a
 //! `// lint: allow(<rule>)` comment on the same or previous line;
@@ -73,8 +78,9 @@ impl LintReport {
 }
 
 /// Crates whose `src/lib.rs` must carry `#![forbid(unsafe_code)]`.
-const FORBID_UNSAFE_CRATES: &[&str] =
-    &["core", "compress", "cluster", "ddp", "models", "train", "cli", "analyze"];
+const FORBID_UNSAFE_CRATES: &[&str] = &[
+    "core", "compress", "cluster", "ddp", "models", "train", "cli", "analyze",
+];
 
 /// Crates whose `src/` is data-plane code (panic/accumulation rules).
 const DATA_PLANE_CRATES: &[&str] = &["cluster", "ddp", "compress"];
@@ -84,6 +90,12 @@ const RULE_UNSAFE_SAFETY: &str = "unsafe-missing-safety-comment";
 const RULE_PANIC: &str = "panic-in-data-plane";
 const RULE_ACCUM: &str = "raw-f32-accumulation";
 const RULE_FORBID: &str = "missing-forbid-unsafe";
+const RULE_RELAXED: &str = "relaxed-atomic-ordering";
+
+/// Files sanctioned to use `Ordering::Relaxed`: only the pool band
+/// cursor, whose claims are made publication-safe by the job mutex +
+/// condvar join (verified by the Pass 3 model).
+const RELAXED_ALLOWLIST: &[&str] = &["crates/tensor/src/pool.rs"];
 
 /// Lint every Rust source under `root` (a workspace checkout).
 pub fn run_lint(root: &Path) -> io::Result<LintReport> {
@@ -102,9 +114,9 @@ pub fn run_lint(root: &Path) -> io::Result<LintReport> {
         report.files_scanned += 1;
     }
     check_forbid_unsafe(root, &mut report)?;
-    report.violations.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }
 
@@ -148,10 +160,19 @@ fn lint_file(rel: &str, text: &str, report: &mut LintReport) {
     let scan = lex(text);
     let in_test_file = rel.split('/').any(|c| c == "tests" || c == "benches");
     rule_unsafe(rel, &scan, report);
+    if !in_test_file {
+        rule_relaxed(rel, &scan, report);
+    }
     if is_data_plane_src(rel) && !in_test_file {
         rule_panic(rel, &scan, report);
         rule_accumulation(rel, &scan, report);
     }
+}
+
+/// Count whole-token occurrences of `ident` in source text (comments and
+/// string contents excluded) — the thread pass's model-drift anchors.
+pub(crate) fn ident_count(text: &str, ident: &str) -> usize {
+    lex(text).tokens.iter().filter(|t| t.text == ident).count()
 }
 
 fn is_data_plane_src(rel: &str) -> bool {
@@ -229,15 +250,84 @@ fn rule_unsafe(rel: &str, scan: &Scan, report: &mut LintReport) {
     }
 }
 
+/// `Ordering::Relaxed` (token sequence `Ordering :: Relaxed`, which also
+/// catches `use ...::Ordering::Relaxed` imports) is flagged outside the
+/// allowlist; allowlisted uses must carry a `// SYNC:` comment the same
+/// way `unsafe` carries `// SAFETY:`.
+fn rule_relaxed(rel: &str, scan: &Scan, report: &mut LintReport) {
+    let t = &scan.tokens;
+    for i in 0..t.len() {
+        if t[i].in_test || t[i].text != "Ordering" {
+            continue;
+        }
+        let seq = t.get(i + 1).is_some_and(|x| x.text == ":")
+            && t.get(i + 2).is_some_and(|x| x.text == ":")
+            && t.get(i + 3).is_some_and(|x| x.text == "Relaxed");
+        if !seq {
+            continue;
+        }
+        let line = t[i].line;
+        if !RELAXED_ALLOWLIST.contains(&rel) {
+            push(
+                report,
+                scan,
+                rel,
+                line,
+                RULE_RELAXED,
+                "`Ordering::Relaxed` outside the pool band-cursor allowlist; use SeqCst (or add the file to the allowlist with a Pass 3 model)".into(),
+            );
+        } else if !has_marker_comment(scan, statement_start(scan, line), "SYNC:") {
+            push(
+                report,
+                scan,
+                rel,
+                line,
+                RULE_RELAXED,
+                "allowlisted `Ordering::Relaxed` without a `// SYNC:` comment justifying the ordering".into(),
+            );
+        }
+    }
+}
+
+/// Walks up from `line` to the first line of its enclosing statement, so
+/// a justification comment above a rustfmt-wrapped method chain (e.g.
+/// `self.next\n    .fetch_update(Ordering::Relaxed, ...)`) still counts.
+/// A line is a continuation when the line above it is code that does not
+/// end in `;`, `{`, `}` or `,`.
+fn statement_start(scan: &Scan, line: usize) -> usize {
+    let mut ln = line;
+    while ln > 1 {
+        let above = scan
+            .lines
+            .get(ln - 2)
+            .map(String::as_str)
+            .unwrap_or("")
+            .trim();
+        let boundary = above.is_empty()
+            || above.starts_with("//")
+            || above.starts_with("#[")
+            || above.ends_with(';')
+            || above.ends_with('{')
+            || above.ends_with('}')
+            || above.ends_with(',');
+        if boundary {
+            break;
+        }
+        ln -= 1;
+    }
+    ln
+}
+
 /// A `SAFETY:` comment counts if it sits on the `unsafe` line itself or
 /// anywhere in the contiguous run of comment / attribute / blank lines
 /// directly above it.
 fn has_safety_comment(scan: &Scan, line: usize) -> bool {
-    let contains = |ln: usize| {
-        scan.comments
-            .get(&ln)
-            .is_some_and(|c| c.contains("SAFETY:"))
-    };
+    has_marker_comment(scan, line, "SAFETY:")
+}
+
+/// Shared marker-comment scan for `// SAFETY:` / `// SYNC:` style rules.
+fn has_marker_comment(scan: &Scan, line: usize, marker: &str) -> bool {
+    let contains = |ln: usize| scan.comments.get(&ln).is_some_and(|c| c.contains(marker));
     if contains(line) {
         return true;
     }
@@ -578,9 +668,7 @@ fn lex(text: &str) -> Scan {
                 let ch = chars[i];
                 if ch.is_alphanumeric() || ch == '_' {
                     i += 1;
-                } else if ch == '.'
-                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                } else if ch == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     i += 1;
                 } else {
                     break;
@@ -746,7 +834,8 @@ fn hot() {
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, "unsafe-missing-safety-comment");
 
-        let commented = "// SAFETY: caller checked the CPU feature.\nfn f() { unsafe { do_it() } }\n";
+        let commented =
+            "// SAFETY: caller checked the CPU feature.\nfn f() { unsafe { do_it() } }\n";
         let r = scan_rules("crates/tensor/src/kernels/avx2.rs", commented);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
 
@@ -803,6 +892,53 @@ const E: char = '\u{1F600}';
 "##;
         let r = scan_rules("crates/cluster/src/foo.rs", src);
         assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn relaxed_ordering_outside_allowlist_flagged() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn hot(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let r = scan_rules("crates/cluster/src/foo.rs", src);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.rule == "relaxed-atomic-ordering"),
+            "{:?}",
+            r.violations
+        );
+        // SeqCst is fine anywhere.
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn hot(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n";
+        let r = scan_rules("crates/cluster/src/foo.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn allowlisted_relaxed_needs_sync_comment() {
+        let bare = "fn claim(c: &AtomicUsize) { c.load(Ordering::Relaxed); }\n";
+        let r = scan_rules("crates/tensor/src/pool.rs", bare);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].message.contains("SYNC:"));
+
+        let commented =
+            "// SYNC: cursor claims are CAS-unique; results publish via the job mutex.\nfn claim(c: &AtomicUsize) { c.load(Ordering::Relaxed); }\n";
+        let r = scan_rules("crates/tensor/src/pool.rs", commented);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn relaxed_in_test_regions_and_test_files_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::Ordering;\n    #[test]\n    fn t() { X.load(Ordering::Relaxed); }\n}\n";
+        let r = scan_rules("crates/cluster/src/foo.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        let src = "fn t() { X.load(Ordering::Relaxed); }\n";
+        let r = scan_rules("crates/cluster/tests/foo.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn ident_count_skips_comments_and_strings() {
+        let src = "// fetch_update in a comment\nconst S: &str = \"fetch_update\";\nfn f() { x.fetch_update(a, b, c); }\n";
+        assert_eq!(ident_count(src, "fetch_update"), 1);
+        assert_eq!(ident_count(src, "missing_ident"), 0);
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! Pass 4 — protocol state machines.
+//!
+//! Three distributed protocols in the runtime are small enough to verify
+//! outright by explicit-state exploration:
+//!
+//! * the **TCP Hello handshake** (`TcpCluster::build`): every rank dials
+//!   its lower peers and accepts its higher ones, validating the Hello
+//!   frame's source rank and rejecting duplicates. Verified properties:
+//!   every interleaving of dials and deliveries reaches the full mesh
+//!   (deadlock freedom), no peer slot is accepted twice even under
+//!   retransmitted/forged Hellos (no double-accept).
+//! * the **adaptive decision protocol** (`AdaptiveEngine`): rank 0
+//!   decides and *always* broadcasts; followers apply exactly what they
+//!   receive, in order. Verified: follower assignment sequences are
+//!   always a prefix of rank 0's, and every run converges with identical
+//!   assignments (no decision divergence).
+//! * the **streaming FIFO-completion window**
+//!   (`PipelinedEngine::exchange_streaming`): at most `window` chunks in
+//!   flight, completions consumed strictly front-first. Verified: the
+//!   in-flight bound holds in every reachable state and completions are
+//!   observed in submission order (no out-of-window completion).
+//!
+//! Each machine has mutant variants (duplicate-accepting handshake,
+//! skip-empty-broadcast / decide-locally followers, unbounded or
+//! newest-first window) used as seeded negatives: the pass must reject
+//! them, and `gradcomp analyze --inject double-accept` wires one into the
+//! CLI to prove the gate exits non-zero.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A typed finding from the protocol pass.
+#[derive(Clone, Debug)]
+pub struct ProtocolFinding {
+    pub machine: String,
+    /// `invariant-violation`, `deadlock`, or `state-explosion`.
+    pub kind: String,
+    pub detail: String,
+}
+
+/// An explicit-state protocol machine.
+pub trait Machine {
+    type State: Clone + Eq + Hash + std::fmt::Debug;
+    fn name(&self) -> String;
+    fn init(&self) -> Self::State;
+    /// All successor states (one per enabled protocol event).
+    fn successors(&self, s: &Self::State) -> Vec<Self::State>;
+    /// `Some(description)` when the state violates a safety invariant.
+    fn invariant(&self, s: &Self::State) -> Option<String>;
+    /// Whether a state with no successors is an acceptable terminal.
+    fn accepting(&self, s: &Self::State) -> bool;
+}
+
+/// Per-machine exploration outcome.
+#[derive(Clone, Debug)]
+pub struct MachineResult {
+    pub machine: String,
+    pub states: usize,
+    pub findings: Vec<ProtocolFinding>,
+}
+
+const MAX_STATES: usize = 1 << 20;
+/// Cap per machine so a badly broken mutant doesn't flood the report.
+const MAX_FINDINGS: usize = 4;
+
+/// Breadth-first exploration of every reachable state of `m`.
+pub fn explore<M: Machine>(m: &M) -> MachineResult {
+    let name = m.name();
+    let mut findings = Vec::new();
+    let mut seen: HashSet<M::State> = HashSet::new();
+    let mut queue: VecDeque<M::State> = VecDeque::new();
+    let init = m.init();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    let mut deadlock_reported = false;
+
+    while let Some(s) = queue.pop_front() {
+        if seen.len() > MAX_STATES {
+            findings.push(ProtocolFinding {
+                machine: name.clone(),
+                kind: "state-explosion".into(),
+                detail: format!("exceeded {MAX_STATES} states"),
+            });
+            break;
+        }
+        if findings.len() < MAX_FINDINGS {
+            if let Some(v) = m.invariant(&s) {
+                findings.push(ProtocolFinding {
+                    machine: name.clone(),
+                    kind: "invariant-violation".into(),
+                    detail: v,
+                });
+            }
+        }
+        let succ = m.successors(&s);
+        if succ.is_empty() && !m.accepting(&s) && !deadlock_reported {
+            deadlock_reported = true;
+            findings.push(ProtocolFinding {
+                machine: name.clone(),
+                kind: "deadlock".into(),
+                detail: format!("non-accepting terminal state: {s:?}"),
+            });
+        }
+        for n in succ {
+            if seen.insert(n.clone()) {
+                queue.push_back(n);
+            }
+        }
+    }
+    MachineResult {
+        machine: name,
+        states: seen.len(),
+        findings,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine 1: TCP Hello handshake.
+// ---------------------------------------------------------------------------
+
+/// Dial-lower/accept-higher mesh handshake, with `forged` retransmitted
+/// and out-of-range Hello frames injected adversarially.
+pub struct HelloMesh {
+    pub p: usize,
+    /// Mutant: drop the duplicate-Hello guard (the real accept loop
+    /// rejects a Hello for a slot that is already connected).
+    pub mutant_double_accept: bool,
+    /// Inject a retransmitted duplicate Hello (p-1 → 0) and one
+    /// out-of-range Hello (src == dst).
+    pub forged: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HelloState {
+    /// Per rank: how many of its lower peers it has dialed so far.
+    dialed: Vec<u8>,
+    /// In-flight Hello frames, kept sorted so the state hashes canonically.
+    inflight: Vec<(u8, u8)>,
+    /// `accepted[dst][src]`: how many Hellos `dst` accepted from `src`.
+    accepted: Vec<Vec<u8>>,
+    /// Forged frames still to inject: (duplicate, out-of-range).
+    forge_budget: (u8, u8),
+    rejected: u8,
+}
+
+impl HelloMesh {
+    fn deliver(&self, s: &HelloState, idx: usize) -> HelloState {
+        let mut n = s.clone();
+        let (src, dst) = n.inflight.remove(idx);
+        let (src_us, dst_us) = (src as usize, dst as usize);
+        // Mirrors TcpWorker::build's accept-side validation.
+        if src_us <= dst_us || src_us >= self.p {
+            n.rejected += 1;
+        } else if n.accepted[dst_us][src_us] >= 1 && !self.mutant_double_accept {
+            // Duplicate Hello for an already-connected slot.
+            n.rejected += 1;
+        } else {
+            n.accepted[dst_us][src_us] += 1;
+        }
+        n
+    }
+
+    fn push_inflight(s: &mut HelloState, frame: (u8, u8)) {
+        s.inflight.push(frame);
+        s.inflight.sort_unstable();
+    }
+}
+
+impl Machine for HelloMesh {
+    type State = HelloState;
+
+    fn name(&self) -> String {
+        format!(
+            "hello-handshake/p{}{}{}",
+            self.p,
+            if self.forged { "+forged" } else { "" },
+            if self.mutant_double_accept {
+                "+mutant-double-accept"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn init(&self) -> HelloState {
+        HelloState {
+            dialed: vec![0; self.p],
+            inflight: Vec::new(),
+            accepted: vec![vec![0; self.p]; self.p],
+            forge_budget: if self.forged { (1, 1) } else { (0, 0) },
+            rejected: 0,
+        }
+    }
+
+    fn successors(&self, s: &HelloState) -> Vec<HelloState> {
+        let mut out = Vec::new();
+        // A rank dials its next lower peer, sending its Hello.
+        for rank in 1..self.p {
+            if (s.dialed[rank] as usize) < rank {
+                let mut n = s.clone();
+                let peer = n.dialed[rank];
+                n.dialed[rank] += 1;
+                Self::push_inflight(&mut n, (rank as u8, peer));
+                out.push(n);
+            }
+        }
+        // Any in-flight Hello is delivered (network reordering is free).
+        for idx in 0..s.inflight.len() {
+            if idx > 0 && s.inflight[idx] == s.inflight[idx - 1] {
+                continue; // identical frame, identical successor
+            }
+            out.push(self.deliver(s, idx));
+        }
+        // Adversarial injections: a retransmitted duplicate of the real
+        // (p-1 → 0) Hello, and an out-of-range Hello with src == dst.
+        if s.forge_budget.0 > 0 {
+            let mut n = s.clone();
+            n.forge_budget.0 -= 1;
+            Self::push_inflight(&mut n, ((self.p - 1) as u8, 0));
+            out.push(n);
+        }
+        if s.forge_budget.1 > 0 {
+            let mut n = s.clone();
+            n.forge_budget.1 -= 1;
+            Self::push_inflight(&mut n, (0, 0));
+            out.push(n);
+        }
+        out
+    }
+
+    fn invariant(&self, s: &HelloState) -> Option<String> {
+        for dst in 0..self.p {
+            for src in 0..self.p {
+                if s.accepted[dst][src] > 1 {
+                    return Some(format!(
+                        "double-accept: rank {dst} accepted {} Hellos from rank {src}",
+                        s.accepted[dst][src]
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    fn accepting(&self, s: &HelloState) -> bool {
+        // Full mesh: every higher rank accepted by every lower rank,
+        // nothing left in flight, forged frames all injected + rejected.
+        s.inflight.is_empty()
+            && s.forge_budget == (0, 0)
+            && (1..self.p).all(|rank| s.dialed[rank] as usize == rank)
+            && (0..self.p).all(|dst| (dst + 1..self.p).all(|src| s.accepted[dst][src] == 1))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine 2: adaptive decision protocol.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionVariant {
+    /// Rank 0 always broadcasts; followers apply received decisions FIFO.
+    Real,
+    /// Mutant: rank 0 skips the broadcast when the decision is unchanged.
+    SkipEmptyBroadcast,
+    /// Mutant: a follower ignores the wire and decides locally.
+    DecideLocally,
+}
+
+/// The decision value per round; round 1 repeats round 0 on purpose so
+/// the skip-empty-broadcast mutant has something to skip.
+const DECISIONS: [u8; 3] = [1, 1, 2];
+
+pub struct DecisionProtocol {
+    pub p: usize,
+    pub variant: DecisionVariant,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DecState {
+    /// Rounds completed by rank 0.
+    r0_round: u8,
+    /// Per follower: FIFO of broadcast decisions not yet applied.
+    queues: Vec<Vec<u8>>,
+    /// Per rank (index 0 = rank 0): applied decision sequence.
+    applied: Vec<Vec<u8>>,
+}
+
+impl Machine for DecisionProtocol {
+    type State = DecState;
+
+    fn name(&self) -> String {
+        format!("adaptive-decisions/p{}/{:?}", self.p, self.variant)
+    }
+
+    fn init(&self) -> DecState {
+        DecState {
+            r0_round: 0,
+            queues: vec![Vec::new(); self.p - 1],
+            applied: vec![Vec::new(); self.p],
+        }
+    }
+
+    fn successors(&self, s: &DecState) -> Vec<DecState> {
+        let mut out = Vec::new();
+        // Rank 0 finishes a round: decide, apply locally, broadcast.
+        if (s.r0_round as usize) < DECISIONS.len() {
+            let r = s.r0_round as usize;
+            let d = DECISIONS[r];
+            let mut n = s.clone();
+            n.r0_round += 1;
+            n.applied[0].push(d);
+            let skip = self.variant == DecisionVariant::SkipEmptyBroadcast
+                && r > 0
+                && d == DECISIONS[r - 1];
+            if !skip {
+                for q in &mut n.queues {
+                    q.push(d);
+                }
+            }
+            out.push(n);
+        }
+        // A follower applies the next queued decision.
+        for f in 0..self.p - 1 {
+            if !s.queues[f].is_empty() {
+                let mut n = s.clone();
+                let d = n.queues[f].remove(0);
+                let local_guess = (n.applied[f + 1].len() as u8) % 2;
+                n.applied[f + 1].push(if self.variant == DecisionVariant::DecideLocally {
+                    local_guess
+                } else {
+                    d
+                });
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &DecState) -> Option<String> {
+        // Divergence check: every follower's applied sequence must be a
+        // prefix of rank 0's.
+        for f in 1..self.p {
+            let (fs, r0) = (&s.applied[f], &s.applied[0]);
+            if fs.len() > r0.len() || fs[..] != r0[..fs.len()] {
+                return Some(format!(
+                    "decision divergence: rank {f} applied {fs:?} but rank 0 decided {r0:?}"
+                ));
+            }
+        }
+        None
+    }
+
+    fn accepting(&self, s: &DecState) -> bool {
+        s.r0_round as usize == DECISIONS.len()
+            && s.queues.iter().all(Vec::is_empty)
+            && s.applied.iter().all(|a| a[..] == DECISIONS[..])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine 3: streaming FIFO-completion window.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamVariant {
+    /// Submit only below the window bound; complete strictly front-first.
+    Real,
+    /// Mutant: no in-flight bound.
+    NoWindowCheck,
+    /// Mutant: completions consumed newest-first.
+    PopNewest,
+}
+
+pub struct StreamWindow {
+    pub chunks: usize,
+    pub window: usize,
+    pub variant: StreamVariant,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StreamState {
+    next_submit: u8,
+    /// In-flight chunks in submission order; `true` once the comm thread
+    /// has finished its collective.
+    inflight: Vec<(u8, bool)>,
+    /// Chunk ids in the order the engine observed their completion.
+    completed: Vec<u8>,
+}
+
+impl Machine for StreamWindow {
+    type State = StreamState;
+
+    fn name(&self) -> String {
+        format!(
+            "streaming-window/chunks{}-w{}/{:?}",
+            self.chunks, self.window, self.variant
+        )
+    }
+
+    fn init(&self) -> StreamState {
+        StreamState {
+            next_submit: 0,
+            inflight: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn successors(&self, s: &StreamState) -> Vec<StreamState> {
+        let mut out = Vec::new();
+        // Engine submits the next chunk.
+        let below_window =
+            s.inflight.len() < self.window || self.variant == StreamVariant::NoWindowCheck;
+        if (s.next_submit as usize) < self.chunks && below_window {
+            let mut n = s.clone();
+            n.inflight.push((n.next_submit, false));
+            n.next_submit += 1;
+            out.push(n);
+        }
+        // Comm thread finishes the oldest unfinished collective (the job
+        // channel is FIFO).
+        if let Some(idx) = s.inflight.iter().position(|&(_, done)| !done) {
+            let mut n = s.clone();
+            n.inflight[idx].1 = true;
+            out.push(n);
+        }
+        // Engine consumes a completion.
+        match self.variant {
+            StreamVariant::PopNewest => {
+                if let Some(idx) = s.inflight.iter().rposition(|&(_, done)| done) {
+                    let mut n = s.clone();
+                    let (id, _) = n.inflight.remove(idx);
+                    n.completed.push(id);
+                    out.push(n);
+                }
+            }
+            _ => {
+                if s.inflight.first().is_some_and(|&(_, done)| done) {
+                    let mut n = s.clone();
+                    let (id, _) = n.inflight.remove(0);
+                    n.completed.push(id);
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &StreamState) -> Option<String> {
+        if s.inflight.len() > self.window {
+            return Some(format!(
+                "window overflow: {} chunks in flight, bound is {}",
+                s.inflight.len(),
+                self.window
+            ));
+        }
+        if s.completed.windows(2).any(|w| w[0] >= w[1]) {
+            return Some(format!(
+                "out-of-window completion: observed order {:?} is not the submission order",
+                s.completed
+            ));
+        }
+        None
+    }
+
+    fn accepting(&self, s: &StreamState) -> bool {
+        s.next_submit as usize == self.chunks
+            && s.inflight.is_empty()
+            && s.completed.len() == self.chunks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass plumbing.
+// ---------------------------------------------------------------------------
+
+/// Report for the whole pass.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolPassReport {
+    pub machines_checked: usize,
+    pub states_explored: usize,
+    pub findings: Vec<ProtocolFinding>,
+    pub machines: Vec<String>,
+}
+
+impl ProtocolPassReport {
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn absorb(&mut self, mut r: MachineResult) {
+        self.machines_checked += 1;
+        self.states_explored += r.states;
+        self.machines.push(r.machine.clone());
+        self.findings.append(&mut r.findings);
+    }
+}
+
+/// Pass 4 entry point: explore the real machines (including adversarial
+/// forged-Hello inputs) at every small config.
+pub fn run_protocol_pass() -> ProtocolPassReport {
+    let mut report = ProtocolPassReport::default();
+    for p in [2usize, 3, 4] {
+        for forged in [false, true] {
+            report.absorb(explore(&HelloMesh {
+                p,
+                mutant_double_accept: false,
+                forged,
+            }));
+        }
+        report.absorb(explore(&DecisionProtocol {
+            p,
+            variant: DecisionVariant::Real,
+        }));
+    }
+    for chunks in [2usize, 3] {
+        for window in [1usize, 2] {
+            report.absorb(explore(&StreamWindow {
+                chunks,
+                window,
+                variant: StreamVariant::Real,
+            }));
+        }
+    }
+    report
+}
+
+/// Seeded mutants: every machine here must produce at least one finding;
+/// a mutant that slips through clean is itself reported, so this report
+/// is never `ok()` while the checker has teeth.
+pub fn run_protocol_mutants() -> ProtocolPassReport {
+    let mut report = ProtocolPassReport::default();
+    let before = |r: &ProtocolPassReport| r.findings.len();
+    let mut checked_rejected = Vec::new();
+
+    let mut run = |report: &mut ProtocolPassReport, result: MachineResult| {
+        let n = before(report);
+        let name = result.machine.clone();
+        report.absorb(result);
+        checked_rejected.push((name, before(report) > n));
+    };
+
+    run(
+        &mut report,
+        explore(&HelloMesh {
+            p: 3,
+            mutant_double_accept: true,
+            forged: true,
+        }),
+    );
+    run(
+        &mut report,
+        explore(&DecisionProtocol {
+            p: 2,
+            variant: DecisionVariant::SkipEmptyBroadcast,
+        }),
+    );
+    run(
+        &mut report,
+        explore(&DecisionProtocol {
+            p: 3,
+            variant: DecisionVariant::DecideLocally,
+        }),
+    );
+    run(
+        &mut report,
+        explore(&StreamWindow {
+            chunks: 3,
+            window: 1,
+            variant: StreamVariant::NoWindowCheck,
+        }),
+    );
+    run(
+        &mut report,
+        explore(&StreamWindow {
+            chunks: 3,
+            window: 2,
+            variant: StreamVariant::PopNewest,
+        }),
+    );
+
+    for (name, rejected) in checked_rejected {
+        if !rejected {
+            report.findings.push(ProtocolFinding {
+                machine: name.clone(),
+                kind: "invariant-violation".into(),
+                detail: format!(
+                    "mutant machine `{name}` was NOT rejected — checker lost its teeth"
+                ),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_machines_verify_clean() {
+        let report = run_protocol_pass();
+        assert!(
+            report.ok(),
+            "real protocol machines must verify: {:#?}",
+            report.findings
+        );
+        assert!(report.machines_checked >= 13);
+        assert!(report.states_explored > 500);
+    }
+
+    #[test]
+    fn forged_hellos_are_rejected_not_accepted() {
+        // The real handshake with forged frames still reaches the full
+        // mesh and never double-accepts.
+        let r = explore(&HelloMesh {
+            p: 4,
+            mutant_double_accept: false,
+            forged: true,
+        });
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn double_accept_mutant_is_rejected() {
+        let r = explore(&HelloMesh {
+            p: 3,
+            mutant_double_accept: true,
+            forged: true,
+        });
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.kind == "invariant-violation" && f.detail.contains("double-accept")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn skip_empty_broadcast_mutant_diverges_or_deadlocks() {
+        let r = explore(&DecisionProtocol {
+            p: 2,
+            variant: DecisionVariant::SkipEmptyBroadcast,
+        });
+        assert!(!r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn decide_locally_mutant_diverges() {
+        let r = explore(&DecisionProtocol {
+            p: 3,
+            variant: DecisionVariant::DecideLocally,
+        });
+        assert!(
+            r.findings.iter().any(|f| f.detail.contains("divergence")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn unbounded_window_mutant_overflows() {
+        let r = explore(&StreamWindow {
+            chunks: 3,
+            window: 1,
+            variant: StreamVariant::NoWindowCheck,
+        });
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.detail.contains("window overflow")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn newest_first_mutant_breaks_fifo() {
+        let r = explore(&StreamWindow {
+            chunks: 3,
+            window: 2,
+            variant: StreamVariant::PopNewest,
+        });
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.detail.contains("out-of-window")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn mutant_suite_always_reports() {
+        let report = run_protocol_mutants();
+        assert!(!report.ok());
+        assert_eq!(report.machines_checked, 5);
+    }
+}

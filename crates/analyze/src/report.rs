@@ -4,14 +4,27 @@
 //! including every dead-rank subset of size ≤ 2 for the `*_among`
 //! collectives, and cross-validates the canonical-order deadlock check
 //! with exhaustive interleaving search on small configurations.
-//! `to_json` renders both passes into the `results/analyze_report.json`
-//! shape CI consumes.
+//! `to_json` renders all five passes into the
+//! `results/analyze_report.json` shape CI consumes: a fixed
+//! [`SCHEMA_VERSION`] plus deterministic key and pass ordering, so the
+//! tracked report diffs stay reviewable.
 
+use crate::fuzz::FuzzPassReport;
 use crate::lint::LintReport;
+use crate::protocol::ProtocolPassReport;
 use crate::schedules;
+use crate::threads::ThreadPassReport;
 use crate::verify::{check_deadlock_exhaustive, verify_schedule};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
+
+/// Version of the `results/analyze_report.json` document. Bump on any
+/// key addition/removal/reorder; pinned by `crates/cli/tests/analyze_cli.rs`.
+///
+/// * v1 — PR 5: `schedule_verifier` + `workspace_lint`, no version field.
+/// * v2 — this PR: `schema_version` field, `thread_race_checker`,
+///   `protocol_machines`, and `wire_fuzz` passes, stable key order.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Aggregated outcome of the schedule-verification pass.
 #[derive(Debug, Clone, Default)]
@@ -36,10 +49,14 @@ impl SchedulePassReport {
     }
 
     fn record(&mut self, family: &str, result: crate::verify::VerifyResult) {
-        *self.configs_per_family.entry(family.to_string()).or_insert(0) += 1;
+        *self
+            .configs_per_family
+            .entry(family.to_string())
+            .or_insert(0) += 1;
         self.ops_executed += result.ops_executed;
         for v in result.violations {
-            self.violations.push((result.schedule.clone(), v.to_string()));
+            self.violations
+                .push((result.schedule.clone(), v.to_string()));
         }
     }
 }
@@ -80,7 +97,10 @@ pub fn run_schedule_pass() -> SchedulePassReport {
         // Ring all-reduce: an awkward length (remainder chunks) and a
         // length below p (empty chunks still travel as 0-byte frames).
         for n in [4 * p + 3, p - 1] {
-            rep.record("ring-all-reduce", verify_schedule(&schedules::ring_all_reduce(p, n)));
+            rep.record(
+                "ring-all-reduce",
+                verify_schedule(&schedules::ring_all_reduce(p, n)),
+            );
         }
         // Segmented/staggered ring.
         rep.record(
@@ -90,7 +110,10 @@ pub fn run_schedule_pass() -> SchedulePassReport {
         // Rabenseifner needs a power-of-two world.
         if p.is_power_of_two() {
             for n in [4 * p + 3, 7] {
-                rep.record("rabenseifner", verify_schedule(&schedules::rabenseifner(p, n)));
+                rep.record(
+                    "rabenseifner",
+                    verify_schedule(&schedules::rabenseifner(p, n)),
+                );
             }
         }
         // Hierarchical with several node widths, including ragged last
@@ -160,8 +183,7 @@ pub fn run_schedule_pass() -> SchedulePassReport {
         match check_deadlock_exhaustive(&sched, 2_000_000) {
             Ok(states) => {
                 rep.exhaustive_states += states;
-                *rep
-                    .configs_per_family
+                *rep.configs_per_family
                     .entry("exhaustive-cross-check".into())
                     .or_insert(0) += 1;
             }
@@ -171,14 +193,34 @@ pub fn run_schedule_pass() -> SchedulePassReport {
     rep
 }
 
-/// Render both passes as the `results/analyze_report.json` document.
-/// Either pass may be absent (the CLI can run them separately).
-pub fn to_json(
-    schedule: Option<&SchedulePassReport>,
-    lint: Option<&LintReport>,
-) -> Value {
+/// The five pass outcomes feeding one report; any subset may be present
+/// (the CLI can run passes separately).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeReports<'a> {
+    pub schedule: Option<&'a SchedulePassReport>,
+    pub lint: Option<&'a LintReport>,
+    pub threads: Option<&'a ThreadPassReport>,
+    pub protocols: Option<&'a ProtocolPassReport>,
+    pub fuzz: Option<&'a FuzzPassReport>,
+}
+
+impl AnalyzeReports<'_> {
+    pub fn ok(&self) -> bool {
+        self.schedule.is_none_or(SchedulePassReport::ok)
+            && self.lint.is_none_or(LintReport::ok)
+            && self.threads.is_none_or(ThreadPassReport::ok)
+            && self.protocols.is_none_or(ProtocolPassReport::ok)
+            && self.fuzz.is_none_or(FuzzPassReport::ok)
+    }
+}
+
+/// Render the passes as the `results/analyze_report.json` document.
+/// Key order is deterministic: top-level `tool`, `schema_version`, `ok`,
+/// `passes`, with passes in pipeline order (1→5) and fixed keys inside
+/// each pass, so report diffs are stable and reviewable.
+pub fn to_json(reports: &AnalyzeReports<'_>) -> Value {
     let mut passes: Vec<(String, Value)> = Vec::new();
-    if let Some(s) = schedule {
+    if let Some(s) = reports.schedule {
         let families: Vec<Value> = s
             .configs_per_family
             .iter()
@@ -202,7 +244,7 @@ pub fn to_json(
             }),
         ));
     }
-    if let Some(l) = lint {
+    if let Some(l) = reports.lint {
         let violations: Vec<Value> = l
             .violations
             .iter()
@@ -232,22 +274,86 @@ pub fn to_json(
             }),
         ));
     }
-    let ok = schedule.is_none_or(SchedulePassReport::ok)
-        && lint.is_none_or(LintReport::ok);
+    if let Some(t) = reports.threads {
+        let findings: Vec<Value> = t
+            .findings
+            .iter()
+            .map(|f| json!({ "model": f.model, "kind": f.kind, "detail": f.detail }))
+            .collect();
+        let models: Vec<Value> = t.models.iter().map(|m| json!(m)).collect();
+        passes.push((
+            "thread_race_checker".to_string(),
+            json!({
+                "ok": t.ok(),
+                "models_checked": t.models_checked,
+                "states_explored": t.states_explored,
+                "finding_count": t.findings.len(),
+                "models": models,
+                "findings": findings,
+            }),
+        ));
+    }
+    if let Some(p) = reports.protocols {
+        let findings: Vec<Value> = p
+            .findings
+            .iter()
+            .map(|f| json!({ "machine": f.machine, "kind": f.kind, "detail": f.detail }))
+            .collect();
+        let machines: Vec<Value> = p.machines.iter().map(|m| json!(m)).collect();
+        passes.push((
+            "protocol_machines".to_string(),
+            json!({
+                "ok": p.ok(),
+                "machines_checked": p.machines_checked,
+                "states_explored": p.states_explored,
+                "finding_count": p.findings.len(),
+                "machines": machines,
+                "findings": findings,
+            }),
+        ));
+    }
+    if let Some(f) = reports.fuzz {
+        let targets: Vec<Value> = f
+            .stats
+            .iter()
+            .map(|s| {
+                json!({
+                    "target": s.target,
+                    "cases": s.cases,
+                    "accepted": s.accepted,
+                    "rejected": s.rejected,
+                })
+            })
+            .collect();
+        let findings: Vec<Value> = f
+            .findings
+            .iter()
+            .map(|v| json!({ "target": v.target, "case": v.case, "detail": v.detail }))
+            .collect();
+        passes.push((
+            "wire_fuzz".to_string(),
+            json!({
+                "ok": f.ok(),
+                "seed": f.seed,
+                "corpus_methods": f.corpus_methods,
+                "finding_count": f.findings.len(),
+                "targets": targets,
+                "findings": findings,
+            }),
+        ));
+    }
     json!({
         "tool": "gradcomp analyze",
-        "ok": ok,
+        "schema_version": SCHEMA_VERSION,
+        "ok": reports.ok(),
         "passes": Value::Object(passes),
     })
 }
 
 /// Human-readable one-screen summary for CLI output.
-pub fn render_text(
-    schedule: Option<&SchedulePassReport>,
-    lint: Option<&LintReport>,
-) -> String {
+pub fn render_text(reports: &AnalyzeReports<'_>) -> String {
     let mut out = String::new();
-    if let Some(s) = schedule {
+    if let Some(s) = reports.schedule {
         out.push_str(&format!(
             "schedule verifier: {} configs, {} ops simulated, {} exhaustive states — {}\n",
             s.configs_checked(),
@@ -262,7 +368,7 @@ pub fn render_text(
             out.push_str(&format!("  VIOLATION [{sched}]: {v}\n"));
         }
     }
-    if let Some(l) = lint {
+    if let Some(l) = reports.lint {
         out.push_str(&format!(
             "workspace lint: {} files — {}\n",
             l.files_scanned,
@@ -276,6 +382,51 @@ pub fn render_text(
         }
         for v in &l.violations {
             out.push_str(&format!("  VIOLATION {v}\n"));
+        }
+    }
+    if let Some(t) = reports.threads {
+        out.push_str(&format!(
+            "thread race checker: {} models, {} states — {}\n",
+            t.models_checked,
+            t.states_explored,
+            if t.ok() { "OK" } else { "FAILED" }
+        ));
+        for f in &t.findings {
+            out.push_str(&format!(
+                "  FINDING [{}] {}: {}\n",
+                f.model, f.kind, f.detail
+            ));
+        }
+    }
+    if let Some(p) = reports.protocols {
+        out.push_str(&format!(
+            "protocol machines: {} machines, {} states — {}\n",
+            p.machines_checked,
+            p.states_explored,
+            if p.ok() { "OK" } else { "FAILED" }
+        ));
+        for f in &p.findings {
+            out.push_str(&format!(
+                "  FINDING [{}] {}: {}\n",
+                f.machine, f.kind, f.detail
+            ));
+        }
+    }
+    if let Some(f) = reports.fuzz {
+        let cases: usize = f.stats.iter().map(|s| s.cases).sum();
+        out.push_str(&format!(
+            "wire fuzz: seed {:#x}, {} targets, {} cases, {} corpus methods — {}\n",
+            f.seed,
+            f.stats.len(),
+            cases,
+            f.corpus_methods,
+            if f.ok() { "OK" } else { "FAILED" }
+        ));
+        for v in &f.findings {
+            out.push_str(&format!(
+                "  FINDING [{} case {}]: {}\n",
+                v.target, v.case, v.detail
+            ));
         }
     }
     out
@@ -329,13 +480,54 @@ mod tests {
     }
 
     #[test]
-    fn json_shape_has_both_passes() {
+    fn json_shape_has_all_passes_in_order() {
         let sched = run_schedule_pass();
         let lint = LintReport::default();
-        let v = to_json(Some(&sched), Some(&lint));
+        let threads = crate::threads::check_models(&[]);
+        let protocols = crate::protocol::run_protocol_pass();
+        let fuzz = crate::fuzz::run_fuzz_pass(7, 32);
+        let v = to_json(&AnalyzeReports {
+            schedule: Some(&sched),
+            lint: Some(&lint),
+            threads: Some(&threads),
+            protocols: Some(&protocols),
+            fuzz: Some(&fuzz),
+        });
         let s = serde_json::to_string_pretty(&v).unwrap();
-        assert!(s.contains("schedule_verifier"));
-        assert!(s.contains("workspace_lint"));
+        assert!(s.contains("\"schema_version\": 2"));
         assert!(s.contains("\"ok\": true"));
+        // Pipeline order is part of the schema: 1→5.
+        let order = [
+            "schedule_verifier",
+            "workspace_lint",
+            "thread_race_checker",
+            "protocol_machines",
+            "wire_fuzz",
+        ];
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|k| {
+                s.find(&format!("\"{k}\""))
+                    .unwrap_or_else(|| panic!("{k} missing"))
+            })
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "pass order drifted: {positions:?}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let lint = LintReport::default();
+        let fuzz = crate::fuzz::run_fuzz_pass(7, 32);
+        let reports = AnalyzeReports {
+            lint: Some(&lint),
+            fuzz: Some(&fuzz),
+            ..Default::default()
+        };
+        let a = serde_json::to_string_pretty(&to_json(&reports)).unwrap();
+        let b = serde_json::to_string_pretty(&to_json(&reports)).unwrap();
+        assert_eq!(a, b);
     }
 }

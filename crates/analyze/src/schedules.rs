@@ -33,14 +33,7 @@ fn send_elems(s: &mut Schedule, from: usize, to: usize, lo: usize, hi: usize) {
     );
 }
 
-fn recv_elems(
-    s: &mut Schedule,
-    at: usize,
-    from: usize,
-    lo: usize,
-    hi: usize,
-    accumulate: bool,
-) {
+fn recv_elems(s: &mut Schedule, at: usize, from: usize, lo: usize, hi: usize, accumulate: bool) {
     let r = Range::new(lo, hi);
     s.push(
         at,
@@ -245,11 +238,7 @@ pub fn rabenseifner(p: usize, n: usize) -> Schedule {
 /// implementation documents ("addition reordering aside").
 pub fn hierarchical(p: usize, gpus_per_node: usize, n: usize) -> Schedule {
     assert!(gpus_per_node > 0, "extractor mirrors the validated path");
-    let mut s = Schedule::new(
-        format!("hierarchical p={p} g={gpus_per_node} n={n}"),
-        p,
-        n,
-    );
+    let mut s = Schedule::new(format!("hierarchical p={p} g={gpus_per_node} n={n}"), p, n);
     s.expect = Expectation::ReducedVector {
         ranks: (0..p).collect(),
         contributors: (0..p).collect(),
@@ -322,11 +311,7 @@ pub fn blob_bytes(origin: usize) -> usize {
 /// blob traverses the ring by zero-copy forwarding, and the receiver
 /// attributes step-`s` arrivals to origin position `(pos + 2m - s - 1) % m`.
 pub fn ring_all_gather_among(p: usize, members: &[usize]) -> Schedule {
-    let mut s = Schedule::new(
-        format!("ring-all-gather p={p} members={members:?}"),
-        p,
-        0,
-    );
+    let mut s = Schedule::new(format!("ring-all-gather p={p} members={members:?}"), p, 0);
     s.expect = Expectation::GatheredBlobs {
         ranks: members.to_vec(),
         origins: members.to_vec(),
@@ -437,7 +422,10 @@ pub fn broadcast(p: usize, root: usize) -> Schedule {
 /// This is the schedule where bounded capacities matter: model the job
 /// channel as unbounded and a submit-overrun deadlock becomes invisible.
 pub fn comm_engine_pipeline(p: usize, depth: usize, jobs: usize, n: usize) -> Schedule {
-    assert!(depth > 0, "sync_channel(0) rendezvous is not used by CommEngine");
+    assert!(
+        depth > 0,
+        "sync_channel(0) rendezvous is not used by CommEngine"
+    );
     let nprocs = 2 * p;
     let mut s = Schedule::new(
         format!("comm-engine p={p} depth={depth} jobs={jobs} n={n}"),
@@ -541,7 +529,10 @@ pub fn streaming_chunked_exchange(
     n: usize,
     chunk_elems: usize,
 ) -> Schedule {
-    assert!(depth > 0, "sync_channel(0) rendezvous is not used by CommEngine");
+    assert!(
+        depth > 0,
+        "sync_channel(0) rendezvous is not used by CommEngine"
+    );
     assert!(chunk_elems > 0, "extractor mirrors the validated path");
     let nprocs = 2 * p;
     let mut s = Schedule::new(
@@ -741,8 +732,7 @@ mod tests {
             }
         }
         // Cross-validate the canonical-order argument on a small config.
-        check_deadlock_exhaustive(&comm_engine_pipeline(2, 1, 2, 1), 500_000)
-            .expect("no deadlock");
+        check_deadlock_exhaustive(&comm_engine_pipeline(2, 1, 2, 1), 500_000).expect("no deadlock");
         // A producer that ignores the admission window deadlocks against
         // the bounded job channel: submit all jobs up front with no reply
         // recvs interleaved, while the comm thread blocks on a bounded
@@ -791,26 +781,20 @@ mod tests {
         // no longer match what the peer's schedule expects.
         let mut bad = streaming_chunked_exchange(2, 2, 16, 8);
         let comm0 = 2; // comm thread of rank 0
-        let tampered = bad.processes[comm0]
-            .ops
-            .iter_mut()
-            .find_map(|op| match op {
-                Op::Send {
-                    bytes,
-                    data: DataRef::Elems(range),
-                    ..
-                } => {
-                    *bytes -= 4;
-                    *range = Range::new(range.lo, range.hi - 1);
-                    Some(())
-                }
-                _ => None,
-            });
+        let tampered = bad.processes[comm0].ops.iter_mut().find_map(|op| match op {
+            Op::Send {
+                bytes,
+                data: DataRef::Elems(range),
+                ..
+            } => {
+                *bytes -= 4;
+                *range = Range::new(range.lo, range.hi - 1);
+                Some(())
+            }
+            _ => None,
+        });
         assert!(tampered.is_some(), "schedule must contain ring sends");
         let r = verify_schedule(&bad);
-        assert!(
-            !r.ok(),
-            "a mispaired chunk boundary must fail verification"
-        );
+        assert!(!r.ok(), "a mispaired chunk boundary must fail verification");
     }
 }

@@ -169,17 +169,12 @@ pub fn static_checks(s: &Schedule) -> Vec<Violation> {
     for (pid, proc_) in s.processes.iter().enumerate() {
         for op in &proc_.ops {
             match op {
-                Op::Send { dst, bytes, .. } => {
-                    sends.entry((pid, *dst)).or_default().push(*bytes)
-                }
-                Op::Recv { src, bytes, .. } => {
-                    recvs.entry((*src, pid)).or_default().push(*bytes)
-                }
+                Op::Send { dst, bytes, .. } => sends.entry((pid, *dst)).or_default().push(*bytes),
+                Op::Recv { src, bytes, .. } => recvs.entry((*src, pid)).or_default().push(*bytes),
             }
         }
     }
-    let mut channels: Vec<(usize, usize)> =
-        sends.keys().chain(recvs.keys()).copied().collect();
+    let mut channels: Vec<(usize, usize)> = sends.keys().chain(recvs.keys()).copied().collect();
     channels.sort_unstable();
     channels.dedup();
     for ch in channels {
@@ -278,9 +273,7 @@ fn simulate(s: &Schedule) -> (Vec<Violation>, usize) {
                 queues.entry((pid, *dst)).or_default().push_back(payload);
             }
             Op::Recv { src, action, .. } => {
-                let Some(payload) =
-                    queues.get_mut(&(*src, pid)).and_then(|q| q.pop_front())
-                else {
+                let Some(payload) = queues.get_mut(&(*src, pid)).and_then(|q| q.pop_front()) else {
                     // next_enabled guarantees non-empty; defensive.
                     break;
                 };
@@ -341,17 +334,11 @@ fn op_enabled(
             Some(cap) => queues.get(&(pid, *dst)).map_or(0, |q| q.len()) < *cap,
             None => true,
         },
-        Op::Recv { src, .. } => {
-            queues.get(&(*src, pid)).is_some_and(|q| !q.is_empty())
-        }
+        Op::Recv { src, .. } => queues.get(&(*src, pid)).is_some_and(|q| !q.is_empty()),
     }
 }
 
-fn build_payload(
-    pid: usize,
-    data: &DataRef,
-    st: &ProcState,
-) -> Result<Payload, String> {
+fn build_payload(pid: usize, data: &DataRef, st: &ProcState) -> Result<Payload, String> {
     match data {
         DataRef::Elems(r) => {
             if r.hi > st.vec.len() {
@@ -379,11 +366,7 @@ fn build_payload(
     }
 }
 
-fn apply_recv(
-    action: &RecvAction,
-    payload: &Payload,
-    st: &mut ProcState,
-) -> Result<(), String> {
+fn apply_recv(action: &RecvAction, payload: &Payload, st: &mut ProcState) -> Result<(), String> {
     match action {
         RecvAction::Accumulate(r) | RecvAction::Overwrite(r) => {
             let Payload::Elems(incoming) = payload else {
@@ -577,10 +560,7 @@ fn check_expectation(s: &Schedule, states: &[ProcState], out: &mut Vec<Violation
 /// bounds the visited set; exceeding it returns an
 /// [`Violation::ExpectationFailed`] describing the blow-up (callers pick
 /// configs small enough that this never triggers).
-pub fn check_deadlock_exhaustive(
-    s: &Schedule,
-    state_cap: usize,
-) -> Result<usize, Violation> {
+pub fn check_deadlock_exhaustive(s: &Schedule, state_cap: usize) -> Result<usize, Violation> {
     #[derive(Clone, PartialEq, Eq, Hash)]
     struct State {
         pcs: Vec<usize>,
@@ -636,10 +616,7 @@ pub fn check_deadlock_exhaustive(
         }
         if visited.len() > state_cap {
             return Err(Violation::ExpectationFailed {
-                detail: format!(
-                    "state space exceeds cap {state_cap} for '{}'",
-                    s.name
-                ),
+                detail: format!("state space exceeds cap {state_cap} for '{}'", s.name),
             });
         }
         let mut any = false;
@@ -667,9 +644,7 @@ pub fn check_deadlock_exhaustive(
                 let queues: HashMap<(usize, usize), VecDeque<Payload>> = chans
                     .iter()
                     .enumerate()
-                    .map(|(i, &c)| {
-                        (c, (0..st.occ[i]).map(|_| Payload::Opaque).collect())
-                    })
+                    .map(|(i, &c)| (c, (0..st.occ[i]).map(|_| Payload::Opaque).collect()))
                     .collect();
                 return Err(deadlock_report(s, &st.pcs, &queues));
             }
@@ -775,11 +750,14 @@ mod tests {
             s.push(me, send(peer, 4, 0, 1));
             s.push(me, send(peer, 4, 0, 1));
             s.push(me, recv_acc(peer, 4, 0, 1));
-            s.push(me, Op::Recv {
-                src: peer,
-                bytes: 4,
-                action: RecvAction::Discard,
-            });
+            s.push(
+                me,
+                Op::Recv {
+                    src: peer,
+                    bytes: 4,
+                    action: RecvAction::Discard,
+                },
+            );
         }
         s.channel_caps.insert((0, 1), 1);
         s.channel_caps.insert((1, 0), 1);

@@ -17,9 +17,7 @@
 
 use gcs_analyze::ir::{Op, Schedule};
 use gcs_analyze::schedules;
-use gcs_analyze::verify::{
-    check_deadlock_exhaustive, static_checks, verify_schedule, Violation,
-};
+use gcs_analyze::verify::{check_deadlock_exhaustive, static_checks, verify_schedule, Violation};
 use gcs_cluster::cost::NetworkModel;
 use gcs_cluster::SimCluster;
 
@@ -271,7 +269,11 @@ fn ir_bytes_match_tcp_cluster_traffic_for_every_collective() {
     })
     .expect("tcp mesh");
     for (rank, t) in run.traffic.iter().enumerate() {
-        assert_eq!(t.bytes_sent(), ring.sent_bytes(rank) as u64, "ring rank {rank}");
+        assert_eq!(
+            t.bytes_sent(),
+            ring.sent_bytes(rank) as u64,
+            "ring rank {rank}"
+        );
         assert_eq!(
             t.messages_sent(),
             send_op_count(&ring, rank) as u64,
@@ -286,7 +288,11 @@ fn ir_bytes_match_tcp_cluster_traffic_for_every_collective() {
     })
     .expect("tcp mesh");
     for (rank, t) in run.traffic.iter().enumerate() {
-        assert_eq!(t.bytes_sent(), rab.sent_bytes(rank) as u64, "rab rank {rank}");
+        assert_eq!(
+            t.bytes_sent(),
+            rab.sent_bytes(rank) as u64,
+            "rab rank {rank}"
+        );
         assert_eq!(
             t.messages_sent(),
             send_op_count(&rab, rank) as u64,
@@ -379,8 +385,7 @@ fn mispaired_schedule_is_rejected_as_deadlock() {
     // rejection above is caused by the mispairing, nothing else.
     let clean = schedules::ring_all_reduce(3, 12);
     assert!(verify_schedule(&clean).ok());
-    check_deadlock_exhaustive(&clean, 1_000_000)
-        .expect("well-formed ring must be deadlock-free");
+    check_deadlock_exhaustive(&clean, 1_000_000).expect("well-formed ring must be deadlock-free");
 }
 
 #[test]
@@ -390,8 +395,7 @@ fn dead_rank_subsets_keep_model_equivalence() {
     let model = unit_model();
     let p = 8usize;
     for dead in [vec![3usize], vec![0, 5]] {
-        let members: Vec<usize> =
-            (0..p).filter(|r| !dead.contains(r)).collect();
+        let members: Vec<usize> = (0..p).filter(|r| !dead.contains(r)).collect();
         let m = members.len();
         let n = 13 * m;
         let s = schedules::ring_all_reduce_among(p, &members, n);

@@ -21,7 +21,11 @@ fn main() {
             });
             black_box(outs);
         });
-        rows.push(vec!["ring_all_reduce_1mb".into(), p.to_string(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
+        rows.push(vec![
+            "ring_all_reduce_1mb".into(),
+            p.to_string(),
+            gcs_bench::ms_pm(t.mean_s, t.std_s),
+        ]);
     }
     let bytes = 1 << 20; // 1 MB per worker
     for p in [2usize, 4, 8] {
@@ -32,7 +36,11 @@ fn main() {
             });
             black_box(outs);
         });
-        rows.push(vec!["all_gather_1mb".into(), p.to_string(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
+        rows.push(vec![
+            "all_gather_1mb".into(),
+            p.to_string(),
+            gcs_bench::ms_pm(t.mean_s, t.std_s),
+        ]);
     }
     gcs_bench::print_table(
         "Collective microbenchmarks (1 MB payload)",

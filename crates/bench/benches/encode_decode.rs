@@ -68,14 +68,19 @@ fn main() {
     // smaller input to keep the suite quick.
     {
         let grads = [Tensor::randn([128, 128, 3, 3], 0)];
-        let mut compressor = MethodConfig::Atomo { rank: 4 }.build().expect("method builds");
+        let mut compressor = MethodConfig::Atomo { rank: 4 }
+            .build()
+            .expect("method builds");
         let t = bench(1, 10, || {
             for (layer, g) in grads.iter().enumerate() {
                 let out = round_trip(&mut compressor, layer, g).expect("round trip");
                 black_box(out);
             }
         });
-        rows.push(vec!["ATOMO (rank 4, small input)".into(), gcs_bench::ms_pm(t.mean_s, t.std_s)]);
+        rows.push(vec![
+            "ATOMO (rank 4, small input)".into(),
+            gcs_bench::ms_pm(t.mean_s, t.std_s),
+        ]);
     }
     gcs_bench::print_table(
         "Encode+decode round trip (~2.4 M params)",

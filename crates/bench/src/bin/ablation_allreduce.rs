@@ -12,7 +12,10 @@ fn main() {
     let mut json = Vec::new();
     for (label, method) in [
         ("syncSGD (97 MB payload)", MethodConfig::SyncSgd),
-        ("PowerSGD r4 (small payload)", MethodConfig::PowerSgd { rank: 4 }),
+        (
+            "PowerSGD r4 (small payload)",
+            MethodConfig::PowerSgd { rank: 4 },
+        ),
     ] {
         for p in [4usize, 16, 64, 128, 256] {
             let base = SimConfig::new(presets::resnet50(), p).method(method.clone());

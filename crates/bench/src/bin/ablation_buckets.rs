@@ -10,7 +10,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for model in [presets::resnet50(), presets::bert_base()] {
-        let batch = if model.name.starts_with("BERT") { 8 } else { 32 };
+        let batch = if model.name.starts_with("BERT") {
+            8
+        } else {
+            32
+        };
         for mb in [1usize, 5, 10, 25, 50, 100, 500] {
             let cfg = SimConfig::new(model.clone(), 64)
                 .batch_per_worker(batch)

@@ -32,7 +32,13 @@ fn main() {
     }
     print_table(
         "Ablation: flat ring vs hierarchical all-reduce (4 GPUs/node, NVLink intra)",
-        &["Model", "GPUs", "Flat ring (ms)", "Hierarchical (ms)", "Speedup"],
+        &[
+            "Model",
+            "GPUs",
+            "Flat ring (ms)",
+            "Hierarchical (ms)",
+            "Speedup",
+        ],
         &rows,
     );
     println!(

@@ -18,20 +18,17 @@ fn main() {
         let ps8 = net.parameter_server(bytes, p, 8).expect("shards > 0");
         let ps_sign = net.parameter_server(bytes / 32, p, 1).expect("shards > 0");
         let ring = net.ring_all_reduce(bytes, p);
-        rows.push(vec![
-            p.to_string(),
-            ms(ps1),
-            ms(ps8),
-            ms(ps_sign),
-            ms(ring),
-        ]);
+        rows.push(vec![p.to_string(), ms(ps1), ms(ps8), ms(ps_sign), ms(ring)]);
         json.push(serde_json::json!({
             "workers": p, "ps_1shard_s": ps1, "ps_8shard_s": ps8,
             "ps_signsgd_s": ps_sign, "ring_s": ring,
         }));
     }
     print_table(
-        &format!("Ablation: PS vs all-reduce — {} gradients, 10 Gbps", model.name),
+        &format!(
+            "Ablation: PS vs all-reduce — {} gradients, 10 Gbps",
+            model.name
+        ),
         &[
             "Workers",
             "PS 1 shard (ms)",

@@ -7,10 +7,29 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
-        "fig09", "fig10", "fig11", "fig12", "fig13", "convergence",
-        "ablation_allreduce", "ablation_buckets", "ablation_hierarchy", "ablation_ps",
-        "ext_local_sgd", "ext_time_to_accuracy", "ext_large_models", "ext_strong_scaling",
+        "table1",
+        "table2",
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "convergence",
+        "ablation_allreduce",
+        "ablation_buckets",
+        "ablation_hierarchy",
+        "ablation_ps",
+        "ext_local_sgd",
+        "ext_time_to_accuracy",
+        "ext_large_models",
+        "ext_strong_scaling",
         "summary", // must run last: it validates the other binaries' results
     ];
     let exe = std::env::current_exe().expect("own path");

@@ -12,7 +12,12 @@ use gcs_train::harness::{train_distributed, TrainConfig};
 use gcs_train::task::{LinearRegression, MlpClassification};
 
 fn main() {
-    let cfg = TrainConfig::new().workers(4).steps(250).lr(0.05).batch(16).seed(11);
+    let cfg = TrainConfig::new()
+        .workers(4)
+        .steps(250)
+        .lr(0.05)
+        .batch(16)
+        .seed(11);
     let task = LinearRegression::new(16, 256, 0.01, 7);
     let methods = [
         MethodConfig::SyncSgd,
@@ -60,7 +65,12 @@ fn main() {
 
     // MLP classification with the strongest methods.
     let mlp = MlpClassification::new(8, 24, 4, 512, 3);
-    let mcfg = TrainConfig::new().workers(2).steps(200).lr(0.5).batch(32).seed(5);
+    let mcfg = TrainConfig::new()
+        .workers(2)
+        .steps(200)
+        .lr(0.5)
+        .batch(32)
+        .seed(5);
     let mut mlp_rows = Vec::new();
     for method in [
         MethodConfig::SyncSgd,

@@ -25,7 +25,10 @@ fn main() {
     }
     let psgd = simulate_iteration(&cfg.clone().method(MethodConfig::PowerSgd { rank: 4 })).total_s;
     print_table(
-        &format!("Local SGD per-step time — {} @ 96 GPUs (batch 12)", model.name),
+        &format!(
+            "Local SGD per-step time — {} @ 96 GPUs (batch 12)",
+            model.name
+        ),
         &["Sync period H", "Per-step time (ms)"],
         &rows,
     );
@@ -43,13 +46,14 @@ fn main() {
         let rep = train_local_sgd(
             &task,
             &MethodConfig::SyncSgd,
-            &LocalSgdConfig::new().period(period).steps(240).lr(0.05).seed(9),
+            &LocalSgdConfig::new()
+                .period(period)
+                .steps(240)
+                .lr(0.05)
+                .seed(9),
         )
         .expect("training runs");
-        conv_rows.push(vec![
-            period.to_string(),
-            format!("{:.5}", rep.final_loss()),
-        ]);
+        conv_rows.push(vec![period.to_string(), format!("{:.5}", rep.final_loss())]);
         json.push(serde_json::json!({
             "task": rep.task, "period": period, "final_loss": rep.final_loss(),
         }));

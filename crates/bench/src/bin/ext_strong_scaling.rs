@@ -32,8 +32,17 @@ fn main() {
         }));
     }
     print_table(
-        &format!("Strong scaling — {model} @ global batch {global}, 10 Gbps", model = model.name),
-        &["GPUs", "Batch/GPU", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+        &format!(
+            "Strong scaling — {model} @ global batch {global}, 10 Gbps",
+            model = model.name
+        ),
+        &[
+            "GPUs",
+            "Batch/GPU",
+            "syncSGD (ms)",
+            "PowerSGD r4 (ms)",
+            "PowerSGD speedup",
+        ],
         &rows,
     );
     println!(

@@ -38,8 +38,17 @@ fn main() {
         }));
     }
     print_table(
-        &format!("Figure 3: sequential vs overlapped compression ({}, {workers} GPUs, batch 64)", model.name),
-        &["Method", "Sequential (ms)", "Overlapped (ms)", "Overlap penalty", "If overlap were free (ms)"],
+        &format!(
+            "Figure 3: sequential vs overlapped compression ({}, {workers} GPUs, batch 64)",
+            model.name
+        ),
+        &[
+            "Method",
+            "Sequential (ms)",
+            "Overlapped (ms)",
+            "Overlap penalty",
+            "If overlap were free (ms)",
+        ],
         &rows,
     );
     println!(

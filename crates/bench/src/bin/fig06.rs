@@ -11,7 +11,11 @@ use gcs_core::study::Study;
 use gcs_models::presets;
 
 fn main() {
-    let json = scaling_figure("Figure 6: SignSGD scalability", &[MethodConfig::SignSgd], Some(32));
+    let json = scaling_figure(
+        "Figure 6: SignSGD scalability",
+        &[MethodConfig::SignSgd],
+        Some(32),
+    );
     gcs_bench::write_json("fig06", &json);
 
     // The §1 headline comparison.

@@ -17,7 +17,10 @@ fn main() {
     let mut json = Vec::new();
     for batch in [16usize, 32, 64] {
         let out = Study::new(model.clone(), batch)
-            .methods(vec![MethodConfig::SyncSgd, MethodConfig::PowerSgd { rank: 4 }])
+            .methods(vec![
+                MethodConfig::SyncSgd,
+                MethodConfig::PowerSgd { rank: 4 },
+            ])
             .worker_counts(vec![workers])
             .run();
         let speedup = out[0].measured_s / out[1].measured_s;
@@ -36,8 +39,16 @@ fn main() {
         }));
     }
     print_table(
-        &format!("Figure 7: batch-size sweep — {} @ {workers} GPUs, PowerSGD rank 4", model.name),
-        &["Batch/GPU", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+        &format!(
+            "Figure 7: batch-size sweep — {} @ {workers} GPUs, PowerSGD rank 4",
+            model.name
+        ),
+        &[
+            "Batch/GPU",
+            "syncSGD (ms)",
+            "PowerSGD r4 (ms)",
+            "PowerSGD speedup",
+        ],
         &rows,
     );
 
@@ -46,7 +57,10 @@ fn main() {
     let mut bert_rows = Vec::new();
     for batch in [10usize, 12] {
         let out = Study::new(bert.clone(), batch)
-            .methods(vec![MethodConfig::SyncSgd, MethodConfig::PowerSgd { rank: 4 }])
+            .methods(vec![
+                MethodConfig::SyncSgd,
+                MethodConfig::PowerSgd { rank: 4 },
+            ])
             .worker_counts(vec![64])
             .run();
         let speedup = out[0].measured_s / out[1].measured_s;
@@ -66,7 +80,12 @@ fn main() {
     }
     print_table(
         "Figure 7 (companion, §3.3): BERT @ 64 GPUs",
-        &["Batch/GPU", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+        &[
+            "Batch/GPU",
+            "syncSGD (ms)",
+            "PowerSGD r4 (ms)",
+            "PowerSGD speedup",
+        ],
         &bert_rows,
     );
     println!("\nExpected shape: speedup shrinks monotonically as the batch grows.");

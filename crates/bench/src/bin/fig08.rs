@@ -21,10 +21,11 @@ fn main() {
         let mut rows = Vec::new();
         let mut errors = Vec::new();
         for model in paper_models() {
-            let counts: Vec<usize> = if model.name.starts_with("BERT")
-                && *label == "SignSGD"
-            {
-                paper_worker_counts().into_iter().filter(|&p| p <= 32).collect()
+            let counts: Vec<usize> = if model.name.starts_with("BERT") && *label == "SignSGD" {
+                paper_worker_counts()
+                    .into_iter()
+                    .filter(|&p| p <= 32)
+                    .collect()
             } else {
                 paper_worker_counts()
             };
@@ -69,7 +70,10 @@ fn main() {
     let mut incast_errors = Vec::new();
     for model in paper_models() {
         let counts: Vec<usize> = if model.name.starts_with("BERT") {
-            paper_worker_counts().into_iter().filter(|&p| p <= 32).collect()
+            paper_worker_counts()
+                .into_iter()
+                .filter(|&p| p <= 32)
+                .collect()
         } else {
             paper_worker_counts()
         };

@@ -46,6 +46,8 @@ fn main() {
         &["Model", "Batch/GPU", "Required compression"],
         &rows,
     );
-    println!("\nExpected shape: ≤ ~7x everywhere; shrinking with batch size; BERT < 2x at batch ≥ 12.");
+    println!(
+        "\nExpected shape: ≤ ~7x everywhere; shrinking with batch size; BERT < 2x at batch ≥ 12."
+    );
     gcs_bench::write_json("fig09", &serde_json::Value::Array(json));
 }

@@ -12,7 +12,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for model in paper_models() {
-        let batch = if model.name.starts_with("BERT") { 16 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            16
+        } else {
+            64
+        };
         for p in [8usize, 16, 32, 64, 96, 128, 150] {
             let gap = ideal_gap(&model, &device, &net, p, batch);
             rows.push(vec![model.name.clone(), p.to_string(), ms(gap)]);

@@ -11,7 +11,9 @@ use gcs_core::whatif::bandwidth_sweep;
 use gcs_models::DeviceSpec;
 
 fn main() {
-    let gbps: Vec<f64> = vec![1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 10.0, 12.0, 15.0, 20.0, 25.0, 30.0];
+    let gbps: Vec<f64> = vec![
+        1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 10.0, 12.0, 15.0, 20.0, 25.0, 30.0,
+    ];
     let mut json = Vec::new();
     for model in paper_models() {
         let pts = bandwidth_sweep(
@@ -36,7 +38,12 @@ fn main() {
             .collect();
         print_table(
             &format!("Figure 11: bandwidth sweep — {} (64 GPUs)", model.name),
-            &["Gbps", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+            &[
+                "Gbps",
+                "syncSGD (ms)",
+                "PowerSGD r4 (ms)",
+                "PowerSGD speedup",
+            ],
             &rows,
         );
         let crossover = pts.iter().find(|p| p.speedup() < 1.0).map(|p| p.x);

@@ -35,8 +35,16 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Figure 12: compute-speedup sweep — {} (64 GPUs, 10 Gbps)", model.name),
-            &["Compute", "syncSGD (ms)", "PowerSGD r4 (ms)", "PowerSGD speedup"],
+            &format!(
+                "Figure 12: compute-speedup sweep — {} (64 GPUs, 10 Gbps)",
+                model.name
+            ),
+            &[
+                "Compute",
+                "syncSGD (ms)",
+                "PowerSGD r4 (ms)",
+                "PowerSGD speedup",
+            ],
             &rows,
         );
         for p in &pts {

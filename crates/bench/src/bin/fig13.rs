@@ -39,7 +39,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Figure 13: encode-time/compression tradeoff — {} (64 GPUs)", model.name),
+            &format!(
+                "Figure 13: encode-time/compression tradeoff — {} (64 GPUs)",
+                model.name
+            ),
             &["k (encode ÷)", "l", "Iteration (ms)", "vs baseline"],
             &rows,
         );

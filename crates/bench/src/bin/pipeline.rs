@@ -256,8 +256,7 @@ fn time_exchange(
                 black_box(eng.exchange(&grads).expect("pipelined exchange"));
             }
             let t = t0.elapsed().as_secs_f64() / bp.inner as f64;
-            let comm_ms =
-                (eng.comm_busy_seconds() - busy0) / bp.inner as f64 * 1e3;
+            let comm_ms = (eng.comm_busy_seconds() - busy0) / bp.inner as f64 * 1e3;
             let breakdown = sum_timings(eng.last_timings(), comm_ms);
             let _ = eng.into_parts();
             (t, breakdown)
@@ -368,13 +367,11 @@ fn main() {
                 "speedup": c.speedup,
                 "streaming_speedup": c.streaming_speedup,
             }));
-            for (e, engine) in
-                [Engine::Sequential, Engine::Pipelined, Engine::Streaming]
-                    .into_iter()
-                    .enumerate()
+            for (e, engine) in [Engine::Sequential, Engine::Pipelined, Engine::Streaming]
+                .into_iter()
+                .enumerate()
             {
-                let [encode_ms, comm_ms, decode_ms, exposed_wait_ms] =
-                    c.breakdowns[e];
+                let [encode_ms, comm_ms, decode_ms, exposed_wait_ms] = c.breakdowns[e];
                 println!(
                     "    {:<10}  encode {encode_ms:.3}ms  comm {comm_ms:.3}ms  decode {decode_ms:.3}ms  exposed wait {exposed_wait_ms:.3}ms",
                     engine.name(),

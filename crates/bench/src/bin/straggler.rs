@@ -102,14 +102,20 @@ fn straggler_rows(workers: usize) -> Vec<Value> {
 /// measured wall time per iteration (printed, not written) and the
 /// seed-deterministic fault summary.
 fn fault_plane_exercise(smoke: bool) -> Value {
-    let (elems, iters, unit_us) = if smoke { (4 * 1024, 2, 50) } else { (256 * 1024, 8, 500) };
+    let (elems, iters, unit_us) = if smoke {
+        (4 * 1024, 2, 50)
+    } else {
+        (256 * 1024, 8, 500)
+    };
     let world = 4;
     let plan = FaultPlan::new(FAULT_SEED).delay_jitter(Duration::from_micros(200));
     let mut summary = Vec::new();
     for &s in &SLOWDOWNS {
         let started = Instant::now();
         let (_, events) = SimCluster::run_with_faults(world, plan.clone(), |w| {
-            let mut buf: Vec<f32> = (0..elems).map(|i| (i % 97) as f32 + w.rank() as f32).collect();
+            let mut buf: Vec<f32> = (0..elems)
+                .map(|i| (i % 97) as f32 + w.rank() as f32)
+                .collect();
             for _ in 0..iters {
                 if w.rank() == 0 {
                     // The straggler: extra "backward" time before joining.

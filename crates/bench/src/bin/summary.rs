@@ -51,11 +51,9 @@ fn run_checks() -> Vec<Check> {
         "table2",
         "calibrated model hits the paper's anchors; CPU keeps SignSGD < PowerSGD r16",
         load("table2").map(|rows| {
-            let anchors_ok = rows.iter().all(|r| {
-                match r["paper_v100_ms"].as_f64() {
-                    Some(paper) => (f(r, "modeled_v100_ms") - paper).abs() / paper < 0.05,
-                    None => true,
-                }
+            let anchors_ok = rows.iter().all(|r| match r["paper_v100_ms"].as_f64() {
+                Some(paper) => (f(r, "modeled_v100_ms") - paper).abs() / paper < 0.05,
+                None => true,
             });
             let cpu = |m: &str| {
                 rows.iter()
@@ -90,9 +88,7 @@ fn run_checks() -> Vec<Check> {
             let get = |model: &str, method: &str| {
                 rows.iter()
                     .find(|r| {
-                        s(r, "model") == model
-                            && s(r, "method") == method
-                            && r["workers"] == 96
+                        s(r, "model") == model && s(r, "method") == method && r["workers"] == 96
                     })
                     .map(|r| f(r, "measured_s"))
             };
@@ -318,10 +314,7 @@ fn main() {
         &["Experiment", "Claim", "Status"],
         &rows,
     );
-    let failed = checks
-        .iter()
-        .filter(|c| c.outcome != Some(true))
-        .count();
+    let failed = checks.iter().filter(|c| c.outcome != Some(true)).count();
     if failed == 0 {
         println!("\nAll {} shape checks PASS.", checks.len());
     } else {

@@ -88,7 +88,12 @@ fn main() {
     }
     print_table(
         "Table 2: encode-decode time, ResNet-50, 4 workers",
-        &["Method", "Paper V100 (ms)", "Model V100 (ms)", "This crate, CPU (ms)"],
+        &[
+            "Method",
+            "Paper V100 (ms)",
+            "Model V100 (ms)",
+            "This crate, CPU (ms)",
+        ],
         &rows,
     );
     println!(

@@ -70,7 +70,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:width$}  ", c, width = widths.get(i).copied().unwrap_or(0)));
+            s.push_str(&format!(
+                "{:width$}  ",
+                c,
+                width = widths.get(i).copied().unwrap_or(0)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -113,7 +117,11 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     let path = dir.join(format!("{name}.json"));
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            if let Err(e) = f.write_all(serde_json::to_string_pretty(value).expect("serializable").as_bytes()) {
+            if let Err(e) = f.write_all(
+                serde_json::to_string_pretty(value)
+                    .expect("serializable")
+                    .as_bytes(),
+            ) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             } else {
                 println!("[results written to {}]", path.display());

@@ -40,7 +40,11 @@ pub fn bench<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Timing {
         samples.push(t0.elapsed().as_secs_f64());
     }
     let mean_s = samples.iter().sum::<f64>() / iters as f64;
-    let var = samples.iter().map(|s| (s - mean_s) * (s - mean_s)).sum::<f64>() / iters as f64;
+    let var = samples
+        .iter()
+        .map(|s| (s - mean_s) * (s - mean_s))
+        .sum::<f64>()
+        / iters as f64;
     let min_s = samples.iter().copied().fold(f64::INFINITY, f64::min);
     Timing {
         mean_s,

@@ -107,12 +107,24 @@ MULTI-PROCESS FLAGS:
                   [--port 0] [--addr-file F]     F gets the bound address
 
 ANALYZE FLAGS (gradcomp analyze):
-  --all                   run both passes (default when no pass is named)
-  --schedules             schedule verifier only (ring/Rabenseifner/tree/among
+  --all                   run all five passes (default when no pass is named)
+  --schedules             Pass 1: schedule verifier (ring/Rabenseifner/tree/among
                           at p in 2..16 with dead-rank subsets of size <= 2)
-  --lint                  workspace lint only (unsafe allowlist, SAFETY
-                          comments, data-plane panics, raw f32 loops)
-  --root .                workspace root to lint
+  --lint                  Pass 2: workspace lint (unsafe allowlist, SAFETY
+                          comments, data-plane panics, raw f32 loops,
+                          Relaxed-ordering allowlist with SYNC comments)
+  --threads               Pass 3: happens-before race checker over thread/event
+                          models of pool/CommEngine/streaming/adaptive/TCP
+  --protocols             Pass 4: protocol state machines (Hello handshake,
+                          adaptive decisions, streaming FIFO window)
+  --fuzz                  Pass 5: deterministic wire fuzz (headers, frames,
+                          Payload::from_bytes for all 15 methods)
+  --fuzz-seed <u64>       fuzz seed (default 3900588966 = 0xE8828466)
+  --fuzz-iters <n>        fuzz iterations per target (default 1500)
+  --inject <negative>     self-test: run one pass with a seeded negative that
+                          MUST be detected (exit is non-zero when it is):
+                          race | double-accept | parser-panic
+  --root .                workspace root to lint / anchor-check
   --json <path>           report path (default <root>/results/analyze_report.json)
 ";
 
@@ -305,10 +317,7 @@ pub fn run(args: &[String]) -> Result<String> {
                 })
                 .collect();
             rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-            let baseline = rows
-                .iter()
-                .find(|(n, _)| n == "syncSGD")
-                .map(|&(_, t)| t);
+            let baseline = rows.iter().find(|(n, _)| n == "syncSGD").map(|&(_, t)| t);
             writeln!(
                 out,
                 "{} | {} GPUs | batch {} | {:.0} Gbps",
@@ -319,8 +328,7 @@ pub fn run(args: &[String]) -> Result<String> {
                 let vs = baseline
                     .map(|b| format!("  ({:+.1}% vs syncSGD)", (t / b - 1.0) * 100.0))
                     .unwrap_or_default();
-                writeln!(out, "  {}. {:<24} {:>8.1} ms{vs}", i + 1, name, t * 1e3)
-                    .expect("write");
+                writeln!(out, "  {}. {:<24} {:>8.1} ms{vs}", i + 1, name, t * 1e3).expect("write");
             }
         }
         "required" => {
@@ -461,18 +469,17 @@ pub fn run(args: &[String]) -> Result<String> {
             if !(0.0..=1.0).contains(&drop) || !(0.0..=1.0).contains(&reorder) {
                 return Err(CliError("--drop/--reorder must be in [0, 1]".into()));
             }
-            let method =
-                MethodConfig::parse(map.get("method").map_or("syncsgd", String::as_str))
-                    .map_err(|e| CliError(e.to_string()))?;
+            let method = MethodConfig::parse(map.get("method").map_or("syncsgd", String::as_str))
+                .map_err(|e| CliError(e.to_string()))?;
             let mut plan = gcs_cluster::FaultPlan::new(seed)
                 .delay_jitter(std::time::Duration::from_micros(jitter_us))
                 .drop_prob(drop)
                 .reorder_prob(reorder);
             if let Some(kills) = map.get("kill") {
                 for spec in kills.split(',') {
-                    let (rank, at) = spec.split_once('@').ok_or_else(|| {
-                        CliError(format!("bad --kill '{spec}' (want rank@step)"))
-                    })?;
+                    let (rank, at) = spec
+                        .split_once('@')
+                        .ok_or_else(|| CliError(format!("bad --kill '{spec}' (want rank@step)")))?;
                     let rank: usize = rank
                         .parse()
                         .map_err(|e| CliError(format!("bad --kill rank '{rank}': {e}")))?;
@@ -503,9 +510,8 @@ pub fn run(args: &[String]) -> Result<String> {
                 .seed(seed)
                 .faulty(plan);
             let task = gcs_train::task::LinearRegression::new(8, 96, 0.01, 41);
-            let (rep, events) =
-                gcs_train::threaded::train_threaded_faulty(&task, &method, &cfg)
-                    .map_err(|e| CliError(format!("faulty run failed: {e}")))?;
+            let (rep, events) = gcs_train::threaded::train_threaded_faulty(&task, &method, &cfg)
+                .map_err(|e| CliError(format!("faulty run failed: {e}")))?;
             writeln!(
                 out,
                 "{} | {workers} workers | {steps} steps | fault seed {seed:#x}",
@@ -587,8 +593,7 @@ fn cmd_adaptive(rest: &[String]) -> Result<String> {
         return Err(CliError("--arms needs at least one scheme".into()));
     }
 
-    let link =
-        LinkModel::new(alpha_s, gbps * 1e9 / 8.0).map_err(|e| CliError(e.to_string()))?;
+    let link = LinkModel::new(alpha_s, gbps * 1e9 / 8.0).map_err(|e| CliError(e.to_string()))?;
     let bucket_bytes = (bucket_kb * 1024.0) as usize;
     let task = gcs_train::task::LinearRegression::new(256, 256, 0.01, 41);
     let cfg = gcs_train::threaded::ThreadedConfig::new()
@@ -612,9 +617,8 @@ fn cmd_adaptive(rest: &[String]) -> Result<String> {
         arms.len()
     )
     .expect("write");
-    let arm_name = |i: usize| -> String {
-        arms.get(i).map_or_else(|| format!("arm {i}"), method_name)
-    };
+    let arm_name =
+        |i: usize| -> String { arms.get(i).map_or_else(|| format!("arm {i}"), method_name) };
     if adaptive.trace.is_empty() {
         out.push_str("  decisions: none (initial assignment kept)\n");
     } else {
@@ -662,13 +666,30 @@ fn cmd_adaptive(rest: &[String]) -> Result<String> {
     Ok(out)
 }
 
-/// `gradcomp analyze [--all|--schedules|--lint] [--root PATH] [--json PATH]`.
+/// Default seed for the wire fuzz pass (arbitrary but pinned so the
+/// tracked report is reproducible).
+const DEFAULT_FUZZ_SEED: u64 = 0xE882_8466;
+/// Default per-target fuzz budget; sized so the whole pass stays well
+/// under the CI budget of 10 s.
+const DEFAULT_FUZZ_ITERS: usize = 1500;
+
+/// `gradcomp analyze [--all|--schedules|--lint|--threads|--protocols|--fuzz]
+/// [--fuzz-seed N] [--fuzz-iters N] [--inject NEG] [--root PATH] [--json PATH]`.
 ///
-/// Runs the static-analysis passes, writes the machine-readable report,
-/// and fails (so `main` exits non-zero) if either pass found violations.
+/// Runs the static-analysis passes, writes the machine-readable report
+/// (schema v2, stable key order), and fails (so `main` exits non-zero)
+/// if any pass found violations. `--inject` swaps one pass's subject for
+/// a seeded negative — a racy thread model, a double-accepting Hello
+/// machine, or a panicking parser — so CI can prove the gate has teeth.
 fn cmd_analyze(rest: &[String]) -> Result<String> {
     let mut want_schedules = false;
     let mut want_lint = false;
+    let mut want_threads = false;
+    let mut want_protocols = false;
+    let mut want_fuzz = false;
+    let mut fuzz_seed = DEFAULT_FUZZ_SEED;
+    let mut fuzz_iters = DEFAULT_FUZZ_ITERS;
+    let mut inject: Option<String> = None;
     let mut root = String::from(".");
     let mut json_path: Option<String> = None;
     let mut i = 0;
@@ -677,19 +698,35 @@ fn cmd_analyze(rest: &[String]) -> Result<String> {
             "--all" => {
                 want_schedules = true;
                 want_lint = true;
+                want_threads = true;
+                want_protocols = true;
+                want_fuzz = true;
             }
             "--schedules" => want_schedules = true,
             "--lint" => want_lint = true,
-            "--root" | "--json" => {
+            "--threads" => want_threads = true,
+            "--protocols" => want_protocols = true,
+            "--fuzz" => want_fuzz = true,
+            "--root" | "--json" | "--fuzz-seed" | "--fuzz-iters" | "--inject" => {
                 let key = rest[i].clone();
                 i += 1;
                 let val = rest
                     .get(i)
                     .ok_or_else(|| CliError(format!("{key} needs a value")))?;
-                if key == "--root" {
-                    root = val.clone();
-                } else {
-                    json_path = Some(val.clone());
+                match key.as_str() {
+                    "--root" => root = val.clone(),
+                    "--json" => json_path = Some(val.clone()),
+                    "--fuzz-seed" => {
+                        fuzz_seed = val.parse().map_err(|_| {
+                            CliError(format!("--fuzz-seed wants a u64, got '{val}'"))
+                        })?;
+                    }
+                    "--fuzz-iters" => {
+                        fuzz_iters = val.parse().map_err(|_| {
+                            CliError(format!("--fuzz-iters wants a count, got '{val}'"))
+                        })?;
+                    }
+                    _ => inject = Some(val.clone()),
                 }
             }
             other => {
@@ -700,9 +737,25 @@ fn cmd_analyze(rest: &[String]) -> Result<String> {
         }
         i += 1;
     }
-    if !want_schedules && !want_lint {
+    // `--inject` selects the pass that owns the negative; other explicit
+    // selections still run alongside it.
+    match inject.as_deref() {
+        Some("race") => want_threads = true,
+        Some("double-accept") => want_protocols = true,
+        Some("parser-panic") => want_fuzz = true,
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown --inject negative '{other}' (race | double-accept | parser-panic)"
+            )));
+        }
+        None => {}
+    }
+    if !(want_schedules || want_lint || want_threads || want_protocols || want_fuzz) {
         want_schedules = true;
         want_lint = true;
+        want_threads = true;
+        want_protocols = true;
+        want_fuzz = true;
     }
 
     let schedule_rep = want_schedules.then(gcs_analyze::report::run_schedule_pass);
@@ -714,8 +767,39 @@ fn cmd_analyze(rest: &[String]) -> Result<String> {
     } else {
         None
     };
+    let threads_rep = want_threads.then(|| {
+        let root = std::path::Path::new(&root);
+        if inject.as_deref() == Some("race") {
+            let mut models = gcs_analyze::threads::real_models();
+            models.extend(gcs_analyze::threads::seeded_negative_models());
+            gcs_analyze::threads::check_models(&models)
+        } else {
+            gcs_analyze::threads::run_thread_pass(root)
+        }
+    });
+    let protocols_rep = want_protocols.then(|| {
+        if inject.as_deref() == Some("double-accept") {
+            gcs_analyze::protocol::run_protocol_mutants()
+        } else {
+            gcs_analyze::protocol::run_protocol_pass()
+        }
+    });
+    let fuzz_rep = want_fuzz.then(|| {
+        if inject.as_deref() == Some("parser-panic") {
+            gcs_analyze::fuzz::run_fuzz_negative(fuzz_seed, fuzz_iters)
+        } else {
+            gcs_analyze::fuzz::run_fuzz_pass(fuzz_seed, fuzz_iters)
+        }
+    });
 
-    let json = gcs_analyze::report::to_json(schedule_rep.as_ref(), lint_rep.as_ref());
+    let reports = gcs_analyze::report::AnalyzeReports {
+        schedule: schedule_rep.as_ref(),
+        lint: lint_rep.as_ref(),
+        threads: threads_rep.as_ref(),
+        protocols: protocols_rep.as_ref(),
+        fuzz: fuzz_rep.as_ref(),
+    };
+    let json = gcs_analyze::report::to_json(&reports);
     let report_path = json_path.map(std::path::PathBuf::from).unwrap_or_else(|| {
         std::path::Path::new(&root)
             .join("results")
@@ -730,13 +814,13 @@ fn cmd_analyze(rest: &[String]) -> Result<String> {
     std::fs::write(&report_path, rendered)
         .map_err(|e| CliError(format!("cannot write {}: {e}", report_path.display())))?;
 
-    let mut text =
-        gcs_analyze::report::render_text(schedule_rep.as_ref(), lint_rep.as_ref());
+    let mut text = gcs_analyze::report::render_text(&reports);
+    if let Some(neg) = &inject {
+        text.push_str(&format!("injected negative: {neg}\n"));
+    }
     text.push_str(&format!("report: {}\n", report_path.display()));
 
-    let clean = schedule_rep.as_ref().is_none_or(|r| r.ok())
-        && lint_rep.as_ref().is_none_or(|r| r.ok());
-    if clean {
+    if reports.ok() {
         Ok(text)
     } else {
         // The violations themselves are the error message; main prints
@@ -762,7 +846,13 @@ mod tests {
     #[test]
     fn models_lists_all_five() {
         let out = run(&args("models")).unwrap();
-        for m in ["resnet-50", "resnet-101", "bert-base", "bert-large", "vgg-16"] {
+        for m in [
+            "resnet-50",
+            "resnet-101",
+            "bert-base",
+            "bert-large",
+            "vgg-16",
+        ] {
             assert!(out.contains(m), "missing {m} in {out}");
         }
     }
@@ -834,10 +924,7 @@ mod tests {
 
     #[test]
     fn faults_command_reports_death_and_ring_shrink() {
-        let out = run(&args(
-            "faults --workers 4 --steps 12 --seed 5 --kill 2@4",
-        ))
-        .unwrap();
+        let out = run(&args("faults --workers 4 --steps 12 --seed 5 --kill 2@4")).unwrap();
         assert!(out.contains("step 4: rank 2 died"), "{out}");
         assert!(out.contains("ring shrank 4 -> 3"), "{out}");
         assert!(out.contains("3 live workers"), "{out}");
@@ -878,7 +965,10 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("decisions: none"), "{out}");
-        for line in out.lines().filter(|l| l.trim_start().starts_with("bucket ")) {
+        for line in out
+            .lines()
+            .filter(|l| l.trim_start().starts_with("bucket "))
+        {
             assert!(line.ends_with("-> syncSGD"), "{out}");
         }
     }

@@ -87,15 +87,8 @@ fn sim_digests(world: usize, method: &MethodConfig, steps: usize) -> Result<Vec<
 
 /// Sends one control frame (`msg` id + UTF-8 `text`).
 fn send_control(stream: &mut TcpStream, msg: u16, text: &str) -> Result<()> {
-    let header = WireHeader::new(
-        FrameKind::Control,
-        0,
-        0,
-        msg,
-        Duration::ZERO,
-        text.len(),
-    )
-    .map_err(|e| CliError(format!("control frame: {e}")))?;
+    let header = WireHeader::new(FrameKind::Control, 0, 0, msg, Duration::ZERO, text.len())
+        .map_err(|e| CliError(format!("control frame: {e}")))?;
     wire::write_frame(stream, &header, text.as_bytes())
         .map_err(|e| CliError(format!("control send: {e}")))
 }
@@ -140,11 +133,9 @@ pub(crate) fn cmd_worker(rest: &[String]) -> Result<String> {
         .collect();
     let method = MethodConfig::parse(map.get("method").map_or(DEFAULT_METHOD, String::as_str))
         .map_err(|e| CliError(e.to_string()))?;
-    let steps: usize = map
-        .get("steps")
-        .map_or(Ok(DEFAULT_STEPS), |v| {
-            v.parse().map_err(|e| CliError(format!("bad --steps: {e}")))
-        })?;
+    let steps: usize = map.get("steps").map_or(Ok(DEFAULT_STEPS), |v| {
+        v.parse().map_err(|e| CliError(format!("bad --steps: {e}")))
+    })?;
     let handle = TcpCluster::connect(rank, &peers, TcpOptions::default())
         .map_err(|e| CliError(format!("forming mesh as rank {rank}: {e}")))?;
     let digest = run_steps(&handle, &method, steps)?;
@@ -201,21 +192,17 @@ fn worker_orchestrated(orch_addr: &str) -> Result<String> {
 /// [--addr-file F]`.
 pub(crate) fn cmd_orchestrator(rest: &[String]) -> Result<String> {
     let map = flag_map(rest)?;
-    let world: usize = map
-        .get("world")
-        .map_or(Ok(2), |v| {
-            v.parse().map_err(|e| CliError(format!("bad --world: {e}")))
-        })?;
+    let world: usize = map.get("world").map_or(Ok(2), |v| {
+        v.parse().map_err(|e| CliError(format!("bad --world: {e}")))
+    })?;
     if world == 0 {
         return Err(CliError("--world must be at least 1".into()));
     }
     let method = MethodConfig::parse(map.get("method").map_or(DEFAULT_METHOD, String::as_str))
         .map_err(|e| CliError(e.to_string()))?;
-    let steps: usize = map
-        .get("steps")
-        .map_or(Ok(DEFAULT_STEPS), |v| {
-            v.parse().map_err(|e| CliError(format!("bad --steps: {e}")))
-        })?;
+    let steps: usize = map.get("steps").map_or(Ok(DEFAULT_STEPS), |v| {
+        v.parse().map_err(|e| CliError(format!("bad --steps: {e}")))
+    })?;
     let port = map.get("port").map_or("0", String::as_str);
     let listener = TcpListener::bind(format!("127.0.0.1:{port}"))
         .map_err(|e| CliError(format!("binding control socket: {e}")))?;

@@ -12,8 +12,8 @@ struct ScratchRoot(PathBuf);
 
 impl ScratchRoot {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir()
-            .join(format!("gcs-analyze-cli-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("gcs-analyze-cli-{tag}-{}", std::process::id()));
         // A stale dir from a crashed prior run is fine to clobber.
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
@@ -116,6 +116,197 @@ fn analyze_lint_fails_on_avx512_intrinsics_outside_kernel_allowlist() {
     assert!(
         err.0.contains("unsafe-outside-allowlist"),
         "error should cite the rule: {}",
+        err.0
+    );
+}
+
+#[test]
+fn analyze_lint_fails_on_relaxed_ordering_outside_allowlist() {
+    let root = ScratchRoot::new("relaxed");
+    let src = root.0.join("crates/ddp/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(
+        src.join("counter.rs"),
+        concat!(
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub fn bump(c: &AtomicUsize) -> usize {\n",
+            "    c.fetch_add(1, Ordering::Relaxed)\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let err = gcs_cli::run(&args).expect_err("Relaxed outside the allowlist must fail");
+    assert!(
+        err.0.contains("relaxed-atomic-ordering"),
+        "error should cite the rule: {}",
+        err.0
+    );
+}
+
+#[test]
+fn analyze_lint_fails_on_allowlisted_relaxed_without_sync_comment() {
+    let root = ScratchRoot::new("nosync");
+    let src = root.0.join("crates/tensor/src");
+    fs::create_dir_all(&src).unwrap();
+    // The allowlisted file itself: Relaxed is permitted here, but only
+    // with a `// SYNC:` comment justifying the ordering.
+    fs::write(
+        src.join("pool.rs"),
+        concat!(
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub fn claim(c: &AtomicUsize) -> usize {\n",
+            "    c.fetch_add(1, Ordering::Relaxed)\n",
+            "}\n",
+        ),
+    )
+    .unwrap();
+
+    let args = s(&["analyze", "--lint", "--root", root.0.to_str().unwrap()]);
+    let err = gcs_cli::run(&args).expect_err("allowlisted Relaxed without SYNC must fail");
+    assert!(
+        err.0.contains("SYNC"),
+        "error should demand the SYNC comment: {}",
+        err.0
+    );
+}
+
+/// The workspace root of the real repo (tests run with the crate dir as
+/// cwd, two levels below it).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn analyze_all_report_pins_schema_version_and_key_order() {
+    let root = ScratchRoot::new("schema");
+    let json_path = root.0.join("report.json");
+    let args = s(&[
+        "analyze",
+        "--all",
+        "--fuzz-iters",
+        "200",
+        "--root",
+        repo_root().to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    gcs_cli::run(&args).expect("the real workspace must be clean under --all");
+
+    let text = fs::read_to_string(&json_path).unwrap();
+    let json: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        json["schema_version"].as_u64(),
+        Some(2),
+        "schema_version is pinned at 2: {text}"
+    );
+    assert_eq!(json["ok"].as_bool(), Some(true));
+
+    // Key order is part of the schema: consumers diff reports textually.
+    let pos = |key: &str| {
+        text.find(&format!("\"{key}\""))
+            .unwrap_or_else(|| panic!("report must contain key {key}: {text}"))
+    };
+    assert!(pos("tool") < pos("schema_version"));
+    assert!(pos("schema_version") < pos("ok"));
+    assert!(pos("ok") < pos("passes"));
+    assert!(pos("schedule_verifier") < pos("workspace_lint"));
+    assert!(pos("workspace_lint") < pos("thread_race_checker"));
+    assert!(pos("thread_race_checker") < pos("protocol_machines"));
+    assert!(pos("protocol_machines") < pos("wire_fuzz"));
+}
+
+#[test]
+fn analyze_inject_race_is_detected() {
+    let root = ScratchRoot::new("inj-race");
+    let json_path = root.0.join("report.json");
+    let args = s(&[
+        "analyze",
+        "--inject",
+        "race",
+        "--root",
+        root.0.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    let err = gcs_cli::run(&args).expect_err("seeded racy model must be flagged");
+    assert!(
+        err.0.contains("unordered-access"),
+        "error should report the race: {}",
+        err.0
+    );
+
+    let json: serde_json::Value =
+        serde_json::from_str(&fs::read_to_string(&json_path).unwrap()).unwrap();
+    let count = json["passes"]["thread_race_checker"]["finding_count"]
+        .as_u64()
+        .unwrap();
+    assert!(count >= 1, "report must record the seeded race");
+    assert_eq!(json["ok"].as_bool(), Some(false));
+}
+
+#[test]
+fn analyze_inject_double_accept_is_detected() {
+    let root = ScratchRoot::new("inj-hello");
+    let json_path = root.0.join("report.json");
+    let args = s(&[
+        "analyze",
+        "--inject",
+        "double-accept",
+        "--root",
+        root.0.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    let err = gcs_cli::run(&args).expect_err("mutant Hello machine must be flagged");
+    assert!(
+        err.0.contains("double-accept"),
+        "error should report the double accept: {}",
+        err.0
+    );
+}
+
+#[test]
+fn analyze_inject_parser_panic_is_detected() {
+    let root = ScratchRoot::new("inj-fuzz");
+    let json_path = root.0.join("report.json");
+    let args = s(&[
+        "analyze",
+        "--inject",
+        "parser-panic",
+        "--fuzz-iters",
+        "200",
+        "--root",
+        root.0.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    let err = gcs_cli::run(&args).expect_err("panicking parser must be flagged");
+    assert!(
+        err.0.contains("PANIC"),
+        "error should report the panic: {}",
+        err.0
+    );
+
+    let json: serde_json::Value =
+        serde_json::from_str(&fs::read_to_string(&json_path).unwrap()).unwrap();
+    let count = json["passes"]["wire_fuzz"]["finding_count"]
+        .as_u64()
+        .unwrap();
+    assert!(count >= 1, "report must record the panic finding");
+}
+
+#[test]
+fn analyze_rejects_unknown_inject_negative() {
+    let args = s(&["analyze", "--inject", "heisenbug"]);
+    let err = gcs_cli::run(&args).expect_err("unknown negative must be rejected");
+    assert!(
+        err.0.contains("heisenbug"),
+        "error names the value: {}",
         err.0
     );
 }

@@ -180,11 +180,7 @@ impl WorkerHandle {
     ///
     /// Returns [`ClusterError::InvalidArgument`] if `chunk_elems == 0`,
     /// and transport errors if peers hang up.
-    pub fn ring_all_reduce_chunked(
-        &self,
-        buf: &mut [f32],
-        chunk_elems: usize,
-    ) -> Result<()> {
+    pub fn ring_all_reduce_chunked(&self, buf: &mut [f32], chunk_elems: usize) -> Result<()> {
         if chunk_elems == 0 {
             return Err(ClusterError::InvalidArgument(
                 "chunk_elems must be positive".into(),
@@ -479,11 +475,7 @@ impl WorkerHandle {
     ///
     /// Returns [`ClusterError::InvalidArgument`] for a malformed member
     /// list, plus everything the plain gather returns.
-    pub fn all_gather_bytes_among(
-        &self,
-        own: &[u8],
-        members: &[usize],
-    ) -> Result<Vec<Frame>> {
+    pub fn all_gather_bytes_among(&self, own: &[u8], members: &[usize]) -> Result<Vec<Frame>> {
         let (m, pos, next, prev) = self.ring_among(members)?;
         let mut out: Vec<Frame> = vec![Frame::empty(); m];
         out[pos] = Frame::copy_from_slice(own);
@@ -538,8 +530,7 @@ mod tests {
     fn all_reduce_sums_across_ranks() {
         for p in [1usize, 2, 3, 4, 7, 8] {
             let outs = SimCluster::run(p, |w| {
-                let mut buf: Vec<f32> =
-                    (0..10).map(|i| (w.rank() * 10 + i) as f32).collect();
+                let mut buf: Vec<f32> = (0..10).map(|i| (w.rank() * 10 + i) as f32).collect();
                 w.all_reduce_sum(&mut buf).unwrap();
                 buf
             });
@@ -637,9 +628,7 @@ mod tests {
 
     #[test]
     fn all_gather_returns_rank_ordered_blobs() {
-        let outs = SimCluster::run(5, |w| {
-            w.all_gather_bytes(&[w.rank() as u8; 3]).unwrap()
-        });
+        let outs = SimCluster::run(5, |w| w.all_gather_bytes(&[w.rank() as u8; 3]).unwrap());
         for out in outs {
             for (r, blob) in out.iter().enumerate() {
                 assert_eq!(blob.as_slice(), &[r as u8; 3]);
@@ -679,7 +668,10 @@ mod tests {
         }
         let max = *per_p.iter().max().unwrap() as f64;
         let min = *per_p.iter().min().unwrap() as f64;
-        assert!(max / min < 1.4, "per-worker ring traffic should be ~flat: {per_p:?}");
+        assert!(
+            max / min < 1.4,
+            "per-worker ring traffic should be ~flat: {per_p:?}"
+        );
     }
 
     #[test]
@@ -796,7 +788,10 @@ mod tests {
         let members = [0usize, 1, 4];
         let outs = SimCluster::run(5, |w| {
             if members.contains(&w.rank()) {
-                Some(w.all_gather_bytes_among(&[w.rank() as u8; 3], &members).unwrap())
+                Some(
+                    w.all_gather_bytes_among(&[w.rank() as u8; 3], &members)
+                        .unwrap(),
+                )
             } else {
                 None
             }

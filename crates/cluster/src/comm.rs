@@ -144,8 +144,7 @@ impl CommEngine {
             .spawn(move || {
                 // A poisoned mutex only means another thread panicked while
                 // holding the lock; the Option inside is still valid.
-                let stored_error =
-                    || poison.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                let stored_error = || poison.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 let store_error = |res: &Result<()>| {
                     if let Err(e) = res {
                         let mut slot = poison.lock().unwrap_or_else(|e| e.into_inner());
@@ -173,7 +172,7 @@ impl CommEngine {
                                 Some(c) => worker.ring_all_reduce_chunked(&mut data, c),
                                 None => worker.all_reduce_sum(&mut data),
                             };
-                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
                             store_error(&res);
                             // A dropped reply receiver just means the caller
                             // abandoned the pending handle; keep serving.
@@ -186,7 +185,7 @@ impl CommEngine {
                             }
                             let t0 = std::time::Instant::now();
                             let res = worker.all_gather_bytes(&data);
-                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
                             store_error(&res.as_ref().map(|_| ()).map_err(Clone::clone));
                             let _ = reply.send(res.map(|frames| (frames, data)));
                         }
@@ -210,14 +209,17 @@ impl CommEngine {
     /// time to it).  Caller `wait` time minus this delta is *exposed*
     /// wait — time the pipeline stalled with nothing on the wire.
     pub fn busy_seconds(&self) -> f64 {
-        self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+        self.busy_nanos.load(Ordering::SeqCst) as f64 * 1e-9
     }
 
     /// The first collective error the comm thread hit, if any. A poisoned
     /// engine fails every subsequent job with this error instead of
     /// touching the wire.
     pub fn last_error(&self) -> Option<ClusterError> {
-        self.poisoned.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.poisoned
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Rank of the underlying worker.
@@ -246,7 +248,9 @@ impl CommEngine {
         }
         let (reply, rx) = std::sync::mpsc::channel();
         let Some(jobs) = self.jobs.as_ref() else {
-            return Err(ClusterError::Protocol("comm engine already shut down".into()));
+            return Err(ClusterError::Protocol(
+                "comm engine already shut down".into(),
+            ));
         };
         jobs.send(Job::ReduceSum {
             data,
@@ -266,7 +270,9 @@ impl CommEngine {
         }
         let (reply, rx) = std::sync::mpsc::channel();
         let Some(jobs) = self.jobs.as_ref() else {
-            return Err(ClusterError::Protocol("comm engine already shut down".into()));
+            return Err(ClusterError::Protocol(
+                "comm engine already shut down".into(),
+            ));
         };
         jobs.send(Job::GatherBytes { data, reply })
             .map_err(|_| ClusterError::Disconnected { peer: self.rank })?;
@@ -455,9 +461,7 @@ mod tests {
                 .start_all_reduce_sum(vec![rank as f32; 5], None)
                 .unwrap();
             let g = eng.start_all_gather(vec![rank as u8; 3]).unwrap();
-            let r2 = eng
-                .start_all_reduce_sum(vec![1.0f32; 2], None)
-                .unwrap();
+            let r2 = eng.start_all_reduce_sum(vec![1.0f32; 2], None).unwrap();
             let red = r.wait().unwrap();
             let (frames, _) = g.wait().unwrap();
             let red2 = r2.wait().unwrap();

@@ -188,7 +188,11 @@ mod tests {
         let b = 100_000_000;
         let t8 = n.ring_all_reduce(b, 8);
         let t64 = n.ring_all_reduce(b, 64);
-        assert!(t64 / t8 < 1.15, "ring must be near scale-free: {}", t64 / t8);
+        assert!(
+            t64 / t8 < 1.15,
+            "ring must be near scale-free: {}",
+            t64 / t8
+        );
     }
 
     #[test]

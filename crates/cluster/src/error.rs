@@ -73,14 +73,18 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        assert!(!ClusterError::Disconnected { peer: 3 }.to_string().is_empty());
+        assert!(!ClusterError::Disconnected { peer: 3 }
+            .to_string()
+            .is_empty());
         assert!(!ClusterError::PeerGone { peer: 1 }.to_string().is_empty());
         assert!(!ClusterError::Timeout { peer: 2 }.to_string().is_empty());
         assert!(!ClusterError::Mismatch("x".into()).to_string().is_empty());
         assert!(!ClusterError::InvalidArgument("y".into())
             .to_string()
             .is_empty());
-        assert!(!ClusterError::Wire("bad magic".into()).to_string().is_empty());
+        assert!(!ClusterError::Wire("bad magic".into())
+            .to_string()
+            .is_empty());
         assert!(!ClusterError::Io("refused".into()).to_string().is_empty());
     }
 }

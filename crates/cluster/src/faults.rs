@@ -132,7 +132,10 @@ impl FaultPlan {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn drop_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0, 1]"
+        );
         self.drop_prob = p;
         self
     }
@@ -173,7 +176,9 @@ impl FaultPlan {
 
     /// Whether `rank` is dead at (i.e. does not participate in) `iter`.
     pub fn dead_at(&self, rank: usize, iter: usize) -> bool {
-        self.dead.iter().any(|d| d.rank == rank && d.at_iter <= iter)
+        self.dead
+            .iter()
+            .any(|d| d.rank == rank && d.at_iter <= iter)
     }
 
     /// The sorted live membership for iteration `iter` in a `world`-rank
@@ -257,7 +262,11 @@ impl FaultLog {
 
     /// All recorded events, sorted by `(src, dst, seq)`.
     pub fn events(&self) -> Vec<FaultEvent> {
-        let mut out = self.events.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut out = self
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         out.sort_by_key(|e| (e.src, e.dst, e.seq));
         out
     }
@@ -380,11 +389,10 @@ mod tests {
             .drop_prob(0.3)
             .reorder_prob(0.2)
             .delay_jitter(Duration::from_micros(500));
-        let fates =
-            |src: usize, dst: usize| -> Vec<FrameFate> {
-                let mut link = LinkFaults::new(plan.seed, src, dst);
-                (0..32).map(|_| link.next_fate(&plan)).collect()
-            };
+        let fates = |src: usize, dst: usize| -> Vec<FrameFate> {
+            let mut link = LinkFaults::new(plan.seed, src, dst);
+            (0..32).map(|_| link.next_fate(&plan)).collect()
+        };
         assert_eq!(fates(0, 1), fates(0, 1), "same link must replay");
         assert_ne!(fates(0, 1), fates(1, 0), "directions must decorrelate");
         assert_ne!(fates(0, 1), fates(0, 2), "destinations must decorrelate");
@@ -457,8 +465,7 @@ mod tests {
         log.record(ev(0, 1, 2));
         log.record(ev(1, 0, 0));
         let evs = log.events();
-        let keys: Vec<(usize, usize, u64)> =
-            evs.iter().map(|e| (e.src, e.dst, e.seq)).collect();
+        let keys: Vec<(usize, usize, u64)> = evs.iter().map(|e| (e.src, e.dst, e.seq)).collect();
         assert_eq!(keys, vec![(0, 1, 2), (0, 1, 5), (1, 0, 0), (1, 0, 1)]);
         assert_eq!(log.len(), 4);
         assert!(!log.is_empty());

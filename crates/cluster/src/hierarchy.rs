@@ -99,11 +99,7 @@ impl WorkerHandle {
     ///
     /// Returns [`ClusterError::InvalidArgument`] if `gpus_per_node == 0`
     /// and transport errors if peers hang up.
-    pub fn hierarchical_all_reduce_sum(
-        &self,
-        buf: &mut [f32],
-        gpus_per_node: usize,
-    ) -> Result<()> {
+    pub fn hierarchical_all_reduce_sum(&self, buf: &mut [f32], gpus_per_node: usize) -> Result<()> {
         if gpus_per_node == 0 {
             return Err(ClusterError::InvalidArgument(
                 "gpus_per_node must be positive".into(),

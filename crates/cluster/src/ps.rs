@@ -96,8 +96,7 @@ mod tests {
         for p in [2usize, 3, 5, 8] {
             for server in [0usize, p - 1] {
                 let outs = SimCluster::run(p, move |w| {
-                    let mut buf: Vec<f32> =
-                        (0..5).map(|i| (w.rank() * 10 + i) as f32).collect();
+                    let mut buf: Vec<f32> = (0..5).map(|i| (w.rank() * 10 + i) as f32).collect();
                     w.ps_all_reduce_sum(&mut buf, server).unwrap();
                     buf
                 });
@@ -132,9 +131,7 @@ mod tests {
         assert!(ring64 / ring8 < 1.15, "ring stays flat");
         // At p = 2 PS is within a small constant of the ring; at 64 it is
         // hopeless.
-        assert!(
-            net.parameter_server(bytes, 2, 1).unwrap() < 5.0 * net.ring_all_reduce(bytes, 2)
-        );
+        assert!(net.parameter_server(bytes, 2, 1).unwrap() < 5.0 * net.ring_all_reduce(bytes, 2));
         assert!(ps64 > 10.0 * ring64);
     }
 

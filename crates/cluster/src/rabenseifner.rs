@@ -115,7 +115,7 @@ impl WorkerHandle {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::cost::NetworkModel;
     use crate::SimCluster;
 
@@ -124,8 +124,7 @@ mod tests {
         for p in [2usize, 4, 8, 16] {
             for n in [1usize, 7, 16, 33] {
                 let outs = SimCluster::run(p, move |w| {
-                    let mut buf: Vec<f32> =
-                        (0..n).map(|i| (w.rank() * 100 + i) as f32).collect();
+                    let mut buf: Vec<f32> = (0..n).map(|i| (w.rank() * 100 + i) as f32).collect();
                     w.rabenseifner_all_reduce_sum(&mut buf).unwrap();
                     buf
                 });
@@ -172,8 +171,7 @@ mod tests {
         // Pure bandwidth term matches the ring's.
         let net0 = NetworkModel::new(0.0, 1e9);
         assert!(
-            (net0.rabenseifner_all_reduce(bytes, p) - net0.ring_all_reduce(bytes, p)).abs()
-                < 1e-12
+            (net0.rabenseifner_all_reduce(bytes, p) - net0.ring_all_reduce(bytes, p)).abs() < 1e-12
         );
     }
 }

@@ -235,7 +235,9 @@ impl Transport for TcpWorker {
     fn recv(&self, peer: usize) -> Result<Frame> {
         self.flush_held();
         self.mailbox
-            .recv(peer, self.is_alive(peer), || ClusterError::PeerGone { peer })
+            .recv(peer, self.is_alive(peer), || ClusterError::PeerGone {
+                peer,
+            })
     }
 
     fn recv_deadline(&self, peer: usize, timeout: Duration) -> Result<Frame> {
@@ -807,7 +809,10 @@ mod tests {
                 while w.is_alive(1) && Instant::now() < deadline {
                     std::thread::sleep(Duration::from_millis(2));
                 }
-                matches!(w.send(1, vec![1u8]), Err(ClusterError::PeerGone { peer: 1 }))
+                matches!(
+                    w.send(1, vec![1u8]),
+                    Err(ClusterError::PeerGone { peer: 1 })
+                )
             } else {
                 w.mark_dead(0);
                 true

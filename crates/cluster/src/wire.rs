@@ -109,12 +109,15 @@ impl WireHeader {
         delay: Duration,
         len: usize,
     ) -> Result<Self> {
-        let src = u16::try_from(src)
-            .map_err(|_| ClusterError::Wire(format!("src rank {src} exceeds the u16 wire field")))?;
-        let dst = u16::try_from(dst)
-            .map_err(|_| ClusterError::Wire(format!("dst rank {dst} exceeds the u16 wire field")))?;
-        let len = u32::try_from(len)
-            .map_err(|_| ClusterError::Wire(format!("payload of {len} bytes exceeds the u32 wire field")))?;
+        let src = u16::try_from(src).map_err(|_| {
+            ClusterError::Wire(format!("src rank {src} exceeds the u16 wire field"))
+        })?;
+        let dst = u16::try_from(dst).map_err(|_| {
+            ClusterError::Wire(format!("dst rank {dst} exceeds the u16 wire field"))
+        })?;
+        let len = u32::try_from(len).map_err(|_| {
+            ClusterError::Wire(format!("payload of {len} bytes exceeds the u32 wire field"))
+        })?;
         if len > MAX_FRAME_LEN {
             return Err(ClusterError::Wire(format!(
                 "payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap"
@@ -123,7 +126,9 @@ impl WireHeader {
         // Round sub-microsecond delays up so a nonzero injected delay
         // never quantizes to "no delay" on the wire.
         let delay_us = u32::try_from(delay.as_nanos().div_ceil(1_000)).map_err(|_| {
-            ClusterError::Wire(format!("injected delay {delay:?} exceeds the u32 microsecond field"))
+            ClusterError::Wire(format!(
+                "injected delay {delay:?} exceeds the u32 microsecond field"
+            ))
         })?;
         Ok(WireHeader {
             kind,
@@ -170,8 +175,9 @@ impl WireHeader {
         }
         let kind = FrameKind::from_u8(bytes[5])?;
         let le16 = |at: usize| u16::from_le_bytes([bytes[at], bytes[at + 1]]);
-        let le32 =
-            |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let le32 = |at: usize| {
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+        };
         let len = le32(16);
         if len > MAX_FRAME_LEN {
             return Err(ClusterError::Wire(format!(
@@ -235,15 +241,8 @@ mod tests {
 
     #[test]
     fn header_roundtrips_through_encode_decode() {
-        let hdr = WireHeader::new(
-            FrameKind::Data,
-            3,
-            7,
-            12,
-            Duration::from_micros(250),
-            4096,
-        )
-        .unwrap();
+        let hdr =
+            WireHeader::new(FrameKind::Data, 3, 7, 12, Duration::from_micros(250), 4096).unwrap();
         let decoded = WireHeader::decode(&hdr.encode()).unwrap();
         assert_eq!(decoded, hdr);
         assert_eq!(decoded.delay_us, 250);
@@ -283,21 +282,13 @@ mod tests {
         let err = WireHeader::new(FrameKind::Data, 0, 1, 0, Duration::ZERO, u64::MAX as usize);
         assert!(matches!(err, Err(ClusterError::Wire(_))), "{err:?}");
         // Delay beyond the u32 microsecond field.
-        let err = WireHeader::new(
-            FrameKind::Data,
-            0,
-            1,
-            0,
-            Duration::from_secs(5_000_000),
-            0,
-        );
+        let err = WireHeader::new(FrameKind::Data, 0, 1, 0, Duration::from_secs(5_000_000), 0);
         assert!(matches!(err, Err(ClusterError::Wire(_))), "{err:?}");
     }
 
     #[test]
     fn sub_microsecond_delay_rounds_up_not_to_zero() {
-        let hdr =
-            WireHeader::new(FrameKind::Data, 0, 1, 0, Duration::from_nanos(137), 0).unwrap();
+        let hdr = WireHeader::new(FrameKind::Data, 0, 1, 0, Duration::from_nanos(137), 0).unwrap();
         assert_eq!(hdr.delay_us, 1, "nonzero delay must stay visible");
     }
 
@@ -372,6 +363,52 @@ mod tests {
         let mut buf = Vec::new();
         let err = write_frame(&mut buf, &hdr, b"four");
         assert!(matches!(err, Err(ClusterError::Wire(_))), "{err:?}");
+    }
+
+    #[test]
+    fn max_frame_len_is_inclusive_at_construct_and_decode() {
+        // The cap is inclusive: a header claiming exactly MAX_FRAME_LEN
+        // must survive both construction and decode...
+        let hdr = WireHeader::new(
+            FrameKind::Data,
+            0,
+            1,
+            0,
+            Duration::ZERO,
+            MAX_FRAME_LEN as usize,
+        )
+        .unwrap();
+        let decoded = WireHeader::decode(&hdr.encode()).unwrap();
+        assert_eq!(decoded.len, MAX_FRAME_LEN);
+
+        // ...while one byte more is a typed Wire error on both paths
+        // (decode sees the forged length since new() refuses to build it).
+        let err = WireHeader::new(
+            FrameKind::Data,
+            0,
+            1,
+            0,
+            Duration::ZERO,
+            MAX_FRAME_LEN as usize + 1,
+        );
+        assert!(matches!(err, Err(ClusterError::Wire(_))), "{err:?}");
+        let mut raw = hdr.encode();
+        raw[16..20].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let err = WireHeader::decode(&raw);
+        assert!(matches!(err, Err(ClusterError::Wire(_))), "{err:?}");
+    }
+
+    #[test]
+    fn zero_length_frame_roundtrips() {
+        // Control/Hello frames legitimately carry no payload; the reader
+        // must hand back an empty vec, not an error or a short read.
+        let hdr = WireHeader::new(FrameKind::Control, 2, 5, 0, Duration::ZERO, 0).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &hdr, &[]).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, hdr);
+        assert!(payload.is_empty());
     }
 
     #[test]

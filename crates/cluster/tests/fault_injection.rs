@@ -44,8 +44,7 @@ fn send_to_dead_peer_returns_peer_gone_not_panic() {
     // The death shows up in the fault log.
     assert!(events
         .iter()
-        .any(|e| matches!(e.kind, gcs_cluster::FaultKind::RankDead { at_iter: 0 })
-            && e.src == 1));
+        .any(|e| matches!(e.kind, gcs_cluster::FaultKind::RankDead { at_iter: 0 }) && e.src == 1));
 }
 
 #[test]
@@ -105,8 +104,8 @@ fn timed_out_frame_is_receivable_by_blocking_recv_too() {
             w.send(1, vec![9u8; 8]).unwrap();
             true
         } else {
-            let timed_out =
-                w.recv_deadline(0, Duration::from_millis(1)) == Err(ClusterError::Timeout { peer: 0 });
+            let timed_out = w.recv_deadline(0, Duration::from_millis(1))
+                == Err(ClusterError::Timeout { peer: 0 });
             let frame = w.recv(0).unwrap();
             timed_out && frame.as_slice() == [9u8; 8]
         }
@@ -141,7 +140,10 @@ fn same_seed_gives_identical_event_sequence() {
     assert!(!events_a.is_empty(), "plan must inject something");
     assert_eq!(events_a, events_b, "event sequence must be seed-pure");
     // A different seed produces a different sequence.
-    let other = FaultPlan { seed: plan.seed ^ 0xDEAD_BEEF, ..plan };
+    let other = FaultPlan {
+        seed: plan.seed ^ 0xDEAD_BEEF,
+        ..plan
+    };
     let (_, events_c) = SimCluster::run_with_faults(4, other, |w| workload(&w));
     assert_ne!(events_a, events_c);
 }
@@ -233,11 +235,13 @@ fn reorder_swaps_frames_deterministically_without_losing_any() {
 fn dropped_frames_surface_as_timeout_not_hang() {
     // Certain loss + a recv deadline: the collective fails with Timeout
     // after its retries instead of blocking forever.
-    let plan = FaultPlan::new(5).drop_prob(1.0).recv_policy(RecvPolicy::with_timeout(
-        Duration::from_millis(10),
-        2,
-        Duration::from_millis(5),
-    ));
+    let plan = FaultPlan::new(5)
+        .drop_prob(1.0)
+        .recv_policy(RecvPolicy::with_timeout(
+            Duration::from_millis(10),
+            2,
+            Duration::from_millis(5),
+        ));
     let (outs, events) = SimCluster::run_with_faults(2, plan, |w| {
         let mut buf = vec![1.0f32; 8];
         let res = w.all_reduce_sum(&mut buf);

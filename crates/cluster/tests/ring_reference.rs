@@ -51,7 +51,18 @@ fn all_reduce_bit_identical_to_scalar_ring_order() {
     for p in 1..=9usize {
         // Uneven sizes on purpose: shorter than the world (empty chunks),
         // non-multiples of p, and a couple of larger odd lengths.
-        let lens = [1, 2, 3, 5, 7, 13, 31, p.saturating_sub(1).max(1), p + 1, 2 * p + 3];
+        let lens = [
+            1,
+            2,
+            3,
+            5,
+            7,
+            13,
+            31,
+            p.saturating_sub(1).max(1),
+            p + 1,
+            2 * p + 3,
+        ];
         for len in lens {
             let expect = ring_reference(len, p);
             let outs = SimCluster::run(p, move |w| {

@@ -60,17 +60,17 @@ fn late_frame_times_out_exactly_once_on_both_backends() {
                 std::thread::sleep(Duration::from_millis(200));
                 (true, true, true, true)
             } else {
-                let early =
-                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
-                let early_again =
-                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
+                let early = w.recv_deadline(0, Duration::from_millis(5))
+                    == Err(ClusterError::Timeout { peer: 0 });
+                let early_again = w.recv_deadline(0, Duration::from_millis(5))
+                    == Err(ClusterError::Timeout { peer: 0 });
                 let got = matches!(
                     w.recv_deadline(0, Duration::from_secs(5)),
                     Ok(f) if f.as_slice() == [42u8; 64]
                 );
                 // The delivered frame must not be duplicated.
-                let no_dup =
-                    w.recv_deadline(0, Duration::from_millis(5)) == Err(ClusterError::Timeout { peer: 0 });
+                let no_dup = w.recv_deadline(0, Duration::from_millis(5))
+                    == Err(ClusterError::Timeout { peer: 0 });
                 (early, early_again, got, no_dup)
             }
         }) {
@@ -81,7 +81,9 @@ fn late_frame_times_out_exactly_once_on_both_backends() {
             );
             // A delay-only plan may log only delays.
             assert!(
-                events.iter().all(|e| matches!(e.kind, FaultKind::Delay { .. })),
+                events
+                    .iter()
+                    .all(|e| matches!(e.kind, FaultKind::Delay { .. })),
                 "backend {backend} seed {seed}: non-delay event in {events:?}"
             );
         }

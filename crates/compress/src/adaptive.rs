@@ -388,7 +388,10 @@ pub fn encode_decisions(decisions: &[Decision]) -> Result<Vec<u8>> {
 /// Returns [`CompressError::Protocol`] on a truncated or malformed buffer.
 pub fn decode_decisions(bytes: &[u8]) -> Result<Vec<Decision>> {
     let malformed = || CompressError::Protocol("malformed decision broadcast".into());
-    let head: [u8; 4] = bytes.get(..4).and_then(|s| s.try_into().ok()).ok_or_else(malformed)?;
+    let head: [u8; 4] = bytes
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(malformed)?;
     let count = u32::from_le_bytes(head) as usize;
     let body = &bytes[4..];
     if body.len() != count * DECISION_WIRE_BYTES {
@@ -634,9 +637,7 @@ impl Controller {
         let prior = self.cfg.priors_ns_per_elem[arm] * 1e-9 * self.elems[bucket] as f64;
         let encdec = match self.cfg.inputs {
             DecisionInputs::Modelled => prior,
-            DecisionInputs::Measured => {
-                self.buckets[bucket].encdec_ewma[arm].unwrap_or(prior)
-            }
+            DecisionInputs::Measured => self.buckets[bucket].encdec_ewma[arm].unwrap_or(prior),
         };
         let link = self.decision_link();
         let mut comm = 0.0;
@@ -815,8 +816,7 @@ impl Controller {
         match self.cfg.objective {
             Objective::FastestIteration => fastest,
             Objective::Budget { per_step_s } => {
-                let share =
-                    per_step_s * self.elems[bucket] as f64 / self.total_elems as f64;
+                let share = per_step_s * self.elems[bucket] as f64 / self.total_elems as f64;
                 (0..self.cfg.arms.len())
                     .find(|&a| self.estimate(bucket, a) <= share)
                     .unwrap_or(fastest) // lint: allow(panic-in-data-plane) — Option::unwrap_or is total
@@ -830,12 +830,9 @@ impl Controller {
         let est_cur = self.estimate(bucket, cur);
         let est_target = self.estimate(bucket, target);
         match self.cfg.objective {
-            Objective::FastestIteration => {
-                est_target < (1.0 - self.cfg.hysteresis) * est_cur
-            }
+            Objective::FastestIteration => est_target < (1.0 - self.cfg.hysteresis) * est_cur,
             Objective::Budget { per_step_s } => {
-                let share =
-                    per_step_s * self.elems[bucket] as f64 / self.total_elems as f64;
+                let share = per_step_s * self.elems[bucket] as f64 / self.total_elems as f64;
                 // Tighten whenever the current arm blows the share; relax
                 // only when the lighter arm fits with hysteresis margin.
                 est_cur > share || est_target <= (1.0 - self.cfg.hysteresis) * share
@@ -1014,8 +1011,14 @@ mod tests {
         for b in 0..c.num_buckets() {
             assert_eq!(c.arm_of(b), 0);
             let est0 = c.estimate(b, 0);
-            assert!(est0 < c.estimate(b, 1), "syncSGD must beat PowerSGD at 10 Gbps");
-            assert!(est0 < c.estimate(b, 2), "syncSGD must beat Top-K at 10 Gbps");
+            assert!(
+                est0 < c.estimate(b, 1),
+                "syncSGD must beat PowerSGD at 10 Gbps"
+            );
+            assert!(
+                est0 < c.estimate(b, 2),
+                "syncSGD must beat Top-K at 10 Gbps"
+            );
         }
     }
 
@@ -1171,7 +1174,9 @@ mod tests {
         let _ = impossible.tune_initial();
         let fastest = (0..3)
             .min_by(|&a, &b| {
-                impossible.estimate(0, a).total_cmp(&impossible.estimate(0, b))
+                impossible
+                    .estimate(0, a)
+                    .total_cmp(&impossible.estimate(0, b))
             })
             .unwrap();
         assert_eq!(impossible.arm_of(0), fastest);
@@ -1201,7 +1206,10 @@ mod tests {
         ];
         let wire = encode_decisions(&ds).unwrap();
         assert_eq!(decode_decisions(&wire).unwrap(), ds);
-        assert_eq!(decode_decisions(&encode_decisions(&[]).unwrap()).unwrap(), vec![]);
+        assert_eq!(
+            decode_decisions(&encode_decisions(&[]).unwrap()).unwrap(),
+            vec![]
+        );
         assert!(decode_decisions(&wire[..wire.len() - 1]).is_err());
         assert!(decode_decisions(&[1, 2]).is_err());
     }
@@ -1219,8 +1227,7 @@ mod tests {
         }
         let script = live.trace().to_vec();
 
-        let mut replay =
-            Controller::scripted(mk_cfg(), &shapes(), 4, script).unwrap();
+        let mut replay = Controller::scripted(mk_cfg(), &shapes(), 4, script).unwrap();
         let mut replay_assignments = Vec::new();
         let _ = replay.tune_initial();
         replay_assignments.push((replay.arm_of(0), replay.arm_of(1)));

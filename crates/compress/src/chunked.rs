@@ -567,14 +567,7 @@ fn check_len(a: usize, b: usize) -> Result<()> {
 /// `tag · len:u64 · scale:f32` and appends the bytes of it that fall in
 /// `[lo, hi)` to `out`. Native byte emitters call this for chunk 0 (and
 /// it is a no-op for later chunks, whose `lo >= prefix`).
-pub fn emit_scalar_prefix(
-    tag: u8,
-    len: u64,
-    scale: f32,
-    lo: usize,
-    hi: usize,
-    out: &mut Vec<u8>,
-) {
+pub fn emit_scalar_prefix(tag: u8, len: u64, scale: f32, lo: usize, hi: usize, out: &mut Vec<u8>) {
     let mut prefix = [0u8; 13];
     prefix[0] = tag;
     prefix[1..9].copy_from_slice(&len.to_le_bytes());
@@ -625,7 +618,8 @@ mod tests {
             for &(lo, hi) in &spans {
                 assert!(lo <= hi);
                 let mut chunk = Vec::new();
-                enc.emit_staged(lo, hi, ChunkSink::Bytes(&mut chunk)).unwrap();
+                enc.emit_staged(lo, hi, ChunkSink::Bytes(&mut chunk))
+                    .unwrap();
                 out.extend_from_slice(&chunk);
             }
             assert_eq!(out, wire);
@@ -673,13 +667,12 @@ mod tests {
         };
         let mut dec = ChunkedDecode::staged(&header, 3);
         for &(lo, hi) in &chunk_spans(&header, 3) {
-            dec.absorb_staged(lo, hi, ChunkData::F32(&data[lo..hi])).unwrap();
+            dec.absorb_staged(lo, hi, ChunkData::F32(&data[lo..hi]))
+                .unwrap();
         }
         let mut c = NoCompression::new();
         dec.finish_staged(&mut c, 0, 0).unwrap();
-        let out = c
-            .finish(0, &gcs_tensor::Shape::new(vec![40]))
-            .unwrap();
+        let out = c.finish(0, &gcs_tensor::Shape::new(vec![40])).unwrap();
         assert_eq!(out.data(), &data[..]);
     }
 

@@ -95,7 +95,9 @@ impl Dgc {
         if n == 0 {
             return 0.0;
         }
-        let sample_n = ((n as f64 * self.sample_fraction) as usize).clamp(1, n).min(10_000);
+        let sample_n = ((n as f64 * self.sample_fraction) as usize)
+            .clamp(1, n)
+            .min(10_000);
         let mut sample: Vec<f32> = (0..sample_n)
             .map(|_| data[self.rng.gen_range(0..n)].abs())
             .collect();
@@ -259,7 +261,9 @@ mod tests {
         // The sampled-threshold sort runs under f32::total_cmp: a NaN
         // coordinate must neither panic nor make the kept set run-to-run
         // noise (two encoders with identical state and input must agree).
-        let mut data: Vec<f32> = (0..2048).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.1).collect();
+        let mut data: Vec<f32> = (0..2048)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.1)
+            .collect();
         data[100] = f32::NAN;
         data[1999] = -f32::NAN;
         let g = Tensor::from_vec(data);
@@ -267,8 +271,18 @@ mod tests {
         let mut b = Dgc::new(0.05).unwrap();
         let pa = a.encode(0, &g).unwrap();
         let pb = b.encode(0, &g).unwrap();
-        let (Payload::Sparse { indices: ia, values: va, .. },
-             Payload::Sparse { indices: ib, values: vb, .. }) = (pa, pb)
+        let (
+            Payload::Sparse {
+                indices: ia,
+                values: va,
+                ..
+            },
+            Payload::Sparse {
+                indices: ib,
+                values: vb,
+                ..
+            },
+        ) = (pa, pb)
         else {
             panic!("wrong payload")
         };
@@ -301,7 +315,10 @@ mod tests {
         let g = Tensor::randn([5000], 52);
         let mut c = Dgc::new(0.05).unwrap();
         let p = c.encode(0, &g).unwrap();
-        let Payload::Sparse { indices, values, .. } = p else {
+        let Payload::Sparse {
+            indices, values, ..
+        } = p
+        else {
             panic!("wrong payload")
         };
         let min_kept = values.iter().map(|v| v.abs()).fold(f32::MAX, f32::min);

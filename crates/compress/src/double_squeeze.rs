@@ -133,8 +133,7 @@ mod tests {
             let mut server = TopK::new(0.25).unwrap().error_feedback(ef);
             let mut applied = Tensor::zeros([40]);
             for _ in 0..80 {
-                let outs =
-                    double_squeeze_round(&mut workers, &mut server, 0, &grads).unwrap();
+                let outs = double_squeeze_round(&mut workers, &mut server, 0, &grads).unwrap();
                 applied.add_assign(&outs[0]).unwrap();
             }
             applied.scale(1.0 / 80.0);

@@ -185,8 +185,8 @@ mod tests {
         let expected_norm = (1.0f64 + 4.0 + 9.0).sqrt();
 
         let mut new = TopK::new(1.0).unwrap().error_feedback(true);
-        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
-            .unwrap();
+        let out =
+            super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry).unwrap();
         assert!(out.carried);
         assert!((out.residual_norm - expected_norm).abs() < 1e-6);
         // The old compressor's residual is gone either way.
@@ -203,8 +203,8 @@ mod tests {
         let g = Tensor::from_vec(vec![10.0, 1.0, 2.0, 3.0]);
         let _ = round_trip(&mut old, 0, &g).unwrap();
         let mut new = NoCompression::new();
-        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
-            .unwrap();
+        let out =
+            super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry).unwrap();
         assert!(!out.carried, "no-EF target cannot carry");
         assert!(out.residual_norm > 0.0, "norm is still reported");
         assert!(old.take_residual(0).is_none(), "old residual is cleared");
@@ -217,8 +217,8 @@ mod tests {
         let g = Tensor::from_vec(vec![10.0, 1.0, 2.0, 3.0]);
         let _ = round_trip(&mut old, 0, &g).unwrap();
         let mut new = TopK::new(1.0).unwrap().error_feedback(true);
-        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Reset)
-            .unwrap();
+        let out =
+            super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Reset).unwrap();
         assert!(!out.carried);
         assert!(out.residual_norm > 0.0);
         let sent = round_trip(&mut new, 0, &Tensor::zeros([4])).unwrap();
@@ -233,8 +233,8 @@ mod tests {
         let g = Tensor::randn([4, 4], 3);
         let _ = round_trip(&mut old, 0, &g).unwrap();
         let mut new = PowerSgd::new(4).unwrap();
-        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
-            .unwrap();
+        let out =
+            super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry).unwrap();
         assert!(out.carried, "PowerSGD has EF memory");
         // The injected residual is reconciled at the next encode; rank-4 on
         // a 4x4 matrix is exact, so (zero grad + residual) round-trips to
@@ -248,8 +248,8 @@ mod tests {
     fn switch_norm_zero_when_old_scheme_has_no_residual() {
         let mut old = NoCompression::new();
         let mut new = NoCompression::new();
-        let out = super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry)
-            .unwrap();
+        let out =
+            super::switch_scheme(&mut old, &mut new, 0, super::ResidualPolicy::Carry).unwrap();
         assert_eq!(
             out,
             super::SwitchOutcome {

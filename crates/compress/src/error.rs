@@ -32,7 +32,10 @@ impl fmt::Display for CompressError {
         match self {
             CompressError::Tensor(e) => write!(f, "tensor error: {e}"),
             CompressError::PayloadKind { expected, actual } => {
-                write!(f, "payload kind mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "payload kind mismatch: expected {expected}, got {actual}"
+                )
             }
             CompressError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             CompressError::EmptyAggregate => write!(f, "aggregate called with no payloads"),

@@ -33,7 +33,11 @@ fn encode_value(x: f32, rng: &mut StdRng) -> i8 {
     let high = low * 2.0;
     // P(round up) chosen so E[decode] = mag: p*high + (1-p)*low = mag.
     let p_up = (mag - low) / (high - low);
-    let e = if rng.gen::<f32>() < p_up { e_low + 1.0 } else { e_low };
+    let e = if rng.gen::<f32>() < p_up {
+        e_low + 1.0
+    } else {
+        e_low
+    };
     let code = (e as i32 + BIAS).clamp(1, 127);
     if x >= 0.0 {
         code as i8

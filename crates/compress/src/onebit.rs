@@ -35,8 +35,16 @@ impl OneBitSgd {
                 neg_n += 1;
             }
         }
-        let pos = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-        let neg = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        let pos = if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        };
+        let neg = if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        };
         (neg, pos)
     }
 }

@@ -209,8 +209,8 @@ impl Payload {
             (Payload::Half(a), Payload::Half(b)) => {
                 check_len(a.len(), b.len())?;
                 for (x, y) in a.iter_mut().zip(b) {
-                    let sum = gcs_tensor::f16::f16_bits_to_f32(*x)
-                        + gcs_tensor::f16::f16_bits_to_f32(*y);
+                    let sum =
+                        gcs_tensor::f16::f16_bits_to_f32(*x) + gcs_tensor::f16::f16_bits_to_f32(*y);
                     *x = gcs_tensor::f16::f32_to_f16_bits(sum);
                 }
                 Ok(())
@@ -462,11 +462,15 @@ impl Payload {
             TAG_FACTOR_P | TAG_FACTOR_Q => {
                 let rows = r.u64()? as usize;
                 let cols = r.u64()? as usize;
-                let total = rows.checked_mul(cols).ok_or_else(|| {
-                    CompressError::Wire("factor dimensions overflow".into())
-                })?;
+                let total = rows
+                    .checked_mul(cols)
+                    .ok_or_else(|| CompressError::Wire("factor dimensions overflow".into()))?;
                 Payload::Factor {
-                    which: if tag == TAG_FACTOR_P { Factor::P } else { Factor::Q },
+                    which: if tag == TAG_FACTOR_P {
+                        Factor::P
+                    } else {
+                        Factor::Q
+                    },
                     rows,
                     cols,
                     data: r.f32s(total)?,
@@ -616,27 +620,30 @@ impl<'a> Reader<'a> {
     }
 
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
-        let b = self.take(n.checked_mul(4).ok_or_else(|| {
-            CompressError::Wire("length overflow".into())
-        })?)?;
+        let b = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| CompressError::Wire("length overflow".into()))?,
+        )?;
         let mut out = vec![0.0f32; n];
         kernels::bytes_to_f32s_pooled(pool::global(), b, &mut out);
         Ok(out)
     }
 
     fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
-        let b = self.take(n.checked_mul(4).ok_or_else(|| {
-            CompressError::Wire("length overflow".into())
-        })?)?;
+        let b = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| CompressError::Wire("length overflow".into()))?,
+        )?;
         let mut out = vec![0u32; n];
         kernels::bytes_to_u32s(b, &mut out);
         Ok(out)
     }
 
     fn u16s(&mut self, n: usize) -> Result<Vec<u16>> {
-        let b = self.take(n.checked_mul(2).ok_or_else(|| {
-            CompressError::Wire("length overflow".into())
-        })?)?;
+        let b = self.take(
+            n.checked_mul(2)
+                .ok_or_else(|| CompressError::Wire("length overflow".into()))?,
+        )?;
         Ok(b.chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect())

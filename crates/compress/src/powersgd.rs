@@ -127,8 +127,8 @@ impl PowerSgd {
     }
 
     fn init_q(&self, layer: usize, n: usize, r: usize) -> Vec<f32> {
-        let mut q = Tensor::randn([n, r], self.seed ^ (layer as u64).wrapping_mul(0x1000_0001))
-            .into_vec();
+        let mut q =
+            Tensor::randn([n, r], self.seed ^ (layer as u64).wrapping_mul(0x1000_0001)).into_vec();
         // Orthonormal start makes the first iteration a proper projection.
         let _ = orthonormalize_columns(&mut q, n, r);
         q
@@ -173,7 +173,11 @@ impl PowerSgd {
         }
         let warm = self.warm_start;
         let ef = self.error_feedback;
-        let fresh_q = if warm { None } else { Some(self.init_q(layer, n, r)) };
+        let fresh_q = if warm {
+            None
+        } else {
+            Some(self.init_q(layer, n, r))
+        };
         let injected = self.injected.remove(&layer);
         let Some(state) = self.layers.get_mut(&layer) else {
             return Err(CompressError::Protocol(format!(
@@ -253,9 +257,10 @@ impl Compressor for PowerSgd {
         let state = self.layers.get_mut(&layer).ok_or_else(|| {
             CompressError::Protocol(format!("encode_round before encode for layer {layer}"))
         })?;
-        let p_hat = state.p_hat.as_ref().ok_or_else(|| {
-            CompressError::Protocol("round 1 before absorbing round 0".into())
-        })?;
+        let p_hat = state
+            .p_hat
+            .as_ref()
+            .ok_or_else(|| CompressError::Protocol("round 1 before absorbing round 0".into()))?;
         // Q = Mᵀ · P̂, into the recycled buffer.
         let (m, n, r) = (state.rows, state.cols, state.rank);
         let mut q = std::mem::take(&mut state.q_scratch);
@@ -339,12 +344,14 @@ impl Compressor for PowerSgd {
         let state = self.layers.get_mut(&layer).ok_or_else(|| {
             CompressError::Protocol(format!("finish before encode for layer {layer}"))
         })?;
-        let p_hat = state.p_hat.take().ok_or_else(|| {
-            CompressError::Protocol("finish before absorbing round 0".into())
-        })?;
-        let q_agg = state.q_agg.take().ok_or_else(|| {
-            CompressError::Protocol("finish before absorbing round 1".into())
-        })?;
+        let p_hat = state
+            .p_hat
+            .take()
+            .ok_or_else(|| CompressError::Protocol("finish before absorbing round 0".into()))?;
+        let q_agg = state
+            .q_agg
+            .take()
+            .ok_or_else(|| CompressError::Protocol("finish before absorbing round 1".into()))?;
         let (m, n, r) = (state.rows, state.cols, state.rank);
         // Ĝ = P̂ · Q̄ᵀ
         let mut g_hat = vec![0.0f32; m * n];
@@ -561,20 +568,15 @@ mod tests {
         let g = Tensor::randn([16, 16], 5);
         let mut c = PowerSgd::new(2).unwrap();
         let out = round_trip(&mut c, 0, &g).unwrap();
-        let err_mem = Tensor::from_shape_vec(
-            [16, 16],
-            c.layers.get(&0).unwrap().error.clone(),
-        )
-        .unwrap();
+        let err_mem =
+            Tensor::from_shape_vec([16, 16], c.layers.get(&0).unwrap().error.clone()).unwrap();
         let sum = out.add(&err_mem).unwrap();
         assert!(relative_l2_error(&g, &sum) < 1e-4);
     }
 
     #[test]
     fn multi_worker_aggregation_is_consistent_across_workers() {
-        let grads: Vec<Tensor> = (0..3)
-            .map(|s| Tensor::randn([8, 12], 100 + s))
-            .collect();
+        let grads: Vec<Tensor> = (0..3).map(|s| Tensor::randn([8, 12], 100 + s)).collect();
         let mut workers: Vec<PowerSgd> = (0..3).map(|_| PowerSgd::new(4).unwrap()).collect();
         let outs = all_reduce_compressed(&mut workers, 7, &grads).unwrap();
         assert_eq!(outs[0], outs[1]);

@@ -230,15 +230,15 @@ mod tests {
     fn table1_classification_matches_paper() {
         // (all_reducible, layerwise) per catalogue row, as in Table 1.
         let expected = [
-            (true, true),   // syncSGD
-            (true, true),   // GradiVeq
-            (true, true),   // PowerSGD
-            (true, false),  // Random-K
-            (false, true),  // ATOMO
-            (false, true),  // SignSGD
-            (false, true),  // TernGrad
-            (false, true),  // QSGD
-            (false, true),  // DGC
+            (true, true),  // syncSGD
+            (true, true),  // GradiVeq
+            (true, true),  // PowerSGD
+            (true, false), // Random-K
+            (false, true), // ATOMO
+            (false, true), // SignSGD
+            (false, true), // TernGrad
+            (false, true), // QSGD
+            (false, true), // DGC
         ];
         for (cfg, (ar, lw)) in table1_methods().iter().zip(expected) {
             let p = cfg.build().unwrap().properties();
@@ -249,7 +249,10 @@ mod tests {
 
     #[test]
     fn parse_round_trips_common_specs() {
-        assert_eq!(MethodConfig::parse("syncsgd").unwrap(), MethodConfig::SyncSgd);
+        assert_eq!(
+            MethodConfig::parse("syncsgd").unwrap(),
+            MethodConfig::SyncSgd
+        );
         assert_eq!(
             MethodConfig::parse("powersgd:8").unwrap(),
             MethodConfig::PowerSgd { rank: 8 }
@@ -262,12 +265,18 @@ mod tests {
             MethodConfig::parse("qsgd:15").unwrap(),
             MethodConfig::Qsgd { levels: 15 }
         );
-        assert_eq!(MethodConfig::parse("TERNGRAD").unwrap(), MethodConfig::TernGrad);
+        assert_eq!(
+            MethodConfig::parse("TERNGRAD").unwrap(),
+            MethodConfig::TernGrad
+        );
     }
 
     #[test]
     fn natural_method_builds_and_parses() {
-        assert_eq!(MethodConfig::parse("natural").unwrap(), MethodConfig::Natural);
+        assert_eq!(
+            MethodConfig::parse("natural").unwrap(),
+            MethodConfig::Natural
+        );
         assert!(MethodConfig::Natural.build().is_ok());
     }
 

@@ -155,8 +155,10 @@ impl Compressor for SignSgd {
         for (r, &v) in res_vec.iter_mut().zip(&self.work) {
             *r = v - if v >= 0.0 { scale } else { -scale };
         }
-        self.residual
-            .insert(layer, Tensor::from_shape_vec(grad.shape().clone(), res_vec)?);
+        self.residual.insert(
+            layer,
+            Tensor::from_shape_vec(grad.shape().clone(), res_vec)?,
+        );
         Ok(Payload::Signs {
             len: bits.len(),
             words: bits.into_words(),
@@ -412,7 +414,10 @@ mod tests {
         let res = c.residual.get(&0).unwrap();
         let sum = out.add(res).unwrap();
         let err = gcs_tensor::stats::relative_l2_error(&g, &sum);
-        assert!(err < 1e-5, "decode + residual must reconstruct input: {err}");
+        assert!(
+            err < 1e-5,
+            "decode + residual must reconstruct input: {err}"
+        );
     }
 
     #[test]

@@ -129,7 +129,8 @@ impl Compressor for TernGrad {
                     for (x, c) in a.iter_mut().zip(&codes) {
                         // Fused decode-and-add: the addend is synthesized
                         // per element, so no bulk kernel applies.
-                        *x += match *c { // lint: allow(raw-f32-accumulation)
+                        // lint: allow(raw-f32-accumulation)
+                        *x += match *c {
                             CODE_POS => *scale,
                             CODE_NEG => -*scale,
                             _ => 0.0,

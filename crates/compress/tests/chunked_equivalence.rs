@@ -324,13 +324,31 @@ fn gather_decode_reassembles_ragged_per_rank_frames() {
     for j in 0..chunks {
         let mut c0 = Vec::new();
         let mut c1 = Vec::new();
-        w0.encode_chunk(0, &mut enc0, spans0[j].0, spans0[j].1, ChunkSink::Bytes(&mut c0))
-            .unwrap();
-        w1.encode_chunk(0, &mut enc1, spans1[j].0, spans1[j].1, ChunkSink::Bytes(&mut c1))
-            .unwrap();
+        w0.encode_chunk(
+            0,
+            &mut enc0,
+            spans0[j].0,
+            spans0[j].1,
+            ChunkSink::Bytes(&mut c0),
+        )
+        .unwrap();
+        w1.encode_chunk(
+            0,
+            &mut enc1,
+            spans1[j].0,
+            spans1[j].1,
+            ChunkSink::Bytes(&mut c1),
+        )
+        .unwrap();
         let frames: [&[u8]; 2] = [&c0, &c1];
-        w0.decode_chunk(0, &mut dec, spans0[j].0, spans0[j].1, ChunkData::Frames(&frames))
-            .unwrap();
+        w0.decode_chunk(
+            0,
+            &mut dec,
+            spans0[j].0,
+            spans0[j].1,
+            ChunkData::Frames(&frames),
+        )
+        .unwrap();
     }
     w0.finish_chunked_decode(0, 0, dec).unwrap();
     let decoded = w0.finish(0, g0.shape()).unwrap();

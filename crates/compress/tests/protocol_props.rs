@@ -180,7 +180,11 @@ fn identical_inputs_aggregate_to_roundtrip() {
         let err = stats::relative_l2_error(&solo, &outs[0]);
         // FP16 re-rounds after averaging (sum/3 is not representable), so
         // allow half-precision ULP noise; everything else is f32-exact.
-        let tol = if method == MethodConfig::Fp16 { 1e-3 } else { 1e-4 };
+        let tol = if method == MethodConfig::Fp16 {
+            1e-3
+        } else {
+            1e-4
+        };
         assert!(err < tol || solo.l2_norm() == 0.0, "{method:?}: err {err}");
     }
 }

@@ -104,7 +104,11 @@ mod tests {
         // compression for near-linear scaling at 64 GPUs.
         let device = DeviceSpec::v100();
         for model in presets::paper_models() {
-            let batch = if model.name.starts_with("BERT") { 8 } else { 16 };
+            let batch = if model.name.starts_with("BERT") {
+                8
+            } else {
+                16
+            };
             match required_compression(&model, &device, &net10(), 64, batch) {
                 RequiredCompression::Achievable { ratio, .. } => {
                     assert!(ratio <= 8.0, "{}: ratio {ratio}", model.name);
@@ -120,13 +124,7 @@ mod tests {
     fn bert_needs_less_than_2x_at_large_batch() {
         // Paper: "a large model like BERT requires less than 2x
         // compression to achieve near linear scaling".
-        let r = required_compression(
-            &presets::bert_base(),
-            &DeviceSpec::v100(),
-            &net10(),
-            64,
-            12,
-        );
+        let r = required_compression(&presets::bert_base(), &DeviceSpec::v100(), &net10(), 64, 12);
         match r {
             RequiredCompression::Achievable { ratio, .. } => {
                 assert!(ratio < 2.5, "ratio {ratio}");
@@ -168,13 +166,7 @@ mod tests {
     fn latency_bound_when_alpha_dominates() {
         // Extreme latency: even zero bytes cannot hide under T_comp.
         let slow_net = NetworkModel::new(0.1, 1e12);
-        let r = required_compression(
-            &presets::resnet50(),
-            &DeviceSpec::v100(),
-            &slow_net,
-            64,
-            16,
-        );
+        let r = required_compression(&presets::resnet50(), &DeviceSpec::v100(), &slow_net, 64, 16);
         assert_eq!(r, RequiredCompression::LatencyBound);
     }
 

@@ -154,9 +154,7 @@ pub fn predict_generic_overlapped(cfg: &SimConfig) -> Prediction {
     let c = total_bytes.div_ceil(cfg.bucket_bytes).max(8);
     let bucket = total_bytes / c;
     let last = total_bytes - bucket * (c - 1);
-    let overlapped: f64 = (0..c - 1)
-        .map(|_| comm_time(cfg, bucket, collective))
-        .sum();
+    let overlapped: f64 = (0..c - 1).map(|_| comm_time(cfg, bucket, collective)).sum();
     let t_last = comm_time(cfg, last, collective);
     let compute = cfg.device.gamma * t_comp + t_encdec;
     let total = compute.max(overlapped) + t_last;
@@ -187,7 +185,11 @@ mod tests {
         // "measurement" is the event simulator. Same order of fidelity.
         let mut errors = Vec::new();
         for model in presets::paper_models() {
-            let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
+            let batch = if model.name.starts_with("BERT") {
+                12
+            } else {
+                64
+            };
             for p in [8usize, 16, 32, 64, 96] {
                 let cfg = SimConfig::new(model.clone(), p).batch_per_worker(batch);
                 let predicted = predict_iteration(&cfg).total_s;
@@ -258,11 +260,14 @@ mod tests {
         // is physically unavailable — it still loses to syncSGD, because
         // its encode time alone exceeds the opportunity window.
         for model in presets::paper_models() {
-            let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
-            let sync = predict_iteration(
-                &SimConfig::new(model.clone(), 64).batch_per_worker(batch),
-            )
-            .total_s;
+            let batch = if model.name.starts_with("BERT") {
+                12
+            } else {
+                64
+            };
+            let sync =
+                predict_iteration(&SimConfig::new(model.clone(), 64).batch_per_worker(batch))
+                    .total_s;
             let topk = predict_generic_overlapped(
                 &SimConfig::new(model.clone(), 64)
                     .batch_per_worker(batch)
@@ -284,7 +289,12 @@ mod tests {
                 .batch_per_worker(12)
                 .method(MethodConfig::Fp16),
         );
-        assert!(fp16.total_s < sync.total_s, "fp16 {} sync {}", fp16.total_s, sync.total_s);
+        assert!(
+            fp16.total_s < sync.total_s,
+            "fp16 {} sync {}",
+            fp16.total_s,
+            sync.total_s
+        );
         assert!(fp16.t_comm_s < 0.6 * sync.t_comm_s);
     }
 
@@ -296,8 +306,7 @@ mod tests {
         let cfg = SimConfig::new(model.clone(), 16).method(MethodConfig::SignSgd);
         let pred = predict_iteration(&cfg);
         let g_hat = model.size_bytes() as f64 / 32.0;
-        let expected =
-            g_hat * 15.0 / cfg.network.bandwidth + cfg.network.alpha * 15.0;
+        let expected = g_hat * 15.0 / cfg.network.bandwidth + cfg.network.alpha * 15.0;
         assert!(
             (pred.t_comm_s - expected).abs() / expected < 0.02,
             "comm {} vs formula {expected}",

@@ -176,7 +176,11 @@ mod tests {
             &[1.0, 3.0, 9.0, 15.0, 30.0],
             ALPHA,
         );
-        assert!(pts[0].speedup() > 1.5, "1 Gbps speedup {}", pts[0].speedup());
+        assert!(
+            pts[0].speedup() > 1.5,
+            "1 Gbps speedup {}",
+            pts[0].speedup()
+        );
         assert!(
             pts.last().unwrap().speedup() < 1.0,
             "30 Gbps speedup {}",
@@ -232,7 +236,11 @@ mod tests {
             );
         }
         let last = pts.last().unwrap();
-        assert!(last.speedup() > 1.2, "4x compute speedup {}", last.speedup());
+        assert!(
+            last.speedup() > 1.2,
+            "4x compute speedup {}",
+            last.speedup()
+        );
     }
 
     #[test]

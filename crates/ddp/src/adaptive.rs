@@ -67,10 +67,9 @@ impl AdaptiveEngine {
     /// build or `bucket_bytes` is zero.
     pub fn new(cfg: AdaptiveConfig, bucket_bytes: usize) -> Result<Self> {
         if bucket_bytes == 0 {
-            return Err(CompressError::InvalidConfig(
-                "bucket_bytes must be positive".into(),
-            )
-            .into());
+            return Err(
+                CompressError::InvalidConfig("bucket_bytes must be positive".into()).into(),
+            );
         }
         let compressors = cfg
             .arms
@@ -133,8 +132,7 @@ impl AdaptiveEngine {
         self.ensure_plan(worker, grads)?;
         // `ensure_plan` always leaves both in place; destructure to
         // appease the borrow checker without re-checking everywhere.
-        let (Some(plan), Some(controller)) = (self.plan.as_mut(), self.controller.as_mut())
-        else {
+        let (Some(plan), Some(controller)) = (self.plan.as_mut(), self.controller.as_mut()) else {
             return Err(CompressError::Protocol("adaptive engine not initialized".into()).into());
         };
 
@@ -331,7 +329,10 @@ mod tests {
         // (which arm wins depends on bucket size — tiny buckets favour
         // Top-K's 160-byte gather over PowerSGD's two ring rounds).
         for (assignment, _) in &outs {
-            assert!(assignment.iter().all(|&a| a != 0), "assignment {assignment:?}");
+            assert!(
+                assignment.iter().all(|&a| a != 0),
+                "assignment {assignment:?}"
+            );
         }
         // Decision traces are identical across ranks.
         for (_, trace) in &outs[1..] {
@@ -374,8 +375,7 @@ mod tests {
                 }
             }
             let c = engine.controller().expect("initialized");
-            let assignment: Vec<usize> =
-                (0..c.num_buckets()).map(|b| c.arm_of(b)).collect();
+            let assignment: Vec<usize> = (0..c.num_buckets()).map(|b| c.arm_of(b)).collect();
             Ok::<_, crate::exec::ExecError>((assignment, c.trace().len()))
         });
         let outs: Vec<_> = results

@@ -225,8 +225,7 @@ pub fn exchange_gradients<C: Compressor>(
             } else {
                 compressor.encode_round(layer, round)?
             };
-            let agg =
-                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
+            let agg = aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire)?;
             compressor.absorb(layer, round, agg)?;
         }
     }
@@ -358,7 +357,11 @@ impl BucketPlan {
         let shapes = elems
             .iter()
             .map(|&n| {
-                let d = if matricize { largest_divisor_le_sqrt(n) } else { 1 };
+                let d = if matricize {
+                    largest_divisor_le_sqrt(n)
+                } else {
+                    1
+                };
                 if d > 1 {
                     gcs_tensor::Shape::new(vec![d, n / d])
                 } else {
@@ -532,8 +535,7 @@ pub fn exchange_gradients_with_plan<C: Compressor>(
                 compressor.encode_round(bucket_id, round)?
             };
             let mut wire = std::mem::take(plan.wire_mut());
-            let agg =
-                aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire);
+            let agg = aggregate_over_cluster_with(worker, compressor, round, payload, &mut wire);
             *plan.wire_mut() = wire;
             compressor.absorb(bucket_id, round, agg?)?;
         }
@@ -723,9 +725,7 @@ mod tests {
                 layers
                     .iter()
                     .enumerate()
-                    .map(|(l, shape)| {
-                        Tensor::randn(shape.clone(), seed + (w * 131 + l) as u64)
-                    })
+                    .map(|(l, shape)| Tensor::randn(shape.clone(), seed + (w * 131 + l) as u64))
                     .collect()
             })
             .collect()
@@ -736,7 +736,11 @@ mod tests {
         // FP16 sums in a different order over the ring than the reference's
         // sequential re-rounding accumulation, so allow half-precision
         // headroom there; everything else must agree to f32 noise.
-        let tol = if method == MethodConfig::Fp16 { 2e-3 } else { 1e-4 };
+        let tol = if method == MethodConfig::Fp16 {
+            2e-3
+        } else {
+            1e-4
+        };
         let layers = vec![vec![6usize, 10], vec![33], vec![4, 4, 3, 3]];
         let grads = make_grads(workers, &layers, 42);
         let distributed = data_parallel_exchange(&method, &grads).expect("engine runs");
@@ -747,8 +751,7 @@ mod tests {
             .map(|_| method.build().expect("builds"))
             .collect();
         for (layer, _) in layers.iter().enumerate() {
-            let layer_grads: Vec<Tensor> =
-                grads.iter().map(|g| g[layer].clone()).collect();
+            let layer_grads: Vec<Tensor> = grads.iter().map(|g| g[layer].clone()).collect();
             let ref_out =
                 all_reduce_compressed(&mut reference_workers, layer, &layer_grads).unwrap();
             for w in 0..workers {
@@ -879,8 +882,7 @@ mod tests {
             let grads = make_grads(2, &[vec![4usize, 4], vec![7]], 37);
             let outs = gcs_cluster::SimCluster::run(2, |worker| {
                 let mut c = method.build().unwrap();
-                exchange_gradients_bucketed(&worker, &mut c, &grads[worker.rank()], 48)
-                    .unwrap()
+                exchange_gradients_bucketed(&worker, &mut c, &grads[worker.rank()], 48).unwrap()
             });
             assert_eq!(outs[0], outs[1], "{method:?} diverged");
             for (out, g) in outs[0].iter().zip(&grads[0]) {
@@ -897,8 +899,7 @@ mod tests {
         let grads = make_grads(2, &[vec![3usize, 3], vec![5]], 41);
         let bucketed = gcs_cluster::SimCluster::run(2, |worker| {
             let mut c = MethodConfig::SyncSgd.build().unwrap();
-            exchange_gradients_bucketed(&worker, &mut c, &grads[worker.rank()], usize::MAX)
-                .unwrap()
+            exchange_gradients_bucketed(&worker, &mut c, &grads[worker.rank()], usize::MAX).unwrap()
         });
         let layered = data_parallel_exchange(&MethodConfig::SyncSgd, &grads).unwrap();
         for (a, b) in bucketed[0].iter().zip(&layered[0]) {
@@ -935,8 +936,7 @@ mod tests {
             }
             let mut c = MethodConfig::SyncSgd.build().unwrap();
             Some(
-                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members)
-                    .unwrap(),
+                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members).unwrap(),
             )
         });
         let mut mean = Tensor::zeros([9]);
@@ -969,8 +969,7 @@ mod tests {
             }
             let mut c = MethodConfig::SignSgd.build().unwrap();
             Some(
-                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members)
-                    .unwrap(),
+                exchange_gradients_among(&worker, &mut c, &grads[worker.rank()], &members).unwrap(),
             )
         });
         let survivors: Vec<_> = outs.iter().flatten().collect();

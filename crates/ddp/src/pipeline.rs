@@ -221,7 +221,12 @@ impl<C: Compressor> PipelinedEngine<C> {
         let buckets = self.plan.as_ref().map_or(0, BucketPlan::num_buckets);
         let mut outcomes = Vec::with_capacity(buckets);
         for bucket in 0..buckets {
-            outcomes.push(switch_scheme(&mut self.compressor, &mut new, bucket, policy)?);
+            outcomes.push(switch_scheme(
+                &mut self.compressor,
+                &mut new,
+                bucket,
+                policy,
+            )?);
         }
         Ok((std::mem::replace(&mut self.compressor, new), outcomes))
     }
@@ -319,7 +324,9 @@ impl<C: Compressor> PipelinedEngine<C> {
         let flats: Vec<Tensor> = (0..plan.num_buckets())
             .map(|bucket_id| {
                 let t0 = std::time::Instant::now();
-                let flat = self.compressor.finish(bucket_id, plan.bucket_shape(bucket_id))?;
+                let flat = self
+                    .compressor
+                    .finish(bucket_id, plan.bucket_shape(bucket_id))?;
                 timings[bucket_id].decode_s += t0.elapsed().as_secs_f64();
                 Ok(flat)
             })
@@ -399,7 +406,8 @@ impl<C: Compressor> PipelinedEngine<C> {
                 for x in &mut data {
                     *x /= world;
                 }
-                self.compressor.absorb(bucket, round, shell.assemble(data))?;
+                self.compressor
+                    .absorb(bucket, round, shell.assemble(data))?;
                 timings[bucket].decode_s += t1.elapsed().as_secs_f64();
             }
             Inflight::Gather { bucket, pending } => {
@@ -529,8 +537,13 @@ impl<C: Compressor> PipelinedEngine<C> {
                     ChunkedHeader::Summable { .. } => {
                         let mut buf = self.float_pool.pop().unwrap_or_default();
                         buf.clear();
-                        self.compressor
-                            .encode_chunk(bucket, &mut enc, lo, hi, ChunkSink::F32(&mut buf))?;
+                        self.compressor.encode_chunk(
+                            bucket,
+                            &mut enc,
+                            lo,
+                            hi,
+                            ChunkSink::F32(&mut buf),
+                        )?;
                         timings[bucket].encode_s += t1.elapsed().as_secs_f64();
                         // Each span is its own plain ring: bit-identical
                         // to the staggered chunked ring's segment.
@@ -649,8 +662,7 @@ impl<C: Compressor> PipelinedEngine<C> {
                 // Early finish: the bucket's dense gradient is rebuilt
                 // the moment its last chunk decodes, overlapping the
                 // trailing decompression with other buckets' wire time.
-                flats[bucket] =
-                    Some(self.compressor.finish(bucket, plan.bucket_shape(bucket))?);
+                flats[bucket] = Some(self.compressor.finish(bucket, plan.bucket_shape(bucket))?);
             }
             timings[bucket].decode_s += t0.elapsed().as_secs_f64();
         }
@@ -825,8 +837,7 @@ mod tests {
             let out = eng.exchange(&grads).unwrap();
             let (w, _) = eng.into_parts();
             let mut c2 = MethodConfig::SyncSgd.build().unwrap();
-            let seq =
-                exchange_gradients_bucketed(&w, &mut c2, &grads, usize::MAX).unwrap();
+            let seq = exchange_gradients_bucketed(&w, &mut c2, &grads, usize::MAX).unwrap();
             (out, seq)
         });
         for (pipe, seq) in outs {
@@ -860,8 +871,7 @@ mod tests {
                     let gather_net = net.all_gather(bytes, p);
                     let gather_link = link.all_gather(bytes as f64, p);
                     assert!(
-                        (gather_net - gather_link).abs()
-                            <= 1e-15 * gather_net.abs().max(1.0),
+                        (gather_net - gather_link).abs() <= 1e-15 * gather_net.abs().max(1.0),
                         "gather mismatch: {gather_net} vs {gather_link} (bytes={bytes}, p={p})"
                     );
                     // The overlap-aware Equation 1 must agree too.
@@ -888,8 +898,8 @@ mod tests {
         use gcs_compress::registry::MethodConfig;
         let arms = vec![MethodConfig::SyncSgd, MethodConfig::TopK { ratio: 0.05 }];
         let elems = vec![gcs_tensor::Shape::new(vec![1_000_000])];
-        let serial = Controller::new(AdaptiveConfig::new(arms.clone()).unwrap(), &elems, 8)
-            .unwrap();
+        let serial =
+            Controller::new(AdaptiveConfig::new(arms.clone()).unwrap(), &elems, 8).unwrap();
         let streamed = Controller::new(
             AdaptiveConfig::new(arms).unwrap().streaming_chunks(32),
             &elems,
@@ -943,8 +953,7 @@ mod tests {
         use gcs_compress::Compressor;
         let shapes = vec![vec![128usize], vec![96]];
         let outs = SimCluster::run(2, |w| {
-            let c: Box<dyn Compressor> =
-                Box::new(TopK::new(0.25).unwrap().error_feedback(true));
+            let c: Box<dyn Compressor> = Box::new(TopK::new(0.25).unwrap().error_feedback(true));
             let grads = make_grads(w.rank(), &shapes);
             let cfg = PipelineConfig {
                 bucket_bytes: 128 * 4,
@@ -968,9 +977,7 @@ mod tests {
             assert_eq!(outcomes.len(), 2);
             assert!(outcomes.iter().all(|o| o.carried));
             assert!(outcomes.iter().all(|o| o.residual_norm > 0.0));
-            assert!(out
-                .iter()
-                .all(|t| t.data().iter().all(|x| x.is_finite())));
+            assert!(out.iter().all(|t| t.data().iter().all(|x| x.is_finite())));
         }
     }
 }

@@ -254,11 +254,7 @@ fn simulate_bucketed(
 }
 
 /// A compressed method: backward, then encode/decode, then its wire plan.
-fn simulate_compressed(
-    cfg: &SimConfig,
-    t_comp: f64,
-    method: &MethodConfig,
-) -> IterationBreakdown {
+fn simulate_compressed(cfg: &SimConfig, t_comp: f64, method: &MethodConfig) -> IterationBreakdown {
     let enc = encode_cost(method, &cfg.model);
     let t_encdec = cfg
         .device
@@ -425,12 +421,14 @@ mod tests {
     #[test]
     fn gather_methods_scale_linearly_with_workers() {
         let m = presets::resnet101();
-        let mk = |p| {
-            simulate_iteration(&cfg(m.clone(), p).method(MethodConfig::SignSgd)).total_s
-        };
+        let mk = |p| simulate_iteration(&cfg(m.clone(), p).method(MethodConfig::SignSgd)).total_s;
         let t8 = mk(8);
         let t96 = mk(96);
-        assert!(t96 / t8 > 2.5, "SignSGD must degrade at scale: {}", t96 / t8);
+        assert!(
+            t96 / t8 > 2.5,
+            "SignSGD must degrade at scale: {}",
+            t96 / t8
+        );
     }
 
     #[test]
@@ -464,10 +462,8 @@ mod tests {
         // Figure 4: PowerSGD slower than syncSGD for ResNet-50 at batch 64.
         let m = presets::resnet50();
         let sync = simulate_iteration(&cfg(m.clone(), 64)).total_s;
-        let psgd = simulate_iteration(
-            &cfg(m, 64).method(MethodConfig::PowerSgd { rank: 4 }),
-        )
-        .total_s;
+        let psgd =
+            simulate_iteration(&cfg(m, 64).method(MethodConfig::PowerSgd { rank: 4 })).total_s;
         assert!(psgd > sync, "psgd {psgd} vs sync {sync}");
     }
 
@@ -498,8 +494,7 @@ mod tests {
         for m in presets::paper_models() {
             for p in [8usize, 32, 96] {
                 let batch = if m.name.starts_with("BERT") { 12 } else { 64 };
-                let sync =
-                    simulate_iteration(&cfg(m.clone(), p).batch_per_worker(batch)).total_s;
+                let sync = simulate_iteration(&cfg(m.clone(), p).batch_per_worker(batch)).total_s;
                 let topk = simulate_iteration(
                     &cfg(m.clone(), p)
                         .batch_per_worker(batch)
@@ -520,10 +515,11 @@ mod tests {
             MethodConfig::TopK { ratio: 0.01 },
             MethodConfig::SignSgd,
         ] {
-            let seq =
-                simulate_iteration(&cfg(m.clone(), 16).method(method.clone())).total_s;
+            let seq = simulate_iteration(&cfg(m.clone(), 16).method(method.clone())).total_s;
             let ovl = simulate_iteration(
-                &cfg(m.clone(), 16).method(method.clone()).overlap_compression(true),
+                &cfg(m.clone(), 16)
+                    .method(method.clone())
+                    .overlap_compression(true),
             )
             .total_s;
             assert!(ovl > seq, "{method:?}: overlap {ovl} vs sequential {seq}");
@@ -544,9 +540,12 @@ mod tests {
         // Comm-bound configuration (small batch): per-bucket all-reduce
         // latency is exposed, so shrinking buckets hurts.
         let m = presets::bert_base();
-        let big =
-            simulate_iteration(&cfg(m.clone(), 32).batch_per_worker(8).bucket_bytes(25 << 20))
-                .total_s;
+        let big = simulate_iteration(
+            &cfg(m.clone(), 32)
+                .batch_per_worker(8)
+                .bucket_bytes(25 << 20),
+        )
+        .total_s;
         let tiny =
             simulate_iteration(&cfg(m, 32).batch_per_worker(8).bucket_bytes(256 << 10)).total_s;
         assert!(tiny > big, "tiny-bucket {tiny} vs 25MB {big}");
@@ -621,7 +620,10 @@ mod tests {
         // As period -> inf, per-step time approaches pure compute.
         let t_comp = c.device.backward_seconds(&c.model, c.batch);
         let t256 = simulate_local_sgd(&c, 256).total_s;
-        assert!((t256 - t_comp) / t_comp < 0.05, "t256 {t256} vs T_comp {t_comp}");
+        assert!(
+            (t256 - t_comp) / t_comp < 0.05,
+            "t256 {t256} vs T_comp {t_comp}"
+        );
     }
 
     #[test]
@@ -630,10 +632,8 @@ mod tests {
         // for the comm-heavy BERT, without any encode cost.
         let c = cfg(presets::bert_base(), 96).batch_per_worker(12);
         let local8 = simulate_local_sgd(&c, 8).total_s;
-        let psgd = simulate_iteration(
-            &c.clone().method(MethodConfig::PowerSgd { rank: 4 }),
-        )
-        .total_s;
+        let psgd =
+            simulate_iteration(&c.clone().method(MethodConfig::PowerSgd { rank: 4 })).total_s;
         assert!(local8 < psgd, "local SGD {local8} vs PowerSGD {psgd}");
     }
 

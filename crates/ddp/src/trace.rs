@@ -97,7 +97,10 @@ pub fn trace_iteration(cfg: &SimConfig) -> Vec<TraceEvent> {
                 };
                 events.push(TraceEvent::new(
                     Stream::Comm,
-                    format!("bucket {i} all-reduce ({:.1} MB)", bucket.bytes as f64 / 1e6),
+                    format!(
+                        "bucket {i} all-reduce ({:.1} MB)",
+                        bucket.bytes as f64 / 1e6
+                    ),
                     start,
                     start + dur,
                 ));

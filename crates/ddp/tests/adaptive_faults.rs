@@ -99,9 +99,8 @@ fn steering_reproduces_under_a_fixed_fault_seed() {
     // Wall-clock jitter may reorder estimates between equally-compressed
     // arms, but the *steering* — which buckets abandon SyncSGD — is a
     // property of the injected delays, which the seed fixes.
-    let off_sync = |outs: &[RankOutcome]| -> Vec<bool> {
-        outs[0].0 .0.iter().map(|&arm| arm != 0).collect()
-    };
+    let off_sync =
+        |outs: &[RankOutcome]| -> Vec<bool> { outs[0].0 .0.iter().map(|&arm| arm != 0).collect() };
     assert_eq!(off_sync(&a), off_sync(&b));
     assert!(off_sync(&a).iter().all(|&moved| moved));
     // Within one run the ranks always agree, faults or not.

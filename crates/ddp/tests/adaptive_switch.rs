@@ -61,13 +61,22 @@ fn forced_switches_keep_gradients_finite_and_residuals_bounded() {
         for _ in 0..6 {
             let out = engine.exchange(&worker, &grads).unwrap();
             for g in &out {
-                assert!(g.data().iter().all(|x| x.is_finite()), "non-finite gradient");
+                assert!(
+                    g.data().iter().all(|x| x.is_finite()),
+                    "non-finite gradient"
+                );
             }
         }
         engine
             .switches()
             .iter()
-            .map(|s| (s.decision.clone(), s.outcome.carried, s.outcome.residual_norm))
+            .map(|s| {
+                (
+                    s.decision.clone(),
+                    s.outcome.carried,
+                    s.outcome.residual_norm,
+                )
+            })
             .collect::<Vec<_>>()
     });
     let grad_norm_bound = 1e4;

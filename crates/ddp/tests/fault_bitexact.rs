@@ -61,7 +61,8 @@ fn pipelined_exchange(w: gcs_cluster::WorkerHandle, method: &MethodConfig) -> Ve
             stream_chunk_elems: None,
             matricize: false,
         },
-    ).unwrap();
+    )
+    .unwrap();
     let out = eng.exchange(&grads).unwrap();
     let _ = eng.into_parts();
     out

@@ -82,7 +82,8 @@ fn pipelined_matches_sequential_and_reference_for_every_method() {
                     stream_chunk_elems: None,
                     matricize: false,
                 },
-            ).unwrap();
+            )
+            .unwrap();
             let out = eng.exchange(&grads).unwrap();
             let _ = eng.into_parts();
             out
@@ -102,7 +103,11 @@ fn pipelined_matches_sequential_and_reference_for_every_method() {
 
         // 2. Both engines vs. the centralized reference driver on the same
         // flat concatenation treated as one layer.
-        let tol = if method == MethodConfig::Fp16 { 2e-3 } else { 1e-4 };
+        let tol = if method == MethodConfig::Fp16 {
+            2e-3
+        } else {
+            1e-4
+        };
         let mut ref_workers: Vec<_> = (0..WORLD).map(|_| method.build().unwrap()).collect();
         let flat_grads: Vec<Tensor> = (0..WORLD).map(|r| flat_concat(&make_grads(r))).collect();
         let ref_out = all_reduce_compressed(&mut ref_workers, 0, &flat_grads).unwrap();

@@ -108,12 +108,10 @@ fn assert_bitwise_eq(
 fn streaming_matches_chunked_pipelined_for_every_method_and_world() {
     for world in [2usize, 4, 8] {
         for method in registry() {
-            let chunked = SimCluster::run(world, |w| {
-                two_steps(w, &method, chunked_cfg(PRIME_CHUNK))
-            });
-            let streaming = SimCluster::run(world, |w| {
-                two_steps(w, &method, streaming_cfg(PRIME_CHUNK))
-            });
+            let chunked =
+                SimCluster::run(world, |w| two_steps(w, &method, chunked_cfg(PRIME_CHUNK)));
+            let streaming =
+                SimCluster::run(world, |w| two_steps(w, &method, streaming_cfg(PRIME_CHUNK)));
             assert_bitwise_eq(
                 &chunked,
                 &streaming,
@@ -144,10 +142,8 @@ fn ragged_chunk_sizes_stream_bit_identically() {
     ];
     for chunk in [1usize, PRIME_CHUNK, wire - 1, wire + 1] {
         for method in &methods {
-            let chunked =
-                SimCluster::run(4, |w| two_steps(w, method, chunked_cfg(chunk)));
-            let streaming =
-                SimCluster::run(4, |w| two_steps(w, method, streaming_cfg(chunk)));
+            let chunked = SimCluster::run(4, |w| two_steps(w, method, chunked_cfg(chunk)));
+            let streaming = SimCluster::run(4, |w| two_steps(w, method, streaming_cfg(chunk)));
             assert_bitwise_eq(
                 &chunked,
                 &streaming,

@@ -123,9 +123,7 @@ mod tests {
         let m = presets::resnet101();
         let base = DeviceSpec::v100();
         let fast = DeviceSpec::v100().with_speedup(2.0);
-        assert!(
-            (base.backward_seconds(&m, 32) / fast.backward_seconds(&m, 32) - 2.0).abs() < 1e-9
-        );
+        assert!((base.backward_seconds(&m, 32) / fast.backward_seconds(&m, 32) - 2.0).abs() < 1e-9);
         assert!((fast.scale_encode_seconds(0.045) - 0.0225).abs() < 1e-12);
     }
 

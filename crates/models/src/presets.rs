@@ -10,7 +10,14 @@ use crate::{LayerSpec, ModelSpec};
 /// Appends a conv layer plus its batch-norm weight/bias pair. `hw` is the
 /// output feature-map spatial size (one side); the conv's backward cost is
 /// FLOPs-proportional, i.e. `params x hw^2`.
-fn conv_bn(layers: &mut Vec<LayerSpec>, name: &str, out_c: usize, in_c: usize, k: usize, hw: usize) {
+fn conv_bn(
+    layers: &mut Vec<LayerSpec>,
+    name: &str,
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    hw: usize,
+) {
     let weight = LayerSpec::new(format!("{name}.weight"), [out_c, in_c, k, k]);
     let flops = weight.params() as f64 * (hw * hw) as f64;
     layers.push(weight.with_cost_weight(flops));
@@ -37,7 +44,14 @@ fn resnet_bottleneck(name: &str, block_counts: [usize; 4], fwd_gflops: f64) -> M
             conv_bn(&mut layers, &format!("{prefix}.conv3"), out_c, mid, 1, hw);
             if b == 0 {
                 // Projection shortcut on the first block of each stage.
-                conv_bn(&mut layers, &format!("{prefix}.downsample"), out_c, in_c, 1, hw);
+                conv_bn(
+                    &mut layers,
+                    &format!("{prefix}.downsample"),
+                    out_c,
+                    in_c,
+                    1,
+                    hw,
+                );
             }
             in_c = out_c;
         }
@@ -60,13 +74,7 @@ pub fn resnet101() -> ModelSpec {
 
 /// Builds a BERT-style transformer encoder.
 #[allow(clippy::vec_init_then_push)] // uniform push style mirrors the layer listing
-fn bert(
-    name: &str,
-    hidden: usize,
-    layers_n: usize,
-    ff: usize,
-    fwd_gflops: f64,
-) -> ModelSpec {
+fn bert(name: &str, hidden: usize, layers_n: usize, ff: usize, fwd_gflops: f64) -> ModelSpec {
     let vocab = 30_522usize;
     let max_pos = 512usize;
     let mut layers = Vec::new();
@@ -78,7 +86,10 @@ fn bert(
     for l in 0..layers_n {
         let p = format!("encoder.{l}");
         for mat in ["query", "key", "value", "attn_out"] {
-            layers.push(LayerSpec::new(format!("{p}.{mat}.weight"), [hidden, hidden]));
+            layers.push(LayerSpec::new(
+                format!("{p}.{mat}.weight"),
+                [hidden, hidden],
+            ));
             layers.push(LayerSpec::new(format!("{p}.{mat}.bias"), [hidden]));
         }
         layers.push(LayerSpec::new(format!("{p}.attn.ln.weight"), [hidden]));
@@ -129,7 +140,10 @@ fn transformer_lm(
     for l in 0..layers_n {
         let p = format!("h.{l}");
         for mat in ["attn.q", "attn.k", "attn.v", "attn.proj"] {
-            layers.push(LayerSpec::new(format!("{p}.{mat}.weight"), [hidden, hidden]));
+            layers.push(LayerSpec::new(
+                format!("{p}.{mat}.weight"),
+                [hidden, hidden],
+            ));
             layers.push(LayerSpec::new(format!("{p}.{mat}.bias"), [hidden]));
         }
         layers.push(LayerSpec::new(format!("{p}.ln1.weight"), [hidden]));
@@ -239,7 +253,11 @@ mod tests {
             (params - 44.55e6).abs() / 44.55e6 < 0.03,
             "ResNet-101 params {params}"
         );
-        assert!((m.size_mb() - 170.0).abs() < 10.0, "size {} MB", m.size_mb());
+        assert!(
+            (m.size_mb() - 170.0).abs() < 10.0,
+            "size {} MB",
+            m.size_mb()
+        );
     }
 
     #[test]
@@ -250,7 +268,11 @@ mod tests {
             (params - 109.5e6).abs() / 109.5e6 < 0.03,
             "BERT-base params {params}"
         );
-        assert!((m.size_mb() - 418.0).abs() < 25.0, "size {} MB", m.size_mb());
+        assert!(
+            (m.size_mb() - 418.0).abs() < 25.0,
+            "size {} MB",
+            m.size_mb()
+        );
     }
 
     #[test]

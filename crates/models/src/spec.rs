@@ -39,7 +39,10 @@ impl LayerSpec {
     ///
     /// Panics if `weight` is not positive and finite.
     pub fn with_cost_weight(mut self, weight: f64) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "cost weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "cost weight must be positive"
+        );
         self.cost_weight = weight;
         self
     }

@@ -198,7 +198,9 @@ mod tests {
 
     #[test]
     fn pack_crosses_word_boundaries() {
-        let data: Vec<f32> = (0..100).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f32> = (0..100)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let bits = SignBits::pack(&data);
         for i in 0..100 {
             assert_eq!(bits.get(i), i % 3 == 0, "bit {i}");

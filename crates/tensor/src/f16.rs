@@ -15,7 +15,11 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
 
     if exp == 0xff {
         // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
-        return if mant != 0 { sign | 0x7e00 } else { sign | 0x7c00 };
+        return if mant != 0 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
     }
     // Re-bias exponent: f32 bias 127 -> f16 bias 15.
     let unbiased = exp - 127;
@@ -110,7 +114,10 @@ mod tests {
 
     #[test]
     fn infinity_and_nan() {
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
         assert_eq!(
             f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
             f32::NEG_INFINITY

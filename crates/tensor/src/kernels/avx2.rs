@@ -120,7 +120,11 @@ unsafe fn unpack_select_avx2<const ACCUMULATE: bool>(
         }
     }
     for (i, o) in out.iter_mut().enumerate().skip(groups * 8) {
-        let v = if (words[i / 32] >> (i % 32)) & 1 == 1 { pos } else { neg };
+        let v = if (words[i / 32] >> (i % 32)) & 1 == 1 {
+            pos
+        } else {
+            neg
+        };
         if ACCUMULATE {
             *o += v;
         } else {
@@ -447,5 +451,11 @@ unsafe fn gather_above_avx2(
         }
         idx = _mm256_add_epi32(idx, eight);
     }
-    scalar::gather_above_from(&data[full * 8..], (full * 8) as u32, threshold, indices, values);
+    scalar::gather_above_from(
+        &data[full * 8..],
+        (full * 8) as u32,
+        threshold,
+        indices,
+        values,
+    );
 }

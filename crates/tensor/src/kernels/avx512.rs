@@ -118,7 +118,11 @@ unsafe fn unpack_select_avx512<const ACCUMULATE: bool>(
         }
     }
     for (i, o) in out.iter_mut().enumerate().skip(groups * 16) {
-        let v = if (words[i / 32] >> (i % 32)) & 1 == 1 { pos } else { neg };
+        let v = if (words[i / 32] >> (i % 32)) & 1 == 1 {
+            pos
+        } else {
+            neg
+        };
         if ACCUMULATE {
             *o += v;
         } else {
@@ -167,7 +171,8 @@ unsafe fn vote_pack_avx512(tally: &[i32], out: &mut [u32]) {
     for (w, out_w) in out.iter_mut().enumerate().take(full_words) {
         let base = tally.as_ptr().add(w * 32);
         // t >= 0 as a signed not-less-than compare straight to a mask.
-        let lo = _mm512_cmp_epi32_mask::<_MM_CMPINT_NLT>(_mm512_loadu_si512(base as *const _), zero);
+        let lo =
+            _mm512_cmp_epi32_mask::<_MM_CMPINT_NLT>(_mm512_loadu_si512(base as *const _), zero);
         let hi = _mm512_cmp_epi32_mask::<_MM_CMPINT_NLT>(
             _mm512_loadu_si512(base.add(16) as *const _),
             zero,
@@ -348,5 +353,11 @@ unsafe fn gather_above_avx512(
         }
         idx = _mm512_add_epi32(idx, sixteen);
     }
-    scalar::gather_above_from(&data[full * 16..], (full * 16) as u32, threshold, indices, values);
+    scalar::gather_above_from(
+        &data[full * 16..],
+        (full * 16) as u32,
+        threshold,
+        indices,
+        values,
+    );
 }

@@ -108,7 +108,8 @@ pub struct Kernels {
     pub sum_abs: fn(data: &[f32]) -> f32,
     /// Appends `(i, data[i])` for every `|data[i]| > threshold`, in index
     /// order, to `indices`/`values`. NaNs never match (ordered compare).
-    pub gather_above: fn(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values: &mut Vec<f32>),
+    pub gather_above:
+        fn(data: &[f32], threshold: f32, indices: &mut Vec<u32>, values: &mut Vec<f32>),
 }
 
 static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
@@ -217,7 +218,11 @@ pub fn feature_string() -> String {
         Some(_) => "avx2+fma",
         None => "none",
     };
-    let forced = if force_scalar() { ", GCS_FORCE_SCALAR" } else { "" };
+    let forced = if force_scalar() {
+        ", GCS_FORCE_SCALAR"
+    } else {
+        ""
+    };
     format!("{} (active: {}{})", detected, active().name, forced)
 }
 

@@ -188,7 +188,15 @@ pub fn matmul_with_tile(
                     // caller contract); tile bounds are maintained by the
                     // loop and the B panel covers rows `kb..kh`.
                     unsafe {
-                        mm_tile32x8_avx512(first, rows, &b_s[kb * n..kh * n], (kh - kb, n), bi, j, out)
+                        mm_tile32x8_avx512(
+                            first,
+                            rows,
+                            &b_s[kb * n..kh * n],
+                            (kh - kb, n),
+                            bi,
+                            j,
+                            out,
+                        )
                     };
                     j += 32;
                 }
@@ -545,7 +553,14 @@ fn atb_rows(
             }
         }
         while j + 16 <= n {
-            atb_tile16(tile.uses_simd(), a_s, b_s, (k, m, n), (i, i - i0, j), out_band);
+            atb_tile16(
+                tile.uses_simd(),
+                a_s,
+                b_s,
+                (k, m, n),
+                (i, i - i0, j),
+                out_band,
+            );
             j += 16;
         }
         while j + 4 <= n {
@@ -555,9 +570,7 @@ fn atb_rows(
         for j in j..n {
             let mut s = [0.0f32; 4];
             for l in 0..k {
-                let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4]
-                    .try_into()
-                    .expect("row block");
+                let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4].try_into().expect("row block");
                 let bv = b_s[l * n + j];
                 for (sr, &ar) in s.iter_mut().zip(av) {
                     *sr = ar.mul_add(bv, *sr);
@@ -601,9 +614,7 @@ fn atb_tile<const T: usize>(
 ) {
     let mut acc = [[0.0f32; T]; 4];
     for l in 0..k {
-        let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4]
-            .try_into()
-            .expect("row block");
+        let av: &[f32; 4] = a_s[l * m + i..l * m + i + 4].try_into().expect("row block");
         let brow: &[f32; T] = b_s[l * n + j..l * n + j + T]
             .try_into()
             .expect("tile width");
@@ -795,8 +806,8 @@ pub fn matmul_pooled(
     let a_s = a.as_slice();
     pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
         let rows = band.len() / n;
-        let sub = MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k)
-            .expect("band sub-view");
+        let sub =
+            MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k).expect("band sub-view");
         matmul(sub, b, band).expect("validated dims");
     });
     Ok(())
@@ -862,8 +873,8 @@ pub fn a_mul_bt_pooled(
     let a_s = a.as_slice();
     pool.for_rows(out, n, band_rows(k * n), |row_lo, band| {
         let rows = band.len() / n;
-        let sub = MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k)
-            .expect("band sub-view");
+        let sub =
+            MatrixRef::new(&a_s[row_lo * k..(row_lo + rows) * k], rows, k).expect("band sub-view");
         a_mul_bt(sub, b, band).expect("validated dims");
     });
     Ok(())
@@ -1171,8 +1182,7 @@ mod tests {
         let mut m = vec![0.0f32; rows * cols];
         for r in 0..rows {
             for c in 0..cols {
-                m[r * cols + c] =
-                    5.0 * u[r * 2] * v[c * 2] + 2.0 * u[r * 2 + 1] * v[c * 2 + 1];
+                m[r * cols + c] = 5.0 * u[r * 2] * v[c * 2] + 2.0 * u[r * 2 + 1] * v[c * 2 + 1];
             }
         }
         let svd = svd_truncated(&m, rows, cols, 2, 20).unwrap();
@@ -1193,7 +1203,11 @@ mod tests {
         let m = Tensor::randn([30, 20], 13).into_vec();
         let svd = svd_truncated(&m, 30, 20, 5, 15).unwrap();
         for w in svd.s.windows(2) {
-            assert!(w[0] >= w[1] - 1e-4, "singular values not sorted: {:?}", svd.s);
+            assert!(
+                w[0] >= w[1] - 1e-4,
+                "singular values not sorted: {:?}",
+                svd.s
+            );
         }
     }
 

@@ -111,6 +111,12 @@ struct Job {
 impl Job {
     /// Claims the next band index, or `None` when all are claimed.
     fn claim(&self) -> Option<usize> {
+        // SYNC: Relaxed is sufficient for the band cursor: the CAS inside
+        // fetch_update makes each claim unique on its own, and band
+        // *results* are never published through this atomic — the
+        // `remaining` mutex release/acquire plus the condvar join carry
+        // the happens-before edge to the submitter (verified by the
+        // Pass 3 pool-join model in gcs-analyze).
         self.next
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 (v < self.bands).then_some(v + 1)
@@ -313,6 +319,10 @@ impl Pool {
             let mut q = shared.queue.lock().unwrap();
             // Drop exhausted entries left behind by submitters that
             // claimed their own last band.
+            // SYNC: a Relaxed read of the cursor is only a garbage-
+            // collection hint under the queue mutex; a stale value keeps
+            // an exhausted job one round longer, never hands out a band
+            // twice (the CAS in `claim` stays authoritative).
             q.jobs.retain(|j| j.next.load(Ordering::Relaxed) < j.bands);
             q.jobs.push(Arc::clone(&job));
         }
@@ -424,7 +434,11 @@ impl Pool {
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("every band stores its result"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every band stores its result")
+            })
             .collect()
     }
 }
@@ -436,7 +450,10 @@ fn width_from(force_scalar: bool, kernel_threads: Option<&str>, threads: Option<
     if force_scalar {
         return 1;
     }
-    let parse = |s: Option<&str>| s.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&w| w >= 1);
+    let parse = |s: Option<&str>| {
+        s.and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+    };
     parse(kernel_threads)
         .or_else(|| parse(threads))
         .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
@@ -580,7 +597,10 @@ mod tests {
         // must not wedge on stale jobs or lost wakeups.
         let pool = Pool::new(4);
         for round in 0..200usize {
-            let total: usize = pool.map_spans(round + 1, 1, |lo, hi| hi - lo).into_iter().sum();
+            let total: usize = pool
+                .map_spans(round + 1, 1, |lo, hi| hi - lo)
+                .into_iter()
+                .sum();
             assert_eq!(total, round + 1);
         }
     }

@@ -249,8 +249,12 @@ mod tests {
     fn top_k_picks_largest_magnitudes() {
         let data = [1.0, -10.0, 3.0, 0.5, -4.0];
         let sel = top_k_abs(&data, 3);
-        let mut pairs: Vec<(u32, f32)> =
-            sel.indices.iter().copied().zip(sel.values.iter().copied()).collect();
+        let mut pairs: Vec<(u32, f32)> = sel
+            .indices
+            .iter()
+            .copied()
+            .zip(sel.values.iter().copied())
+            .collect();
         pairs.sort_by_key(|&(i, _)| i);
         assert_eq!(pairs, vec![(1, -10.0), (2, 3.0), (4, -4.0)]);
     }
@@ -345,7 +349,11 @@ mod tests {
         let data = vec![0.0f32; 1000];
         let sel = random_k(&data, 10, 99);
         let prefix_hits = sel.indices.iter().filter(|&&i| i < 10).count();
-        assert!(prefix_hits < 5, "selection stuck on prefix: {:?}", sel.indices);
+        assert!(
+            prefix_hits < 5,
+            "selection stuck on prefix: {:?}",
+            sel.indices
+        );
         // Different seeds give different sets.
         let other = random_k(&data, 10, 100);
         assert_ne!(sel.indices, other.indices);

@@ -42,7 +42,10 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid reshape: {from} elements cannot become {to}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
         }
     }
@@ -284,12 +287,7 @@ impl Tensor {
                 actual: format!("{} elements", other.numel()),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (Frobenius) norm.

@@ -118,7 +118,13 @@ fn vote_add_and_pack_are_byte_identical() {
             let mut tally_b = tally_a.clone();
             for voter in 0..3u32 {
                 let data: Vec<f32> = (0..n)
-                    .map(|i| if (i as u32 ^ voter) % 3 == 0 { 1.0 } else { -1.0 })
+                    .map(|i| {
+                        if (i as u32 ^ voter) % 3 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    })
                     .collect();
                 let mut words = vec![0u32; n.div_ceil(32)];
                 (sc.sign_pack)(&data, &mut words);
@@ -234,8 +240,10 @@ fn float_kernels_match_bitwise_under_fixed_association() {
             let sb = (simd.sum_abs)(&data);
             assert_eq!(sa.to_bits(), sb.to_bits(), "{tbl} sum_abs n={n}");
             // And on a NaN-free payload the sums are still bitwise equal.
-            let clean: Vec<f32> =
-                data.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
+            let clean: Vec<f32> = data
+                .iter()
+                .map(|x| if x.is_nan() { 0.5 } else { *x })
+                .collect();
             assert_eq!(
                 (sc.sum_abs)(&clean).to_bits(),
                 (simd.sum_abs)(&clean).to_bits(),
@@ -278,8 +286,10 @@ fn add_into_bytes_matches_decode_accumulate_reserialize() {
             assert_eq!(canon_bits(&ef), canon_bits(&gf), "{tbl} n={n}");
 
             // With a NaN-free wire the bytes must match exactly.
-            let clean: Vec<f32> =
-                wire_f.iter().map(|x| if x.is_nan() { 0.5 } else { *x }).collect();
+            let clean: Vec<f32> = wire_f
+                .iter()
+                .map(|x| if x.is_nan() { 0.5 } else { *x })
+                .collect();
             let mut wire_c = vec![0u8; n * 4];
             (sc.f32s_to_bytes)(&clean, &mut wire_c);
             let mut acc = xs.clone();
@@ -361,7 +371,9 @@ fn top_k_selection_is_identical_across_dispatch_tables_on_ties() {
     let k = n / 3;
     let sel = gcs_tensor::select::top_k_abs(&data, k);
     // Reference: strictly-above in index order, then tied entries from 0.
-    let mut expect: Vec<u32> = (0..n as u32).filter(|&i| data[i as usize].abs() > t).collect();
+    let mut expect: Vec<u32> = (0..n as u32)
+        .filter(|&i| data[i as usize].abs() > t)
+        .collect();
     for i in 0..n as u32 {
         if expect.len() == k {
             break;
@@ -410,7 +422,9 @@ fn gemm_tiles_are_bit_identical() {
         let b: Vec<f32> = (0..k * n)
             .map(|i| (((i * 37) % 101) as f32 - 50.0) * 0.013)
             .collect();
-        let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02).collect();
+        let at: Vec<f32> = (0..k * m)
+            .map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02)
+            .collect();
         let am = MatrixRef::new(&a, m, k).unwrap();
         let bm = MatrixRef::new(&b, k, n).unwrap();
         let atm = MatrixRef::new(&at, k, m).unwrap();
@@ -426,7 +440,12 @@ fn gemm_tiles_are_bit_identical() {
             assert_eq!(bits(&mm_ref), bits(&out), "matmul {:?} {m}x{k}x{n}", tile);
             let mut out = vec![0.0f32; m * n];
             at_mul_b_with_tile(tile, atm, bm, &mut out).unwrap();
-            assert_eq!(bits(&atb_ref), bits(&out), "at_mul_b {:?} {k}x{m}x{n}", tile);
+            assert_eq!(
+                bits(&atb_ref),
+                bits(&out),
+                "at_mul_b {:?} {k}x{m}x{n}",
+                tile
+            );
         }
     }
 }
@@ -452,7 +471,9 @@ fn gemm_dispatch_paths_are_bit_identical() {
         matmul_with_dispatch(true, am, bm, &mut simd_out).unwrap();
         assert_eq!(bits(&scalar_out), bits(&simd_out), "matmul {m}x{k}x{n}");
 
-        let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02).collect();
+        let at: Vec<f32> = (0..k * m)
+            .map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.02)
+            .collect();
         let atm = MatrixRef::new(&at, k, m).unwrap();
         at_mul_b_with_dispatch(false, atm, bm, &mut scalar_out).unwrap();
         at_mul_b_with_dispatch(true, atm, bm, &mut simd_out).unwrap();
@@ -588,7 +609,10 @@ fn pooled_gemm_and_topk_are_deterministic_across_widths_and_runs() {
             let serial = select::top_k_abs_with(&data, k, &mut Vec::new());
             for run in 0..2 {
                 let pooled = select::top_k_abs_pooled(&pool, &data, k, &mut Vec::new());
-                assert_eq!(serial.indices, pooled.indices, "topk w={width} k={k} run={run}");
+                assert_eq!(
+                    serial.indices, pooled.indices,
+                    "topk w={width} k={k} run={run}"
+                );
                 assert_eq!(
                     bits(&serial.values),
                     bits(&pooled.values),

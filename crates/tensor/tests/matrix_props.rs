@@ -34,18 +34,38 @@ fn matmul_is_associative() {
         let b = Tensor::randn([k, n], s1 + 1).into_vec();
         let c = Tensor::randn([n, l], s1 + 2).into_vec();
         let mut ab = vec![0.0; m * n];
-        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut ab)
-            .unwrap();
+        matmul(
+            MatrixRef::new(&a, m, k).unwrap(),
+            MatrixRef::new(&b, k, n).unwrap(),
+            &mut ab,
+        )
+        .unwrap();
         let mut ab_c = vec![0.0; m * l];
-        matmul(MatrixRef::new(&ab, m, n).unwrap(), MatrixRef::new(&c, n, l).unwrap(), &mut ab_c)
-            .unwrap();
+        matmul(
+            MatrixRef::new(&ab, m, n).unwrap(),
+            MatrixRef::new(&c, n, l).unwrap(),
+            &mut ab_c,
+        )
+        .unwrap();
         let mut bc = vec![0.0; k * l];
-        matmul(MatrixRef::new(&b, k, n).unwrap(), MatrixRef::new(&c, n, l).unwrap(), &mut bc)
-            .unwrap();
+        matmul(
+            MatrixRef::new(&b, k, n).unwrap(),
+            MatrixRef::new(&c, n, l).unwrap(),
+            &mut bc,
+        )
+        .unwrap();
         let mut a_bc = vec![0.0; m * l];
-        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&bc, k, l).unwrap(), &mut a_bc)
-            .unwrap();
-        let diff: f32 = ab_c.iter().zip(&a_bc).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max);
+        matmul(
+            MatrixRef::new(&a, m, k).unwrap(),
+            MatrixRef::new(&bc, k, l).unwrap(),
+            &mut a_bc,
+        )
+        .unwrap();
+        let diff: f32 = ab_c
+            .iter()
+            .zip(&a_bc)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max);
         let scale = frob(&ab_c).max(1.0);
         assert!(diff <= 1e-3 * scale, "diff {diff} scale {scale}");
     }
@@ -61,8 +81,12 @@ fn at_mul_b_matches_explicit_transpose() {
         let a = Tensor::randn([k, m], seed).into_vec();
         let b = Tensor::randn([k, n], seed + 7).into_vec();
         let mut direct = vec![0.0; m * n];
-        at_mul_b(MatrixRef::new(&a, k, m).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut direct)
-            .unwrap();
+        at_mul_b(
+            MatrixRef::new(&a, k, m).unwrap(),
+            MatrixRef::new(&b, k, n).unwrap(),
+            &mut direct,
+        )
+        .unwrap();
         let mut at = vec![0.0; m * k];
         for r in 0..k {
             for c in 0..m {
@@ -70,8 +94,12 @@ fn at_mul_b_matches_explicit_transpose() {
             }
         }
         let mut explicit = vec![0.0; m * n];
-        matmul(MatrixRef::new(&at, m, k).unwrap(), MatrixRef::new(&b, k, n).unwrap(), &mut explicit)
-            .unwrap();
+        matmul(
+            MatrixRef::new(&at, m, k).unwrap(),
+            MatrixRef::new(&b, k, n).unwrap(),
+            &mut explicit,
+        )
+        .unwrap();
         for (x, y) in direct.iter().zip(&explicit) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
@@ -88,8 +116,12 @@ fn a_mul_bt_matches_explicit_transpose() {
         let a = Tensor::randn([m, k], seed).into_vec();
         let b = Tensor::randn([n, k], seed + 3).into_vec();
         let mut direct = vec![0.0; m * n];
-        a_mul_bt(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&b, n, k).unwrap(), &mut direct)
-            .unwrap();
+        a_mul_bt(
+            MatrixRef::new(&a, m, k).unwrap(),
+            MatrixRef::new(&b, n, k).unwrap(),
+            &mut direct,
+        )
+        .unwrap();
         let mut bt = vec![0.0; k * n];
         for r in 0..n {
             for c in 0..k {
@@ -97,8 +129,12 @@ fn a_mul_bt_matches_explicit_transpose() {
             }
         }
         let mut explicit = vec![0.0; m * n];
-        matmul(MatrixRef::new(&a, m, k).unwrap(), MatrixRef::new(&bt, k, n).unwrap(), &mut explicit)
-            .unwrap();
+        matmul(
+            MatrixRef::new(&a, m, k).unwrap(),
+            MatrixRef::new(&bt, k, n).unwrap(),
+            &mut explicit,
+        )
+        .unwrap();
         for (x, y) in direct.iter().zip(&explicit) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
@@ -147,8 +183,17 @@ fn svd_error_is_bounded() {
         let svd = svd_truncated(&m, rows, cols, full_rank, 25).unwrap();
         let mut rec = vec![0.0; rows * cols];
         svd.reconstruct(rows, cols, &mut rec).unwrap();
-        let err: f32 = m.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
-        assert!(err <= 0.05 * frob(&m).max(1e-3), "err {err} norm {}", frob(&m));
+        let err: f32 = m
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(
+            err <= 0.05 * frob(&m).max(1e-3),
+            "err {err} norm {}",
+            frob(&m)
+        );
     }
 }
 
@@ -166,7 +211,12 @@ fn svd_rank1_error_below_input_norm() {
         let svd = svd_truncated(&m, rows, cols, 1, 20).unwrap();
         let mut rec = vec![0.0; rows * cols];
         svd.reconstruct(rows, cols, &mut rec).unwrap();
-        let err: f32 = m.iter().zip(&rec).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let err: f32 = m
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         let norm = frob(&m);
         assert!(err <= norm * (1.0 + 1e-3), "err {err} vs norm {norm}");
     }

@@ -170,8 +170,7 @@ pub fn train_distributed<T: Task>(
         // Compressed all-reduce, layer by layer.
         let mut mean_grads: Vec<Tensor> = Vec::with_capacity(n_layers);
         for layer in 0..n_layers {
-            let layer_grads: Vec<Tensor> =
-                worker_grads.iter().map(|g| g[layer].clone()).collect();
+            let layer_grads: Vec<Tensor> = worker_grads.iter().map(|g| g[layer].clone()).collect();
             let outs = all_reduce_compressed(&mut compressors, layer, &layer_grads)?;
             debug_assert!(
                 outs.windows(2).all(|w| w[0] == w[1]),
@@ -217,8 +216,7 @@ mod tests {
     fn powersgd_matches_syncsgd_convergence() {
         let cfg = TrainConfig::new().workers(4).steps(150).lr(0.1).seed(1);
         let sync = train_distributed(&linreg(), &MethodConfig::SyncSgd, &cfg).unwrap();
-        let psgd =
-            train_distributed(&linreg(), &MethodConfig::PowerSgd { rank: 2 }, &cfg).unwrap();
+        let psgd = train_distributed(&linreg(), &MethodConfig::PowerSgd { rank: 2 }, &cfg).unwrap();
         assert!(
             psgd.final_loss() < 3.0 * sync.final_loss().max(1e-3),
             "psgd {} vs sync {}",
@@ -262,13 +260,21 @@ mod tests {
             }
         }
         let final_loss = task.full_loss(&params);
-        assert!(final_loss < 0.3 * initial, "final {final_loss} vs {initial}");
+        assert!(
+            final_loss < 0.3 * initial,
+            "final {final_loss} vs {initial}"
+        );
     }
 
     #[test]
     fn mlp_accuracy_improves_under_compression() {
         let task = MlpClassification::new(6, 16, 3, 256, 5);
-        let cfg = TrainConfig::new().workers(2).steps(150).lr(0.5).batch(32).seed(4);
+        let cfg = TrainConfig::new()
+            .workers(2)
+            .steps(150)
+            .lr(0.5)
+            .batch(32)
+            .seed(4);
         let before = task.accuracy(&task.init_params(cfg.seed));
         for method in [MethodConfig::SyncSgd, MethodConfig::PowerSgd { rank: 2 }] {
             let rep = train_distributed(&task, &method, &cfg).unwrap();

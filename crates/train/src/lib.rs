@@ -36,5 +36,5 @@ pub mod adaptive;
 pub mod harness;
 pub mod local_sgd;
 pub mod optim;
-pub mod threaded;
 pub mod task;
+pub mod threaded;

@@ -8,9 +8,9 @@
 //! `SyncSgd` this degenerates to ordinary synchronous data-parallel SGD on
 //! the deltas, which equals gradient averaging for plain SGD.
 
+use crate::harness::ConvergenceReport;
 use crate::optim::Sgd;
 use crate::task::Task;
-use crate::harness::ConvergenceReport;
 use gcs_compress::driver::all_reduce_compressed;
 use gcs_compress::registry::MethodConfig;
 use gcs_compress::{Compressor, Result};
@@ -206,7 +206,11 @@ mod tests {
             let rep = train_local_sgd(
                 &task(),
                 &MethodConfig::SyncSgd,
-                &LocalSgdConfig::new().period(period).steps(240).lr(0.05).seed(7),
+                &LocalSgdConfig::new()
+                    .period(period)
+                    .steps(240)
+                    .lr(0.05)
+                    .seed(7),
             )
             .unwrap();
             assert!(

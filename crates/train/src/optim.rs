@@ -72,7 +72,10 @@ impl Sgd {
             return Ok(());
         }
         if self.velocity.is_empty() {
-            self.velocity = grads.iter().map(|g| Tensor::zeros(g.shape().clone())).collect();
+            self.velocity = grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect();
         }
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             v.scale(self.momentum);

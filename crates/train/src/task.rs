@@ -154,7 +154,10 @@ impl LogisticRegression {
     /// Panics if `dim == 0` or `n == 0` or `flip` is not in `[0, 0.5)`.
     pub fn new(dim: usize, n: usize, flip: f32, seed: u64) -> Self {
         assert!(dim > 0 && n > 0, "dataset must be non-empty");
-        assert!((0.0..0.5).contains(&flip), "label noise must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&flip),
+            "label noise must be in [0, 0.5)"
+        );
         let x = Tensor::randn([n, dim], seed).into_vec();
         let w_star = Tensor::randn([dim], seed ^ 0xfeed).into_vec();
         let noise = Tensor::rand_uniform([n], 0.0, 1.0, seed ^ 0x9a9a).into_vec();
@@ -489,7 +492,11 @@ mod tests {
                 p.axpy(-0.05, g).unwrap();
             }
         }
-        assert!(task.full_loss(&params) < 1e-3, "loss {}", task.full_loss(&params));
+        assert!(
+            task.full_loss(&params) < 1e-3,
+            "loss {}",
+            task.full_loss(&params)
+        );
     }
 
     #[test]

@@ -176,9 +176,11 @@ pub fn train_threaded<T: Task + Sync>(
         let rank = worker.rank();
         let compressor = method.build().map_err(ExecError::from)?;
         let mut engine = match &cfg.pipeline {
-            Some(pcfg) => {
-                Engine::Pipelined(Box::new(PipelinedEngine::new(worker, compressor, pcfg.clone())?))
-            }
+            Some(pcfg) => Engine::Pipelined(Box::new(PipelinedEngine::new(
+                worker,
+                compressor,
+                pcfg.clone(),
+            )?)),
             None => Engine::Sequential(worker, compressor),
         };
         let mut params = task.init_params(cfg.seed);
@@ -274,8 +276,8 @@ pub fn train_threaded_faulty<T: Task + Sync>(
                 let members = plan.live_members(world, step);
                 if members.len() < live {
                     for d in &plan.dead {
-                        let newly_dead = d.at_iter <= step
-                            && (step == 0 || !plan.dead_at(d.rank, step - 1));
+                        let newly_dead =
+                            d.at_iter <= step && (step == 0 || !plan.dead_at(d.rank, step - 1));
                         if newly_dead {
                             events.push(RunEvent {
                                 step,

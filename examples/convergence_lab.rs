@@ -23,7 +23,12 @@ fn sparkline(losses: &[(usize, f64)]) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = LinearRegression::new(16, 256, 0.01, 7);
-    let cfg = TrainConfig::new().workers(4).steps(250).lr(0.05).batch(16).seed(11);
+    let cfg = TrainConfig::new()
+        .workers(4)
+        .steps(250)
+        .lr(0.05)
+        .batch(16)
+        .seed(11);
 
     println!("Linear regression, 4 workers, 250 steps (loss sparklines, high→low):\n");
     for method in [
@@ -48,9 +53,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mlp = MlpClassification::new(8, 24, 4, 512, 3);
-    let mcfg = TrainConfig::new().workers(2).steps(200).lr(0.5).batch(32).seed(5);
+    let mcfg = TrainConfig::new()
+        .workers(2)
+        .steps(200)
+        .lr(0.5)
+        .batch(32)
+        .seed(5);
     println!("\nMLP classification (4 Gaussian blobs), 2 workers, 200 steps:\n");
-    println!("  untrained accuracy: {:.1}%", mlp.accuracy(&mlp.init_params(mcfg.seed)) * 100.0);
+    println!(
+        "  untrained accuracy: {:.1}%",
+        mlp.accuracy(&mlp.init_params(mcfg.seed)) * 100.0
+    );
     for method in [MethodConfig::SyncSgd, MethodConfig::PowerSgd { rank: 4 }] {
         let rep = train_distributed(&mlp, &method, &mcfg)?;
         println!(

@@ -22,7 +22,11 @@ fn main() {
 
     banner(1, "there is no utility in over-compressing gradients");
     for model in presets::paper_models() {
-        let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            12
+        } else {
+            64
+        };
         if let RequiredCompression::Achievable { ratio, .. } =
             required_compression(&model, &device, &net, 64, batch)
         {
@@ -34,7 +38,10 @@ fn main() {
         }
     }
 
-    banner(2, "increasing batch size decreases the utility of compression");
+    banner(
+        2,
+        "increasing batch size decreases the utility of compression",
+    );
     let m = presets::resnet101();
     for batch in [16usize, 32, 64] {
         let sync = simulate_iteration(&SimConfig::new(m.clone(), 64).batch_per_worker(batch));
@@ -52,10 +59,8 @@ fn main() {
     banner(3, "non-all-reducible methods do not scale");
     for p in [8usize, 32, 96] {
         let sync = simulate_iteration(&SimConfig::new(m.clone(), p)).total_s;
-        let sign = simulate_iteration(
-            &SimConfig::new(m.clone(), p).method(MethodConfig::SignSgd),
-        )
-        .total_s;
+        let sign =
+            simulate_iteration(&SimConfig::new(m.clone(), p).method(MethodConfig::SignSgd)).total_s;
         println!(
             "  {p:>2} GPUs: syncSGD {:>5.0} ms | SignSGD {:>6.0} ms ({:.1}x slower)",
             sync * 1e3,
@@ -65,13 +70,19 @@ fn main() {
     }
 
     banner(4, "backward pass and compression compete for compute");
-    for method in [MethodConfig::PowerSgd { rank: 4 }, MethodConfig::TopK { ratio: 0.01 }] {
+    for method in [
+        MethodConfig::PowerSgd { rank: 4 },
+        MethodConfig::TopK { ratio: 0.01 },
+    ] {
         let base = SimConfig::new(m.clone(), 16).method(method.clone());
         let seq = simulate_iteration(&base).total_s;
         let ovl = simulate_iteration(&base.clone().overlap_compression(true)).total_s;
         println!(
             "  {:<18} sequential {:>5.0} ms | overlapped {:>5.0} ms ({:+.0}%)",
-            method.build().map(|c| c.properties().name).unwrap_or_default(),
+            method
+                .build()
+                .map(|c| c.properties().name)
+                .unwrap_or_default(),
             seq * 1e3,
             ovl * 1e3,
             (ovl / seq - 1.0) * 100.0
@@ -80,13 +91,15 @@ fn main() {
 
     banner(5, "the opportunity window is tiny");
     for model in presets::paper_models() {
-        let batch = if model.name.starts_with("BERT") { 16 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            16
+        } else {
+            64
+        };
         let gap = ideal_gap(&model, &device, &net, 96, batch);
-        let topk = gradcomp::models::encode_cost::encode_cost(
-            &MethodConfig::TopK { ratio: 0.01 },
-            &model,
-        )
-        .total_seconds(96);
+        let topk =
+            gradcomp::models::encode_cost::encode_cost(&MethodConfig::TopK { ratio: 0.01 }, &model)
+                .total_seconds(96);
         println!(
             "  {:<11} budget {:>5.0} ms — Top-K 1% needs {:>5.0} ms of encode alone",
             model.name,
@@ -99,7 +112,9 @@ fn main() {
     let big = presets::dalle_12b();
     let fast = DeviceSpec::v100().with_speedup(8.0);
     let sync = predict_iteration(
-        &SimConfig::new(big.clone(), 512).batch_per_worker(1).device(fast.clone()),
+        &SimConfig::new(big.clone(), 512)
+            .batch_per_worker(1)
+            .device(fast.clone()),
     );
     let psgd = predict_iteration(
         &SimConfig::new(big.clone(), 512)

@@ -20,8 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grads: Vec<Tensor> = (0..workers as u64)
         .map(|seed| Tensor::randn([256, 512], seed))
         .collect();
-    let mut compressors: Vec<PowerSgd> =
-        (0..workers).map(|_| PowerSgd::new(4)).collect::<Result<_, _>>()?;
+    let mut compressors: Vec<PowerSgd> = (0..workers)
+        .map(|_| PowerSgd::new(4))
+        .collect::<Result<_, _>>()?;
 
     let decoded = all_reduce_compressed(&mut compressors, 0, &grads)?;
 
@@ -35,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = shape.numel() * 4;
     let wire = compressors[0].compressed_bytes(&shape);
     println!("PowerSGD rank 4 on a 256x512 gradient, {workers} workers:");
-    println!("  wire bytes      : {wire} (vs {raw} raw, {:.0}x compression)", raw as f64 / wire as f64);
+    println!(
+        "  wire bytes      : {wire} (vs {raw} raw, {:.0}x compression)",
+        raw as f64 / wire as f64
+    );
     println!(
         "  cosine(exact, decoded) = {:.4}  (error feedback recovers the rest over time)",
         stats::cosine_similarity(&exact_mean, &decoded[0])
@@ -44,12 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 2. Should you use it? Ask the performance model. --------------
     println!("\nIteration-time predictions, ResNet-50 vs BERT at 64 GPUs / 10 Gbps:");
     for model in [presets::resnet50(), presets::bert_base()] {
-        let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            12
+        } else {
+            64
+        };
         let base = SimConfig::new(model.clone(), 64).batch_per_worker(batch);
         let sync = predict_iteration(&base).total_s;
         let psgd =
             predict_iteration(&base.clone().method(MethodConfig::PowerSgd { rank: 4 })).total_s;
-        let verdict = if psgd < sync { "worth it" } else { "NOT worth it" };
+        let verdict = if psgd < sync {
+            "worth it"
+        } else {
+            "NOT worth it"
+        };
         println!(
             "  {:<11} syncSGD {:>6.1} ms | PowerSGD r4 {:>6.1} ms  -> {verdict}",
             model.name,

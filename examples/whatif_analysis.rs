@@ -6,11 +6,11 @@
 //! cargo run --release --example whatif_analysis
 //! ```
 
+use gradcomp::cluster::cost::NetworkModel;
 use gradcomp::compress::registry::MethodConfig;
 use gradcomp::core::ideal::{ideal_gap, required_compression, RequiredCompression};
 use gradcomp::core::perf::predict_iteration;
 use gradcomp::core::whatif::{bandwidth_sweep, compute_sweep};
-use gradcomp::cluster::cost::NetworkModel;
 use gradcomp::ddp::sim::SimConfig;
 use gradcomp::models::{presets, DeviceSpec};
 
@@ -22,11 +22,17 @@ fn main() {
     let device = DeviceSpec::v100();
     let network = NetworkModel::datacenter_10gbps();
 
-    println!("Setup: {} | {workers} GPUs | batch {batch}/GPU | 10 Gbps\n", model.name);
+    println!(
+        "Setup: {} | {workers} GPUs | batch {batch}/GPU | 10 Gbps\n",
+        model.name
+    );
 
     // 1. How much headroom is there at all?
     let gap = ideal_gap(&model, &device, &network, workers, batch);
-    println!("Gap between syncSGD and perfect scaling: {:.0} ms", gap * 1e3);
+    println!(
+        "Gap between syncSGD and perfect scaling: {:.0} ms",
+        gap * 1e3
+    );
     match required_compression(&model, &device, &network, workers, batch) {
         RequiredCompression::Achievable { ratio, .. } => {
             println!("Compression needed to fully hide communication: {ratio:.1}x");

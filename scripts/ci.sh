@@ -24,12 +24,32 @@ GCS_FORCE_SCALAR=1 cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-# Static verification layer: model-check every collective schedule family
-# (p = 2..16, dead-rank subsets <= 2) and lint the workspace source
-# (unsafe hygiene, data-plane panic paths, raw accumulation loops). Writes
-# results/analyze_report.json and exits non-zero on any violation.
+# Static verification layer, all five passes: (1) model-check every
+# collective schedule family (p = 2..16, dead-rank subsets <= 2);
+# (2) lint the workspace source (unsafe hygiene, data-plane panic paths,
+# raw accumulation loops, Relaxed-ordering allowlist); (3) explore the
+# thread/event models of the pool, CommEngine, streaming window,
+# adaptive broadcast, and TCP readers for races/deadlocks/lost wakeups;
+# (4) prove the Hello handshake, decision protocol, and streaming FIFO
+# window state machines; (5) fuzz the wire headers/frames and
+# Payload::from_bytes for all 15 methods at a fixed seed (deterministic,
+# finishes well under 10 s). Writes results/analyze_report.json and
+# exits non-zero on any violation.
 echo "==> gradcomp analyze --all"
 cargo run -q --release -p gcs-cli --bin gradcomp-cli -- analyze --all
+
+# Negative self-test: each pass must still DETECT its seeded negative —
+# a racy thread model, a double-accepting Hello mutant, a panicking wire
+# parser. If any of these exits zero the gate has lost its teeth.
+for neg in race double-accept parser-panic; do
+  echo "==> gradcomp analyze --inject $neg (must fail)"
+  if cargo run -q --release -p gcs-cli --bin gradcomp-cli -- \
+      analyze --inject "$neg" --json "/tmp/gcs_analyze_neg_$neg.json" \
+      > /dev/null 2>&1; then
+    echo "analyze --inject $neg exited zero: seeded negative NOT detected"
+    exit 1
+  fi
+done
 
 # Smoke-run the tracked benchmark binaries: tiny sizes, one iteration,
 # no JSON rewrite — catches bit-rot in the bench plumbing without the
@@ -70,6 +90,14 @@ GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test fault_in
 
 echo "==> fault suite (seed 271828)"
 GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test fault_injection
+
+# CommEngine poison ordering under concurrent submitters, same two seeds
+# (the failure mode is a hang or a silent post-poison success).
+echo "==> comm poison suite (seed 12648430)"
+GCS_FAULT_SEED=12648430 timeout 300 cargo test -q -p gcs-cluster --test comm_poison
+
+echo "==> comm poison suite (seed 271828)"
+GCS_FAULT_SEED=271828 timeout 300 cargo test -q -p gcs-cluster --test comm_poison
 
 # Backend-agnostic transport semantics (same workload on SimCluster and
 # TcpCluster through the Transport trait) and the TCP-vs-sim bitexact

@@ -28,8 +28,8 @@ fn worker_grads(workers: usize, seed: u64) -> Vec<Vec<Tensor>> {
 fn every_catalogue_method_exchanges_over_real_cluster() {
     for cfg in gradcomp::compress::registry::table1_methods() {
         let grads = worker_grads(3, 5);
-        let outs = data_parallel_exchange(&cfg, &grads)
-            .unwrap_or_else(|e| panic!("{cfg:?} failed: {e}"));
+        let outs =
+            data_parallel_exchange(&cfg, &grads).unwrap_or_else(|e| panic!("{cfg:?} failed: {e}"));
         assert_eq!(outs.len(), 3);
         // All workers decode the same gradients, with the right shapes.
         for w in 1..3 {
@@ -61,7 +61,12 @@ fn syncsgd_exchange_is_the_exact_mean() {
 #[test]
 fn distributed_training_loss_decreases_for_all_reducible_methods() {
     let task = LinearRegression::new(6, 96, 0.0, 3);
-    let cfg = TrainConfig::new().workers(3).steps(120).lr(0.1).batch(8).seed(2);
+    let cfg = TrainConfig::new()
+        .workers(3)
+        .steps(120)
+        .lr(0.1)
+        .batch(8)
+        .seed(2);
     for method in [
         MethodConfig::SyncSgd,
         MethodConfig::Fp16,
@@ -83,12 +88,16 @@ fn simulator_model_and_measurement_agree_on_winner() {
     // Whatever the analytic model says about "does PowerSGD beat syncSGD",
     // the event simulator must agree, across the full grid.
     for model in presets::paper_models() {
-        let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            12
+        } else {
+            64
+        };
         for p in [8usize, 32, 96] {
             let sync_cfg = SimConfig::new(model.clone(), p).batch_per_worker(batch);
             let psgd_cfg = sync_cfg.clone().method(MethodConfig::PowerSgd { rank: 4 });
-            let model_says = predict_iteration(&psgd_cfg).total_s
-                < predict_iteration(&sync_cfg).total_s;
+            let model_says =
+                predict_iteration(&psgd_cfg).total_s < predict_iteration(&sync_cfg).total_s;
             let sim_says =
                 simulate_iteration(&psgd_cfg).total_s < simulate_iteration(&sync_cfg).total_s;
             assert_eq!(
@@ -141,10 +150,9 @@ fn weak_scaling_shapes_hold_end_to_end() {
     // gather-based methods blow up, ring-based ones stay flat.
     let model = presets::resnet101();
     let slowdown = |method: MethodConfig| {
-        let t8 = simulate_iteration(&SimConfig::new(model.clone(), 8).method(method.clone()))
-            .total_s;
-        let t96 =
-            simulate_iteration(&SimConfig::new(model.clone(), 96).method(method)).total_s;
+        let t8 =
+            simulate_iteration(&SimConfig::new(model.clone(), 8).method(method.clone())).total_s;
+        let t96 = simulate_iteration(&SimConfig::new(model.clone(), 96).method(method)).total_s;
         t96 / t8
     };
     assert!(slowdown(MethodConfig::SyncSgd) < 1.3);

@@ -16,7 +16,11 @@ fn finding1_no_utility_in_overcompression() {
     let device = DeviceSpec::v100();
     let net = NetworkModel::datacenter_10gbps();
     for model in presets::paper_models() {
-        let batch = if model.name.starts_with("BERT") { 12 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            12
+        } else {
+            64
+        };
         match required_compression(&model, &device, &net, 64, batch) {
             RequiredCompression::Achievable { ratio, .. } => {
                 assert!(
@@ -38,8 +42,7 @@ fn finding2_large_batches_kill_compression_benefit() {
     let model = presets::resnet101();
     let speedup = |batch: usize| {
         let sync =
-            simulate_iteration(&SimConfig::new(model.clone(), 64).batch_per_worker(batch))
-                .total_s;
+            simulate_iteration(&SimConfig::new(model.clone(), 64).batch_per_worker(batch)).total_s;
         let psgd = simulate_iteration(
             &SimConfig::new(model.clone(), 64)
                 .batch_per_worker(batch)
@@ -61,8 +64,7 @@ fn finding2_large_batches_kill_compression_benefit() {
 fn finding3_non_all_reducible_methods_do_not_scale() {
     let model = presets::resnet101();
     let sync = simulate_iteration(&SimConfig::new(model.clone(), 96)).total_s;
-    let sign =
-        simulate_iteration(&SimConfig::new(model, 96).method(MethodConfig::SignSgd)).total_s;
+    let sign = simulate_iteration(&SimConfig::new(model, 96).method(MethodConfig::SignSgd)).total_s;
     assert!(
         sign > 2.5 * sync,
         "SignSGD {:.0} ms vs syncSGD {:.0} ms at 96 GPUs",
@@ -84,7 +86,10 @@ fn finding4_overlapped_compression_is_slower() {
         let base = SimConfig::new(model.clone(), 16).method(method.clone());
         let seq = simulate_iteration(&base).total_s;
         let ovl = simulate_iteration(&base.clone().overlap_compression(true)).total_s;
-        assert!(ovl > seq, "{method:?}: overlap should lose ({ovl} vs {seq})");
+        assert!(
+            ovl > seq,
+            "{method:?}: overlap should lose ({ovl} vs {seq})"
+        );
     }
 }
 
@@ -96,15 +101,17 @@ fn finding5_limited_opportunity_window() {
     let device = DeviceSpec::v100();
     let net = NetworkModel::datacenter_10gbps();
     for model in presets::paper_models() {
-        let batch = if model.name.starts_with("BERT") { 16 } else { 64 };
+        let batch = if model.name.starts_with("BERT") {
+            16
+        } else {
+            64
+        };
         let gap = ideal_gap(&model, &device, &net, 96, batch);
         assert!(gap < 0.25, "{}: gap {gap}", model.name);
         // Top-K's encode time alone exceeds the entire budget.
-        let topk_encode = gradcomp::models::encode_cost::encode_cost(
-            &MethodConfig::TopK { ratio: 0.01 },
-            &model,
-        )
-        .total_seconds(96);
+        let topk_encode =
+            gradcomp::models::encode_cost::encode_cost(&MethodConfig::TopK { ratio: 0.01 }, &model)
+                .total_seconds(96);
         assert!(
             topk_encode > gap,
             "{}: Top-K encode {topk_encode} should not fit in gap {gap}",

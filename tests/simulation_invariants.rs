@@ -61,10 +61,8 @@ fn monotone_in_workers() {
         let method = any_method(&mut rng);
         let p = rng.gen_range(2usize..64);
         let t = |workers: usize| {
-            simulate_iteration(
-                &SimConfig::new(model.clone(), workers).method(method.clone()),
-            )
-            .total_s
+            simulate_iteration(&SimConfig::new(model.clone(), workers).method(method.clone()))
+                .total_s
         };
         assert!(t(p + 8) + 1e-12 >= t(p), "method {method:?} p {p}");
     }
@@ -126,7 +124,10 @@ fn model_tracks_simulator() {
         let predicted = predict_iteration(&cfg).total_s;
         let simulated = simulate_iteration(&cfg).total_s;
         let rel = (predicted - simulated).abs() / simulated;
-        assert!(rel < 0.25, "{method:?}: {predicted} vs {simulated} ({rel:.3})");
+        assert!(
+            rel < 0.25,
+            "{method:?}: {predicted} vs {simulated} ({rel:.3})"
+        );
     }
 }
 
